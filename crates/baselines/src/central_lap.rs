@@ -1,0 +1,115 @@
+//! CentralLap△ — the central-model (trusted-server) baseline.
+//!
+//! The trusted server holds the entire graph, computes the exact
+//! triangle count, and releases `T + Lap(d_max/ε)`. The Edge-DP global
+//! sensitivity of the triangle count is bounded by `d_max` (adding or
+//! removing one edge `{u, v}` changes the count by the number of common
+//! neighbours of `u` and `v`, at most `d_max − 1 < d_max`). This is the
+//! utility ceiling CARGO is measured against (Figs. 5–8) at `O(1)`
+//! protocol cost (Table II).
+
+use cargo_dp::sample_laplace;
+use cargo_graph::{count_triangles, Graph};
+use rand::Rng;
+
+/// Output of the central baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CentralLapResult {
+    /// The ε-Edge-CDP estimate.
+    pub noisy_count: f64,
+    /// Exact count (the trusted server knows it).
+    pub true_count: u64,
+    /// The sensitivity used (`d_max`).
+    pub sensitivity: f64,
+}
+
+/// Runs CentralLap△ with budget `epsilon`.
+///
+/// ```
+/// use cargo_baselines::central_lap_triangles;
+/// use cargo_graph::generators::barabasi_albert;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// let g = barabasi_albert(100, 4, 1);
+/// let mut rng = StdRng::seed_from_u64(2);
+/// let out = central_lap_triangles(&g, 2.0, &mut rng);
+/// assert!((out.noisy_count - out.true_count as f64).abs() < 10.0 * out.sensitivity);
+/// ```
+///
+/// # Panics
+/// Panics if `epsilon <= 0`.
+pub fn central_lap_triangles<R: Rng + ?Sized>(
+    g: &Graph,
+    epsilon: f64,
+    rng: &mut R,
+) -> CentralLapResult {
+    assert!(epsilon > 0.0, "epsilon must be positive, got {epsilon}");
+    let t = count_triangles(g);
+    // d_max = 0 (empty graph) still needs a positive scale.
+    let sensitivity = (g.max_degree() as f64).max(1.0);
+    let noisy = t as f64 + sample_laplace(rng, sensitivity / epsilon);
+    CentralLapResult {
+        noisy_count: noisy,
+        true_count: t,
+        sensitivity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cargo_graph::generators::barabasi_albert;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unbiased_with_correct_variance() {
+        let g = barabasi_albert(300, 5, 1);
+        let t = count_triangles(&g) as f64;
+        let dmax = g.max_degree() as f64;
+        let eps = 1.0;
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 5_000;
+        let outs: Vec<f64> = (0..trials)
+            .map(|_| central_lap_triangles(&g, eps, &mut rng).noisy_count)
+            .collect();
+        let mean = outs.iter().sum::<f64>() / trials as f64;
+        let var = outs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / trials as f64;
+        let want_var = 2.0 * (dmax / eps) * (dmax / eps);
+        assert!((mean - t).abs() < 5.0 * (want_var / trials as f64).sqrt() * 3.0 + 5.0);
+        assert!(
+            (var - want_var).abs() / want_var < 0.1,
+            "variance {var} vs {want_var}"
+        );
+    }
+
+    #[test]
+    fn error_shrinks_with_epsilon() {
+        let g = barabasi_albert(200, 4, 3);
+        let t = count_triangles(&g) as f64;
+        let spread = |eps: f64| {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..500)
+                .map(|_| (central_lap_triangles(&g, eps, &mut rng).noisy_count - t).abs())
+                .sum::<f64>()
+                / 500.0
+        };
+        assert!(spread(3.0) < spread(0.5));
+    }
+
+    #[test]
+    fn empty_graph_does_not_panic() {
+        let g = Graph::empty(5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = central_lap_triangles(&g, 1.0, &mut rng);
+        assert_eq!(r.true_count, 0);
+        assert_eq!(r.sensitivity, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_epsilon_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        central_lap_triangles(&Graph::empty(3), -1.0, &mut rng);
+    }
+}

@@ -1,0 +1,116 @@
+//! GraphProjection — random-edge-deletion local projection.
+//!
+//! The projection baseline of \[11\]: a user whose degree exceeds the
+//! bound θ keeps θ *uniformly random* neighbours. Fig. 3 of the CARGO
+//! paper illustrates the failure mode (randomly deleting the one edge
+//! `⟨v₄, v₅⟩` that all triangles pass through); the similarity-based
+//! `Project` in `cargo-core` is compared against this in Figs. 9/10.
+
+use cargo_graph::{BitMatrix, BitVec};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Randomly keeps `theta` of the row's neighbours (all of them if the
+/// degree is within the bound).
+pub fn random_project_row<R: Rng + ?Sized>(row: &BitVec, theta: usize, rng: &mut R) -> BitVec {
+    let degree = row.count_ones();
+    if degree <= theta {
+        return row.clone();
+    }
+    let mut nbrs: Vec<usize> = row.iter_ones().collect();
+    nbrs.shuffle(rng);
+    nbrs.truncate(theta);
+    let mut out = BitVec::zeros(row.len());
+    for j in nbrs {
+        out.set(j, true);
+    }
+    out
+}
+
+/// Applies random projection to every row of the matrix (each user
+/// projects her own adjacent bit vector, like Algorithm 3 but with
+/// random candidate selection).
+pub fn random_project_matrix<R: Rng + ?Sized>(
+    matrix: &BitMatrix,
+    theta: usize,
+    rng: &mut R,
+) -> BitMatrix {
+    let mut out = matrix.clone();
+    for i in 0..matrix.n() {
+        if matrix.row(i).count_ones() > theta {
+            out.set_row(i, random_project_row(matrix.row(i), theta, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cargo_graph::generators::barabasi_albert;
+    use cargo_graph::{count_triangles_matrix, Graph};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn degrees_bounded_after_projection() {
+        let g = barabasi_albert(200, 6, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let theta = 7;
+        let m = random_project_matrix(&g.to_bit_matrix(), theta, &mut rng);
+        for i in 0..m.n() {
+            assert!(m.degree(i) <= theta);
+            // Users within the bound keep every neighbour.
+            if g.degree(i) <= theta {
+                assert_eq!(m.degree(i), g.degree(i));
+            } else {
+                assert_eq!(m.degree(i), theta);
+            }
+        }
+    }
+
+    #[test]
+    fn projection_is_a_subset_of_original_edges() {
+        let g = barabasi_albert(100, 5, 2);
+        let orig = g.to_bit_matrix();
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = random_project_matrix(&orig, 4, &mut rng);
+        for i in 0..m.n() {
+            for j in m.row(i).iter_ones() {
+                assert!(orig.get(i, j), "projection invented edge ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_projection_beats_random_on_average() {
+        // The claim of Figs. 9/10, as a statistical test: on scale-free
+        // graphs the similarity projection preserves at least as many
+        // triangles as random deletion, averaged over seeds.
+        let g = barabasi_albert(300, 6, 5);
+        let degs = g.degrees();
+        let noisy: Vec<f64> = degs.iter().map(|&d| d as f64).collect();
+        let theta = 10;
+        let orig = g.to_bit_matrix();
+        let sim = cargo_core::project_matrix(&orig, &degs, &noisy, theta);
+        let sim_kept = count_triangles_matrix(&sim.matrix);
+        let mut rng = StdRng::seed_from_u64(11);
+        let rand_kept: f64 = (0..10)
+            .map(|_| count_triangles_matrix(&random_project_matrix(&orig, theta, &mut rng)) as f64)
+            .sum::<f64>()
+            / 10.0;
+        assert!(
+            sim_kept as f64 >= rand_kept,
+            "similarity kept {sim_kept}, random kept {rand_kept}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]).unwrap();
+        let m = g.to_bit_matrix();
+        let a = random_project_matrix(&m, 2, &mut StdRng::seed_from_u64(4));
+        let b = random_project_matrix(&m, 2, &mut StdRng::seed_from_u64(4));
+        assert_eq!(a, b);
+    }
+}

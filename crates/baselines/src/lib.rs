@@ -1,0 +1,33 @@
+//! # cargo-baselines — the protocols CARGO is evaluated against
+//!
+//! Faithful implementations of the competitors in the paper's
+//! evaluation (Section V-A), all from Imola, Murakami & Chaudhuri,
+//! *"Locally Differentially Private Analysis of Graph Statistics"*
+//! (USENIX Security 2021), reference \[11\] of the CARGO paper:
+//!
+//! * [`central_lap`] — **CentralLap△**: a trusted server computes the
+//!   exact count and releases `T + Lap(d_max/ε)` (ε-Edge CDP).
+//! * [`local2rounds`] — **Local2Rounds△**: the state-of-the-art
+//!   Edge-LDP protocol. Round 1: randomized response on the
+//!   lower-triangular adjacency bits. Round 2: each user counts the
+//!   noisy third edges among her (projected) neighbours, unbiases via
+//!   empirical estimation, and adds Laplace noise before uploading.
+//! * [`graph_projection`] — **GraphProjection**: the random-edge-
+//!   deletion local projection (the baseline of Figs. 9/10).
+//! * [`one_round`] — **LocalRR△**: the one-round RR estimator with
+//!   full moment-inversion debiasing; included as an extra ablation
+//!   point (Imola et al.'s weaker baseline).
+//! * [`rr`] — Warner randomized response on bits, shared by the local
+//!   protocols.
+
+pub mod central_lap;
+pub mod graph_projection;
+pub mod local2rounds;
+pub mod one_round;
+pub mod rr;
+
+pub use central_lap::{central_lap_triangles, CentralLapResult};
+pub use graph_projection::{random_project_matrix, random_project_row};
+pub use local2rounds::{local2rounds_triangles, Local2RoundsConfig, Local2RoundsResult};
+pub use one_round::{local_rr_triangles, LocalRrResult};
+pub use rr::{rr_flip_probability, RandomizedResponse};

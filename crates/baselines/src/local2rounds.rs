@@ -1,0 +1,237 @@
+//! Local2Rounds△ — the state-of-the-art Edge-LDP baseline.
+//!
+//! From Imola, Murakami & Chaudhuri (USENIX Sec'21), as evaluated by
+//! the CARGO paper. Users never reveal raw edges; the protocol runs in
+//! two interaction rounds plus a degree round:
+//!
+//! * **Degree round (ε₀):** like CARGO's `Max`, each user publishes
+//!   `d'ᵢ = dᵢ + Lap(1/ε₀)`; the server broadcasts
+//!   `d̃_max = max d'ᵢ`.
+//! * **Round 1 (ε₁):** each user applies Warner randomized response
+//!   (flip probability `p = 1/(e^{ε₁}+1)`) to her *lower-triangular*
+//!   adjacency bits `a_ij, j < i` and uploads them; the server
+//!   assembles the noisy graph `G̃`.
+//! * **Round 2 (ε₂):** the server sends `G̃` back. Each user projects
+//!   her true neighbour list to `d̃_max` neighbours (random deletion —
+//!   [`crate::graph_projection`]), then computes
+//!   `wᵢ = Σ_{j<k<i, â_ij=â_ik=1} (b̃_jk − p)/(1 − 2p)`
+//!   — an unbiased local estimate of the triangles in which she is the
+//!   highest-indexed vertex — and uploads `ŵᵢ = wᵢ + Lap(Δᵢ/ε₂)` with
+//!   `Δᵢ = d̃_max·(1−p)/(1−2p)` (one of her edges enters at most
+//!   `d̃_max` terms, each of magnitude ≤ `(1−p)/(1−2p)`).
+//!
+//! The server releases `T̂ = Σᵢ ŵᵢ`. Total budget `ε₀+ε₁+ε₂`-Edge LDP;
+//! the default split matches the CARGO paper's setting for the shared
+//! degree round (ε₀ = 0.1ε) with the remainder split evenly, the
+//! convention of \[11\]'s experiments.
+
+use crate::graph_projection::random_project_row;
+use crate::rr::RandomizedResponse;
+use cargo_dp::sample_laplace;
+use cargo_graph::{BitVec, Graph};
+use rand::Rng;
+
+/// Budget split for Local2Rounds△.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Local2RoundsConfig {
+    /// Degree-round budget ε₀.
+    pub epsilon0: f64,
+    /// Randomized-response budget ε₁.
+    pub epsilon1: f64,
+    /// Count-perturbation budget ε₂.
+    pub epsilon2: f64,
+}
+
+impl Local2RoundsConfig {
+    /// The evaluation split: ε₀ = 0.1ε, ε₁ = ε₂ = 0.45ε.
+    pub fn paper_split(total_epsilon: f64) -> Self {
+        assert!(total_epsilon > 0.0, "epsilon must be positive");
+        Local2RoundsConfig {
+            epsilon0: 0.1 * total_epsilon,
+            epsilon1: 0.45 * total_epsilon,
+            epsilon2: 0.45 * total_epsilon,
+        }
+    }
+
+    /// Total ε consumed.
+    pub fn total(&self) -> f64 {
+        self.epsilon0 + self.epsilon1 + self.epsilon2
+    }
+}
+
+/// Output of the Local2Rounds△ protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Local2RoundsResult {
+    /// The ε-Edge-LDP estimate `T̂`.
+    pub noisy_count: f64,
+    /// Exact count (simulation diagnostic).
+    pub true_count: u64,
+    /// The noisy maximum degree used for projection and sensitivity.
+    pub d_max_noisy: f64,
+    /// Bits uploaded in round 1 (`C(n,2)`).
+    pub round1_bits: u64,
+}
+
+/// Runs Local2Rounds△ on `g`.
+///
+/// # Panics
+/// Panics if any budget component is non-positive or the graph is
+/// empty.
+pub fn local2rounds_triangles<R: Rng + ?Sized>(
+    g: &Graph,
+    config: Local2RoundsConfig,
+    rng: &mut R,
+) -> Local2RoundsResult {
+    assert!(g.n() > 0, "graph must have at least one user");
+    assert!(
+        config.epsilon0 > 0.0 && config.epsilon1 > 0.0 && config.epsilon2 > 0.0,
+        "all budget components must be positive"
+    );
+    let n = g.n();
+
+    // ---- Degree round (ε₀) ----
+    let d_max_noisy = g
+        .degrees()
+        .iter()
+        .map(|&d| d as f64 + sample_laplace(rng, 1.0 / config.epsilon0))
+        .fold(f64::NEG_INFINITY, f64::max);
+    let theta = d_max_noisy.round().max(1.0) as usize;
+
+    // ---- Round 1 (ε₁): RR on lower-triangular bits ----
+    let rr = RandomizedResponse::new(config.epsilon1);
+    // noisy_lower[i] holds b̃_ij for j < i.
+    let mut noisy_lower: Vec<BitVec> = Vec::with_capacity(n);
+    let mut round1_bits = 0u64;
+    for i in 0..n {
+        let mut row = BitVec::zeros(i);
+        let true_row = g.adjacency_row(i);
+        for j in 0..i {
+            row.set(j, rr.perturb(true_row.get(j), rng));
+            round1_bits += 1;
+        }
+        noisy_lower.push(row);
+    }
+    let noisy_edge = |a: usize, b: usize| -> bool {
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        noisy_lower[hi].get(lo)
+    };
+
+    // ---- Round 2 (ε₂): local counting + Laplace ----
+    let sensitivity = theta as f64 * rr.unbias_magnitude();
+    let mut total = 0.0f64;
+    for i in 0..n {
+        // User i projects her true neighbour list (random deletion).
+        let projected = random_project_row(&g.adjacency_row(i), theta, rng);
+        let nbrs: Vec<usize> = projected.iter_ones().filter(|&j| j < i).collect();
+        let mut w_i = 0.0f64;
+        for (a, &j) in nbrs.iter().enumerate() {
+            for &k in &nbrs[a + 1..] {
+                // j < k < i by construction of `nbrs` (sorted ascending).
+                w_i += rr.unbias(noisy_edge(j, k));
+            }
+        }
+        total += w_i + sample_laplace(rng, sensitivity / config.epsilon2);
+    }
+
+    Local2RoundsResult {
+        noisy_count: total,
+        true_count: cargo_graph::count_triangles(g),
+        d_max_noisy,
+        round1_bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cargo_graph::generators::barabasi_albert;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_split_sums_to_total() {
+        let c = Local2RoundsConfig::paper_split(2.0);
+        assert!((c.total() - 2.0).abs() < 1e-12);
+        assert!((c.epsilon0 - 0.2).abs() < 1e-12);
+        assert!((c.epsilon1 - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimator_is_roughly_unbiased_at_high_epsilon() {
+        // With a big budget, RR barely flips and projection barely
+        // cuts; the average estimate should track the truth.
+        let g = barabasi_albert(120, 5, 1);
+        let t = cargo_graph::count_triangles(&g) as f64;
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 40;
+        let mean: f64 = (0..trials)
+            .map(|_| {
+                local2rounds_triangles(&g, Local2RoundsConfig::paper_split(20.0), &mut rng)
+                    .noisy_count
+            })
+            .sum::<f64>()
+            / trials as f64;
+        assert!(
+            (mean - t).abs() / t < 0.15,
+            "mean {mean} vs true {t}"
+        );
+    }
+
+    #[test]
+    fn counts_round1_uploads() {
+        let g = barabasi_albert(50, 3, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = local2rounds_triangles(&g, Local2RoundsConfig::paper_split(2.0), &mut rng);
+        assert_eq!(r.round1_bits, (50 * 49 / 2) as u64);
+    }
+
+    #[test]
+    fn error_is_much_larger_than_central_model() {
+        // The utility gap that motivates CARGO: at moderate ε the LDP
+        // estimate is orders of magnitude noisier.
+        let g = barabasi_albert(300, 5, 5);
+        let t = cargo_graph::count_triangles(&g) as f64;
+        let mut rng = StdRng::seed_from_u64(6);
+        let trials = 15;
+        let l2_local: f64 = (0..trials)
+            .map(|_| {
+                let e = local2rounds_triangles(&g, Local2RoundsConfig::paper_split(2.0), &mut rng)
+                    .noisy_count
+                    - t;
+                e * e
+            })
+            .sum::<f64>()
+            / trials as f64;
+        let dmax = g.max_degree() as f64;
+        let l2_central = 2.0 * (dmax / 2.0) * (dmax / 2.0);
+        assert!(
+            l2_local > 10.0 * l2_central,
+            "local l2 {l2_local} vs central l2 {l2_central}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = barabasi_albert(60, 3, 7);
+        let c = Local2RoundsConfig::paper_split(1.0);
+        let a = local2rounds_triangles(&g, c, &mut StdRng::seed_from_u64(9));
+        let b = local2rounds_triangles(&g, c, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_budget_component_panics() {
+        let g = barabasi_albert(10, 2, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        local2rounds_triangles(
+            &g,
+            Local2RoundsConfig {
+                epsilon0: 0.0,
+                epsilon1: 1.0,
+                epsilon2: 1.0,
+            },
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! LocalRR△ — the one-round randomized-response estimator.
+//!
+//! Imola et al.'s weaker baseline (one interaction round): every user
+//! applies RR to her lower-triangular bits; the server counts triangles
+//! in the noisy graph and *debias­es by moment inversion*. With flip
+//! probability `p` and `μ = 1 − 2p`, independence of the bit noise
+//! gives, for the noisy triangle / wedge / edge counts `T̃, W̃, m̃`:
+//!
+//! ```text
+//! E[m̃] = p·P₂ + μ·m                         P₂ = C(n,2)
+//! E[W̃] = p²·P_w + 2p·μ·(n−2)·m + μ²·W       P_w = n·C(n−1,2)
+//! E[T̃] = p³·P₃ + p²·μ·(n−2)·m + p·μ²·W + μ³·T,   P₃ = C(n,3)
+//! ```
+//!
+//! where `W = Σ_v C(d_v, 2)` is the wedge count. Solving bottom-up
+//! yields the unbiased estimator `T̂`. The estimator's variance is
+//! dominated by the `C(n,3)` masked triples, which is why it loses to
+//! `Local2Rounds△` — reproduced here so the ablation benches can show
+//! that ordering.
+
+use crate::rr::RandomizedResponse;
+use cargo_graph::{count_triangles, Graph, GraphBuilder};
+use rand::Rng;
+
+/// Output of the one-round estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalRrResult {
+    /// Debiased estimate `T̂`.
+    pub noisy_count: f64,
+    /// Exact count (simulation diagnostic).
+    pub true_count: u64,
+    /// Raw triangle count of the noisy graph (before inversion).
+    pub raw_noisy_triangles: u64,
+}
+
+/// Runs LocalRR△ with budget `epsilon` (all spent on RR).
+///
+/// # Panics
+/// Panics if `epsilon <= 0` or the graph has fewer than 3 nodes.
+pub fn local_rr_triangles<R: Rng + ?Sized>(
+    g: &Graph,
+    epsilon: f64,
+    rng: &mut R,
+) -> LocalRrResult {
+    let n = g.n();
+    assert!(n >= 3, "need at least 3 users, got {n}");
+    let rr = RandomizedResponse::new(epsilon);
+    let p = rr.flip_probability();
+    let mu = 1.0 - 2.0 * p;
+
+    // Round 1: RR each lower-triangular bit; server assembles G̃.
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        let row = g.adjacency_row(i);
+        for j in 0..i {
+            if rr.perturb(row.get(j), rng) {
+                b.add_edge(i, j).expect("in range");
+            }
+        }
+    }
+    let noisy = b.build();
+
+    // Noisy statistics.
+    let m_noisy = noisy.edge_count() as f64;
+    let w_noisy: f64 = noisy
+        .degrees()
+        .iter()
+        .map(|&d| (d as f64) * (d as f64 - 1.0) / 2.0)
+        .sum();
+    let t_noisy = count_triangles(&noisy) as f64;
+
+    // Moment inversion, bottom-up.
+    let nf = n as f64;
+    let p2 = nf * (nf - 1.0) / 2.0;
+    let p3 = nf * (nf - 1.0) * (nf - 2.0) / 6.0;
+    let pw = nf * (nf - 1.0) * (nf - 2.0) / 2.0;
+    let m_hat = (m_noisy - p * p2) / mu;
+    let w_hat = (w_noisy - p * p * pw - 2.0 * p * mu * (nf - 2.0) * m_hat) / (mu * mu);
+    let t_hat = (t_noisy
+        - p * p * p * p3
+        - p * p * mu * (nf - 2.0) * m_hat
+        - p * mu * mu * w_hat)
+        / (mu * mu * mu);
+
+    LocalRrResult {
+        noisy_count: t_hat,
+        true_count: count_triangles(g),
+        raw_noisy_triangles: t_noisy as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cargo_graph::generators::barabasi_albert;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn estimator_is_unbiased_on_average() {
+        let g = barabasi_albert(100, 4, 1);
+        let t = count_triangles(&g) as f64;
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 60;
+        let mean: f64 = (0..trials)
+            .map(|_| local_rr_triangles(&g, 3.0, &mut rng).noisy_count)
+            .sum::<f64>()
+            / trials as f64;
+        assert!(
+            (mean - t).abs() / t < 0.25,
+            "mean {mean} vs true {t}"
+        );
+    }
+
+    #[test]
+    fn high_epsilon_recovers_exact_count() {
+        // ε = 15 ⇒ p ≈ 3e-7: the noisy graph is the true graph.
+        let g = barabasi_albert(80, 3, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = local_rr_triangles(&g, 15.0, &mut rng);
+        assert!(
+            (r.noisy_count - r.true_count as f64).abs() < 1.0,
+            "estimate {} vs {}",
+            r.noisy_count,
+            r.true_count
+        );
+    }
+
+    #[test]
+    fn one_round_error_grows_cubically_in_n() {
+        // Why two rounds win asymptotically: the one-round estimator's
+        // variance is Θ(C(n,3)) ≈ n³/6 · c(ε) — every masked triple
+        // contributes — while Local2Rounds's is Θ(n·d̃²_max). We verify
+        // the cubic growth directly (the crossover itself sits at
+        // n ≈ 15·d_max, beyond unit-test scale; the fig5 experiment
+        // harness shows the ordering at paper scale).
+        let sq = |x: f64| x * x;
+        let l2_at = |n: usize, seed: u64| -> f64 {
+            let g = barabasi_albert(n, 4, seed);
+            let t = count_triangles(&g) as f64;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let trials = 20;
+            (0..trials)
+                .map(|_| sq(local_rr_triangles(&g, 1.0, &mut rng).noisy_count - t))
+                .sum::<f64>()
+                / trials as f64
+        };
+        let small = l2_at(80, 6);
+        let large = l2_at(160, 6);
+        // Cubic growth predicts 8×; accept anything clearly
+        // super-quadratic given sampling noise.
+        let ratio = large / small;
+        assert!(
+            ratio > 4.0,
+            "error ratio {ratio} not consistent with cubic growth"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_graph_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        local_rr_triangles(&Graph::empty(2), 1.0, &mut rng);
+    }
+}

@@ -1,0 +1,130 @@
+//! Warner randomized response on bits.
+//!
+//! Flip each bit with probability `p = 1/(e^ε + 1)`; keeping it with
+//! probability `e^ε/(e^ε + 1)` gives ε-LDP per bit. The unbiased
+//! estimator of the true bit from a noisy bit `b` is
+//! `(b − p)/(1 − 2p)`.
+
+use rand::Rng;
+
+/// Flip probability for ε-LDP randomized response: `1/(e^ε + 1)`.
+pub fn rr_flip_probability(epsilon: f64) -> f64 {
+    assert!(epsilon > 0.0, "epsilon must be positive, got {epsilon}");
+    1.0 / (epsilon.exp() + 1.0)
+}
+
+/// A randomized-response mechanism with fixed ε.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomizedResponse {
+    epsilon: f64,
+    flip_p: f64,
+}
+
+impl RandomizedResponse {
+    /// Creates the mechanism for budget `epsilon`.
+    pub fn new(epsilon: f64) -> Self {
+        RandomizedResponse {
+            epsilon,
+            flip_p: rr_flip_probability(epsilon),
+        }
+    }
+
+    /// The flip probability `p`.
+    pub fn flip_probability(&self) -> f64 {
+        self.flip_p
+    }
+
+    /// Perturbs one bit.
+    pub fn perturb<R: Rng + ?Sized>(&self, bit: bool, rng: &mut R) -> bool {
+        if rng.gen_range(0.0f64..1.0) < self.flip_p {
+            !bit
+        } else {
+            bit
+        }
+    }
+
+    /// Unbiased estimate of the true bit from a noisy bit:
+    /// `(b − p)/(1 − 2p)`.
+    pub fn unbias(&self, noisy_bit: bool) -> f64 {
+        (noisy_bit as u64 as f64 - self.flip_p) / (1.0 - 2.0 * self.flip_p)
+    }
+
+    /// Magnitude bound of one unbiased term:
+    /// `max((1−p)/(1−2p), p/(1−2p)) = (1−p)/(1−2p)`. Used for the
+    /// round-2 sensitivity of `Local2Rounds△`.
+    pub fn unbias_magnitude(&self) -> f64 {
+        (1.0 - self.flip_p) / (1.0 - 2.0 * self.flip_p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn flip_probability_formula() {
+        // ε = ln(3) ⇒ p = 1/4.
+        let p = rr_flip_probability(3.0f64.ln());
+        assert!((p - 0.25).abs() < 1e-12);
+        // Large ε ⇒ p → 0; small ε ⇒ p → 1/2.
+        assert!(rr_flip_probability(10.0) < 1e-4);
+        assert!((rr_flip_probability(1e-6) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empirical_flip_rate_matches() {
+        let rr = RandomizedResponse::new(1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let flips = (0..n).filter(|_| rr.perturb(true, &mut rng) == false).count();
+        let rate = flips as f64 / n as f64;
+        assert!(
+            (rate - rr.flip_probability()).abs() < 0.005,
+            "rate {rate} vs p {}",
+            rr.flip_probability()
+        );
+    }
+
+    #[test]
+    fn unbias_is_unbiased() {
+        let rr = RandomizedResponse::new(1.5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200_000;
+        for truth in [false, true] {
+            let mean: f64 = (0..n)
+                .map(|_| rr.unbias(rr.perturb(truth, &mut rng)))
+                .sum::<f64>()
+                / n as f64;
+            let want = truth as u64 as f64;
+            assert!(
+                (mean - want).abs() < 0.01,
+                "truth {truth}: estimator mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn privacy_ratio_respected() {
+        // P(out = 1 | in = 1) / P(out = 1 | in = 0) = (1-p)/p = e^ε.
+        let eps = 2.0;
+        let p = rr_flip_probability(eps);
+        let ratio = (1.0 - p) / p;
+        assert!((ratio - eps.exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unbias_magnitude_bound() {
+        let rr = RandomizedResponse::new(1.0);
+        let m = rr.unbias_magnitude();
+        assert!(rr.unbias(true).abs() <= m + 1e-12);
+        assert!(rr.unbias(false).abs() <= m + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_epsilon_panics() {
+        rr_flip_probability(0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! End-to-end protocol timing: the Fig. 11/12 comparison as a
+//! Criterion bench (CentralLap vs Local2Rounds vs CARGO at one scale).
+
+use cargo_baselines::{
+    central_lap_triangles, local2rounds_triangles, local_rr_triangles, Local2RoundsConfig,
+};
+use cargo_core::{CargoConfig, CargoSystem};
+use cargo_graph::generators::presets::SnapDataset;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_protocols(c: &mut Criterion) {
+    let (full, _) = SnapDataset::Facebook.load_or_synthesize(None, 0);
+    let g = full.induced_prefix(500);
+    let eps = 2.0;
+
+    let mut group = c.benchmark_group("protocols_n500");
+    group.sample_size(10);
+    group.bench_function("central_lap", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| black_box(central_lap_triangles(&g, eps, &mut rng)))
+    });
+    group.bench_function("local_rr_one_round", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| black_box(local_rr_triangles(&g, eps, &mut rng)))
+    });
+    group.bench_function("local2rounds", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            black_box(local2rounds_triangles(
+                &g,
+                Local2RoundsConfig::paper_split(eps),
+                &mut rng,
+            ))
+        })
+    });
+    group.bench_function("cargo_full_pipeline", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(CargoSystem::new(CargoConfig::new(eps).with_seed(seed)).run(&g))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols);
+criterion_main!(benches);

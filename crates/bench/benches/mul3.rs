@@ -1,0 +1,64 @@
+//! Ablation: the paper's one-shot three-value Multiplication-Group
+//! protocol vs composing two Beaver two-value multiplications.
+//!
+//! Both compute `a·b·c` over shares; the MG protocol uses one opening
+//! round of 3 elements, the Beaver composition needs two *sequential*
+//! rounds (the second multiplication consumes the first's output), so
+//! on a real network the MG variant halves the latency per triple.
+//! This bench shows the compute-side comparison.
+
+use cargo_mpc::{beaver_mul, mul3, Dealer, NetStats, Ring64};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_triple_product(c: &mut Criterion) {
+    let mut g = c.benchmark_group("triple_product");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("mul_group_one_shot", |b| {
+        let mut dealer = Dealer::new(1);
+        let sa = dealer.share(Ring64::ONE);
+        let sb = dealer.share(Ring64::ONE);
+        let sc = dealer.share(Ring64::ZERO);
+        b.iter(|| {
+            let mg = dealer.mul_group();
+            let mut net = NetStats::new();
+            black_box(mul3(
+                (sa.s1, sa.s2),
+                (sb.s1, sb.s2),
+                (sc.s1, sc.s2),
+                mg,
+                &mut net,
+            ))
+        })
+    });
+
+    g.bench_function("two_beaver_composition", |b| {
+        let mut dealer = Dealer::new(2);
+        let sa = dealer.share(Ring64::ONE);
+        let sb = dealer.share(Ring64::ONE);
+        let sc = dealer.share(Ring64::ZERO);
+        b.iter(|| {
+            let t1 = dealer.beaver();
+            let t2 = dealer.beaver();
+            let mut net = NetStats::new();
+            let ab = beaver_mul((sa.s1, sa.s2), (sb.s1, sb.s2), t1, &mut net);
+            black_box(beaver_mul(ab, (sc.s1, sc.s2), t2, &mut net))
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_correctness_overhead(c: &mut Criterion) {
+    // Baseline: the plaintext product, to show the MPC markup.
+    let mut g = c.benchmark_group("plain_product");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("u64_triple_mul", |b| {
+        let (x, y, z) = (3u64, 5u64, 7u64);
+        b.iter(|| black_box(black_box(x) * black_box(y) * black_box(z)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_triple_product, bench_correctness_overhead);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Projection ablation: similarity-based `Project` (Algorithm 3) vs
+//! random `GraphProjection`, in both runtime and triangles preserved.
+
+use cargo_baselines::random_project_matrix;
+use cargo_core::{estimate_max_degree, project_matrix};
+use cargo_graph::count_triangles_matrix;
+use cargo_graph::generators::presets::SnapDataset;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_projection_runtime(c: &mut Criterion) {
+    let (full, _) = SnapDataset::Facebook.load_or_synthesize(None, 0);
+    let g = full.induced_prefix(1_000);
+    let matrix = g.to_bit_matrix();
+    let degrees = g.degrees();
+    let mut rng = StdRng::seed_from_u64(1);
+    let noisy = estimate_max_degree(&degrees, 0.2, &mut rng).noisy_degrees;
+
+    let mut group = c.benchmark_group("projection_runtime");
+    for theta in [25usize, 100, 400] {
+        group.bench_with_input(
+            BenchmarkId::new("similarity", theta),
+            &theta,
+            |b, &theta| b.iter(|| black_box(project_matrix(&matrix, &degrees, &noisy, theta))),
+        );
+        group.bench_with_input(BenchmarkId::new("random", theta), &theta, |b, &theta| {
+            let mut prng = StdRng::seed_from_u64(2);
+            b.iter(|| black_box(random_project_matrix(&matrix, theta, &mut prng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_projection_quality(c: &mut Criterion) {
+    // Not a speed benchmark: measures triangles preserved per run so
+    // `cargo bench` output records the ablation result alongside times.
+    let (full, _) = SnapDataset::Facebook.load_or_synthesize(None, 0);
+    let g = full.induced_prefix(800);
+    let matrix = g.to_bit_matrix();
+    let degrees = g.degrees();
+    let mut rng = StdRng::seed_from_u64(3);
+    let noisy = estimate_max_degree(&degrees, 0.2, &mut rng).noisy_degrees;
+    let theta = 50;
+    let before = count_triangles_matrix(&matrix);
+    let sim = count_triangles_matrix(&project_matrix(&matrix, &degrees, &noisy, theta).matrix);
+    let mut prng = StdRng::seed_from_u64(4);
+    let rnd = count_triangles_matrix(&random_project_matrix(&matrix, theta, &mut prng));
+    println!(
+        "[projection_quality] theta={theta}: before={before} similarity={sim} random={rnd}"
+    );
+    let mut group = c.benchmark_group("projection_quality_counting");
+    group.bench_function("count_after_projection", |b| {
+        let m = project_matrix(&matrix, &degrees, &noisy, theta).matrix;
+        b.iter(|| black_box(count_triangles_matrix(&m)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_projection_runtime, bench_projection_quality);
+criterion_main!(benches);

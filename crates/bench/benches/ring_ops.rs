@@ -1,0 +1,50 @@
+//! Microbenchmarks of the ring and PRG layer: the per-triple cost
+//! floor of the secure count.
+
+use cargo_mpc::{Dealer, Ring64, SplitMix64};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_ring_arithmetic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("add", |b| {
+        let (x, y) = (Ring64(0x1234_5678_9ABC_DEF0), Ring64(0x0FED_CBA9_8765_4321));
+        b.iter(|| black_box(black_box(x) + black_box(y)))
+    });
+    g.bench_function("mul", |b| {
+        let (x, y) = (Ring64(0x1234_5678_9ABC_DEF0), Ring64(0x0FED_CBA9_8765_4321));
+        b.iter(|| black_box(black_box(x) * black_box(y)))
+    });
+    g.finish();
+}
+
+fn bench_prg(c: &mut Criterion) {
+    let mut g = c.benchmark_group("prg");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("splitmix64_next", |b| {
+        let mut rng = SplitMix64::new(42);
+        b.iter(|| black_box(rng.next_u64()))
+    });
+    g.finish();
+}
+
+fn bench_dealer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dealer");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("share", |b| {
+        let mut d = Dealer::new(1);
+        b.iter(|| black_box(d.share(Ring64(7))))
+    });
+    g.bench_function("beaver_triple", |b| {
+        let mut d = Dealer::new(2);
+        b.iter(|| black_box(d.beaver()))
+    });
+    g.bench_function("mul_group", |b| {
+        let mut d = Dealer::new(3);
+        b.iter(|| black_box(d.mul_group()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ring_arithmetic, bench_prg, bench_dealer);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! The O(n³) secure count: scaling in n and thread count, plus the
+//! plaintext counters for reference (the "crypto markup").
+
+use cargo_core::{secure_triangle_count, secure_triangle_count_sampled};
+use cargo_graph::generators::presets::SnapDataset;
+use cargo_graph::{count_triangles, count_triangles_matrix};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_secure_count_scaling(c: &mut Criterion) {
+    let (full, _) = SnapDataset::Facebook.load_or_synthesize(None, 0);
+    let mut g = c.benchmark_group("secure_count");
+    g.sample_size(10);
+    for n in [100usize, 200, 400] {
+        let m = full.induced_prefix(n).to_bit_matrix();
+        g.bench_with_input(BenchmarkId::new("n", n), &m, |b, m| {
+            b.iter(|| black_box(secure_triangle_count(m, 1, 0)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let (full, _) = SnapDataset::Facebook.load_or_synthesize(None, 0);
+    let m = full.induced_prefix(300).to_bit_matrix();
+    let mut g = c.benchmark_group("secure_count_threads");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| black_box(secure_triangle_count(&m, 1, t)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_plaintext_counters(c: &mut Criterion) {
+    let (full, _) = SnapDataset::Facebook.load_or_synthesize(None, 0);
+    let sub = full.induced_prefix(400);
+    let m = sub.to_bit_matrix();
+    let mut g = c.benchmark_group("plaintext_count");
+    g.bench_function("edge_iterator_n400", |b| {
+        b.iter(|| black_box(count_triangles(&sub)))
+    });
+    g.bench_function("matrix_triple_loop_n400", |b| {
+        b.iter(|| black_box(count_triangles_matrix(&m)))
+    });
+    g.finish();
+}
+
+fn bench_sampled_count(c: &mut Criterion) {
+    // The O(n^3)-cost knob: sampling rate q cuts evaluated triples to
+    // q-fraction (noise grows by 1/q; see count_sampled docs).
+    let (full, _) = SnapDataset::Facebook.load_or_synthesize(None, 0);
+    let m = full.induced_prefix(400).to_bit_matrix();
+    let mut g = c.benchmark_group("sampled_count_n400");
+    g.sample_size(10);
+    for rate in [1.0f64, 0.25, 0.05] {
+        g.bench_with_input(
+            BenchmarkId::new("rate", format!("{rate}")),
+            &rate,
+            |b, &rate| b.iter(|| black_box(secure_triangle_count_sampled(&m, 1, rate, 0))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_secure_count_scaling,
+    bench_thread_scaling,
+    bench_plaintext_counters,
+    bench_sampled_count
+);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Hand-rolled flag parsing for the `experiments` binary (no external
+//! CLI dependency in the approved set).
+
+use std::path::PathBuf;
+
+/// Parsed command-line options with the paper's defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Default number of users (the paper's default is 2000).
+    pub n: usize,
+    /// Trials to average per data point.
+    pub trials: usize,
+    /// Root seed.
+    pub seed: u64,
+    /// Directory for CSV outputs.
+    pub out_dir: PathBuf,
+    /// Optional directory with real SNAP edge lists.
+    pub data_dir: Option<PathBuf>,
+    /// Quick mode: shrink n and trials for smoke runs.
+    pub quick: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            n: 2000,
+            trials: 5,
+            seed: 0,
+            out_dir: PathBuf::from("results"),
+            data_dir: None,
+            quick: false,
+        }
+    }
+}
+
+impl Options {
+    /// Parses `--flag value` pairs, returning the options and the
+    /// positional arguments (subcommands).
+    pub fn parse(args: &[String]) -> Result<(Options, Vec<String>), String> {
+        let mut opts = Options::default();
+        let mut positional = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            let take_value = |i: &mut usize| -> Result<String, String> {
+                *i += 1;
+                args.get(*i)
+                    .cloned()
+                    .ok_or_else(|| format!("flag {arg} needs a value"))
+            };
+            match arg.as_str() {
+                "--n" => {
+                    opts.n = take_value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--n: {e}"))?
+                }
+                "--trials" => {
+                    opts.trials = take_value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--trials: {e}"))?
+                }
+                "--seed" => {
+                    opts.seed = take_value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?
+                }
+                "--out-dir" => opts.out_dir = PathBuf::from(take_value(&mut i)?),
+                "--data-dir" => opts.data_dir = Some(PathBuf::from(take_value(&mut i)?)),
+                "--quick" => opts.quick = true,
+                _ if arg.starts_with("--") => return Err(format!("unknown flag {arg}")),
+                _ => positional.push(arg.clone()),
+            }
+            i += 1;
+        }
+        if opts.quick {
+            opts.n = opts.n.min(500);
+            opts.trials = opts.trials.min(2);
+        }
+        Ok((opts, positional))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Result<(Options, Vec<String>), String> {
+        let args: Vec<String> = v.iter().map(|s| s.to_string()).collect();
+        Options::parse(&args)
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        let (o, pos) = parse(&["fig5"]).unwrap();
+        assert_eq!(o.n, 2000);
+        assert_eq!(o.trials, 5);
+        assert_eq!(pos, vec!["fig5"]);
+    }
+
+    #[test]
+    fn flags_override() {
+        let (o, pos) =
+            parse(&["--n", "500", "fig7", "--trials", "3", "--seed", "9"]).unwrap();
+        assert_eq!(o.n, 500);
+        assert_eq!(o.trials, 3);
+        assert_eq!(o.seed, 9);
+        assert_eq!(pos, vec!["fig7"]);
+    }
+
+    #[test]
+    fn quick_mode_shrinks() {
+        let (o, _) = parse(&["--quick", "all"]).unwrap();
+        assert!(o.n <= 500);
+        assert!(o.trials <= 2);
+    }
+
+    #[test]
+    fn data_dir_is_optional_path() {
+        let (o, _) = parse(&["--data-dir", "/tmp/snap", "table4"]).unwrap();
+        assert_eq!(o.data_dir.unwrap(), PathBuf::from("/tmp/snap"));
+    }
+
+    #[test]
+    fn unknown_flag_errors() {
+        assert!(parse(&["--wat"]).is_err());
+        assert!(parse(&["--n"]).is_err(), "missing value");
+    }
+}

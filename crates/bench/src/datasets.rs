@@ -1,0 +1,90 @@
+//! Dataset handling for the experiments.
+//!
+//! The paper subsamples each graph to `n` users (default 2000) for the
+//! utility experiments and sweeps `n` for the scaling experiments.
+//! [`ExperimentGraph`] caches the full graph (real or synthetic) and
+//! hands out induced prefixes.
+
+use crate::cli::Options;
+use cargo_graph::generators::presets::{DataOrigin, SnapDataset};
+use cargo_graph::Graph;
+
+/// A dataset loaded once, subsampled many times.
+#[derive(Debug, Clone)]
+pub struct ExperimentGraph {
+    /// Which dataset this is.
+    pub dataset: SnapDataset,
+    /// The full graph.
+    pub full: Graph,
+    /// Where it came from (real file vs synthetic preset).
+    pub origin: DataOrigin,
+}
+
+impl ExperimentGraph {
+    /// Loads (or synthesizes) a dataset according to the CLI options.
+    pub fn load(dataset: SnapDataset, opts: &Options) -> ExperimentGraph {
+        let (full, origin) =
+            dataset.load_or_synthesize(opts.data_dir.as_deref(), opts.seed);
+        ExperimentGraph {
+            dataset,
+            full,
+            origin,
+        }
+    }
+
+    /// The experiment subgraph on the first `n` users (the paper's
+    /// subsampling), clamped to the dataset size.
+    pub fn prefix(&self, n: usize) -> Graph {
+        self.full.induced_prefix(n)
+    }
+
+    /// Short provenance string for table footers.
+    pub fn origin_label(&self) -> &'static str {
+        match self.origin {
+            DataOrigin::RealEdgeList => "real edge list",
+            DataOrigin::Synthetic => "calibrated synthetic",
+        }
+    }
+}
+
+/// The ε sweep of Figs. 5/6: 0.5 to 3 in steps of 0.5.
+pub const EPSILON_SWEEP: [f64; 6] = [0.5, 1.0, 1.5, 2.0, 2.5, 3.0];
+
+/// The n sweep of Figs. 7/8/11/12 (×10³ in the paper's axis labels).
+pub const N_SWEEP: [usize; 5] = [500, 1_000, 2_000, 3_000, 4_000];
+
+/// The θ sweeps of Figs. 9/10, per dataset (x-axes of the paper plots).
+pub fn theta_sweep(dataset: SnapDataset) -> Vec<usize> {
+    match dataset {
+        SnapDataset::Facebook | SnapDataset::Wiki => vec![10, 50, 100, 250, 500, 1000],
+        SnapDataset::HepPh => vec![10, 100, 200, 400, 600, 800],
+        SnapDataset::Enron => vec![100, 500, 1000, 1500, 2000, 2500],
+        _ => vec![10, 50, 100, 250, 500, 1000],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loads_and_prefixes() {
+        let opts = Options {
+            n: 100,
+            ..Options::default()
+        };
+        let eg = ExperimentGraph::load(SnapDataset::GrQc, &opts);
+        assert_eq!(eg.origin_label(), "calibrated synthetic");
+        let sub = eg.prefix(100);
+        assert_eq!(sub.n(), 100);
+        assert!(sub.edge_count() > 0, "prefix must retain hub edges");
+    }
+
+    #[test]
+    fn sweeps_match_paper_axes() {
+        assert_eq!(EPSILON_SWEEP.len(), 6);
+        assert_eq!(N_SWEEP, [500, 1000, 2000, 3000, 4000]);
+        assert_eq!(theta_sweep(SnapDataset::Enron).last(), Some(&2500));
+        assert_eq!(theta_sweep(SnapDataset::HepPh).last(), Some(&800));
+    }
+}

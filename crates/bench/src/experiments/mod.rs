@@ -1,0 +1,49 @@
+//! One module per group of paper artifacts; [`run`] dispatches a
+//! subcommand name to its experiment.
+
+pub mod extensions;
+pub mod projection;
+pub mod runtime;
+pub mod tables;
+pub mod utility;
+
+use crate::cli::Options;
+use crate::output::Table;
+
+/// All subcommands in paper order.
+pub const ALL: [&str; 10] = [
+    "table2", "table3", "table4", "table5", "fig5-6", "fig7-8", "fig9-10", "fig11", "fig12",
+    "extensions",
+];
+
+/// Runs one experiment by name, printing its tables and writing CSVs.
+/// Returns the tables for programmatic use (tests).
+pub fn run(cmd: &str, opts: &Options) -> Result<Vec<Table>, String> {
+    let tables = match cmd {
+        "table2" => tables::table2(opts),
+        "table3" => tables::table3(opts),
+        "table4" => tables::table4(opts),
+        "table5" => tables::table5(opts),
+        "fig5" | "fig6" | "fig5-6" => utility::fig5_and_6(opts),
+        "fig7" | "fig8" | "fig7-8" => utility::fig7_and_8(opts),
+        "fig9" | "fig10" | "fig9-10" => projection::fig9_and_10(opts),
+        "fig11" => runtime::fig11_or_12(opts, runtime::RuntimeGraph::Facebook),
+        "fig12" => runtime::fig11_or_12(opts, runtime::RuntimeGraph::Wiki),
+        "ext-sensitivity" => extensions::ext_sensitivity(opts),
+        "ext-nodedp" => extensions::ext_node_dp(opts),
+        "ext-homogeneity" => extensions::ext_homogeneity(opts),
+        "ext-ablation" => extensions::ext_projection_ablation(opts),
+        "extensions" => {
+            let mut all = extensions::ext_homogeneity(opts);
+            all.extend(extensions::ext_projection_ablation(opts));
+            all.extend(extensions::ext_sensitivity(opts));
+            all.extend(extensions::ext_node_dp(opts));
+            all
+        }
+        _ => return Err(format!("unknown experiment {cmd:?}")),
+    };
+    for t in &tables {
+        print!("{}", t.to_markdown());
+    }
+    Ok(tables)
+}

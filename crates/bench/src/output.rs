@@ -1,0 +1,168 @@
+//! Table formatting (Markdown to stdout) and CSV persistence.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple column-aligned table that renders to Markdown and CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    footnotes: Vec<String>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            footnotes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity mismatch in table {:?}",
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// Appends a footnote printed under the table.
+    pub fn footnote(&mut self, note: &str) {
+        self.footnotes.push(note.to_string());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders aligned Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n### {}\n", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let dashes: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "{}", fmt_row(&dashes, &widths));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        for note in &self.footnotes {
+            let _ = writeln!(out, "\n_{note}_");
+        }
+        out
+    }
+
+    /// Writes the table as CSV into `dir/name.csv` (creating `dir`).
+    pub fn write_csv(&self, dir: &Path, name: &str) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let file = std::fs::File::create(&path)?;
+        let mut w = std::io::BufWriter::new(file);
+        writeln!(w, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            let escaped: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            writeln!(w, "{}", escaped.join(","))?;
+        }
+        w.flush()?;
+        Ok(path)
+    }
+}
+
+/// Compact scientific formatting matching the paper's figures
+/// (e.g. `1.09e5`, `2.11e-3`).
+pub fn sci(x: f64) -> String {
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    let exp = x.abs().log10().floor() as i32;
+    if (-2..=3).contains(&exp) {
+        format!("{x:.3}")
+    } else {
+        let mantissa = x / 10f64.powi(exp);
+        format!("{mantissa:.2}e{exp}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_renders_aligned() {
+        let mut t = Table::new("Demo", &["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.footnote("note");
+        let md = t.to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| a | long-header |"));
+        assert!(md.contains("_note_"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut t = Table::new("csv", &["x", "y"]);
+        t.row(vec!["1".into(), "he,llo".into()]);
+        let dir = std::env::temp_dir().join("cargo_bench_output_test");
+        let path = t.write_csv(&dir, "demo").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "x,y\n1,\"he,llo\"\n");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn sci_formatting() {
+        assert_eq!(sci(0.0), "0");
+        assert_eq!(sci(109_000.0), "1.09e5");
+        assert_eq!(sci(0.00211), "2.11e-3");
+        assert_eq!(sci(2.5), "2.500");
+    }
+}

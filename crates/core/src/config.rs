@@ -1,0 +1,118 @@
+//! Configuration of a CARGO run.
+
+use cargo_dp::{EpsilonSplit, PrivacyBudget};
+
+/// Tunable parameters of the CARGO pipeline (defaults follow the
+/// paper's experimental setting, Section V-A).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CargoConfig {
+    /// Total privacy budget `ε = ε₁ + ε₂`.
+    pub epsilon: f64,
+    /// Fraction of ε spent on the `Max` round (`ε₁ = fraction · ε`);
+    /// the paper uses 0.1.
+    pub split_fraction: f64,
+    /// Fixed-point fractional bits for encoding noise in the ring.
+    pub frac_bits: u32,
+    /// Root seed for every random choice (dealer streams, user shares,
+    /// noise) — fixed seed ⇒ bit-identical run.
+    pub seed: u64,
+    /// Worker threads for the `O(n³)` secure count (0 = all cores).
+    pub threads: usize,
+    /// Whether to run the similarity-based projection (disable only for
+    /// ablation studies; without projection the sensitivity is `n`).
+    pub projection: bool,
+}
+
+impl CargoConfig {
+    /// Creates a config with the paper's defaults and the given total ε.
+    pub fn new(epsilon: f64) -> Self {
+        CargoConfig {
+            epsilon,
+            split_fraction: 0.1,
+            frac_bits: 16,
+            seed: 0,
+            threads: 0,
+            projection: true,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the ε₁ fraction.
+    pub fn with_split_fraction(mut self, fraction: f64) -> Self {
+        self.split_fraction = fraction;
+        self
+    }
+
+    /// Sets the secure-count worker-thread count (0 = all cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Disables projection (ablation).
+    pub fn without_projection(mut self) -> Self {
+        self.projection = false;
+        self
+    }
+
+    /// The validated budget split `(ε₁, ε₂)`.
+    pub fn epsilon_split(&self) -> EpsilonSplit {
+        PrivacyBudget::new(self.epsilon).split(self.split_fraction)
+    }
+
+    /// Effective thread count.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = CargoConfig::new(2.0);
+        let s = c.epsilon_split();
+        assert!((s.epsilon1 - 0.2).abs() < 1e-12);
+        assert!((s.epsilon2 - 1.8).abs() < 1e-12);
+        assert!(c.projection);
+        assert_eq!(c.frac_bits, 16);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let c = CargoConfig::new(1.0)
+            .with_seed(9)
+            .with_split_fraction(0.5)
+            .with_threads(2)
+            .without_projection();
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.threads, 2);
+        assert!(!c.projection);
+        assert!((c.epsilon_split().epsilon1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_threads_is_positive() {
+        assert!(CargoConfig::new(1.0).effective_threads() >= 1);
+        assert_eq!(CargoConfig::new(1.0).with_threads(3).effective_threads(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn invalid_epsilon_rejected_at_split() {
+        CargoConfig::new(-1.0).epsilon_split();
+    }
+}

@@ -1,0 +1,376 @@
+//! Algorithm 4 — `Count`: ASS-based secure triangle counting.
+//!
+//! Every user secret-shares each bit of her (projected) adjacent bit
+//! vector to the two servers; the servers then evaluate, for every
+//! triple `i < j < k`, the three-value product
+//! `u = a_ij · a_ik · a_jk` with the Multiplication-Group protocol of
+//! [`cargo_mpc::triple_mul`] and accumulate `⟨T⟩₁, ⟨T⟩₂`. Neither
+//! server learns anything: every opened value is one-time-padded, and
+//! the accumulated shares are uniform.
+//!
+//! ## Engineering notes
+//!
+//! * **Share expansion.** User bit shares are expanded from a PRF
+//!   (`⟨a_ij⟩₁ = PRF(seed, i, j)`, `⟨a_ij⟩₂ = a_ij − ⟨a_ij⟩₁`) instead of
+//!   materialising two `n × n` ring matrices; this mirrors how real
+//!   deployments compress input sharing with a PRG and keeps the memory
+//!   footprint at the bit matrix itself.
+//! * **Streaming dealer.** Each outer index `i` gets an independent
+//!   dealer stream, so results are bit-identical for any thread count.
+//! * **The hot kernel** is an inlined transcription of the
+//!   [`cargo_mpc::mul3`] protocol; [`secure_count_reference`] runs the
+//!   un-inlined protocol object and the test suite checks the two agree
+//!   on every input class.
+//! * **Communication accounting.** The `e, f, g` openings of all
+//!   triples sharing an `(i, j)` pair are batched into one round
+//!   (3·(n−j−1) elements each way), which is how any sane deployment
+//!   would schedule them; element/byte counts are per-triple exact.
+
+use cargo_graph::BitMatrix;
+use cargo_mpc::{mul3, Dealer, NetStats, Ring64, SplitMix64};
+
+/// Result of the secure count: the two servers' shares of the exact
+/// triangle count plus cost accounting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SecureCountResult {
+    /// Server S₁'s share `⟨T⟩₁`.
+    pub share1: Ring64,
+    /// Server S₂'s share `⟨T⟩₂`.
+    pub share2: Ring64,
+    /// Server↔server traffic of the online phase.
+    pub net: NetStats,
+    /// Ring elements uploaded by users when input-sharing their bit
+    /// vectors (`2n²`: each of `n` users shares `n` bits to 2 servers).
+    pub upload_elements: u64,
+    /// Number of triples evaluated (`C(n, 3)`).
+    pub triples: u64,
+}
+
+impl SecureCountResult {
+    /// Reconstructs the exact count (done only at the very end of the
+    /// pipeline, after noise has been added — exposed for tests and for
+    /// the non-private ablation).
+    pub fn reconstruct(&self) -> Ring64 {
+        self.share1 + self.share2
+    }
+}
+
+/// PRF expanding user bit-shares: uniform in `Z_{2^64}`, keyed by
+/// `(seed, i, j)`.
+#[inline(always)]
+fn share_prf(seed: u64, i: u32, j: u32) -> u64 {
+    let mut z = seed ^ (((i as u64) << 32) | j as u64).wrapping_mul(0x9E3779B97F4A7C15);
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Mixes the root seed with an outer index to key that index's dealer
+/// stream (thread-count independent).
+#[inline]
+fn dealer_seed(root: u64, i: usize) -> u64 {
+    let mut g = SplitMix64::new(root ^ (i as u64).wrapping_mul(0xA24BAED4963EE407));
+    g.next_u64()
+}
+
+/// Runs the secure count over the (projected, possibly asymmetric)
+/// adjacency matrix.
+///
+/// * `seed` keys every random choice (input shares + dealer streams).
+/// * `threads` — worker threads (0 ⇒ all cores). The result is
+///   identical for every thread count.
+pub fn secure_triangle_count(matrix: &BitMatrix, seed: u64, threads: usize) -> SecureCountResult {
+    let n = matrix.n();
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+    .max(1);
+
+    let workers = threads.min(n.max(1));
+    let results: Vec<(Ring64, Ring64, NetStats, u64)> = if workers <= 1 || n < 64 {
+        vec![count_range(matrix, seed, 0, 1)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| scope.spawn(move || count_range(matrix, seed, w, workers)))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        })
+    };
+
+    let mut share1 = Ring64::ZERO;
+    let mut share2 = Ring64::ZERO;
+    let mut net = NetStats::new();
+    let mut triples = 0u64;
+    for (s1, s2, stats, t) in results {
+        share1 += s1;
+        share2 += s2;
+        net.merge(&stats);
+        triples += t;
+    }
+    SecureCountResult {
+        share1,
+        share2,
+        net,
+        upload_elements: 2 * (n as u64) * (n as u64),
+        triples,
+    }
+}
+
+/// Counts all triples whose outer index `i ≡ worker (mod stride)`.
+/// This is the hot kernel: an inlined, batched transcription of the
+/// MG multiplication protocol.
+fn count_range(
+    matrix: &BitMatrix,
+    seed: u64,
+    worker: usize,
+    stride: usize,
+) -> (Ring64, Ring64, NetStats, u64) {
+    let n = matrix.n();
+    let mut t1 = 0u64; // ⟨T⟩₁ accumulator (wrapping u64 = Ring64)
+    let mut t2 = 0u64;
+    let mut net = NetStats::new();
+    let mut triples = 0u64;
+
+    for i in (worker..n).step_by(stride) {
+        let mut dealer = SplitMix64::new(dealer_seed(seed, i));
+        let row_i = matrix.row(i);
+        for j in (i + 1)..n {
+            let batch = (n - j - 1) as u64;
+            if batch == 0 {
+                break;
+            }
+            // User i's shares of a_ij — fixed across the k loop.
+            let aij = row_i.get(j) as u64;
+            let aij1 = share_prf(seed, i as u32, j as u32);
+            let aij2 = aij.wrapping_sub(aij1);
+            let row_j = matrix.row(j);
+            // One communication round opens e,f,g for the whole batch.
+            net.exchange(3 * batch);
+            for k in (j + 1)..n {
+                // Offline: one Multiplication Group from the stream.
+                let x1 = dealer.next_u64();
+                let x2 = dealer.next_u64();
+                let y1 = dealer.next_u64();
+                let y2 = dealer.next_u64();
+                let z1 = dealer.next_u64();
+                let z2 = dealer.next_u64();
+                let x = x1.wrapping_add(x2);
+                let y = y1.wrapping_add(y2);
+                let z = z1.wrapping_add(z2);
+                let o = x.wrapping_mul(y);
+                let p = x.wrapping_mul(z);
+                let q = y.wrapping_mul(z);
+                let w = o.wrapping_mul(z);
+                let o1 = dealer.next_u64();
+                let o2 = o.wrapping_sub(o1);
+                let p1 = dealer.next_u64();
+                let p2 = p.wrapping_sub(p1);
+                let q1 = dealer.next_u64();
+                let q2 = q.wrapping_sub(q1);
+                let w1 = dealer.next_u64();
+                let w2 = w.wrapping_sub(w1);
+
+                // User shares of a_ik (row i) and a_jk (row j).
+                let aik = row_i.get(k) as u64;
+                let aik1 = share_prf(seed, i as u32, k as u32);
+                let aik2 = aik.wrapping_sub(aik1);
+                let ajk = row_j.get(k) as u64;
+                let ajk1 = share_prf(seed, j as u32, k as u32);
+                let ajk2 = ajk.wrapping_sub(ajk1);
+
+                // Online step 1: local maskings.
+                let e1 = aij1.wrapping_sub(x1);
+                let e2 = aij2.wrapping_sub(x2);
+                let f1 = aik1.wrapping_sub(y1);
+                let f2 = aik2.wrapping_sub(y2);
+                let g1 = ajk1.wrapping_sub(z1);
+                let g2 = ajk2.wrapping_sub(z2);
+                // Step 2: openings (batched above in `net`).
+                let e = e1.wrapping_add(e2);
+                let f = f1.wrapping_add(f2);
+                let g = g1.wrapping_add(g2);
+                // Step 3: local combination (Theorem 1's formula).
+                let fg = f.wrapping_mul(g);
+                let eg = e.wrapping_mul(g);
+                let ef = e.wrapping_mul(f);
+                let u1 = w1
+                    .wrapping_add(o1.wrapping_mul(g))
+                    .wrapping_add(p1.wrapping_mul(f))
+                    .wrapping_add(q1.wrapping_mul(e))
+                    .wrapping_add(x1.wrapping_mul(fg))
+                    .wrapping_add(y1.wrapping_mul(eg))
+                    .wrapping_add(z1.wrapping_mul(ef));
+                let u2 = w2
+                    .wrapping_add(o2.wrapping_mul(g))
+                    .wrapping_add(p2.wrapping_mul(f))
+                    .wrapping_add(q2.wrapping_mul(e))
+                    .wrapping_add(x2.wrapping_mul(fg))
+                    .wrapping_add(y2.wrapping_mul(eg))
+                    .wrapping_add(z2.wrapping_mul(ef))
+                    .wrapping_add(ef.wrapping_mul(g));
+                t1 = t1.wrapping_add(u1);
+                t2 = t2.wrapping_add(u2);
+                triples += 1;
+            }
+        }
+    }
+    (Ring64(t1), Ring64(t2), net, triples)
+}
+
+/// Reference implementation: drives the *protocol objects* from
+/// `cargo-mpc` (one [`mul3`] call per triple, shares via
+/// [`Dealer::share`]) with no batching or inlining. Quadratically
+/// slower; exists so tests can pin the optimised kernel to the
+/// protocol's semantics.
+pub fn secure_count_reference(matrix: &BitMatrix, seed: u64) -> SecureCountResult {
+    let n = matrix.n();
+    let mut dealer = Dealer::new(seed);
+    let mut net = NetStats::new();
+    let mut share1 = Ring64::ZERO;
+    let mut share2 = Ring64::ZERO;
+    let mut triples = 0u64;
+    // Input sharing: each user's row, bit by bit.
+    let mut s1 = vec![vec![Ring64::ZERO; n]; n];
+    let mut s2 = vec![vec![Ring64::ZERO; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            let p = dealer.share(Ring64::from_bit(matrix.get(i, j)));
+            s1[i][j] = p.s1;
+            s2[i][j] = p.s2;
+        }
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            for k in (j + 1)..n {
+                let mg = dealer.mul_group();
+                let (u1, u2) = mul3(
+                    (s1[i][j], s2[i][j]),
+                    (s1[i][k], s2[i][k]),
+                    (s1[j][k], s2[j][k]),
+                    mg,
+                    &mut net,
+                );
+                share1 += u1;
+                share2 += u2;
+                triples += 1;
+            }
+        }
+    }
+    SecureCountResult {
+        share1,
+        share2,
+        net,
+        upload_elements: 2 * (n as u64) * (n as u64),
+        triples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cargo_graph::generators::{barabasi_albert, erdos_renyi};
+    use cargo_graph::{count_triangles_matrix, Graph};
+
+    #[test]
+    fn secure_count_matches_plaintext_on_random_graphs() {
+        for seed in 0..3u64 {
+            let g = erdos_renyi(80, 0.2, seed);
+            let m = g.to_bit_matrix();
+            let want = count_triangles_matrix(&m);
+            let res = secure_triangle_count(&m, seed, 1);
+            assert_eq!(res.reconstruct(), Ring64(want), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn secure_count_matches_reference_protocol() {
+        let g = erdos_renyi(24, 0.3, 5);
+        let m = g.to_bit_matrix();
+        let fast = secure_triangle_count(&m, 7, 1);
+        let slow = secure_count_reference(&m, 7);
+        // Different randomness ⇒ different shares, same reconstruction.
+        assert_eq!(fast.reconstruct(), slow.reconstruct());
+        assert_eq!(fast.triples, slow.triples);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_result() {
+        let g = barabasi_albert(120, 5, 1);
+        let m = g.to_bit_matrix();
+        let one = secure_triangle_count(&m, 3, 1);
+        let four = secure_triangle_count(&m, 3, 4);
+        let many = secure_triangle_count(&m, 3, 16);
+        assert_eq!(one.share1, four.share1);
+        assert_eq!(one.share2, four.share2);
+        assert_eq!(four.reconstruct(), many.reconstruct());
+    }
+
+    #[test]
+    fn works_on_asymmetric_projected_matrices() {
+        // Triangle 0-1-2; user 1 deleted a_12 → no triangle counted.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (2, 3)]).unwrap();
+        let mut m = g.to_bit_matrix();
+        assert_eq!(
+            secure_triangle_count(&m, 1, 1).reconstruct(),
+            Ring64(1)
+        );
+        m.set(1, 2, false);
+        assert_eq!(
+            secure_triangle_count(&m, 1, 1).reconstruct(),
+            Ring64(count_triangles_matrix(&m))
+        );
+        assert_eq!(secure_triangle_count(&m, 1, 1).reconstruct(), Ring64(0));
+    }
+
+    #[test]
+    fn individual_shares_are_not_the_count() {
+        // A share alone reveals nothing: on a graph with T = 4 the
+        // share should (overwhelmingly) not equal 4.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
+        let res = secure_triangle_count(&g.to_bit_matrix(), 99, 1);
+        assert_eq!(res.reconstruct(), Ring64(4));
+        assert_ne!(res.share1, Ring64(4));
+        assert_ne!(res.share2, Ring64(4));
+        // And shares should be "large" (uniform-looking), not small ints.
+        assert!(res.share1.to_u64() > 1 << 32 || res.share2.to_u64() > 1 << 32);
+    }
+
+    #[test]
+    fn communication_matches_triple_count() {
+        let n = 20;
+        let g = erdos_renyi(n, 0.5, 2);
+        let res = secure_triangle_count(&g.to_bit_matrix(), 1, 1);
+        let c3 = (n * (n - 1) * (n - 2) / 6) as u64;
+        assert_eq!(res.triples, c3);
+        // 3 openings each way per triple.
+        assert_eq!(res.net.elements, 6 * c3);
+        assert_eq!(res.upload_elements, 2 * (n * n) as u64);
+        // Rounds: one per (i,j) pair with a non-empty k range.
+        let pairs_with_k = (n - 2) * (n - 1) / 2;
+        assert_eq!(res.net.rounds, pairs_with_k as u64);
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let m = Graph::empty(2).to_bit_matrix();
+        let res = secure_triangle_count(&m, 1, 1);
+        assert_eq!(res.reconstruct(), Ring64::ZERO);
+        assert_eq!(res.triples, 0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = erdos_renyi(50, 0.2, 3);
+        let m = g.to_bit_matrix();
+        let a = secure_triangle_count(&m, 11, 2);
+        let b = secure_triangle_count(&m, 11, 2);
+        assert_eq!(a, b);
+        let c = secure_triangle_count(&m, 12, 2);
+        assert_eq!(a.reconstruct(), c.reconstruct());
+        assert_ne!(a.share1, c.share1, "different seed, different shares");
+    }
+}

@@ -1,0 +1,62 @@
+//! # cargo-core — the CARGO protocol
+//!
+//! Implementation of **"CARGO: Crypto-Assisted Differentially Private
+//! Triangle Counting without Trusted Servers"** (ICDE 2024). CARGO
+//! computes a noisy triangle count `T'` of a distributed graph under
+//! `(ε₁ + ε₂)`-Edge Distributed DP using two semi-honest non-colluding
+//! servers — central-model utility without a trusted server.
+//!
+//! The public API mirrors Algorithm 1:
+//!
+//! | Paper | Module | What it does |
+//! |---|---|---|
+//! | Algorithm 1 | [`protocol`] | End-to-end orchestration ([`CargoSystem`]) |
+//! | Algorithm 2 `Max` | [`max_degree`] | ε₁-Edge-LDP estimate of `d_max` |
+//! | Algorithm 3 `Project` | [`projection`] | Similarity-based local projection |
+//! | Algorithm 4 `Count` | [`count`] | ASS-based secure exact count |
+//! | Algorithm 5 `Perturb` | [`mod@perturb`] | Distributed Laplace perturbation |
+//! | Section III-B ext. | [`node_dp`] | Node-DP variant (sensitivity updates) |
+//! | Table II | [`theory`] | Closed-form utility/cost bounds |
+//! | Section II-A3 | [`metrics`] | l2 loss and relative error |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cargo_core::{CargoConfig, CargoSystem};
+//! use cargo_graph::generators::barabasi_albert;
+//!
+//! // 200 users who each hold one row of the adjacency matrix.
+//! let graph = barabasi_albert(200, 4, 7);
+//! let config = CargoConfig::new(2.0).with_seed(42);
+//! let output = CargoSystem::new(config).run(&graph);
+//!
+//! // The protocol's differentially private estimate:
+//! let t_noisy = output.noisy_count;
+//! // Ground truth (available here because this is a simulation):
+//! let t_true = output.true_count as f64;
+//! assert!((t_noisy - t_true).abs() / t_true < 0.5);
+//! ```
+
+pub mod config;
+pub mod count;
+pub mod count_runtime;
+pub mod count_sampled;
+pub mod max_degree;
+pub mod metrics;
+pub mod node_dp;
+pub mod perturb;
+pub mod projection;
+pub mod sensitivity;
+pub mod protocol;
+pub mod theory;
+
+pub use config::CargoConfig;
+pub use count::{secure_triangle_count, SecureCountResult};
+pub use count_runtime::threaded_secure_count;
+pub use count_sampled::{secure_triangle_count_sampled, SampledCountResult};
+pub use max_degree::{estimate_max_degree, MaxDegreeEstimate};
+pub use metrics::{l2_loss, relative_error};
+pub use perturb::{perturb, PerturbResult};
+pub use projection::{project_matrix, project_user_row, ProjectionResult};
+pub use sensitivity::{local_sensitivity, smooth_sensitivity, smooth_sensitivity_mechanism};
+pub use protocol::{CargoOutput, CargoSystem, StepTimings};

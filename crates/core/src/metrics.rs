@@ -1,0 +1,76 @@
+//! Utility metrics (Section II-A3).
+//!
+//! `l2(T, T') = (T − T')²` and `re(T, T') = |T − T'| / T`; the
+//! experiments report both, averaged over repeated trials.
+
+/// Squared error between the true and estimated triangle counts.
+pub fn l2_loss(t_true: f64, t_est: f64) -> f64 {
+    let d = t_true - t_est;
+    d * d
+}
+
+/// Relative error `|T − T'| / T`.
+///
+/// # Panics
+/// Panics if `t_true == 0` (the paper defines the metric only for
+/// `T ≠ 0`).
+pub fn relative_error(t_true: f64, t_est: f64) -> f64 {
+    assert!(t_true != 0.0, "relative error undefined for T = 0");
+    (t_true - t_est).abs() / t_true.abs()
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Median of a slice (0 for empty input).
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_is_squared_difference() {
+        assert_eq!(l2_loss(10.0, 7.0), 9.0);
+        assert_eq!(l2_loss(7.0, 10.0), 9.0);
+        assert_eq!(l2_loss(5.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn relative_error_basic() {
+        assert!((relative_error(100.0, 90.0) - 0.1).abs() < 1e-12);
+        assert!((relative_error(100.0, 110.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined")]
+    fn relative_error_zero_truth_panics() {
+        relative_error(0.0, 1.0);
+    }
+
+    #[test]
+    fn mean_and_median() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+    }
+}

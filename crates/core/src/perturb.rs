@@ -1,0 +1,199 @@
+//! Algorithm 5 — `Perturb`: distributed perturbation.
+//!
+//! Each user samples the partial noise
+//! `γᵢ = Gam₁(1/n, Δ/ε₂) − Gam₂(1/n, Δ/ε₂)` (Lemma 1), encodes it in
+//! fixed point, splits it into additive shares and uploads one share to
+//! each server. The servers aggregate the noise shares, add them to
+//! their (denominator-aligned) count shares, exchange the final shares
+//! and reconstruct the noisy count `T'`. Privacy: the aggregate noise
+//! is exactly `Lap(Δ/ε₂)`, giving ε₂-Edge DDP (Theorem 4); no server
+//! ever sees an individual γᵢ or the un-noised count.
+
+use cargo_dp::{DistributedLaplace, FixedPointCodec};
+use cargo_mpc::{share_with, NetStats, Ring64, SplitMix64};
+use rand::Rng;
+
+/// Result of the perturbation step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerturbResult {
+    /// The reconstructed, differentially private triangle count.
+    pub noisy_count: f64,
+    /// Server↔server traffic (the single final exchange).
+    pub net: NetStats,
+    /// Ring elements uploaded by users (one noise share to each
+    /// server: `2n`).
+    pub upload_elements: u64,
+}
+
+/// Runs Algorithm 5 on the two servers' count shares.
+///
+/// * `share1`, `share2` — `⟨T⟩₁, ⟨T⟩₂` from the secure count (integer-
+///   valued secret).
+/// * `n_users` — number of users contributing partial noise.
+/// * `sensitivity` — Δ of the triangle query after projection
+///   (`d'_max`).
+/// * `epsilon2` — the perturbation budget.
+/// * `codec` — fixed-point encoding for the real-valued noise.
+/// * `noise_rng` — randomness for the users' Gamma draws.
+/// * `share_seed` — randomness for the users' secret-sharing of noise.
+pub struct PerturbInputs<'a, R: Rng + ?Sized> {
+    /// `⟨T⟩₁`.
+    pub share1: Ring64,
+    /// `⟨T⟩₂`.
+    pub share2: Ring64,
+    /// Number of users `n`.
+    pub n_users: usize,
+    /// Sensitivity Δ (= `d'_max` in CARGO).
+    pub sensitivity: f64,
+    /// Perturbation budget ε₂.
+    pub epsilon2: f64,
+    /// Fixed-point codec.
+    pub codec: FixedPointCodec,
+    /// Users' noise randomness.
+    pub noise_rng: &'a mut R,
+    /// Seed for the users' share-splitting PRG.
+    pub share_seed: u64,
+}
+
+/// Runs the distributed perturbation. See [`PerturbInputs`] for the
+/// parameters.
+pub fn perturb<R: Rng + ?Sized>(inputs: PerturbInputs<'_, R>) -> PerturbResult {
+    let PerturbInputs {
+        share1,
+        share2,
+        n_users,
+        sensitivity,
+        epsilon2,
+        codec,
+        noise_rng,
+        share_seed,
+    } = inputs;
+    let dist = DistributedLaplace::new(n_users, sensitivity, epsilon2);
+    let mut share_rng = SplitMix64::new(share_seed);
+    // Users: sample γᵢ, encode, split, upload (lines 1–6).
+    let mut gamma1 = Ring64::ZERO;
+    let mut gamma2 = Ring64::ZERO;
+    for _ in 0..n_users {
+        let gamma = dist.sample_partial(noise_rng);
+        let encoded = codec.encode(gamma);
+        let pair = share_with(encoded, &mut share_rng);
+        // Servers aggregate as the shares arrive (lines 7–8).
+        gamma1 += pair.s1;
+        gamma2 += pair.s2;
+    }
+    // Servers: align the count shares to the fixed-point denominator
+    // and add the aggregated noise shares (lines 9–10).
+    let t1 = codec.lift_integer(share1) + gamma1;
+    let t2 = codec.lift_integer(share2) + gamma2;
+    // Final exchange and reconstruction (line 11).
+    let mut net = NetStats::new();
+    net.exchange(1);
+    let noisy = codec.decode(t1 + t2);
+    PerturbResult {
+        noisy_count: noisy,
+        net,
+        upload_elements: 2 * n_users as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cargo_mpc::Dealer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn shares_of(t: i64, seed: u64) -> (Ring64, Ring64) {
+        let mut d = Dealer::new(seed);
+        let p = d.share(Ring64::from_i64(t));
+        (p.s1, p.s2)
+    }
+
+    fn run_once(t: i64, n: usize, delta: f64, eps: f64, seed: u64) -> f64 {
+        let (s1, s2) = shares_of(t, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let res = perturb(PerturbInputs {
+            share1: s1,
+            share2: s2,
+            n_users: n,
+            sensitivity: delta,
+            epsilon2: eps,
+            codec: FixedPointCodec::default(),
+            noise_rng: &mut rng,
+            share_seed: seed ^ 0x1234,
+        });
+        res.noisy_count
+    }
+
+    #[test]
+    fn output_is_count_plus_laplace_noise() {
+        // Mean over trials ≈ T (unbiased); variance ≈ 2(Δ/ε)².
+        let (t, n, delta, eps) = (10_000i64, 200, 50.0, 2.0);
+        let trials = 3_000;
+        let outs: Vec<f64> = (0..trials)
+            .map(|s| run_once(t, n, delta, eps, s as u64))
+            .collect();
+        let mean = outs.iter().sum::<f64>() / trials as f64;
+        let var = outs
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / trials as f64;
+        let want_var = 2.0 * (delta / eps) * (delta / eps); // 1250
+        assert!(
+            (mean - t as f64).abs() < 3.0,
+            "mean {mean} should be near {t}"
+        );
+        assert!(
+            (var - want_var).abs() / want_var < 0.15,
+            "variance {var} vs {want_var}"
+        );
+    }
+
+    #[test]
+    fn noise_scales_inversely_with_epsilon() {
+        let spread = |eps: f64| -> f64 {
+            (0..500)
+                .map(|s| (run_once(1000, 50, 20.0, eps, 1000 + s as u64) - 1000.0).abs())
+                .sum::<f64>()
+                / 500.0
+        };
+        assert!(spread(4.0) < spread(0.5));
+    }
+
+    #[test]
+    fn negative_outputs_are_possible_and_decoded_correctly() {
+        // With a tiny count and huge noise, some outputs must be
+        // negative — exercising the two's-complement decode path.
+        let negatives = (0..200)
+            .filter(|&s| run_once(1, 20, 100.0, 0.5, 7000 + s as u64) < 0.0)
+            .count();
+        assert!(negatives > 10, "only {negatives} negative outputs");
+    }
+
+    #[test]
+    fn accounting_fields() {
+        let (s1, s2) = shares_of(5, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let res = perturb(PerturbInputs {
+            share1: s1,
+            share2: s2,
+            n_users: 33,
+            sensitivity: 4.0,
+            epsilon2: 1.0,
+            codec: FixedPointCodec::default(),
+            noise_rng: &mut rng,
+            share_seed: 3,
+        });
+        assert_eq!(res.upload_elements, 66);
+        assert_eq!(res.net.rounds, 1);
+        assert_eq!(res.net.elements, 2);
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let a = run_once(123, 40, 10.0, 1.0, 42);
+        let b = run_once(123, 40, 10.0, 1.0, 42);
+        assert_eq!(a, b);
+    }
+}

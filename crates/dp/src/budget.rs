@@ -1,0 +1,195 @@
+//! Privacy-budget bookkeeping.
+//!
+//! The paper splits the total budget `ε = ε₁ + ε₂` (Algorithm 1):
+//! `ε₁` buys the noisy maximum degree (Algorithm 2, Edge LDP) and `ε₂`
+//! the distributed perturbation (Algorithm 5, Edge DDP); Theorem 4
+//! composes them sequentially. The experiments fix the split at
+//! `ε₁ = 0.1ε, ε₂ = 0.9ε` ("triangle counting needs more privacy budget
+//! than the other information", Section V-A).
+
+/// A total privacy budget with validation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivacyBudget {
+    epsilon: f64,
+}
+
+impl PrivacyBudget {
+    /// Creates a budget.
+    ///
+    /// # Panics
+    /// Panics unless `epsilon` is finite and positive.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon.is_finite() && epsilon > 0.0,
+            "epsilon must be positive and finite, got {epsilon}"
+        );
+        PrivacyBudget { epsilon }
+    }
+
+    /// The total ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Splits into `(ε₁, ε₂)` with `ε₁ = fraction·ε`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < fraction < 1`.
+    pub fn split(&self, fraction: f64) -> EpsilonSplit {
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "split fraction must be in (0,1), got {fraction}"
+        );
+        EpsilonSplit {
+            epsilon1: self.epsilon * fraction,
+            epsilon2: self.epsilon * (1.0 - fraction),
+        }
+    }
+
+    /// The paper's default split: ε₁ = 0.1ε for `Max`, ε₂ = 0.9ε for
+    /// `Perturb`.
+    pub fn paper_split(&self) -> EpsilonSplit {
+        self.split(0.1)
+    }
+}
+
+/// A two-way budget split.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpsilonSplit {
+    /// Budget for the noisy-maximum-degree round (`Max`).
+    pub epsilon1: f64,
+    /// Budget for the count perturbation (`Perturb`).
+    pub epsilon2: f64,
+}
+
+impl EpsilonSplit {
+    /// Total consumed budget (sequential composition).
+    pub fn total(&self) -> f64 {
+        self.epsilon1 + self.epsilon2
+    }
+}
+
+/// Sequential-composition accountant: tracks ε spent by a sequence of
+/// mechanisms against a cap and refuses overdrafts.
+#[derive(Debug, Clone)]
+pub struct PrivacyAccountant {
+    cap: f64,
+    spent: f64,
+    ledger: Vec<(String, f64)>,
+}
+
+impl PrivacyAccountant {
+    /// Creates an accountant with a total cap.
+    pub fn new(cap: PrivacyBudget) -> Self {
+        PrivacyAccountant {
+            cap: cap.epsilon(),
+            spent: 0.0,
+            ledger: Vec::new(),
+        }
+    }
+
+    /// Records `epsilon` spent by `mechanism`. Returns `Err` (spending
+    /// nothing) if the cap would be exceeded beyond float tolerance.
+    pub fn spend(&mut self, mechanism: &str, epsilon: f64) -> Result<(), BudgetExceeded> {
+        assert!(epsilon > 0.0, "cannot spend non-positive epsilon");
+        if self.spent + epsilon > self.cap * (1.0 + 1e-12) {
+            return Err(BudgetExceeded {
+                requested: epsilon,
+                remaining: self.remaining(),
+            });
+        }
+        self.spent += epsilon;
+        self.ledger.push((mechanism.to_string(), epsilon));
+        Ok(())
+    }
+
+    /// Budget spent so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Budget still available.
+    pub fn remaining(&self) -> f64 {
+        (self.cap - self.spent).max(0.0)
+    }
+
+    /// The itemised ledger of `(mechanism, ε)` entries.
+    pub fn ledger(&self) -> &[(String, f64)] {
+        &self.ledger
+    }
+}
+
+/// Error returned when a mechanism asks for more budget than remains.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetExceeded {
+    /// The ε that was requested.
+    pub requested: f64,
+    /// The ε that was still available.
+    pub remaining: f64,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "privacy budget exceeded: requested ε = {}, remaining ε = {}",
+            self.requested, self.remaining
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_split_is_ten_ninety() {
+        let s = PrivacyBudget::new(2.0).paper_split();
+        assert!((s.epsilon1 - 0.2).abs() < 1e-12);
+        assert!((s.epsilon2 - 1.8).abs() < 1e-12);
+        assert!((s.total() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn custom_split() {
+        let s = PrivacyBudget::new(1.0).split(0.5);
+        assert!((s.epsilon1 - 0.5).abs() < 1e-12);
+        assert!((s.epsilon2 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_budget_panics() {
+        PrivacyBudget::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_fraction_panics() {
+        PrivacyBudget::new(1.0).split(1.0);
+    }
+
+    #[test]
+    fn accountant_tracks_and_enforces() {
+        let mut acc = PrivacyAccountant::new(PrivacyBudget::new(1.0));
+        acc.spend("max", 0.1).unwrap();
+        acc.spend("perturb", 0.9).unwrap();
+        assert!((acc.spent() - 1.0).abs() < 1e-12);
+        assert_eq!(acc.remaining(), 0.0);
+        let err = acc.spend("extra", 0.01).unwrap_err();
+        assert!(err.to_string().contains("exceeded"));
+        // Failed spend must not be recorded.
+        assert_eq!(acc.ledger().len(), 2);
+    }
+
+    #[test]
+    fn accountant_allows_exact_cap_with_float_noise() {
+        let mut acc = PrivacyAccountant::new(PrivacyBudget::new(2.0));
+        let s = PrivacyBudget::new(2.0).paper_split();
+        acc.spend("max", s.epsilon1).unwrap();
+        // 0.2 + 1.8 may exceed 2.0 by one ulp; tolerance must absorb it.
+        acc.spend("perturb", s.epsilon2).unwrap();
+    }
+}

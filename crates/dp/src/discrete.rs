@@ -1,0 +1,115 @@
+//! Discrete Laplace (two-sided geometric) mechanism.
+//!
+//! An alternative to continuous Laplace for integer-valued queries like
+//! triangle counts: `P(X = k) ∝ e^{−|k|/λ}` over ℤ. Adding it with
+//! `λ = Δ/ε` gives ε-DP without any fixed-point encoding. Used by the
+//! ablation benchmarks to quantify what the paper's continuous-noise
+//! choice costs/saves relative to a discrete mechanism.
+
+use rand::Rng;
+
+/// Samples the discrete Laplace distribution with scale `lambda`
+/// (`P(X = k) = (1−p)/(1+p) · p^{|k|}` with `p = e^{−1/λ}`).
+///
+/// # Panics
+/// Panics if `lambda` is not finite and positive.
+pub fn sample_discrete_laplace<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> i64 {
+    assert!(
+        lambda.is_finite() && lambda > 0.0,
+        "discrete Laplace scale must be positive, got {lambda}"
+    );
+    let p = (-1.0 / lambda).exp();
+    // Sample |X| from a mixture: P(|X| = 0) = (1-p)/(1+p), and for k>0
+    // P(|X| = k) = 2p^k (1-p)/(1+p). Equivalent: draw two geometric
+    // variables and subtract.
+    let g1 = sample_geometric(rng, p);
+    let g2 = sample_geometric(rng, p);
+    g1 - g2
+}
+
+/// Samples a geometric distribution on {0, 1, 2, ...} with success
+/// parameter `1 − p` (so `P(X = k) = p^k (1 − p)`), by inversion.
+fn sample_geometric<R: Rng + ?Sized>(rng: &mut R, p: f64) -> i64 {
+    if p <= 0.0 {
+        return 0;
+    }
+    let u: f64 = loop {
+        let u = rng.gen_range(0.0f64..1.0);
+        if u > 0.0 {
+            break u;
+        }
+    };
+    (u.ln() / p.ln()).floor() as i64
+}
+
+/// Variance of the discrete Laplace with scale `lambda`:
+/// `2p / (1−p)²` with `p = e^{−1/λ}`.
+pub fn discrete_laplace_variance(lambda: f64) -> f64 {
+    let p = (-1.0 / lambda).exp();
+    2.0 * p / ((1.0 - p) * (1.0 - p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_is_near_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let mean: f64 = (0..n)
+            .map(|_| sample_discrete_laplace(&mut rng, 5.0) as f64)
+            .sum::<f64>()
+            / n as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn variance_matches_formula() {
+        let lambda = 4.0;
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200_000;
+        let var: f64 = (0..n)
+            .map(|_| {
+                let x = sample_discrete_laplace(&mut rng, lambda) as f64;
+                x * x
+            })
+            .sum::<f64>()
+            / n as f64;
+        let want = discrete_laplace_variance(lambda);
+        assert!(
+            (var - want).abs() / want < 0.05,
+            "variance {var} vs {want}"
+        );
+    }
+
+    #[test]
+    fn variance_approaches_continuous_for_large_lambda() {
+        // Discrete variance → 2λ² as λ → ∞.
+        let lambda = 50.0;
+        let ratio = discrete_laplace_variance(lambda) / (2.0 * lambda * lambda);
+        assert!((ratio - 1.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn output_is_integer_valued_and_symmetric() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let pos = (0..n)
+            .filter(|_| sample_discrete_laplace(&mut rng, 2.0) > 0)
+            .count() as f64;
+        let neg_frac = pos / n as f64;
+        // Positive and negative tails are symmetric; zero has mass too,
+        // so the positive fraction is below one half.
+        assert!(neg_frac > 0.3 && neg_frac < 0.5, "positive frac {neg_frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_scale_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        sample_discrete_laplace(&mut rng, -1.0);
+    }
+}

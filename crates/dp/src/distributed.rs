@@ -1,0 +1,166 @@
+//! Distributed Laplace noise via infinite divisibility (Lemma 1).
+//!
+//! `Lap(λ) = Σ_{i=1}^{n} [Gam₁(1/n, λ) − Gam₂(1/n, λ)]` for i.i.d.
+//! Gamma variables. Each user contributes one difference — a *partial*
+//! noise that is individually far too small to protect anything, but
+//! whose aggregate provides exactly the ε-DP Laplace perturbation of
+//! the central model. This is the heart of Algorithm 5: CARGO pays the
+//! noise cost of CDP, not the two-Laplace cost of Cryptε and not the
+//! per-user cost of LDP.
+
+use crate::gamma::sample_gamma;
+use rand::Rng;
+
+/// Configuration of a distributed Laplace perturbation: `n` users
+/// jointly emulating `Lap(sensitivity / epsilon)`.
+///
+/// ```
+/// use cargo_dp::DistributedLaplace;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// let dist = DistributedLaplace::new(100, 50.0, 2.0); // Lap(25) overall
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let partials = dist.sample_all(&mut rng);
+/// assert_eq!(partials.len(), 100);
+/// // Each user's noise is tiny; the sum carries the full protection.
+/// assert!(dist.partial_variance() < dist.aggregate_variance() / 99.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributedLaplace {
+    /// Number of contributing users `n`.
+    pub n: usize,
+    /// Scale `λ = sensitivity / epsilon` of the target Laplace noise.
+    pub scale: f64,
+}
+
+impl DistributedLaplace {
+    /// Creates the configuration for `n` users targeting `Lap(Δ/ε)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, `sensitivity <= 0`, or `epsilon <= 0`.
+    pub fn new(n: usize, sensitivity: f64, epsilon: f64) -> Self {
+        assert!(n > 0, "need at least one user");
+        assert!(sensitivity > 0.0, "sensitivity must be positive");
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        DistributedLaplace {
+            n,
+            scale: sensitivity / epsilon,
+        }
+    }
+
+    /// One user's partial noise
+    /// `γᵢ = Gam₁(1/n, λ) − Gam₂(1/n, λ)` (Algorithm 5 lines 2–4).
+    pub fn sample_partial<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        partial_noise(rng, self.n, self.scale)
+    }
+
+    /// All `n` users' partial noises.
+    pub fn sample_all<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        (0..self.n).map(|_| self.sample_partial(rng)).collect()
+    }
+
+    /// Variance of the *aggregate* noise: `2λ²` (a Laplace).
+    pub fn aggregate_variance(&self) -> f64 {
+        2.0 * self.scale * self.scale
+    }
+
+    /// Variance of one partial noise: `2λ²/n` — the "minimal but
+    /// sufficient" property: each user adds a 1/n fraction of the total
+    /// noise energy.
+    pub fn partial_variance(&self) -> f64 {
+        2.0 * self.scale * self.scale / self.n as f64
+    }
+}
+
+/// Samples one partial noise `Gam₁(1/n, scale) − Gam₂(1/n, scale)`.
+pub fn partial_noise<R: Rng + ?Sized>(rng: &mut R, n: usize, scale: f64) -> f64 {
+    let shape = 1.0 / n as f64;
+    sample_gamma(rng, shape, scale) - sample_gamma(rng, shape, scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Aggregates of n partial noises must be distributed as Lap(scale):
+    /// check mean ≈ 0, variance ≈ 2·scale², symmetry, and Laplace (not
+    /// Gaussian) tail mass.
+    #[test]
+    fn aggregate_matches_laplace_moments() {
+        let dist = DistributedLaplace::new(50, 10.0, 2.0); // λ = 5
+        let mut rng = StdRng::seed_from_u64(1);
+        let trials = 20_000;
+        let sums: Vec<f64> = (0..trials)
+            .map(|_| dist.sample_all(&mut rng).iter().sum::<f64>())
+            .collect();
+        let mean = sums.iter().sum::<f64>() / trials as f64;
+        let var = sums.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / trials as f64;
+        let want_var = dist.aggregate_variance(); // 50
+        assert!(mean.abs() < 0.2, "aggregate mean {mean}");
+        assert!(
+            (var - want_var).abs() / want_var < 0.08,
+            "aggregate variance {var} vs {want_var}"
+        );
+    }
+
+    #[test]
+    fn aggregate_has_laplace_tails() {
+        // P(|X| > λ) = 1/e ≈ 0.368 for Laplace; a Gaussian with the
+        // same variance would have P(|X| > σ/√2) ≈ 0.48. Mid threshold
+        // separates them.
+        let dist = DistributedLaplace::new(20, 1.0, 1.0); // λ = 1
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 40_000;
+        let tail = (0..trials)
+            .filter(|_| dist.sample_all(&mut rng).iter().sum::<f64>().abs() > 1.0)
+            .count() as f64
+            / trials as f64;
+        let want = (-1.0f64).exp();
+        assert!((tail - want).abs() < 0.02, "tail {tail} vs laplace {want}");
+    }
+
+    #[test]
+    fn partial_noise_is_small() {
+        // "Minimal but sufficient": the per-user variance is 1/n of the
+        // aggregate's.
+        let dist = DistributedLaplace::new(100, 5.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 200_000;
+        let xs: Vec<f64> = (0..trials).map(|_| dist.sample_partial(&mut rng)).collect();
+        let var = xs.iter().map(|x| x * x).sum::<f64>() / trials as f64;
+        let want = dist.partial_variance();
+        assert!(
+            (var - want).abs() / want < 0.10,
+            "partial variance {var} vs {want}"
+        );
+    }
+
+    #[test]
+    fn partial_noise_is_symmetric_around_zero() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 100_000;
+        let mean: f64 = (0..trials)
+            .map(|_| partial_noise(&mut rng, 10, 3.0))
+            .sum::<f64>()
+            / trials as f64;
+        assert!(mean.abs() < 0.05, "partial mean {mean}");
+    }
+
+    #[test]
+    fn single_user_degenerates_to_laplace() {
+        // n = 1: Gam(1, λ) − Gam(1, λ) = Exp − Exp = Lap(λ).
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 100_000;
+        let xs: Vec<f64> = (0..trials).map(|_| partial_noise(&mut rng, 1, 2.0)).collect();
+        let var = xs.iter().map(|x| x * x).sum::<f64>() / trials as f64;
+        assert!((var - 8.0).abs() / 8.0 < 0.05, "variance {var} vs 8");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one user")]
+    fn zero_users_panics() {
+        DistributedLaplace::new(0, 1.0, 1.0);
+    }
+}

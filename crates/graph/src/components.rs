@@ -1,0 +1,142 @@
+//! Connected components and subsampling utilities.
+//!
+//! SNAP datasets are conventionally preprocessed to their largest
+//! connected component before analysis; experiment harnesses also
+//! subsample user sets. Both utilities live here so downstream users
+//! get the same preprocessing the paper's datasets received.
+
+use crate::graph::Graph;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Labels each node with a component id (`0..k`, in order of first
+/// discovery) and returns `(labels, component_count)`.
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.n();
+    let mut label = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n {
+        if label[start] != usize::MAX {
+            continue;
+        }
+        label[start] = next;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                let v = v as usize;
+                if label[v] == usize::MAX {
+                    label[v] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (label, next)
+}
+
+/// Extracts the largest connected component as a relabelled graph
+/// (ties broken by lowest component id). Returns the component graph
+/// and the original node ids it contains.
+pub fn largest_component(g: &Graph) -> (Graph, Vec<usize>) {
+    let (labels, k) = connected_components(g);
+    if k == 0 {
+        return (Graph::empty(0), Vec::new());
+    }
+    let mut sizes = vec![0usize; k];
+    for &l in &labels {
+        sizes[l] += 1;
+    }
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|&(i, &s)| (s, std::cmp::Reverse(i)))
+        .map(|(i, _)| i)
+        .expect("k > 0");
+    let nodes: Vec<usize> = (0..g.n()).filter(|&v| labels[v] == best).collect();
+    (g.induced_subgraph(&nodes), nodes)
+}
+
+/// Uniformly samples `k` distinct nodes and returns the induced
+/// subgraph (an alternative to the paper's prefix subsampling, exposed
+/// for sensitivity analyses of the sampling choice).
+pub fn random_induced_subgraph<R: Rng + ?Sized>(g: &Graph, k: usize, rng: &mut R) -> Graph {
+    let k = k.min(g.n());
+    let mut nodes: Vec<usize> = (0..g.n()).collect();
+    nodes.shuffle(rng);
+    nodes.truncate(k);
+    nodes.sort_unstable();
+    g.induced_subgraph(&nodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_triangles_and_isolate() -> Graph {
+        // Component A: 0-1-2 triangle. Component B: 3-4-5 triangle.
+        // Node 6 isolated.
+        Graph::from_edges(7, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]).unwrap()
+    }
+
+    #[test]
+    fn counts_components() {
+        let g = two_triangles_and_isolate();
+        let (labels, k) = connected_components(&g);
+        assert_eq!(k, 3);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[6], labels[0]);
+    }
+
+    #[test]
+    fn largest_component_ties_break_deterministically() {
+        let g = two_triangles_and_isolate();
+        let (lcc, nodes) = largest_component(&g);
+        assert_eq!(lcc.n(), 3);
+        assert_eq!(lcc.edge_count(), 3);
+        // Both triangles have size 3; the lower component id (nodes
+        // 0,1,2) wins.
+        assert_eq!(nodes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let (labels, k) = connected_components(&Graph::empty(0));
+        assert!(labels.is_empty());
+        assert_eq!(k, 0);
+        let (lcc, nodes) = largest_component(&Graph::empty(0));
+        assert_eq!(lcc.n(), 0);
+        assert!(nodes.is_empty());
+        // All-isolated graph: every node its own component.
+        let (_, k) = connected_components(&Graph::empty(5));
+        assert_eq!(k, 5);
+    }
+
+    #[test]
+    fn random_subgraph_has_requested_size() {
+        let g = crate::generators::barabasi_albert(100, 3, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = random_induced_subgraph(&g, 40, &mut rng);
+        assert_eq!(s.n(), 40);
+        // Oversampling clamps.
+        let all = random_induced_subgraph(&g, 1000, &mut rng);
+        assert_eq!(all.n(), 100);
+    }
+
+    #[test]
+    fn component_labels_cover_every_node() {
+        let g = crate::generators::erdos_renyi(200, 0.01, 3);
+        let (labels, k) = connected_components(&g);
+        assert!(labels.iter().all(|&l| l < k));
+        // Each edge connects same-labelled nodes.
+        for (u, v) in g.edges() {
+            assert_eq!(labels[u], labels[v]);
+        }
+    }
+}

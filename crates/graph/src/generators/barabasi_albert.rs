@@ -1,0 +1,97 @@
+//! Barabási–Albert preferential attachment.
+//!
+//! Produces heavy-tailed degree distributions like the paper's social /
+//! citation graphs; preferential attachment also induces the *triangle
+//! homogeneity* (hubs connect to hubs) that Algorithm 3 exploits.
+
+use crate::graph::{Graph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Barabási–Albert graph: starts from a clique on `m + 1` nodes, then
+/// each new node attaches to `m` distinct existing nodes chosen with
+/// probability proportional to their current degree.
+///
+/// # Panics
+/// Panics if `m == 0` or `m + 1 > n`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1, "m must be >= 1");
+    assert!(m < n, "need at least m + 1 = {} nodes, got {n}", m + 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // `targets` holds one entry per edge endpoint: sampling uniformly
+    // from it is sampling proportionally to degree.
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * m * n);
+    for u in 0..=m {
+        for v in (u + 1)..=m {
+            b.add_edge(u, v).expect("in range");
+            endpoints.push(u as u32);
+            endpoints.push(v as u32);
+        }
+    }
+    let mut chosen: Vec<u32> = Vec::with_capacity(m);
+    for v in (m + 1)..n {
+        chosen.clear();
+        while chosen.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            b.add_edge(v, t as usize).expect("in range");
+            endpoints.push(v as u32);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_is_exact() {
+        let (n, m) = (300, 4);
+        let g = barabasi_albert(n, m, 5);
+        // Initial clique + m edges per subsequent node.
+        let expected = m * (m + 1) / 2 + m * (n - m - 1);
+        assert_eq!(g.edge_count(), expected);
+    }
+
+    #[test]
+    fn min_degree_is_at_least_m() {
+        let g = barabasi_albert(200, 3, 6);
+        assert!(g.degrees().iter().all(|&d| d >= 3));
+    }
+
+    #[test]
+    fn produces_hubs() {
+        let g = barabasi_albert(1000, 3, 8);
+        // Scale-free graphs have dmax far above the mean degree.
+        let mean = 2.0 * g.edge_count() as f64 / g.n() as f64;
+        assert!(
+            g.max_degree() as f64 > 4.0 * mean,
+            "dmax {} vs mean {mean}",
+            g.max_degree()
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        assert_eq!(barabasi_albert(150, 2, 3), barabasi_albert(150, 2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "m must be >= 1")]
+    fn zero_m_panics() {
+        barabasi_albert(10, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nodes")]
+    fn too_small_n_panics() {
+        barabasi_albert(3, 3, 1);
+    }
+}

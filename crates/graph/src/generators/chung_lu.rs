@@ -1,0 +1,181 @@
+//! Chung–Lu random graphs with a prescribed expected-degree sequence.
+//!
+//! This is the generator the dataset presets are built on: given target
+//! `(|V|, |E|, d_max)` statistics from Table IV of the paper, we fit a
+//! truncated power-law weight sequence and sample edges with probability
+//! `p_uv = min(1, w_u w_v / Σw)`. High-weight nodes then reproduce both
+//! the hubs and the hub-to-hub triangles of the real datasets.
+
+use crate::graph::{Graph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a truncated power-law weight sequence with exponent `gamma`,
+/// maximum weight `w_max`, scaled so the weights sum to `target_sum`
+/// (≈ 2|E| for a Chung–Lu graph).
+///
+/// Weights are `w_i ∝ (i + i0)^{-1/(gamma-1)}`, the standard inverse-CDF
+/// form, with `i0` chosen so `w_0 = w_max` after scaling.
+pub fn power_law_weights(n: usize, gamma: f64, w_max: f64, target_sum: f64) -> Vec<f64> {
+    assert!(gamma > 1.0, "power-law exponent must exceed 1");
+    assert!(n > 0);
+    let alpha = 1.0 / (gamma - 1.0);
+    // Raw shape: s_i = (i + 1)^{-alpha}. Then scale+clip iteratively so
+    // that max == w_max and sum == target_sum approximately.
+    let raw: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(-alpha)).collect();
+    let raw_sum: f64 = raw.iter().sum();
+    let mut weights: Vec<f64> = raw.iter().map(|s| s * target_sum / raw_sum).collect();
+    // Clip to w_max and redistribute the clipped mass onto the tail a few
+    // times; convergence is fast because the head is tiny.
+    for _ in 0..8 {
+        let mut excess = 0.0;
+        let mut unclipped_sum = 0.0;
+        for w in weights.iter_mut() {
+            if *w > w_max {
+                excess += *w - w_max;
+                *w = w_max;
+            } else {
+                unclipped_sum += *w;
+            }
+        }
+        if excess < 1e-9 || unclipped_sum == 0.0 {
+            break;
+        }
+        let scale = (unclipped_sum + excess) / unclipped_sum;
+        for w in weights.iter_mut() {
+            if *w < w_max {
+                *w = (*w * scale).min(w_max);
+            }
+        }
+    }
+    weights
+}
+
+/// Samples a Chung–Lu graph from an explicit weight sequence.
+///
+/// Edge `{u, v}` (u ≠ v) appears independently with probability
+/// `min(1, w_u w_v / Σw)`. Implemented with the Miller–Hagberg efficient
+/// algorithm (weights sorted descending, geometric skipping), giving
+/// `O(n + |E|)` expected time.
+pub fn chung_lu_from_weights(weights: &[f64], seed: u64) -> Graph {
+    let n = weights.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    // Sort node ids by weight descending (stable for determinism).
+    order.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).unwrap());
+    let w_sorted: Vec<f64> = order.iter().map(|&i| weights[i]).collect();
+    let s: f64 = w_sorted.iter().sum();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    if n < 2 || s <= 0.0 {
+        return b.build();
+    }
+    for i in 0..(n - 1) {
+        let wi = w_sorted[i];
+        if wi <= 0.0 {
+            break;
+        }
+        let mut j = i + 1;
+        // Upper bound on p over the remaining (sorted) tail.
+        let mut p = (wi * w_sorted[j] / s).min(1.0);
+        while j < n && p > 0.0 {
+            if p < 1.0 {
+                let r: f64 = rng.gen_range(0.0f64..1.0);
+                let skip = ((1.0 - r).ln() / (1.0 - p).ln()).floor() as usize;
+                j += skip;
+            }
+            if j >= n {
+                break;
+            }
+            let q = (wi * w_sorted[j] / s).min(1.0);
+            // Accept with probability q / p (rejection for the varying rate).
+            if rng.gen_range(0.0f64..1.0) < q / p {
+                b.add_edge(order[i], order[j]).expect("in range");
+            }
+            p = q;
+            j += 1;
+        }
+    }
+    b.build()
+}
+
+/// Convenience wrapper: power-law weights then Chung–Lu sampling.
+///
+/// `edges_target` is the desired |E|; `d_max_target` the desired maximum
+/// degree; `gamma` the power-law exponent (2.0–3.0 typical for social
+/// networks).
+pub fn chung_lu(
+    n: usize,
+    edges_target: usize,
+    d_max_target: usize,
+    gamma: f64,
+    seed: u64,
+) -> Graph {
+    let weights = power_law_weights(
+        n,
+        gamma,
+        d_max_target as f64,
+        2.0 * edges_target as f64,
+    );
+    chung_lu_from_weights(&weights, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_respect_max_and_sum() {
+        let w = power_law_weights(1000, 2.5, 100.0, 20_000.0);
+        let max = w.iter().cloned().fold(0.0f64, f64::max);
+        let sum: f64 = w.iter().sum();
+        assert!(max <= 100.0 + 1e-6, "max {max}");
+        assert!(
+            (sum - 20_000.0).abs() / 20_000.0 < 0.05,
+            "sum {sum} not within 5% of target"
+        );
+    }
+
+    #[test]
+    fn edge_count_near_target() {
+        let target = 5_000;
+        let g = chung_lu(2_000, target, 150, 2.5, 13);
+        let got = g.edge_count() as f64;
+        assert!(
+            (got - target as f64).abs() / (target as f64) < 0.15,
+            "|E| = {got}, target {target}"
+        );
+    }
+
+    #[test]
+    fn max_degree_near_target() {
+        let g = chung_lu(2_000, 8_000, 200, 2.3, 17);
+        let dmax = g.max_degree() as f64;
+        // Max degree concentrates around the max weight; allow wide slack.
+        assert!(
+            dmax > 100.0 && dmax < 320.0,
+            "dmax = {dmax}, target 200"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = chung_lu(500, 2000, 80, 2.5, 21);
+        let b = chung_lu(500, 2000, 80, 2.5, 21);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_weights_ok() {
+        let g = chung_lu_from_weights(&[0.0, 0.0, 0.0], 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn produces_triangles_via_hubs() {
+        let g = chung_lu(1_500, 10_000, 300, 2.2, 29);
+        assert!(
+            crate::triangles::count_triangles(&g) > 100,
+            "expected hub-induced triangles"
+        );
+    }
+}

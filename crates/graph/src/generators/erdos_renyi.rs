@@ -1,0 +1,96 @@
+//! Erdős–Rényi `G(n, p)` random graphs.
+
+use crate::graph::{Graph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples `G(n, p)`: every unordered pair is an edge independently with
+/// probability `p`.
+///
+/// Uses geometric skipping (Batagelj–Brandes) so the cost is
+/// `O(n + |E|)` rather than `O(n²)` for sparse graphs.
+///
+/// # Panics
+/// Panics if `p` is not in `\[0, 1\]`.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    let mut b = GraphBuilder::new(n);
+    if n < 2 || p == 0.0 {
+        return b.build();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    if p >= 1.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                b.add_edge(u, v).expect("in range");
+            }
+        }
+        return b.build();
+    }
+    // Walk the strictly-upper-triangular pair sequence with geometric
+    // jumps of length ~Geom(p).
+    let lp = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    let n = n as i64;
+    while v < n {
+        let r: f64 = rng.gen_range(0.0..1.0);
+        let skip = ((1.0 - r).ln() / lp).floor() as i64;
+        w += 1 + skip;
+        while w >= v && v < n {
+            w -= v;
+            v += 1;
+        }
+        if v < n {
+            b.add_edge(w as usize, v as usize).expect("in range");
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_zero_gives_empty_graph() {
+        let g = erdos_renyi(50, 0.0, 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn p_one_gives_complete_graph() {
+        let g = erdos_renyi(20, 1.0, 1);
+        assert_eq!(g.edge_count(), 20 * 19 / 2);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = erdos_renyi(100, 0.1, 99);
+        let b = erdos_renyi(100, 0.1, 99);
+        assert_eq!(a, b);
+        let c = erdos_renyi(100, 0.1, 100);
+        assert_ne!(a, c, "different seeds should (a.s.) differ");
+    }
+
+    #[test]
+    fn edge_count_near_expectation() {
+        let n = 400;
+        let p = 0.05;
+        let g = erdos_renyi(n, p, 7);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.edge_count() as f64;
+        // 5 standard deviations of Binomial(n(n-1)/2, p).
+        let sd = (expected * (1.0 - p)).sqrt();
+        assert!(
+            (got - expected).abs() < 5.0 * sd,
+            "edge count {got} too far from expectation {expected}"
+        );
+    }
+
+    #[test]
+    fn tiny_graphs_do_not_panic() {
+        assert_eq!(erdos_renyi(0, 0.5, 1).n(), 0);
+        assert_eq!(erdos_renyi(1, 0.5, 1).edge_count(), 0);
+    }
+}

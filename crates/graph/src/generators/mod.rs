@@ -1,0 +1,21 @@
+//! Synthetic graph generators.
+//!
+//! All generators are deterministic given their seed (they use
+//! `rand::rngs::StdRng` seeded explicitly) so that experiments are
+//! reproducible run-to-run.
+//!
+//! The [`presets`] module layers dataset-calibrated generators on top,
+//! standing in for the paper's SNAP datasets when the real edge lists
+//! are absent (see DESIGN.md §4, substitution 1).
+
+mod barabasi_albert;
+mod chung_lu;
+mod erdos_renyi;
+pub mod presets;
+mod watts_strogatz;
+
+pub use barabasi_albert::barabasi_albert;
+pub use chung_lu::{chung_lu, chung_lu_from_weights, power_law_weights};
+pub use erdos_renyi::erdos_renyi;
+pub use presets::{SnapDataset, SyntheticPreset};
+pub use watts_strogatz::watts_strogatz;

@@ -1,0 +1,109 @@
+//! Watts–Strogatz small-world graphs.
+//!
+//! High clustering coefficient at low rewiring probability — a useful
+//! stress case for triangle-counting protocols because nearly every
+//! edge participates in triangles (the opposite extreme from
+//! Erdős–Rényi).
+
+use crate::graph::{Graph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Watts–Strogatz graph: ring lattice where each node connects to its
+/// `k` nearest neighbours (`k` even), then each lattice edge is rewired
+/// to a uniform random endpoint with probability `beta`.
+///
+/// # Panics
+/// Panics if `k` is odd, `k == 0`, `k >= n`, or `beta ∉ \[0, 1\]`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> Graph {
+    assert!(k > 0 && k.is_multiple_of(2), "k must be positive and even, got {k}");
+    assert!(k < n, "k = {k} must be < n = {n}");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Start from the ring lattice as an explicit edge set for rewiring.
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(n * k / 2);
+    for u in 0..n {
+        for d in 1..=(k / 2) {
+            let v = (u + d) % n;
+            edges.push((u, v));
+        }
+    }
+    // Track existing edges to avoid duplicates when rewiring.
+    let mut exists = std::collections::HashSet::with_capacity(edges.len() * 2);
+    for &(u, v) in &edges {
+        exists.insert(key(u, v));
+    }
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..edges.len() {
+        if rng.gen_range(0.0f64..1.0) < beta {
+            let (u, old_v) = edges[i];
+            // Draw a new endpoint avoiding self-loops and duplicates;
+            // give up after a bounded number of tries (dense corner case).
+            for _ in 0..32 {
+                let w = rng.gen_range(0..n);
+                if w == u || exists.contains(&key(u, w)) {
+                    continue;
+                }
+                exists.remove(&key(u, old_v));
+                exists.insert(key(u, w));
+                edges[i] = (u, w);
+                break;
+            }
+        }
+    }
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in edges {
+        b.add_edge(u, v).expect("in range");
+    }
+    b.build()
+}
+
+fn key(u: usize, v: usize) -> (usize, usize) {
+    if u < v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::triangles::global_clustering_coefficient;
+
+    #[test]
+    fn beta_zero_is_ring_lattice() {
+        let g = watts_strogatz(30, 4, 0.0, 1);
+        assert_eq!(g.edge_count(), 30 * 2);
+        assert!(g.degrees().iter().all(|&d| d == 4));
+    }
+
+    #[test]
+    fn edge_count_preserved_under_rewiring() {
+        let g = watts_strogatz(100, 6, 0.3, 2);
+        assert_eq!(g.edge_count(), 100 * 3);
+    }
+
+    #[test]
+    fn low_beta_has_high_clustering() {
+        let lattice = watts_strogatz(500, 8, 0.01, 3);
+        let random = watts_strogatz(500, 8, 1.0, 3);
+        let cl = global_clustering_coefficient(&lattice).unwrap();
+        let cr = global_clustering_coefficient(&random).unwrap_or(0.0);
+        assert!(cl > 2.0 * cr, "lattice cc {cl} vs rewired cc {cr}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        assert_eq!(
+            watts_strogatz(80, 4, 0.2, 9),
+            watts_strogatz(80, 4, 0.2, 9)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_k_panics() {
+        watts_strogatz(10, 3, 0.1, 1);
+    }
+}

@@ -1,0 +1,336 @@
+//! Undirected simple graph: the canonical plaintext representation.
+//!
+//! The [`Graph`] type stores sorted adjacency lists. It is used for
+//! ground truth (exact triangle counts, degree statistics), as input to
+//! the experiments (the paper's datasets), and to derive each user's
+//! [`BitVec`] adjacent bit vector (the quantity the CARGO protocols
+//! actually consume).
+
+use crate::bitvec::{BitMatrix, BitVec};
+use crate::error::GraphError;
+
+/// An undirected, simple (no self-loops, no multi-edges) graph.
+///
+/// ```
+/// use cargo_graph::Graph;
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]).unwrap();
+/// assert_eq!(g.n(), 4);
+/// assert_eq!(g.degree(2), 3);
+/// assert_eq!(cargo_graph::count_triangles(&g), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// Sorted neighbour list per node.
+    adj: Vec<Vec<u32>>,
+    /// Number of undirected edges.
+    m: usize,
+}
+
+impl Graph {
+    /// Creates an empty graph on `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            adj: vec![Vec::new(); n],
+            m: 0,
+        }
+    }
+
+    /// Builds a graph from an edge list, ignoring duplicate edges and
+    /// rejecting self-loops / out-of-range endpoints.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Result<Self, GraphError> {
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in edges {
+            b.add_edge(u, v)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Number of nodes `n = |V|`.
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges `|E|`.
+    pub fn edge_count(&self) -> usize {
+        self.m
+    }
+
+    /// Sorted neighbours of `v`.
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// Maximum degree `d_max` (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Whether the undirected edge `{u, v}` exists (binary search).
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u].binary_search(&(v as u32)).is_ok()
+    }
+
+    /// Iterator over undirected edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            nbrs.iter()
+                .filter(move |&&v| (v as usize) > u)
+                .map(move |&v| (u, v as usize))
+        })
+    }
+
+    /// The degree sequence `D = {d_1, ..., d_n}` in node order.
+    pub fn degrees(&self) -> Vec<usize> {
+        self.adj.iter().map(Vec::len).collect()
+    }
+
+    /// User `v`'s adjacent bit vector `A_v` (Section II-A of the paper).
+    pub fn adjacency_row(&self, v: usize) -> BitVec {
+        let mut row = BitVec::zeros(self.n());
+        for &u in &self.adj[v] {
+            row.set(u as usize, true);
+        }
+        row
+    }
+
+    /// The full symmetric adjacency matrix `A` as packed bits.
+    ///
+    /// Memory is `n²/8` bytes; intended for the experiment scales of the
+    /// paper (n ≤ a few thousand). Larger graphs should stay in
+    /// adjacency-list form and be subsampled first.
+    pub fn to_bit_matrix(&self) -> BitMatrix {
+        let rows = (0..self.n()).map(|v| self.adjacency_row(v)).collect();
+        BitMatrix::from_rows(rows)
+    }
+
+    /// The induced subgraph on nodes `0..k` ("varying the number of
+    /// users n" in Figs. 7/8/11/12 of the paper: experiments keep the
+    /// first `n` users of each dataset).
+    pub fn induced_prefix(&self, k: usize) -> Graph {
+        let k = k.min(self.n());
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut m = 0usize;
+        #[allow(clippy::needless_range_loop)]
+        for u in 0..k {
+            for &v in &self.adj[u] {
+                if (v as usize) < k {
+                    adj[u].push(v);
+                    if (v as usize) > u {
+                        m += 1;
+                    }
+                }
+            }
+        }
+        Graph { adj, m }
+    }
+
+    /// The induced subgraph on an arbitrary node subset. Nodes are
+    /// relabelled `0..subset.len()` in the order given.
+    ///
+    /// # Panics
+    /// Panics if `subset` contains an out-of-range or duplicate node.
+    pub fn induced_subgraph(&self, subset: &[usize]) -> Graph {
+        let n = self.n();
+        let mut relabel = vec![usize::MAX; n];
+        for (new, &old) in subset.iter().enumerate() {
+            assert!(old < n, "subset node {old} out of range");
+            assert!(relabel[old] == usize::MAX, "duplicate node {old} in subset");
+            relabel[old] = new;
+        }
+        let mut b = GraphBuilder::new(subset.len());
+        for (new_u, &old_u) in subset.iter().enumerate() {
+            for &old_v in &self.adj[old_u] {
+                let new_v = relabel[old_v as usize];
+                if new_v != usize::MAX && new_v > new_u {
+                    b.add_edge(new_u, new_v).expect("relabelled edge in range");
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// Reconstructs a graph from a *symmetric* bit matrix.
+    ///
+    /// # Panics
+    /// Panics (debug) if the matrix is asymmetric; use
+    /// [`BitMatrix::symmetrize_and`] first for projected matrices.
+    pub fn from_bit_matrix(m: &BitMatrix) -> Graph {
+        debug_assert!(m.is_symmetric(), "from_bit_matrix requires symmetry");
+        let mut b = GraphBuilder::new(m.n());
+        for i in 0..m.n() {
+            for j in m.row(i).iter_ones() {
+                if j > i {
+                    b.add_edge(i, j).expect("in range");
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Graph[n={}, m={}, dmax={}]",
+            self.n(),
+            self.m,
+            self.max_degree()
+        )
+    }
+}
+
+/// Incremental builder that deduplicates edges and validates endpoints.
+pub struct GraphBuilder {
+    n: usize,
+    adj: Vec<Vec<u32>>,
+}
+
+impl GraphBuilder {
+    /// New builder for a graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Adds undirected edge `{u, v}`. Duplicates are ignored silently
+    /// (they are collapsed at `build` time).
+    pub fn add_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
+        if u >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: u, n: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        self.adj[u].push(v as u32);
+        self.adj[v].push(u as u32);
+        Ok(())
+    }
+
+    /// Finalises: sorts neighbour lists, removes duplicates, counts edges.
+    pub fn build(mut self) -> Graph {
+        let mut m = 0usize;
+        for list in &mut self.adj {
+            list.sort_unstable();
+            list.dedup();
+            m += list.len();
+        }
+        Graph {
+            adj: self.adj,
+            m: m / 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_pendant() -> Graph {
+        // 0-1-2 triangle, 3 pendant off 0.
+        Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (0, 3)]).unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.max_degree(), 3);
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(2, 1));
+        assert!(!g.has_edge(1, 3));
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn duplicate_edges_are_collapsed() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        assert!(matches!(
+            Graph::from_edges(3, &[(1, 1)]),
+            Err(GraphError::SelfLoop { node: 1 })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(matches!(
+            Graph::from_edges(3, &[(0, 3)]),
+            Err(GraphError::NodeOutOfRange { node: 3, n: 3 })
+        ));
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = triangle_plus_pendant();
+        let mut es: Vec<_> = g.edges().collect();
+        es.sort_unstable();
+        assert_eq!(es, vec![(0, 1), (0, 2), (0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn bit_matrix_roundtrip() {
+        let g = triangle_plus_pendant();
+        let m = g.to_bit_matrix();
+        assert!(m.is_symmetric());
+        assert_eq!(m.total_ones(), 2 * g.edge_count());
+        let g2 = Graph::from_bit_matrix(&m);
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn adjacency_row_matches_neighbors() {
+        let g = triangle_plus_pendant();
+        let row = g.adjacency_row(0);
+        let ones: Vec<usize> = row.iter_ones().collect();
+        assert_eq!(ones, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn induced_prefix_keeps_low_ids() {
+        let g = triangle_plus_pendant();
+        let h = g.induced_prefix(3);
+        assert_eq!(h.n(), 3);
+        assert_eq!(h.edge_count(), 3); // the triangle survives
+        let h2 = g.induced_prefix(2);
+        assert_eq!(h2.edge_count(), 1);
+        // Prefix larger than n is clamped.
+        assert_eq!(g.induced_prefix(100).n(), 4);
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let g = triangle_plus_pendant();
+        let h = g.induced_subgraph(&[3, 0, 2]);
+        assert_eq!(h.n(), 3);
+        // Edges among {3,0,2}: (0,3) and (0,2) → relabelled (1,0) and (1,2).
+        assert_eq!(h.edge_count(), 2);
+        assert!(h.has_edge(0, 1));
+        assert!(h.has_edge(1, 2));
+        assert!(!h.has_edge(0, 2));
+    }
+
+    #[test]
+    fn degrees_vector() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.degrees(), vec![3, 2, 2, 1]);
+    }
+}

@@ -1,0 +1,41 @@
+//! # cargo-graph — graph substrate for the CARGO reproduction
+//!
+//! This crate provides everything the CARGO protocols need to know about
+//! graphs:
+//!
+//! * [`Graph`] — an undirected, simple graph stored as sorted adjacency
+//!   lists (CSR-like), the canonical representation for ground truth and
+//!   plaintext baselines.
+//! * [`BitMatrix`] / [`BitVec`] — packed adjacency bit vectors: the paper
+//!   models each user `v_i` as owning an *adjacent bit vector*
+//!   `A_i = {a_i1, ..., a_in}`; the secure protocols operate on these.
+//! * [`generators`] — synthetic graph models (Erdős–Rényi,
+//!   Barabási–Albert, Chung–Lu, Watts–Strogatz) and SNAP-calibrated
+//!   presets standing in for the paper's datasets when the real edge
+//!   lists are not on disk.
+//! * [`io`] — SNAP edge-list reader/writer so the real datasets drop in.
+//! * [`triangles`] — exact triangle counting (node-iterator,
+//!   edge-iterator, and adjacency-matrix algorithms) used for ground
+//!   truth `T` and for per-node/per-edge triangle statistics.
+//! * [`degree`] — degree sequences and summary statistics (Table IV).
+//!
+//! The crate is dependency-light (only `rand` for the generators) and
+//! deterministic: every generator takes an explicit seed.
+
+pub mod bitvec;
+pub mod components;
+pub mod degree;
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod triangles;
+
+pub use bitvec::{BitMatrix, BitVec};
+pub use components::{connected_components, largest_component, random_induced_subgraph};
+pub use degree::{degree_sequence, DegreeStats};
+pub use error::GraphError;
+pub use graph::{Graph, GraphBuilder};
+pub use triangles::{
+    count_triangles, count_triangles_matrix, count_triangles_node_iterator, local_triangle_counts,
+};

@@ -1,0 +1,104 @@
+//! Communication accounting for the simulated two-server protocols.
+//!
+//! The experiments report protocol *cost*; since both servers run
+//! in-process, an explicit [`NetStats`] tally stands in for the wire.
+//! Every public reconstruction (`e, f, g` in the multiplication
+//! protocols; the final noisy count) goes through [`NetStats::exchange`]
+//! so message counts, byte counts, and round counts are faithful to the
+//! protocol description even though no sockets exist.
+
+/// Tally of simulated network traffic between S₁ and S₂.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Ring elements sent S₁→S₂ plus S₂→S₁.
+    pub elements: u64,
+    /// Bytes on the wire (8 bytes per ring element).
+    pub bytes: u64,
+    /// Communication rounds (a batch of parallel exchanges = 1 round).
+    pub rounds: u64,
+}
+
+impl NetStats {
+    /// A fresh, zeroed tally.
+    pub fn new() -> Self {
+        NetStats::default()
+    }
+
+    /// Records one round in which each server sends `elements_each_way`
+    /// ring elements to the other.
+    #[inline]
+    pub fn exchange(&mut self, elements_each_way: u64) {
+        self.elements += 2 * elements_each_way;
+        self.bytes += 2 * elements_each_way * 8;
+        self.rounds += 1;
+    }
+
+    /// Records extra elements inside the *current* round (batched
+    /// openings that do not add latency).
+    #[inline]
+    pub fn batched_elements(&mut self, elements_each_way: u64) {
+        self.elements += 2 * elements_each_way;
+        self.bytes += 2 * elements_each_way * 8;
+    }
+
+    /// Merges another tally into this one (summing rounds; used when
+    /// parallel workers each kept their own tally — their rounds
+    /// overlap in wall-clock but we report the sequential-equivalent
+    /// totals, which upper-bound the real cost).
+    pub fn merge(&mut self, other: &NetStats) {
+        self.elements += other.elements;
+        self.bytes += other.bytes;
+        self.rounds += other.rounds;
+    }
+}
+
+impl std::fmt::Display for NetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} ring elements, {} bytes, {} rounds",
+            self.elements, self.bytes, self.rounds
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_counts_both_directions() {
+        let mut s = NetStats::new();
+        s.exchange(3);
+        assert_eq!(s.elements, 6);
+        assert_eq!(s.bytes, 48);
+        assert_eq!(s.rounds, 1);
+    }
+
+    #[test]
+    fn batched_elements_do_not_add_rounds() {
+        let mut s = NetStats::new();
+        s.exchange(1);
+        s.batched_elements(10);
+        assert_eq!(s.rounds, 1);
+        assert_eq!(s.elements, 22);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = NetStats::new();
+        a.exchange(2);
+        let mut b = NetStats::new();
+        b.exchange(5);
+        a.merge(&b);
+        assert_eq!(a.elements, 14);
+        assert_eq!(a.rounds, 2);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut s = NetStats::new();
+        s.exchange(1);
+        assert!(s.to_string().contains("2 ring elements"));
+    }
+}

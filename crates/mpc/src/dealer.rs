@@ -1,0 +1,185 @@
+//! Streaming trusted dealer: the simulated offline phase.
+//!
+//! The paper precomputes Multiplication Groups via oblivious transfer
+//! \[42, 43\] before the online protocol starts. Materialising the
+//! `O(n³)` groups Algorithm 4 consumes would need terabytes at the
+//! paper's scales, so — like production MPC systems that expand
+//! correlated randomness from seeds — the dealer here *streams* groups
+//! from a [`SplitMix64`] generator on demand. Each group is drawn
+//! exactly as the offline phase would: masks `x, y, z` uniform in
+//! `Z_{2^64}`, products formed, every value split into two additive
+//! shares with fresh randomness.
+//!
+//! Security note: in the simulation the dealer knows the masks (as the
+//! OT sender pair effectively does in the real preprocessing); the
+//! *servers* never learn them, which is the property the semi-honest
+//! argument (Definition 6 / [`crate::view`]) relies on.
+
+use crate::beaver::BeaverShare;
+use crate::prg::SplitMix64;
+use crate::ring::Ring64;
+use crate::share::{share_with, SharePair};
+use crate::triple_mul::MulGroupShare;
+
+/// A trusted dealer producing correlated randomness for the two servers.
+#[derive(Debug, Clone)]
+pub struct Dealer {
+    rng: SplitMix64,
+}
+
+impl Dealer {
+    /// Creates a dealer from a seed.
+    pub fn new(seed: u64) -> Self {
+        Dealer {
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Access to the dealer's RNG (tests and user-side sharing reuse it
+    /// as a convenient deterministic randomness source).
+    pub fn rng_mut(&mut self) -> &mut SplitMix64 {
+        &mut self.rng
+    }
+
+    /// Derives an independent dealer for a parallel worker (`stream`
+    /// disambiguates workers).
+    pub fn fork(&mut self, stream: u64) -> Dealer {
+        Dealer {
+            rng: self.rng.split(stream),
+        }
+    }
+
+    /// Splits a value into the two servers' shares.
+    #[inline]
+    pub fn share(&mut self, v: Ring64) -> SharePair {
+        share_with(v, &mut self.rng)
+    }
+
+    /// Draws one Beaver triple `(a, b, c = ab)` and shares it.
+    pub fn beaver(&mut self) -> (BeaverShare, BeaverShare) {
+        let a = self.rng.next_ring();
+        let b = self.rng.next_ring();
+        let c = a * b;
+        let pa = self.share(a);
+        let pb = self.share(b);
+        let pc = self.share(c);
+        (
+            BeaverShare {
+                a: pa.s1,
+                b: pb.s1,
+                c: pc.s1,
+            },
+            BeaverShare {
+                a: pa.s2,
+                b: pb.s2,
+                c: pc.s2,
+            },
+        )
+    }
+
+    /// Draws one Multiplication Group
+    /// `(x, y, z, w = xyz, o = xy, p = xz, q = yz)` and shares all seven
+    /// values (Algorithm 4 line 5).
+    #[inline]
+    pub fn mul_group(&mut self) -> (MulGroupShare, MulGroupShare) {
+        let x = self.rng.next_ring();
+        let y = self.rng.next_ring();
+        let z = self.rng.next_ring();
+        let o = x * y;
+        let p = x * z;
+        let q = y * z;
+        let w = o * z;
+        let px = self.share(x);
+        let py = self.share(y);
+        let pz = self.share(z);
+        let pw = self.share(w);
+        let po = self.share(o);
+        let pp = self.share(p);
+        let pq = self.share(q);
+        (
+            MulGroupShare {
+                x: px.s1,
+                y: py.s1,
+                z: pz.s1,
+                w: pw.s1,
+                o: po.s1,
+                p: pp.s1,
+                q: pq.s1,
+            },
+            MulGroupShare {
+                x: px.s2,
+                y: py.s2,
+                z: pz.s2,
+                w: pw.s2,
+                o: po.s2,
+                p: pp.s2,
+                q: pq.s2,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::share::reconstruct;
+
+    #[test]
+    fn beaver_triples_satisfy_c_eq_ab() {
+        let mut d = Dealer::new(1);
+        for _ in 0..64 {
+            let (t1, t2) = d.beaver();
+            let a = reconstruct(t1.a, t2.a);
+            let b = reconstruct(t1.b, t2.b);
+            let c = reconstruct(t1.c, t2.c);
+            assert_eq!(c, a * b);
+        }
+    }
+
+    #[test]
+    fn mul_groups_satisfy_all_product_relations() {
+        let mut d = Dealer::new(2);
+        for _ in 0..64 {
+            let (m1, m2) = d.mul_group();
+            let x = reconstruct(m1.x, m2.x);
+            let y = reconstruct(m1.y, m2.y);
+            let z = reconstruct(m1.z, m2.z);
+            assert_eq!(reconstruct(m1.o, m2.o), x * y, "o = xy");
+            assert_eq!(reconstruct(m1.p, m2.p), x * z, "p = xz");
+            assert_eq!(reconstruct(m1.q, m2.q), y * z, "q = yz");
+            assert_eq!(reconstruct(m1.w, m2.w), x * y * z, "w = xyz");
+        }
+    }
+
+    #[test]
+    fn dealer_is_deterministic() {
+        let mut a = Dealer::new(7);
+        let mut b = Dealer::new(7);
+        assert_eq!(a.mul_group(), b.mul_group());
+        assert_eq!(a.beaver(), b.beaver());
+    }
+
+    #[test]
+    fn forked_dealers_are_decorrelated() {
+        let mut root = Dealer::new(9);
+        let mut w0 = root.fork(0);
+        let mut w1 = root.fork(1);
+        let (a1, _) = w0.mul_group();
+        let (b1, _) = w1.mul_group();
+        assert_ne!(a1, b1);
+    }
+
+    #[test]
+    fn masks_look_uniform() {
+        // Mean popcount of the reconstructed masks ≈ 32 bits.
+        let mut d = Dealer::new(11);
+        let mut pop = 0u32;
+        const N: usize = 2048;
+        for _ in 0..N {
+            let (m1, m2) = d.mul_group();
+            pop += reconstruct(m1.x, m2.x).to_u64().count_ones();
+        }
+        let mean = pop as f64 / N as f64;
+        assert!((mean - 32.0).abs() < 0.6, "mask popcount mean {mean}");
+    }
+}

@@ -1,0 +1,172 @@
+//! The paper's three-value multiplication protocol (Section III-D).
+//!
+//! Existing ASS protocols multiply *two* secrets; triangle counting
+//! needs the product of *three* adjacency bits `a_ij · a_ik · a_jk` per
+//! triple. The paper introduces **Multiplication Groups (MGs)**: shared
+//! random values `x, y, z` together with shares of all their products
+//! `w = xyz, o = xy, p = xz, q = yz`, precomputed offline.
+//!
+//! Online, to multiply shared secrets `(a, b, c)`:
+//!
+//! 1. Each server `Sᵢ` locally computes `⟨e⟩ᵢ = ⟨a⟩ᵢ − ⟨x⟩ᵢ`,
+//!    `⟨f⟩ᵢ = ⟨b⟩ᵢ − ⟨y⟩ᵢ`, `⟨g⟩ᵢ = ⟨c⟩ᵢ − ⟨z⟩ᵢ`.
+//! 2. One round reconstructs the masked values `e, f, g` (which reveal
+//!    nothing: they are one-time-padded by `x, y, z`).
+//! 3. `⟨d⟩ᵢ = ⟨w⟩ᵢ + ⟨xy⟩ᵢ·g + ⟨xz⟩ᵢ·f + ⟨yz⟩ᵢ·e + ⟨x⟩ᵢ·fg +
+//!    ⟨y⟩ᵢ·eg + ⟨z⟩ᵢ·ef + (i−1)·efg`.
+//!
+//! Correctness (Theorem 1): summing the two output shares telescopes to
+//! `w + xyg + xzf + yze + xfg + yeg + zef + efg = (x+e)(y+f)(z+g) = abc`.
+
+use crate::channel::NetStats;
+use crate::ring::Ring64;
+
+/// One server's share of a Multiplication Group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MulGroupShare {
+    /// Share of the mask `x`.
+    pub x: Ring64,
+    /// Share of the mask `y`.
+    pub y: Ring64,
+    /// Share of the mask `z`.
+    pub z: Ring64,
+    /// Share of `w = x·y·z`.
+    pub w: Ring64,
+    /// Share of `o = x·y`.
+    pub o: Ring64,
+    /// Share of `p = x·z`.
+    pub p: Ring64,
+    /// Share of `q = y·z`.
+    pub q: Ring64,
+}
+
+/// The masked openings `(e, f, g)` both servers learn during [`mul3`];
+/// exposed so the security tests ([`crate::view`]) can check they are
+/// indistinguishable from uniform randomness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mul3Opening {
+    /// `e = a − x`.
+    pub e: Ring64,
+    /// `f = b − y`.
+    pub f: Ring64,
+    /// `g = c − z`.
+    pub g: Ring64,
+}
+
+/// One server's local step 1 + step 3 of the protocol, split out so the
+/// hot secure-count loop can inline it. `efg_term` is `(i−1)·efg`
+/// (zero for S₁).
+#[inline(always)]
+pub fn mul3_combine(
+    share: (Ring64, Ring64, Ring64), // (⟨a⟩ᵢ, ⟨b⟩ᵢ, ⟨c⟩ᵢ)
+    mg: &MulGroupShare,
+    opening: Mul3Opening,
+    efg_term: Ring64,
+) -> Ring64 {
+    let _ = share; // inputs are consumed in the masking step; kept for clarity
+    let Mul3Opening { e, f, g } = opening;
+    mg.w + mg.o * g + mg.p * f + mg.q * e + mg.x * (f * g) + mg.y * (e * g) + mg.z * (e * f)
+        + efg_term
+}
+
+/// Runs the full three-value multiplication on shares of `(a, b, c)`,
+/// returning the two shares of `d = a·b·c`.
+///
+/// `net` is charged one round of 3 ring elements each way (the
+/// `e, f, g` openings), matching Algorithm 4 lines 6–8.
+pub fn mul3(
+    a: (Ring64, Ring64),
+    b: (Ring64, Ring64),
+    c: (Ring64, Ring64),
+    mg: (MulGroupShare, MulGroupShare),
+    net: &mut NetStats,
+) -> (Ring64, Ring64) {
+    let (mg1, mg2) = mg;
+    // Step 1: local masking on each server.
+    let e1 = a.0 - mg1.x;
+    let f1 = b.0 - mg1.y;
+    let g1 = c.0 - mg1.z;
+    let e2 = a.1 - mg2.x;
+    let f2 = b.1 - mg2.y;
+    let g2 = c.1 - mg2.z;
+    // Step 2: one communication round opens e, f, g.
+    net.exchange(3);
+    let opening = Mul3Opening {
+        e: e1 + e2,
+        f: f1 + f2,
+        g: g1 + g2,
+    };
+    // Step 3: local combination; only S₂ adds the efg term.
+    let efg = opening.e * opening.f * opening.g;
+    let d1 = mul3_combine((a.0, b.0, c.0), &mg1, opening, Ring64::ZERO);
+    let d2 = mul3_combine((a.1, b.1, c.1), &mg2, opening, efg);
+    (d1, d2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dealer::Dealer;
+    use crate::share::{reconstruct, share_with};
+    use proptest::prelude::*;
+
+    fn run(a: u64, b: u64, c: u64, seed: u64) -> (Ring64, NetStats) {
+        let mut dealer = Dealer::new(seed);
+        let pa = share_with(Ring64(a), dealer.rng_mut());
+        let pb = share_with(Ring64(b), dealer.rng_mut());
+        let pc = share_with(Ring64(c), dealer.rng_mut());
+        let mg = dealer.mul_group();
+        let mut net = NetStats::new();
+        let (d1, d2) = mul3(
+            (pa.s1, pa.s2),
+            (pb.s1, pb.s2),
+            (pc.s1, pc.s2),
+            mg,
+            &mut net,
+        );
+        (reconstruct(d1, d2), net)
+    }
+
+    #[test]
+    fn multiplies_bits_like_algorithm_4() {
+        // All 8 bit combinations: product is 1 iff all three bits are 1
+        // (the "triangle exists" predicate).
+        for a in 0..2u64 {
+            for b in 0..2u64 {
+                for c in 0..2u64 {
+                    let (d, _) = run(a, b, c, 17 + a * 4 + b * 2 + c);
+                    assert_eq!(d, Ring64(a * b * c), "bits ({a},{b},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn communication_is_one_round_of_three_openings() {
+        let (_, net) = run(1, 1, 1, 5);
+        assert_eq!(net.rounds, 1);
+        assert_eq!(net.elements, 6); // 3 each way
+        assert_eq!(net.bytes, 48);
+    }
+
+    #[test]
+    fn multiplies_general_ring_values() {
+        let (d, _) = run(123, 456, 789, 9);
+        assert_eq!(d, Ring64(123 * 456 * 789));
+    }
+
+    #[test]
+    fn handles_negative_signed_values() {
+        let a = Ring64::from_i64(-3).to_u64();
+        let (d, _) = run(a, 5, 7, 11);
+        assert_eq!(d.to_i64(), -105);
+    }
+
+    proptest! {
+        #[test]
+        fn theorem_1_correctness(a: u64, b: u64, c: u64, seed: u64) {
+            let (d, _) = run(a, b, c, seed);
+            prop_assert_eq!(d, Ring64(a) * Ring64(b) * Ring64(c));
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Projection tuning: why similarity-based projection preserves
+//! triangles.
+//!
+//! ```text
+//! cargo run --release --example projection_tuning
+//! ```
+//!
+//! Sweeps the projection parameter θ on a scale-free graph and prints
+//! the surviving triangle fraction for the paper's similarity-based
+//! `Project` (Algorithm 3) vs the random-deletion `GraphProjection`
+//! baseline — the experiment behind Figs. 9/10, at example scale.
+
+use cargo_baselines::random_project_matrix;
+use cargo_core::{estimate_max_degree, project_matrix};
+use cargo_graph::count_triangles_matrix;
+use cargo_graph::generators::presets::SnapDataset;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let (full, _) = SnapDataset::Facebook.load_or_synthesize(None, 0);
+    let g = full.induced_prefix(1_500);
+    let matrix = g.to_bit_matrix();
+    let degrees = g.degrees();
+    let t_before = count_triangles_matrix(&matrix);
+    println!(
+        "graph: {} users, {} edges, d_max = {}, T = {t_before}",
+        g.n(),
+        g.edge_count(),
+        g.max_degree()
+    );
+
+    // The noisy degrees each user would see after the Max round (ε₁ = 0.2).
+    let mut rng = StdRng::seed_from_u64(5);
+    let noisy = estimate_max_degree(&degrees, 0.2, &mut rng).noisy_degrees;
+
+    println!(
+        "\n{:>6} | {:>22} | {:>22}",
+        "theta", "Project keeps", "GraphProjection keeps"
+    );
+    for theta in [10usize, 25, 50, 100, 250, 500] {
+        let sim = project_matrix(&matrix, &degrees, &noisy, theta);
+        let sim_kept = count_triangles_matrix(&sim.matrix);
+        // Average the randomized baseline over a few seeds.
+        let mut rand_kept = 0u64;
+        const TRIALS: u64 = 5;
+        for s in 0..TRIALS {
+            let mut prng = StdRng::seed_from_u64(100 + s);
+            rand_kept += count_triangles_matrix(&random_project_matrix(&matrix, theta, &mut prng));
+        }
+        rand_kept /= TRIALS;
+        println!(
+            "{theta:>6} | {:>12} ({:>5.1}%) | {:>12} ({:>5.1}%)",
+            sim_kept,
+            100.0 * sim_kept as f64 / t_before as f64,
+            rand_kept,
+            100.0 * rand_kept as f64 / t_before as f64,
+        );
+    }
+    println!(
+        "\nTriangle homogeneity (Observation 1) is why similarity wins: a\n\
+         triangle's endpoints have similar degrees, so keeping degree-similar\n\
+         neighbours keeps triangle edges."
+    );
+}

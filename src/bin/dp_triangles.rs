@@ -1,0 +1,225 @@
+//! `dp-triangles` — command-line front end for the CARGO pipeline.
+//!
+//! Counts triangles in a SNAP-format edge list under Edge DDP with the
+//! full CARGO protocol (or the baselines, for comparison):
+//!
+//! ```text
+//! cargo run --release --bin dp_triangles -- --input graph.txt --epsilon 2
+//!
+//! flags:
+//!   --input <path>       SNAP edge list (whitespace-separated, # comments)
+//!   --epsilon <e=2.0>    total privacy budget
+//!   --protocol <p=cargo> cargo | central | local2rounds | localrr | exact
+//!   --n <k>              subsample to the first k users
+//!   --seed <s=0>         RNG seed (fixed seed = reproducible run)
+//!   --threads <t=0>      secure-count workers (0 = all cores)
+//!   --lcc                restrict to the largest connected component
+//! ```
+//!
+//! `exact` prints the non-private count (for offline validation only —
+//! it obviously provides no privacy).
+
+use cargo_repro::baselines::{
+    central_lap_triangles, local2rounds_triangles, local_rr_triangles, Local2RoundsConfig,
+};
+use cargo_repro::core::{CargoConfig, CargoSystem};
+use cargo_repro::graph::{io::read_edge_list, largest_component, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Args {
+    input: PathBuf,
+    epsilon: f64,
+    protocol: String,
+    n: Option<usize>,
+    seed: u64,
+    threads: usize,
+    lcc: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut input = None;
+    let mut epsilon = 2.0;
+    let mut protocol = "cargo".to_string();
+    let mut n = None;
+    let mut seed = 0u64;
+    let mut threads = 0usize;
+    let mut lcc = false;
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("flag {} needs a value", argv[*i - 1]))
+        };
+        match argv[i].as_str() {
+            "--input" => input = Some(PathBuf::from(value(&mut i)?)),
+            "--epsilon" => epsilon = value(&mut i)?.parse().map_err(|e| format!("--epsilon: {e}"))?,
+            "--protocol" => protocol = value(&mut i)?,
+            "--n" => n = Some(value(&mut i)?.parse().map_err(|e| format!("--n: {e}"))?),
+            "--seed" => seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--threads" => threads = value(&mut i)?.parse().map_err(|e| format!("--threads: {e}"))?,
+            "--lcc" => lcc = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    let input = input.ok_or("missing required flag --input")?;
+    if epsilon <= 0.0 {
+        return Err("--epsilon must be positive".into());
+    }
+    let known = ["cargo", "central", "local2rounds", "localrr", "exact"];
+    if !known.contains(&protocol.as_str()) {
+        return Err(format!("--protocol must be one of {known:?}"));
+    }
+    Ok(Args {
+        input,
+        epsilon,
+        protocol,
+        n,
+        seed,
+        threads,
+        lcc,
+    })
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let mut graph: Graph =
+        read_edge_list(&args.input).map_err(|e| format!("reading {:?}: {e}", args.input))?;
+    if args.lcc {
+        let (g, _) = largest_component(&graph);
+        graph = g;
+    }
+    if let Some(k) = args.n {
+        graph = graph.induced_prefix(k);
+    }
+    eprintln!(
+        "graph: {} users, {} edges, d_max = {}",
+        graph.n(),
+        graph.edge_count(),
+        graph.max_degree()
+    );
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    match args.protocol.as_str() {
+        "cargo" => {
+            let cfg = CargoConfig::new(args.epsilon)
+                .with_seed(args.seed)
+                .with_threads(args.threads);
+            let out = CargoSystem::new(cfg).run(&graph);
+            eprintln!(
+                "d'_max = {:.1}; Count took {:?} ({}% of pipeline); privacy: ({:.3} + {:.3})-Edge DDP",
+                out.d_max_noisy,
+                out.timings.count,
+                (out.timings.count_fraction() * 100.0) as u32,
+                out.ledger[0].1,
+                out.ledger[1].1,
+            );
+            println!("{:.2}", out.noisy_count);
+        }
+        "central" => {
+            let out = central_lap_triangles(&graph, args.epsilon, &mut rng);
+            eprintln!("privacy: {:.3}-Edge CDP (requires a TRUSTED server)", args.epsilon);
+            println!("{:.2}", out.noisy_count);
+        }
+        "local2rounds" => {
+            let out = local2rounds_triangles(
+                &graph,
+                Local2RoundsConfig::paper_split(args.epsilon),
+                &mut rng,
+            );
+            eprintln!("privacy: {:.3}-Edge LDP", args.epsilon);
+            println!("{:.2}", out.noisy_count);
+        }
+        "localrr" => {
+            let out = local_rr_triangles(&graph, args.epsilon, &mut rng);
+            eprintln!("privacy: {:.3}-Edge LDP (one round)", args.epsilon);
+            println!("{:.2}", out.noisy_count);
+        }
+        "exact" => {
+            eprintln!("WARNING: exact count, no privacy");
+            println!("{}", cargo_repro::graph::count_triangles(&graph));
+        }
+        _ => unreachable!("validated in parse_args"),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&argv).and_then(|args| run(&args)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\nsee --help in source header for usage");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(v: &[&str]) -> Result<Args, String> {
+        parse_args(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn minimal_invocation() {
+        let a = parse(&["--input", "g.txt"]).unwrap();
+        assert_eq!(a.epsilon, 2.0);
+        assert_eq!(a.protocol, "cargo");
+        assert_eq!(a.n, None);
+        assert!(!a.lcc);
+    }
+
+    #[test]
+    fn all_flags() {
+        let a = parse(&[
+            "--input", "g.txt", "--epsilon", "1.5", "--protocol", "central", "--n", "100",
+            "--seed", "7", "--threads", "4", "--lcc",
+        ])
+        .unwrap();
+        assert_eq!(a.epsilon, 1.5);
+        assert_eq!(a.protocol, "central");
+        assert_eq!(a.n, Some(100));
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.threads, 4);
+        assert!(a.lcc);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&[]).is_err(), "missing --input");
+        assert!(parse(&["--input", "g", "--epsilon", "-1"]).is_err());
+        assert!(parse(&["--input", "g", "--protocol", "wat"]).is_err());
+        assert!(parse(&["--wat"]).is_err());
+        assert!(parse(&["--input"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn end_to_end_on_temp_file() {
+        // Write a small graph, run every protocol through the CLI core.
+        let dir = std::env::temp_dir().join("dp_triangles_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("toy.txt");
+        let g = cargo_repro::graph::generators::barabasi_albert(60, 3, 1);
+        cargo_repro::graph::io::write_edge_list(&g, &path).unwrap();
+        for proto in ["cargo", "central", "local2rounds", "localrr", "exact"] {
+            let args = Args {
+                input: path.clone(),
+                epsilon: 2.0,
+                protocol: proto.into(),
+                n: None,
+                seed: 1,
+                threads: 2,
+                lcc: true,
+            };
+            run(&args).unwrap_or_else(|e| panic!("{proto}: {e}"));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

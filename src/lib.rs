@@ -1,0 +1,19 @@
+//! # cargo-repro — umbrella crate for the CARGO reproduction
+//!
+//! Re-exports the workspace crates so the `examples/` binaries and
+//! `tests/` integration suite have a single dependency surface:
+//!
+//! * [`graph`] (`cargo-graph`) — graph substrate.
+//! * [`mpc`] (`cargo-mpc`) — additive secret sharing.
+//! * [`dp`] (`cargo-dp`) — differential privacy machinery.
+//! * [`core`] (`cargo-core`) — the CARGO protocol (Algorithms 1–5).
+//! * [`baselines`] (`cargo-baselines`) — CentralLap△, Local2Rounds△,
+//!   GraphProjection, LocalRR△.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use cargo_baselines as baselines;
+pub use cargo_core as core;
+pub use cargo_dp as dp;
+pub use cargo_graph as graph;
+pub use cargo_mpc as mpc;
