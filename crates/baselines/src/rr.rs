@@ -78,7 +78,7 @@ mod tests {
         let rr = RandomizedResponse::new(1.0);
         let mut rng = StdRng::seed_from_u64(1);
         let n = 100_000;
-        let flips = (0..n).filter(|_| rr.perturb(true, &mut rng) == false).count();
+        let flips = (0..n).filter(|_| !rr.perturb(true, &mut rng)).count();
         let rate = flips as f64 / n as f64;
         assert!(
             (rate - rr.flip_probability()).abs() < 0.005,

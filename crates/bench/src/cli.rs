@@ -18,6 +18,8 @@ pub struct Options {
     pub data_dir: Option<PathBuf>,
     /// Quick mode: shrink n and trials for smoke runs.
     pub quick: bool,
+    /// `--help`/`-h` was given: print usage and exit successfully.
+    pub help: bool,
 }
 
 impl Default for Options {
@@ -29,6 +31,7 @@ impl Default for Options {
             out_dir: PathBuf::from("results"),
             data_dir: None,
             quick: false,
+            help: false,
         }
     }
 }
@@ -67,6 +70,7 @@ impl Options {
                 "--out-dir" => opts.out_dir = PathBuf::from(take_value(&mut i)?),
                 "--data-dir" => opts.data_dir = Some(PathBuf::from(take_value(&mut i)?)),
                 "--quick" => opts.quick = true,
+                "--help" | "-h" => opts.help = true,
                 _ if arg.starts_with("--") => return Err(format!("unknown flag {arg}")),
                 _ => positional.push(arg.clone()),
             }
@@ -118,6 +122,14 @@ mod tests {
     fn data_dir_is_optional_path() {
         let (o, _) = parse(&["--data-dir", "/tmp/snap", "table4"]).unwrap();
         assert_eq!(o.data_dir.unwrap(), PathBuf::from("/tmp/snap"));
+    }
+
+    #[test]
+    fn help_flag_is_recognised() {
+        let (o, _) = parse(&["--help"]).unwrap();
+        assert!(o.help);
+        let (o, _) = parse(&["-h"]).unwrap();
+        assert!(o.help);
     }
 
     #[test]

@@ -125,43 +125,6 @@ pub fn ext_node_dp(opts: &Options) -> Vec<Table> {
     vec![t]
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn tiny_opts() -> Options {
-        Options {
-            n: 120,
-            trials: 1,
-            out_dir: std::env::temp_dir().join("cargo_bench_ext_test"),
-            ..Options::default()
-        }
-    }
-
-    #[test]
-    fn ext_sensitivity_covers_datasets() {
-        let t = &ext_sensitivity(&tiny_opts())[0];
-        assert_eq!(t.len(), 4);
-    }
-
-    #[test]
-    fn ext_node_dp_covers_two_graphs() {
-        let t = &ext_node_dp(&tiny_opts())[0];
-        assert_eq!(t.len(), 2);
-    }
-
-    #[test]
-    fn ext_homogeneity_covers_datasets() {
-        let t = &ext_homogeneity(&tiny_opts())[0];
-        assert_eq!(t.len(), 4);
-    }
-
-    #[test]
-    fn ext_ablation_shows_projection_benefit() {
-        let t = &ext_projection_ablation(&tiny_opts())[0];
-        assert_eq!(t.len(), 2);
-    }
-}
 
 /// Validates Observation 1 (triangle homogeneity, Durak et al. \[24\]):
 /// edges that close triangles connect nodes of more similar degree
@@ -245,4 +208,42 @@ pub fn ext_projection_ablation(opts: &Options) -> Vec<Table> {
     t.footnote("Without Step 1 the count is exact pre-noise but the sensitivity is n instead of d'_max.");
     let _ = t.write_csv(&opts.out_dir, "ext_projection_ablation");
     vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> Options {
+        Options {
+            n: 120,
+            trials: 1,
+            out_dir: std::env::temp_dir().join("cargo_bench_ext_test"),
+            ..Options::default()
+        }
+    }
+
+    #[test]
+    fn ext_sensitivity_covers_datasets() {
+        let t = &ext_sensitivity(&tiny_opts())[0];
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn ext_node_dp_covers_two_graphs() {
+        let t = &ext_node_dp(&tiny_opts())[0];
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn ext_homogeneity_covers_datasets() {
+        let t = &ext_homogeneity(&tiny_opts())[0];
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn ext_ablation_shows_projection_benefit() {
+        let t = &ext_projection_ablation(&tiny_opts())[0];
+        assert_eq!(t.len(), 2);
+    }
 }

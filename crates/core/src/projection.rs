@@ -150,12 +150,12 @@ mod tests {
         let noisy: Vec<f64> = degs.iter().map(|&d| d as f64).collect();
         let theta = 5;
         let res = project_matrix(&g.to_bit_matrix(), &degs, &noisy, theta);
-        for i in 0..g.n() {
+        for (i, &deg) in degs.iter().enumerate() {
             let d = res.matrix.degree(i);
-            if degs[i] > theta {
+            if deg > theta {
                 assert_eq!(d, theta, "user {i}");
             } else {
-                assert_eq!(d, degs[i], "user {i}");
+                assert_eq!(d, deg, "user {i}");
             }
         }
     }
@@ -196,8 +196,8 @@ mod tests {
         let noisy: Vec<f64> = degs.iter().map(|&d| d as f64 + 0.3).collect();
         let theta = 8;
         let res = project_matrix(&g.to_bit_matrix(), &degs, &noisy, theta);
-        for i in 0..g.n() {
-            assert!(res.matrix.degree(i) <= theta.max(degs[i].min(theta)));
+        for (i, &deg) in degs.iter().enumerate() {
+            assert!(res.matrix.degree(i) <= theta.max(deg.min(theta)));
             assert!(res.matrix.degree(i) <= theta);
         }
     }

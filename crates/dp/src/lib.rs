@@ -31,8 +31,8 @@ pub mod laplace;
 
 pub use budget::{EpsilonSplit, PrivacyAccountant, PrivacyBudget};
 pub use cauchy::{sample_cauchy, sample_std_cauchy};
-pub use discrete::sample_discrete_laplace;
+pub use discrete::{discrete_laplace_variance, sample_discrete_laplace};
 pub use distributed::{partial_noise, DistributedLaplace};
 pub use fixed_point::FixedPointCodec;
 pub use gamma::sample_gamma;
-pub use laplace::{laplace_mechanism, sample_laplace};
+pub use laplace::{laplace_mechanism, laplace_variance, sample_laplace};

@@ -144,7 +144,7 @@ mod tests {
             let mut rng = SplitMix64::new(1);
             (0..4000).map(|_| rng.next_u64()).collect()
         };
-        let biased: Vec<u64> = (0..4000u64).map(|i| i).collect(); // all tiny
+        let biased: Vec<u64> = (0..4000u64).collect(); // all tiny
         let (stat, dof) = chi_square_top_bits(&uniform, &biased, 6);
         assert!(stat > 10.0 * dof as f64, "statistic failed to detect bias");
     }

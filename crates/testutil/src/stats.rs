@@ -1,0 +1,138 @@
+//! Statistical assertion helpers for DP noise tests.
+//!
+//! All tolerances are sized from the sample count via the CLT, so
+//! callers state the *distribution's* parameters and a z-budget rather
+//! than hand-tuned epsilons. With the default `z = 6` and the fixed
+//! seeds used across the workspace, spurious failures are effectively
+//! impossible (p < 1e-8 even across hundreds of assertions) while real
+//! sampler regressions — a wrong scale, a lost sign, a shifted mean —
+//! sit tens of sigmas out.
+
+/// Sample mean.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty sample");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased (n-1) sample variance.
+pub fn variance(xs: &[f64]) -> f64 {
+    assert!(xs.len() >= 2, "variance needs at least 2 samples");
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// `(mean, variance)` in one pass over the sample.
+pub fn sample_stats(xs: &[f64]) -> (f64, f64) {
+    (mean(xs), variance(xs))
+}
+
+/// Default z-score budget for all statistical assertions.
+pub const DEFAULT_Z: f64 = 6.0;
+
+/// Asserts the sample mean is within `z` standard errors of
+/// `expected_mean`, where the standard error is derived from the
+/// distribution's own `expected_var`.
+///
+/// # Panics
+/// With a diagnostic naming `what`, the observed and expected means,
+/// and the allowed band.
+pub fn assert_mean_close(what: &str, xs: &[f64], expected_mean: f64, expected_var: f64, z: f64) {
+    assert!(expected_var >= 0.0 && z > 0.0);
+    let m = mean(xs);
+    let se = (expected_var / xs.len() as f64).sqrt();
+    // Guard against a zero-variance target (e.g. a degenerate
+    // distribution): fall back to exact comparison with float slack.
+    let tol = if se > 0.0 { z * se } else { 1e-12 };
+    assert!(
+        (m - expected_mean).abs() <= tol,
+        "{what}: sample mean {m:.6} outside {expected_mean:.6} ± {tol:.6} \
+         (n = {}, z = {z})",
+        xs.len()
+    );
+}
+
+/// Asserts the sample variance is within a CLT-sized band of
+/// `expected_var`.
+///
+/// The variance of the sample variance is approximated by the normal
+/// formula `2σ⁴/(n−1)` inflated by `kurtosis_factor` (pass e.g. 3.0
+/// for heavy-tailed distributions like Laplace whose excess kurtosis
+/// is 3, and more for Gamma with small shape).
+pub fn assert_variance_close(what: &str, xs: &[f64], expected_var: f64, kurtosis_factor: f64, z: f64) {
+    assert!(expected_var > 0.0 && kurtosis_factor >= 1.0 && z > 0.0);
+    let v = variance(xs);
+    let se = (kurtosis_factor * 2.0 * expected_var * expected_var / (xs.len() - 1) as f64).sqrt();
+    let tol = z * se;
+    assert!(
+        (v - expected_var).abs() <= tol,
+        "{what}: sample variance {v:.6} outside {expected_var:.6} ± {tol:.6} \
+         (n = {}, z = {z})",
+        xs.len()
+    );
+}
+
+/// Sign test for unbiasedness of a symmetric noise distribution:
+/// asserts the count of strictly positive draws is within `z` standard
+/// deviations of the Binomial(n, 1/2) expectation. Zero draws are
+/// discarded (relevant for discrete samplers).
+pub fn assert_sign_balanced(what: &str, xs: &[f64], z: f64) {
+    let nonzero: Vec<f64> = xs.iter().copied().filter(|&x| x != 0.0).collect();
+    let n = nonzero.len();
+    assert!(
+        n >= 100,
+        "{what}: sign test needs >= 100 non-zero draws, got {n}"
+    );
+    let positives = nonzero.iter().filter(|&&x| x > 0.0).count() as f64;
+    let expected = n as f64 / 2.0;
+    let sd = (n as f64 * 0.25).sqrt();
+    assert!(
+        (positives - expected).abs() <= z * sd,
+        "{what}: {positives} of {n} non-zero draws positive; expected {expected:.1} ± {:.1}",
+        z * sd
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn uniform_sample(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-1.0f64..1.0)).collect()
+    }
+
+    #[test]
+    fn uniform_passes_its_own_moments() {
+        // U(-1, 1): mean 0, variance 1/3, no excess kurtosis.
+        let xs = uniform_sample(50_000, 7);
+        assert_mean_close("U(-1,1) mean", &xs, 0.0, 1.0 / 3.0, DEFAULT_Z);
+        assert_variance_close("U(-1,1) var", &xs, 1.0 / 3.0, 1.0, DEFAULT_Z);
+        assert_sign_balanced("U(-1,1) sign", &xs, DEFAULT_Z);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample mean")]
+    fn shifted_mean_is_detected() {
+        let xs: Vec<f64> = uniform_sample(50_000, 8).iter().map(|x| x + 0.1).collect();
+        assert_mean_close("shifted", &xs, 0.0, 1.0 / 3.0, DEFAULT_Z);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample variance")]
+    fn wrong_scale_is_detected() {
+        let xs: Vec<f64> = uniform_sample(50_000, 9).iter().map(|x| x * 1.5).collect();
+        assert_variance_close("scaled", &xs, 1.0 / 3.0, 1.0, DEFAULT_Z);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero draws positive")]
+    fn skewed_signs_are_detected() {
+        let xs: Vec<f64> = uniform_sample(50_000, 10)
+            .iter()
+            .map(|x| if *x > -0.2 { x.abs() } else { *x })
+            .collect();
+        assert_sign_balanced("skewed", &xs, DEFAULT_Z);
+    }
+}

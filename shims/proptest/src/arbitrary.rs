@@ -1,0 +1,99 @@
+//! `any::<T>()` — full-domain strategies for primitive types.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary_value(rng: &mut StdRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut StdRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut StdRng) -> Self {
+                // Bias towards structure-revealing edge values the way
+                // proptest's integer strategies do, then fall back to
+                // uniform draws.
+                const EDGES: &[u128] = &[0, 1, 2, <$t>::MAX as u128];
+                if rng.gen_bool(0.05) {
+                    EDGES[rng.gen_range(0..EDGES.len())] as $t
+                } else {
+                    rng.gen::<$t>()
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_arbitrary_signed {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut StdRng) -> Self {
+                const EDGES: &[i128] =
+                    &[0, 1, -1, <$t>::MAX as i128, <$t>::MIN as i128];
+                if rng.gen_bool(0.05) {
+                    EDGES[rng.gen_range(0..EDGES.len())] as $t
+                } else {
+                    rng.gen::<$t>()
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_signed!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    /// Finite doubles across a wide dynamic range (no NaN/inf: the
+    /// workspace's properties all assume finite inputs).
+    fn arbitrary_value(rng: &mut StdRng) -> Self {
+        let mantissa: f64 = rng.gen_range(-1.0..1.0);
+        let exp: i32 = rng.gen_range(-64..64);
+        mantissa * (2.0f64).powi(exp)
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary_value(rng: &mut StdRng) -> Self {
+        f64::arbitrary_value(rng) as f32
+    }
+}
+
+impl<A: Arbitrary, B: Arbitrary> Arbitrary for (A, B) {
+    fn arbitrary_value(rng: &mut StdRng) -> Self {
+        (A::arbitrary_value(rng), B::arbitrary_value(rng))
+    }
+}
+
+impl<A: Arbitrary, B: Arbitrary, C: Arbitrary> Arbitrary for (A, B, C) {
+    fn arbitrary_value(rng: &mut StdRng) -> Self {
+        (
+            A::arbitrary_value(rng),
+            B::arbitrary_value(rng),
+            C::arbitrary_value(rng),
+        )
+    }
+}

@@ -1,0 +1,228 @@
+//! Offline, dependency-light subset of the `proptest` API.
+//!
+//! Supports what the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with `#![proptest_config(..)]`, `#[test]`
+//!   functions, and parameters in both `x in strategy` and `x: Type`
+//!   (shorthand for `any::<Type>()`) forms;
+//! * [`Strategy`] with `prop_map` / `prop_filter` / `boxed`, ranges
+//!   over the primitive numeric types, tuples up to arity 6,
+//!   [`Just`], and `prop::collection::vec`;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_assume!`];
+//! * [`ProptestConfig::with_cases`], plus the `PROPTEST_CASES`
+//!   environment variable as a global multiplier-free override.
+//!
+//! Differences from real proptest: no shrinking (a failing case
+//! reports its case index and the run's seed instead of a minimised
+//! input) and generation is plain uniform sampling rather than
+//! bias-tuned. Both are acceptable for the invariant-style suites in
+//! this repo; revisit if a future PR needs value-edge biasing.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::prelude` — the only import path the workspace uses.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// `prop::` namespace as re-exported by the real prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+pub use test_runner::{ProptestConfig, TestCaseError};
+
+/// Asserts a condition inside a `proptest!` body; on failure the case
+/// (not the whole process) fails with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    // `if cond {} else` rather than `if !cond` so negation-sensitive
+    // lints (e.g. clippy::neg_cmp_op_on_partial_ord) don't fire at
+    // call sites comparing floats.
+    ($cond:expr, $($fmt:tt)*) => {
+        if $cond {
+        } else {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discards the current case without failing it.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if $cond {
+        } else {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// The `proptest!` block macro.
+///
+/// Expands each contained function into a `#[test]` that draws
+/// `config.cases` inputs from the parameter strategies and runs the
+/// body against each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = ($cfg:expr);) => {};
+    (
+        cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            $crate::__proptest_params!(@munch (__cfg) ($body) () (); $($params)*);
+        }
+        $crate::__proptest_fns! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_params {
+    // Done munching: emit the runner call. `$pats` is `p1, p2,` and
+    // `$strats` is `(s1), (s2),`, so both form (possibly 1-ary) tuples.
+    (@munch ($cfg:ident) ($body:block) ($($pats:tt)*) ($($strats:tt)*);) => {
+        $crate::test_runner::run_proptest(
+            &$cfg,
+            ($($strats)*),
+            |($($pats)*)| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                $body
+                ::core::result::Result::Ok(())
+            },
+            concat!(module_path!(), "::", stringify!($body)),
+        );
+    };
+    // `name in strategy` with more parameters following.
+    (@munch ($cfg:ident) ($body:block) ($($pats:tt)*) ($($strats:tt)*); $p:ident in $s:expr, $($rest:tt)*) => {
+        $crate::__proptest_params!(@munch ($cfg) ($body) ($($pats)* $p,) ($($strats)* ($s),); $($rest)*);
+    };
+    // `name in strategy`, final parameter without trailing comma.
+    (@munch ($cfg:ident) ($body:block) ($($pats:tt)*) ($($strats:tt)*); $p:ident in $s:expr) => {
+        $crate::__proptest_params!(@munch ($cfg) ($body) ($($pats)* $p,) ($($strats)* ($s),););
+    };
+    // `name: Type` shorthand with more parameters following.
+    (@munch ($cfg:ident) ($body:block) ($($pats:tt)*) ($($strats:tt)*); $p:ident : $t:ty, $($rest:tt)*) => {
+        $crate::__proptest_params!(@munch ($cfg) ($body) ($($pats)* $p,) ($($strats)* ($crate::arbitrary::any::<$t>()),); $($rest)*);
+    };
+    // `name: Type`, final parameter without trailing comma.
+    (@munch ($cfg:ident) ($body:block) ($($pats:tt)*) ($($strats:tt)*); $p:ident : $t:ty) => {
+        $crate::__proptest_params!(@munch ($cfg) ($body) ($($pats)* $p,) ($($strats)* ($crate::arbitrary::any::<$t>()),););
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_even() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn shorthand_and_strategy_params_mix(x: u64, y in 1usize..10, z in small_even()) {
+            prop_assert!((1..10).contains(&y));
+            prop_assert_eq!(z % 2, 0);
+            let same = x;
+            prop_assert_eq!(x, same);
+        }
+
+        #[test]
+        fn single_param(v in -1.0f64..1.0) {
+            prop_assert!(v.abs() <= 1.0);
+        }
+
+        #[test]
+        fn trailing_comma_params(
+            a in 0u64..5,
+            b: bool,
+        ) {
+            prop_assert!(a < 5);
+            let copy = b;
+            prop_assert_eq!(b, copy);
+        }
+
+        #[test]
+        fn assume_discards_instead_of_failing(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics_with_case_info() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn always_fails(x: u64) {
+                prop_assert!(x != x, "forced failure");
+            }
+        }
+        always_fails();
+    }
+}

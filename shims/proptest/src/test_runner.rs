@@ -1,0 +1,115 @@
+//! Case driver for [`proptest!`](crate::proptest) blocks.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Runner configuration (subset of `proptest::test_runner::Config`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases each property is checked against.
+    pub cases: u32,
+    /// Base RNG seed; each test function perturbs it by name so
+    /// sibling properties see different streams.
+    pub rng_seed: u64,
+    /// Maximum `prop_assume!` rejections before the property errors.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the suites here cap their
+        // heavy properties explicitly, so the default only governs the
+        // cheap ones. PROPTEST_CASES mirrors the upstream env knob.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(256);
+        Self {
+            cases,
+            rng_seed: 0x6361_7267_6f5f_7270, // "cargo_rp"
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assert!` failure: the property is false.
+    Fail(String),
+    /// `prop_assume!` rejection: the input is out of scope.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+/// Drives one property: draws `cfg.cases` accepted inputs and panics
+/// on the first failing case, reporting the case index and seed so the
+/// failure can be replayed (`ProptestConfig` has no shrinking).
+pub fn run_proptest<S, F>(cfg: &ProptestConfig, strategy: S, test: F, id: &str)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    // Derive a per-property seed so every property in a shared block
+    // explores an independent stream.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in id.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    let seed = cfg.rng_seed ^ h;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let mut draws = 0u64;
+    while accepted < cfg.cases {
+        let value = strategy.new_value(&mut rng);
+        draws += 1;
+        match test(value) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > cfg.max_global_rejects {
+                    panic!(
+                        "proptest: too many prop_assume! rejections \
+                         ({rejected}) after {accepted} accepted cases (seed {seed:#x})"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest case {} failed (draw {draws}, seed {seed:#x}):\n{msg}",
+                    accepted + 1
+                );
+            }
+        }
+    }
+}

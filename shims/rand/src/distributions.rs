@@ -1,0 +1,9 @@
+//! Placeholder module mirroring `rand::distributions`.
+//!
+//! The workspace implements all of its samplers from scratch in
+//! `cargo-dp` (the paper's Gamma decomposition needs custom code
+//! anyway), so only the uniform machinery in the crate root is
+//! actually exercised. This module exists so `use rand::distributions`
+//! paths keep compiling if a later PR introduces them.
+
+pub use crate::{SampleRange, Standard};

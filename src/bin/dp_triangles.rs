@@ -29,6 +29,17 @@ use rand::SeedableRng;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+const USAGE: &str = "usage: dp_triangles --input <edge-list> [flags]
+
+flags:
+  --input <path>       SNAP edge list (whitespace-separated, # comments)
+  --epsilon <e=2.0>    total privacy budget
+  --protocol <p=cargo> cargo | central | local2rounds | localrr | exact
+  --n <k>              subsample to the first k users
+  --seed <s=0>         RNG seed (fixed seed = reproducible run)
+  --threads <t=0>      secure-count workers (0 = all cores)
+  --lcc                restrict to the largest connected component";
+
 #[derive(Debug, Clone, PartialEq)]
 struct Args {
     input: PathBuf,
@@ -40,7 +51,15 @@ struct Args {
     lcc: bool,
 }
 
-fn parse_args(argv: &[String]) -> Result<Args, String> {
+/// `Ok(None)` means `--help` was requested: print [`USAGE`], exit 0.
+fn parse_args(argv: &[String]) -> Result<Option<Args>, String> {
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        return Ok(None);
+    }
+    parse_args_inner(argv).map(Some)
+}
+
+fn parse_args_inner(argv: &[String]) -> Result<Args, String> {
     let mut input = None;
     let mut epsilon = 2.0;
     let mut protocol = "cargo".to_string();
@@ -150,10 +169,20 @@ fn run(args: &Args) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match parse_args(&argv).and_then(|args| run(&args)) {
-        Ok(()) => ExitCode::SUCCESS,
+    match parse_args(&argv) {
+        Ok(None) => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Ok(Some(args)) => match run(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}\n{USAGE}");
+                ExitCode::from(2)
+            }
+        },
         Err(e) => {
-            eprintln!("error: {e}\nsee --help in source header for usage");
+            eprintln!("error: {e}\n{USAGE}");
             ExitCode::from(2)
         }
     }
@@ -164,7 +193,16 @@ mod tests {
     use super::*;
 
     fn parse(v: &[&str]) -> Result<Args, String> {
-        parse_args(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+        parse_args_inner(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn help_short_circuits_parsing() {
+        let argv = vec!["--help".to_string()];
+        assert_eq!(parse_args(&argv).unwrap(), None);
+        // --help wins even alongside invalid flags.
+        let argv = vec!["--wat".to_string(), "-h".to_string()];
+        assert_eq!(parse_args(&argv).unwrap(), None);
     }
 
     #[test]

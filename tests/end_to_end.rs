@@ -6,8 +6,21 @@ use cargo_repro::core::{theory, CargoConfig, CargoSystem};
 use cargo_repro::graph::generators::presets::SnapDataset;
 use cargo_repro::graph::generators::{barabasi_albert, erdos_renyi, watts_strogatz};
 use cargo_repro::graph::{count_triangles, Graph};
+use cargo_testutil::golden_fixtures;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+#[test]
+fn pipeline_ground_truth_matches_golden_fixtures() {
+    // `true_count` is plaintext bookkeeping, so it must hit the shared
+    // golden values exactly on every fixture, however tiny.
+    for f in golden_fixtures() {
+        let out = CargoSystem::new(CargoConfig::new(4.0).with_seed(11)).run(&f.graph);
+        assert_eq!(out.true_count, f.triangles, "{}", f.name);
+        assert!(out.noisy_count.is_finite(), "{}", f.name);
+        assert!(out.projected_count <= out.true_count, "{}", f.name);
+    }
+}
 
 fn mean_l2<F: FnMut(u64) -> f64>(t_true: f64, trials: u64, mut f: F) -> f64 {
     (0..trials)

@@ -37,9 +37,9 @@ proptest! {
         let degrees = g.degrees();
         let noisy: Vec<f64> = degrees.iter().map(|&d| d as f64).collect();
         let res = project_matrix(&m, &degrees, &noisy, theta);
-        for i in 0..m.n() {
-            prop_assert!(res.matrix.degree(i) <= degrees[i]);
-            prop_assert!(res.matrix.degree(i) <= theta.max(degrees[i].min(theta)));
+        for (i, &deg) in degrees.iter().enumerate() {
+            prop_assert!(res.matrix.degree(i) <= deg);
+            prop_assert!(res.matrix.degree(i) <= theta.max(deg.min(theta)));
         }
         prop_assert!(
             count_triangles_matrix(&res.matrix) <= count_triangles_matrix(&m)
@@ -95,5 +95,19 @@ proptest! {
         let c = FixedPointCodec::new(16);
         let decoded = c.decode(c.encode(a) + c.encode(b));
         prop_assert!((decoded - (a + b)).abs() <= 1.0 / c.scale_f64());
+    }
+
+    #[test]
+    fn secure_count_matches_golden_fixture_under_any_seed(
+        idx in 0usize..cargo_testutil::golden_fixtures().len(),
+        seed: u64,
+    ) {
+        // The golden fixture set (cargo-testutil) pins known triangle
+        // counts; the secure protocol must reproduce each of them under
+        // every sharing seed.
+        let fixtures = cargo_testutil::golden_fixtures();
+        let f = &fixtures[idx];
+        let res = secure_triangle_count(&f.graph.to_bit_matrix(), seed, 2);
+        prop_assert_eq!(res.reconstruct(), Ring64(f.triangles));
     }
 }

@@ -7,6 +7,20 @@ use cargo_repro::graph::generators::presets::SnapDataset;
 use cargo_repro::graph::generators::{chung_lu, erdos_renyi};
 use cargo_repro::graph::{count_triangles_matrix, BitMatrix, Graph};
 use cargo_repro::mpc::Ring64;
+use cargo_testutil::stats::{assert_sign_balanced, mean, DEFAULT_Z};
+use cargo_testutil::golden_fixtures;
+
+#[test]
+fn secure_count_matches_golden_fixtures() {
+    // The shared fixture set pins both hand-counted micro graphs and
+    // seeded generator outputs; the secure count must agree with every
+    // golden value exactly (it is an exact protocol — all the noise
+    // lives in Perturb).
+    for f in golden_fixtures() {
+        let res = secure_triangle_count(&f.graph.to_bit_matrix(), 0xF00D, 1);
+        assert_eq!(res.reconstruct(), Ring64(f.triangles), "{}", f.name);
+    }
+}
 
 #[test]
 fn secure_count_exact_on_dataset_subsamples() {
@@ -108,13 +122,17 @@ fn full_pipeline_reconstruction_is_consistent_with_diagnostics() {
         &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
     )
     .unwrap();
-    let mut sum = 0.0;
     const RUNS: u64 = 400;
-    for s in 0..RUNS {
-        let out = CargoSystem::new(CargoConfig::new(4.0).with_seed(s * 48271 + 1)).run(&g);
-        sum += out.noisy_count - out.projected_count as f64;
-    }
-    let mean = sum / RUNS as f64;
+    let noise: Vec<f64> = (0..RUNS)
+        .map(|s| {
+            let out = CargoSystem::new(CargoConfig::new(4.0).with_seed(s * 48271 + 1)).run(&g);
+            out.noisy_count - out.projected_count as f64
+        })
+        .collect();
     // Noise sd per run ≈ sqrt(2)·d'max/3.6 ≈ 1.6; sd of mean ≈ 0.08.
-    assert!(mean.abs() < 0.5, "noise mean {mean} not near zero");
+    let m = mean(&noise);
+    assert!(m.abs() < 0.5, "noise mean {m} not near zero");
+    // Lemma 1 noise is symmetric about zero: positive and negative
+    // draws must be balanced.
+    assert_sign_balanced("aggregate Lemma-1 noise", &noise, DEFAULT_Z);
 }
