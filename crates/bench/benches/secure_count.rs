@@ -1,7 +1,12 @@
-//! The O(n³) secure count: scaling in n and thread count, plus the
-//! plaintext counters for reference (the "crypto markup").
+//! The O(n³) secure count: scaling in n, thread count, and batch size
+//! (the `CountScheduler` sweep axes), plus the plaintext counters for
+//! reference (the "crypto markup"). The machine-readable counterpart
+//! of the thread/batch sweep is the `bench_secure_count` binary, which
+//! persists `BENCH_secure_count.json` for the `bench_compare` gate.
 
-use cargo_core::{secure_triangle_count, secure_triangle_count_sampled};
+use cargo_core::{
+    secure_triangle_count, secure_triangle_count_batched, secure_triangle_count_sampled,
+};
 use cargo_graph::generators::presets::SnapDataset;
 use cargo_graph::{count_triangles, count_triangles_matrix};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -28,6 +33,40 @@ fn bench_thread_scaling(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
             b.iter(|| black_box(secure_triangle_count(&m, 1, t)))
         });
+    }
+    g.finish();
+}
+
+fn bench_batch_scaling(c: &mut Criterion) {
+    // The scheduler's other axis: triples per round / PRG block. Shares
+    // are identical across the sweep; only round granularity and
+    // per-call overhead move.
+    let (full, _) = SnapDataset::Facebook.load_or_synthesize(None, 0);
+    let m = full.induced_prefix(300).to_bit_matrix();
+    let mut g = c.benchmark_group("secure_count_batch");
+    g.sample_size(10);
+    for batch in [1usize, 8, 64, 512] {
+        g.bench_with_input(BenchmarkId::new("batch", batch), &batch, |b, &batch| {
+            b.iter(|| black_box(secure_triangle_count_batched(&m, 1, 1, batch)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_thread_batch_grid(c: &mut Criterion) {
+    // The joint grid the JSON baseline records: threads × batch at one n.
+    let (full, _) = SnapDataset::Facebook.load_or_synthesize(None, 0);
+    let m = full.induced_prefix(200).to_bit_matrix();
+    let mut g = c.benchmark_group("secure_count_grid_n200");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        for batch in [1usize, 64] {
+            g.bench_with_input(
+                BenchmarkId::new("threads_batch", format!("{threads}x{batch}")),
+                &(threads, batch),
+                |b, &(t, batch)| b.iter(|| black_box(secure_triangle_count_batched(&m, 1, t, batch))),
+            );
+        }
     }
     g.finish();
 }
@@ -67,6 +106,8 @@ criterion_group!(
     benches,
     bench_secure_count_scaling,
     bench_thread_scaling,
+    bench_batch_scaling,
+    bench_thread_batch_grid,
     bench_plaintext_counters,
     bench_sampled_count
 );

@@ -1,0 +1,234 @@
+//! Machine-readable bench baselines (`BENCH_secure_count.json`).
+//!
+//! The criterion shim prints trend-only timings to stdout; regression
+//! gating needs numbers a program can diff. This module defines the
+//! tiny JSON schema the `bench_secure_count` binary emits and the
+//! `bench_compare` binary gates on:
+//!
+//! ```json
+//! {
+//!   "bench": "secure_count",
+//!   "rows": [
+//!     {"n": 200, "threads": 1, "batch": 64, "triples": 1313400,
+//!      "ns_per_triple": 55.1, "bytes_per_triple": 48.0}
+//!   ]
+//! }
+//! ```
+//!
+//! No serde in the approved dependency set, so serialisation is
+//! hand-rolled — the parser accepts exactly the subset the writer
+//! produces (flat objects of numeric fields inside one `rows` array)
+//! and is pinned by round-trip tests.
+
+use std::path::Path;
+
+/// One measured sweep point of the secure-count bench.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchRow {
+    /// Users (matrix dimension).
+    pub n: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// `k`-loop batch size.
+    pub batch: usize,
+    /// Triples evaluated (`C(n, 3)`).
+    pub triples: u64,
+    /// Median wall-clock nanoseconds per triple.
+    pub ns_per_triple: f64,
+    /// Online server↔server bytes per triple (deterministic — exactly
+    /// 48 for the exact count: 6 ring elements of 8 bytes).
+    pub bytes_per_triple: f64,
+}
+
+impl BenchRow {
+    /// The `(n, threads, batch)` identity used to match rows across
+    /// reports.
+    pub fn key(&self) -> (usize, usize, usize) {
+        (self.n, self.threads, self.batch)
+    }
+}
+
+/// A full bench report: named sweep, one row per parameter point.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchReport {
+    /// Bench identifier (`secure_count`).
+    pub bench: String,
+    /// Measured rows.
+    pub rows: Vec<BenchRow>,
+}
+
+impl BenchReport {
+    /// Finds the row for `(n, threads, batch)`.
+    pub fn find(&self, n: usize, threads: usize, batch: usize) -> Option<&BenchRow> {
+        self.rows.iter().find(|r| r.key() == (n, threads, batch))
+    }
+
+    /// Serialises to the canonical JSON layout (one row per line).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"bench\": \"{}\",\n", self.bench));
+        out.push_str("  \"rows\": [\n");
+        for (idx, r) in self.rows.iter().enumerate() {
+            let comma = if idx + 1 < self.rows.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"n\": {}, \"threads\": {}, \"batch\": {}, \"triples\": {}, \
+                 \"ns_per_triple\": {:.3}, \"bytes_per_triple\": {:.3}}}{comma}\n",
+                r.n, r.threads, r.batch, r.triples, r.ns_per_triple, r.bytes_per_triple
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses the canonical layout back. Tolerant of whitespace, strict
+    /// about fields: every row must carry all six keys.
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let bench = extract_string(text, "bench")?;
+        let rows_start = text
+            .find("\"rows\"")
+            .ok_or_else(|| "missing \"rows\" array".to_string())?;
+        let mut rows = Vec::new();
+        let mut rest = &text[rows_start..];
+        // Each row object starts at '{' after the array opener.
+        let array_open = rest.find('[').ok_or("rows is not an array")?;
+        rest = &rest[array_open + 1..];
+        while let Some(obj_start) = rest.find('{') {
+            // Stop once the array closes before the next object (row
+            // objects contain no nested braces).
+            if rest.find(']').is_some_and(|close| close < obj_start) {
+                break;
+            }
+            let obj_end = rest[obj_start..]
+                .find('}')
+                .ok_or("unterminated row object")?
+                + obj_start;
+            let obj = &rest[obj_start..=obj_end];
+            rows.push(BenchRow {
+                n: extract_number(obj, "n")? as usize,
+                threads: extract_number(obj, "threads")? as usize,
+                batch: extract_number(obj, "batch")? as usize,
+                triples: extract_number(obj, "triples")? as u64,
+                ns_per_triple: extract_number(obj, "ns_per_triple")?,
+                bytes_per_triple: extract_number(obj, "bytes_per_triple")?,
+            });
+            rest = &rest[obj_end + 1..];
+        }
+        Ok(BenchReport { bench, rows })
+    }
+
+    /// Writes the report to `path` (creating parent directories).
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads and parses a report from `path`.
+    pub fn read(path: &Path) -> Result<BenchReport, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        BenchReport::from_json(&text)
+    }
+}
+
+/// Extracts `"key": "value"` from `text`.
+fn extract_string(text: &str, key: &str) -> Result<String, String> {
+    let pat = format!("\"{key}\"");
+    let at = text.find(&pat).ok_or_else(|| format!("missing key {key}"))?;
+    let rest = &text[at + pat.len()..];
+    let colon = rest.find(':').ok_or_else(|| format!("{key}: no colon"))?;
+    let rest = rest[colon + 1..].trim_start();
+    let rest = rest
+        .strip_prefix('"')
+        .ok_or_else(|| format!("{key}: not a string"))?;
+    let end = rest.find('"').ok_or_else(|| format!("{key}: unterminated"))?;
+    Ok(rest[..end].to_string())
+}
+
+/// Extracts `"key": <number>` from `text` (integer or float).
+fn extract_number(text: &str, key: &str) -> Result<f64, String> {
+    let pat = format!("\"{key}\"");
+    let at = text.find(&pat).ok_or_else(|| format!("missing key {key}"))?;
+    let rest = &text[at + pat.len()..];
+    let colon = rest.find(':').ok_or_else(|| format!("{key}: no colon"))?;
+    let rest = rest[colon + 1..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse::<f64>()
+        .map_err(|e| format!("{key}: {e} in {:?}", &rest[..end.min(20)]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            bench: "secure_count".into(),
+            rows: vec![
+                BenchRow {
+                    n: 200,
+                    threads: 1,
+                    batch: 64,
+                    triples: 1_313_400,
+                    ns_per_triple: 55.125,
+                    bytes_per_triple: 48.0,
+                },
+                BenchRow {
+                    n: 600,
+                    threads: 4,
+                    batch: 64,
+                    triples: 35_820_200,
+                    ns_per_triple: 12.5,
+                    bytes_per_triple: 48.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = sample();
+        let parsed = BenchReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn find_matches_on_the_full_key() {
+        let r = sample();
+        assert!(r.find(600, 4, 64).is_some());
+        assert!(r.find(600, 2, 64).is_none());
+        assert_eq!(r.find(200, 1, 64).unwrap().triples, 1_313_400);
+    }
+
+    #[test]
+    fn empty_rows_round_trip() {
+        let r = BenchReport {
+            bench: "x".into(),
+            rows: vec![],
+        };
+        assert_eq!(BenchReport::from_json(&r.to_json()).unwrap(), r);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(BenchReport::from_json("not json").is_err());
+        assert!(BenchReport::from_json("{\"bench\": \"x\"}").is_err());
+    }
+
+    #[test]
+    fn write_and_read_round_trip_through_disk() {
+        let r = sample();
+        let dir = std::env::temp_dir().join("cargo_bench_baseline_test");
+        let path = dir.join("BENCH_secure_count.json");
+        r.write(&path).unwrap();
+        assert_eq!(BenchReport::read(&path).unwrap(), r);
+        std::fs::remove_file(&path).ok();
+    }
+}

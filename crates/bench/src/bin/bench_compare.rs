@@ -1,0 +1,132 @@
+//! Perf-regression gate: diffs a fresh `BENCH_secure_count.json`
+//! against the committed baseline.
+//!
+//! For every `(n, threads, batch)` row present in **both** reports:
+//!
+//! * `bytes_per_triple` must match exactly — the protocol's
+//!   communication cost is deterministic, so any drift is a protocol
+//!   change, not noise;
+//! * `ns_per_triple` must be within `±tolerance` (relative; default
+//!   20%) of the baseline — wall-clock regression gate.
+//!
+//! Rows present on only one side are reported but do not fail the
+//! gate (sweeps may grow or shrink). Exit code 1 on any violation.
+//!
+//! ```text
+//! usage: bench_compare <baseline.json> <current.json> [--tolerance 0.20]
+//! ```
+
+use cargo_bench::baseline::BenchReport;
+use std::path::PathBuf;
+
+fn usage() -> String {
+    "usage: bench_compare <baseline.json> <current.json> [--tolerance 0.20]".to_string()
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{}", usage());
+        return;
+    }
+    let mut tolerance = 0.20f64;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                tolerance = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--tolerance needs a float\n{}", usage());
+                        std::process::exit(2);
+                    });
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag {other}\n{}", usage());
+                std::process::exit(2);
+            }
+            p => paths.push(PathBuf::from(p)),
+        }
+        i += 1;
+    }
+    if paths.len() != 2 {
+        eprintln!("{}", usage());
+        std::process::exit(2);
+    }
+    let baseline = BenchReport::read(&paths[0]).unwrap_or_else(|e| {
+        eprintln!("baseline: {e}");
+        std::process::exit(2);
+    });
+    let current = BenchReport::read(&paths[1]).unwrap_or_else(|e| {
+        eprintln!("current: {e}");
+        std::process::exit(2);
+    });
+    if baseline.bench != current.bench {
+        eprintln!(
+            "bench mismatch: baseline {:?} vs current {:?}",
+            baseline.bench, current.bench
+        );
+        std::process::exit(1);
+    }
+
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    println!(
+        "| n | threads | batch | base ns/T | cur ns/T | delta | bytes/T | verdict |\n\
+         |---|---------|-------|-----------|----------|-------|---------|---------|"
+    );
+    for cur in &current.rows {
+        let Some(base) = baseline.find(cur.n, cur.threads, cur.batch) else {
+            println!(
+                "| {} | {} | {} | — | {:.2} | — | {:.1} | NEW (not gated) |",
+                cur.n, cur.threads, cur.batch, cur.ns_per_triple, cur.bytes_per_triple
+            );
+            continue;
+        };
+        compared += 1;
+        let delta = (cur.ns_per_triple - base.ns_per_triple) / base.ns_per_triple;
+        let bytes_ok = (cur.bytes_per_triple - base.bytes_per_triple).abs() < 1e-9
+            && cur.triples == base.triples;
+        let time_ok = delta.abs() <= tolerance;
+        let verdict = match (bytes_ok, time_ok) {
+            (true, true) => "PASS",
+            (false, _) => "FAIL (cost model drifted)",
+            (_, false) => "FAIL (time regressed)",
+        };
+        if !(bytes_ok && time_ok) {
+            failures += 1;
+        }
+        println!(
+            "| {} | {} | {} | {:.2} | {:.2} | {:+.1}% | {:.1} | {verdict} |",
+            cur.n,
+            cur.threads,
+            cur.batch,
+            base.ns_per_triple,
+            cur.ns_per_triple,
+            delta * 100.0,
+            cur.bytes_per_triple
+        );
+    }
+    for base in &baseline.rows {
+        if current.find(base.n, base.threads, base.batch).is_none() {
+            println!(
+                "| {} | {} | {} | {:.2} | — | — | — | MISSING (not gated) |",
+                base.n, base.threads, base.batch, base.ns_per_triple
+            );
+        }
+    }
+    println!(
+        "\n{compared} rows compared, {failures} failures (tolerance ±{:.0}%)",
+        tolerance * 100.0
+    );
+    if compared == 0 {
+        eprintln!("error: no overlapping rows between the two reports");
+        std::process::exit(1);
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,156 @@
+//! Secure-count bench sweep → `BENCH_secure_count.json`.
+//!
+//! Measures the batched/sharded Count kernel over an
+//! `n × threads × batch` grid on the Facebook-calibrated preset and
+//! persists `(n, threads, batch, triples, ns/triple, bytes/triple)`
+//! rows through the criterion shim's measurement loop
+//! ([`criterion::measure_median_ns`]). The committed baseline lives at
+//! `crates/bench/baselines/BENCH_secure_count.json`; CI regenerates a
+//! fresh report and gates it with `bench_compare`.
+//!
+//! ```text
+//! usage: bench_secure_count [--n 200,400,600] [--threads 1,2,4]
+//!                           [--batch 1,64] [--out BENCH_secure_count.json]
+//!                           [--measure-ms 700] [--quick]
+//! ```
+
+use cargo_bench::baseline::{BenchReport, BenchRow};
+use cargo_core::secure_triangle_count_batched;
+use cargo_graph::generators::presets::SnapDataset;
+use criterion::{black_box, measure_median_ns};
+use std::path::PathBuf;
+use std::time::Duration;
+
+struct Args {
+    ns: Vec<usize>,
+    threads: Vec<usize>,
+    batches: Vec<usize>,
+    out: PathBuf,
+    measure_ms: u64,
+}
+
+fn usage() -> String {
+    "usage: bench_secure_count [--n 200,400,600] [--threads 1,2,4] [--batch 1,64]\n\
+     \x20      [--out BENCH_secure_count.json] [--measure-ms 700] [--quick]"
+        .to_string()
+}
+
+fn parse_list(v: &str, flag: &str) -> Result<Vec<usize>, String> {
+    v.split(',')
+        .map(|x| x.trim().parse::<usize>().map_err(|e| format!("{flag}: {e}")))
+        .collect()
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        ns: vec![200, 400, 600],
+        threads: vec![1, 2, 4],
+        batches: vec![1, 64],
+        out: PathBuf::from("BENCH_secure_count.json"),
+        measure_ms: 700,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| "flag needs a value".to_string())
+        };
+        match argv[i].as_str() {
+            "--n" => args.ns = parse_list(&take(&mut i)?, "--n")?,
+            "--threads" => args.threads = parse_list(&take(&mut i)?, "--threads")?,
+            "--batch" => args.batches = parse_list(&take(&mut i)?, "--batch")?,
+            "--out" => args.out = PathBuf::from(take(&mut i)?),
+            "--measure-ms" => {
+                args.measure_ms = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--measure-ms: {e}"))?
+            }
+            "--quick" => {
+                args.ns = vec![100, 200];
+                args.measure_ms = 300;
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let max_threads = args.threads.iter().copied().max().unwrap_or(1);
+    if cores < max_threads {
+        eprintln!(
+            "warning: sweeping up to {max_threads} threads on a {cores}-core machine — \
+             thread-scaling rows will be flat here and only meaningful on multi-core hardware"
+        );
+    }
+    let (full, _) = SnapDataset::Facebook.load_or_synthesize(None, 0);
+    let mut report = BenchReport {
+        bench: "secure_count".into(),
+        rows: Vec::new(),
+    };
+    for &n in &args.ns {
+        let m = full.induced_prefix(n).to_bit_matrix();
+        for &threads in &args.threads {
+            for &batch in &args.batches {
+                // One untimed run pins the deterministic cost model.
+                let probe = secure_triangle_count_batched(&m, 1, threads, batch);
+                let triples = probe.triples.max(1);
+                let median_ns = measure_median_ns(
+                    10,
+                    Duration::from_millis(args.measure_ms),
+                    || black_box(secure_triangle_count_batched(&m, 1, threads, batch)),
+                );
+                let row = BenchRow {
+                    n,
+                    threads,
+                    batch,
+                    triples: probe.triples,
+                    ns_per_triple: median_ns / triples as f64,
+                    bytes_per_triple: probe.net.bytes as f64 / triples as f64,
+                };
+                println!(
+                    "n={n:<5} threads={threads:<2} batch={batch:<4} \
+                     {:>8.2} ns/triple  {:>5.1} B/triple",
+                    row.ns_per_triple, row.bytes_per_triple
+                );
+                report.rows.push(row);
+            }
+        }
+        // Per-n thread-scaling summary at the largest batch.
+        if let Some(&b) = args.batches.iter().max() {
+            if let (Some(one), Some(best)) = (
+                report.find(n, 1, b),
+                args.threads
+                    .iter()
+                    .filter_map(|&t| report.find(n, t, b))
+                    .min_by(|a, c| a.ns_per_triple.total_cmp(&c.ns_per_triple)),
+            ) {
+                println!(
+                    "  -> n={n}: best {}t is {:.2}x the 1-thread throughput (batch {b})",
+                    best.threads,
+                    one.ns_per_triple / best.ns_per_triple
+                );
+            }
+        }
+    }
+    if let Err(e) = report.write(&args.out) {
+        eprintln!("error writing {}: {e}", args.out.display());
+        std::process::exit(1);
+    }
+    println!("wrote {} ({} rows)", args.out.display(), report.rows.len());
+}

@@ -10,7 +10,8 @@ fn usage() -> String {
         "usage: experiments [flags] <cmd> [<cmd> ...]\n\
          commands: {} | all\n\
          flags: --n <users=2000> --trials <t=5> --seed <s=0>\n\
-         \x20      --out-dir <dir=results> --data-dir <snap-dir> --quick",
+         \x20      --out-dir <dir=results> --data-dir <snap-dir>\n\
+         \x20      --threads <w=0 (all cores)> --batch <b=0 (default 64)> --quick",
         experiments::ALL.join(" | ")
     )
 }

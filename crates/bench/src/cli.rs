@@ -16,6 +16,10 @@ pub struct Options {
     pub out_dir: PathBuf,
     /// Optional directory with real SNAP edge lists.
     pub data_dir: Option<PathBuf>,
+    /// Secure-count worker threads (0 = all cores).
+    pub threads: usize,
+    /// Secure-count batch size (0 = default).
+    pub batch: usize,
     /// Quick mode: shrink n and trials for smoke runs.
     pub quick: bool,
     /// `--help`/`-h` was given: print usage and exit successfully.
@@ -30,6 +34,8 @@ impl Default for Options {
             seed: 0,
             out_dir: PathBuf::from("results"),
             data_dir: None,
+            threads: 0,
+            batch: 0,
             quick: false,
             help: false,
         }
@@ -66,6 +72,16 @@ impl Options {
                     opts.seed = take_value(&mut i)?
                         .parse()
                         .map_err(|e| format!("--seed: {e}"))?
+                }
+                "--threads" => {
+                    opts.threads = take_value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?
+                }
+                "--batch" => {
+                    opts.batch = take_value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--batch: {e}"))?
                 }
                 "--out-dir" => opts.out_dir = PathBuf::from(take_value(&mut i)?),
                 "--data-dir" => opts.data_dir = Some(PathBuf::from(take_value(&mut i)?)),
@@ -109,6 +125,15 @@ mod tests {
         assert_eq!(o.trials, 3);
         assert_eq!(o.seed, 9);
         assert_eq!(pos, vec!["fig7"]);
+    }
+
+    #[test]
+    fn count_knobs_parse() {
+        let (o, _) = parse(&["--threads", "4", "--batch", "16", "fig11"]).unwrap();
+        assert_eq!(o.threads, 4);
+        assert_eq!(o.batch, 16);
+        let (o, _) = parse(&["fig11"]).unwrap();
+        assert_eq!((o.threads, o.batch), (0, 0), "defaults defer to config");
     }
 
     #[test]

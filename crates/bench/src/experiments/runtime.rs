@@ -9,7 +9,7 @@
 use crate::cli::Options;
 use crate::datasets::{ExperimentGraph, N_SWEEP};
 use crate::output::Table;
-use crate::runners::{run_cargo, run_central, run_local2rounds};
+use crate::runners::{run_cargo_with, run_central, run_local2rounds};
 use cargo_graph::generators::presets::SnapDataset;
 
 /// Which dataset a runtime figure uses.
@@ -51,7 +51,7 @@ pub fn fig11_or_12(opts: &Options, which: RuntimeGraph) -> Vec<Table> {
         let sub = eg.prefix(n);
         let central = run_central(&sub, 2.0, trials, opts.seed);
         let local = run_local2rounds(&sub, 2.0, trials, opts.seed);
-        let cargo = run_cargo(&sub, 2.0, trials, opts.seed);
+        let cargo = run_cargo_with(&sub, 2.0, trials, opts.seed, opts.threads, opts.batch);
         let share = if cargo.time.as_secs_f64() > 0.0 {
             cargo.count_time.as_secs_f64() / cargo.time.as_secs_f64()
         } else {

@@ -17,7 +17,7 @@
 use crate::cli::Options;
 use crate::datasets::{ExperimentGraph, EPSILON_SWEEP, N_SWEEP};
 use crate::output::{sci, Table};
-use crate::runners::{run_cargo, run_central, run_local2rounds, UtilityPoint};
+use crate::runners::{run_cargo_with, run_central, run_local2rounds, UtilityPoint};
 use cargo_graph::generators::presets::SnapDataset;
 
 /// Which of the paper's two metrics a figure reports.
@@ -92,7 +92,7 @@ pub fn fig5_and_6(opts: &Options) -> Vec<Table> {
             .map(|&eps| SweepPoint {
                 x: format!("{eps}"),
                 local: run_local2rounds(&sub, eps, cheap_trials, opts.seed),
-                cargo: run_cargo(&sub, eps, opts.trials, opts.seed),
+                cargo: run_cargo_with(&sub, eps, opts.trials, opts.seed, opts.threads, opts.batch),
                 central: run_central(&sub, eps, cheap_trials, opts.seed),
             })
             .collect();
@@ -143,7 +143,7 @@ pub fn fig7_and_8(opts: &Options) -> Vec<Table> {
                 SweepPoint {
                     x: n.to_string(),
                     local: run_local2rounds(&sub, eps, cheap_trials, opts.seed),
-                    cargo: run_cargo(&sub, eps, opts.trials, opts.seed),
+                    cargo: run_cargo_with(&sub, eps, opts.trials, opts.seed, opts.threads, opts.batch),
                     central: run_central(&sub, eps, cheap_trials, opts.seed),
                 }
             })

@@ -22,7 +22,14 @@
 //! (`fig5`…`fig10` also work individually as aliases.)
 //!
 //! Flags: --n <users> --trials <t> --seed <s> --out-dir <dir>
-//!        --data-dir <dir> --quick
+//!        --data-dir <dir> --threads <w> --batch <b> --quick
+//!
+//! Two further binaries serve the perf-regression harness:
+//! `bench_secure_count` sweeps the secure count over
+//! `n × threads × batch` and writes `BENCH_secure_count.json`;
+//! `bench_compare` diffs such a report against the committed baseline
+//! (`crates/bench/baselines/`) with a ±20% wall-clock gate and an
+//! exact bytes/triple gate.
 //! ```
 //!
 //! Each experiment prints a Markdown table (the same rows/series the
@@ -31,6 +38,7 @@
 //! harness uses them; otherwise it uses the calibrated synthetic
 //! presets (DESIGN.md §4).
 
+pub mod baseline;
 pub mod cli;
 pub mod datasets;
 pub mod experiments;

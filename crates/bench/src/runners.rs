@@ -60,14 +60,33 @@ fn aggregate(t_true: f64, estimates: &[f64], times: &[Duration], count_times: &[
     }
 }
 
-/// Runs CARGO `trials` times and aggregates.
+/// Runs CARGO `trials` times and aggregates (secure count on the
+/// config's default thread/batch knobs).
 pub fn run_cargo(g: &Graph, epsilon: f64, trials: usize, seed: u64) -> UtilityPoint {
+    run_cargo_with(g, epsilon, trials, seed, 0, 0)
+}
+
+/// [`run_cargo`] with explicit Count knobs: `threads` workers
+/// (0 = all cores) and `batch` triples per round (0 = default) — the
+/// CLI's `--threads`/`--batch` land here so the knobs govern every
+/// Count entry the experiments exercise.
+pub fn run_cargo_with(
+    g: &Graph,
+    epsilon: f64,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+    batch: usize,
+) -> UtilityPoint {
     let t_true = cargo_graph::count_triangles(g) as f64;
     let mut estimates = Vec::with_capacity(trials);
     let mut times = Vec::with_capacity(trials);
     let mut count_times = Vec::with_capacity(trials);
     for t in 0..trials {
-        let cfg = CargoConfig::new(epsilon).with_seed(trial_seed(seed, t, epsilon, fingerprint(g)));
+        let cfg = CargoConfig::new(epsilon)
+            .with_seed(trial_seed(seed, t, epsilon, fingerprint(g)))
+            .with_threads(threads)
+            .with_batch(batch);
         let start = Instant::now();
         let out = CargoSystem::new(cfg).run(g);
         times.push(start.elapsed());
@@ -117,6 +136,7 @@ mod tests {
         let g = barabasi_albert(100, 4, 1);
         for point in [
             run_cargo(&g, 2.0, 2, 1),
+            run_cargo_with(&g, 2.0, 2, 1, 2, 16),
             run_central(&g, 2.0, 2, 1),
             run_local2rounds(&g, 2.0, 2, 1),
         ] {

@@ -17,7 +17,14 @@ pub struct CargoConfig {
     /// noise) — fixed seed ⇒ bit-identical run.
     pub seed: u64,
     /// Worker threads for the `O(n³)` secure count (0 = all cores).
+    /// Governs every Count entry point: the fast kernel, the sharded
+    /// message-passing runtime, and the sampled estimator.
     pub threads: usize,
+    /// Triples per Count communication round / PRG block
+    /// (0 = [`crate::count_sched::DEFAULT_COUNT_BATCH`]). Shares are
+    /// identical for every batch size; only rounds and wall-clock
+    /// change.
+    pub batch: usize,
     /// Whether to run the similarity-based projection (disable only for
     /// ablation studies; without projection the sensitivity is `n`).
     pub projection: bool,
@@ -32,6 +39,7 @@ impl CargoConfig {
             frac_bits: 16,
             seed: 0,
             threads: 0,
+            batch: 0,
             projection: true,
         }
     }
@@ -51,6 +59,12 @@ impl CargoConfig {
     /// Sets the secure-count worker-thread count (0 = all cores).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the secure-count batch size (0 = default).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
         self
     }
 
@@ -75,6 +89,15 @@ impl CargoConfig {
             self.threads
         }
     }
+
+    /// Effective Count batch size.
+    pub fn effective_batch(&self) -> usize {
+        if self.batch == 0 {
+            crate::count_sched::DEFAULT_COUNT_BATCH
+        } else {
+            self.batch
+        }
+    }
 }
 
 #[cfg(test)]
@@ -97,9 +120,11 @@ mod tests {
             .with_seed(9)
             .with_split_fraction(0.5)
             .with_threads(2)
+            .with_batch(16)
             .without_projection();
         assert_eq!(c.seed, 9);
         assert_eq!(c.threads, 2);
+        assert_eq!(c.batch, 16);
         assert!(!c.projection);
         assert!((c.epsilon_split().epsilon1 - 0.5).abs() < 1e-12);
     }
@@ -108,6 +133,15 @@ mod tests {
     fn effective_threads_is_positive() {
         assert!(CargoConfig::new(1.0).effective_threads() >= 1);
         assert_eq!(CargoConfig::new(1.0).with_threads(3).effective_threads(), 3);
+    }
+
+    #[test]
+    fn effective_batch_resolves_default() {
+        assert_eq!(
+            CargoConfig::new(1.0).effective_batch(),
+            crate::count_sched::DEFAULT_COUNT_BATCH
+        );
+        assert_eq!(CargoConfig::new(1.0).with_batch(7).effective_batch(), 7);
     }
 
     #[test]

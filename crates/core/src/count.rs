@@ -15,19 +15,25 @@
 //!   materialising two `n × n` ring matrices; this mirrors how real
 //!   deployments compress input sharing with a PRG and keeps the memory
 //!   footprint at the bit matrix itself.
-//! * **Streaming dealer.** Each outer index `i` gets an independent
-//!   dealer stream, so results are bit-identical for any thread count.
+//! * **Scheduling.** The `(i, j)` pair space is partitioned by the
+//!   shared [`CountScheduler`]; dealer randomness is keyed *per pair*
+//!   ([`cargo_mpc::PairDealer`]), so the share pairs are bit-identical
+//!   for every thread count and batch size.
 //! * **The hot kernel** is an inlined transcription of the
-//!   [`cargo_mpc::mul3`] protocol; [`secure_count_reference`] runs the
-//!   un-inlined protocol object and the test suite checks the two agree
-//!   on every input class.
-//! * **Communication accounting.** The `e, f, g` openings of all
-//!   triples sharing an `(i, j)` pair are batched into one round
-//!   (3·(n−j−1) elements each way), which is how any sane deployment
-//!   would schedule them; element/byte counts are per-triple exact.
+//!   [`cargo_mpc::mul3`] protocol over block-expanded dealer words
+//!   ([`cargo_mpc::PairDealer::fill_words`] fills a whole batch at
+//!   once); [`secure_count_reference`] runs the un-inlined protocol
+//!   object and the test suite checks the two agree on every input
+//!   class.
+//! * **Communication accounting.** The `e, f, g` openings of one
+//!   `k`-batch (up to [`crate::count_sched::DEFAULT_COUNT_BATCH`]
+//!   triples of an `(i, j)` pair) travel in one round — `3·batch`
+//!   elements each way — which is how any sane deployment would
+//!   schedule them; element/byte counts are per-triple exact.
 
+use crate::count_sched::{share_prf, CountScheduler, PairChunk};
 use cargo_graph::BitMatrix;
-use cargo_mpc::{mul3, Dealer, NetStats, Ring64, SplitMix64};
+use cargo_mpc::{mul3, Dealer, NetStats, PairDealer, Ring64, MG_WORDS};
 
 /// Result of the secure count: the two servers' shares of the exact
 /// triangle count plus cost accounting.
@@ -55,51 +61,32 @@ impl SecureCountResult {
     }
 }
 
-/// PRF expanding user bit-shares: uniform in `Z_{2^64}`, keyed by
-/// `(seed, i, j)`.
-#[inline(always)]
-fn share_prf(seed: u64, i: u32, j: u32) -> u64 {
-    let mut z = seed ^ (((i as u64) << 32) | j as u64).wrapping_mul(0x9E3779B97F4A7C15);
-    z = z.wrapping_add(0x9E3779B97F4A7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^ (z >> 31)
-}
-
-/// Mixes the root seed with an outer index to key that index's dealer
-/// stream (thread-count independent).
-#[inline]
-fn dealer_seed(root: u64, i: usize) -> u64 {
-    let mut g = SplitMix64::new(root ^ (i as u64).wrapping_mul(0xA24BAED4963EE407));
-    g.next_u64()
-}
-
 /// Runs the secure count over the (projected, possibly asymmetric)
-/// adjacency matrix.
+/// adjacency matrix with the default batch size.
 ///
 /// * `seed` keys every random choice (input shares + dealer streams).
 /// * `threads` — worker threads (0 ⇒ all cores). The result is
 ///   identical for every thread count.
 pub fn secure_triangle_count(matrix: &BitMatrix, seed: u64, threads: usize) -> SecureCountResult {
-    let n = matrix.n();
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
-    } else {
-        threads
-    }
-    .max(1);
+    secure_triangle_count_batched(matrix, seed, threads, 0)
+}
 
-    let workers = threads.min(n.max(1));
-    let results: Vec<(Ring64, Ring64, NetStats, u64)> = if workers <= 1 || n < 64 {
-        vec![count_range(matrix, seed, 0, 1)]
-    } else {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| scope.spawn(move || count_range(matrix, seed, w, workers)))
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        })
-    };
+/// [`secure_triangle_count`] with an explicit `k`-batch size
+/// (0 ⇒ [`crate::count_sched::DEFAULT_COUNT_BATCH`]). Shares and
+/// element counts are identical for every `(threads, batch)`; only
+/// wall-clock and round granularity change.
+pub fn secure_triangle_count_batched(
+    matrix: &BitMatrix,
+    seed: u64,
+    threads: usize,
+    batch: usize,
+) -> SecureCountResult {
+    let n = matrix.n();
+    // Spawning workers for sub-millisecond inputs costs more than it
+    // saves; randomness is per-pair, so clamping cannot change shares.
+    let threads = if n < 64 { 1 } else { threads };
+    let sched = CountScheduler::new(n, threads, batch);
+    let results = sched.run_chunks(|chunk| count_chunk(matrix, seed, &sched, chunk));
 
     let mut share1 = Ring64::ZERO;
     let mut share2 = Ring64::ZERO;
@@ -120,66 +107,69 @@ pub fn secure_triangle_count(matrix: &BitMatrix, seed: u64, threads: usize) -> S
     }
 }
 
-/// Counts all triples whose outer index `i ≡ worker (mod stride)`.
-/// This is the hot kernel: an inlined, batched transcription of the
-/// MG multiplication protocol.
-fn count_range(
+/// Evaluates every triple of one pair-space chunk. This is the hot
+/// kernel: an inlined, batched transcription of the MG multiplication
+/// protocol over block-expanded dealer words.
+fn count_chunk(
     matrix: &BitMatrix,
     seed: u64,
-    worker: usize,
-    stride: usize,
+    sched: &CountScheduler,
+    chunk: &PairChunk,
 ) -> (Ring64, Ring64, NetStats, u64) {
-    let n = matrix.n();
+    let n = sched.n();
+    let batch = sched.batch();
     let mut t1 = 0u64; // ⟨T⟩₁ accumulator (wrapping u64 = Ring64)
     let mut t2 = 0u64;
     let mut net = NetStats::new();
     let mut triples = 0u64;
+    // One block of dealer words, reused across batches.
+    let mut words = vec![0u64; MG_WORDS * batch];
 
-    for i in (worker..n).step_by(stride) {
-        let mut dealer = SplitMix64::new(dealer_seed(seed, i));
+    for (i, j) in sched.pair_iter(chunk) {
         let row_i = matrix.row(i);
-        for j in (i + 1)..n {
-            let batch = (n - j - 1) as u64;
-            if batch == 0 {
-                break;
-            }
-            // User i's shares of a_ij — fixed across the k loop.
-            let aij = row_i.get(j) as u64;
-            let aij1 = share_prf(seed, i as u32, j as u32);
-            let aij2 = aij.wrapping_sub(aij1);
-            let row_j = matrix.row(j);
+        let row_j = matrix.row(j);
+        // User i's shares of a_ij — fixed across the k loop.
+        let aij = row_i.get(j) as u64;
+        let aij1 = share_prf(seed, i as u32, j as u32);
+        let aij2 = aij.wrapping_sub(aij1);
+        let mut dealer = PairDealer::for_pair(seed, i as u32, j as u32);
+        let mut k = j + 1;
+        while k < n {
+            let block = (n - k).min(batch);
+            // Offline: block-expand the batch's Multiplication Groups.
+            dealer.fill_words(&mut words[..MG_WORDS * block]);
             // One communication round opens e,f,g for the whole batch.
-            net.exchange(3 * batch);
-            for k in (j + 1)..n {
-                // Offline: one Multiplication Group from the stream.
-                let x1 = dealer.next_u64();
-                let x2 = dealer.next_u64();
-                let y1 = dealer.next_u64();
-                let y2 = dealer.next_u64();
-                let z1 = dealer.next_u64();
-                let z2 = dealer.next_u64();
+            net.exchange(3 * block as u64);
+            for (b, kk) in (k..k + block).enumerate() {
+                let w = &words[MG_WORDS * b..MG_WORDS * (b + 1)];
+                let x1 = w[0];
+                let x2 = w[1];
+                let y1 = w[2];
+                let y2 = w[3];
+                let z1 = w[4];
+                let z2 = w[5];
+                let o1 = w[6];
+                let p1 = w[7];
+                let q1 = w[8];
+                let w1 = w[9];
                 let x = x1.wrapping_add(x2);
                 let y = y1.wrapping_add(y2);
                 let z = z1.wrapping_add(z2);
                 let o = x.wrapping_mul(y);
                 let p = x.wrapping_mul(z);
                 let q = y.wrapping_mul(z);
-                let w = o.wrapping_mul(z);
-                let o1 = dealer.next_u64();
+                let wv = o.wrapping_mul(z);
                 let o2 = o.wrapping_sub(o1);
-                let p1 = dealer.next_u64();
                 let p2 = p.wrapping_sub(p1);
-                let q1 = dealer.next_u64();
                 let q2 = q.wrapping_sub(q1);
-                let w1 = dealer.next_u64();
-                let w2 = w.wrapping_sub(w1);
+                let w2 = wv.wrapping_sub(w1);
 
                 // User shares of a_ik (row i) and a_jk (row j).
-                let aik = row_i.get(k) as u64;
-                let aik1 = share_prf(seed, i as u32, k as u32);
+                let aik = row_i.get(kk) as u64;
+                let aik1 = share_prf(seed, i as u32, kk as u32);
                 let aik2 = aik.wrapping_sub(aik1);
-                let ajk = row_j.get(k) as u64;
-                let ajk1 = share_prf(seed, j as u32, k as u32);
+                let ajk = row_j.get(kk) as u64;
+                let ajk1 = share_prf(seed, j as u32, kk as u32);
                 let ajk2 = ajk.wrapping_sub(ajk1);
 
                 // Online step 1: local maskings.
@@ -214,8 +204,9 @@ fn count_range(
                     .wrapping_add(ef.wrapping_mul(g));
                 t1 = t1.wrapping_add(u1);
                 t2 = t2.wrapping_add(u2);
-                triples += 1;
             }
+            triples += block as u64;
+            k += block;
         }
     }
     (Ring64(t1), Ring64(t2), net, triples)
@@ -304,9 +295,31 @@ mod tests {
         let one = secure_triangle_count(&m, 3, 1);
         let four = secure_triangle_count(&m, 3, 4);
         let many = secure_triangle_count(&m, 3, 16);
-        assert_eq!(one.share1, four.share1);
-        assert_eq!(one.share2, four.share2);
+        assert_eq!(one, four, "full result equality, NetStats included");
         assert_eq!(four.reconstruct(), many.reconstruct());
+        assert_eq!(four.share1, many.share1);
+        assert_eq!(four.net, many.net);
+    }
+
+    #[test]
+    fn batch_size_does_not_change_shares() {
+        let g = erdos_renyi(90, 0.25, 4);
+        let m = g.to_bit_matrix();
+        let base = secure_triangle_count_batched(&m, 9, 2, 0);
+        for batch in [1usize, 7, 64, 1000] {
+            let r = secure_triangle_count_batched(&m, 9, 2, batch);
+            assert_eq!(r.share1, base.share1, "batch {batch}");
+            assert_eq!(r.share2, base.share2, "batch {batch}");
+            assert_eq!(r.triples, base.triples, "batch {batch}");
+            // Elements/bytes are per-triple exact regardless of the
+            // round structure; rounds shrink as the batch grows.
+            assert_eq!(r.net.elements, base.net.elements, "batch {batch}");
+            assert_eq!(r.net.bytes, base.net.bytes, "batch {batch}");
+        }
+        let fine = secure_triangle_count_batched(&m, 9, 1, 1);
+        let coarse = secure_triangle_count_batched(&m, 9, 1, 1000);
+        assert!(fine.net.rounds > coarse.net.rounds, "batching buys rounds");
+        assert_eq!(fine.net.peak_batch, 3, "batch=1 opens one triple/round");
     }
 
     #[test]
@@ -349,9 +362,19 @@ mod tests {
         // 3 openings each way per triple.
         assert_eq!(res.net.elements, 6 * c3);
         assert_eq!(res.upload_elements, 2 * (n * n) as u64);
-        // Rounds: one per (i,j) pair with a non-empty k range.
+        // Rounds: every (i,j) pair's k range fits in one default batch
+        // at this n, so one round per pair with a non-empty k range.
         let pairs_with_k = (n - 2) * (n - 1) / 2;
         assert_eq!(res.net.rounds, pairs_with_k as u64);
+        assert_eq!(res.net.batches, pairs_with_k as u64);
+        // At any batch size b, a pair contributes ceil(len/b) rounds.
+        let b = 5usize;
+        let batched = secure_triangle_count_batched(&g.to_bit_matrix(), 1, 1, b);
+        let want_rounds: u64 = (0..n)
+            .flat_map(|i| (i + 1..n).map(move |j| (n - j - 1).div_ceil(b) as u64))
+            .sum();
+        assert_eq!(batched.net.rounds, want_rounds);
+        assert_eq!(batched.net.peak_batch, 3 * b as u64);
     }
 
     #[test]

@@ -4,116 +4,145 @@
 //! evaluates both servers' arithmetic in one loop. This module runs the
 //! same protocol the way a deployment would be shaped:
 //!
-//! * **three OS threads** — server S₁, server S₂, and the offline
-//!   dealer (playing the OT preprocessing);
+//! * **separate OS threads** — a worker pool per server S₁/S₂ plus the
+//!   offline dealer (playing the OT preprocessing);
 //! * **message passing only** — servers exchange masked openings over
 //!   channels; neither thread can read the other's state, and neither
 //!   ever holds a plaintext adjacency bit (each receives only its own
 //!   share matrix, as uploaded by the users);
-//! * **batched rounds** — all openings for one `(i, j)` pair travel in
-//!   one message, the batching any real deployment would use.
+//! * **sharded, batched rounds** — the shared [`CountScheduler`]
+//!   partitions the `(i, j)` pair space into chunks; each server
+//!   worker owns the chunks congruent to its index, every `k`-batch of
+//!   a pair travels as one message, and all workers of a server share
+//!   one multiplexed link ([`cargo_mpc::tagged_channel`]) whose
+//!   messages carry the chunk id, so rounds from different shards
+//!   interleave safely on the same wire.
 //!
 //! The test suite pins this runtime's output to the fast path, which
 //! is the strongest fidelity evidence the repo offers: an optimised
 //! single-loop kernel and a strict two-party message-passing execution
-//! compute identical share pairs.
+//! compute identical share pairs — for every worker count and batch
+//! size, because both key their randomness per `(i, j)` pair.
 
 use crate::count::SecureCountResult;
+use crate::count_sched::{share_prf, CountScheduler, PairChunk};
 use cargo_graph::BitMatrix;
-use cargo_mpc::{NetStats, Ring64, ServerId, SplitMix64};
-use std::sync::mpsc;
+use cargo_mpc::{
+    tagged_channel, MulGroupShare, NetStats, PairDealer, Ring64, ServerId, TaggedDemux,
+    TaggedSender,
+};
+use std::sync::Arc;
 
 /// One round's message between servers: each side's shares of the
-/// `(e, f, g)` maskings for every `k` in the `(i, j)` batch.
+/// `(e, f, g)` maskings for every `k` in one batch of an `(i, j)`
+/// pair's `k` loop.
 struct OpeningMsg {
+    /// Which pair-space shard this round belongs to — the tag the
+    /// multiplexed link routes by.
+    chunk: u32,
     /// Outer pair identifier, for lockstep sanity checking.
-    pair: (usize, usize),
+    pair: (u32, u32),
+    /// First `k` of the batch (lockstep sanity checking).
+    k0: u32,
     /// `(⟨e⟩, ⟨f⟩, ⟨g⟩)` per k.
     efg: Vec<(Ring64, Ring64, Ring64)>,
 }
 
 /// The dealer's preprocessing message: this server's Multiplication-
-/// Group shares for one `(i, j)` batch.
+/// Group shares for one `k`-batch of an `(i, j)` pair.
 struct DealerMsg {
-    pair: (usize, usize),
-    groups: Vec<cargo_mpc::MulGroupShare>,
+    chunk: u32,
+    pair: (u32, u32),
+    k0: u32,
+    groups: Vec<MulGroupShare>,
 }
 
-/// Expands one user's bit-share for server S₁ (matches
-/// `count.rs::share_prf` so both runtimes share randomness and can be
-/// compared share-for-share).
-#[inline]
-fn share_prf(seed: u64, i: u32, j: u32) -> u64 {
-    let mut z = seed ^ (((i as u64) << 32) | j as u64).wrapping_mul(0x9E3779B97F4A7C15);
-    z = z.wrapping_add(0x9E3779B97F4A7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^ (z >> 31)
-}
-
-#[inline]
-fn dealer_seed(root: u64, i: usize) -> u64 {
-    let mut g = SplitMix64::new(root ^ (i as u64).wrapping_mul(0xA24BAED4963EE407));
-    g.next_u64()
-}
-
-/// The state one server thread runs with.
-struct ServerTask {
+/// The state one server worker runs with. A server is a *pool* of
+/// these: worker `w` owns the chunks with `id ≡ w (mod workers)` and
+/// shares the dealer/peer links with its siblings.
+struct ServerWorker {
     id: ServerId,
-    n: usize,
-    /// This server's input shares, row-major (`shares[i][j] = ⟨a_ij⟩`).
-    shares: Vec<Vec<Ring64>>,
-    dealer_rx: mpsc::Receiver<DealerMsg>,
-    peer_tx: mpsc::Sender<OpeningMsg>,
-    peer_rx: mpsc::Receiver<OpeningMsg>,
+    worker: usize,
+    workers: usize,
+    sched: Arc<CountScheduler>,
+    /// This server's input shares (`shares[i][j] = ⟨a_ij⟩`).
+    shares: Arc<Vec<Vec<Ring64>>>,
+    dealer_rx: Arc<TaggedDemux<DealerMsg>>,
+    peer_tx: TaggedSender<OpeningMsg>,
+    peer_rx: Arc<TaggedDemux<OpeningMsg>>,
 }
 
-impl ServerTask {
-    /// Runs the online phase, returning this server's `⟨T⟩` and its
-    /// outbound traffic tally.
+impl ServerWorker {
+    /// Runs this worker's share of the online phase, returning its
+    /// partial `⟨T⟩` and traffic tally.
     fn run(self) -> (Ring64, NetStats) {
-        let ServerTask {
-            id,
-            n,
-            shares,
-            dealer_rx,
-            peer_tx,
-            peer_rx,
-        } = self;
         let mut t_share = Ring64::ZERO;
         let mut net = NetStats::new();
-        for i in 0..n {
-            for j in (i + 1)..n {
-                if j + 1 >= n {
-                    break;
-                }
-                let DealerMsg { pair, groups } =
-                    dealer_rx.recv().expect("dealer hung up early");
-                assert_eq!(pair, (i, j), "dealer out of lockstep");
+        let my_chunks: Vec<PairChunk> = self
+            .sched
+            .chunks()
+            .iter()
+            .filter(|c| c.id as usize % self.workers == self.worker)
+            .copied()
+            .collect();
+        for chunk in my_chunks {
+            t_share += self.run_chunk(&chunk, &mut net);
+        }
+        (t_share, net)
+    }
+
+    fn run_chunk(&self, chunk: &PairChunk, net: &mut NetStats) -> Ring64 {
+        let n = self.sched.n();
+        let batch = self.sched.batch();
+        let mut t_share = Ring64::ZERO;
+        for (i, j) in self.sched.pair_iter(chunk) {
+            let aij = self.shares[i][j];
+            let mut k = j + 1;
+            while k < n {
+                let block = (n - k).min(batch);
+                let DealerMsg {
+                    chunk: d_chunk,
+                    pair,
+                    k0,
+                    groups,
+                } = self
+                    .dealer_rx
+                    .recv(chunk.id)
+                    .expect("dealer hung up early");
+                assert_eq!(d_chunk, chunk.id, "demux routed a foreign chunk");
+                assert_eq!(pair, (i as u32, j as u32), "dealer out of lockstep");
+                assert_eq!(k0 as usize, k, "dealer batch out of lockstep");
+                assert_eq!(groups.len(), block, "dealer batch size mismatch");
                 // Step 1: local maskings for the whole k batch.
-                let aij = shares[i][j];
-                let mut my_efg = Vec::with_capacity(groups.len());
+                let mut my_efg = Vec::with_capacity(block);
                 for (idx, mg) in groups.iter().enumerate() {
-                    let k = j + 1 + idx;
+                    let kk = k + idx;
                     let e = aij - mg.x;
-                    let f = shares[i][k] - mg.y;
-                    let g = shares[j][k] - mg.z;
+                    let f = self.shares[i][kk] - mg.y;
+                    let g = self.shares[j][kk] - mg.z;
                     my_efg.push((e, f, g));
                 }
                 // Step 2: one round — send mine, receive the peer's.
                 // S₁ tallies the full bidirectional exchange so the
                 // merged stats equal one exchange per batch.
-                if id == ServerId::S1 {
-                    net.exchange(3 * my_efg.len() as u64);
+                if self.id == ServerId::S1 {
+                    net.exchange(3 * block as u64);
                 }
-                peer_tx
-                    .send(OpeningMsg {
-                        pair,
-                        efg: my_efg.clone(),
-                    })
+                self.peer_tx
+                    .send(
+                        chunk.id,
+                        OpeningMsg {
+                            chunk: chunk.id,
+                            pair,
+                            k0,
+                            efg: my_efg.clone(),
+                        },
+                    )
                     .expect("peer hung up");
-                let theirs = peer_rx.recv().expect("peer hung up");
+                let theirs = self.peer_rx.recv(chunk.id).expect("peer hung up");
+                assert_eq!(theirs.chunk, chunk.id, "demux routed a foreign chunk");
                 assert_eq!(theirs.pair, pair, "peer out of lockstep");
+                assert_eq!(theirs.k0, k0, "peer batch out of lockstep");
                 // Step 3: local combination.
                 for (idx, mg) in groups.iter().enumerate() {
                     let (e1, f1, g1) = my_efg[idx];
@@ -121,7 +150,7 @@ impl ServerTask {
                     let e = e1 + e2;
                     let f = f1 + f2;
                     let g = g1 + g2;
-                    let efg_term = if id == ServerId::S2 {
+                    let efg_term = if self.id == ServerId::S2 {
                         e * f * g
                     } else {
                         Ring64::ZERO
@@ -135,86 +164,82 @@ impl ServerTask {
                         + mg.z * (e * f)
                         + efg_term;
                 }
+                k += block;
             }
         }
-        (t_share, net)
+        t_share
     }
 }
 
-/// The dealer thread body: streams MG share batches to both servers in
-/// the exact order `count.rs` consumes its per-`i` streams, so both
-/// runtimes produce identical shares.
+/// The dealer thread body: streams MG share batches to both servers,
+/// chunk by chunk, drawing each `(i, j)` pair's groups from the same
+/// [`PairDealer`] stream the fast kernel block-expands — so both
+/// runtimes produce identical shares. Messages are tagged with the
+/// chunk id; the servers' demuxes deliver each to whichever worker
+/// owns that shard.
 fn dealer_thread(
-    n: usize,
+    sched: &CountScheduler,
     seed: u64,
-    tx1: mpsc::Sender<DealerMsg>,
-    tx2: mpsc::Sender<DealerMsg>,
+    tx1: TaggedSender<DealerMsg>,
+    tx2: TaggedSender<DealerMsg>,
 ) {
-    for i in 0..n {
-        // Match count.rs: a raw SplitMix64 stream per outer i, drawing
-        // x1,x2,y1,y2,z1,z2 then o1,p1,q1,w1.
-        let mut stream = SplitMix64::new(dealer_seed(seed, i));
-        for j in (i + 1)..n {
-            if j + 1 >= n {
-                break;
-            }
-            let mut g1 = Vec::with_capacity(n - j - 1);
-            let mut g2 = Vec::with_capacity(n - j - 1);
-            for _k in (j + 1)..n {
-                let x1 = Ring64(stream.next_u64());
-                let x2 = Ring64(stream.next_u64());
-                let y1 = Ring64(stream.next_u64());
-                let y2 = Ring64(stream.next_u64());
-                let z1 = Ring64(stream.next_u64());
-                let z2 = Ring64(stream.next_u64());
-                let x = x1 + x2;
-                let y = y1 + y2;
-                let z = z1 + z2;
-                let o = x * y;
-                let p = x * z;
-                let q = y * z;
-                let w = o * z;
-                let o1 = Ring64(stream.next_u64());
-                let p1 = Ring64(stream.next_u64());
-                let q1 = Ring64(stream.next_u64());
-                let w1 = Ring64(stream.next_u64());
-                g1.push(cargo_mpc::MulGroupShare {
-                    x: x1,
-                    y: y1,
-                    z: z1,
-                    w: w1,
-                    o: o1,
-                    p: p1,
-                    q: q1,
-                });
-                g2.push(cargo_mpc::MulGroupShare {
-                    x: x2,
-                    y: y2,
-                    z: z2,
-                    w: w - w1,
-                    o: o - o1,
-                    p: p - p1,
-                    q: q - q1,
-                });
-            }
-            if tx1.send(DealerMsg { pair: (i, j), groups: g1 }).is_err() {
-                return;
-            }
-            if tx2.send(DealerMsg { pair: (i, j), groups: g2 }).is_err() {
-                return;
+    let n = sched.n();
+    let batch = sched.batch();
+    for chunk in sched.chunks() {
+        for (i, j) in sched.pair_iter(chunk) {
+            let mut stream = PairDealer::for_pair(seed, i as u32, j as u32);
+            let mut k = j + 1;
+            while k < n {
+                let block = (n - k).min(batch);
+                let mut g1 = Vec::with_capacity(block);
+                let mut g2 = Vec::with_capacity(block);
+                for _ in 0..block {
+                    let (s1, s2) = stream.next_group_pair();
+                    g1.push(s1);
+                    g2.push(s2);
+                }
+                let msg = |groups| DealerMsg {
+                    chunk: chunk.id,
+                    pair: (i as u32, j as u32),
+                    k0: k as u32,
+                    groups,
+                };
+                if tx1.send(chunk.id, msg(g1)).is_err() {
+                    return;
+                }
+                if tx2.send(chunk.id, msg(g2)).is_err() {
+                    return;
+                }
+                k += block;
             }
         }
     }
 }
 
-/// Runs Algorithm 4 on the three-thread message-passing runtime.
+/// Runs Algorithm 4 on the sharded message-passing runtime with one
+/// worker per server (plus the dealer) and the default batch size —
+/// the paper-faithful three-thread deployment shape.
 ///
 /// Produces byte-identical shares to
 /// [`crate::count::secure_triangle_count`] with the same seed (both
 /// expand users' input shares and the dealer's randomness from the
-/// same PRF streams).
+/// same per-pair PRF streams).
 pub fn threaded_secure_count(matrix: &BitMatrix, seed: u64) -> SecureCountResult {
+    threaded_secure_count_sharded(matrix, seed, 1, 0)
+}
+
+/// [`threaded_secure_count`] with `threads` workers **per server** and
+/// an explicit batch size (0 ⇒ default). Shares equal the fast path's
+/// for every `(threads, batch)` — the scheduler keys randomness per
+/// `(i, j)` pair, so sharding changes only who computes what.
+pub fn threaded_secure_count_sharded(
+    matrix: &BitMatrix,
+    seed: u64,
+    threads: usize,
+    batch: usize,
+) -> SecureCountResult {
     let n = matrix.n();
+    let sched = Arc::new(CountScheduler::new(n, threads.max(1), batch));
     // Users upload input shares: S1's expand from the PRF, S2's are
     // bit − share1. Each server receives ONLY its own matrix.
     let mut shares1 = vec![vec![Ring64::ZERO; n]; n];
@@ -226,63 +251,84 @@ pub fn threaded_secure_count(matrix: &BitMatrix, seed: u64) -> SecureCountResult
             shares2[i][j] = Ring64::from_bit(matrix.get(i, j)) - s1;
         }
     }
-    let (dtx1, drx1) = mpsc::channel();
-    let (dtx2, drx2) = mpsc::channel();
-    let (p1tx, p1rx) = mpsc::channel(); // S1 -> S2
-    let (p2tx, p2rx) = mpsc::channel(); // S2 -> S1
+    let shares1 = Arc::new(shares1);
+    let shares2 = Arc::new(shares2);
+    // Workers per server: no more than there are chunks to own.
+    let workers = sched.workers().min(sched.chunks().len()).max(1);
+
+    let (dtx1, drx1) = tagged_channel();
+    let (dtx2, drx2) = tagged_channel();
+    let (p1tx, p1rx) = tagged_channel(); // S1 -> S2
+    let (p2tx, p2rx) = tagged_channel(); // S2 -> S1
+    let drx1 = Arc::new(drx1);
+    let drx2 = Arc::new(drx2);
+    let p1rx = Arc::new(p1rx);
+    let p2rx = Arc::new(p2rx);
 
     let (share1, share2, net) = std::thread::scope(|scope| {
-        let dealer = scope.spawn(move || dealer_thread(n, seed, dtx1, dtx2));
-        let s1 = scope.spawn(move || {
-            ServerTask {
-                id: ServerId::S1,
-                n,
-                shares: shares1,
-                dealer_rx: drx1,
-                peer_tx: p1tx,
-                peer_rx: p2rx,
-            }
-            .run()
-        });
-        let s2 = scope.spawn(move || {
-            ServerTask {
-                id: ServerId::S2,
-                n,
-                shares: shares2,
-                dealer_rx: drx2,
-                peer_tx: p2tx,
-                peer_rx: p1rx,
-            }
-            .run()
-        });
+        let dealer = {
+            let sched = Arc::clone(&sched);
+            scope.spawn(move || dealer_thread(&sched, seed, dtx1, dtx2))
+        };
+        let spawn_pool = |id: ServerId,
+                          shares: &Arc<Vec<Vec<Ring64>>>,
+                          dealer_rx: &Arc<TaggedDemux<DealerMsg>>,
+                          peer_tx: &TaggedSender<OpeningMsg>,
+                          peer_rx: &Arc<TaggedDemux<OpeningMsg>>| {
+            (0..workers)
+                .map(|w| {
+                    let worker = ServerWorker {
+                        id,
+                        worker: w,
+                        workers,
+                        sched: Arc::clone(&sched),
+                        shares: Arc::clone(shares),
+                        dealer_rx: Arc::clone(dealer_rx),
+                        peer_tx: peer_tx.clone(),
+                        peer_rx: Arc::clone(peer_rx),
+                    };
+                    scope.spawn(move || worker.run())
+                })
+                .collect::<Vec<_>>()
+        };
+        let pool1 = spawn_pool(ServerId::S1, &shares1, &drx1, &p1tx, &p2rx);
+        let pool2 = spawn_pool(ServerId::S2, &shares2, &drx2, &p2tx, &p1rx);
+        // Drop the main thread's sender handles so the demuxes observe
+        // hang-up once the pools finish.
+        drop((p1tx, p2tx));
         dealer.join().expect("dealer panicked");
-        let (t1, net1) = s1.join().expect("S1 panicked");
-        let (t2, net2) = s2.join().expect("S2 panicked");
-        let mut net = net1;
-        net.merge(&net2); // S2's tally is empty; S1 recorded full exchanges
+        let mut t1 = Ring64::ZERO;
+        let mut t2 = Ring64::ZERO;
+        let mut net = NetStats::new();
+        for h in pool1 {
+            let (t, stats) = h.join().expect("S1 worker panicked");
+            t1 += t;
+            net.merge(&stats); // S2 workers tally nothing; S1 records full exchanges
+        }
+        for h in pool2 {
+            let (t, stats) = h.join().expect("S2 worker panicked");
+            t2 += t;
+            net.merge(&stats);
+        }
         (t1, t2, net)
     });
 
-    let triples = if n < 3 {
-        0
-    } else {
-        (n as u64) * (n as u64 - 1) * (n as u64 - 2) / 6
-    };
     SecureCountResult {
         share1,
         share2,
         net,
         upload_elements: 2 * (n as u64) * (n as u64),
-        triples,
+        triples: sched.total_triples(),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::count::secure_triangle_count;
+    use crate::count::{secure_triangle_count, secure_triangle_count_batched};
     use cargo_graph::count_triangles_matrix;
     use cargo_graph::generators::{barabasi_albert, erdos_renyi};
+    use cargo_testutil::golden_fixtures;
 
     #[test]
     fn threaded_runtime_matches_plaintext() {
@@ -311,6 +357,46 @@ mod tests {
         assert_eq!(fast.share2, threaded.share2);
         assert_eq!(fast.triples, threaded.triples);
         assert_eq!(fast.upload_elements, threaded.upload_elements);
+        assert_eq!(fast.net, threaded.net, "identical round accounting");
+    }
+
+    #[test]
+    fn sharded_runtime_matches_fast_path_on_golden_fixtures() {
+        // The acceptance bar for the scheduler rewrite: ≥2 workers per
+        // server reproduce the fast path's exact share pair on every
+        // golden fixture, across batch sizes.
+        for f in golden_fixtures() {
+            let m = f.graph.to_bit_matrix();
+            let fast = secure_triangle_count(&m, 0xCA60, 1);
+            assert_eq!(fast.reconstruct(), Ring64(f.triangles), "{}", f.name);
+            for (workers, batch) in [(2usize, 0usize), (2, 7), (3, 16)] {
+                let sharded = threaded_secure_count_sharded(&m, 0xCA60, workers, batch);
+                assert_eq!(
+                    sharded.share1, fast.share1,
+                    "{} workers={workers} batch={batch}",
+                    f.name
+                );
+                assert_eq!(
+                    sharded.share2, fast.share2,
+                    "{} workers={workers} batch={batch}",
+                    f.name
+                );
+                assert_eq!(sharded.triples, fast.triples, "{}", f.name);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_runtime_net_matches_batched_fast_path() {
+        let g = erdos_renyi(40, 0.3, 9);
+        let m = g.to_bit_matrix();
+        for batch in [1usize, 5, 64] {
+            let fast = secure_triangle_count_batched(&m, 4, 1, batch);
+            let sharded = threaded_secure_count_sharded(&m, 4, 2, batch);
+            assert_eq!(sharded.share1, fast.share1, "batch {batch}");
+            assert_eq!(sharded.share2, fast.share2, "batch {batch}");
+            assert_eq!(sharded.net, fast.net, "batch {batch}");
+        }
     }
 
     #[test]
@@ -323,14 +409,20 @@ mod tests {
         }
         let want = count_triangles_matrix(&m);
         assert_eq!(threaded_secure_count(&m, 3).reconstruct(), Ring64(want));
+        assert_eq!(
+            threaded_secure_count_sharded(&m, 3, 4, 3).reconstruct(),
+            Ring64(want)
+        );
     }
 
     #[test]
     fn tiny_inputs_do_not_deadlock() {
         for n in [0usize, 1, 2, 3] {
             let m = BitMatrix::zeros(n);
-            let res = threaded_secure_count(&m, 1);
-            assert_eq!(res.reconstruct(), Ring64::ZERO, "n = {n}");
+            for workers in [1usize, 2, 4] {
+                let res = threaded_secure_count_sharded(&m, 1, workers, 2);
+                assert_eq!(res.reconstruct(), Ring64::ZERO, "n = {n}, w = {workers}");
+            }
         }
     }
 }

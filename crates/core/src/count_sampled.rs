@@ -13,8 +13,11 @@
 //! `2(d'_max/ε₂)²` whenever `T ≪ (d'_max/ε₂)²`/5 — while cutting the
 //! online multiplications, dealer material, and communication by
 //! `1/q`. This module implements the sampled variant of Algorithm 4
-//! over the same share/dealer streams and quantifies the trade-off in
-//! tests and benches.
+//! over the same per-pair share/dealer streams as the exact count
+//! (routed through the shared [`CountScheduler`], so thread count and
+//! batch size never change the estimate) and quantifies the trade-off
+//! in tests and benches. At `rate = 1` it consumes the streams exactly
+//! as the exact kernel does and reproduces its share pair bit for bit.
 //!
 //! Privacy note: the *sensitivity* of the scaled estimator grows to
 //! `d'_max/q` in the worst case (an edge's triangles could all be
@@ -24,8 +27,9 @@
 //! sensitivity; the net effect (noise ×1/q vs time ×q) is the knob the
 //! extension benchmarks sweep.
 
+use crate::count_sched::{share_prf, CountScheduler, PairChunk};
 use cargo_graph::BitMatrix;
-use cargo_mpc::{NetStats, Ring64, SplitMix64};
+use cargo_mpc::{NetStats, PairDealer, Ring64, SplitMix64, MG_WORDS};
 
 /// Result of the sampled secure count.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,39 +74,43 @@ pub fn sampled_sensitivity(d_max_noisy: f64, rate: f64) -> f64 {
     d_max_noisy.max(1.0) / rate
 }
 
-/// Runs the sampled variant of Algorithm 4: every triple `i<j<k` is
-/// included with independent public probability `rate` (derived from
-/// `seed`, known to both servers — sampling is data-independent so it
-/// consumes no privacy budget).
+/// The public sampling coin for pair `(i, j)`: both servers derive the
+/// same stream (the coin is data-independent, so it consumes no
+/// privacy budget). Domain-separated from the dealer and share PRFs.
+#[inline]
+fn pair_coin(seed: u64, i: u32, j: u32) -> SplitMix64 {
+    let pair = ((i as u64) << 32) | j as u64;
+    SplitMix64::new(seed ^ pair.wrapping_mul(0xEB44ACCAB455D165) ^ 0x5851F42D4C957F2D)
+}
+
+/// Runs the sampled variant of Algorithm 4 with the default batch
+/// size: every triple `i<j<k` is included with independent public
+/// probability `rate` (derived from `seed`, known to both servers).
 pub fn secure_triangle_count_sampled(
     matrix: &BitMatrix,
     seed: u64,
     rate: f64,
     threads: usize,
 ) -> SampledCountResult {
+    secure_triangle_count_sampled_batched(matrix, seed, rate, threads, 0)
+}
+
+/// [`secure_triangle_count_sampled`] with an explicit batch size
+/// (0 ⇒ default). Like the exact count, the estimate and element
+/// counts are invariant across `(threads, batch)`.
+pub fn secure_triangle_count_sampled_batched(
+    matrix: &BitMatrix,
+    seed: u64,
+    rate: f64,
+    threads: usize,
+    batch: usize,
+) -> SampledCountResult {
     assert!((0.0..=1.0).contains(&rate) && rate > 0.0, "rate in (0,1]");
     let n = matrix.n();
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
-    } else {
-        threads
-    }
-    .max(1)
-    .min(n.max(1));
+    let threads = if n < 64 { 1 } else { threads };
+    let sched = CountScheduler::new(n, threads, batch);
+    let results = sched.run_chunks(|chunk| sampled_chunk(matrix, seed, rate, &sched, chunk));
 
-    let results: Vec<(Ring64, Ring64, NetStats, u64)> = if threads <= 1 || n < 64 {
-        vec![sampled_range(matrix, seed, rate, 0, 1)]
-    } else {
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|w| scope.spawn(move || sampled_range(matrix, seed, rate, w, threads)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
-        })
-    };
     let mut share1 = Ring64::ZERO;
     let mut share2 = Ring64::ZERO;
     let mut net = NetStats::new();
@@ -113,110 +121,93 @@ pub fn secure_triangle_count_sampled(
         net.merge(&stats);
         evaluated += ev;
     }
-    let total = if n < 3 {
-        0
-    } else {
-        (n as u64) * (n as u64 - 1) * (n as u64 - 2) / 6
-    };
     SampledCountResult {
         share1,
         share2,
         rate,
         evaluated,
-        total_triples: total,
+        total_triples: sched.total_triples(),
         net,
     }
 }
 
-#[inline]
-fn share_prf(seed: u64, i: u32, j: u32) -> u64 {
-    let mut z = seed ^ (((i as u64) << 32) | j as u64).wrapping_mul(0x9E3779B97F4A7C15);
-    z = z.wrapping_add(0x9E3779B97F4A7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^ (z >> 31)
-}
-
-fn sampled_range(
+fn sampled_chunk(
     matrix: &BitMatrix,
     seed: u64,
     rate: f64,
-    worker: usize,
-    stride: usize,
+    sched: &CountScheduler,
+    chunk: &PairChunk,
 ) -> (Ring64, Ring64, NetStats, u64) {
-    let n = matrix.n();
+    let n = sched.n();
+    let batch = sched.batch();
     let mut t1 = 0u64;
     let mut t2 = 0u64;
     let mut net = NetStats::new();
     let mut evaluated = 0u64;
     // Public sampling threshold on the PRG's u64 output.
     let threshold = (rate * u64::MAX as f64) as u64;
-    for i in (worker..n).step_by(stride) {
-        let mut dealer = SplitMix64::new(seed ^ (i as u64).wrapping_mul(0xD1B54A32D192ED03));
-        let mut coin = SplitMix64::new(seed ^ (i as u64).wrapping_mul(0xEB44ACCAB455D165));
+    let mut words = [0u64; MG_WORDS];
+    for (i, j) in sched.pair_iter(chunk) {
         let row_i = matrix.row(i);
-        for j in (i + 1)..n {
-            let aij = row_i.get(j) as u64;
-            let aij1 = share_prf(seed, i as u32, j as u32);
-            let aij2 = aij.wrapping_sub(aij1);
-            let row_j = matrix.row(j);
-            let mut batch = 0u64;
-            for k in (j + 1)..n {
-                if coin.next_u64() > threshold {
-                    continue; // triple not sampled (public coin)
-                }
-                batch += 1;
-                evaluated += 1;
-                let x1 = dealer.next_u64();
-                let x2 = dealer.next_u64();
-                let y1 = dealer.next_u64();
-                let y2 = dealer.next_u64();
-                let z1 = dealer.next_u64();
-                let z2 = dealer.next_u64();
-                let x = x1.wrapping_add(x2);
-                let y = y1.wrapping_add(y2);
-                let z = z1.wrapping_add(z2);
-                let o = x.wrapping_mul(y);
-                let p = x.wrapping_mul(z);
-                let q = y.wrapping_mul(z);
-                let w = o.wrapping_mul(z);
-                let o1 = dealer.next_u64();
-                let p1 = dealer.next_u64();
-                let q1 = dealer.next_u64();
-                let w1 = dealer.next_u64();
-                let aik = row_i.get(k) as u64;
-                let aik1 = share_prf(seed, i as u32, k as u32);
-                let aik2 = aik.wrapping_sub(aik1);
-                let ajk = row_j.get(k) as u64;
-                let ajk1 = share_prf(seed, j as u32, k as u32);
-                let ajk2 = ajk.wrapping_sub(ajk1);
-                let e = aij1.wrapping_sub(x1).wrapping_add(aij2.wrapping_sub(x2));
-                let f = aik1.wrapping_sub(y1).wrapping_add(aik2.wrapping_sub(y2));
-                let g = ajk1.wrapping_sub(z1).wrapping_add(ajk2.wrapping_sub(z2));
-                let fg = f.wrapping_mul(g);
-                let eg = e.wrapping_mul(g);
-                let ef = e.wrapping_mul(f);
-                t1 = t1
-                    .wrapping_add(w1)
-                    .wrapping_add(o1.wrapping_mul(g))
-                    .wrapping_add(p1.wrapping_mul(f))
-                    .wrapping_add(q1.wrapping_mul(e))
-                    .wrapping_add(x1.wrapping_mul(fg))
-                    .wrapping_add(y1.wrapping_mul(eg))
-                    .wrapping_add(z1.wrapping_mul(ef));
-                t2 = t2
-                    .wrapping_add(w.wrapping_sub(w1))
-                    .wrapping_add(o.wrapping_sub(o1).wrapping_mul(g))
-                    .wrapping_add(p.wrapping_sub(p1).wrapping_mul(f))
-                    .wrapping_add(q.wrapping_sub(q1).wrapping_mul(e))
-                    .wrapping_add(x2.wrapping_mul(fg))
-                    .wrapping_add(y2.wrapping_mul(eg))
-                    .wrapping_add(z2.wrapping_mul(ef))
-                    .wrapping_add(ef.wrapping_mul(g));
+        let row_j = matrix.row(j);
+        let aij = row_i.get(j) as u64;
+        let aij1 = share_prf(seed, i as u32, j as u32);
+        let aij2 = aij.wrapping_sub(aij1);
+        let mut dealer = PairDealer::for_pair(seed, i as u32, j as u32);
+        let mut coin = pair_coin(seed, i as u32, j as u32);
+        // Sampled triples of the current round; flushed every `batch`.
+        let mut in_round = 0u64;
+        for k in (j + 1)..n {
+            if coin.next_u64() > threshold {
+                continue; // triple not sampled (public coin)
             }
-            if batch > 0 {
-                net.exchange(3 * batch);
+            if in_round == batch as u64 {
+                net.exchange(3 * in_round);
+                in_round = 0;
             }
+            in_round += 1;
+            evaluated += 1;
+            dealer.fill_words(&mut words);
+            let [x1, x2, y1, y2, z1, z2, o1, p1, q1, w1] = words;
+            let x = x1.wrapping_add(x2);
+            let y = y1.wrapping_add(y2);
+            let z = z1.wrapping_add(z2);
+            let o = x.wrapping_mul(y);
+            let p = x.wrapping_mul(z);
+            let q = y.wrapping_mul(z);
+            let w = o.wrapping_mul(z);
+            let aik = row_i.get(k) as u64;
+            let aik1 = share_prf(seed, i as u32, k as u32);
+            let aik2 = aik.wrapping_sub(aik1);
+            let ajk = row_j.get(k) as u64;
+            let ajk1 = share_prf(seed, j as u32, k as u32);
+            let ajk2 = ajk.wrapping_sub(ajk1);
+            let e = aij1.wrapping_sub(x1).wrapping_add(aij2.wrapping_sub(x2));
+            let f = aik1.wrapping_sub(y1).wrapping_add(aik2.wrapping_sub(y2));
+            let g = ajk1.wrapping_sub(z1).wrapping_add(ajk2.wrapping_sub(z2));
+            let fg = f.wrapping_mul(g);
+            let eg = e.wrapping_mul(g);
+            let ef = e.wrapping_mul(f);
+            t1 = t1
+                .wrapping_add(w1)
+                .wrapping_add(o1.wrapping_mul(g))
+                .wrapping_add(p1.wrapping_mul(f))
+                .wrapping_add(q1.wrapping_mul(e))
+                .wrapping_add(x1.wrapping_mul(fg))
+                .wrapping_add(y1.wrapping_mul(eg))
+                .wrapping_add(z1.wrapping_mul(ef));
+            t2 = t2
+                .wrapping_add(w.wrapping_sub(w1))
+                .wrapping_add(o.wrapping_sub(o1).wrapping_mul(g))
+                .wrapping_add(p.wrapping_sub(p1).wrapping_mul(f))
+                .wrapping_add(q.wrapping_sub(q1).wrapping_mul(e))
+                .wrapping_add(x2.wrapping_mul(fg))
+                .wrapping_add(y2.wrapping_mul(eg))
+                .wrapping_add(z2.wrapping_mul(ef))
+                .wrapping_add(ef.wrapping_mul(g));
+        }
+        if in_round > 0 {
+            net.exchange(3 * in_round);
         }
     }
     (Ring64(t1), Ring64(t2), net, evaluated)
@@ -225,6 +216,7 @@ fn sampled_range(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::count::secure_triangle_count;
     use cargo_graph::count_triangles_matrix;
     use cargo_graph::generators::{barabasi_albert, erdos_renyi};
 
@@ -239,6 +231,13 @@ mod tests {
         );
         assert_eq!(res.evaluated, res.total_triples);
         assert_eq!(res.estimate(), count_triangles_matrix(&m) as f64);
+        // At rate 1 the streams are consumed exactly as the exact
+        // kernel consumes them: the share PAIRS coincide, not just the
+        // reconstruction.
+        let exact = secure_triangle_count(&m, 3, 2);
+        assert_eq!(res.share1, exact.share1);
+        assert_eq!(res.share2, exact.share2);
+        assert_eq!(res.net, exact.net);
     }
 
     #[test]
@@ -268,6 +267,20 @@ mod tests {
         assert!((frac - 0.25).abs() < 0.01, "sampled fraction {frac}");
         // Communication shrinks proportionally.
         assert_eq!(res.net.elements, 6 * res.evaluated);
+    }
+
+    #[test]
+    fn threads_and_batch_do_not_change_the_estimate() {
+        let g = erdos_renyi(80, 0.15, 11);
+        let m = g.to_bit_matrix();
+        let base = secure_triangle_count_sampled_batched(&m, 5, 0.3, 1, 1);
+        for (threads, batch) in [(1usize, 64usize), (2, 7), (4, 1), (4, 64)] {
+            let r = secure_triangle_count_sampled_batched(&m, 5, 0.3, threads, batch);
+            assert_eq!(r.share1, base.share1, "t={threads} b={batch}");
+            assert_eq!(r.share2, base.share2, "t={threads} b={batch}");
+            assert_eq!(r.evaluated, base.evaluated, "t={threads} b={batch}");
+            assert_eq!(r.net.elements, base.net.elements, "t={threads} b={batch}");
+        }
     }
 
     #[test]

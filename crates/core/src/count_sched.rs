@@ -1,0 +1,345 @@
+//! The shared scheduler behind every Count implementation.
+//!
+//! Algorithm 4 evaluates one Multiplication Group per triple
+//! `i < j < k`. All three implementations in this crate — the fast
+//! kernel ([`crate::count`]), the message-passing runtime
+//! ([`crate::count_runtime`]), and the sampled estimator
+//! ([`crate::count_sampled`]) — iterate the same space: an outer walk
+//! over the `(i, j)` pairs with a non-empty `k` range, an inner batched
+//! `k` loop per pair. This module owns that shape once:
+//!
+//! * **Pair-space partitioning.** The lexicographic `(i, j)` pair list
+//!   is cut into contiguous [`PairChunk`]s of roughly equal *triple*
+//!   weight (pair `(i, j)` costs `n − j − 1` triples, so pair counts
+//!   alone would load-balance badly). Workers pull chunks from an
+//!   atomic queue.
+//! * **Batched rounds.** The `k` loop advances in blocks of
+//!   [`CountScheduler::batch`] triples; each block is one
+//!   communication round (`3·block` elements each way) and one block
+//!   PRG expansion.
+//! * **Determinism by construction.** Randomness is keyed per pair
+//!   ([`cargo_mpc::PairDealer`], [`share_prf`]), never per worker or
+//!   per chunk, so the servers' share pairs are bit-identical for
+//!   every thread count and batch size — the partition only decides
+//!   *who* consumes a stream. The scheduler-invariance property suite
+//!   (`crates/core/tests/scheduler_invariance.rs`) pins this.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default `k`-loop batch: 64 triples per round, the sweet spot the
+/// secure-count bench sweep settled on (large enough to amortise the
+/// block PRG expansion and message overhead, small enough to keep
+/// per-message buffers tiny — 192 ring elements each way).
+pub const DEFAULT_COUNT_BATCH: usize = 64;
+
+/// Chunks handed out per worker (oversubscription so the atomic queue
+/// can smooth out uneven chunk costs).
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// PRF expanding user bit-shares: uniform in `Z_{2^64}`, keyed by
+/// `(seed, i, j)`. Server S₁'s share of bit `a_ij` is
+/// `share_prf(seed, i, j)`; S₂'s is `a_ij − ⟨a_ij⟩₁`. Shared by every
+/// Count implementation so their executions are comparable
+/// share-for-share.
+#[inline(always)]
+pub(crate) fn share_prf(seed: u64, i: u32, j: u32) -> u64 {
+    let mut z = seed ^ (((i as u64) << 32) | j as u64).wrapping_mul(0x9E3779B97F4A7C15);
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// A contiguous run of `(i, j)` pairs in lexicographic order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairChunk {
+    /// Chunk index — the tag its messages travel under in the sharded
+    /// runtime.
+    pub id: u32,
+    /// First pair of the run.
+    start: (u32, u32),
+    /// Number of pairs in the run.
+    pub pairs: u32,
+    /// Total triples across the run (the chunk's work weight).
+    pub triples: u64,
+}
+
+/// Iterator over one chunk's pairs in lexicographic `(i, j)` order.
+#[derive(Debug, Clone)]
+pub struct PairIter {
+    n: usize,
+    i: usize,
+    j: usize,
+    remaining: u32,
+}
+
+impl Iterator for PairIter {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let out = (self.i, self.j);
+        // Advance to the next pair with a non-empty k range
+        // (j ≤ n − 2 so that k = j + 1 exists).
+        if self.j < self.n - 2 {
+            self.j += 1;
+        } else {
+            self.i += 1;
+            self.j = self.i + 1;
+        }
+        Some(out)
+    }
+}
+
+/// Deterministic partition of the Count phase's `(i, j)` pair space.
+#[derive(Debug, Clone)]
+pub struct CountScheduler {
+    n: usize,
+    workers: usize,
+    batch: usize,
+    chunks: Vec<PairChunk>,
+    total_triples: u64,
+}
+
+impl CountScheduler {
+    /// Builds the schedule for an `n × n` matrix.
+    ///
+    /// * `threads` — worker threads; `0` means all cores.
+    /// * `batch` — triples per round/block; `0` means
+    ///   [`DEFAULT_COUNT_BATCH`].
+    ///
+    /// The share pairs produced under this schedule are identical for
+    /// every `(threads, batch)` choice; only wall-clock and round
+    /// granularity change.
+    pub fn new(n: usize, threads: usize, batch: usize) -> Self {
+        let workers = if threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            threads
+        }
+        .max(1);
+        // Clamp to the longest possible k range: blocks are already
+        // `min(n - k, batch)`, so larger values change nothing except
+        // the size of the per-chunk word buffer — and an unchecked
+        // `--batch` must not drive a multi-gigabyte allocation.
+        let batch = if batch == 0 { DEFAULT_COUNT_BATCH } else { batch }.min(n.max(1));
+        let total_triples = if n < 3 {
+            0
+        } else {
+            (n as u64) * (n as u64 - 1) * (n as u64 - 2) / 6
+        };
+        let chunks = build_chunks(n, workers, total_triples);
+        CountScheduler {
+            n,
+            workers,
+            batch,
+            chunks,
+            total_triples,
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Resolved worker count (≥ 1).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Resolved batch size (≥ 1).
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The chunk list (empty when `n < 3`).
+    pub fn chunks(&self) -> &[PairChunk] {
+        &self.chunks
+    }
+
+    /// `C(n, 3)` — every triple the schedule covers exactly once.
+    pub fn total_triples(&self) -> u64 {
+        self.total_triples
+    }
+
+    /// Iterates `chunk`'s pairs in lexicographic order.
+    pub fn pair_iter(&self, chunk: &PairChunk) -> PairIter {
+        PairIter {
+            n: self.n,
+            i: chunk.start.0 as usize,
+            j: chunk.start.1 as usize,
+            remaining: chunk.pairs,
+        }
+    }
+
+    /// Runs `work` over every chunk on the scheduler's worker pool
+    /// (scoped threads pulling chunk indices from an atomic queue) and
+    /// returns the per-chunk results in chunk order. With one worker —
+    /// or one chunk — everything runs inline on the caller's thread.
+    pub fn run_chunks<R, F>(&self, work: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&PairChunk) -> R + Sync,
+    {
+        let chunks = &self.chunks;
+        let spawn = self.workers.min(chunks.len());
+        if spawn <= 1 {
+            return chunks.iter().map(work).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(chunks.len()));
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..spawn)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= chunks.len() {
+                                break;
+                            }
+                            local.push((idx, work(&chunks[idx])));
+                        }
+                        slots.lock().expect("result lock poisoned").extend(local);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("count worker panicked");
+            }
+        });
+        let mut collected = slots.into_inner().expect("result lock poisoned");
+        collected.sort_by_key(|(idx, _)| *idx);
+        collected.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+/// Cuts the lexicographic pair walk into chunks of roughly
+/// `total / (workers · CHUNKS_PER_WORKER)` triples each.
+fn build_chunks(n: usize, workers: usize, total_triples: u64) -> Vec<PairChunk> {
+    if n < 3 {
+        return Vec::new();
+    }
+    let target = (total_triples / (workers * CHUNKS_PER_WORKER) as u64).max(1);
+    let mut chunks = Vec::new();
+    let mut start: Option<(u32, u32)> = None;
+    let mut pairs = 0u32;
+    let mut triples = 0u64;
+    for i in 0..=(n - 3) {
+        for j in (i + 1)..=(n - 2) {
+            if start.is_none() {
+                start = Some((i as u32, j as u32));
+            }
+            pairs += 1;
+            triples += (n - j - 1) as u64;
+            if triples >= target {
+                chunks.push(PairChunk {
+                    id: chunks.len() as u32,
+                    start: start.take().expect("chunk start set"),
+                    pairs,
+                    triples,
+                });
+                pairs = 0;
+                triples = 0;
+            }
+        }
+    }
+    if let Some(start) = start {
+        chunks.push(PairChunk {
+            id: chunks.len() as u32,
+            start,
+            pairs,
+            triples,
+        });
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every pair exactly once, in order, with the right weights.
+    fn check_cover(n: usize, workers: usize) {
+        let sched = CountScheduler::new(n, workers, 0);
+        let mut seen = Vec::new();
+        let mut triples = 0u64;
+        for c in sched.chunks() {
+            let got: Vec<_> = sched.pair_iter(c).collect();
+            assert_eq!(got.len(), c.pairs as usize, "pair count of chunk {}", c.id);
+            triples += c.triples;
+            seen.extend(got);
+        }
+        let mut want = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if j + 1 < n {
+                    want.push((i, j));
+                }
+            }
+        }
+        assert_eq!(seen, want, "n={n} workers={workers}");
+        assert_eq!(triples, sched.total_triples());
+    }
+
+    #[test]
+    fn chunks_cover_the_pair_space_exactly_once() {
+        for n in [0usize, 1, 2, 3, 4, 5, 17, 64, 101] {
+            for workers in [1usize, 2, 4, 7] {
+                check_cover(n, workers);
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_weights_are_balanced() {
+        let sched = CountScheduler::new(200, 4, 0);
+        assert!(sched.chunks().len() >= 8, "oversubscribed chunking");
+        let max = sched.chunks().iter().map(|c| c.triples).max().unwrap();
+        let target = sched.total_triples() / sched.chunks().len() as u64;
+        // No chunk should dominate: the last pair of a chunk can
+        // overshoot by at most one pair's weight (< n triples).
+        assert!(max <= target + 200, "max {max} vs target {target}");
+    }
+
+    #[test]
+    fn zero_knobs_resolve_to_defaults() {
+        let sched = CountScheduler::new(100, 0, 0);
+        assert!(sched.workers() >= 1);
+        assert_eq!(sched.batch(), DEFAULT_COUNT_BATCH);
+    }
+
+    #[test]
+    fn oversized_batch_is_clamped_to_n() {
+        // No k range exceeds n − 2, so a larger batch only inflates
+        // the word buffer; usize::MAX must not drive the allocation.
+        let sched = CountScheduler::new(10, 1, usize::MAX);
+        assert_eq!(sched.batch(), 10);
+        assert_eq!(CountScheduler::new(10, 1, 4).batch(), 4);
+        assert_eq!(CountScheduler::new(0, 1, 0).batch(), 1);
+    }
+
+    #[test]
+    fn tiny_n_has_no_chunks() {
+        for n in 0..3 {
+            let sched = CountScheduler::new(n, 4, 8);
+            assert!(sched.chunks().is_empty());
+            assert_eq!(sched.total_triples(), 0);
+        }
+    }
+
+    #[test]
+    fn run_chunks_preserves_chunk_order() {
+        let sched = CountScheduler::new(60, 3, 0);
+        let ids = sched.run_chunks(|c| c.id);
+        let want: Vec<u32> = (0..sched.chunks().len() as u32).collect();
+        assert_eq!(ids, want);
+    }
+}

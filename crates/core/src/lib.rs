@@ -41,6 +41,7 @@ pub mod config;
 pub mod count;
 pub mod count_runtime;
 pub mod count_sampled;
+pub mod count_sched;
 pub mod max_degree;
 pub mod metrics;
 pub mod node_dp;
@@ -51,9 +52,12 @@ pub mod protocol;
 pub mod theory;
 
 pub use config::CargoConfig;
-pub use count::{secure_triangle_count, SecureCountResult};
-pub use count_runtime::threaded_secure_count;
-pub use count_sampled::{secure_triangle_count_sampled, SampledCountResult};
+pub use count::{secure_triangle_count, secure_triangle_count_batched, SecureCountResult};
+pub use count_runtime::{threaded_secure_count, threaded_secure_count_sharded};
+pub use count_sampled::{
+    secure_triangle_count_sampled, secure_triangle_count_sampled_batched, SampledCountResult,
+};
+pub use count_sched::{CountScheduler, PairChunk, DEFAULT_COUNT_BATCH};
 pub use max_degree::{estimate_max_degree, MaxDegreeEstimate};
 pub use metrics::{l2_loss, relative_error};
 pub use perturb::{perturb, PerturbResult};

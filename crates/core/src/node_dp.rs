@@ -16,7 +16,7 @@
 //! exactly what these functions let the benchmarks demonstrate.
 
 use crate::config::CargoConfig;
-use crate::count::secure_triangle_count;
+use crate::count::secure_triangle_count_batched;
 use crate::perturb::{perturb, PerturbInputs};
 use crate::projection::project_matrix;
 use crate::protocol::{CargoOutput, StepTimings};
@@ -81,7 +81,12 @@ pub fn run_node_dp(config: &CargoConfig, graph: &Graph) -> CargoOutput {
     let t_project = t0.elapsed();
 
     let t0 = Instant::now();
-    let count = secure_triangle_count(&projected, config.seed ^ 0xC0DE, config.threads);
+    let count = secure_triangle_count_batched(
+        &projected,
+        config.seed ^ 0xC0DE,
+        config.effective_threads(),
+        config.effective_batch(),
+    );
     let t_count = t0.elapsed();
 
     let t0 = Instant::now();

@@ -15,7 +15,7 @@
 //! the error into projection loss vs perturbation error (Theorems 5/6).
 
 use crate::config::CargoConfig;
-use crate::count::secure_triangle_count;
+use crate::count::secure_triangle_count_batched;
 use crate::max_degree::estimate_max_degree;
 use crate::perturb::{perturb, PerturbInputs};
 use crate::projection::project_matrix;
@@ -135,7 +135,12 @@ impl CargoSystem {
 
         // ---- Step 2: ASS-based triangle counting ----
         let t0 = Instant::now();
-        let count = secure_triangle_count(&projected, cfg.seed ^ 0xC0DE, cfg.threads);
+        let count = secure_triangle_count_batched(
+            &projected,
+            cfg.seed ^ 0xC0DE,
+            cfg.effective_threads(),
+            cfg.effective_batch(),
+        );
         let t_count = t0.elapsed();
 
         // ---- Step 3: distributed perturbation ----

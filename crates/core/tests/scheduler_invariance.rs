@@ -1,0 +1,123 @@
+//! Scheduler-invariance property suite: the batched `CountScheduler`
+//! may change *who* computes *when*, but never *what*.
+//!
+//! For arbitrary (asymmetric!) bit matrices, the servers' share pair,
+//! the triple count, and the `NetStats` element/byte totals must be
+//! identical across every `threads × batch` combination — and the
+//! message-passing runtime must stay pinned to the fast path share for
+//! share. This is the contract that makes sharding a pure speedup: no
+//! adjacency-dependent scheduling, no randomness keyed by worker or
+//! chunk.
+
+use cargo_core::{
+    secure_triangle_count_batched, secure_triangle_count_sampled_batched,
+    threaded_secure_count_sharded, CountScheduler,
+};
+use cargo_graph::BitMatrix;
+use cargo_mpc::SplitMix64;
+use proptest::prelude::*;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+const BATCHES: [usize; 3] = [1, 7, 64];
+
+/// Strategy: an arbitrary n×n bit matrix (not necessarily symmetric —
+/// projection produces one-directional deletions) with a seeded
+/// density in (0, 1).
+fn arb_bit_matrix(max_n: usize) -> impl Strategy<Value = BitMatrix> {
+    (3usize..max_n, 1u32..10, any::<u64>()).prop_map(|(n, tenths, seed)| {
+        let mut rng = SplitMix64::new(seed);
+        let threshold = (tenths as u64) * (u64::MAX / 10);
+        let mut m = BitMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && rng.next_u64() < threshold {
+                    m.set(i, j, true);
+                }
+            }
+        }
+        m
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn shares_and_elements_invariant_across_threads_and_batch(
+        m in arb_bit_matrix(24),
+        seed: u64,
+    ) {
+        let base = secure_triangle_count_batched(&m, seed, 1, 1);
+        for threads in THREADS {
+            for batch in BATCHES {
+                let r = secure_triangle_count_batched(&m, seed, threads, batch);
+                prop_assert_eq!(r.share1, base.share1);
+                prop_assert_eq!(r.share2, base.share2);
+                prop_assert_eq!(r.triples, base.triples);
+                // Element counts must be per-triple exact regardless
+                // of the round structure.
+                prop_assert_eq!(r.net.elements, base.net.elements);
+                prop_assert_eq!(r.net.bytes, base.net.bytes);
+                prop_assert_eq!(r.upload_elements, base.upload_elements);
+            }
+        }
+    }
+
+    #[test]
+    fn runtime_stays_pinned_to_the_fast_path(
+        m in arb_bit_matrix(16),
+        seed: u64,
+    ) {
+        let fast = secure_triangle_count_batched(&m, seed, 1, 0);
+        for (threads, batch) in [(1usize, 0usize), (2, 7), (2, 1), (4, 64)] {
+            let rt = threaded_secure_count_sharded(&m, seed, threads, batch);
+            prop_assert_eq!(rt.share1, fast.share1);
+            prop_assert_eq!(rt.share2, fast.share2);
+            prop_assert_eq!(rt.triples, fast.triples);
+            prop_assert_eq!(rt.net.elements, fast.net.elements);
+        }
+    }
+
+    #[test]
+    fn sampled_estimator_invariant_across_threads_and_batch(
+        m in arb_bit_matrix(20),
+        seed: u64,
+        rate_tenths in 1u32..=10,
+    ) {
+        let rate = rate_tenths as f64 / 10.0;
+        let base = secure_triangle_count_sampled_batched(&m, seed, rate, 1, 1);
+        for threads in THREADS {
+            for batch in BATCHES {
+                let r = secure_triangle_count_sampled_batched(&m, seed, rate, threads, batch);
+                prop_assert_eq!(r.share1, base.share1);
+                prop_assert_eq!(r.share2, base.share2);
+                prop_assert_eq!(r.evaluated, base.evaluated);
+                prop_assert_eq!(r.net.elements, base.net.elements);
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_covers_every_pair_exactly_once(
+        n in 0usize..40,
+        threads in 1usize..6,
+        batch in 1usize..80,
+    ) {
+        let sched = CountScheduler::new(n, threads, batch);
+        let mut seen = Vec::new();
+        for c in sched.chunks() {
+            seen.extend(sched.pair_iter(c));
+        }
+        let mut want = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if j + 1 < n {
+                    want.push((i, j));
+                }
+            }
+        }
+        prop_assert_eq!(seen, want);
+        let triples: u64 = sched.chunks().iter().map(|c| c.triples).sum();
+        prop_assert_eq!(triples, sched.total_triples());
+    }
+}

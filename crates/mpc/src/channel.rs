@@ -1,4 +1,5 @@
-//! Communication accounting for the simulated two-server protocols.
+//! Communication accounting and channels for the simulated two-server
+//! protocols.
 //!
 //! The experiments report protocol *cost*; since both servers run
 //! in-process, an explicit [`NetStats`] tally stands in for the wire.
@@ -6,6 +7,18 @@
 //! protocols; the final noisy count) goes through [`NetStats::exchange`]
 //! so message counts, byte counts, and round counts are faithful to the
 //! protocol description even though no sockets exist.
+//!
+//! The sharded Count runtime additionally needs *multiplexed*
+//! connections: many workers per server share one logical link, and
+//! rounds belonging to different pair-space chunks interleave on it.
+//! [`tagged_channel`] provides that: every message carries a `u32` tag
+//! (the chunk id) and the receiving side demultiplexes by tag, so a
+//! worker blocked on chunk 7's round is unaffected by chunk 3's
+//! messages arriving first.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
 
 /// Tally of simulated network traffic between S₁ and S₂.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -16,6 +29,14 @@ pub struct NetStats {
     pub bytes: u64,
     /// Communication rounds (a batch of parallel exchanges = 1 round).
     pub rounds: u64,
+    /// Element-carrying messages per direction (one per batch flush).
+    /// `rounds` counts latency; `batches` counts scheduling granularity
+    /// — at batch size `b`, a pair's `k`-loop of length `L` costs
+    /// `ceil(L/b)` rounds and as many batches.
+    pub batches: u64,
+    /// Largest single batch (elements each way) seen so far — the peak
+    /// per-message buffer a deployment would need.
+    pub peak_batch: u64,
 }
 
 impl NetStats {
@@ -31,6 +52,8 @@ impl NetStats {
         self.elements += 2 * elements_each_way;
         self.bytes += 2 * elements_each_way * 8;
         self.rounds += 1;
+        self.batches += 1;
+        self.peak_batch = self.peak_batch.max(elements_each_way);
     }
 
     /// Records extra elements inside the *current* round (batched
@@ -39,6 +62,18 @@ impl NetStats {
     pub fn batched_elements(&mut self, elements_each_way: u64) {
         self.elements += 2 * elements_each_way;
         self.bytes += 2 * elements_each_way * 8;
+        self.batches += 1;
+        self.peak_batch = self.peak_batch.max(elements_each_way);
+    }
+
+    /// Mean elements per round each way — the effective batching the
+    /// schedule achieved (0 when no rounds were recorded).
+    pub fn elements_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.elements as f64 / (2.0 * self.rounds as f64)
+        }
     }
 
     /// Merges another tally into this one (summing rounds; used when
@@ -49,6 +84,8 @@ impl NetStats {
         self.elements += other.elements;
         self.bytes += other.bytes;
         self.rounds += other.rounds;
+        self.batches += other.batches;
+        self.peak_batch = self.peak_batch.max(other.peak_batch);
     }
 }
 
@@ -62,9 +99,106 @@ impl std::fmt::Display for NetStats {
     }
 }
 
+/// Creates a multiplexed channel: an unbounded queue whose messages
+/// carry a `u32` tag, with a receiver that hands each message only to
+/// the worker asking for that tag.
+pub fn tagged_channel<T>() -> (TaggedSender<T>, TaggedDemux<T>) {
+    let (tx, rx) = mpsc::channel();
+    (
+        TaggedSender { tx },
+        TaggedDemux {
+            rx: Mutex::new(rx),
+            state: Mutex::new(DemuxState {
+                queues: HashMap::new(),
+                pumping: false,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        },
+    )
+}
+
+/// Sending half of a [`tagged_channel`]; clone one per worker.
+#[derive(Debug)]
+pub struct TaggedSender<T> {
+    tx: mpsc::Sender<(u32, T)>,
+}
+
+impl<T> Clone for TaggedSender<T> {
+    fn clone(&self) -> Self {
+        TaggedSender {
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+impl<T> TaggedSender<T> {
+    /// Sends `msg` under `tag`. Errors only if every demux handle is
+    /// gone (the peer hung up).
+    pub fn send(&self, tag: u32, msg: T) -> Result<(), mpsc::SendError<(u32, T)>> {
+        self.tx.send((tag, msg))
+    }
+}
+
+struct DemuxState<T> {
+    queues: HashMap<u32, VecDeque<T>>,
+    /// Whether some worker currently owns the underlying receiver.
+    pumping: bool,
+    closed: bool,
+}
+
+/// Receiving half of a [`tagged_channel`]: shared by all of one
+/// server's workers (via `Arc`), each blocking on its own tag.
+///
+/// Demultiplexing is cooperative: whichever worker finds its tag's
+/// queue empty becomes the *pump*, blocks on the underlying channel,
+/// routes whatever arrives into the per-tag queues, and wakes everyone
+/// — so no dedicated router thread is needed and messages for a slow
+/// worker never block a fast one.
+pub struct TaggedDemux<T> {
+    rx: Mutex<mpsc::Receiver<(u32, T)>>,
+    state: Mutex<DemuxState<T>>,
+    cv: Condvar,
+}
+
+impl<T> TaggedDemux<T> {
+    /// Blocks until a message tagged `tag` is available and returns it;
+    /// `None` once the channel is closed and drained of that tag.
+    pub fn recv(&self, tag: u32) -> Option<T> {
+        loop {
+            let mut st = self.state.lock().expect("demux poisoned");
+            loop {
+                if let Some(m) = st.queues.get_mut(&tag).and_then(VecDeque::pop_front) {
+                    return Some(m);
+                }
+                if st.closed {
+                    return None;
+                }
+                if !st.pumping {
+                    st.pumping = true;
+                    break;
+                }
+                st = self.cv.wait(st).expect("demux poisoned");
+            }
+            drop(st);
+            // This worker is now the unique pump: block on the wire.
+            let received = self.rx.lock().expect("demux poisoned").recv();
+            let mut st = self.state.lock().expect("demux poisoned");
+            st.pumping = false;
+            match received {
+                Ok((t, m)) => st.queues.entry(t).or_default().push_back(m),
+                Err(mpsc::RecvError) => st.closed = true,
+            }
+            self.cv.notify_all();
+            drop(st);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn exchange_counts_both_directions() {
@@ -73,6 +207,8 @@ mod tests {
         assert_eq!(s.elements, 6);
         assert_eq!(s.bytes, 48);
         assert_eq!(s.rounds, 1);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.peak_batch, 3);
     }
 
     #[test]
@@ -82,6 +218,8 @@ mod tests {
         s.batched_elements(10);
         assert_eq!(s.rounds, 1);
         assert_eq!(s.elements, 22);
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.peak_batch, 10);
     }
 
     #[test]
@@ -93,6 +231,17 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.elements, 14);
         assert_eq!(a.rounds, 2);
+        assert_eq!(a.batches, 2);
+        assert_eq!(a.peak_batch, 5);
+    }
+
+    #[test]
+    fn elements_per_round_reflects_batching() {
+        let mut s = NetStats::new();
+        assert_eq!(s.elements_per_round(), 0.0);
+        s.exchange(64 * 3);
+        s.exchange(64 * 3);
+        assert_eq!(s.elements_per_round(), 192.0);
     }
 
     #[test]
@@ -100,5 +249,56 @@ mod tests {
         let mut s = NetStats::new();
         s.exchange(1);
         assert!(s.to_string().contains("2 ring elements"));
+    }
+
+    #[test]
+    fn tagged_channel_routes_by_tag_in_fifo_order() {
+        let (tx, demux) = tagged_channel::<u32>();
+        tx.send(2, 20).unwrap();
+        tx.send(1, 10).unwrap();
+        tx.send(2, 21).unwrap();
+        // Tag 1's message is reachable although tag 2's arrived first.
+        assert_eq!(demux.recv(1), Some(10));
+        assert_eq!(demux.recv(2), Some(20));
+        assert_eq!(demux.recv(2), Some(21));
+        drop(tx);
+        assert_eq!(demux.recv(1), None, "closed and drained");
+    }
+
+    #[test]
+    fn tagged_channel_across_interleaved_workers() {
+        // Two consumer workers on one demux, a producer interleaving
+        // their tags out of order: each worker must see exactly its own
+        // stream, in order, with no deadlock.
+        const PER_TAG: u32 = 200;
+        let (tx, demux) = tagged_channel::<u32>();
+        let demux = Arc::new(demux);
+        std::thread::scope(|scope| {
+            for tag in [0u32, 1] {
+                let demux = Arc::clone(&demux);
+                scope.spawn(move || {
+                    for expect in 0..PER_TAG {
+                        assert_eq!(demux.recv(tag), Some(expect), "tag {tag}");
+                    }
+                });
+            }
+            scope.spawn(move || {
+                for v in 0..PER_TAG {
+                    // Worst-case interleave: always the other tag first.
+                    tx.send(1, v).unwrap();
+                    tx.send(0, v).unwrap();
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn sender_clones_feed_one_demux() {
+        let (tx, demux) = tagged_channel::<&'static str>();
+        let tx2 = tx.clone();
+        tx.send(7, "a").unwrap();
+        tx2.send(7, "b").unwrap();
+        assert_eq!(demux.recv(7), Some("a"));
+        assert_eq!(demux.recv(7), Some("b"));
     }
 }

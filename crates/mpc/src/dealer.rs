@@ -119,6 +119,97 @@ impl Dealer {
     }
 }
 
+/// Dealer words consumed per Multiplication Group by the streaming
+/// form: `x₁ x₂ y₁ y₂ z₁ z₂ o₁ p₁ q₁ w₁` (the second shares of the
+/// derived values `o, p, q, w` are differences, not fresh draws).
+pub const MG_WORDS: usize = 10;
+
+/// A dealer stream *split per outer `(i, j)` pair* of the Count phase.
+///
+/// The batched scheduler partitions the `(i, j)` pair space across
+/// workers and chunks; keying the offline randomness by the pair
+/// itself (rather than by worker or chunk) makes the servers' share
+/// pairs bit-identical for **every** thread count and batch size — the
+/// partition only decides *who* consumes a stream, never *what* the
+/// stream contains. All three Count implementations (fast kernel,
+/// message-passing runtime, sampled estimator) draw from these
+/// streams.
+#[derive(Debug, Clone)]
+pub struct PairDealer {
+    rng: SplitMix64,
+}
+
+impl PairDealer {
+    /// Creates the stream for pair `(i, j)` under `root` (the Count
+    /// phase's seed). Domain-separated from the input-share PRF and
+    /// from [`Dealer::fork`] streams.
+    pub fn for_pair(root: u64, i: u32, j: u32) -> Self {
+        let pair = ((i as u64) << 32) | j as u64;
+        let mut mixer =
+            SplitMix64::new(root ^ pair.wrapping_mul(0xD1B54A32D192ED03) ^ 0x8CB92BA72F3D8DD7);
+        PairDealer {
+            rng: SplitMix64::new(mixer.next_u64()),
+        }
+    }
+
+    /// Block-expands the next `out.len()` raw dealer words (see
+    /// [`MG_WORDS`] for the per-group layout). Stream-equivalent to
+    /// scalar draws; the hot kernel fills one batch at a time.
+    #[inline]
+    pub fn fill_words(&mut self, out: &mut [u64]) {
+        self.rng.fill_block(out);
+    }
+
+    /// Draws one Multiplication Group as the two servers' share
+    /// structs — the protocol-object form of the same stream: consumes
+    /// exactly [`MG_WORDS`] words in the canonical order, so a runtime
+    /// driving share structs stays word-for-word aligned with a kernel
+    /// consuming [`Self::fill_words`].
+    pub fn next_group_pair(&mut self) -> (MulGroupShare, MulGroupShare) {
+        let mut w = [0u64; MG_WORDS];
+        self.fill_words(&mut w);
+        let (g1, g2) = split_mg_words(&w);
+        (g1, g2)
+    }
+}
+
+/// Expands [`MG_WORDS`] raw dealer words into the two servers'
+/// Multiplication-Group shares (shared by [`PairDealer`] and the
+/// Count kernels so the arithmetic lives in one place).
+#[inline]
+pub fn split_mg_words(w: &[u64]) -> (MulGroupShare, MulGroupShare) {
+    let &[x1, x2, y1, y2, z1, z2, o1, p1, q1, w1] = &w[..MG_WORDS] else {
+        panic!("split_mg_words needs {MG_WORDS} words");
+    };
+    let x = x1.wrapping_add(x2);
+    let y = y1.wrapping_add(y2);
+    let z = z1.wrapping_add(z2);
+    let o = x.wrapping_mul(y);
+    let p = x.wrapping_mul(z);
+    let q = y.wrapping_mul(z);
+    let wv = o.wrapping_mul(z);
+    (
+        MulGroupShare {
+            x: Ring64(x1),
+            y: Ring64(y1),
+            z: Ring64(z1),
+            w: Ring64(w1),
+            o: Ring64(o1),
+            p: Ring64(p1),
+            q: Ring64(q1),
+        },
+        MulGroupShare {
+            x: Ring64(x2),
+            y: Ring64(y2),
+            z: Ring64(z2),
+            w: Ring64(wv.wrapping_sub(w1)),
+            o: Ring64(o.wrapping_sub(o1)),
+            p: Ring64(p.wrapping_sub(p1)),
+            q: Ring64(q.wrapping_sub(q1)),
+        },
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +258,47 @@ mod tests {
         let (a1, _) = w0.mul_group();
         let (b1, _) = w1.mul_group();
         assert_ne!(a1, b1);
+    }
+
+    #[test]
+    fn pair_streams_are_independent_and_deterministic() {
+        let mut a = PairDealer::for_pair(7, 1, 2);
+        let mut b = PairDealer::for_pair(7, 1, 2);
+        assert_eq!(a.next_group_pair(), b.next_group_pair());
+        let mut c = PairDealer::for_pair(7, 2, 1);
+        let mut d = PairDealer::for_pair(8, 1, 2);
+        let (a1, _) = a.next_group_pair();
+        assert_ne!(a1, c.next_group_pair().0, "pair order matters");
+        assert_ne!(a1, d.next_group_pair().0, "root seed matters");
+    }
+
+    #[test]
+    fn pair_stream_groups_satisfy_product_relations() {
+        let mut d = PairDealer::for_pair(3, 5, 9);
+        for _ in 0..32 {
+            let (m1, m2) = d.next_group_pair();
+            let x = reconstruct(m1.x, m2.x);
+            let y = reconstruct(m1.y, m2.y);
+            let z = reconstruct(m1.z, m2.z);
+            assert_eq!(reconstruct(m1.o, m2.o), x * y, "o = xy");
+            assert_eq!(reconstruct(m1.p, m2.p), x * z, "p = xz");
+            assert_eq!(reconstruct(m1.q, m2.q), y * z, "q = yz");
+            assert_eq!(reconstruct(m1.w, m2.w), x * y * z, "w = xyz");
+        }
+    }
+
+    #[test]
+    fn group_pair_consumes_exactly_mg_words_of_the_stream() {
+        // The struct form and the raw-word form must stay aligned so a
+        // runtime can interleave with a kernel on the same stream.
+        let mut via_groups = PairDealer::for_pair(11, 0, 1);
+        let mut via_words = PairDealer::for_pair(11, 0, 1);
+        let g = via_groups.next_group_pair();
+        let mut w = [0u64; MG_WORDS];
+        via_words.fill_words(&mut w);
+        assert_eq!(g, split_mg_words(&w));
+        // Both streams are now at the same offset.
+        assert_eq!(via_groups.next_group_pair(), via_words.next_group_pair());
     }
 
     #[test]

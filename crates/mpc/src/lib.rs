@@ -37,8 +37,8 @@ pub mod triple_mul;
 pub mod view;
 
 pub use beaver::{beaver_mul, BeaverShare};
-pub use channel::NetStats;
-pub use dealer::Dealer;
+pub use channel::{tagged_channel, NetStats, TaggedDemux, TaggedSender};
+pub use dealer::{split_mg_words, Dealer, PairDealer, MG_WORDS};
 pub use prg::SplitMix64;
 pub use ring::Ring64;
 pub use share::{reconstruct, reconstruct_vec, share_with, share_vec_with, SharePair};

@@ -244,6 +244,30 @@ pub enum BatchSize {
     PerIteration,
 }
 
+/// Shim-only extension (not part of real criterion's API): runs
+/// `routine` through the same calibrated warm-up/measurement loop as
+/// [`Criterion::bench_function`] and returns the **median
+/// per-iteration nanoseconds**, so harnesses can persist
+/// machine-readable baselines (e.g. `BENCH_secure_count.json`) instead
+/// of scraping stdout. At least one sample is always recorded.
+pub fn measure_median_ns<O, F: FnMut() -> O>(
+    sample_size: usize,
+    measurement_time: Duration,
+    routine: F,
+) -> f64 {
+    let mut b = Bencher {
+        settings: Settings {
+            sample_size: sample_size.max(1),
+            // A non-zero budget guarantees at least one sample.
+            measurement_time: measurement_time.max(Duration::from_millis(1)),
+        },
+        samples: Vec::new(),
+    };
+    b.iter(routine);
+    b.samples.sort_unstable_by(|a, b| a.total_cmp(b));
+    b.samples[b.samples.len() / 2]
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, settings: Settings, mut f: F) {
     let mut b = Bencher {
         settings,
@@ -317,6 +341,14 @@ mod tests {
         c.sample_size(5)
             .measurement_time(Duration::from_millis(20));
         c.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+    }
+
+    #[test]
+    fn measure_median_ns_returns_a_positive_time() {
+        let ns = measure_median_ns(5, Duration::from_millis(10), || {
+            black_box((0..100u64).sum::<u64>())
+        });
+        assert!(ns > 0.0 && ns.is_finite());
     }
 
     #[test]
