@@ -1,0 +1,143 @@
+//! Offline-phase bench sweep → `BENCH_offline.json`.
+//!
+//! Measures the secure count with `OfflineMode::OtExtension` — the
+//! IKNP/Gilboa preprocessing dominates, so this is effectively the
+//! offline phase's cost — over an `n × batch` grid on the
+//! Facebook-calibrated preset, and persists
+//! `(n, threads, batch, triples, ns/triple, bytes/triple)` rows, where
+//! `bytes/triple` is the **offline** bytes per Multiplication Group
+//! (deterministic: the extension-column/correction/derandomisation
+//! formula pinned in `cargo_mpc::offline`, amortised over `C(n,3)`
+//! groups). The committed baseline lives at
+//! `crates/bench/baselines/BENCH_offline.json`; `bench_compare` gates
+//! a fresh report against it — bytes exactly, wall-clock within the
+//! tolerance band.
+//!
+//! ```text
+//! usage: bench_offline [--n 40,60,80] [--batch 1,64]
+//!                      [--out BENCH_offline.json] [--measure-ms 400] [--quick]
+//! ```
+
+use cargo_bench::baseline::{BenchReport, BenchRow};
+use cargo_core::secure_triangle_count_with;
+use cargo_graph::generators::presets::SnapDataset;
+use cargo_mpc::OfflineMode;
+use criterion::{black_box, measure_median_ns};
+use std::path::PathBuf;
+use std::time::Duration;
+
+struct Args {
+    ns: Vec<usize>,
+    batches: Vec<usize>,
+    out: PathBuf,
+    measure_ms: u64,
+}
+
+fn usage() -> String {
+    "usage: bench_offline [--n 40,60,80] [--batch 1,64]\n\
+     \x20      [--out BENCH_offline.json] [--measure-ms 400] [--quick]"
+        .to_string()
+}
+
+fn parse_list(v: &str, flag: &str) -> Result<Vec<usize>, String> {
+    v.split(',')
+        .map(|x| x.trim().parse::<usize>().map_err(|e| format!("{flag}: {e}")))
+        .collect()
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        ns: vec![40, 60, 80],
+        batches: vec![1, 64],
+        out: PathBuf::from("BENCH_offline.json"),
+        measure_ms: 400,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| "flag needs a value".to_string())
+        };
+        match argv[i].as_str() {
+            "--n" => args.ns = parse_list(&take(&mut i)?, "--n")?,
+            "--batch" => args.batches = parse_list(&take(&mut i)?, "--batch")?,
+            "--out" => args.out = PathBuf::from(take(&mut i)?),
+            "--measure-ms" => {
+                args.measure_ms = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--measure-ms: {e}"))?
+            }
+            "--quick" => {
+                args.ns = vec![40, 60];
+                args.measure_ms = 200;
+            }
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let (full, _) = SnapDataset::Facebook.load_or_synthesize(None, 0);
+    let mut report = BenchReport {
+        bench: "offline".into(),
+        rows: Vec::new(),
+    };
+    for &n in &args.ns {
+        let m = full.induced_prefix(n).to_bit_matrix();
+        for &batch in &args.batches {
+            // One untimed run pins the deterministic offline cost model.
+            let probe = secure_triangle_count_with(&m, 1, 1, batch, OfflineMode::OtExtension);
+            let dealer = secure_triangle_count_with(&m, 1, 1, batch, OfflineMode::TrustedDealer);
+            assert_eq!(
+                (probe.share1, probe.share2),
+                (dealer.share1, dealer.share2),
+                "OT offline material must be bit-identical to the dealer's"
+            );
+            let triples = probe.triples.max(1);
+            let median_ns = measure_median_ns(3, Duration::from_millis(args.measure_ms), || {
+                black_box(secure_triangle_count_with(
+                    &m,
+                    1,
+                    1,
+                    batch,
+                    OfflineMode::OtExtension,
+                ))
+            });
+            let row = BenchRow {
+                n,
+                threads: 1,
+                batch,
+                triples: probe.triples,
+                ns_per_triple: median_ns / triples as f64,
+                bytes_per_triple: probe.net.offline.bytes as f64 / triples as f64,
+            };
+            println!(
+                "n={n:<4} batch={batch:<4} {:>10.1} ns/MG  {:>8.1} offline B/MG  \
+                 ({} ext OTs, {} offline rounds)",
+                row.ns_per_triple,
+                row.bytes_per_triple,
+                probe.net.offline.extended_ots,
+                probe.net.offline.rounds
+            );
+            report.rows.push(row);
+        }
+    }
+    if let Err(e) = report.write(&args.out) {
+        eprintln!("error writing {}: {e}", args.out.display());
+        std::process::exit(1);
+    }
+    println!("wrote {} ({} rows)", args.out.display(), report.rows.len());
+}

@@ -1,6 +1,7 @@
 //! Hand-rolled flag parsing for the `experiments` binary (no external
 //! CLI dependency in the approved set).
 
+use cargo_mpc::OfflineMode;
 use std::path::PathBuf;
 
 /// Parsed command-line options with the paper's defaults.
@@ -20,6 +21,9 @@ pub struct Options {
     pub threads: usize,
     /// Secure-count batch size (0 = default).
     pub batch: usize,
+    /// Offline-phase implementation for the secure count
+    /// (`--offline-mode dealer|ot`).
+    pub offline: OfflineMode,
     /// Quick mode: shrink n and trials for smoke runs.
     pub quick: bool,
     /// `--help`/`-h` was given: print usage and exit successfully.
@@ -36,6 +40,7 @@ impl Default for Options {
             data_dir: None,
             threads: 0,
             batch: 0,
+            offline: OfflineMode::TrustedDealer,
             quick: false,
             help: false,
         }
@@ -82,6 +87,11 @@ impl Options {
                     opts.batch = take_value(&mut i)?
                         .parse()
                         .map_err(|e| format!("--batch: {e}"))?
+                }
+                "--offline-mode" => {
+                    opts.offline = take_value(&mut i)?
+                        .parse()
+                        .map_err(|e: String| format!("--offline-mode: {e}"))?
                 }
                 "--out-dir" => opts.out_dir = PathBuf::from(take_value(&mut i)?),
                 "--data-dir" => opts.data_dir = Some(PathBuf::from(take_value(&mut i)?)),
@@ -134,6 +144,17 @@ mod tests {
         assert_eq!(o.batch, 16);
         let (o, _) = parse(&["fig11"]).unwrap();
         assert_eq!((o.threads, o.batch), (0, 0), "defaults defer to config");
+    }
+
+    #[test]
+    fn offline_mode_parses() {
+        let (o, _) = parse(&["--offline-mode", "ot", "table2"]).unwrap();
+        assert_eq!(o.offline, OfflineMode::OtExtension);
+        let (o, _) = parse(&["--offline-mode", "dealer", "table2"]).unwrap();
+        assert_eq!(o.offline, OfflineMode::TrustedDealer);
+        let (o, _) = parse(&["table2"]).unwrap();
+        assert_eq!(o.offline, OfflineMode::TrustedDealer, "dealer is default");
+        assert!(parse(&["--offline-mode", "wat"]).is_err());
     }
 
     #[test]

@@ -55,7 +55,9 @@ pub fn ext_sensitivity(opts: &Options) -> Vec<Table> {
         let mut ss_err = Vec::with_capacity(trials);
         for trial in 0..trials {
             let out = CargoSystem::new(
-                CargoConfig::new(eps).with_seed(trial_seed(opts.seed, trial, eps, g.n())),
+                CargoConfig::new(eps)
+                .with_seed(trial_seed(opts.seed, trial, eps, g.n()))
+                .with_offline(opts.offline),
             )
             .run(&g);
             cargo_err.push((out.noisy_count - t_true).abs());
@@ -104,7 +106,9 @@ pub fn ext_node_dp(opts: &Options) -> Vec<Table> {
         let mut edge_rel = 0.0;
         let mut node_rel = 0.0;
         for trial in 0..trials {
-            let cfg = CargoConfig::new(eps).with_seed(trial_seed(opts.seed, trial, eps, g.n()));
+            let cfg = CargoConfig::new(eps)
+                .with_seed(trial_seed(opts.seed, trial, eps, g.n()))
+                .with_offline(opts.offline);
             let e = CargoSystem::new(cfg).run(&g);
             let n_out = run_node_dp(&cfg, &g);
             edge_l2 += (e.noisy_count - t_true).powi(2);
@@ -189,7 +193,9 @@ pub fn ext_projection_ablation(opts: &Options) -> Vec<Table> {
         let mut with = (0.0f64, 0.0f64); // (sum rel, sum l2)
         let mut without = (0.0f64, 0.0f64);
         for trial in 0..trials {
-            let cfg = CargoConfig::new(eps).with_seed(trial_seed(opts.seed, trial, eps, g.n()));
+            let cfg = CargoConfig::new(eps)
+                .with_seed(trial_seed(opts.seed, trial, eps, g.n()))
+                .with_offline(opts.offline);
             let a = CargoSystem::new(cfg).run(&g);
             let b = CargoSystem::new(cfg.without_projection()).run(&g);
             with.0 += (a.noisy_count - t_true).abs() / t_true;

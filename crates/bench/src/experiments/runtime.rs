@@ -37,6 +37,8 @@ pub fn fig11_or_12(opts: &Options, which: RuntimeGraph) -> Vec<Table> {
             "CARGO",
             "Count",
             "Count share",
+            "online MB",
+            "offline MB",
         ],
     );
     // Timing experiments use one trial (the paper reports single runs);
@@ -51,7 +53,15 @@ pub fn fig11_or_12(opts: &Options, which: RuntimeGraph) -> Vec<Table> {
         let sub = eg.prefix(n);
         let central = run_central(&sub, 2.0, trials, opts.seed);
         let local = run_local2rounds(&sub, 2.0, trials, opts.seed);
-        let cargo = run_cargo_with(&sub, 2.0, trials, opts.seed, opts.threads, opts.batch);
+        let cargo = run_cargo_with(
+            &sub,
+            2.0,
+            trials,
+            opts.seed,
+            opts.threads,
+            opts.batch,
+            opts.offline,
+        );
         let share = if cargo.time.as_secs_f64() > 0.0 {
             cargo.count_time.as_secs_f64() / cargo.time.as_secs_f64()
         } else {
@@ -64,10 +74,12 @@ pub fn fig11_or_12(opts: &Options, which: RuntimeGraph) -> Vec<Table> {
             format!("{:.4}", cargo.time.as_secs_f64()),
             format!("{:.4}", cargo.count_time.as_secs_f64()),
             format!("{:.0}%", share * 100.0),
+            format!("{:.2}", cargo.net.bytes as f64 / 1e6),
+            format!("{:.2}", cargo.net.offline.bytes as f64 / 1e6),
         ]);
     }
     t.footnote(&format!(
-        "eps = 2; absolute times are this machine's ({} threads); the reproduced claims are the n^3 growth and the Count share.",
+        "eps = 2; absolute times are this machine's ({} threads); offline MB is 0 under --offline-mode dealer and the OT-extension preprocessing cost under --offline-mode ot; the reproduced claims are the n^3 growth and the Count share.",
         std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
     ));
     let name = match which {

@@ -22,11 +22,14 @@
 //! (`fig5`…`fig10` also work individually as aliases.)
 //!
 //! Flags: --n <users> --trials <t> --seed <s> --out-dir <dir>
-//!        --data-dir <dir> --threads <w> --batch <b> --quick
+//!        --data-dir <dir> --threads <w> --batch <b>
+//!        --offline-mode <dealer|ot> --quick
 //!
-//! Two further binaries serve the perf-regression harness:
-//! `bench_secure_count` sweeps the secure count over
+//! Three further binaries serve the perf-regression harness:
+//! `bench_secure_count` sweeps the online secure count over
 //! `n × threads × batch` and writes `BENCH_secure_count.json`;
+//! `bench_offline` sweeps the OT-extension offline phase and writes
+//! `BENCH_offline.json` (offline bytes/MG are gated exactly);
 //! `bench_compare` diffs such a report against the committed baseline
 //! (`crates/bench/baselines/`) with a ±20% wall-clock gate and an
 //! exact bytes/triple gate.

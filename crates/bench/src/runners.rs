@@ -4,8 +4,9 @@
 use cargo_baselines::{
     central_lap_triangles, local2rounds_triangles, Local2RoundsConfig,
 };
-use cargo_core::{l2_loss, relative_error, CargoConfig, CargoSystem};
+use cargo_core::{l2_loss, relative_error, CargoConfig, CargoSystem, OfflineMode};
 use cargo_graph::Graph;
+use cargo_mpc::NetStats;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
@@ -44,11 +45,22 @@ pub struct UtilityPoint {
     /// Mean wall-clock time of the `Count` step only (CARGO; zero for
     /// baselines).
     pub count_time: Duration,
+    /// Server↔server traffic of the last trial (CARGO only; identical
+    /// across trials up to the noisy projection's trims). Carries the
+    /// offline ledger when the run used `OfflineMode::OtExtension`.
+    pub net: NetStats,
 }
 
-fn aggregate(t_true: f64, estimates: &[f64], times: &[Duration], count_times: &[Duration]) -> UtilityPoint {
+fn aggregate(
+    t_true: f64,
+    estimates: &[f64],
+    times: &[Duration],
+    count_times: &[Duration],
+    net: NetStats,
+) -> UtilityPoint {
     let n = estimates.len().max(1) as u32;
     UtilityPoint {
+        net,
         l2: estimates.iter().map(|&e| l2_loss(t_true, e)).sum::<f64>() / n as f64,
         rel: estimates
             .iter()
@@ -63,13 +75,14 @@ fn aggregate(t_true: f64, estimates: &[f64], times: &[Duration], count_times: &[
 /// Runs CARGO `trials` times and aggregates (secure count on the
 /// config's default thread/batch knobs).
 pub fn run_cargo(g: &Graph, epsilon: f64, trials: usize, seed: u64) -> UtilityPoint {
-    run_cargo_with(g, epsilon, trials, seed, 0, 0)
+    run_cargo_with(g, epsilon, trials, seed, 0, 0, OfflineMode::TrustedDealer)
 }
 
 /// [`run_cargo`] with explicit Count knobs: `threads` workers
-/// (0 = all cores) and `batch` triples per round (0 = default) — the
-/// CLI's `--threads`/`--batch` land here so the knobs govern every
-/// Count entry the experiments exercise.
+/// (0 = all cores), `batch` triples per round (0 = default), and the
+/// offline-phase mode — the CLI's `--threads`/`--batch`/
+/// `--offline-mode` land here so the knobs govern every Count entry
+/// the experiments exercise.
 pub fn run_cargo_with(
     g: &Graph,
     epsilon: f64,
@@ -77,23 +90,27 @@ pub fn run_cargo_with(
     seed: u64,
     threads: usize,
     batch: usize,
+    offline: OfflineMode,
 ) -> UtilityPoint {
     let t_true = cargo_graph::count_triangles(g) as f64;
     let mut estimates = Vec::with_capacity(trials);
     let mut times = Vec::with_capacity(trials);
     let mut count_times = Vec::with_capacity(trials);
+    let mut net = NetStats::new();
     for t in 0..trials {
         let cfg = CargoConfig::new(epsilon)
             .with_seed(trial_seed(seed, t, epsilon, fingerprint(g)))
             .with_threads(threads)
-            .with_batch(batch);
+            .with_batch(batch)
+            .with_offline(offline);
         let start = Instant::now();
         let out = CargoSystem::new(cfg).run(g);
         times.push(start.elapsed());
         count_times.push(out.timings.count);
         estimates.push(out.noisy_count);
+        net = out.net;
     }
-    aggregate(t_true, &estimates, &times, &count_times)
+    aggregate(t_true, &estimates, &times, &count_times, net)
 }
 
 /// Runs CentralLap△ `trials` times and aggregates.
@@ -108,7 +125,7 @@ pub fn run_central(g: &Graph, epsilon: f64, trials: usize, seed: u64) -> Utility
         times.push(start.elapsed());
         estimates.push(out.noisy_count);
     }
-    aggregate(t_true, &estimates, &times, &[Duration::ZERO])
+    aggregate(t_true, &estimates, &times, &[Duration::ZERO], NetStats::new())
 }
 
 /// Runs Local2Rounds△ `trials` times and aggregates.
@@ -123,7 +140,7 @@ pub fn run_local2rounds(g: &Graph, epsilon: f64, trials: usize, seed: u64) -> Ut
         times.push(start.elapsed());
         estimates.push(out.noisy_count);
     }
-    aggregate(t_true, &estimates, &times, &[Duration::ZERO])
+    aggregate(t_true, &estimates, &times, &[Duration::ZERO], NetStats::new())
 }
 
 #[cfg(test)]
@@ -134,15 +151,30 @@ mod tests {
     #[test]
     fn runners_produce_finite_metrics() {
         let g = barabasi_albert(100, 4, 1);
+        // OT preprocessing costs ~512 COTs per triple, so its smoke
+        // point uses a small graph (equivalence to dealer mode is
+        // pinned exhaustively in crates/core).
+        let small = barabasi_albert(30, 3, 1);
         for point in [
             run_cargo(&g, 2.0, 2, 1),
-            run_cargo_with(&g, 2.0, 2, 1, 2, 16),
+            run_cargo_with(&g, 2.0, 2, 1, 2, 16, OfflineMode::TrustedDealer),
+            run_cargo_with(&small, 2.0, 1, 1, 1, 0, OfflineMode::OtExtension),
             run_central(&g, 2.0, 2, 1),
             run_local2rounds(&g, 2.0, 2, 1),
         ] {
             assert!(point.l2.is_finite() && point.l2 >= 0.0);
             assert!(point.rel.is_finite() && point.rel >= 0.0);
         }
+    }
+
+    #[test]
+    fn ot_mode_surfaces_an_offline_ledger_through_the_runner() {
+        let g = barabasi_albert(30, 3, 2);
+        let dealer = run_cargo_with(&g, 2.0, 1, 1, 1, 0, OfflineMode::TrustedDealer);
+        let ot = run_cargo_with(&g, 2.0, 1, 1, 1, 0, OfflineMode::OtExtension);
+        assert!(dealer.net.offline.is_empty());
+        assert!(ot.net.offline.bytes > 0);
+        assert_eq!(ot.net.online(), dealer.net.online());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Configuration of a CARGO run.
 
 use cargo_dp::{EpsilonSplit, PrivacyBudget};
+use cargo_mpc::OfflineMode;
 
 /// Tunable parameters of the CARGO pipeline (defaults follow the
 /// paper's experimental setting, Section V-A).
@@ -28,6 +29,12 @@ pub struct CargoConfig {
     /// Whether to run the similarity-based projection (disable only for
     /// ablation studies; without projection the sensitivity is `n`).
     pub projection: bool,
+    /// How the Count phase's correlated randomness is precomputed:
+    /// the seeded trusted dealer (default, zero offline cost) or the
+    /// OT-extension offline phase (real preprocessing traffic,
+    /// reported in [`cargo_mpc::NetStats::offline`]). Shares are
+    /// bit-identical either way.
+    pub offline: OfflineMode,
 }
 
 impl CargoConfig {
@@ -41,6 +48,7 @@ impl CargoConfig {
             threads: 0,
             batch: 0,
             projection: true,
+            offline: OfflineMode::TrustedDealer,
         }
     }
 
@@ -71,6 +79,19 @@ impl CargoConfig {
     /// Disables projection (ablation).
     pub fn without_projection(mut self) -> Self {
         self.projection = false;
+        self
+    }
+
+    /// Selects the offline-phase implementation.
+    ///
+    /// ```
+    /// use cargo_core::CargoConfig;
+    /// use cargo_mpc::OfflineMode;
+    /// let cfg = CargoConfig::new(2.0).with_offline(OfflineMode::OtExtension);
+    /// assert_eq!(cfg.offline, OfflineMode::OtExtension);
+    /// ```
+    pub fn with_offline(mut self, offline: OfflineMode) -> Self {
+        self.offline = offline;
         self
     }
 
@@ -121,12 +142,19 @@ mod tests {
             .with_split_fraction(0.5)
             .with_threads(2)
             .with_batch(16)
+            .with_offline(OfflineMode::OtExtension)
             .without_projection();
         assert_eq!(c.seed, 9);
         assert_eq!(c.threads, 2);
         assert_eq!(c.batch, 16);
+        assert_eq!(c.offline, OfflineMode::OtExtension);
         assert!(!c.projection);
         assert!((c.epsilon_split().epsilon1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offline_defaults_to_the_trusted_dealer() {
+        assert_eq!(CargoConfig::new(1.0).offline, OfflineMode::TrustedDealer);
     }
 
     #[test]

@@ -28,8 +28,8 @@ use crate::count::SecureCountResult;
 use crate::count_sched::{share_prf, CountScheduler, PairChunk};
 use cargo_graph::BitMatrix;
 use cargo_mpc::{
-    tagged_channel, MulGroupShare, NetStats, PairDealer, Ring64, ServerId, TaggedDemux,
-    TaggedSender,
+    mg_block_ledger, ot_setup_ledger, tagged_channel, MgOfflineS1, MgOfflineS2, MulGroupShare,
+    NetStats, OfflineMode, PairDealer, Ring64, ServerId, TaggedDemux, TaggedSender,
 };
 use std::sync::Arc;
 
@@ -57,6 +57,27 @@ struct DealerMsg {
     groups: Vec<MulGroupShare>,
 }
 
+/// One message of the OT-extension offline phase (OfflineMode::
+/// OtExtension replaces the dealer thread with a server↔server
+/// preprocessing dialogue): extension columns, correction words, or
+/// derandomisation offsets, with lockstep metadata. `step` numbers the
+/// message within the block's flow *per direction* (S₁ sends steps
+/// 1..4: columns, A-corrections, c_opq, c_w; S₂ sends 1..3: columns,
+/// B₁..B₃ corrections, B₄ corrections).
+struct OfflineMsg {
+    chunk: u32,
+    pair: (u32, u32),
+    k0: u32,
+    step: u8,
+    words: Vec<u64>,
+}
+
+/// One server's per-pair offline endpoint in OT mode.
+enum PairOffline {
+    S1(Box<MgOfflineS1>),
+    S2(Box<MgOfflineS2>),
+}
+
 /// The state one server worker runs with. A server is a *pool* of
 /// these: worker `w` owns the chunks with `id ≡ w (mod workers)` and
 /// shares the dealer/peer links with its siblings.
@@ -64,12 +85,17 @@ struct ServerWorker {
     id: ServerId,
     worker: usize,
     workers: usize,
+    mode: OfflineMode,
+    seed: u64,
     sched: Arc<CountScheduler>,
     /// This server's input shares (`shares[i][j] = ⟨a_ij⟩`).
     shares: Arc<Vec<Vec<Ring64>>>,
     dealer_rx: Arc<TaggedDemux<DealerMsg>>,
     peer_tx: TaggedSender<OpeningMsg>,
     peer_rx: Arc<TaggedDemux<OpeningMsg>>,
+    /// OT-mode preprocessing links (unused under the trusted dealer).
+    off_tx: TaggedSender<OfflineMsg>,
+    off_rx: Arc<TaggedDemux<OfflineMsg>>,
 }
 
 impl ServerWorker {
@@ -91,28 +117,118 @@ impl ServerWorker {
         (t_share, net)
     }
 
+    /// Sends one offline-phase message under the chunk's tag.
+    fn send_off(&self, chunk: u32, pair: (u32, u32), k0: u32, step: u8, words: Vec<u64>) {
+        self.off_tx
+            .send(
+                chunk,
+                OfflineMsg {
+                    chunk,
+                    pair,
+                    k0,
+                    step,
+                    words,
+                },
+            )
+            .expect("peer hung up (offline)");
+    }
+
+    /// Receives the peer's next offline message for the chunk,
+    /// asserting protocol lockstep.
+    fn recv_off(&self, chunk: u32, pair: (u32, u32), k0: u32, step: u8) -> Vec<u64> {
+        let m = self.off_rx.recv(chunk).expect("peer hung up (offline)");
+        assert_eq!(m.chunk, chunk, "demux routed a foreign chunk");
+        assert_eq!(m.pair, pair, "offline peer out of lockstep");
+        assert_eq!(m.k0, k0, "offline block out of lockstep");
+        assert_eq!(m.step, step, "offline step out of lockstep");
+        m.words
+    }
+
+    /// Runs the OT-extension offline dialogue for one `k`-block (the
+    /// five-round flow documented in `cargo_mpc::offline`), returning
+    /// this server's Multiplication-Group shares. S₁ tallies the
+    /// bidirectional offline traffic, mirroring the online convention.
+    fn offline_block(
+        &self,
+        endpoint: &mut PairOffline,
+        chunk: u32,
+        pair: (u32, u32),
+        k0: u32,
+        block: usize,
+        net: &mut NetStats,
+    ) -> Vec<MulGroupShare> {
+        match endpoint {
+            PairOffline::S1(s1) => {
+                let u1 = s1.ucols(block);
+                self.send_off(chunk, pair, k0, 1, u1);
+                let u2 = self.recv_off(chunk, pair, k0, 1);
+                self.send_off(chunk, pair, k0, 2, s1.corrections(&u2));
+                let d_b = self.recv_off(chunk, pair, k0, 2);
+                self.send_off(chunk, pair, k0, 3, s1.derand_opq(&d_b));
+                let d_b4 = self.recv_off(chunk, pair, k0, 3);
+                self.send_off(chunk, pair, k0, 4, s1.derand_w(&d_b4));
+                net.offline.merge(&mg_block_ledger(block as u64));
+                s1.groups()
+            }
+            PairOffline::S2(s2) => {
+                let u2 = s2.ucols(block);
+                self.send_off(chunk, pair, k0, 1, u2);
+                let u1 = self.recv_off(chunk, pair, k0, 1);
+                self.send_off(chunk, pair, k0, 2, s2.corrections(&u1));
+                let d_a = self.recv_off(chunk, pair, k0, 2);
+                s2.absorb_corrections(&d_a);
+                let c_opq = self.recv_off(chunk, pair, k0, 3);
+                self.send_off(chunk, pair, k0, 3, s2.corrections_w(&c_opq));
+                let c_w = self.recv_off(chunk, pair, k0, 4);
+                s2.groups(&c_w)
+            }
+        }
+    }
+
     fn run_chunk(&self, chunk: &PairChunk, net: &mut NetStats) -> Ring64 {
         let n = self.sched.n();
         let batch = self.sched.batch();
         let mut t_share = Ring64::ZERO;
         for (i, j) in self.sched.pair_iter(chunk) {
             let aij = self.shares[i][j];
+            let mut offline = match self.mode {
+                OfflineMode::TrustedDealer => None,
+                OfflineMode::OtExtension => Some(match self.id {
+                    ServerId::S1 => PairOffline::S1(Box::new(MgOfflineS1::for_pair(
+                        self.seed, i as u32, j as u32,
+                    ))),
+                    ServerId::S2 => PairOffline::S2(Box::new(MgOfflineS2::for_pair(
+                        self.seed, i as u32, j as u32,
+                    ))),
+                }),
+            };
             let mut k = j + 1;
             while k < n {
                 let block = (n - k).min(batch);
-                let DealerMsg {
-                    chunk: d_chunk,
-                    pair,
-                    k0,
-                    groups,
-                } = self
-                    .dealer_rx
-                    .recv(chunk.id)
-                    .expect("dealer hung up early");
-                assert_eq!(d_chunk, chunk.id, "demux routed a foreign chunk");
-                assert_eq!(pair, (i as u32, j as u32), "dealer out of lockstep");
-                assert_eq!(k0 as usize, k, "dealer batch out of lockstep");
-                assert_eq!(groups.len(), block, "dealer batch size mismatch");
+                let pair = (i as u32, j as u32);
+                let (pair, k0, groups) = match offline.as_mut() {
+                    Some(endpoint) => {
+                        let groups =
+                            self.offline_block(endpoint, chunk.id, pair, k as u32, block, net);
+                        (pair, k as u32, groups)
+                    }
+                    None => {
+                        let DealerMsg {
+                            chunk: d_chunk,
+                            pair: d_pair,
+                            k0,
+                            groups,
+                        } = self
+                            .dealer_rx
+                            .recv(chunk.id)
+                            .expect("dealer hung up early");
+                        assert_eq!(d_chunk, chunk.id, "demux routed a foreign chunk");
+                        assert_eq!(d_pair, pair, "dealer out of lockstep");
+                        assert_eq!(k0 as usize, k, "dealer batch out of lockstep");
+                        (d_pair, k0, groups)
+                    }
+                };
+                assert_eq!(groups.len(), block, "offline batch size mismatch");
                 // Step 1: local maskings for the whole k batch.
                 let mut my_efg = Vec::with_capacity(block);
                 for (idx, mg) in groups.iter().enumerate() {
@@ -238,6 +354,25 @@ pub fn threaded_secure_count_sharded(
     threads: usize,
     batch: usize,
 ) -> SecureCountResult {
+    threaded_secure_count_offline(matrix, seed, threads, batch, OfflineMode::TrustedDealer)
+}
+
+/// [`threaded_secure_count_sharded`] with an explicit offline mode.
+///
+/// Under [`OfflineMode::OtExtension`] there is **no dealer thread**:
+/// the two server pools run the IKNP/Gilboa preprocessing dialogue
+/// against each other over dedicated multiplexed links before each
+/// online round, which is the paper-faithful deployment shape of the
+/// offline phase. Shares, online [`NetStats`] and the offline ledger
+/// are bit-identical to
+/// [`crate::count::secure_triangle_count_with`] in the same mode.
+pub fn threaded_secure_count_offline(
+    matrix: &BitMatrix,
+    seed: u64,
+    threads: usize,
+    batch: usize,
+    mode: OfflineMode,
+) -> SecureCountResult {
     let n = matrix.n();
     let sched = Arc::new(CountScheduler::new(n, threads.max(1), batch));
     // Users upload input shares: S1's expand from the PRF, S2's are
@@ -258,45 +393,65 @@ pub fn threaded_secure_count_sharded(
 
     let (dtx1, drx1) = tagged_channel();
     let (dtx2, drx2) = tagged_channel();
-    let (p1tx, p1rx) = tagged_channel(); // S1 -> S2
+    let (p1tx, p1rx) = tagged_channel(); // S1 -> S2 (online openings)
     let (p2tx, p2rx) = tagged_channel(); // S2 -> S1
+    let (o1tx, o1rx) = tagged_channel(); // S1 -> S2 (offline phase)
+    let (o2tx, o2rx) = tagged_channel(); // S2 -> S1
     let drx1 = Arc::new(drx1);
     let drx2 = Arc::new(drx2);
     let p1rx = Arc::new(p1rx);
     let p2rx = Arc::new(p2rx);
+    let o1rx = Arc::new(o1rx);
+    let o2rx = Arc::new(o2rx);
 
-    let (share1, share2, net) = std::thread::scope(|scope| {
-        let dealer = {
-            let sched = Arc::clone(&sched);
-            scope.spawn(move || dealer_thread(&sched, seed, dtx1, dtx2))
+    let (share1, share2, mut net) = std::thread::scope(|scope| {
+        // The dealer thread exists only in trusted-dealer mode; under
+        // OT extension the servers preprocess against each other.
+        let dealer = match mode {
+            OfflineMode::TrustedDealer => Some({
+                let sched = Arc::clone(&sched);
+                scope.spawn(move || dealer_thread(&sched, seed, dtx1, dtx2))
+            }),
+            OfflineMode::OtExtension => {
+                drop((dtx1, dtx2));
+                None
+            }
         };
         let spawn_pool = |id: ServerId,
                           shares: &Arc<Vec<Vec<Ring64>>>,
                           dealer_rx: &Arc<TaggedDemux<DealerMsg>>,
                           peer_tx: &TaggedSender<OpeningMsg>,
-                          peer_rx: &Arc<TaggedDemux<OpeningMsg>>| {
+                          peer_rx: &Arc<TaggedDemux<OpeningMsg>>,
+                          off_tx: &TaggedSender<OfflineMsg>,
+                          off_rx: &Arc<TaggedDemux<OfflineMsg>>| {
             (0..workers)
                 .map(|w| {
                     let worker = ServerWorker {
                         id,
                         worker: w,
                         workers,
+                        mode,
+                        seed,
                         sched: Arc::clone(&sched),
                         shares: Arc::clone(shares),
                         dealer_rx: Arc::clone(dealer_rx),
                         peer_tx: peer_tx.clone(),
                         peer_rx: Arc::clone(peer_rx),
+                        off_tx: off_tx.clone(),
+                        off_rx: Arc::clone(off_rx),
                     };
                     scope.spawn(move || worker.run())
                 })
                 .collect::<Vec<_>>()
         };
-        let pool1 = spawn_pool(ServerId::S1, &shares1, &drx1, &p1tx, &p2rx);
-        let pool2 = spawn_pool(ServerId::S2, &shares2, &drx2, &p2tx, &p1rx);
+        let pool1 = spawn_pool(ServerId::S1, &shares1, &drx1, &p1tx, &p2rx, &o1tx, &o2rx);
+        let pool2 = spawn_pool(ServerId::S2, &shares2, &drx2, &p2tx, &p1rx, &o2tx, &o1rx);
         // Drop the main thread's sender handles so the demuxes observe
         // hang-up once the pools finish.
-        drop((p1tx, p2tx));
-        dealer.join().expect("dealer panicked");
+        drop((p1tx, p2tx, o1tx, o2tx));
+        if let Some(dealer) = dealer {
+            dealer.join().expect("dealer panicked");
+        }
         let mut t1 = Ring64::ZERO;
         let mut t2 = Ring64::ZERO;
         let mut net = NetStats::new();
@@ -313,6 +468,9 @@ pub fn threaded_secure_count_sharded(
         (t1, t2, net)
     });
 
+    if mode == OfflineMode::OtExtension && !sched.chunks().is_empty() {
+        net.offline.merge(&ot_setup_ledger());
+    }
     SecureCountResult {
         share1,
         share2,
@@ -422,7 +580,51 @@ mod tests {
             for workers in [1usize, 2, 4] {
                 let res = threaded_secure_count_sharded(&m, 1, workers, 2);
                 assert_eq!(res.reconstruct(), Ring64::ZERO, "n = {n}, w = {workers}");
+                let ot = threaded_secure_count_offline(
+                    &m,
+                    1,
+                    workers,
+                    2,
+                    cargo_mpc::OfflineMode::OtExtension,
+                );
+                assert_eq!(ot.reconstruct(), Ring64::ZERO, "OT n = {n}, w = {workers}");
             }
         }
+    }
+
+    #[test]
+    fn ot_runtime_matches_ot_fast_path_ledger_included() {
+        // The two-party preprocessing dialogue over the multiplexed
+        // links must reproduce the in-process engine exactly: shares,
+        // online ledger, AND the offline ledger.
+        use crate::count::secure_triangle_count_with;
+        use cargo_mpc::OfflineMode;
+        let g = erdos_renyi(28, 0.3, 11);
+        let m = g.to_bit_matrix();
+        for (workers, batch) in [(1usize, 0usize), (2, 7), (3, 16)] {
+            let fast = secure_triangle_count_with(&m, 21, 1, batch, OfflineMode::OtExtension);
+            let rt = threaded_secure_count_offline(&m, 21, workers, batch, OfflineMode::OtExtension);
+            assert_eq!(rt.share1, fast.share1, "w={workers} b={batch}");
+            assert_eq!(rt.share2, fast.share2, "w={workers} b={batch}");
+            assert_eq!(rt.net, fast.net, "full NetStats incl. offline ledger");
+            assert_eq!(
+                rt.reconstruct(),
+                Ring64(count_triangles_matrix(&m)),
+                "w={workers} b={batch}"
+            );
+        }
+    }
+
+    #[test]
+    fn ot_runtime_matches_dealer_runtime_shares() {
+        let g = erdos_renyi(30, 0.25, 4);
+        let m = g.to_bit_matrix();
+        let dealer = threaded_secure_count_sharded(&m, 9, 2, 8);
+        let ot = threaded_secure_count_offline(&m, 9, 2, 8, cargo_mpc::OfflineMode::OtExtension);
+        assert_eq!(ot.share1, dealer.share1);
+        assert_eq!(ot.share2, dealer.share2);
+        assert_eq!(ot.net.online(), dealer.net, "online ledgers coincide");
+        assert!(dealer.net.offline.is_empty());
+        assert!(!ot.net.offline.is_empty());
     }
 }

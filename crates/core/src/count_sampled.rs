@@ -29,7 +29,10 @@
 
 use crate::count_sched::{share_prf, CountScheduler, PairChunk};
 use cargo_graph::BitMatrix;
-use cargo_mpc::{NetStats, PairDealer, Ring64, SplitMix64, MG_WORDS};
+use cargo_mpc::{
+    mul3_combine, ot_setup_ledger, Mul3Opening, NetStats, OfflineMode, OtMgEngine, PairDealer,
+    Ring64, SplitMix64, MG_WORDS,
+};
 
 /// Result of the sampled secure count.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -105,11 +108,39 @@ pub fn secure_triangle_count_sampled_batched(
     threads: usize,
     batch: usize,
 ) -> SampledCountResult {
+    secure_triangle_count_sampled_with(
+        matrix,
+        seed,
+        rate,
+        threads,
+        batch,
+        OfflineMode::TrustedDealer,
+    )
+}
+
+/// [`secure_triangle_count_sampled_batched`] with an explicit offline
+/// mode. Under [`OfflineMode::OtExtension`] the offline engine is
+/// driven one Multiplication Group at a time (the sampled `k` set is
+/// irregular, so blocks cannot be precomputed); the per-group offline
+/// cost is therefore the `block = 1` formula — a conservative upper
+/// bound a deployment would amortise further. Shares stay
+/// bit-identical to dealer mode.
+pub fn secure_triangle_count_sampled_with(
+    matrix: &BitMatrix,
+    seed: u64,
+    rate: f64,
+    threads: usize,
+    batch: usize,
+    mode: OfflineMode,
+) -> SampledCountResult {
     assert!((0.0..=1.0).contains(&rate) && rate > 0.0, "rate in (0,1]");
     let n = matrix.n();
     let threads = if n < 64 { 1 } else { threads };
     let sched = CountScheduler::new(n, threads, batch);
-    let results = sched.run_chunks(|chunk| sampled_chunk(matrix, seed, rate, &sched, chunk));
+    let results = sched.run_chunks(|chunk| match mode {
+        OfflineMode::TrustedDealer => sampled_chunk(matrix, seed, rate, &sched, chunk),
+        OfflineMode::OtExtension => sampled_chunk_ot(matrix, seed, rate, &sched, chunk),
+    });
 
     let mut share1 = Ring64::ZERO;
     let mut share2 = Ring64::ZERO;
@@ -120,6 +151,9 @@ pub fn secure_triangle_count_sampled_batched(
         share2 += s2;
         net.merge(&stats);
         evaluated += ev;
+    }
+    if mode == OfflineMode::OtExtension && !sched.chunks().is_empty() {
+        net.offline.merge(&ot_setup_ledger());
     }
     SampledCountResult {
         share1,
@@ -213,6 +247,67 @@ fn sampled_chunk(
     (Ring64(t1), Ring64(t2), net, evaluated)
 }
 
+/// The OT-extension variant of [`sampled_chunk`]: identical sampling
+/// decisions and online arithmetic, with each sampled triple's
+/// Multiplication Group generated by the per-pair [`OtMgEngine`].
+fn sampled_chunk_ot(
+    matrix: &BitMatrix,
+    seed: u64,
+    rate: f64,
+    sched: &CountScheduler,
+    chunk: &PairChunk,
+) -> (Ring64, Ring64, NetStats, u64) {
+    let n = sched.n();
+    let batch = sched.batch();
+    let mut t1 = Ring64::ZERO;
+    let mut t2 = Ring64::ZERO;
+    let mut net = NetStats::new();
+    let mut evaluated = 0u64;
+    let threshold = (rate * u64::MAX as f64) as u64;
+    for (i, j) in sched.pair_iter(chunk) {
+        let row_i = matrix.row(i);
+        let row_j = matrix.row(j);
+        let aij = Ring64::from_bit(row_i.get(j));
+        let aij1 = Ring64(share_prf(seed, i as u32, j as u32));
+        let aij2 = aij - aij1;
+        let mut engine = OtMgEngine::for_pair(seed, i as u32, j as u32);
+        let mut coin = pair_coin(seed, i as u32, j as u32);
+        let mut in_round = 0u64;
+        for k in (j + 1)..n {
+            if coin.next_u64() > threshold {
+                continue; // triple not sampled (public coin)
+            }
+            if in_round == batch as u64 {
+                net.exchange(3 * in_round);
+                in_round = 0;
+            }
+            in_round += 1;
+            evaluated += 1;
+            let (g1s, g2s) = engine.next_groups(1);
+            let (g1, g2) = (&g1s[0], &g2s[0]);
+            let aik = Ring64::from_bit(row_i.get(k));
+            let aik1 = Ring64(share_prf(seed, i as u32, k as u32));
+            let aik2 = aik - aik1;
+            let ajk = Ring64::from_bit(row_j.get(k));
+            let ajk1 = Ring64(share_prf(seed, j as u32, k as u32));
+            let ajk2 = ajk - ajk1;
+            let opening = Mul3Opening {
+                e: (aij1 - g1.x) + (aij2 - g2.x),
+                f: (aik1 - g1.y) + (aik2 - g2.y),
+                g: (ajk1 - g1.z) + (ajk2 - g2.z),
+            };
+            let efg = opening.e * opening.f * opening.g;
+            t1 += mul3_combine((aij1, aik1, ajk1), g1, opening, Ring64::ZERO);
+            t2 += mul3_combine((aij2, aik2, ajk2), g2, opening, efg);
+        }
+        if in_round > 0 {
+            net.exchange(3 * in_round);
+        }
+        net.offline.merge(&engine.ledger());
+    }
+    (t1, t2, net, evaluated)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +386,34 @@ mod tests {
         let var_full = SampledCountResult::sampling_variance(1000.0, 1.0);
         assert_eq!(var_full, 0.0);
         assert!(SampledCountResult::sampling_variance(1000.0, 0.1) > 0.0);
+    }
+
+    #[test]
+    fn ot_mode_matches_dealer_mode_on_the_sampled_estimator() {
+        let g = erdos_renyi(40, 0.2, 6);
+        let m = g.to_bit_matrix();
+        for rate in [0.3, 1.0] {
+            let dealer = secure_triangle_count_sampled_with(
+                &m,
+                7,
+                rate,
+                1,
+                8,
+                OfflineMode::TrustedDealer,
+            );
+            let ot =
+                secure_triangle_count_sampled_with(&m, 7, rate, 1, 8, OfflineMode::OtExtension);
+            assert_eq!(ot.share1, dealer.share1, "rate {rate}");
+            assert_eq!(ot.share2, dealer.share2, "rate {rate}");
+            assert_eq!(ot.evaluated, dealer.evaluated);
+            assert_eq!(ot.net.online(), dealer.net, "online ledgers equal");
+            assert_eq!(
+                ot.net.offline.extended_ots,
+                512 * dealer.evaluated,
+                "one block per sampled triple"
+            );
+            assert_eq!(ot.net.offline.base_ots, 256);
+        }
     }
 
     #[test]

@@ -18,8 +18,8 @@
 //!   communication round (`3·block` elements each way) and one block
 //!   PRG expansion.
 //! * **Determinism by construction.** Randomness is keyed per pair
-//!   ([`cargo_mpc::PairDealer`], [`share_prf`]), never per worker or
-//!   per chunk, so the servers' share pairs are bit-identical for
+//!   ([`cargo_mpc::PairDealer`], the crate-private `share_prf`), never
+//!   per worker or per chunk, so the servers' share pairs are bit-identical for
 //!   every thread count and batch size — the partition only decides
 //!   *who* consumes a stream. The scheduler-invariance property suite
 //!   (`crates/core/tests/scheduler_invariance.rs`) pins this.

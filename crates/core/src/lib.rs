@@ -15,6 +15,7 @@
 //! | Algorithm 3 `Project` | [`projection`] | Similarity-based local projection |
 //! | Algorithm 4 `Count` | [`count`] | ASS-based secure exact count |
 //! | Algorithm 5 `Perturb` | [`mod@perturb`] | Distributed Laplace perturbation |
+//! | Offline phase \[42, 43\] | [`cargo_mpc::offline`] via [`OfflineMode`] | Dealer or OT-extension MG precomputation |
 //! | Section III-B ext. | [`node_dp`] | Node-DP variant (sensitivity updates) |
 //! | Table II | [`theory`] | Closed-form utility/cost bounds |
 //! | Section II-A3 | [`metrics`] | l2 loss and relative error |
@@ -51,11 +52,18 @@ pub mod sensitivity;
 pub mod protocol;
 pub mod theory;
 
+pub use cargo_mpc::OfflineMode;
 pub use config::CargoConfig;
-pub use count::{secure_triangle_count, secure_triangle_count_batched, SecureCountResult};
-pub use count_runtime::{threaded_secure_count, threaded_secure_count_sharded};
+pub use count::{
+    secure_triangle_count, secure_triangle_count_batched, secure_triangle_count_with,
+    SecureCountResult,
+};
+pub use count_runtime::{
+    threaded_secure_count, threaded_secure_count_offline, threaded_secure_count_sharded,
+};
 pub use count_sampled::{
-    secure_triangle_count_sampled, secure_triangle_count_sampled_batched, SampledCountResult,
+    secure_triangle_count_sampled, secure_triangle_count_sampled_batched,
+    secure_triangle_count_sampled_with, SampledCountResult,
 };
 pub use count_sched::{CountScheduler, PairChunk, DEFAULT_COUNT_BATCH};
 pub use max_degree::{estimate_max_degree, MaxDegreeEstimate};

@@ -15,7 +15,7 @@
 //! the error into projection loss vs perturbation error (Theorems 5/6).
 
 use crate::config::CargoConfig;
-use crate::count::secure_triangle_count_batched;
+use crate::count::secure_triangle_count_with;
 use crate::max_degree::estimate_max_degree;
 use crate::perturb::{perturb, PerturbInputs};
 use crate::projection::project_matrix;
@@ -134,12 +134,16 @@ impl CargoSystem {
         let t_project = t0.elapsed();
 
         // ---- Step 2: ASS-based triangle counting ----
+        // (Preceded by the offline phase: trusted dealer or OT
+        // extension per cfg.offline — shares are identical either way,
+        // the offline ledger in `net.offline` differs.)
         let t0 = Instant::now();
-        let count = secure_triangle_count_batched(
+        let count = secure_triangle_count_with(
             &projected,
             cfg.seed ^ 0xC0DE,
             cfg.effective_threads(),
             cfg.effective_batch(),
+            cfg.offline,
         );
         let t_count = t0.elapsed();
 
@@ -255,6 +259,23 @@ mod tests {
         .run(&g);
         assert_eq!(out.projected_count, t, "no projection ⇒ no loss");
         assert_eq!(out.truncated_users, 0);
+    }
+
+    #[test]
+    fn ot_offline_mode_changes_only_the_offline_ledger() {
+        use cargo_mpc::OfflineMode;
+        let g = erdos_renyi(40, 0.2, 7);
+        let base = CargoConfig::new(2.0).with_seed(13);
+        let dealer = CargoSystem::new(base).run(&g);
+        let ot = CargoSystem::new(base.with_offline(OfflineMode::OtExtension)).run(&g);
+        // Same noise, same counts, same online traffic — end to end.
+        assert_eq!(ot.noisy_count, dealer.noisy_count);
+        assert_eq!(ot.projected_count, dealer.projected_count);
+        assert_eq!(ot.net.online(), dealer.net.online());
+        assert!(dealer.net.offline.is_empty());
+        assert!(ot.net.offline.bytes > 0, "offline phase is costed");
+        assert!(ot.net.offline.rounds > 0);
+        assert_eq!(ot.net.offline.base_ots, 256);
     }
 
     #[test]

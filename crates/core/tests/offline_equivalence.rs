@@ -1,0 +1,164 @@
+//! Offline/online equivalence suite: the OT-extension offline phase
+//! must be a *cost* change, never a *value* change.
+//!
+//! For arbitrary (asymmetric) bit matrices, `OfflineMode::OtExtension`
+//! and `OfflineMode::TrustedDealer` must produce identical share
+//! pairs, identical reconstructions, and identical **online**
+//! `NetStats` ledgers on every Count path — while the OT mode's
+//! offline ledger follows the pinned byte/round formula exactly.
+//! Because S₂'s shares are assembled from OT outputs plus public
+//! derandomisation offsets (see `cargo_mpc::offline`), share equality
+//! here is a genuine end-to-end check of the IKNP extension and the
+//! Gilboa multiplications, not a tautology.
+
+use cargo_core::{
+    secure_triangle_count_sampled_with, secure_triangle_count_with, threaded_secure_count_offline,
+    OfflineMode,
+};
+use cargo_graph::BitMatrix;
+use cargo_mpc::offline::{
+    MG_BLOCK_DIGEST_BYTES, MG_BLOCK_ROUNDS, MG_EXT_OTS_PER_GROUP, MG_OFFLINE_BYTES_PER_GROUP,
+};
+use cargo_mpc::SplitMix64;
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary n×n bit matrix (not necessarily symmetric)
+/// with a seeded density in (0, 1). Kept small: OT mode pays 512
+/// extended OTs per triple.
+fn arb_bit_matrix(max_n: usize) -> impl Strategy<Value = BitMatrix> {
+    (3usize..max_n, 1u32..10, any::<u64>()).prop_map(|(n, tenths, seed)| {
+        let mut rng = SplitMix64::new(seed);
+        let threshold = (tenths as u64) * (u64::MAX / 10);
+        let mut m = BitMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && rng.next_u64() < threshold {
+                    m.set(i, j, true);
+                }
+            }
+        }
+        m
+    })
+}
+
+/// The closed-form offline cost of an exact count at batch size `b`:
+/// one base-OT setup plus, per `(i, j)` pair, `ceil(len/b)` blocks of
+/// the per-block formula. This is the fixture the ledger is pinned to.
+fn expected_offline(n: usize, batch: usize) -> (u64, u64, u64, u64) {
+    let b = batch.max(1).min(n.max(1));
+    let (mut ext, mut bytes, mut rounds) = (0u64, 0u64, 0u64);
+    let mut pairs = 0u64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let len = n.saturating_sub(j + 1) as u64;
+            if len == 0 {
+                continue;
+            }
+            pairs += 1;
+            let blocks = len.div_ceil(b as u64);
+            ext += MG_EXT_OTS_PER_GROUP * len;
+            bytes += MG_OFFLINE_BYTES_PER_GROUP * len + MG_BLOCK_DIGEST_BYTES * blocks;
+            rounds += MG_BLOCK_ROUNDS * blocks;
+        }
+    }
+    if pairs > 0 {
+        let setup = cargo_mpc::ot_setup_ledger();
+        bytes += setup.bytes;
+        rounds += setup.rounds;
+        return (setup.base_ots, ext, bytes, rounds);
+    }
+    (0, ext, bytes, rounds)
+}
+
+#[test]
+fn offline_byte_count_formula_is_pinned() {
+    // Golden fixture for the cost model: n = 10, batch = 4.
+    //   pairs with k-range: (i,j) with j ≤ 8; per pair len = 9 − j.
+    //   C(10,3) = 120 MGs; 512 ext OTs each = 61 440.
+    let m = BitMatrix::zeros(10);
+    let res = secure_triangle_count_with(&m, 1, 1, 4, OfflineMode::OtExtension);
+    assert_eq!(res.triples, 120);
+    let off = res.net.offline;
+    assert_eq!(off.base_ots, 256);
+    assert_eq!(off.extended_ots, 512 * 120);
+    let (base, ext, bytes, rounds) = expected_offline(10, 4);
+    assert_eq!(off.base_ots, base);
+    assert_eq!(off.extended_ots, ext);
+    assert_eq!(off.bytes, bytes, "byte formula drifted");
+    assert_eq!(off.rounds, rounds, "round formula drifted");
+    // And the absolute numbers, hard-coded so any formula change must
+    // be a deliberate, reviewed edit:
+    //   blocks: Σ over the 36 pairs of ceil((9−j)/4) = 46 blocks.
+    //   bytes  = 120·12320 + 46·16 + 256·64 = 1 478 400 + 736 + 16 384.
+    assert_eq!(off.bytes, 1_495_520);
+    assert_eq!(off.rounds, 46 * 5 + 2);
+}
+
+#[test]
+fn empty_and_tiny_matrices_cost_nothing_offline() {
+    for n in [0usize, 1, 2] {
+        let m = BitMatrix::zeros(n);
+        let res = secure_triangle_count_with(&m, 1, 1, 0, OfflineMode::OtExtension);
+        assert!(res.net.offline.is_empty(), "n = {n}: no pairs, no setup");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn ot_and_dealer_modes_open_identically(
+        m in arb_bit_matrix(16),
+        seed: u64,
+        batch in 1usize..10,
+    ) {
+        let dealer = secure_triangle_count_with(&m, seed, 1, batch, OfflineMode::TrustedDealer);
+        let ot = secure_triangle_count_with(&m, seed, 1, batch, OfflineMode::OtExtension);
+        // Identical openings: the share pair itself, not just the sum.
+        prop_assert_eq!(ot.share1, dealer.share1);
+        prop_assert_eq!(ot.share2, dealer.share2);
+        prop_assert_eq!(ot.reconstruct(), dealer.reconstruct());
+        prop_assert_eq!(ot.triples, dealer.triples);
+        // Identical ONLINE ledgers; the offline ledger follows the
+        // pinned formula.
+        prop_assert_eq!(ot.net.online(), dealer.net.online());
+        prop_assert!(dealer.net.offline.is_empty());
+        let (base, ext, bytes, rounds) = expected_offline(m.n(), batch);
+        prop_assert_eq!(ot.net.offline.base_ots, base);
+        prop_assert_eq!(ot.net.offline.extended_ots, ext);
+        prop_assert_eq!(ot.net.offline.bytes, bytes);
+        prop_assert_eq!(ot.net.offline.rounds, rounds);
+    }
+
+    #[test]
+    fn ot_runtime_and_kernel_agree_on_random_graphs(
+        m in arb_bit_matrix(12),
+        seed: u64,
+    ) {
+        let fast = secure_triangle_count_with(&m, seed, 1, 4, OfflineMode::OtExtension);
+        let rt = threaded_secure_count_offline(&m, seed, 2, 4, OfflineMode::OtExtension);
+        prop_assert_eq!(rt.share1, fast.share1);
+        prop_assert_eq!(rt.share2, fast.share2);
+        // Full NetStats equality, offline ledger included.
+        prop_assert_eq!(rt.net, fast.net);
+    }
+
+    #[test]
+    fn sampled_estimator_is_mode_invariant(
+        m in arb_bit_matrix(14),
+        seed: u64,
+        rate_tenths in 1u32..=10,
+    ) {
+        let rate = rate_tenths as f64 / 10.0;
+        let dealer = secure_triangle_count_sampled_with(
+            &m, seed, rate, 1, 6, OfflineMode::TrustedDealer);
+        let ot = secure_triangle_count_sampled_with(
+            &m, seed, rate, 1, 6, OfflineMode::OtExtension);
+        prop_assert_eq!(ot.share1, dealer.share1);
+        prop_assert_eq!(ot.share2, dealer.share2);
+        prop_assert_eq!(ot.evaluated, dealer.evaluated);
+        prop_assert_eq!(ot.net.online(), dealer.net.online());
+        // One block-of-1 per sampled triple.
+        prop_assert_eq!(ot.net.offline.extended_ots, 512 * dealer.evaluated);
+    }
+}

@@ -20,6 +20,48 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc;
 use std::sync::{Condvar, Mutex};
 
+/// Tally of the *offline* (preprocessing) phase: the OT-extension
+/// traffic that replaces the trusted dealer when
+/// [`crate::OfflineMode::OtExtension`] is selected.
+///
+/// Kept separate from the online fields of [`NetStats`] so the two
+/// phases can be reported side by side — the paper's runtime story is
+/// offline + online, and the reproduction's benchmarks plot both.
+/// All fields stay zero under [`crate::OfflineMode::TrustedDealer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OfflineLedger {
+    /// Simulated base OTs (κ per extension direction, run once per
+    /// protocol execution).
+    pub base_ots: u64,
+    /// Extended correlated OTs produced by the IKNP extension.
+    pub extended_ots: u64,
+    /// Offline bytes on the wire (extension columns, correction words,
+    /// derandomisation offsets, transcript digests, base-OT messages).
+    pub bytes: u64,
+    /// Offline communication rounds.
+    pub rounds: u64,
+}
+
+impl OfflineLedger {
+    /// A fresh, zeroed offline ledger.
+    pub fn new() -> Self {
+        OfflineLedger::default()
+    }
+
+    /// True when no offline traffic was recorded (trusted-dealer runs).
+    pub fn is_empty(&self) -> bool {
+        *self == OfflineLedger::default()
+    }
+
+    /// Merges another offline tally into this one (summing all fields).
+    pub fn merge(&mut self, other: &OfflineLedger) {
+        self.base_ots += other.base_ots;
+        self.extended_ots += other.extended_ots;
+        self.bytes += other.bytes;
+        self.rounds += other.rounds;
+    }
+}
+
 /// Tally of simulated network traffic between S₁ and S₂.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetStats {
@@ -37,6 +79,10 @@ pub struct NetStats {
     /// Largest single batch (elements each way) seen so far — the peak
     /// per-message buffer a deployment would need.
     pub peak_batch: u64,
+    /// Preprocessing traffic (OT-extension offline phase); zero under
+    /// the trusted dealer. The fields above count the online phase
+    /// only, so `offline` never mixes into per-triple online costs.
+    pub offline: OfflineLedger,
 }
 
 impl NetStats {
@@ -86,6 +132,17 @@ impl NetStats {
         self.rounds += other.rounds;
         self.batches += other.batches;
         self.peak_batch = self.peak_batch.max(other.peak_batch);
+        self.offline.merge(&other.offline);
+    }
+
+    /// The online-phase portion of this tally: a copy with the offline
+    /// ledger zeroed. Equivalence tests compare `a.online() ==
+    /// b.online()` when the two runs used different offline modes.
+    pub fn online(&self) -> NetStats {
+        NetStats {
+            offline: OfflineLedger::default(),
+            ..*self
+        }
     }
 }
 
@@ -95,7 +152,15 @@ impl std::fmt::Display for NetStats {
             f,
             "{} ring elements, {} bytes, {} rounds",
             self.elements, self.bytes, self.rounds
-        )
+        )?;
+        if !self.offline.is_empty() {
+            write!(
+                f,
+                " (+ offline: {} bytes, {} rounds, {} ext OTs)",
+                self.offline.bytes, self.offline.rounds, self.offline.extended_ots
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -249,6 +314,33 @@ mod tests {
         let mut s = NetStats::new();
         s.exchange(1);
         assert!(s.to_string().contains("2 ring elements"));
+        assert!(!s.to_string().contains("offline"), "no offline suffix");
+        s.offline.bytes = 100;
+        assert!(s.to_string().contains("offline"));
+    }
+
+    #[test]
+    fn offline_ledger_merges_and_strips() {
+        let mut a = NetStats::new();
+        a.exchange(2);
+        a.offline.merge(&OfflineLedger {
+            base_ots: 256,
+            extended_ots: 512,
+            bytes: 12_336,
+            rounds: 5,
+        });
+        let mut b = NetStats::new();
+        b.exchange(2);
+        assert_ne!(a, b, "offline ledger participates in equality");
+        assert_eq!(a.online(), b, "online() strips the offline ledger");
+        let mut c = a;
+        c.merge(&a);
+        assert_eq!(c.offline.extended_ots, 1024);
+        assert_eq!(c.offline.base_ots, 512);
+        assert_eq!(c.offline.bytes, 24_672);
+        assert_eq!(c.offline.rounds, 10);
+        assert!(OfflineLedger::new().is_empty());
+        assert!(!a.offline.is_empty());
     }
 
     #[test]

@@ -143,6 +143,18 @@ impl PairDealer {
     /// Creates the stream for pair `(i, j)` under `root` (the Count
     /// phase's seed). Domain-separated from the input-share PRF and
     /// from [`Dealer::fork`] streams.
+    ///
+    /// ```
+    /// use cargo_mpc::{reconstruct, PairDealer};
+    /// // Same (root, i, j) ⇒ same stream; the partition of the pair
+    /// // space across workers never changes what a pair's stream holds.
+    /// let (a1, a2) = PairDealer::for_pair(42, 3, 7).next_group_pair();
+    /// let (b1, b2) = PairDealer::for_pair(42, 3, 7).next_group_pair();
+    /// assert_eq!((a1, a2), (b1, b2));
+    /// // And the group satisfies the MG relations, e.g. o = x·y:
+    /// let (x, y) = (reconstruct(a1.x, a2.x), reconstruct(a1.y, a2.y));
+    /// assert_eq!(reconstruct(a1.o, a2.o), x * y);
+    /// ```
     pub fn for_pair(root: u64, i: u32, j: u32) -> Self {
         let pair = ((i as u64) << 32) | j as u64;
         let mut mixer =
@@ -170,6 +182,16 @@ impl PairDealer {
         self.fill_words(&mut w);
         let (g1, g2) = split_mg_words(&w);
         (g1, g2)
+    }
+
+    /// Draws one Beaver triple `(a, b, c = ab)` from the stream —
+    /// consumes exactly [`BEAVER_WORDS`] words in the canonical order
+    /// (see [`split_beaver_words`]). The OT-extension offline engine
+    /// reproduces these bit for bit.
+    pub fn next_beaver_pair(&mut self) -> (BeaverShare, BeaverShare) {
+        let mut w = [0u64; BEAVER_WORDS];
+        self.fill_words(&mut w);
+        split_beaver_words(&w)
     }
 }
 
@@ -206,6 +228,34 @@ pub fn split_mg_words(w: &[u64]) -> (MulGroupShare, MulGroupShare) {
             o: Ring64(o.wrapping_sub(o1)),
             p: Ring64(p.wrapping_sub(p1)),
             q: Ring64(q.wrapping_sub(q1)),
+        },
+    )
+}
+
+/// Dealer words consumed per Beaver triple by the streaming form:
+/// `a₁ a₂ b₁ b₂ c₁` (S₂'s `c` share is the difference `ab − c₁`, not a
+/// fresh draw).
+pub const BEAVER_WORDS: usize = 5;
+
+/// Expands [`BEAVER_WORDS`] raw dealer words into the two servers'
+/// Beaver-triple shares — the canonical layout both the trusted dealer
+/// and the OT-extension offline engine target.
+#[inline]
+pub fn split_beaver_words(w: &[u64]) -> (BeaverShare, BeaverShare) {
+    let &[a1, a2, b1, b2, c1] = &w[..BEAVER_WORDS] else {
+        panic!("split_beaver_words needs {BEAVER_WORDS} words");
+    };
+    let c = a1.wrapping_add(a2).wrapping_mul(b1.wrapping_add(b2));
+    (
+        BeaverShare {
+            a: Ring64(a1),
+            b: Ring64(b1),
+            c: Ring64(c1),
+        },
+        BeaverShare {
+            a: Ring64(a2),
+            b: Ring64(b2),
+            c: Ring64(c.wrapping_sub(c1)),
         },
     )
 }
@@ -299,6 +349,28 @@ mod tests {
         assert_eq!(g, split_mg_words(&w));
         // Both streams are now at the same offset.
         assert_eq!(via_groups.next_group_pair(), via_words.next_group_pair());
+    }
+
+    #[test]
+    fn pair_stream_beaver_triples_satisfy_c_eq_ab() {
+        let mut d = PairDealer::for_pair(17, 2, 4);
+        for _ in 0..32 {
+            let (t1, t2) = d.next_beaver_pair();
+            let a = reconstruct(t1.a, t2.a);
+            let b = reconstruct(t1.b, t2.b);
+            assert_eq!(reconstruct(t1.c, t2.c), a * b);
+        }
+    }
+
+    #[test]
+    fn beaver_pair_consumes_exactly_beaver_words() {
+        let mut via_triples = PairDealer::for_pair(19, 1, 3);
+        let mut via_words = PairDealer::for_pair(19, 1, 3);
+        let t = via_triples.next_beaver_pair();
+        let mut w = [0u64; BEAVER_WORDS];
+        via_words.fill_words(&mut w);
+        assert_eq!(t, split_beaver_words(&w));
+        assert_eq!(via_triples.next_group_pair(), via_words.next_group_pair());
     }
 
     #[test]

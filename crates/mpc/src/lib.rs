@@ -14,22 +14,36 @@
 //!   `(x, y, z, w = xyz, o = xy, p = xz, q = yz)` — Algorithm 4's inner
 //!   kernel and Theorem 1.
 //! * [`dealer`] — a streaming trusted dealer producing the offline
-//!   correlated randomness. The paper precomputes MGs with oblivious
-//!   transfer \[42, 43\]; here a seeded dealer plays that role so that
-//!   `O(n³)` groups never need to be materialised (substitution
-//!   documented in DESIGN.md §4 — identical share distribution,
-//!   identical online cost).
+//!   correlated randomness from seeds, so that `O(n³)` groups never
+//!   need to be materialised. The paper precomputes MGs with oblivious
+//!   transfer \[42, 43\]; both options exist here behind
+//!   [`OfflineMode`] — the dealer as the zero-cost baseline
+//!   (DESIGN.md §4.6), the OT extension below as the costed real
+//!   thing, emitting bit-identical shares.
+//! * [`ot`] — IKNP-style correlated-OT extension (simulated base OTs,
+//!   column-wise extension, correlation-robust hashing, transcript
+//!   consistency digests): the machinery the paper's offline phase
+//!   \[42, 43\] is built from.
+//! * [`offline`] — the offline phase itself: [`OfflineMode`] selects
+//!   the trusted dealer or the OT-extension engines that generate the
+//!   same MG/Beaver material bit for bit while paying (and recording)
+//!   the real preprocessing cost.
 //! * [`channel`] — communication accounting: every reconstruction in
 //!   the online phase is tallied in a [`NetStats`] so experiments can
-//!   report message/byte/round counts.
+//!   report message/byte/round counts; the [`OfflineLedger`] inside it
+//!   carries the preprocessing cost.
 //! * [`view`] — the semi-honest security story (Definition 6): helpers
 //!   that record exactly what each server observes, plus a simulator
 //!   that produces the same view from public information only; tests
 //!   verify the two are statistically indistinguishable.
 
+#![deny(missing_docs)]
+
 pub mod beaver;
 pub mod channel;
 pub mod dealer;
+pub mod offline;
+pub mod ot;
 pub mod prg;
 pub mod ring;
 pub mod share;
@@ -37,12 +51,18 @@ pub mod triple_mul;
 pub mod view;
 
 pub use beaver::{beaver_mul, BeaverShare};
-pub use channel::{tagged_channel, NetStats, TaggedDemux, TaggedSender};
-pub use dealer::{split_mg_words, Dealer, PairDealer, MG_WORDS};
+pub use channel::{tagged_channel, NetStats, OfflineLedger, TaggedDemux, TaggedSender};
+pub use dealer::{
+    split_beaver_words, split_mg_words, Dealer, PairDealer, BEAVER_WORDS, MG_WORDS,
+};
+pub use offline::{
+    mg_block_ledger, ot_setup_ledger, MgOfflineS1, MgOfflineS2, OfflineMode, OtBeaverEngine,
+    OtMgEngine,
+};
 pub use prg::SplitMix64;
 pub use ring::Ring64;
 pub use share::{reconstruct, reconstruct_vec, share_with, share_vec_with, SharePair};
-pub use triple_mul::{mul3, MulGroupShare};
+pub use triple_mul::{mul3, mul3_combine, Mul3Opening, MulGroupShare};
 
 /// Identifies one of the two non-colluding servers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

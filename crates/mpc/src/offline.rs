@@ -1,0 +1,851 @@
+//! The offline (preprocessing) phase: OT-extension generation of
+//! Multiplication-Group and Beaver material.
+//!
+//! The paper's protocol splits into an offline phase that precomputes
+//! correlated randomness via oblivious transfer \[42, 43\] and an
+//! online phase that consumes it. This module implements the offline
+//! phase on top of [`crate::ot`] so a run can select either source
+//! through [`OfflineMode`]:
+//!
+//! * **[`OfflineMode::TrustedDealer`]** — the seeded streaming dealer
+//!   ([`crate::dealer`]): zero offline traffic, the modeling shortcut
+//!   documented in DESIGN.md §4.6.
+//! * **[`OfflineMode::OtExtension`]** — the two servers run IKNP
+//!   correlated-OT extension and Gilboa share multiplication to build
+//!   the same material, paying (and recording, via
+//!   [`crate::OfflineLedger`]) the real offline bytes and rounds.
+//!
+//! ## Bit-identical material, honestly earned
+//!
+//! Both modes emit **bit-identical** shares, so every equivalence and
+//! golden-fixture suite passes unchanged in either mode. The trick is
+//! standard *derandomisation*: each server expands its own additive
+//! mask shares `x_i, y_i, z_i` from its pair-keyed PRG stream (the
+//! same [`PairDealer`] words the dealer mode uses), the product shares
+//! `o = xy, p = xz, q = yz, w = oz` are computed with Gilboa
+//! multiplication over correlated OTs, and S₁ then shifts each raw
+//! product share pair onto its canonical stream word by sending the
+//! public offset `c = raw₁ − canonical₁` (S₂ adds `c` to its raw
+//! share). The offset is one-time-padded by the COT's fresh
+//! randomness, so it leaks nothing — and S₂'s resulting share equals
+//! the dealer's **only if** every OT multiplication was correct, which
+//! is exactly what the cross-mode equivalence suites verify.
+//!
+//! ## Message flow per `k`-block of one `(i, j)` pair
+//!
+//! Four Gilboa multiplications per direction per MG (cross terms of
+//! `o, p, q, w`; `w`'s second cross term needs S₂'s derandomised `o₂`,
+//! which forces the two-step tail):
+//!
+//! ```text
+//!   S₁                                           S₂
+//!   ── u-columns (dir B: choice bits y₁,z₁) ──▶
+//!   ◀── u-columns (dir A: choice bits y₂,z₂) ──     round 1
+//!   ── corrections A₁..A₄ (+digest) ──────────▶
+//!   ◀── corrections B₁..B₃ (+digest) ──────────     round 2
+//!   ── derandomise c_o, c_p, c_q ─────────────▶     round 3
+//!   ◀── corrections B₄ (a = o₂) ───────────────     round 4
+//!   ── derandomise c_w ───────────────────────▶     round 5
+//! ```
+//!
+//! Cost per MG (formula pinned by `offline_ledger_formula` tests and
+//! the committed `BENCH_offline.json` baseline): 512 extended OTs,
+//! [`MG_OFFLINE_BYTES_PER_GROUP`] bytes, [`MG_BLOCK_ROUNDS`] rounds
+//! per block, plus one global base-OT setup
+//! ([`ot_setup_ledger`]).
+
+use crate::beaver::BeaverShare;
+use crate::channel::OfflineLedger;
+use crate::dealer::{split_beaver_words, split_mg_words, PairDealer, BEAVER_WORDS, MG_WORDS};
+use crate::ot::{
+    simulated_base_ots, transcript_digest, CotReceiver, CotSender, RecvBatch, SendBatch,
+    BASE_OT_BYTES, BASE_OT_ROUNDS, OT_KAPPA,
+};
+use crate::prg::SplitMix64;
+use crate::triple_mul::MulGroupShare;
+
+/// Selects how the offline phase produces correlated randomness.
+///
+/// ```
+/// use cargo_mpc::OfflineMode;
+/// // CLI spelling round-trips:
+/// assert_eq!("ot".parse::<OfflineMode>(), Ok(OfflineMode::OtExtension));
+/// assert_eq!("dealer".parse::<OfflineMode>(), Ok(OfflineMode::TrustedDealer));
+/// assert_eq!(OfflineMode::default(), OfflineMode::TrustedDealer);
+/// // Both modes produce bit-identical shares; only the offline cost
+/// // ledger differs (zero for the dealer).
+/// assert_eq!(OfflineMode::OtExtension.to_string(), "ot");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum OfflineMode {
+    /// Seeded streaming dealer (DESIGN.md §4.6): no offline cost is
+    /// modelled. The default, and the fastest way to run experiments
+    /// that only study the online phase.
+    #[default]
+    TrustedDealer,
+    /// IKNP correlated-OT extension + Gilboa multiplication between
+    /// the two servers: real offline traffic, tallied in
+    /// [`crate::OfflineLedger`].
+    OtExtension,
+}
+
+impl std::str::FromStr for OfflineMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "dealer" | "trusted-dealer" => Ok(OfflineMode::TrustedDealer),
+            "ot" | "ot-extension" => Ok(OfflineMode::OtExtension),
+            other => Err(format!(
+                "unknown offline mode {other:?} (expected \"dealer\" or \"ot\")"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for OfflineMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            OfflineMode::TrustedDealer => "dealer",
+            OfflineMode::OtExtension => "ot",
+        })
+    }
+}
+
+/// Gilboa multiplications per Multiplication Group per direction
+/// (cross terms of `o, p, q, w`).
+pub const MG_MULTS_PER_DIR: usize = 4;
+
+/// Extended correlated OTs per Multiplication Group
+/// (2 directions × 4 multiplications × 64 bits).
+pub const MG_EXT_OTS_PER_GROUP: u64 = 2 * (MG_MULTS_PER_DIR as u64) * 64;
+
+/// Offline wire bytes per Multiplication Group: 512 OTs × (16 B of
+/// extension columns + 8 B of correction) + 4 derandomisation words.
+pub const MG_OFFLINE_BYTES_PER_GROUP: u64 = MG_EXT_OTS_PER_GROUP * (16 + 8) + 4 * 8;
+
+/// Fixed per-block overhead: the two transcript digests riding on the
+/// correction messages.
+pub const MG_BLOCK_DIGEST_BYTES: u64 = 16;
+
+/// Offline rounds per `k`-block (see the module-level message flow).
+pub const MG_BLOCK_ROUNDS: u64 = 5;
+
+/// Extended OTs per Beaver triple (2 directions × 64 bits).
+pub const BEAVER_EXT_OTS_PER_TRIPLE: u64 = 128;
+
+/// Offline wire bytes per Beaver triple: 128 OTs × 24 B + one
+/// derandomisation word.
+pub const BEAVER_OFFLINE_BYTES_PER_TRIPLE: u64 = BEAVER_EXT_OTS_PER_TRIPLE * (16 + 8) + 8;
+
+/// Offline rounds per Beaver block (columns, corrections,
+/// derandomise).
+pub const BEAVER_BLOCK_ROUNDS: u64 = 3;
+
+/// The one-time setup cost of OT-extension mode: κ base OTs per
+/// extension direction, paid once per protocol execution (per-pair
+/// session keys are then derived locally, as real deployments derive
+/// sub-sessions from one extension setup).
+pub fn ot_setup_ledger() -> OfflineLedger {
+    OfflineLedger {
+        base_ots: 2 * OT_KAPPA as u64,
+        extended_ots: 0,
+        bytes: 2 * OT_KAPPA as u64 * BASE_OT_BYTES,
+        rounds: BASE_OT_ROUNDS,
+    }
+}
+
+/// The offline cost of one `k`-block of `block` Multiplication Groups
+/// — the formula every OT-mode Count path tallies per block, pinned by
+/// the byte-count fixtures.
+pub fn mg_block_ledger(block: u64) -> OfflineLedger {
+    OfflineLedger {
+        base_ots: 0,
+        extended_ots: MG_EXT_OTS_PER_GROUP * block,
+        bytes: MG_OFFLINE_BYTES_PER_GROUP * block + MG_BLOCK_DIGEST_BYTES,
+        rounds: MG_BLOCK_ROUNDS,
+    }
+}
+
+/// The offline cost of one block of `block` Beaver triples.
+pub fn beaver_block_ledger(block: u64) -> OfflineLedger {
+    OfflineLedger {
+        base_ots: 0,
+        extended_ots: BEAVER_EXT_OTS_PER_TRIPLE * block,
+        bytes: BEAVER_OFFLINE_BYTES_PER_TRIPLE * block + MG_BLOCK_DIGEST_BYTES,
+        rounds: BEAVER_BLOCK_ROUNDS,
+    }
+}
+
+/// Derives the two per-pair extension session seeds (direction A:
+/// S₁ sends, S₂ receives; direction B: the reverse). Both servers
+/// derive the same seeds, domain-separated from every other stream.
+fn pair_ot_seeds(root: u64, i: u32, j: u32) -> (u64, u64) {
+    let pair = ((i as u64) << 32) | j as u64;
+    let mut mixer =
+        SplitMix64::new(root ^ pair.wrapping_mul(0xC2B2AE3D27D4EB4F) ^ 0x165667B19E3779F9);
+    (mixer.next_u64(), mixer.next_u64())
+}
+
+/// Per-MG canonical-word offsets (see [`crate::dealer::MG_WORDS`]).
+const X1: usize = 0;
+const X2: usize = 1;
+const Y1: usize = 2;
+const Y2: usize = 3;
+const Z1: usize = 4;
+const Z2: usize = 5;
+const O1: usize = 6;
+const P1: usize = 7;
+const Q1: usize = 8;
+const W1: usize = 9;
+
+/// Protocol-stage guard shared by both party machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    Idle,
+    SentColumns,
+    SentCorrections,
+    SentDerandOpq,
+    Finishing,
+}
+
+fn advance(stage: &mut Stage, want: Stage, next: Stage) {
+    assert_eq!(*stage, want, "offline protocol out of lockstep");
+    *stage = next;
+}
+
+/// Server S₁'s half of the per-pair MG offline protocol.
+///
+/// S₁ is the *canonical* side: its mask shares and product shares are
+/// its [`PairDealer`] stream words, and it derandomises every product
+/// onto them. Drive the methods strictly in the order
+/// [`ucols`](Self::ucols) → [`corrections`](Self::corrections) →
+/// [`derand_opq`](Self::derand_opq) → [`derand_w`](Self::derand_w) →
+/// [`groups`](Self::groups) per block; any other order panics.
+#[derive(Debug, Clone)]
+pub struct MgOfflineS1 {
+    canon: PairDealer,
+    sender: CotSender,
+    receiver: CotReceiver,
+    stage: Stage,
+    block: usize,
+    words: Vec<u64>,
+    recv_batch: Option<RecvBatch>,
+    sent_ucols_digest: u64,
+    /// `−Σ m⁰` per (g, mult) of direction A (S₁'s sender shares).
+    s_a: Vec<u64>,
+}
+
+impl MgOfflineS1 {
+    /// Creates S₁'s endpoint for pair `(i, j)` under `root`.
+    pub fn for_pair(root: u64, i: u32, j: u32) -> Self {
+        let (seed_a, seed_b) = pair_ot_seeds(root, i, j);
+        let (sender, _) = simulated_base_ots(seed_a);
+        let (_, receiver) = simulated_base_ots(seed_b);
+        MgOfflineS1 {
+            canon: PairDealer::for_pair(root, i, j),
+            sender,
+            receiver,
+            stage: Stage::Idle,
+            block: 0,
+            words: Vec::new(),
+            recv_batch: None,
+            sent_ucols_digest: 0,
+            s_a: Vec::new(),
+        }
+    }
+
+    /// Step 1: draws the block's canonical words and returns S₁'s
+    /// extension columns for its receiver role (direction B, choice
+    /// bits `y₁, z₁, z₁, z₁` per MG).
+    pub fn ucols(&mut self, block: usize) -> Vec<u64> {
+        advance(&mut self.stage, Stage::Idle, Stage::SentColumns);
+        assert!(block > 0, "empty offline block");
+        self.block = block;
+        self.words.resize(MG_WORDS * block, 0);
+        self.canon.fill_words(&mut self.words);
+        let mut choice = Vec::with_capacity(MG_MULTS_PER_DIR * block);
+        for g in 0..block {
+            let w = &self.words[MG_WORDS * g..];
+            choice.extend_from_slice(&[w[Y1], w[Z1], w[Z1], w[Z1]]);
+        }
+        let (batch, u) = self.receiver.extend(&choice);
+        self.recv_batch = Some(batch);
+        self.sent_ucols_digest = transcript_digest(&u);
+        u
+    }
+
+    /// Step 2: absorbs S₂'s columns and returns the corrections for
+    /// all four direction-A multiplications (`a = x₁, x₁, y₁, o₁`),
+    /// with a transcript digest of the absorbed columns appended.
+    pub fn corrections(&mut self, u_from_s2: &[u64]) -> Vec<u64> {
+        advance(&mut self.stage, Stage::SentColumns, Stage::SentCorrections);
+        let sb = self.sender.absorb(u_from_s2);
+        let block = self.block;
+        let mut msg = Vec::with_capacity(MG_MULTS_PER_DIR * 64 * block + 1);
+        self.s_a = vec![0u64; MG_MULTS_PER_DIR * block];
+        for g in 0..block {
+            let w = &self.words[MG_WORDS * g..MG_WORDS * (g + 1)];
+            let a_vals = [w[X1], w[X1], w[Y1], w[O1]];
+            for (mult, &a) in a_vals.iter().enumerate() {
+                let mut sum0 = 0u64;
+                for bit in 0..64 {
+                    let j = (g * MG_MULTS_PER_DIR + mult) * 64 + bit;
+                    sum0 = sum0.wrapping_add(sb.m0(j));
+                    msg.push(sb.correction(j, a.wrapping_shl(bit as u32)));
+                }
+                self.s_a[g * MG_MULTS_PER_DIR + mult] = 0u64.wrapping_sub(sum0);
+            }
+        }
+        msg.push(transcript_digest(u_from_s2));
+        msg
+    }
+
+    /// Step 3: absorbs S₂'s corrections for B₁..B₃ (digest last) and
+    /// returns the derandomisation offsets `c_o, c_p, c_q` per MG.
+    pub fn derand_opq(&mut self, d_from_s2: &[u64]) -> Vec<u64> {
+        advance(
+            &mut self.stage,
+            Stage::SentCorrections,
+            Stage::SentDerandOpq,
+        );
+        let block = self.block;
+        assert_eq!(d_from_s2.len(), 3 * 64 * block + 1, "B₁..B₃ corrections");
+        let (digest, d) = d_from_s2.split_last().expect("non-empty");
+        assert_eq!(
+            *digest, self.sent_ucols_digest,
+            "offline transcript diverged (consistency hash mismatch)"
+        );
+        let rb = self.recv_batch.as_ref().expect("columns sent");
+        let mut msg = Vec::with_capacity(3 * block);
+        for g in 0..block {
+            let w = &self.words[MG_WORDS * g..MG_WORDS * (g + 1)];
+            let mut raw = [0u64; 3];
+            let local = [
+                w[X1].wrapping_mul(w[Y1]),
+                w[X1].wrapping_mul(w[Z1]),
+                w[Y1].wrapping_mul(w[Z1]),
+            ];
+            for (mult, slot) in raw.iter_mut().enumerate() {
+                let mut sum = 0u64;
+                for bit in 0..64 {
+                    let j = (g * MG_MULTS_PER_DIR + mult) * 64 + bit;
+                    let d_idx = (g * 3 + mult) * 64 + bit;
+                    sum = sum.wrapping_add(rb.output_at(j, d[d_idx]));
+                }
+                *slot = local[mult]
+                    .wrapping_add(self.s_a[g * MG_MULTS_PER_DIR + mult])
+                    .wrapping_add(sum);
+            }
+            msg.push(raw[0].wrapping_sub(w[O1]));
+            msg.push(raw[1].wrapping_sub(w[P1]));
+            msg.push(raw[2].wrapping_sub(w[Q1]));
+        }
+        msg
+    }
+
+    /// Step 4: absorbs S₂'s B₄ corrections (`a = o₂`) and returns the
+    /// final derandomisation offset `c_w` per MG.
+    pub fn derand_w(&mut self, d_b4: &[u64]) -> Vec<u64> {
+        advance(&mut self.stage, Stage::SentDerandOpq, Stage::Finishing);
+        let block = self.block;
+        assert_eq!(d_b4.len(), 64 * block, "B₄ corrections");
+        let rb = self.recv_batch.as_ref().expect("columns sent");
+        let mut msg = Vec::with_capacity(block);
+        for g in 0..block {
+            let w = &self.words[MG_WORDS * g..MG_WORDS * (g + 1)];
+            let mut sum = 0u64;
+            for bit in 0..64 {
+                let j = (g * MG_MULTS_PER_DIR + 3) * 64 + bit;
+                sum = sum.wrapping_add(rb.output_at(j, d_b4[g * 64 + bit]));
+            }
+            let w_raw1 = w[O1]
+                .wrapping_mul(w[Z1])
+                .wrapping_add(self.s_a[g * MG_MULTS_PER_DIR + 3])
+                .wrapping_add(sum);
+            msg.push(w_raw1.wrapping_sub(w[W1]));
+        }
+        msg
+    }
+
+    /// Step 5: S₁'s Multiplication-Group shares for the block — by
+    /// construction the canonical stream words.
+    pub fn groups(&mut self) -> Vec<MulGroupShare> {
+        advance(&mut self.stage, Stage::Finishing, Stage::Idle);
+        (0..self.block)
+            .map(|g| {
+                let w = &self.words[MG_WORDS * g..MG_WORDS * (g + 1)];
+                split_mg_words(w).0
+            })
+            .collect()
+    }
+}
+
+/// Server S₂'s half of the per-pair MG offline protocol.
+///
+/// Drive strictly [`ucols`](Self::ucols) →
+/// [`corrections`](Self::corrections) →
+/// [`absorb_corrections`](Self::absorb_corrections) →
+/// [`corrections_w`](Self::corrections_w) → [`groups`](Self::groups)
+/// per block.
+#[derive(Debug, Clone)]
+pub struct MgOfflineS2 {
+    stream: PairDealer,
+    sender: CotSender,
+    receiver: CotReceiver,
+    stage: Stage,
+    block: usize,
+    words: Vec<u64>,
+    recv_batch: Option<RecvBatch>,
+    send_batch: Option<SendBatch>,
+    sent_ucols_digest: u64,
+    /// `−Σ m⁰` per (g, mult) of direction B (S₂'s sender shares).
+    s_b: Vec<u64>,
+    /// Σ receiver outputs per (g, mult) of direction A.
+    r_a: Vec<u64>,
+    /// Derandomised `o₂, p₂, q₂` per MG.
+    opq2: Vec<u64>,
+    /// `w` raw share per MG (awaiting `c_w`).
+    w_raw2: Vec<u64>,
+}
+
+impl MgOfflineS2 {
+    /// Creates S₂'s endpoint for pair `(i, j)` under `root`.
+    pub fn for_pair(root: u64, i: u32, j: u32) -> Self {
+        let (seed_a, seed_b) = pair_ot_seeds(root, i, j);
+        let (_, receiver) = simulated_base_ots(seed_a);
+        let (sender, _) = simulated_base_ots(seed_b);
+        MgOfflineS2 {
+            stream: PairDealer::for_pair(root, i, j),
+            sender,
+            receiver,
+            stage: Stage::Idle,
+            block: 0,
+            words: Vec::new(),
+            recv_batch: None,
+            send_batch: None,
+            sent_ucols_digest: 0,
+            s_b: Vec::new(),
+            r_a: Vec::new(),
+            opq2: Vec::new(),
+            w_raw2: Vec::new(),
+        }
+    }
+
+    /// Step 1: draws the block's stream words (S₂ uses only its own
+    /// mask shares `x₂, y₂, z₂`) and returns its extension columns for
+    /// direction A (choice bits `y₂, z₂, z₂, z₂` per MG).
+    pub fn ucols(&mut self, block: usize) -> Vec<u64> {
+        advance(&mut self.stage, Stage::Idle, Stage::SentColumns);
+        assert!(block > 0, "empty offline block");
+        self.block = block;
+        self.words.resize(MG_WORDS * block, 0);
+        self.stream.fill_words(&mut self.words);
+        let mut choice = Vec::with_capacity(MG_MULTS_PER_DIR * block);
+        for g in 0..block {
+            let w = &self.words[MG_WORDS * g..];
+            choice.extend_from_slice(&[w[Y2], w[Z2], w[Z2], w[Z2]]);
+        }
+        let (batch, u) = self.receiver.extend(&choice);
+        self.recv_batch = Some(batch);
+        self.sent_ucols_digest = transcript_digest(&u);
+        u
+    }
+
+    /// Step 2: absorbs S₁'s columns and returns the corrections for
+    /// B₁..B₃ (`a = x₂, x₂, y₂`; B₄ waits for the derandomised `o₂`),
+    /// with a transcript digest of the absorbed columns appended.
+    pub fn corrections(&mut self, u_from_s1: &[u64]) -> Vec<u64> {
+        advance(&mut self.stage, Stage::SentColumns, Stage::SentCorrections);
+        let sb = self.sender.absorb(u_from_s1);
+        let block = self.block;
+        let mut msg = Vec::with_capacity(3 * 64 * block + 1);
+        self.s_b = vec![0u64; MG_MULTS_PER_DIR * block];
+        for g in 0..block {
+            let w = &self.words[MG_WORDS * g..MG_WORDS * (g + 1)];
+            let a_vals = [w[X2], w[X2], w[Y2]];
+            for mult in 0..MG_MULTS_PER_DIR {
+                // B₄'s correlation (a = o₂) is not known yet; its
+                // corrections go out in `corrections_w`.
+                let a = a_vals.get(mult).copied();
+                let mut sum0 = 0u64;
+                for bit in 0..64 {
+                    let j = (g * MG_MULTS_PER_DIR + mult) * 64 + bit;
+                    sum0 = sum0.wrapping_add(sb.m0(j));
+                    if let Some(a) = a {
+                        msg.push(sb.correction(j, a.wrapping_shl(bit as u32)));
+                    }
+                }
+                self.s_b[g * MG_MULTS_PER_DIR + mult] = 0u64.wrapping_sub(sum0);
+            }
+        }
+        msg.push(transcript_digest(u_from_s1));
+        self.send_batch = Some(sb);
+        msg
+    }
+
+    /// Step 3: absorbs S₁'s direction-A corrections (digest last),
+    /// computing S₂'s receiver shares of all four multiplications.
+    pub fn absorb_corrections(&mut self, d_from_s1: &[u64]) {
+        advance(
+            &mut self.stage,
+            Stage::SentCorrections,
+            Stage::SentDerandOpq,
+        );
+        let block = self.block;
+        assert_eq!(
+            d_from_s1.len(),
+            MG_MULTS_PER_DIR * 64 * block + 1,
+            "A₁..A₄ corrections"
+        );
+        let (digest, d) = d_from_s1.split_last().expect("non-empty");
+        assert_eq!(
+            *digest, self.sent_ucols_digest,
+            "offline transcript diverged (consistency hash mismatch)"
+        );
+        let rb = self.recv_batch.as_ref().expect("columns sent");
+        self.r_a = vec![0u64; MG_MULTS_PER_DIR * block];
+        for (gm, slot) in self.r_a.iter_mut().enumerate() {
+            let mut sum = 0u64;
+            for bit in 0..64 {
+                let j = gm * 64 + bit;
+                sum = sum.wrapping_add(rb.output_at(j, d[j]));
+            }
+            *slot = sum;
+        }
+    }
+
+    /// Step 4: absorbs S₁'s derandomisation offsets `c_o, c_p, c_q`,
+    /// fixing `o₂, p₂, q₂`, and returns the B₄ corrections
+    /// (`a = o₂`).
+    pub fn corrections_w(&mut self, c_opq: &[u64]) -> Vec<u64> {
+        advance(&mut self.stage, Stage::SentDerandOpq, Stage::Finishing);
+        let block = self.block;
+        assert_eq!(c_opq.len(), 3 * block, "c_o, c_p, c_q per MG");
+        let sb = self.send_batch.as_ref().expect("corrections sent");
+        self.opq2 = Vec::with_capacity(3 * block);
+        self.w_raw2 = Vec::with_capacity(block);
+        let mut msg = Vec::with_capacity(64 * block);
+        for g in 0..block {
+            let w = &self.words[MG_WORDS * g..MG_WORDS * (g + 1)];
+            let local = [
+                w[X2].wrapping_mul(w[Y2]),
+                w[X2].wrapping_mul(w[Z2]),
+                w[Y2].wrapping_mul(w[Z2]),
+            ];
+            for mult in 0..3 {
+                let raw = local[mult]
+                    .wrapping_add(self.r_a[g * MG_MULTS_PER_DIR + mult])
+                    .wrapping_add(self.s_b[g * MG_MULTS_PER_DIR + mult]);
+                self.opq2.push(raw.wrapping_add(c_opq[g * 3 + mult]));
+            }
+            let o2 = self.opq2[g * 3];
+            for bit in 0..64 {
+                let j = (g * MG_MULTS_PER_DIR + 3) * 64 + bit;
+                msg.push(sb.correction(j, o2.wrapping_shl(bit as u32)));
+            }
+            self.w_raw2.push(
+                o2.wrapping_mul(w[Z2])
+                    .wrapping_add(self.r_a[g * MG_MULTS_PER_DIR + 3])
+                    .wrapping_add(self.s_b[g * MG_MULTS_PER_DIR + 3]),
+            );
+        }
+        msg
+    }
+
+    /// Step 5: absorbs S₁'s final offset `c_w` and returns S₂'s
+    /// Multiplication-Group shares for the block.
+    pub fn groups(&mut self, c_w: &[u64]) -> Vec<MulGroupShare> {
+        advance(&mut self.stage, Stage::Finishing, Stage::Idle);
+        let block = self.block;
+        assert_eq!(c_w.len(), block, "c_w per MG");
+        (0..block)
+            .map(|g| {
+                let w = &self.words[MG_WORDS * g..MG_WORDS * (g + 1)];
+                MulGroupShare {
+                    x: crate::Ring64(w[X2]),
+                    y: crate::Ring64(w[Y2]),
+                    z: crate::Ring64(w[Z2]),
+                    w: crate::Ring64(self.w_raw2[g].wrapping_add(c_w[g])),
+                    o: crate::Ring64(self.opq2[g * 3]),
+                    p: crate::Ring64(self.opq2[g * 3 + 1]),
+                    q: crate::Ring64(self.opq2[g * 3 + 2]),
+                }
+            })
+            .collect()
+    }
+}
+
+/// In-process driver of the per-pair MG offline protocol: runs both
+/// party machines back to back, checks the transcript digests, and
+/// tallies the offline ledger. The fast Count kernel and the sampled
+/// estimator use this; the message-passing runtime drives the same
+/// machines over its multiplexed links instead.
+#[derive(Debug, Clone)]
+pub struct OtMgEngine {
+    s1: MgOfflineS1,
+    s2: MgOfflineS2,
+    ledger: OfflineLedger,
+}
+
+impl OtMgEngine {
+    /// Creates the engine for pair `(i, j)` under `root`.
+    pub fn for_pair(root: u64, i: u32, j: u32) -> Self {
+        OtMgEngine {
+            s1: MgOfflineS1::for_pair(root, i, j),
+            s2: MgOfflineS2::for_pair(root, i, j),
+            ledger: OfflineLedger::new(),
+        }
+    }
+
+    /// Produces the next `block` Multiplication Groups as the two
+    /// servers' share vectors — bit-identical to `block` consecutive
+    /// [`PairDealer::next_group_pair`] draws on the same stream.
+    pub fn next_groups(&mut self, block: usize) -> (Vec<MulGroupShare>, Vec<MulGroupShare>) {
+        let u1 = self.s1.ucols(block);
+        let u2 = self.s2.ucols(block);
+        let d_a = self.s1.corrections(&u2);
+        let d_b123 = self.s2.corrections(&u1);
+        let c_opq = self.s1.derand_opq(&d_b123);
+        self.s2.absorb_corrections(&d_a);
+        let d_b4 = self.s2.corrections_w(&c_opq);
+        let c_w = self.s1.derand_w(&d_b4);
+        let g2 = self.s2.groups(&c_w);
+        let g1 = self.s1.groups();
+        let wire_words =
+            u1.len() + u2.len() + d_a.len() + d_b123.len() + c_opq.len() + d_b4.len() + c_w.len();
+        let tally = mg_block_ledger(block as u64);
+        debug_assert_eq!(8 * wire_words as u64, tally.bytes, "ledger formula drifted");
+        self.ledger.merge(&tally);
+        (g1, g2)
+    }
+
+    /// The offline traffic this engine has generated so far (excludes
+    /// the global base-OT setup, which is tallied once per run).
+    pub fn ledger(&self) -> OfflineLedger {
+        self.ledger
+    }
+}
+
+/// In-process OT generation of Beaver triples, derandomised onto the
+/// canonical [`PairDealer::next_beaver_pair`] stream — the two cross
+/// terms `a₁b₂`, `a₂b₁` of `c = ab` via one Gilboa multiplication per
+/// direction.
+#[derive(Debug, Clone)]
+pub struct OtBeaverEngine {
+    stream: PairDealer,
+    sender_a: CotSender,
+    receiver_a: CotReceiver,
+    sender_b: CotSender,
+    receiver_b: CotReceiver,
+    ledger: OfflineLedger,
+}
+
+impl OtBeaverEngine {
+    /// Creates the engine for pair `(i, j)` under `root`.
+    pub fn for_pair(root: u64, i: u32, j: u32) -> Self {
+        let (seed_a, seed_b) = pair_ot_seeds(root ^ 0xBEA7E12, i, j);
+        let (sender_a, receiver_a) = simulated_base_ots(seed_a);
+        let (sender_b, receiver_b) = simulated_base_ots(seed_b);
+        OtBeaverEngine {
+            stream: PairDealer::for_pair(root, i, j),
+            sender_a,
+            receiver_a,
+            sender_b,
+            receiver_b,
+            ledger: OfflineLedger::new(),
+        }
+    }
+
+    /// Produces the next `block` Beaver triples as the two servers'
+    /// share vectors — bit-identical to `block` consecutive
+    /// [`PairDealer::next_beaver_pair`] draws on the same stream.
+    pub fn next_triples(&mut self, block: usize) -> (Vec<BeaverShare>, Vec<BeaverShare>) {
+        assert!(block > 0, "empty offline block");
+        let mut words = vec![0u64; BEAVER_WORDS * block];
+        self.stream.fill_words(&mut words);
+        // Direction A: S₁ holds a₁, S₂'s choice bits are b₂.
+        let choice_a: Vec<u64> = (0..block).map(|g| words[BEAVER_WORDS * g + 3]).collect();
+        // Direction B: S₂ holds a₂, S₁'s choice bits are b₁.
+        let choice_b: Vec<u64> = (0..block).map(|g| words[BEAVER_WORDS * g + 2]).collect();
+        let (batch_a, u_a) = self.receiver_a.extend(&choice_a);
+        let (batch_b, u_b) = self.receiver_b.extend(&choice_b);
+        let sb_a = self.sender_a.absorb(&u_a);
+        let sb_b = self.sender_b.absorb(&u_b);
+        let mut out1 = Vec::with_capacity(block);
+        let mut out2 = Vec::with_capacity(block);
+        for g in 0..block {
+            let w = &words[BEAVER_WORDS * g..BEAVER_WORDS * (g + 1)];
+            let (a1, a2, b1, b2, c1) = (w[0], w[1], w[2], w[3], w[4]);
+            let mut s_a = 0u64; // S₁ sender share (−Σ m⁰, dir A)
+            let mut r_a = 0u64; // S₂ receiver share (dir A)
+            let mut s_b = 0u64; // S₂ sender share (dir B)
+            let mut r_b = 0u64; // S₁ receiver share (dir B)
+            for bit in 0..64 {
+                let j = g * 64 + bit;
+                s_a = s_a.wrapping_sub(sb_a.m0(j));
+                r_a = r_a.wrapping_add(
+                    batch_a.output_at(j, sb_a.correction(j, a1.wrapping_shl(bit as u32))),
+                );
+                s_b = s_b.wrapping_sub(sb_b.m0(j));
+                r_b = r_b.wrapping_add(
+                    batch_b.output_at(j, sb_b.correction(j, a2.wrapping_shl(bit as u32))),
+                );
+            }
+            let c_raw1 = a1.wrapping_mul(b1).wrapping_add(s_a).wrapping_add(r_b);
+            let c_raw2 = a2.wrapping_mul(b2).wrapping_add(r_a).wrapping_add(s_b);
+            // Derandomise onto the canonical c₁ word (one offset on
+            // the wire, tallied in the ledger formula).
+            let offset = c_raw1.wrapping_sub(c1);
+            let (t1, t2) = split_beaver_words(w);
+            debug_assert_eq!(c_raw2.wrapping_add(offset), t2.c.0, "OT product drifted");
+            out1.push(t1);
+            out2.push(BeaverShare {
+                a: crate::Ring64(a2),
+                b: crate::Ring64(b2),
+                c: crate::Ring64(c_raw2.wrapping_add(offset)),
+            });
+        }
+        self.ledger.merge(&beaver_block_ledger(block as u64));
+        (out1, out2)
+    }
+
+    /// The offline traffic this engine has generated so far.
+    pub fn ledger(&self) -> OfflineLedger {
+        self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::share::reconstruct;
+
+    #[test]
+    fn ot_groups_are_bit_identical_to_the_dealer_stream() {
+        // The headline property: the OT engine reproduces the trusted
+        // dealer's share pairs exactly — which requires every Gilboa
+        // multiplication to be correct (S₂'s shares are built from OT
+        // outputs, not from the stream).
+        for (i, j) in [(0u32, 1u32), (3, 7), (100, 2)] {
+            let mut dealer = PairDealer::for_pair(42, i, j);
+            let mut engine = OtMgEngine::for_pair(42, i, j);
+            for block in [1usize, 3, 8] {
+                let (g1s, g2s) = engine.next_groups(block);
+                for (g1, g2) in g1s.iter().zip(&g2s) {
+                    let (d1, d2) = dealer.next_group_pair();
+                    assert_eq!(*g1, d1, "S1 pair ({i},{j}) block {block}");
+                    assert_eq!(*g2, d2, "S2 pair ({i},{j}) block {block}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ot_groups_satisfy_all_product_relations() {
+        let mut engine = OtMgEngine::for_pair(7, 1, 2);
+        let (g1s, g2s) = engine.next_groups(16);
+        for (m1, m2) in g1s.iter().zip(&g2s) {
+            let x = reconstruct(m1.x, m2.x);
+            let y = reconstruct(m1.y, m2.y);
+            let z = reconstruct(m1.z, m2.z);
+            assert_eq!(reconstruct(m1.o, m2.o), x * y, "o = xy");
+            assert_eq!(reconstruct(m1.p, m2.p), x * z, "p = xz");
+            assert_eq!(reconstruct(m1.q, m2.q), y * z, "q = yz");
+            assert_eq!(reconstruct(m1.w, m2.w), x * y * z, "w = xyz");
+        }
+    }
+
+    #[test]
+    fn ledger_matches_the_pinned_formula() {
+        let mut engine = OtMgEngine::for_pair(1, 0, 1);
+        engine.next_groups(4);
+        engine.next_groups(1);
+        let l = engine.ledger();
+        assert_eq!(l.extended_ots, 512 * 5);
+        assert_eq!(l.bytes, MG_OFFLINE_BYTES_PER_GROUP * 5 + 2 * MG_BLOCK_DIGEST_BYTES);
+        assert_eq!(l.rounds, 2 * MG_BLOCK_ROUNDS);
+        assert_eq!(l.base_ots, 0, "base OTs are a per-run setup cost");
+        let setup = ot_setup_ledger();
+        assert_eq!(setup.base_ots, 256);
+        assert_eq!(setup.bytes, 256 * BASE_OT_BYTES);
+    }
+
+    #[test]
+    fn ot_beaver_triples_match_the_dealer_stream() {
+        let mut dealer = PairDealer::for_pair(9, 4, 5);
+        let mut engine = OtBeaverEngine::for_pair(9, 4, 5);
+        let (t1s, t2s) = engine.next_triples(8);
+        for (t1, t2) in t1s.iter().zip(&t2s) {
+            let (d1, d2) = dealer.next_beaver_pair();
+            assert_eq!(*t1, d1);
+            assert_eq!(*t2, d2);
+            let a = reconstruct(t1.a, t2.a);
+            let b = reconstruct(t1.b, t2.b);
+            assert_eq!(reconstruct(t1.c, t2.c), a * b, "c = ab");
+        }
+        assert_eq!(engine.ledger().extended_ots, 128 * 8);
+        assert_eq!(
+            engine.ledger().bytes,
+            BEAVER_OFFLINE_BYTES_PER_TRIPLE * 8 + MG_BLOCK_DIGEST_BYTES
+        );
+    }
+
+    #[test]
+    fn party_machines_over_an_explicit_wire_match_the_dealer() {
+        // Simulate the runtime's message-passing shape: every value
+        // that crosses between the machines goes through an explicit
+        // "wire" Vec, proving the API carries everything each side
+        // needs.
+        let (root, i, j) = (0xFEED, 2u32, 9u32);
+        let mut s1 = MgOfflineS1::for_pair(root, i, j);
+        let mut s2 = MgOfflineS2::for_pair(root, i, j);
+        let mut dealer = PairDealer::for_pair(root, i, j);
+        for block in [2usize, 5] {
+            let wire_u1: Vec<u64> = s1.ucols(block);
+            let wire_u2: Vec<u64> = s2.ucols(block);
+            let wire_da: Vec<u64> = s1.corrections(&wire_u2);
+            let wire_db: Vec<u64> = s2.corrections(&wire_u1);
+            let wire_copq: Vec<u64> = s1.derand_opq(&wire_db);
+            s2.absorb_corrections(&wire_da);
+            let wire_db4: Vec<u64> = s2.corrections_w(&wire_copq);
+            let wire_cw: Vec<u64> = s1.derand_w(&wire_db4);
+            let g2 = s2.groups(&wire_cw);
+            let g1 = s1.groups();
+            for k in 0..block {
+                let (d1, d2) = dealer.next_group_pair();
+                assert_eq!(g1[k], d1, "block {block} group {k}");
+                assert_eq!(g2[k], d2, "block {block} group {k}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of lockstep")]
+    fn out_of_order_calls_panic() {
+        let mut s1 = MgOfflineS1::for_pair(1, 0, 1);
+        s1.corrections(&[0u64; OT_KAPPA * 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "consistency hash")]
+    fn tampered_transcript_is_detected() {
+        let mut s1 = MgOfflineS1::for_pair(3, 0, 1);
+        let mut s2 = MgOfflineS2::for_pair(3, 0, 1);
+        let u1 = s1.ucols(1);
+        let u2 = s2.ucols(1);
+        let _ = s1.corrections(&u2);
+        let mut tampered = u1.clone();
+        tampered[0] ^= 1;
+        let db = s2.corrections(&tampered);
+        let _ = s1.derand_opq(&db); // digest of tampered ≠ digest of sent
+    }
+
+    #[test]
+    fn offline_mode_parses_and_displays() {
+        assert_eq!("dealer".parse::<OfflineMode>(), Ok(OfflineMode::TrustedDealer));
+        assert_eq!("ot-extension".parse::<OfflineMode>(), Ok(OfflineMode::OtExtension));
+        assert!("quantum".parse::<OfflineMode>().is_err());
+        assert_eq!(OfflineMode::TrustedDealer.to_string(), "dealer");
+    }
+}

@@ -40,6 +40,14 @@ pub fn share_with(x: Ring64, rng: &mut SplitMix64) -> SharePair {
 }
 
 /// Reconstructs a secret from its two shares.
+///
+/// ```
+/// use cargo_mpc::{reconstruct, share_with, Ring64, SplitMix64};
+/// let mut rng = SplitMix64::new(1);
+/// let pair = share_with(Ring64::from_i64(-7), &mut rng);
+/// // Addition in Z_{2^64} undoes the split exactly:
+/// assert_eq!(reconstruct(pair.s1, pair.s2).to_i64(), -7);
+/// ```
 #[inline]
 pub fn reconstruct(s1: Ring64, s2: Ring64) -> Ring64 {
     s1 + s2

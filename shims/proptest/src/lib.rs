@@ -5,9 +5,9 @@
 //! * the [`proptest!`] macro with `#![proptest_config(..)]`, `#[test]`
 //!   functions, and parameters in both `x in strategy` and `x: Type`
 //!   (shorthand for `any::<Type>()`) forms;
-//! * [`Strategy`] with `prop_map` / `prop_filter` / `boxed`, ranges
+//! * [`strategy::Strategy`] with `prop_map` / `prop_filter` / `boxed`, ranges
 //!   over the primitive numeric types, tuples up to arity 6,
-//!   [`Just`], and `prop::collection::vec`;
+//!   [`strategy::Just`], and `prop::collection::vec`;
 //! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
 //!   [`prop_assume!`];
 //! * [`ProptestConfig::with_cases`], plus the `PROPTEST_CASES`
