@@ -23,7 +23,7 @@
 use std::path::Path;
 
 /// One measured sweep point of the secure-count bench.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchRow {
     /// Users (matrix dimension).
     pub n: usize,
@@ -31,6 +31,10 @@ pub struct BenchRow {
     pub threads: usize,
     /// `k`-loop batch size.
     pub batch: usize,
+    /// Variant label: the Count kernel (`scalar`/`bitsliced`) for the
+    /// count sweeps, or the measured operation for `bench_micro`.
+    /// `"-"` when a report predates the column (parser default).
+    pub kernel: String,
     /// Triples evaluated (`C(n, 3)`).
     pub triples: u64,
     /// Median wall-clock nanoseconds per triple.
@@ -41,10 +45,10 @@ pub struct BenchRow {
 }
 
 impl BenchRow {
-    /// The `(n, threads, batch)` identity used to match rows across
-    /// reports.
-    pub fn key(&self) -> (usize, usize, usize) {
-        (self.n, self.threads, self.batch)
+    /// The `(n, threads, batch, kernel)` identity used to match rows
+    /// across reports.
+    pub fn key(&self) -> (usize, usize, usize, &str) {
+        (self.n, self.threads, self.batch, &self.kernel)
     }
 }
 
@@ -58,9 +62,17 @@ pub struct BenchReport {
 }
 
 impl BenchReport {
-    /// Finds the row for `(n, threads, batch)`.
-    pub fn find(&self, n: usize, threads: usize, batch: usize) -> Option<&BenchRow> {
-        self.rows.iter().find(|r| r.key() == (n, threads, batch))
+    /// Finds the row for `(n, threads, batch, kernel)`.
+    pub fn find(
+        &self,
+        n: usize,
+        threads: usize,
+        batch: usize,
+        kernel: &str,
+    ) -> Option<&BenchRow> {
+        self.rows
+            .iter()
+            .find(|r| r.key() == (n, threads, batch, kernel))
     }
 
     /// Serialises to the canonical JSON layout (one row per line).
@@ -72,9 +84,11 @@ impl BenchReport {
         for (idx, r) in self.rows.iter().enumerate() {
             let comma = if idx + 1 < self.rows.len() { "," } else { "" };
             out.push_str(&format!(
-                "    {{\"n\": {}, \"threads\": {}, \"batch\": {}, \"triples\": {}, \
-                 \"ns_per_triple\": {:.3}, \"bytes_per_triple\": {:.3}}}{comma}\n",
-                r.n, r.threads, r.batch, r.triples, r.ns_per_triple, r.bytes_per_triple
+                "    {{\"n\": {}, \"threads\": {}, \"batch\": {}, \"kernel\": \"{}\", \
+                 \"triples\": {}, \"ns_per_triple\": {:.3}, \"bytes_per_triple\": {:.3}}}\
+                 {comma}\n",
+                r.n, r.threads, r.batch, r.kernel, r.triples, r.ns_per_triple,
+                r.bytes_per_triple
             ));
         }
         out.push_str("  ]\n}\n");
@@ -108,6 +122,7 @@ impl BenchReport {
                 n: extract_number(obj, "n")? as usize,
                 threads: extract_number(obj, "threads")? as usize,
                 batch: extract_number(obj, "batch")? as usize,
+                kernel: extract_string(obj, "kernel").unwrap_or_else(|_| "-".to_string()),
                 triples: extract_number(obj, "triples")? as u64,
                 ns_per_triple: extract_number(obj, "ns_per_triple")?,
                 bytes_per_triple: extract_number(obj, "bytes_per_triple")?,
@@ -176,6 +191,7 @@ mod tests {
                     n: 200,
                     threads: 1,
                     batch: 64,
+                    kernel: "bitsliced".into(),
                     triples: 1_313_400,
                     ns_per_triple: 55.125,
                     bytes_per_triple: 48.0,
@@ -184,6 +200,7 @@ mod tests {
                     n: 600,
                     threads: 4,
                     batch: 64,
+                    kernel: "scalar".into(),
                     triples: 35_820_200,
                     ns_per_triple: 12.5,
                     bytes_per_triple: 48.0,
@@ -202,9 +219,20 @@ mod tests {
     #[test]
     fn find_matches_on_the_full_key() {
         let r = sample();
-        assert!(r.find(600, 4, 64).is_some());
-        assert!(r.find(600, 2, 64).is_none());
-        assert_eq!(r.find(200, 1, 64).unwrap().triples, 1_313_400);
+        assert!(r.find(600, 4, 64, "scalar").is_some());
+        assert!(r.find(600, 2, 64, "scalar").is_none());
+        assert!(r.find(600, 4, 64, "bitsliced").is_none(), "kernel is keyed");
+        assert_eq!(r.find(200, 1, 64, "bitsliced").unwrap().triples, 1_313_400);
+    }
+
+    #[test]
+    fn kernel_column_defaults_when_absent() {
+        // Reports written before the kernel column must still parse.
+        let legacy = "{\n  \"bench\": \"x\",\n  \"rows\": [\n    \
+            {\"n\": 10, \"threads\": 1, \"batch\": 2, \"triples\": 5, \
+            \"ns_per_triple\": 1.0, \"bytes_per_triple\": 48.0}\n  ]\n}\n";
+        let r = BenchReport::from_json(legacy).unwrap();
+        assert_eq!(r.rows[0].kernel, "-");
     }
 
     #[test]

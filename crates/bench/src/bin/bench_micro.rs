@@ -1,0 +1,188 @@
+//! Micro-benchmark sweep of the non-Count hot paths →
+//! `BENCH_micro.json`.
+//!
+//! The criterion-shim benches (`mul3`, `perturb`, `projection`, …)
+//! print trend-only timings; this binary measures the same operations
+//! through the shim's measurement loop into the machine-readable
+//! baseline schema so `bench_compare` can gate them like the Count
+//! sweeps — every committed baseline under `crates/bench/baselines/`
+//! is enforced, not just the secure-count ones.
+//!
+//! Rows reuse the shared schema with the `kernel` column carrying the
+//! operation name; `n` is the input size, `triples` the operations per
+//! measured iteration, and `bytes_per_triple` the deterministic wire
+//! bytes per operation (zero for the local-only ones).
+//!
+//! ```text
+//! usage: bench_micro [--out BENCH_micro.json] [--measure-ms 400] [--quick]
+//! ```
+
+use cargo_bench::baseline::{BenchReport, BenchRow};
+use cargo_core::{estimate_max_degree, project_matrix};
+use cargo_dp::DistributedLaplace;
+use cargo_graph::generators::presets::SnapDataset;
+use cargo_mpc::{beaver_mul, mul3, Dealer, NetStats, Ring64};
+use criterion::{black_box, measure_median_ns};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::time::Duration;
+
+struct Args {
+    out: PathBuf,
+    measure_ms: u64,
+}
+
+fn usage() -> String {
+    "usage: bench_micro [--out BENCH_micro.json] [--measure-ms 400] [--quick]".to_string()
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        out: PathBuf::from("BENCH_micro.json"),
+        measure_ms: 400,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| "flag needs a value".to_string())
+        };
+        match argv[i].as_str() {
+            "--out" => args.out = PathBuf::from(take(&mut i)?),
+            "--measure-ms" => {
+                args.measure_ms = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--measure-ms: {e}"))?
+            }
+            "--quick" => args.measure_ms = 150,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let budget = Duration::from_millis(args.measure_ms);
+    let mut report = BenchReport {
+        bench: "micro".into(),
+        rows: Vec::new(),
+    };
+    let mut push = |kernel: &str, n: usize, ops: u64, median_ns: f64, bytes_per_op: f64| {
+        let row = BenchRow {
+            n,
+            threads: 1,
+            batch: 1,
+            kernel: kernel.into(),
+            triples: ops,
+            ns_per_triple: median_ns / ops as f64,
+            bytes_per_triple: bytes_per_op,
+        };
+        println!(
+            "{kernel:<14} n={n:<5} {:>10.2} ns/op  {:>5.1} B/op",
+            row.ns_per_triple, row.bytes_per_triple
+        );
+        report.rows.push(row);
+    };
+
+    // mul3: the protocol-object three-value multiplication, including
+    // the streaming dealer draw (the shape the mul3 criterion bench
+    // measures). One opening round: 6 elements, 48 bytes.
+    {
+        let mut dealer = Dealer::new(1);
+        let sa = dealer.share(Ring64::ONE);
+        let sb = dealer.share(Ring64::ONE);
+        let sc = dealer.share(Ring64::ZERO);
+        let mut probe_net = NetStats::new();
+        mul3(
+            (sa.s1, sa.s2),
+            (sb.s1, sb.s2),
+            (sc.s1, sc.s2),
+            dealer.mul_group(),
+            &mut probe_net,
+        );
+        let ns = measure_median_ns(12, budget, || {
+            let mg = dealer.mul_group();
+            let mut net = NetStats::new();
+            black_box(mul3(
+                (sa.s1, sa.s2),
+                (sb.s1, sb.s2),
+                (sc.s1, sc.s2),
+                mg,
+                &mut net,
+            ))
+        });
+        push("mul3", 1, 1, ns, probe_net.bytes as f64);
+    }
+
+    // beaver_mul: the classic two-value multiplication it improves on.
+    {
+        let mut dealer = Dealer::new(2);
+        let sa = dealer.share(Ring64::ONE);
+        let sb = dealer.share(Ring64::ONE);
+        let mut probe_net = NetStats::new();
+        beaver_mul((sa.s1, sa.s2), (sb.s1, sb.s2), dealer.beaver(), &mut probe_net);
+        let ns = measure_median_ns(12, budget, || {
+            let t = dealer.beaver();
+            let mut net = NetStats::new();
+            black_box(beaver_mul((sa.s1, sa.s2), (sb.s1, sb.s2), t, &mut net))
+        });
+        push("beaver_mul", 1, 1, ns, probe_net.bytes as f64);
+    }
+
+    // projection: Algorithm 3 over the Facebook preset (ns per user
+    // row; local computation, zero wire bytes).
+    {
+        let n = 1000usize;
+        let (full, _) = SnapDataset::Facebook.load_or_synthesize(None, 0);
+        let g = full.induced_prefix(n);
+        let matrix = g.to_bit_matrix();
+        let degrees = g.degrees();
+        let mut rng = StdRng::seed_from_u64(1);
+        let noisy = estimate_max_degree(&degrees, 0.2, &mut rng).noisy_degrees;
+        let ns = measure_median_ns(6, budget, || {
+            black_box(project_matrix(&matrix, &degrees, &noisy, 100))
+        });
+        push("projection", n, n as u64, ns, 0.0);
+    }
+
+    // perturb_noise: Algorithm 5's distributed Gamma noise, all users
+    // (ns per user; the shares ride the existing upload, zero
+    // server↔server bytes).
+    {
+        let n = 2000usize;
+        let dist = DistributedLaplace::new(n, 1000.0, 1.8);
+        let mut rng = StdRng::seed_from_u64(5);
+        let ns = measure_median_ns(6, budget, || black_box(dist.sample_all(&mut rng)));
+        push("perturb_noise", n, n as u64, ns, 0.0);
+    }
+
+    // max_degree: Algorithm 2 over all users (ns per user).
+    {
+        let n = 2000usize;
+        let degrees: Vec<usize> = (0..n).map(|i| i % 97).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let ns = measure_median_ns(6, budget, || {
+            black_box(estimate_max_degree(&degrees, 0.2, &mut rng))
+        });
+        push("max_degree", n, n as u64, ns, 0.0);
+    }
+
+    if let Err(e) = report.write(&args.out) {
+        eprintln!("error writing {}: {e}", args.out.display());
+        std::process::exit(1);
+    }
+    println!("wrote {} ({} rows)", args.out.display(), report.rows.len());
+}

@@ -21,6 +21,7 @@
 use cargo_bench::baseline::{BenchReport, BenchRow};
 use cargo_core::secure_triangle_count_with;
 use cargo_graph::generators::presets::SnapDataset;
+use cargo_core::CountKernel;
 use cargo_mpc::OfflineMode;
 use criterion::{black_box, measure_median_ns};
 use std::path::PathBuf;
@@ -120,6 +121,7 @@ fn main() {
                 n,
                 threads: 1,
                 batch,
+                kernel: CountKernel::default().to_string(),
                 triples: probe.triples,
                 ns_per_triple: median_ns / triples as f64,
                 bytes_per_triple: probe.net.offline.bytes as f64 / triples as f64,

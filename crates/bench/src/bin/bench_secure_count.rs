@@ -15,7 +15,7 @@
 //! ```
 
 use cargo_bench::baseline::{BenchReport, BenchRow};
-use cargo_core::secure_triangle_count_batched;
+use cargo_core::{secure_triangle_count_batched, CountKernel};
 use cargo_graph::generators::presets::SnapDataset;
 use criterion::{black_box, measure_median_ns};
 use std::path::PathBuf;
@@ -119,6 +119,7 @@ fn main() {
                     n,
                     threads,
                     batch,
+                    kernel: CountKernel::default().to_string(),
                     triples: probe.triples,
                     ns_per_triple: median_ns / triples as f64,
                     bytes_per_triple: probe.net.bytes as f64 / triples as f64,
@@ -133,11 +134,12 @@ fn main() {
         }
         // Per-n thread-scaling summary at the largest batch.
         if let Some(&b) = args.batches.iter().max() {
+            let kernel = CountKernel::default().to_string();
             if let (Some(one), Some(best)) = (
-                report.find(n, 1, b),
+                report.find(n, 1, b, &kernel),
                 args.threads
                     .iter()
-                    .filter_map(|&t| report.find(n, t, b))
+                    .filter_map(|&t| report.find(n, t, b, &kernel))
                     .min_by(|a, c| a.ns_per_triple.total_cmp(&c.ns_per_triple)),
             ) {
                 println!(

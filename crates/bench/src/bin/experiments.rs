@@ -12,7 +12,8 @@ fn usage() -> String {
          flags: --n <users=2000> --trials <t=5> --seed <s=0>\n\
          \x20      --out-dir <dir=results> --data-dir <snap-dir>\n\
          \x20      --threads <w=0 (all cores)> --batch <b=0 (default 64)>\n\
-         \x20      --offline-mode <dealer|ot (default dealer)> --quick",
+         \x20      --offline-mode <dealer|ot (default dealer)>\n\
+         \x20      --kernel <scalar|bitsliced (default bitsliced)> --quick",
         experiments::ALL.join(" | ")
     )
 }

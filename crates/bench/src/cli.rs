@@ -1,6 +1,7 @@
 //! Hand-rolled flag parsing for the `experiments` binary (no external
 //! CLI dependency in the approved set).
 
+use cargo_core::CountKernel;
 use cargo_mpc::OfflineMode;
 use std::path::PathBuf;
 
@@ -24,6 +25,8 @@ pub struct Options {
     /// Offline-phase implementation for the secure count
     /// (`--offline-mode dealer|ot`).
     pub offline: OfflineMode,
+    /// Count kernel (`--kernel scalar|bitsliced`).
+    pub kernel: CountKernel,
     /// Quick mode: shrink n and trials for smoke runs.
     pub quick: bool,
     /// `--help`/`-h` was given: print usage and exit successfully.
@@ -41,6 +44,7 @@ impl Default for Options {
             threads: 0,
             batch: 0,
             offline: OfflineMode::TrustedDealer,
+            kernel: CountKernel::Bitsliced,
             quick: false,
             help: false,
         }
@@ -92,6 +96,11 @@ impl Options {
                     opts.offline = take_value(&mut i)?
                         .parse()
                         .map_err(|e: String| format!("--offline-mode: {e}"))?
+                }
+                "--kernel" => {
+                    opts.kernel = take_value(&mut i)?
+                        .parse()
+                        .map_err(|e: String| format!("--kernel: {e}"))?
                 }
                 "--out-dir" => opts.out_dir = PathBuf::from(take_value(&mut i)?),
                 "--data-dir" => opts.data_dir = Some(PathBuf::from(take_value(&mut i)?)),
@@ -155,6 +164,17 @@ mod tests {
         let (o, _) = parse(&["table2"]).unwrap();
         assert_eq!(o.offline, OfflineMode::TrustedDealer, "dealer is default");
         assert!(parse(&["--offline-mode", "wat"]).is_err());
+    }
+
+    #[test]
+    fn kernel_parses() {
+        let (o, _) = parse(&["--kernel", "scalar", "table2"]).unwrap();
+        assert_eq!(o.kernel, CountKernel::Scalar);
+        let (o, _) = parse(&["--kernel", "bitsliced", "table2"]).unwrap();
+        assert_eq!(o.kernel, CountKernel::Bitsliced);
+        let (o, _) = parse(&["table2"]).unwrap();
+        assert_eq!(o.kernel, CountKernel::Bitsliced, "bitsliced is default");
+        assert!(parse(&["--kernel", "wat"]).is_err());
     }
 
     #[test]

@@ -57,7 +57,8 @@ pub fn ext_sensitivity(opts: &Options) -> Vec<Table> {
             let out = CargoSystem::new(
                 CargoConfig::new(eps)
                 .with_seed(trial_seed(opts.seed, trial, eps, g.n()))
-                .with_offline(opts.offline),
+                .with_offline(opts.offline)
+                .with_kernel(opts.kernel),
             )
             .run(&g);
             cargo_err.push((out.noisy_count - t_true).abs());
@@ -108,7 +109,8 @@ pub fn ext_node_dp(opts: &Options) -> Vec<Table> {
         for trial in 0..trials {
             let cfg = CargoConfig::new(eps)
                 .with_seed(trial_seed(opts.seed, trial, eps, g.n()))
-                .with_offline(opts.offline);
+                .with_offline(opts.offline)
+                .with_kernel(opts.kernel);
             let e = CargoSystem::new(cfg).run(&g);
             let n_out = run_node_dp(&cfg, &g);
             edge_l2 += (e.noisy_count - t_true).powi(2);
@@ -195,7 +197,8 @@ pub fn ext_projection_ablation(opts: &Options) -> Vec<Table> {
         for trial in 0..trials {
             let cfg = CargoConfig::new(eps)
                 .with_seed(trial_seed(opts.seed, trial, eps, g.n()))
-                .with_offline(opts.offline);
+                .with_offline(opts.offline)
+                .with_kernel(opts.kernel);
             let a = CargoSystem::new(cfg).run(&g);
             let b = CargoSystem::new(cfg.without_projection()).run(&g);
             with.0 += (a.noisy_count - t_true).abs() / t_true;

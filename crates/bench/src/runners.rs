@@ -4,7 +4,7 @@
 use cargo_baselines::{
     central_lap_triangles, local2rounds_triangles, Local2RoundsConfig,
 };
-use cargo_core::{l2_loss, relative_error, CargoConfig, CargoSystem, OfflineMode};
+use cargo_core::{l2_loss, relative_error, CargoConfig, CargoSystem, CountKernel, OfflineMode};
 use cargo_graph::Graph;
 use cargo_mpc::NetStats;
 use rand::rngs::StdRng;
@@ -73,16 +73,26 @@ fn aggregate(
 }
 
 /// Runs CARGO `trials` times and aggregates (secure count on the
-/// config's default thread/batch knobs).
+/// config's default thread/batch/kernel knobs).
 pub fn run_cargo(g: &Graph, epsilon: f64, trials: usize, seed: u64) -> UtilityPoint {
-    run_cargo_with(g, epsilon, trials, seed, 0, 0, OfflineMode::TrustedDealer)
+    run_cargo_with(
+        g,
+        epsilon,
+        trials,
+        seed,
+        0,
+        0,
+        OfflineMode::TrustedDealer,
+        CountKernel::default(),
+    )
 }
 
 /// [`run_cargo`] with explicit Count knobs: `threads` workers
-/// (0 = all cores), `batch` triples per round (0 = default), and the
-/// offline-phase mode — the CLI's `--threads`/`--batch`/
-/// `--offline-mode` land here so the knobs govern every Count entry
-/// the experiments exercise.
+/// (0 = all cores), `batch` triples per round (0 = default), the
+/// offline-phase mode, and the Count kernel — the CLI's
+/// `--threads`/`--batch`/`--offline-mode`/`--kernel` land here so the
+/// knobs govern every Count entry the experiments exercise.
+#[allow(clippy::too_many_arguments)]
 pub fn run_cargo_with(
     g: &Graph,
     epsilon: f64,
@@ -91,6 +101,7 @@ pub fn run_cargo_with(
     threads: usize,
     batch: usize,
     offline: OfflineMode,
+    kernel: CountKernel,
 ) -> UtilityPoint {
     let t_true = cargo_graph::count_triangles(g) as f64;
     let mut estimates = Vec::with_capacity(trials);
@@ -102,7 +113,8 @@ pub fn run_cargo_with(
             .with_seed(trial_seed(seed, t, epsilon, fingerprint(g)))
             .with_threads(threads)
             .with_batch(batch)
-            .with_offline(offline);
+            .with_offline(offline)
+            .with_kernel(kernel);
         let start = Instant::now();
         let out = CargoSystem::new(cfg).run(g);
         times.push(start.elapsed());
@@ -157,8 +169,8 @@ mod tests {
         let small = barabasi_albert(30, 3, 1);
         for point in [
             run_cargo(&g, 2.0, 2, 1),
-            run_cargo_with(&g, 2.0, 2, 1, 2, 16, OfflineMode::TrustedDealer),
-            run_cargo_with(&small, 2.0, 1, 1, 1, 0, OfflineMode::OtExtension),
+            run_cargo_with(&g, 2.0, 2, 1, 2, 16, OfflineMode::TrustedDealer, CountKernel::Bitsliced),
+            run_cargo_with(&small, 2.0, 1, 1, 1, 0, OfflineMode::OtExtension, CountKernel::Scalar),
             run_central(&g, 2.0, 2, 1),
             run_local2rounds(&g, 2.0, 2, 1),
         ] {
@@ -170,8 +182,8 @@ mod tests {
     #[test]
     fn ot_mode_surfaces_an_offline_ledger_through_the_runner() {
         let g = barabasi_albert(30, 3, 2);
-        let dealer = run_cargo_with(&g, 2.0, 1, 1, 1, 0, OfflineMode::TrustedDealer);
-        let ot = run_cargo_with(&g, 2.0, 1, 1, 1, 0, OfflineMode::OtExtension);
+        let dealer = run_cargo_with(&g, 2.0, 1, 1, 1, 0, OfflineMode::TrustedDealer, CountKernel::default());
+        let ot = run_cargo_with(&g, 2.0, 1, 1, 1, 0, OfflineMode::OtExtension, CountKernel::default());
         assert!(dealer.net.offline.is_empty());
         assert!(ot.net.offline.bytes > 0);
         assert_eq!(ot.net.online(), dealer.net.online());

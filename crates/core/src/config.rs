@@ -3,6 +3,56 @@
 use cargo_dp::{EpsilonSplit, PrivacyBudget};
 use cargo_mpc::OfflineMode;
 
+/// Selects the inner evaluation kernel of the Count phase.
+///
+/// Both kernels produce **bit-identical** shares, openings, and online
+/// `NetStats` ledgers (pinned by `crates/core/tests/
+/// kernel_equivalence.rs`); they differ only in wall-clock. The scalar
+/// kernel is retained for A/B benchmarking (`bench_mg_kernel`) and as
+/// the readable reference of the batched arithmetic.
+///
+/// ```
+/// use cargo_core::CountKernel;
+/// assert_eq!("scalar".parse::<CountKernel>(), Ok(CountKernel::Scalar));
+/// assert_eq!("batch".parse::<CountKernel>(), Ok(CountKernel::Bitsliced));
+/// assert_eq!(CountKernel::default(), CountKernel::Bitsliced);
+/// assert_eq!(CountKernel::Bitsliced.to_string(), "bitsliced");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CountKernel {
+    /// One Multiplication Group at a time: the direct transcription of
+    /// the protocol arithmetic.
+    Scalar,
+    /// The default: structure-of-arrays batches over `u64xN` lanes
+    /// ([`cargo_mpc::mul3_batch`]) — whole scheduler blocks per call,
+    /// one slab opening per round.
+    #[default]
+    Bitsliced,
+}
+
+impl std::str::FromStr for CountKernel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "scalar" => Ok(CountKernel::Scalar),
+            "bitsliced" | "batch" => Ok(CountKernel::Bitsliced),
+            other => Err(format!(
+                "unknown kernel {other:?} (expected \"scalar\" or \"bitsliced\")"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for CountKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CountKernel::Scalar => "scalar",
+            CountKernel::Bitsliced => "bitsliced",
+        })
+    }
+}
+
 /// Tunable parameters of the CARGO pipeline (defaults follow the
 /// paper's experimental setting, Section V-A).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,6 +85,10 @@ pub struct CargoConfig {
     /// reported in [`cargo_mpc::NetStats::offline`]). Shares are
     /// bit-identical either way.
     pub offline: OfflineMode,
+    /// Inner Count kernel: the batched structure-of-arrays evaluation
+    /// (default) or the scalar per-triple transcription, retained for
+    /// A/B benching. Shares are bit-identical either way.
+    pub kernel: CountKernel,
 }
 
 impl CargoConfig {
@@ -49,6 +103,7 @@ impl CargoConfig {
             batch: 0,
             projection: true,
             offline: OfflineMode::TrustedDealer,
+            kernel: CountKernel::Bitsliced,
         }
     }
 
@@ -92,6 +147,18 @@ impl CargoConfig {
     /// ```
     pub fn with_offline(mut self, offline: OfflineMode) -> Self {
         self.offline = offline;
+        self
+    }
+
+    /// Selects the Count kernel.
+    ///
+    /// ```
+    /// use cargo_core::{CargoConfig, CountKernel};
+    /// let cfg = CargoConfig::new(2.0).with_kernel(CountKernel::Scalar);
+    /// assert_eq!(cfg.kernel, CountKernel::Scalar);
+    /// ```
+    pub fn with_kernel(mut self, kernel: CountKernel) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -155,6 +222,18 @@ mod tests {
     #[test]
     fn offline_defaults_to_the_trusted_dealer() {
         assert_eq!(CargoConfig::new(1.0).offline, OfflineMode::TrustedDealer);
+    }
+
+    #[test]
+    fn kernel_defaults_to_bitsliced_and_parses() {
+        assert_eq!(CargoConfig::new(1.0).kernel, CountKernel::Bitsliced);
+        assert_eq!(
+            CargoConfig::new(1.0).with_kernel(CountKernel::Scalar).kernel,
+            CountKernel::Scalar
+        );
+        assert_eq!("bitsliced".parse::<CountKernel>(), Ok(CountKernel::Bitsliced));
+        assert!("quantum".parse::<CountKernel>().is_err());
+        assert_eq!(CountKernel::Scalar.to_string(), "scalar");
     }
 
     #[test]

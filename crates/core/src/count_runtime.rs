@@ -13,10 +13,14 @@
 //! * **sharded, batched rounds** — the shared [`CountScheduler`]
 //!   partitions the `(i, j)` pair space into chunks; each server
 //!   worker owns the chunks congruent to its index, every `k`-batch of
-//!   a pair travels as one message, and all workers of a server share
-//!   one multiplexed link ([`cargo_mpc::tagged_channel`]) whose
-//!   messages carry the chunk id, so rounds from different shards
-//!   interleave safely on the same wire.
+//!   a pair travels as **one flat `[e|f|g]` slab message** (computed
+//!   and consumed by the batched kernel helpers
+//!   [`mul3_mask_batch`]/[`mul3_combine_batch`], never one message per
+//!   MG), and all workers of a server share one multiplexed link
+//!   ([`cargo_mpc::tagged_channel`]) whose messages carry the chunk
+//!   id, so rounds from different shards interleave safely on the
+//!   same wire. In OT mode each chunk is preceded by its amortised
+//!   offline session on a dedicated link pair.
 //!
 //! The test suite pins this runtime's output to the fast path, which
 //! is the strongest fidelity evidence the repo offers: an optimised
@@ -28,14 +32,16 @@ use crate::count::SecureCountResult;
 use crate::count_sched::{share_prf, CountScheduler, PairChunk};
 use cargo_graph::BitMatrix;
 use cargo_mpc::{
-    mg_block_ledger, ot_setup_ledger, tagged_channel, MgOfflineS1, MgOfflineS2, MulGroupShare,
+    mg_flight_ledger, mul3_combine_batch, mul3_mask_batch, mul3_open_batch, ot_setup_ledger,
+    plan_flights, plan_offsets, tagged_channel, MgOfflineS1, MgOfflineS2, MulGroupShare,
     NetStats, OfflineMode, PairDealer, Ring64, ServerId, TaggedDemux, TaggedSender,
 };
 use std::sync::Arc;
 
-/// One round's message between servers: each side's shares of the
-/// `(e, f, g)` maskings for every `k` in one batch of an `(i, j)`
-/// pair's `k` loop.
+/// One round's message between servers: this side's `⟨e⟩, ⟨f⟩, ⟨g⟩`
+/// maskings for one `k`-batch of an `(i, j)` pair, as one flat slab
+/// `[e.. | f.. | g..]` ([`mul3_mask_batch`]'s layout) — a single
+/// contiguous buffer per round instead of one tuple per MG.
 struct OpeningMsg {
     /// Which pair-space shard this round belongs to — the tag the
     /// multiplexed link routes by.
@@ -44,8 +50,8 @@ struct OpeningMsg {
     pair: (u32, u32),
     /// First `k` of the batch (lockstep sanity checking).
     k0: u32,
-    /// `(⟨e⟩, ⟨f⟩, ⟨g⟩)` per k.
-    efg: Vec<(Ring64, Ring64, Ring64)>,
+    /// The `3·block` slab of this server's maskings.
+    efg: Vec<u64>,
 }
 
 /// The dealer's preprocessing message: this server's Multiplication-
@@ -59,23 +65,18 @@ struct DealerMsg {
 
 /// One message of the OT-extension offline phase (OfflineMode::
 /// OtExtension replaces the dealer thread with a server↔server
-/// preprocessing dialogue): extension columns, correction words, or
-/// derandomisation offsets, with lockstep metadata. `step` numbers the
-/// message within the block's flow *per direction* (S₁ sends steps
-/// 1..4: columns, A-corrections, c_opq, c_w; S₂ sends 1..3: columns,
-/// B₁..B₃ corrections, B₄ corrections).
+/// preprocessing dialogue, one amortised session per chunk): extension
+/// columns, correction words, or derandomisation offsets, with
+/// lockstep metadata. `step` numbers the message within a flight's
+/// flow *per direction* (S₁ sends steps 1..4: columns, A-corrections,
+/// c_opq, c_w; S₂ sends 1..3: columns, B₁..B₃ corrections, B₄
+/// corrections).
 struct OfflineMsg {
     chunk: u32,
-    pair: (u32, u32),
-    k0: u32,
+    /// Flight index within the chunk session (lockstep checking).
+    flight: u32,
     step: u8,
     words: Vec<u64>,
-}
-
-/// One server's per-pair offline endpoint in OT mode.
-enum PairOffline {
-    S1(Box<MgOfflineS1>),
-    S2(Box<MgOfflineS2>),
 }
 
 /// The state one server worker runs with. A server is a *pool* of
@@ -118,14 +119,13 @@ impl ServerWorker {
     }
 
     /// Sends one offline-phase message under the chunk's tag.
-    fn send_off(&self, chunk: u32, pair: (u32, u32), k0: u32, step: u8, words: Vec<u64>) {
+    fn send_off(&self, chunk: u32, flight: u32, step: u8, words: Vec<u64>) {
         self.off_tx
             .send(
                 chunk,
                 OfflineMsg {
                     chunk,
-                    pair,
-                    k0,
+                    flight,
                     step,
                     words,
                 },
@@ -135,82 +135,90 @@ impl ServerWorker {
 
     /// Receives the peer's next offline message for the chunk,
     /// asserting protocol lockstep.
-    fn recv_off(&self, chunk: u32, pair: (u32, u32), k0: u32, step: u8) -> Vec<u64> {
+    fn recv_off(&self, chunk: u32, flight: u32, step: u8) -> Vec<u64> {
         let m = self.off_rx.recv(chunk).expect("peer hung up (offline)");
         assert_eq!(m.chunk, chunk, "demux routed a foreign chunk");
-        assert_eq!(m.pair, pair, "offline peer out of lockstep");
-        assert_eq!(m.k0, k0, "offline block out of lockstep");
+        assert_eq!(m.flight, flight, "offline flight out of lockstep");
         assert_eq!(m.step, step, "offline step out of lockstep");
         m.words
     }
 
-    /// Runs the OT-extension offline dialogue for one `k`-block (the
-    /// five-round flow documented in `cargo_mpc::offline`), returning
-    /// this server's Multiplication-Group shares. S₁ tallies the
+    /// Runs the chunk-amortised OT-extension offline session against
+    /// the peer — one five-message dialogue per flight (the flow
+    /// documented in `cargo_mpc::offline`) covering every pair of the
+    /// chunk — and returns this server's Multiplication-Group shares
+    /// in plan order plus the per-pair prefix offsets. S₁ tallies the
     /// bidirectional offline traffic, mirroring the online convention.
-    fn offline_block(
+    fn offline_chunk(
         &self,
-        endpoint: &mut PairOffline,
-        chunk: u32,
-        pair: (u32, u32),
-        k0: u32,
-        block: usize,
+        chunk: &PairChunk,
         net: &mut NetStats,
-    ) -> Vec<MulGroupShare> {
-        match endpoint {
-            PairOffline::S1(s1) => {
-                let u1 = s1.ucols(block);
-                self.send_off(chunk, pair, k0, 1, u1);
-                let u2 = self.recv_off(chunk, pair, k0, 1);
-                self.send_off(chunk, pair, k0, 2, s1.corrections(&u2));
-                let d_b = self.recv_off(chunk, pair, k0, 2);
-                self.send_off(chunk, pair, k0, 3, s1.derand_opq(&d_b));
-                let d_b4 = self.recv_off(chunk, pair, k0, 3);
-                self.send_off(chunk, pair, k0, 4, s1.derand_w(&d_b4));
-                net.offline.merge(&mg_block_ledger(block as u64));
-                s1.groups()
+    ) -> (Vec<MulGroupShare>, Vec<usize>) {
+        let plan = self.sched.chunk_plan(chunk);
+        let offsets = plan_offsets(&plan);
+        let mut groups = Vec::with_capacity(*offsets.last().expect("non-empty"));
+        match self.id {
+            ServerId::S1 => {
+                let mut s1 = MgOfflineS1::for_chunk(self.seed, chunk.id as u64);
+                for (f, range) in plan_flights(&plan).into_iter().enumerate() {
+                    let flight = &plan[range];
+                    let weight: u64 = flight.iter().map(|d| d.groups as u64).sum();
+                    let f = f as u32;
+                    self.send_off(chunk.id, f, 1, s1.ucols(flight));
+                    let u2 = self.recv_off(chunk.id, f, 1);
+                    self.send_off(chunk.id, f, 2, s1.corrections(&u2));
+                    let d_b = self.recv_off(chunk.id, f, 2);
+                    self.send_off(chunk.id, f, 3, s1.derand_opq(&d_b));
+                    let d_b4 = self.recv_off(chunk.id, f, 3);
+                    self.send_off(chunk.id, f, 4, s1.derand_w(&d_b4));
+                    net.offline.merge(&mg_flight_ledger(weight));
+                    groups.extend(s1.groups());
+                }
             }
-            PairOffline::S2(s2) => {
-                let u2 = s2.ucols(block);
-                self.send_off(chunk, pair, k0, 1, u2);
-                let u1 = self.recv_off(chunk, pair, k0, 1);
-                self.send_off(chunk, pair, k0, 2, s2.corrections(&u1));
-                let d_a = self.recv_off(chunk, pair, k0, 2);
-                s2.absorb_corrections(&d_a);
-                let c_opq = self.recv_off(chunk, pair, k0, 3);
-                self.send_off(chunk, pair, k0, 3, s2.corrections_w(&c_opq));
-                let c_w = self.recv_off(chunk, pair, k0, 4);
-                s2.groups(&c_w)
+            ServerId::S2 => {
+                let mut s2 = MgOfflineS2::for_chunk(self.seed, chunk.id as u64);
+                for (f, range) in plan_flights(&plan).into_iter().enumerate() {
+                    let flight = &plan[range];
+                    let f = f as u32;
+                    self.send_off(chunk.id, f, 1, s2.ucols(flight));
+                    let u1 = self.recv_off(chunk.id, f, 1);
+                    self.send_off(chunk.id, f, 2, s2.corrections(&u1));
+                    let d_a = self.recv_off(chunk.id, f, 2);
+                    s2.absorb_corrections(&d_a);
+                    let c_opq = self.recv_off(chunk.id, f, 3);
+                    self.send_off(chunk.id, f, 3, s2.corrections_w(&c_opq));
+                    let c_w = self.recv_off(chunk.id, f, 4);
+                    groups.extend(s2.groups(&c_w));
+                }
             }
         }
+        (groups, offsets)
     }
 
     fn run_chunk(&self, chunk: &PairChunk, net: &mut NetStats) -> Ring64 {
         let n = self.sched.n();
         let batch = self.sched.batch();
         let mut t_share = Ring64::ZERO;
-        for (i, j) in self.sched.pair_iter(chunk) {
+        // OT mode preprocesses the whole chunk up front in one
+        // amortised session; the dealer streams per-block below.
+        let material = match self.mode {
+            OfflineMode::TrustedDealer => None,
+            OfflineMode::OtExtension => Some(self.offline_chunk(chunk, net)),
+        };
+        let mut mine = vec![0u64; 3 * batch];
+        let mut opened = vec![0u64; 3 * batch];
+        for (pair_idx, (i, j)) in self.sched.pair_iter(chunk).enumerate() {
             let aij = self.shares[i][j];
-            let mut offline = match self.mode {
-                OfflineMode::TrustedDealer => None,
-                OfflineMode::OtExtension => Some(match self.id {
-                    ServerId::S1 => PairOffline::S1(Box::new(MgOfflineS1::for_pair(
-                        self.seed, i as u32, j as u32,
-                    ))),
-                    ServerId::S2 => PairOffline::S2(Box::new(MgOfflineS2::for_pair(
-                        self.seed, i as u32, j as u32,
-                    ))),
-                }),
-            };
             let mut k = j + 1;
+            let mut off = 0usize;
             while k < n {
                 let block = (n - k).min(batch);
                 let pair = (i as u32, j as u32);
-                let (pair, k0, groups) = match offline.as_mut() {
-                    Some(endpoint) => {
-                        let groups =
-                            self.offline_block(endpoint, chunk.id, pair, k as u32, block, net);
-                        (pair, k as u32, groups)
+                let dealer_groups;
+                let groups: &[MulGroupShare] = match &material {
+                    Some((groups, offsets)) => {
+                        let base = offsets[pair_idx] + off;
+                        &groups[base..base + block]
                     }
                     None => {
                         let DealerMsg {
@@ -225,19 +233,22 @@ impl ServerWorker {
                         assert_eq!(d_chunk, chunk.id, "demux routed a foreign chunk");
                         assert_eq!(d_pair, pair, "dealer out of lockstep");
                         assert_eq!(k0 as usize, k, "dealer batch out of lockstep");
-                        (d_pair, k0, groups)
+                        dealer_groups = groups;
+                        &dealer_groups
                     }
                 };
                 assert_eq!(groups.len(), block, "offline batch size mismatch");
-                // Step 1: local maskings for the whole k batch.
-                let mut my_efg = Vec::with_capacity(block);
-                for (idx, mg) in groups.iter().enumerate() {
-                    let kk = k + idx;
-                    let e = aij - mg.x;
-                    let f = self.shares[i][kk] - mg.y;
-                    let g = self.shares[j][kk] - mg.z;
-                    my_efg.push((e, f, g));
-                }
+                // Step 1: local maskings for the whole k batch, as one
+                // [e|f|g] slab (the batch kernel's layout — and the
+                // wire format of the opening message).
+                let slab = 3 * block;
+                mul3_mask_batch(
+                    aij,
+                    &self.shares[i][k..k + block],
+                    &self.shares[j][k..k + block],
+                    groups,
+                    &mut mine[..slab],
+                );
                 // Step 2: one round — send mine, receive the peer's.
                 // S₁ tallies the full bidirectional exchange so the
                 // merged stats equal one exchange per batch.
@@ -250,36 +261,20 @@ impl ServerWorker {
                         OpeningMsg {
                             chunk: chunk.id,
                             pair,
-                            k0,
-                            efg: my_efg.clone(),
+                            k0: k as u32,
+                            efg: mine[..slab].to_vec(),
                         },
                     )
                     .expect("peer hung up");
                 let theirs = self.peer_rx.recv(chunk.id).expect("peer hung up");
                 assert_eq!(theirs.chunk, chunk.id, "demux routed a foreign chunk");
                 assert_eq!(theirs.pair, pair, "peer out of lockstep");
-                assert_eq!(theirs.k0, k0, "peer batch out of lockstep");
-                // Step 3: local combination.
-                for (idx, mg) in groups.iter().enumerate() {
-                    let (e1, f1, g1) = my_efg[idx];
-                    let (e2, f2, g2) = theirs.efg[idx];
-                    let e = e1 + e2;
-                    let f = f1 + f2;
-                    let g = g1 + g2;
-                    let efg_term = if self.id == ServerId::S2 {
-                        e * f * g
-                    } else {
-                        Ring64::ZERO
-                    };
-                    t_share += mg.w
-                        + mg.o * g
-                        + mg.p * f
-                        + mg.q * e
-                        + mg.x * (f * g)
-                        + mg.y * (e * g)
-                        + mg.z * (e * f)
-                        + efg_term;
-                }
+                assert_eq!(theirs.k0 as usize, k, "peer batch out of lockstep");
+                assert_eq!(theirs.efg.len(), slab, "peer slab size mismatch");
+                // Step 3: batched reconstruction + local combination.
+                mul3_open_batch(&mine[..slab], &theirs.efg, &mut opened[..slab]);
+                t_share += mul3_combine_batch(groups, &opened[..slab], self.id);
+                off += block;
                 k += block;
             }
         }
@@ -361,10 +356,11 @@ pub fn threaded_secure_count_sharded(
 ///
 /// Under [`OfflineMode::OtExtension`] there is **no dealer thread**:
 /// the two server pools run the IKNP/Gilboa preprocessing dialogue
-/// against each other over dedicated multiplexed links before each
-/// online round, which is the paper-faithful deployment shape of the
-/// offline phase. Shares, online [`NetStats`] and the offline ledger
-/// are bit-identical to
+/// against each other over dedicated multiplexed links — one
+/// chunk-amortised extension session (flights of five messages) per
+/// pair-space chunk, before that chunk's online rounds — which is the
+/// paper-faithful deployment shape of the offline phase. Shares,
+/// online [`NetStats`] and the offline ledger are bit-identical to
 /// [`crate::count::secure_triangle_count_with`] in the same mode.
 pub fn threaded_secure_count_offline(
     matrix: &BitMatrix,

@@ -27,11 +27,13 @@
 //! sensitivity; the net effect (noise ×1/q vs time ×q) is the knob the
 //! extension benchmarks sweep.
 
+use crate::config::CountKernel;
 use crate::count_sched::{share_prf, CountScheduler, PairChunk};
 use cargo_graph::BitMatrix;
 use cargo_mpc::{
-    mul3_combine, ot_setup_ledger, Mul3Opening, NetStats, OfflineMode, OtMgEngine, PairDealer,
-    Ring64, SplitMix64, MG_WORDS,
+    mul3_combine, mul3_combine_batch, mul3_mask_batch, mul3_open_batch, ot_setup_ledger, MgDraw,
+    Mul3Opening, NetStats, OfflineMode, OtMgEngine, PairDealer, Ring64, ServerId, SplitMix64,
+    MG_WORDS,
 };
 
 /// Result of the sampled secure count.
@@ -119,12 +121,12 @@ pub fn secure_triangle_count_sampled_batched(
 }
 
 /// [`secure_triangle_count_sampled_batched`] with an explicit offline
-/// mode. Under [`OfflineMode::OtExtension`] the offline engine is
-/// driven one Multiplication Group at a time (the sampled `k` set is
-/// irregular, so blocks cannot be precomputed); the per-group offline
-/// cost is therefore the `block = 1` formula — a conservative upper
-/// bound a deployment would amortise further. Shares stay
-/// bit-identical to dealer mode.
+/// mode. Under [`OfflineMode::OtExtension`] the sampling coins are
+/// public, so both servers can derive each pair's sampled count ahead
+/// of time and preprocess a whole chunk's sampled Multiplication
+/// Groups in one amortised extension session — exactly like the exact
+/// count, just with a sparser plan. Shares stay bit-identical to
+/// dealer mode.
 pub fn secure_triangle_count_sampled_with(
     matrix: &BitMatrix,
     seed: u64,
@@ -133,13 +135,43 @@ pub fn secure_triangle_count_sampled_with(
     batch: usize,
     mode: OfflineMode,
 ) -> SampledCountResult {
+    secure_triangle_count_sampled_kernel(
+        matrix,
+        seed,
+        rate,
+        threads,
+        batch,
+        mode,
+        CountKernel::default(),
+    )
+}
+
+/// [`secure_triangle_count_sampled_with`] with an explicit Count
+/// kernel — estimates (and share pairs) are bit-identical across
+/// kernels, like the exact count's.
+pub fn secure_triangle_count_sampled_kernel(
+    matrix: &BitMatrix,
+    seed: u64,
+    rate: f64,
+    threads: usize,
+    batch: usize,
+    mode: OfflineMode,
+    kernel: CountKernel,
+) -> SampledCountResult {
     assert!((0.0..=1.0).contains(&rate) && rate > 0.0, "rate in (0,1]");
     let n = matrix.n();
     let threads = if n < 64 { 1 } else { threads };
     let sched = CountScheduler::new(n, threads, batch);
-    let results = sched.run_chunks(|chunk| match mode {
-        OfflineMode::TrustedDealer => sampled_chunk(matrix, seed, rate, &sched, chunk),
-        OfflineMode::OtExtension => sampled_chunk_ot(matrix, seed, rate, &sched, chunk),
+    let results = sched.run_chunks(|chunk| match (mode, kernel) {
+        (OfflineMode::TrustedDealer, CountKernel::Scalar) => {
+            sampled_chunk(matrix, seed, rate, &sched, chunk)
+        }
+        (OfflineMode::TrustedDealer, CountKernel::Bitsliced) => {
+            sampled_chunk_batch(matrix, seed, rate, &sched, chunk)
+        }
+        (OfflineMode::OtExtension, _) => {
+            sampled_chunk_ot(matrix, seed, rate, &sched, chunk, kernel)
+        }
     });
 
     let mut share1 = Ring64::ZERO;
@@ -247,10 +279,25 @@ fn sampled_chunk(
     (Ring64(t1), Ring64(t2), net, evaluated)
 }
 
-/// The OT-extension variant of [`sampled_chunk`]: identical sampling
-/// decisions and online arithmetic, with each sampled triple's
-/// Multiplication Group generated by the per-pair [`OtMgEngine`].
-fn sampled_chunk_ot(
+/// Draws pair `(i, j)`'s public sampling coins and collects the
+/// sampled `k` indices — shared by every sampled path so the sample
+/// set is identical across kernels and offline modes.
+fn sampled_ks(seed: u64, i: u32, j: u32, n: usize, threshold: u64, ks: &mut Vec<u32>) {
+    ks.clear();
+    let mut coin = pair_coin(seed, i, j);
+    for k in (j as usize + 1)..n {
+        if coin.next_u64() <= threshold {
+            ks.push(k as u32);
+        }
+    }
+}
+
+/// [`CountKernel::Bitsliced`] sampled variant: the sampled `k` set of
+/// each pair is collected first (the coin is public and cheap), then
+/// evaluated in structure-of-arrays blocks through [`mul3_batch`] —
+/// identical stream consumption, rounds, and shares to
+/// [`sampled_chunk`].
+fn sampled_chunk_batch(
     matrix: &BitMatrix,
     seed: u64,
     rate: f64,
@@ -259,51 +306,157 @@ fn sampled_chunk_ot(
 ) -> (Ring64, Ring64, NetStats, u64) {
     let n = sched.n();
     let batch = sched.batch();
+    let mut t1 = 0u64;
+    let mut t2 = 0u64;
+    let mut net = NetStats::new();
+    let mut evaluated = 0u64;
+    let threshold = (rate * u64::MAX as f64) as u64;
+    let mut b_bits = vec![0u64; batch];
+    let mut c_bits = vec![0u64; batch];
+    let mut ks: Vec<u32> = Vec::new();
+    for (i, j) in sched.pair_iter(chunk) {
+        let row_i = matrix.row(i);
+        let row_j = matrix.row(j);
+        let aij = row_i.get(j) as u64;
+        sampled_ks(seed, i as u32, j as u32, n, threshold, &mut ks);
+        if ks.is_empty() {
+            continue;
+        }
+        evaluated += ks.len() as u64;
+        let mut dealer = PairDealer::for_pair(seed, i as u32, j as u32);
+        net.exchange_rounds((ks.len() / batch) as u64, 3 * batch as u64);
+        if !ks.len().is_multiple_of(batch) {
+            net.exchange(3 * (ks.len() % batch) as u64);
+        }
+        for blk in ks.chunks(batch) {
+            let block = blk.len();
+            for (l, &kk) in blk.iter().enumerate() {
+                b_bits[l] = row_i.get(kk as usize) as u64;
+                c_bits[l] = row_j.get(kk as usize) as u64;
+            }
+            // Fused PRG + SoA arithmetic; the pair stream advances
+            // only for sampled triples — exactly as the scalar path
+            // consumes it.
+            let (u1, u2) = dealer.count_block(aij, &b_bits[..block], &c_bits[..block]);
+            t1 = t1.wrapping_add(u1);
+            t2 = t2.wrapping_add(u2);
+        }
+    }
+    (Ring64(t1), Ring64(t2), net, evaluated)
+}
+
+/// The OT-extension variant: identical sampling decisions and online
+/// arithmetic, with the chunk's sampled Multiplication Groups
+/// preprocessed by one chunk-amortised [`OtMgEngine`] session (the
+/// plan lists each pair's sampled count, derivable by both servers
+/// from the public coins).
+fn sampled_chunk_ot(
+    matrix: &BitMatrix,
+    seed: u64,
+    rate: f64,
+    sched: &CountScheduler,
+    chunk: &PairChunk,
+    kernel: CountKernel,
+) -> (Ring64, Ring64, NetStats, u64) {
+    let n = sched.n();
+    let batch = sched.batch();
     let mut t1 = Ring64::ZERO;
     let mut t2 = Ring64::ZERO;
     let mut net = NetStats::new();
     let mut evaluated = 0u64;
     let threshold = (rate * u64::MAX as f64) as u64;
+    let mut ks: Vec<u32> = Vec::new();
+
+    // Offline: derive the sampled plan from the public coins — keeping
+    // each pair's sampled `k` set, so the coins are drawn once — and
+    // preprocess the whole chunk in one amortised session.
+    let mut plan: Vec<MgDraw> = Vec::new();
+    let mut pair_ks: Vec<Vec<u32>> = Vec::new();
     for (i, j) in sched.pair_iter(chunk) {
+        sampled_ks(seed, i as u32, j as u32, n, threshold, &mut ks);
+        if !ks.is_empty() {
+            plan.push(MgDraw {
+                i: i as u32,
+                j: j as u32,
+                groups: ks.len() as u32,
+            });
+            pair_ks.push(ks.clone());
+        }
+    }
+    if plan.is_empty() {
+        return (t1, t2, net, evaluated);
+    }
+    let mut engine = OtMgEngine::for_chunk(seed, chunk.id as u64);
+    let material = engine.preprocess(&plan);
+    net.offline.merge(&engine.ledger());
+
+    let mut b1 = vec![Ring64::ZERO; batch];
+    let mut b2 = vec![Ring64::ZERO; batch];
+    let mut c1 = vec![Ring64::ZERO; batch];
+    let mut c2 = vec![Ring64::ZERO; batch];
+    let mut mine = vec![0u64; 3 * batch];
+    let mut theirs = vec![0u64; 3 * batch];
+    let mut opened = vec![0u64; 3 * batch];
+
+    for (plan_idx, (draw, ks)) in plan.iter().zip(&pair_ks).enumerate() {
+        let (i, j) = (draw.i as usize, draw.j as usize);
         let row_i = matrix.row(i);
         let row_j = matrix.row(j);
+        evaluated += ks.len() as u64;
         let aij = Ring64::from_bit(row_i.get(j));
         let aij1 = Ring64(share_prf(seed, i as u32, j as u32));
         let aij2 = aij - aij1;
-        let mut engine = OtMgEngine::for_pair(seed, i as u32, j as u32);
-        let mut coin = pair_coin(seed, i as u32, j as u32);
-        let mut in_round = 0u64;
-        for k in (j + 1)..n {
-            if coin.next_u64() > threshold {
-                continue; // triple not sampled (public coin)
-            }
-            if in_round == batch as u64 {
-                net.exchange(3 * in_round);
-                in_round = 0;
-            }
-            in_round += 1;
-            evaluated += 1;
-            let (g1s, g2s) = engine.next_groups(1);
-            let (g1, g2) = (&g1s[0], &g2s[0]);
-            let aik = Ring64::from_bit(row_i.get(k));
-            let aik1 = Ring64(share_prf(seed, i as u32, k as u32));
-            let aik2 = aik - aik1;
-            let ajk = Ring64::from_bit(row_j.get(k));
-            let ajk1 = Ring64(share_prf(seed, j as u32, k as u32));
-            let ajk2 = ajk - ajk1;
-            let opening = Mul3Opening {
-                e: (aij1 - g1.x) + (aij2 - g2.x),
-                f: (aik1 - g1.y) + (aik2 - g2.y),
-                g: (ajk1 - g1.z) + (ajk2 - g2.z),
-            };
-            let efg = opening.e * opening.f * opening.g;
-            t1 += mul3_combine((aij1, aik1, ajk1), g1, opening, Ring64::ZERO);
-            t2 += mul3_combine((aij2, aik2, ajk2), g2, opening, efg);
+        let (g1s, g2s) = material.pair(plan_idx);
+        net.exchange_rounds((ks.len() / batch) as u64, 3 * batch as u64);
+        if !ks.len().is_multiple_of(batch) {
+            net.exchange(3 * (ks.len() % batch) as u64);
         }
-        if in_round > 0 {
-            net.exchange(3 * in_round);
+        let mut off = 0usize;
+        for blk in ks.chunks(batch) {
+            let block = blk.len();
+            let g1b = &g1s[off..off + block];
+            let g2b = &g2s[off..off + block];
+            match kernel {
+                CountKernel::Scalar => {
+                    for (l, &kk) in blk.iter().enumerate() {
+                        let (g1, g2) = (&g1b[l], &g2b[l]);
+                        let aik = Ring64::from_bit(row_i.get(kk as usize));
+                        let aik1 = Ring64(share_prf(seed, i as u32, kk));
+                        let aik2 = aik - aik1;
+                        let ajk = Ring64::from_bit(row_j.get(kk as usize));
+                        let ajk1 = Ring64(share_prf(seed, j as u32, kk));
+                        let ajk2 = ajk - ajk1;
+                        let opening = Mul3Opening {
+                            e: (aij1 - g1.x) + (aij2 - g2.x),
+                            f: (aik1 - g1.y) + (aik2 - g2.y),
+                            g: (ajk1 - g1.z) + (ajk2 - g2.z),
+                        };
+                        let efg = opening.e * opening.f * opening.g;
+                        t1 += mul3_combine((aij1, aik1, ajk1), g1, opening, Ring64::ZERO);
+                        t2 += mul3_combine((aij2, aik2, ajk2), g2, opening, efg);
+                    }
+                }
+                CountKernel::Bitsliced => {
+                    for (l, &kk) in blk.iter().enumerate() {
+                        let aik = Ring64::from_bit(row_i.get(kk as usize));
+                        let aik1 = Ring64(share_prf(seed, i as u32, kk));
+                        b1[l] = aik1;
+                        b2[l] = aik - aik1;
+                        let ajk = Ring64::from_bit(row_j.get(kk as usize));
+                        let ajk1 = Ring64(share_prf(seed, j as u32, kk));
+                        c1[l] = ajk1;
+                        c2[l] = ajk - ajk1;
+                    }
+                    let slab = 3 * block;
+                    mul3_mask_batch(aij1, &b1[..block], &c1[..block], g1b, &mut mine[..slab]);
+                    mul3_mask_batch(aij2, &b2[..block], &c2[..block], g2b, &mut theirs[..slab]);
+                    mul3_open_batch(&mine[..slab], &theirs[..slab], &mut opened[..slab]);
+                    t1 += mul3_combine_batch(g1b, &opened[..slab], ServerId::S1);
+                    t2 += mul3_combine_batch(g2b, &opened[..slab], ServerId::S2);
+                }
+            }
+            off += block;
         }
-        net.offline.merge(&engine.ledger());
     }
     (t1, t2, net, evaluated)
 }

@@ -11,8 +11,11 @@
 //! * **Pair-space partitioning.** The lexicographic `(i, j)` pair list
 //!   is cut into contiguous [`PairChunk`]s of roughly equal *triple*
 //!   weight (pair `(i, j)` costs `n − j − 1` triples, so pair counts
-//!   alone would load-balance badly). Workers pull chunks from an
-//!   atomic queue.
+//!   alone would load-balance badly). The partition depends on `n`
+//!   **only** — never on worker count or machine — because chunk ids
+//!   key the amortised OT offline sessions and the offline ledger must
+//!   stay schedule-invariant. Workers pull chunks from an atomic
+//!   queue.
 //! * **Batched rounds.** The `k` loop advances in blocks of
 //!   [`CountScheduler::batch`] triples; each block is one
 //!   communication round (`3·block` elements each way) and one block
@@ -24,6 +27,7 @@
 //!   *who* consumes a stream. The scheduler-invariance property suite
 //!   (`crates/core/tests/scheduler_invariance.rs`) pins this.
 
+use cargo_mpc::MgDraw;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -33,9 +37,21 @@ use std::sync::Mutex;
 /// per-message buffers tiny — 192 ring elements each way).
 pub const DEFAULT_COUNT_BATCH: usize = 64;
 
-/// Chunks handed out per worker (oversubscription so the atomic queue
-/// can smooth out uneven chunk costs).
-const CHUNKS_PER_WORKER: usize = 4;
+/// Target number of chunks the pair walk is cut into. Fixed —
+/// deliberately **not** scaled by the worker count — so the chunk list
+/// is a function of `n` alone: the chunk-amortised OT offline sessions
+/// are keyed by chunk id, and a machine-dependent partition would make
+/// the offline ledger depend on core count. 64 parts oversubscribes
+/// any worker pool this side of a rack while keeping per-chunk state
+/// (one OT session, one batch scratch) coarse.
+const CHUNK_PARTS: u64 = 64;
+
+/// Floor on a chunk's triple weight: below this, splitting buys no
+/// wall-clock (a 512-triple chunk runs in ~15 µs) but costs one OT
+/// session per chunk in the amortised offline phase. Small inputs
+/// therefore collapse to a handful of chunks instead of shattering
+/// into near-per-pair ones.
+const MIN_CHUNK_TRIPLES: u64 = 512;
 
 /// PRF expanding user bit-shares: uniform in `Z_{2^64}`, keyed by
 /// `(seed, i, j)`. Server S₁'s share of bit `a_ij` is
@@ -134,7 +150,7 @@ impl CountScheduler {
         } else {
             (n as u64) * (n as u64 - 1) * (n as u64 - 2) / 6
         };
-        let chunks = build_chunks(n, workers, total_triples);
+        let chunks = build_chunks(n, total_triples);
         CountScheduler {
             n,
             workers,
@@ -167,6 +183,22 @@ impl CountScheduler {
     /// `C(n, 3)` — every triple the schedule covers exactly once.
     pub fn total_triples(&self) -> u64 {
         self.total_triples
+    }
+
+    /// The chunk's offline preprocessing plan for the *exact* count:
+    /// one [`MgDraw`] per pair, drawing the pair's full `k`-range.
+    /// Single source of truth for every consumer of the chunk-keyed OT
+    /// sessions (fast kernel, sharded runtime, ledger fixtures) — the
+    /// sampled estimator builds its sparser plan from the public coins
+    /// instead.
+    pub fn chunk_plan(&self, chunk: &PairChunk) -> Vec<MgDraw> {
+        self.pair_iter(chunk)
+            .map(|(i, j)| MgDraw {
+                i: i as u32,
+                j: j as u32,
+                groups: (self.n - j - 1) as u32,
+            })
+            .collect()
     }
 
     /// Iterates `chunk`'s pairs in lexicographic order.
@@ -222,12 +254,14 @@ impl CountScheduler {
 }
 
 /// Cuts the lexicographic pair walk into chunks of roughly
-/// `total / (workers · CHUNKS_PER_WORKER)` triples each.
-fn build_chunks(n: usize, workers: usize, total_triples: u64) -> Vec<PairChunk> {
+/// `total / CHUNK_PARTS` triples each (floored at
+/// [`MIN_CHUNK_TRIPLES`]). Depends only on `n` — see [`CHUNK_PARTS`]
+/// for why worker count must not leak in.
+fn build_chunks(n: usize, total_triples: u64) -> Vec<PairChunk> {
     if n < 3 {
         return Vec::new();
     }
-    let target = (total_triples / (workers * CHUNKS_PER_WORKER) as u64).max(1);
+    let target = (total_triples / CHUNK_PARTS).max(MIN_CHUNK_TRIPLES);
     let mut chunks = Vec::new();
     let mut start: Option<(u32, u32)> = None;
     let mut pairs = 0u32;
@@ -307,6 +341,27 @@ mod tests {
         // No chunk should dominate: the last pair of a chunk can
         // overshoot by at most one pair's weight (< n triples).
         assert!(max <= target + 200, "max {max} vs target {target}");
+    }
+
+    #[test]
+    fn chunk_list_is_independent_of_workers_and_batch() {
+        // The chunk partition is keyed into the amortised offline
+        // sessions, so it must be a function of n alone.
+        for n in [5usize, 40, 150] {
+            let base = CountScheduler::new(n, 1, 0);
+            for (workers, batch) in [(2usize, 1usize), (4, 7), (16, 64), (0, 0)] {
+                let other = CountScheduler::new(n, workers, batch);
+                assert_eq!(other.chunks(), base.chunks(), "n={n} w={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_inputs_use_few_coarse_chunks() {
+        // The 512-triple floor keeps tiny pair spaces from shattering
+        // into near-per-pair chunks (each chunk is one OT session).
+        let sched = CountScheduler::new(24, 4, 0); // C(24,3) = 2024
+        assert!(sched.chunks().len() <= 4, "{} chunks", sched.chunks().len());
     }
 
     #[test]

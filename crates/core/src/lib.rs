@@ -38,6 +38,8 @@
 //! assert!((t_noisy - t_true).abs() / t_true < 0.5);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod config;
 pub mod count;
 pub mod count_runtime;
@@ -53,17 +55,18 @@ pub mod protocol;
 pub mod theory;
 
 pub use cargo_mpc::OfflineMode;
-pub use config::CargoConfig;
+pub use config::{CargoConfig, CountKernel};
 pub use count::{
-    secure_triangle_count, secure_triangle_count_batched, secure_triangle_count_with,
-    SecureCountResult,
+    secure_triangle_count, secure_triangle_count_batched, secure_triangle_count_kernel,
+    secure_triangle_count_with, SecureCountResult,
 };
 pub use count_runtime::{
     threaded_secure_count, threaded_secure_count_offline, threaded_secure_count_sharded,
 };
 pub use count_sampled::{
     secure_triangle_count_sampled, secure_triangle_count_sampled_batched,
-    secure_triangle_count_sampled_with, SampledCountResult,
+    secure_triangle_count_sampled_kernel, secure_triangle_count_sampled_with,
+    SampledCountResult,
 };
 pub use count_sched::{CountScheduler, PairChunk, DEFAULT_COUNT_BATCH};
 pub use max_degree::{estimate_max_degree, MaxDegreeEstimate};

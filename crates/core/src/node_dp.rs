@@ -16,7 +16,7 @@
 //! exactly what these functions let the benchmarks demonstrate.
 
 use crate::config::CargoConfig;
-use crate::count::secure_triangle_count_batched;
+use crate::count::secure_triangle_count_kernel;
 use crate::perturb::{perturb, PerturbInputs};
 use crate::projection::project_matrix;
 use crate::protocol::{CargoOutput, StepTimings};
@@ -81,11 +81,13 @@ pub fn run_node_dp(config: &CargoConfig, graph: &Graph) -> CargoOutput {
     let t_project = t0.elapsed();
 
     let t0 = Instant::now();
-    let count = secure_triangle_count_batched(
+    let count = secure_triangle_count_kernel(
         &projected,
         config.seed ^ 0xC0DE,
         config.effective_threads(),
         config.effective_batch(),
+        config.offline,
+        config.kernel,
     );
     let t_count = t0.elapsed();
 

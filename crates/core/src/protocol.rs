@@ -15,7 +15,7 @@
 //! the error into projection loss vs perturbation error (Theorems 5/6).
 
 use crate::config::CargoConfig;
-use crate::count::secure_triangle_count_with;
+use crate::count::secure_triangle_count_kernel;
 use crate::max_degree::estimate_max_degree;
 use crate::perturb::{perturb, PerturbInputs};
 use crate::projection::project_matrix;
@@ -138,12 +138,13 @@ impl CargoSystem {
         // extension per cfg.offline — shares are identical either way,
         // the offline ledger in `net.offline` differs.)
         let t0 = Instant::now();
-        let count = secure_triangle_count_with(
+        let count = secure_triangle_count_kernel(
             &projected,
             cfg.seed ^ 0xC0DE,
             cfg.effective_threads(),
             cfg.effective_batch(),
             cfg.offline,
+            cfg.kernel,
         );
         let t_count = t0.elapsed();
 

@@ -5,21 +5,22 @@
 //! and `OfflineMode::TrustedDealer` must produce identical share
 //! pairs, identical reconstructions, and identical **online**
 //! `NetStats` ledgers on every Count path — while the OT mode's
-//! offline ledger follows the pinned byte/round formula exactly.
-//! Because S₂'s shares are assembled from OT outputs plus public
-//! derandomisation offsets (see `cargo_mpc::offline`), share equality
-//! here is a genuine end-to-end check of the IKNP extension and the
-//! Gilboa multiplications, not a tautology.
+//! offline ledger follows the pinned chunk-amortised formula exactly:
+//! one extension session per scheduler chunk, one five-round dialogue
+//! and digest pair per flight ([`cargo_mpc::plan_flights`]), payload
+//! bytes linear in the Multiplication Groups. Because S₂'s shares are
+//! assembled from OT outputs plus public derandomisation offsets (see
+//! `cargo_mpc::offline`), share equality here is a genuine end-to-end
+//! check of the IKNP extension and the Gilboa multiplications, not a
+//! tautology.
 
 use cargo_core::{
     secure_triangle_count_sampled_with, secure_triangle_count_with, threaded_secure_count_offline,
-    OfflineMode,
+    CountScheduler, OfflineMode,
 };
 use cargo_graph::BitMatrix;
-use cargo_mpc::offline::{
-    MG_BLOCK_DIGEST_BYTES, MG_BLOCK_ROUNDS, MG_EXT_OTS_PER_GROUP, MG_OFFLINE_BYTES_PER_GROUP,
-};
-use cargo_mpc::SplitMix64;
+use cargo_mpc::offline::{MG_EXT_OTS_PER_GROUP, MG_OFFLINE_BYTES_PER_GROUP};
+use cargo_mpc::{chunk_offline_ledger, OfflineLedger, SplitMix64};
 use proptest::prelude::*;
 
 /// Strategy: an arbitrary n×n bit matrix (not necessarily symmetric)
@@ -41,57 +42,75 @@ fn arb_bit_matrix(max_n: usize) -> impl Strategy<Value = BitMatrix> {
     })
 }
 
-/// The closed-form offline cost of an exact count at batch size `b`:
-/// one base-OT setup plus, per `(i, j)` pair, `ceil(len/b)` blocks of
-/// the per-block formula. This is the fixture the ledger is pinned to.
-fn expected_offline(n: usize, batch: usize) -> (u64, u64, u64, u64) {
-    let b = batch.max(1).min(n.max(1));
-    let (mut ext, mut bytes, mut rounds) = (0u64, 0u64, 0u64);
-    let mut pairs = 0u64;
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let len = n.saturating_sub(j + 1) as u64;
-            if len == 0 {
-                continue;
-            }
-            pairs += 1;
-            let blocks = len.div_ceil(b as u64);
-            ext += MG_EXT_OTS_PER_GROUP * len;
-            bytes += MG_OFFLINE_BYTES_PER_GROUP * len + MG_BLOCK_DIGEST_BYTES * blocks;
-            rounds += MG_BLOCK_ROUNDS * blocks;
-        }
+/// The closed-form offline cost of an exact count: one base-OT setup
+/// plus, per scheduler chunk, [`chunk_offline_ledger`] of the chunk's
+/// plan (one draw per pair, the full `k`-range each). Depends on `n`
+/// only — the scheduler's chunk partition is worker-invariant, and
+/// the flight structure ignores the online batch size. This is the
+/// fixture the ledger is pinned to.
+fn expected_offline(n: usize) -> OfflineLedger {
+    let sched = CountScheduler::new(n, 1, 0);
+    let mut ledger = OfflineLedger::new();
+    for chunk in sched.chunks() {
+        ledger.merge(&chunk_offline_ledger(&sched.chunk_plan(chunk)));
     }
-    if pairs > 0 {
-        let setup = cargo_mpc::ot_setup_ledger();
-        bytes += setup.bytes;
-        rounds += setup.rounds;
-        return (setup.base_ots, ext, bytes, rounds);
+    if !sched.chunks().is_empty() {
+        ledger.merge(&cargo_mpc::ot_setup_ledger());
     }
-    (0, ext, bytes, rounds)
+    ledger
 }
 
 #[test]
-fn offline_byte_count_formula_is_pinned() {
-    // Golden fixture for the cost model: n = 10, batch = 4.
-    //   pairs with k-range: (i,j) with j ≤ 8; per pair len = 9 − j.
-    //   C(10,3) = 120 MGs; 512 ext OTs each = 61 440.
+fn offline_cost_formula_is_pinned() {
+    // Golden fixture for the chunk-amortised cost model: n = 10.
+    //   C(10,3) = 120 MGs ≤ 512 ⇒ ONE chunk, ONE flight:
+    //   5 rounds + 2 base-OT rounds, one 16 B digest pair.
+    //   bytes = 120·12 320 + 16 + 16 384 = 1 494 800.
+    // (The pre-amortisation engine paid 5 rounds and a digest per
+    // k-block: 232 rounds and 1 495 520 bytes on the same input.)
     let m = BitMatrix::zeros(10);
-    let res = secure_triangle_count_with(&m, 1, 1, 4, OfflineMode::OtExtension);
-    assert_eq!(res.triples, 120);
+    for batch in [1usize, 4, 0] {
+        let res = secure_triangle_count_with(&m, 1, 1, batch, OfflineMode::OtExtension);
+        assert_eq!(res.triples, 120);
+        let off = res.net.offline;
+        assert_eq!(off.base_ots, 256);
+        assert_eq!(off.extended_ots, 512 * 120);
+        assert_eq!(off, expected_offline(10), "batch {batch}");
+        // Absolute numbers, hard-coded so any formula change must be
+        // a deliberate, reviewed edit:
+        assert_eq!(off.bytes, 1_494_800);
+        assert_eq!(off.rounds, 5 + 2);
+    }
+}
+
+#[test]
+fn offline_rounds_follow_the_chunk_flight_structure() {
+    // n = 30: C(30,3) = 4 060 triples spread over several 512-triple
+    // chunks — the rounds/digest terms must follow the scheduler's
+    // chunk × flight structure exactly, and nothing else.
+    let m = BitMatrix::zeros(30);
+    let res = secure_triangle_count_with(&m, 3, 1, 0, OfflineMode::OtExtension);
+    assert_eq!(res.triples, 4060);
     let off = res.net.offline;
-    assert_eq!(off.base_ots, 256);
-    assert_eq!(off.extended_ots, 512 * 120);
-    let (base, ext, bytes, rounds) = expected_offline(10, 4);
-    assert_eq!(off.base_ots, base);
-    assert_eq!(off.extended_ots, ext);
-    assert_eq!(off.bytes, bytes, "byte formula drifted");
-    assert_eq!(off.rounds, rounds, "round formula drifted");
-    // And the absolute numbers, hard-coded so any formula change must
-    // be a deliberate, reviewed edit:
-    //   blocks: Σ over the 36 pairs of ceil((9−j)/4) = 46 blocks.
-    //   bytes  = 120·12320 + 46·16 + 256·64 = 1 478 400 + 736 + 16 384.
-    assert_eq!(off.bytes, 1_495_520);
-    assert_eq!(off.rounds, 46 * 5 + 2);
+    assert_eq!(off, expected_offline(30));
+    assert_eq!(off.extended_ots, 512 * 4060);
+    let sched = CountScheduler::new(30, 1, 0);
+    let flights: u64 = sched
+        .chunks()
+        .iter()
+        .map(|c| cargo_mpc::plan_flights(&sched.chunk_plan(c)).len() as u64)
+        .sum();
+    assert!(flights >= sched.chunks().len() as u64);
+    assert_eq!(off.rounds, 5 * flights + 2);
+    assert_eq!(
+        off.bytes,
+        MG_OFFLINE_BYTES_PER_GROUP * 4060 + 16 * flights + 16_384
+    );
+    // The amortisation claim, concretely: the pre-amortisation engine
+    // paid 5 rounds per (pair, k-block) — 406 pairs ⇒ ≥ 2 030 rounds.
+    // The chunk session pays 5 per flight.
+    assert!(off.rounds < 100, "{} rounds", off.rounds);
+    assert_eq!(MG_EXT_OTS_PER_GROUP, 512);
 }
 
 #[test]
@@ -120,14 +139,11 @@ proptest! {
         prop_assert_eq!(ot.reconstruct(), dealer.reconstruct());
         prop_assert_eq!(ot.triples, dealer.triples);
         // Identical ONLINE ledgers; the offline ledger follows the
-        // pinned formula.
+        // pinned chunk-amortised formula — independent of the online
+        // batch size.
         prop_assert_eq!(ot.net.online(), dealer.net.online());
         prop_assert!(dealer.net.offline.is_empty());
-        let (base, ext, bytes, rounds) = expected_offline(m.n(), batch);
-        prop_assert_eq!(ot.net.offline.base_ots, base);
-        prop_assert_eq!(ot.net.offline.extended_ots, ext);
-        prop_assert_eq!(ot.net.offline.bytes, bytes);
-        prop_assert_eq!(ot.net.offline.rounds, rounds);
+        prop_assert_eq!(ot.net.offline, expected_offline(m.n()));
     }
 
     #[test]
@@ -158,7 +174,9 @@ proptest! {
         prop_assert_eq!(ot.share2, dealer.share2);
         prop_assert_eq!(ot.evaluated, dealer.evaluated);
         prop_assert_eq!(ot.net.online(), dealer.net.online());
-        // One block-of-1 per sampled triple.
+        // Payload OTs are per sampled triple; rounds amortise per
+        // chunk session, so they are bounded by the exact count's.
         prop_assert_eq!(ot.net.offline.extended_ots, 512 * dealer.evaluated);
+        prop_assert!(ot.net.offline.rounds <= expected_offline(m.n()).rounds);
     }
 }

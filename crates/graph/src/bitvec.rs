@@ -100,6 +100,33 @@ impl BitVec {
     pub fn words(&self) -> &[u64] {
         &self.words
     }
+
+    /// Widens bits `start..start + out.len()` into one `u64` (0 or 1)
+    /// per slot — the slab form the batched secure-count kernel
+    /// consumes. Word-level shifts instead of `out.len()` single-bit
+    /// probes: each source word yields up to 64 lanes.
+    ///
+    /// # Panics
+    /// Panics if the range runs past the vector's length.
+    pub fn fill_bits_u64(&self, start: usize, out: &mut [u64]) {
+        assert!(
+            start + out.len() <= self.len,
+            "bit range {start}..{} out of range {}",
+            start + out.len(),
+            self.len
+        );
+        let mut i = start;
+        let mut lane = 0usize;
+        while lane < out.len() {
+            let word = self.words[i / 64] >> (i % 64);
+            let take = (64 - i % 64).min(out.len() - lane);
+            for (l, slot) in out[lane..lane + take].iter_mut().enumerate() {
+                *slot = (word >> l) & 1;
+            }
+            lane += take;
+            i += take;
+        }
+    }
 }
 
 impl std::fmt::Debug for BitVec {
@@ -242,6 +269,32 @@ impl std::fmt::Debug for BitMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fill_bits_u64_matches_get_across_word_boundaries() {
+        let mut v = BitVec::zeros(200);
+        for i in [0usize, 1, 63, 64, 65, 127, 128, 199] {
+            v.set(i, true);
+        }
+        for start in [0usize, 1, 60, 63, 64, 100, 190] {
+            for len in [0usize, 1, 5, 64, 70] {
+                if start + len > v.len() {
+                    continue;
+                }
+                let mut out = vec![99u64; len];
+                v.fill_bits_u64(start, &mut out);
+                for (l, &b) in out.iter().enumerate() {
+                    assert_eq!(b, v.get(start + l) as u64, "start {start} lane {l}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fill_bits_u64_rejects_overrun() {
+        BitVec::zeros(10).fill_bits_u64(8, &mut [0u64; 3]);
+    }
 
     #[test]
     fn zeros_has_no_ones() {

@@ -102,6 +102,24 @@ impl NetStats {
         self.peak_batch = self.peak_batch.max(elements_each_way);
     }
 
+    /// Records `rounds` identical rounds of `elements_each_way` in one
+    /// tally update — the batch kernel's bulk form of
+    /// [`Self::exchange`]: a pair's `k`-loop of `L` triples at batch
+    /// `b` is `⌊L/b⌋` full rounds plus one tail, so the whole loop
+    /// costs two ledger updates instead of one per block. Field totals
+    /// are identical to the per-round calls.
+    #[inline]
+    pub fn exchange_rounds(&mut self, rounds: u64, elements_each_way: u64) {
+        if rounds == 0 {
+            return;
+        }
+        self.elements += 2 * elements_each_way * rounds;
+        self.bytes += 2 * elements_each_way * 8 * rounds;
+        self.rounds += rounds;
+        self.batches += rounds;
+        self.peak_batch = self.peak_batch.max(elements_each_way);
+    }
+
     /// Records extra elements inside the *current* round (batched
     /// openings that do not add latency).
     #[inline]
@@ -274,6 +292,20 @@ mod tests {
         assert_eq!(s.rounds, 1);
         assert_eq!(s.batches, 1);
         assert_eq!(s.peak_batch, 3);
+    }
+
+    #[test]
+    fn exchange_rounds_equals_repeated_exchanges() {
+        let mut bulk = NetStats::new();
+        bulk.exchange_rounds(5, 192);
+        bulk.exchange_rounds(0, 999); // no-op: peak must not move
+        bulk.exchange(7);
+        let mut scalar = NetStats::new();
+        for _ in 0..5 {
+            scalar.exchange(192);
+        }
+        scalar.exchange(7);
+        assert_eq!(bulk, scalar);
     }
 
     #[test]

@@ -172,6 +172,18 @@ impl PairDealer {
         self.rng.fill_block(out);
     }
 
+    /// The fused hot kernel of the batched Count: evaluates one
+    /// `k`-block of Multiplication-Group protocols directly against
+    /// this stream ([`crate::triple_mul::mul3_batch_stream`]), drawing
+    /// and mixing the block's [`MG_WORDS`]`·L` words inside the lane
+    /// loop. Consumes exactly the words [`Self::fill_words`] would for
+    /// the same block, and returns the wrapping partial sums
+    /// `(Σ⟨d⟩₁, Σ⟨d⟩₂)` — bit-identical to the scalar transcription.
+    #[inline]
+    pub fn count_block(&mut self, a: u64, b: &[u64], c: &[u64]) -> (u64, u64) {
+        crate::triple_mul::mul3_batch_stream(&mut self.rng, a, b, c)
+    }
+
     /// Draws one Multiplication Group as the two servers' share
     /// structs — the protocol-object form of the same stream: consumes
     /// exactly [`MG_WORDS`] words in the canonical order, so a runtime

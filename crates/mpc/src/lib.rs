@@ -47,6 +47,7 @@ pub mod ot;
 pub mod prg;
 pub mod ring;
 pub mod share;
+pub mod simd;
 pub mod triple_mul;
 pub mod view;
 
@@ -56,13 +57,19 @@ pub use dealer::{
     split_beaver_words, split_mg_words, Dealer, PairDealer, BEAVER_WORDS, MG_WORDS,
 };
 pub use offline::{
-    mg_block_ledger, ot_setup_ledger, MgOfflineS1, MgOfflineS2, OfflineMode, OtBeaverEngine,
-    OtMgEngine,
+    chunk_offline_ledger, mg_flight_ledger, ot_setup_ledger, plan_flights, plan_offsets,
+    MgChunkMaterial,
+    MgDraw, MgOfflineS1, MgOfflineS2, OfflineMode, OtBeaverEngine, OtMgEngine,
+    MAX_FLIGHT_GROUPS,
 };
 pub use prg::SplitMix64;
 pub use ring::Ring64;
 pub use share::{reconstruct, reconstruct_vec, share_with, share_vec_with, SharePair};
-pub use triple_mul::{mul3, mul3_combine, Mul3Opening, MulGroupShare};
+pub use simd::{U64x4, U64x8, U64xN, LANES};
+pub use triple_mul::{
+    mul3, mul3_batch, mul3_combine, mul3_combine_batch, mul3_mask_batch, mul3_open_batch,
+    Mul3Opening, MulGroupShare,
+};
 
 /// Identifies one of the two non-colluding servers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -31,7 +31,27 @@
 //! the dealer's **only if** every OT multiplication was correct, which
 //! is exactly what the cross-mode equivalence suites verify.
 //!
-//! ## Message flow per `k`-block of one `(i, j)` pair
+//! ## Chunk-amortised sessions
+//!
+//! Extension is amortised across the Count scheduler's pair-space
+//! **chunks**, not per pair: one OT session (seeded from the global
+//! base-OT setup, keyed by the chunk id) preprocesses every
+//! Multiplication Group of every pair in the chunk. A chunk's plan —
+//! one [`MgDraw`] per pair, stating how many groups that pair's
+//! canonical stream contributes — is split by [`plan_flights`] into
+//! *flights* of at most [`MAX_FLIGHT_GROUPS`] groups (a message-size /
+//! memory cap, split only at pair boundaries), and each flight is one
+//! five-message dialogue. Since the scheduler cuts chunks by `n`
+//! alone (never by worker count), the offline ledger stays invariant
+//! across `threads × batch` like everything else.
+//!
+//! Before this amortisation the engine ran one session per pair and
+//! one five-round dialogue per online `k`-block — `5·Σ⌈len/b⌉` rounds
+//! and a digest pair per block. Now a whole chunk costs
+//! `5·⌈G/512⌉`-ish rounds, the per-pair base-OT re-derivation is
+//! gone, and only the per-group payload bytes remain linear.
+//!
+//! ## Message flow per flight
 //!
 //! Four Gilboa multiplications per direction per MG (cross terms of
 //! `o, p, q, w`; `w`'s second cross term needs S₂'s derandomised `o₂`,
@@ -48,11 +68,11 @@
 //!   ── derandomise c_w ───────────────────────▶     round 5
 //! ```
 //!
-//! Cost per MG (formula pinned by `offline_ledger_formula` tests and
-//! the committed `BENCH_offline.json` baseline): 512 extended OTs,
-//! [`MG_OFFLINE_BYTES_PER_GROUP`] bytes, [`MG_BLOCK_ROUNDS`] rounds
-//! per block, plus one global base-OT setup
-//! ([`ot_setup_ledger`]).
+//! Cost per MG (formula pinned by `ledger` tests and the committed
+//! `BENCH_offline.json` baseline): 512 extended OTs,
+//! [`MG_OFFLINE_BYTES_PER_GROUP`] bytes; per flight,
+//! [`MG_FLIGHT_DIGEST_BYTES`] digest bytes and [`MG_FLIGHT_ROUNDS`]
+//! rounds; plus one global base-OT setup ([`ot_setup_ledger`]).
 
 use crate::beaver::BeaverShare;
 use crate::channel::OfflineLedger;
@@ -124,12 +144,21 @@ pub const MG_EXT_OTS_PER_GROUP: u64 = 2 * (MG_MULTS_PER_DIR as u64) * 64;
 /// extension columns + 8 B of correction) + 4 derandomisation words.
 pub const MG_OFFLINE_BYTES_PER_GROUP: u64 = MG_EXT_OTS_PER_GROUP * (16 + 8) + 4 * 8;
 
-/// Fixed per-block overhead: the two transcript digests riding on the
+/// Fixed per-flight overhead: the two transcript digests riding on the
 /// correction messages.
-pub const MG_BLOCK_DIGEST_BYTES: u64 = 16;
+pub const MG_FLIGHT_DIGEST_BYTES: u64 = 16;
 
-/// Offline rounds per `k`-block (see the module-level message flow).
-pub const MG_BLOCK_ROUNDS: u64 = 5;
+/// Offline rounds per flight (see the module-level message flow).
+pub const MG_FLIGHT_ROUNDS: u64 = 5;
+
+/// Groups-per-flight cap of the chunk-amortised session: bounds the
+/// per-message buffers (a flight of `g` groups carries `4g` 64-bit
+/// choice words → `512·g` extension-column words per direction, ~2 MB
+/// at the cap) so the extension stays cache-friendly; the internal
+/// passes additionally slab at `ot::EXT_SLAB_WORDS`. Flights split
+/// only at pair boundaries; a single pair larger than the cap gets
+/// one oversized flight of its own.
+pub const MAX_FLIGHT_GROUPS: u64 = 512;
 
 /// Extended OTs per Beaver triple (2 directions × 64 bits).
 pub const BEAVER_EXT_OTS_PER_TRIPLE: u64 = 128;
@@ -143,7 +172,7 @@ pub const BEAVER_OFFLINE_BYTES_PER_TRIPLE: u64 = BEAVER_EXT_OTS_PER_TRIPLE * (16
 pub const BEAVER_BLOCK_ROUNDS: u64 = 3;
 
 /// The one-time setup cost of OT-extension mode: κ base OTs per
-/// extension direction, paid once per protocol execution (per-pair
+/// extension direction, paid once per protocol execution (per-chunk
 /// session keys are then derived locally, as real deployments derive
 /// sub-sessions from one extension setup).
 pub fn ot_setup_ledger() -> OfflineLedger {
@@ -155,15 +184,15 @@ pub fn ot_setup_ledger() -> OfflineLedger {
     }
 }
 
-/// The offline cost of one `k`-block of `block` Multiplication Groups
-/// — the formula every OT-mode Count path tallies per block, pinned by
+/// The offline cost of one flight of `groups` Multiplication Groups —
+/// the formula every OT-mode Count path tallies per flight, pinned by
 /// the byte-count fixtures.
-pub fn mg_block_ledger(block: u64) -> OfflineLedger {
+pub fn mg_flight_ledger(groups: u64) -> OfflineLedger {
     OfflineLedger {
         base_ots: 0,
-        extended_ots: MG_EXT_OTS_PER_GROUP * block,
-        bytes: MG_OFFLINE_BYTES_PER_GROUP * block + MG_BLOCK_DIGEST_BYTES,
-        rounds: MG_BLOCK_ROUNDS,
+        extended_ots: MG_EXT_OTS_PER_GROUP * groups,
+        bytes: MG_OFFLINE_BYTES_PER_GROUP * groups + MG_FLIGHT_DIGEST_BYTES,
+        rounds: MG_FLIGHT_ROUNDS,
     }
 }
 
@@ -172,14 +201,93 @@ pub fn beaver_block_ledger(block: u64) -> OfflineLedger {
     OfflineLedger {
         base_ots: 0,
         extended_ots: BEAVER_EXT_OTS_PER_TRIPLE * block,
-        bytes: BEAVER_OFFLINE_BYTES_PER_TRIPLE * block + MG_BLOCK_DIGEST_BYTES,
+        bytes: BEAVER_OFFLINE_BYTES_PER_TRIPLE * block + MG_FLIGHT_DIGEST_BYTES,
         rounds: BEAVER_BLOCK_ROUNDS,
     }
 }
 
-/// Derives the two per-pair extension session seeds (direction A:
-/// S₁ sends, S₂ receives; direction B: the reverse). Both servers
-/// derive the same seeds, domain-separated from every other stream.
+/// One pair's contribution to a chunk's preprocessing plan: draw
+/// `groups` Multiplication Groups from pair `(i, j)`'s canonical
+/// [`PairDealer`] stream (the full `k`-range for the exact count, the
+/// sampled count for the sampled estimator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MgDraw {
+    /// Outer pair index `i`.
+    pub i: u32,
+    /// Outer pair index `j`.
+    pub j: u32,
+    /// Multiplication Groups to draw from this pair's stream.
+    pub groups: u32,
+}
+
+/// Splits a chunk plan into flights of at most [`MAX_FLIGHT_GROUPS`]
+/// groups, cutting only at pair boundaries (an oversized single draw
+/// becomes its own flight). Deterministic in the plan alone, so every
+/// Count path — and the ledger fixtures — derive the same flight
+/// structure.
+///
+/// # Panics
+/// Panics if any draw contributes zero groups (callers filter those).
+pub fn plan_flights(plan: &[MgDraw]) -> Vec<std::ops::Range<usize>> {
+    let mut flights = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for (idx, d) in plan.iter().enumerate() {
+        assert!(d.groups > 0, "empty draw in offline plan");
+        if acc > 0 && acc + d.groups as u64 > MAX_FLIGHT_GROUPS {
+            flights.push(start..idx);
+            start = idx;
+            acc = 0;
+        }
+        acc += d.groups as u64;
+    }
+    if acc > 0 {
+        flights.push(start..plan.len());
+    }
+    flights
+}
+
+/// Prefix offsets of a chunk plan: draw `idx` owns groups
+/// `offsets[idx]..offsets[idx+1]` of the material produced in plan
+/// order. Shared by [`OtMgEngine::preprocess`] and the sharded
+/// runtime's offline dialogue so their indexing cannot drift.
+pub fn plan_offsets(plan: &[MgDraw]) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(plan.len() + 1);
+    let mut acc = 0usize;
+    offsets.push(0);
+    for d in plan {
+        acc += d.groups as usize;
+        offsets.push(acc);
+    }
+    offsets
+}
+
+/// The closed-form offline cost of preprocessing one chunk plan:
+/// [`mg_flight_ledger`] summed over [`plan_flights`]. What
+/// [`OtMgEngine::preprocess`] (and the sharded runtime's offline
+/// dialogue) actually tallies; exported so the equivalence suites can
+/// pin the ledger without re-running the OTs.
+pub fn chunk_offline_ledger(plan: &[MgDraw]) -> OfflineLedger {
+    let mut ledger = OfflineLedger::new();
+    for flight in plan_flights(plan) {
+        let groups: u64 = plan[flight].iter().map(|d| d.groups as u64).sum();
+        ledger.merge(&mg_flight_ledger(groups));
+    }
+    ledger
+}
+
+/// Derives the two per-chunk extension session seeds (direction A:
+/// S₁ sends, S₂ receives; direction B: the reverse) from the global
+/// base-OT setup. Both servers derive the same seeds, domain-separated
+/// from every pair stream and from the Beaver sessions.
+fn chunk_ot_seeds(root: u64, session: u64) -> (u64, u64) {
+    let mut mixer =
+        SplitMix64::new(root ^ session.wrapping_mul(0x9FB21C651E98DF25) ^ 0x165667B19E3779F9);
+    (mixer.next_u64(), mixer.next_u64())
+}
+
+/// Per-pair session seeds for the Beaver engine (Beaver triples are
+/// consumed pair-locally, so their sessions stay pair-keyed).
 fn pair_ot_seeds(root: u64, i: u32, j: u32) -> (u64, u64) {
     let pair = ((i as u64) << 32) | j as u64;
     let mut mixer =
@@ -214,17 +322,36 @@ fn advance(stage: &mut Stage, want: Stage, next: Stage) {
     *stage = next;
 }
 
-/// Server S₁'s half of the per-pair MG offline protocol.
+/// Draws the canonical dealer words for one flight into `words`:
+/// each [`MgDraw`]'s groups from its own pair stream, concatenated in
+/// plan order. Both party machines call this with the same plan, so
+/// both hold the same canonical buffer (each uses only its own share
+/// columns of it).
+fn draw_flight_words(root: u64, flight: &[MgDraw], words: &mut Vec<u64>) -> usize {
+    let total: usize = flight.iter().map(|d| d.groups as usize).sum();
+    assert!(total > 0, "empty offline flight");
+    words.resize(MG_WORDS * total, 0);
+    let mut off = 0usize;
+    for d in flight {
+        let span = MG_WORDS * d.groups as usize;
+        PairDealer::for_pair(root, d.i, d.j).fill_words(&mut words[off..off + span]);
+        off += span;
+    }
+    total
+}
+
+/// Server S₁'s half of the chunk-amortised MG offline session.
 ///
 /// S₁ is the *canonical* side: its mask shares and product shares are
 /// its [`PairDealer`] stream words, and it derandomises every product
-/// onto them. Drive the methods strictly in the order
-/// [`ucols`](Self::ucols) → [`corrections`](Self::corrections) →
+/// onto them. One machine serves a whole scheduler chunk; drive the
+/// methods strictly in the order [`ucols`](Self::ucols) →
+/// [`corrections`](Self::corrections) →
 /// [`derand_opq`](Self::derand_opq) → [`derand_w`](Self::derand_w) →
-/// [`groups`](Self::groups) per block; any other order panics.
+/// [`groups`](Self::groups) per flight; any other order panics.
 #[derive(Debug, Clone)]
 pub struct MgOfflineS1 {
-    canon: PairDealer,
+    root: u64,
     sender: CotSender,
     receiver: CotReceiver,
     stage: Stage,
@@ -237,13 +364,16 @@ pub struct MgOfflineS1 {
 }
 
 impl MgOfflineS1 {
-    /// Creates S₁'s endpoint for pair `(i, j)` under `root`.
-    pub fn for_pair(root: u64, i: u32, j: u32) -> Self {
-        let (seed_a, seed_b) = pair_ot_seeds(root, i, j);
+    /// Creates S₁'s endpoint for the chunk session `session` under
+    /// `root` (the Count seed). The session seeds stand in for the
+    /// sub-keys a deployment would derive from the one global base-OT
+    /// setup ([`ot_setup_ledger`]).
+    pub fn for_chunk(root: u64, session: u64) -> Self {
+        let (seed_a, seed_b) = chunk_ot_seeds(root, session);
         let (sender, _) = simulated_base_ots(seed_a);
         let (_, receiver) = simulated_base_ots(seed_b);
         MgOfflineS1 {
-            canon: PairDealer::for_pair(root, i, j),
+            root,
             sender,
             receiver,
             stage: Stage::Idle,
@@ -255,17 +385,15 @@ impl MgOfflineS1 {
         }
     }
 
-    /// Step 1: draws the block's canonical words and returns S₁'s
-    /// extension columns for its receiver role (direction B, choice
-    /// bits `y₁, z₁, z₁, z₁` per MG).
-    pub fn ucols(&mut self, block: usize) -> Vec<u64> {
+    /// Step 1: draws the flight's canonical words (every draw's groups
+    /// from its pair stream) and returns S₁'s extension columns for
+    /// its receiver role (direction B, choice bits `y₁, z₁, z₁, z₁`
+    /// per MG).
+    pub fn ucols(&mut self, flight: &[MgDraw]) -> Vec<u64> {
         advance(&mut self.stage, Stage::Idle, Stage::SentColumns);
-        assert!(block > 0, "empty offline block");
-        self.block = block;
-        self.words.resize(MG_WORDS * block, 0);
-        self.canon.fill_words(&mut self.words);
-        let mut choice = Vec::with_capacity(MG_MULTS_PER_DIR * block);
-        for g in 0..block {
+        self.block = draw_flight_words(self.root, flight, &mut self.words);
+        let mut choice = Vec::with_capacity(MG_MULTS_PER_DIR * self.block);
+        for g in 0..self.block {
             let w = &self.words[MG_WORDS * g..];
             choice.extend_from_slice(&[w[Y1], w[Z1], w[Z1], w[Z1]]);
         }
@@ -368,8 +496,8 @@ impl MgOfflineS1 {
         msg
     }
 
-    /// Step 5: S₁'s Multiplication-Group shares for the block — by
-    /// construction the canonical stream words.
+    /// Step 5: S₁'s Multiplication-Group shares for the flight — by
+    /// construction the canonical stream words, in plan order.
     pub fn groups(&mut self) -> Vec<MulGroupShare> {
         advance(&mut self.stage, Stage::Finishing, Stage::Idle);
         (0..self.block)
@@ -381,16 +509,16 @@ impl MgOfflineS1 {
     }
 }
 
-/// Server S₂'s half of the per-pair MG offline protocol.
+/// Server S₂'s half of the chunk-amortised MG offline session.
 ///
 /// Drive strictly [`ucols`](Self::ucols) →
 /// [`corrections`](Self::corrections) →
 /// [`absorb_corrections`](Self::absorb_corrections) →
 /// [`corrections_w`](Self::corrections_w) → [`groups`](Self::groups)
-/// per block.
+/// per flight.
 #[derive(Debug, Clone)]
 pub struct MgOfflineS2 {
-    stream: PairDealer,
+    root: u64,
     sender: CotSender,
     receiver: CotReceiver,
     stage: Stage,
@@ -410,13 +538,14 @@ pub struct MgOfflineS2 {
 }
 
 impl MgOfflineS2 {
-    /// Creates S₂'s endpoint for pair `(i, j)` under `root`.
-    pub fn for_pair(root: u64, i: u32, j: u32) -> Self {
-        let (seed_a, seed_b) = pair_ot_seeds(root, i, j);
+    /// Creates S₂'s endpoint for the chunk session `session` under
+    /// `root`.
+    pub fn for_chunk(root: u64, session: u64) -> Self {
+        let (seed_a, seed_b) = chunk_ot_seeds(root, session);
         let (_, receiver) = simulated_base_ots(seed_a);
         let (sender, _) = simulated_base_ots(seed_b);
         MgOfflineS2 {
-            stream: PairDealer::for_pair(root, i, j),
+            root,
             sender,
             receiver,
             stage: Stage::Idle,
@@ -432,17 +561,14 @@ impl MgOfflineS2 {
         }
     }
 
-    /// Step 1: draws the block's stream words (S₂ uses only its own
+    /// Step 1: draws the flight's stream words (S₂ uses only its own
     /// mask shares `x₂, y₂, z₂`) and returns its extension columns for
     /// direction A (choice bits `y₂, z₂, z₂, z₂` per MG).
-    pub fn ucols(&mut self, block: usize) -> Vec<u64> {
+    pub fn ucols(&mut self, flight: &[MgDraw]) -> Vec<u64> {
         advance(&mut self.stage, Stage::Idle, Stage::SentColumns);
-        assert!(block > 0, "empty offline block");
-        self.block = block;
-        self.words.resize(MG_WORDS * block, 0);
-        self.stream.fill_words(&mut self.words);
-        let mut choice = Vec::with_capacity(MG_MULTS_PER_DIR * block);
-        for g in 0..block {
+        self.block = draw_flight_words(self.root, flight, &mut self.words);
+        let mut choice = Vec::with_capacity(MG_MULTS_PER_DIR * self.block);
+        for g in 0..self.block {
             let w = &self.words[MG_WORDS * g..];
             choice.extend_from_slice(&[w[Y2], w[Z2], w[Z2], w[Z2]]);
         }
@@ -554,7 +680,7 @@ impl MgOfflineS2 {
     }
 
     /// Step 5: absorbs S₁'s final offset `c_w` and returns S₂'s
-    /// Multiplication-Group shares for the block.
+    /// Multiplication-Group shares for the flight, in plan order.
     pub fn groups(&mut self, c_w: &[u64]) -> Vec<MulGroupShare> {
         advance(&mut self.stage, Stage::Finishing, Stage::Idle);
         let block = self.block;
@@ -576,11 +702,40 @@ impl MgOfflineS2 {
     }
 }
 
-/// In-process driver of the per-pair MG offline protocol: runs both
-/// party machines back to back, checks the transcript digests, and
-/// tallies the offline ledger. The fast Count kernel and the sampled
-/// estimator use this; the message-passing runtime drives the same
-/// machines over its multiplexed links instead.
+/// The preprocessed Multiplication-Group material of one chunk: both
+/// servers' share vectors in plan order, sliceable per pair.
+#[derive(Debug, Clone)]
+pub struct MgChunkMaterial {
+    g1: Vec<MulGroupShare>,
+    g2: Vec<MulGroupShare>,
+    /// Prefix offsets: draw `idx` owns groups `offsets[idx]..offsets[idx+1]`.
+    offsets: Vec<usize>,
+}
+
+impl MgChunkMaterial {
+    /// Total Multiplication Groups in the chunk.
+    pub fn len(&self) -> usize {
+        self.g1.len()
+    }
+
+    /// True when the chunk preprocessed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.g1.is_empty()
+    }
+
+    /// Both servers' group slices for plan entry `idx`.
+    pub fn pair(&self, idx: usize) -> (&[MulGroupShare], &[MulGroupShare]) {
+        let range = self.offsets[idx]..self.offsets[idx + 1];
+        (&self.g1[range.clone()], &self.g2[range])
+    }
+}
+
+/// In-process driver of the chunk-amortised MG offline session: runs
+/// both party machines back to back flight by flight, checks the
+/// transcript digests, and tallies the offline ledger. The fast Count
+/// kernel and the sampled estimator use this; the message-passing
+/// runtime drives the same machines over its multiplexed links
+/// instead.
 #[derive(Debug, Clone)]
 pub struct OtMgEngine {
     s1: MgOfflineS1,
@@ -589,35 +744,51 @@ pub struct OtMgEngine {
 }
 
 impl OtMgEngine {
-    /// Creates the engine for pair `(i, j)` under `root`.
-    pub fn for_pair(root: u64, i: u32, j: u32) -> Self {
+    /// Creates the engine for the chunk session `session` under
+    /// `root` (the Count paths key sessions by scheduler chunk id).
+    pub fn for_chunk(root: u64, session: u64) -> Self {
         OtMgEngine {
-            s1: MgOfflineS1::for_pair(root, i, j),
-            s2: MgOfflineS2::for_pair(root, i, j),
+            s1: MgOfflineS1::for_chunk(root, session),
+            s2: MgOfflineS2::for_chunk(root, session),
             ledger: OfflineLedger::new(),
         }
     }
 
-    /// Produces the next `block` Multiplication Groups as the two
-    /// servers' share vectors — bit-identical to `block` consecutive
-    /// [`PairDealer::next_group_pair`] draws on the same stream.
-    pub fn next_groups(&mut self, block: usize) -> (Vec<MulGroupShare>, Vec<MulGroupShare>) {
-        let u1 = self.s1.ucols(block);
-        let u2 = self.s2.ucols(block);
-        let d_a = self.s1.corrections(&u2);
-        let d_b123 = self.s2.corrections(&u1);
-        let c_opq = self.s1.derand_opq(&d_b123);
-        self.s2.absorb_corrections(&d_a);
-        let d_b4 = self.s2.corrections_w(&c_opq);
-        let c_w = self.s1.derand_w(&d_b4);
-        let g2 = self.s2.groups(&c_w);
-        let g1 = self.s1.groups();
-        let wire_words =
-            u1.len() + u2.len() + d_a.len() + d_b123.len() + c_opq.len() + d_b4.len() + c_w.len();
-        let tally = mg_block_ledger(block as u64);
-        debug_assert_eq!(8 * wire_words as u64, tally.bytes, "ledger formula drifted");
-        self.ledger.merge(&tally);
-        (g1, g2)
+    /// Preprocesses a whole chunk plan in one amortised session —
+    /// [`plan_flights`] flights of the five-message dialogue — and
+    /// returns both servers' material, bit-identical to the same draws
+    /// from the pairs' [`PairDealer`] streams.
+    pub fn preprocess(&mut self, plan: &[MgDraw]) -> MgChunkMaterial {
+        let mut g1 = Vec::new();
+        let mut g2 = Vec::new();
+        for flight in plan_flights(plan) {
+            let flight = &plan[flight];
+            let u1 = self.s1.ucols(flight);
+            let u2 = self.s2.ucols(flight);
+            let d_a = self.s1.corrections(&u2);
+            let d_b123 = self.s2.corrections(&u1);
+            let c_opq = self.s1.derand_opq(&d_b123);
+            self.s2.absorb_corrections(&d_a);
+            let d_b4 = self.s2.corrections_w(&c_opq);
+            let c_w = self.s1.derand_w(&d_b4);
+            let f2 = self.s2.groups(&c_w);
+            let f1 = self.s1.groups();
+            let wire_words = u1.len()
+                + u2.len()
+                + d_a.len()
+                + d_b123.len()
+                + c_opq.len()
+                + d_b4.len()
+                + c_w.len();
+            let tally = mg_flight_ledger(f1.len() as u64);
+            debug_assert_eq!(8 * wire_words as u64, tally.bytes, "ledger formula drifted");
+            self.ledger.merge(&tally);
+            g1.extend(f1);
+            g2.extend(f2);
+        }
+        let offsets = plan_offsets(plan);
+        debug_assert_eq!(*offsets.last().expect("non-empty"), g1.len());
+        MgChunkMaterial { g1, g2, offsets }
     }
 
     /// The offline traffic this engine has generated so far (excludes
@@ -722,30 +893,51 @@ mod tests {
     use crate::share::reconstruct;
 
     #[test]
-    fn ot_groups_are_bit_identical_to_the_dealer_stream() {
-        // The headline property: the OT engine reproduces the trusted
-        // dealer's share pairs exactly — which requires every Gilboa
-        // multiplication to be correct (S₂'s shares are built from OT
-        // outputs, not from the stream).
-        for (i, j) in [(0u32, 1u32), (3, 7), (100, 2)] {
-            let mut dealer = PairDealer::for_pair(42, i, j);
-            let mut engine = OtMgEngine::for_pair(42, i, j);
-            for block in [1usize, 3, 8] {
-                let (g1s, g2s) = engine.next_groups(block);
-                for (g1, g2) in g1s.iter().zip(&g2s) {
-                    let (d1, d2) = dealer.next_group_pair();
-                    assert_eq!(*g1, d1, "S1 pair ({i},{j}) block {block}");
-                    assert_eq!(*g2, d2, "S2 pair ({i},{j}) block {block}");
-                }
+    fn ot_groups_are_bit_identical_to_the_dealer_streams() {
+        // The headline property: the chunk engine reproduces the
+        // trusted dealer's share pairs exactly for every pair in the
+        // plan — which requires every Gilboa multiplication to be
+        // correct (S₂'s shares are built from OT outputs, not from the
+        // stream).
+        let plan = [
+            MgDraw { i: 0, j: 1, groups: 3 },
+            MgDraw { i: 3, j: 7, groups: 1 },
+            MgDraw { i: 100, j: 2, groups: 8 },
+        ];
+        let mut engine = OtMgEngine::for_chunk(42, 9);
+        let material = engine.preprocess(&plan);
+        assert_eq!(material.len(), 12);
+        assert!(!material.is_empty());
+        for (idx, d) in plan.iter().enumerate() {
+            let (g1s, g2s) = material.pair(idx);
+            let mut dealer = PairDealer::for_pair(42, d.i, d.j);
+            for (k, (g1, g2)) in g1s.iter().zip(g2s).enumerate() {
+                let (d1, d2) = dealer.next_group_pair();
+                assert_eq!(*g1, d1, "S1 pair ({},{}) group {k}", d.i, d.j);
+                assert_eq!(*g2, d2, "S2 pair ({},{}) group {k}", d.i, d.j);
             }
         }
     }
 
     #[test]
+    fn session_keying_does_not_leak_into_the_shares() {
+        // Different session ids (as different chunk partitions would
+        // produce) must still derandomise onto the same canonical
+        // streams — the reason the offline ledger can amortise by
+        // chunk while the shares stay schedule-invariant.
+        let plan = [MgDraw { i: 2, j: 5, groups: 4 }];
+        let a = OtMgEngine::for_chunk(7, 0).preprocess(&plan);
+        let b = OtMgEngine::for_chunk(7, 31).preprocess(&plan);
+        assert_eq!(a.pair(0), b.pair(0));
+    }
+
+    #[test]
     fn ot_groups_satisfy_all_product_relations() {
-        let mut engine = OtMgEngine::for_pair(7, 1, 2);
-        let (g1s, g2s) = engine.next_groups(16);
-        for (m1, m2) in g1s.iter().zip(&g2s) {
+        let plan = [MgDraw { i: 1, j: 2, groups: 16 }];
+        let mut engine = OtMgEngine::for_chunk(7, 0);
+        let material = engine.preprocess(&plan);
+        let (g1s, g2s) = material.pair(0);
+        for (m1, m2) in g1s.iter().zip(g2s) {
             let x = reconstruct(m1.x, m2.x);
             let y = reconstruct(m1.y, m2.y);
             let z = reconstruct(m1.z, m2.z);
@@ -758,17 +950,66 @@ mod tests {
 
     #[test]
     fn ledger_matches_the_pinned_formula() {
-        let mut engine = OtMgEngine::for_pair(1, 0, 1);
-        engine.next_groups(4);
-        engine.next_groups(1);
+        // 5 groups across 2 pairs fit one flight: ONE digest pair, ONE
+        // five-round dialogue — the amortisation the per-pair engine
+        // could not offer.
+        let plan = [
+            MgDraw { i: 0, j: 1, groups: 4 },
+            MgDraw { i: 0, j: 2, groups: 1 },
+        ];
+        let mut engine = OtMgEngine::for_chunk(1, 0);
+        engine.preprocess(&plan);
         let l = engine.ledger();
         assert_eq!(l.extended_ots, 512 * 5);
-        assert_eq!(l.bytes, MG_OFFLINE_BYTES_PER_GROUP * 5 + 2 * MG_BLOCK_DIGEST_BYTES);
-        assert_eq!(l.rounds, 2 * MG_BLOCK_ROUNDS);
+        assert_eq!(l.bytes, MG_OFFLINE_BYTES_PER_GROUP * 5 + MG_FLIGHT_DIGEST_BYTES);
+        assert_eq!(l.rounds, MG_FLIGHT_ROUNDS);
         assert_eq!(l.base_ots, 0, "base OTs are a per-run setup cost");
+        assert_eq!(l, chunk_offline_ledger(&plan), "closed form agrees");
         let setup = ot_setup_ledger();
         assert_eq!(setup.base_ots, 256);
         assert_eq!(setup.bytes, 256 * BASE_OT_BYTES);
+    }
+
+    #[test]
+    fn oversized_plans_split_into_flights_at_pair_boundaries() {
+        let plan = [
+            MgDraw { i: 0, j: 1, groups: 300 },
+            MgDraw { i: 0, j: 2, groups: 200 },
+            MgDraw { i: 0, j: 3, groups: 600 }, // alone over the cap
+            MgDraw { i: 0, j: 4, groups: 5 },
+        ];
+        let flights = plan_flights(&plan);
+        assert_eq!(flights, vec![0..2, 2..3, 3..4]);
+        let ledger = chunk_offline_ledger(&plan);
+        assert_eq!(ledger.rounds, 3 * MG_FLIGHT_ROUNDS);
+        assert_eq!(
+            ledger.bytes,
+            MG_OFFLINE_BYTES_PER_GROUP * 1105 + 3 * MG_FLIGHT_DIGEST_BYTES
+        );
+        assert_eq!(ledger.extended_ots, 512 * 1105);
+    }
+
+    #[test]
+    fn flight_split_does_not_change_the_material() {
+        // A plan big enough to split must yield the same shares as the
+        // same draws in separate small sessions.
+        let big = [
+            MgDraw { i: 1, j: 2, groups: 1500 },
+            MgDraw { i: 1, j: 3, groups: 1500 },
+        ];
+        let mut engine = OtMgEngine::for_chunk(5, 2);
+        let material = engine.preprocess(&big);
+        assert_eq!(engine.ledger().rounds, 2 * MG_FLIGHT_ROUNDS, "two flights");
+        for (idx, d) in big.iter().enumerate() {
+            let mut dealer = PairDealer::for_pair(5, d.i, d.j);
+            let (g1s, g2s) = material.pair(idx);
+            assert_eq!(g1s.len(), 1500);
+            for (g1, g2) in g1s.iter().zip(g2s) {
+                let (d1, d2) = dealer.next_group_pair();
+                assert_eq!(*g1, d1);
+                assert_eq!(*g2, d2);
+            }
+        }
     }
 
     #[test]
@@ -787,7 +1028,7 @@ mod tests {
         assert_eq!(engine.ledger().extended_ots, 128 * 8);
         assert_eq!(
             engine.ledger().bytes,
-            BEAVER_OFFLINE_BYTES_PER_TRIPLE * 8 + MG_BLOCK_DIGEST_BYTES
+            BEAVER_OFFLINE_BYTES_PER_TRIPLE * 8 + MG_FLIGHT_DIGEST_BYTES
         );
     }
 
@@ -796,14 +1037,20 @@ mod tests {
         // Simulate the runtime's message-passing shape: every value
         // that crosses between the machines goes through an explicit
         // "wire" Vec, proving the API carries everything each side
-        // needs.
-        let (root, i, j) = (0xFEED, 2u32, 9u32);
-        let mut s1 = MgOfflineS1::for_pair(root, i, j);
-        let mut s2 = MgOfflineS2::for_pair(root, i, j);
-        let mut dealer = PairDealer::for_pair(root, i, j);
-        for block in [2usize, 5] {
-            let wire_u1: Vec<u64> = s1.ucols(block);
-            let wire_u2: Vec<u64> = s2.ucols(block);
+        // needs — across consecutive flights of one session.
+        let root = 0xFEED;
+        let mut s1 = MgOfflineS1::for_chunk(root, 3);
+        let mut s2 = MgOfflineS2::for_chunk(root, 3);
+        let flights = [
+            vec![MgDraw { i: 2, j: 9, groups: 2 }],
+            vec![
+                MgDraw { i: 2, j: 10, groups: 3 },
+                MgDraw { i: 2, j: 11, groups: 2 },
+            ],
+        ];
+        for flight in &flights {
+            let wire_u1: Vec<u64> = s1.ucols(flight);
+            let wire_u2: Vec<u64> = s2.ucols(flight);
             let wire_da: Vec<u64> = s1.corrections(&wire_u2);
             let wire_db: Vec<u64> = s2.corrections(&wire_u1);
             let wire_copq: Vec<u64> = s1.derand_opq(&wire_db);
@@ -812,10 +1059,15 @@ mod tests {
             let wire_cw: Vec<u64> = s1.derand_w(&wire_db4);
             let g2 = s2.groups(&wire_cw);
             let g1 = s1.groups();
-            for k in 0..block {
-                let (d1, d2) = dealer.next_group_pair();
-                assert_eq!(g1[k], d1, "block {block} group {k}");
-                assert_eq!(g2[k], d2, "block {block} group {k}");
+            let mut at = 0usize;
+            for d in flight {
+                let mut dealer = PairDealer::for_pair(root, d.i, d.j);
+                for k in 0..d.groups as usize {
+                    let (d1, d2) = dealer.next_group_pair();
+                    assert_eq!(g1[at], d1, "pair ({},{}) group {k}", d.i, d.j);
+                    assert_eq!(g2[at], d2, "pair ({},{}) group {k}", d.i, d.j);
+                    at += 1;
+                }
             }
         }
     }
@@ -823,22 +1075,29 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of lockstep")]
     fn out_of_order_calls_panic() {
-        let mut s1 = MgOfflineS1::for_pair(1, 0, 1);
+        let mut s1 = MgOfflineS1::for_chunk(1, 0);
         s1.corrections(&[0u64; OT_KAPPA * 4]);
     }
 
     #[test]
     #[should_panic(expected = "consistency hash")]
     fn tampered_transcript_is_detected() {
-        let mut s1 = MgOfflineS1::for_pair(3, 0, 1);
-        let mut s2 = MgOfflineS2::for_pair(3, 0, 1);
-        let u1 = s1.ucols(1);
-        let u2 = s2.ucols(1);
+        let flight = [MgDraw { i: 0, j: 1, groups: 1 }];
+        let mut s1 = MgOfflineS1::for_chunk(3, 0);
+        let mut s2 = MgOfflineS2::for_chunk(3, 0);
+        let u1 = s1.ucols(&flight);
+        let u2 = s2.ucols(&flight);
         let _ = s1.corrections(&u2);
         let mut tampered = u1.clone();
         tampered[0] ^= 1;
         let db = s2.corrections(&tampered);
         let _ = s1.derand_opq(&db); // digest of tampered ≠ digest of sent
+    }
+
+    #[test]
+    #[should_panic(expected = "empty draw")]
+    fn zero_group_draws_are_rejected() {
+        plan_flights(&[MgDraw { i: 0, j: 1, groups: 0 }]);
     }
 
     #[test]

@@ -239,6 +239,15 @@ impl RecvBatch {
     }
 }
 
+/// Internal slab width (in 64-OT words) for the extension passes:
+/// batches are expanded, transposed, and hashed `EXT_SLAB_WORDS` words
+/// at a time so the working set (κ columns of a slab plus its
+/// transposed rows, ~200 KB) stays cache-resident however large the
+/// amortised flight is. Pure compute scheduling — the wire messages,
+/// per-seed streams, and hash tweaks are identical to a single pass
+/// over the whole batch.
+const EXT_SLAB_WORDS: usize = 64;
+
 impl CotReceiver {
     /// Runs one extension batch over the packed `choice` bits
     /// (`m = 64 · choice.len()` extended OTs): returns the local batch
@@ -246,25 +255,29 @@ impl CotReceiver {
     /// `OT_KAPPA · choice.len()` words).
     pub fn extend(&mut self, choice: &[u64]) -> (RecvBatch, Vec<u64>) {
         let words = choice.len();
-        let mut t_cols = vec![0u64; OT_KAPPA * words];
         let mut u_cols = vec![0u64; OT_KAPPA * words];
-        let mut g1 = vec![0u64; words];
-        for i in 0..OT_KAPPA {
-            let t = &mut t_cols[i * words..(i + 1) * words];
-            self.seeds0[i].fill_block(t);
-            self.seeds1[i].fill_block(&mut g1);
-            for b in 0..words {
-                u_cols[i * words + b] = t[b] ^ g1[b] ^ choice[b];
+        let mut hashed = vec![0u64; 64 * words];
+        let mut t_slab = vec![0u64; OT_KAPPA * EXT_SLAB_WORDS];
+        let mut g1 = vec![0u64; EXT_SLAB_WORDS];
+        let base = self.tweak;
+        self.tweak += (64 * words) as u64;
+        for (s, chunk) in choice.chunks(EXT_SLAB_WORDS).enumerate() {
+            let off = s * EXT_SLAB_WORDS;
+            let w = chunk.len();
+            for i in 0..OT_KAPPA {
+                let t = &mut t_slab[i * w..(i + 1) * w];
+                self.seeds0[i].fill_block(t);
+                self.seeds1[i].fill_block(&mut g1[..w]);
+                for b in 0..w {
+                    u_cols[i * words + off + b] = t[b] ^ g1[b] ^ chunk[b];
+                }
+            }
+            let rows = cols_to_rows(&t_slab[..OT_KAPPA * w], w);
+            for (j, &r) in rows.iter().enumerate() {
+                let global = (64 * off + j) as u64;
+                hashed[64 * off + j] = cr_hash(base + global, r);
             }
         }
-        let rows = cols_to_rows(&t_cols, words);
-        let base = self.tweak;
-        self.tweak += rows.len() as u64;
-        let hashed = rows
-            .iter()
-            .enumerate()
-            .map(|(j, &r)| cr_hash(base + j as u64, r))
-            .collect();
         (
             RecvBatch {
                 hashed,
@@ -321,25 +334,31 @@ impl CotSender {
     pub fn absorb(&mut self, u_cols: &[u64]) -> SendBatch {
         assert_eq!(u_cols.len() % OT_KAPPA, 0, "u message must be κ columns");
         let words = u_cols.len() / OT_KAPPA;
-        let mut q_cols = vec![0u64; OT_KAPPA * words];
-        for i in 0..OT_KAPPA {
-            let q = &mut q_cols[i * words..(i + 1) * words];
-            self.seeds[i].fill_block(q);
-            if (self.delta[i / 64] >> (i % 64)) & 1 == 1 {
-                for b in 0..words {
-                    q[b] ^= u_cols[i * words + b];
+        let mut m0 = vec![0u64; 64 * words];
+        let mut pad1 = vec![0u64; 64 * words];
+        let mut q_slab = vec![0u64; OT_KAPPA * EXT_SLAB_WORDS];
+        let base = self.tweak;
+        self.tweak += (64 * words) as u64;
+        let mut off = 0usize;
+        while off < words {
+            let w = (words - off).min(EXT_SLAB_WORDS);
+            for i in 0..OT_KAPPA {
+                let q = &mut q_slab[i * w..(i + 1) * w];
+                self.seeds[i].fill_block(q);
+                if (self.delta[i / 64] >> (i % 64)) & 1 == 1 {
+                    for b in 0..w {
+                        q[b] ^= u_cols[i * words + off + b];
+                    }
                 }
             }
-        }
-        let rows = cols_to_rows(&q_cols, words);
-        let base = self.tweak;
-        self.tweak += rows.len() as u64;
-        let mut m0 = Vec::with_capacity(rows.len());
-        let mut pad1 = Vec::with_capacity(rows.len());
-        for (j, &q_j) in rows.iter().enumerate() {
-            let t = base + j as u64;
-            m0.push(cr_hash(t, q_j));
-            pad1.push(cr_hash(t, [q_j[0] ^ self.delta[0], q_j[1] ^ self.delta[1]]));
+            let rows = cols_to_rows(&q_slab[..OT_KAPPA * w], w);
+            for (j, &q_j) in rows.iter().enumerate() {
+                let global = 64 * off + j;
+                let t = base + global as u64;
+                m0[global] = cr_hash(t, q_j);
+                pad1[global] = cr_hash(t, [q_j[0] ^ self.delta[0], q_j[1] ^ self.delta[1]]);
+            }
+            off += w;
         }
         SendBatch { m0, pad1 }
     }

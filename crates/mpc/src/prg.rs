@@ -13,6 +13,16 @@
 
 use crate::ring::Ring64;
 
+/// The SplitMix64 counter increment ("gamma"). `pub(crate)`: the fused
+/// batch kernel ([`crate::triple_mul::mul3_batch_stream`]) re-derives
+/// this stream in closed counter form and must share these exact
+/// constants.
+pub(crate) const SM_GAMMA: u64 = 0x9E3779B97F4A7C15;
+/// First finaliser multiplier of the SplitMix64 mix.
+pub(crate) const SM_M1: u64 = 0xBF58476D1CE4E5B9;
+/// Second finaliser multiplier of the SplitMix64 mix.
+pub(crate) const SM_M2: u64 = 0x94D049BB133111EB;
+
 /// SplitMix64 PRG (Steele, Lea, Flood 2014).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SplitMix64 {
@@ -28,10 +38,10 @@ impl SplitMix64 {
     /// Next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        self.state = self.state.wrapping_add(SM_GAMMA);
         let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z = (z ^ (z >> 30)).wrapping_mul(SM_M1);
+        z = (z ^ (z >> 27)).wrapping_mul(SM_M2);
         z ^ (z >> 31)
     }
 
@@ -51,15 +61,31 @@ impl SplitMix64 {
     /// vectorise the mixing function.
     #[inline]
     pub fn fill_block(&mut self, out: &mut [u64]) {
-        const GAMMA: u64 = 0x9E3779B97F4A7C15;
         let base = self.state;
         for (k, slot) in out.iter_mut().enumerate() {
-            let mut z = base.wrapping_add(GAMMA.wrapping_mul(k as u64 + 1));
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            let mut z = base.wrapping_add(SM_GAMMA.wrapping_mul(k as u64 + 1));
+            z = (z ^ (z >> 30)).wrapping_mul(SM_M1);
+            z = (z ^ (z >> 27)).wrapping_mul(SM_M2);
             *slot = z ^ (z >> 31);
         }
-        self.state = base.wrapping_add(GAMMA.wrapping_mul(out.len() as u64));
+        self.state = base.wrapping_add(SM_GAMMA.wrapping_mul(out.len() as u64));
+    }
+
+    /// The raw counter state, for kernels that expand the stream in
+    /// closed counter form (output `k` is a pure function of
+    /// `state + (k+1)·gamma` — see [`Self::fill_block`]). Pair with
+    /// [`Self::skip`] to advance past the words so produced.
+    #[inline]
+    pub(crate) fn state_raw(&self) -> u64 {
+        self.state
+    }
+
+    /// Advances the stream past `words` outputs without computing
+    /// them — exactly the state [`Self::fill_block`] would leave
+    /// behind for a buffer of that length.
+    #[inline]
+    pub(crate) fn skip(&mut self, words: usize) {
+        self.state = self.state.wrapping_add(SM_GAMMA.wrapping_mul(words as u64));
     }
 
     /// Derives an independent child generator (seed-splitting for the

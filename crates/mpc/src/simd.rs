@@ -1,0 +1,213 @@
+//! Portable fixed-width `u64` lane helpers for the batched MG kernel.
+//!
+//! The hot Count kernel evaluates one Multiplication Group per triple
+//! — ~20 wrapping `u64` multiplications and as many additions. Done one
+//! scalar at a time the compiler has little room to schedule; done over
+//! a structure-of-arrays batch it can keep several independent lanes in
+//! flight (and, where the target supports 64-bit vector multiplies,
+//! auto-vectorise outright). This module provides the lane type that
+//! batch kernel ([`crate::triple_mul::mul3_batch`]) is written in:
+//! a plain fixed-width array of `u64` with wrapping lane-wise
+//! arithmetic — **no nightly features, no intrinsics, no `unsafe`** —
+//! unrolled ×4 or ×8 through the [`U64x4`]/[`U64x8`] aliases.
+//!
+//! All arithmetic is wrapping (the ring `Z_{2^64}`), matching
+//! [`crate::Ring64`]; the operator impls exist so kernel code reads
+//! like the scalar protocol arithmetic it must stay bit-identical to.
+
+use std::ops::{Add, BitXor, Mul, Shr, Sub};
+
+/// Lane width of the default batch kernel (`u64x8`: one AVX-512
+/// register, two AVX2 registers, or eight scalar registers — all of
+/// which the unrolled loop body schedules well on).
+pub const LANES: usize = 8;
+
+/// A fixed-width vector of `N` ring elements with wrapping lane-wise
+/// arithmetic.
+///
+/// ```
+/// use cargo_mpc::simd::U64x4;
+/// let a = U64x4::load(&[1, 2, 3, u64::MAX]);
+/// let b = U64x4::splat(1);
+/// assert_eq!((a + b).0, [2, 3, 4, 0]); // wrapping, like Ring64
+/// assert_eq!((a * b).hsum(), 1u64.wrapping_add(2).wrapping_add(3).wrapping_add(u64::MAX));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct U64xN<const N: usize>(pub [u64; N]);
+
+/// Four-lane vector (×4 unroll).
+pub type U64x4 = U64xN<4>;
+/// Eight-lane vector (×8 unroll — the batch kernel's default width).
+pub type U64x8 = U64xN<8>;
+
+impl<const N: usize> U64xN<N> {
+    /// All-zero lanes.
+    pub const ZERO: Self = U64xN([0; N]);
+
+    /// Broadcasts one value to every lane.
+    #[inline(always)]
+    pub fn splat(v: u64) -> Self {
+        U64xN([v; N])
+    }
+
+    /// Loads `N` consecutive values from the front of `src`.
+    ///
+    /// # Panics
+    /// Panics if `src` holds fewer than `N` values.
+    #[inline(always)]
+    pub fn load(src: &[u64]) -> Self {
+        let mut out = [0u64; N];
+        out.copy_from_slice(&src[..N]);
+        U64xN(out)
+    }
+
+    /// Strided gather: lane `l` is `src[offset + l·STRIDE]` — how the
+    /// kernel de-interleaves one field from AoS dealer words
+    /// (`STRIDE = `[`crate::MG_WORDS`]).
+    ///
+    /// # Panics
+    /// Panics if the last lane's index is out of bounds.
+    #[inline(always)]
+    pub fn gather<const STRIDE: usize>(src: &[u64], offset: usize) -> Self {
+        let mut out = [0u64; N];
+        for (l, slot) in out.iter_mut().enumerate() {
+            *slot = src[offset + l * STRIDE];
+        }
+        U64xN(out)
+    }
+
+    /// Stores the lanes to the front of `dst`.
+    ///
+    /// # Panics
+    /// Panics if `dst` holds fewer than `N` slots.
+    #[inline(always)]
+    pub fn store(self, dst: &mut [u64]) {
+        dst[..N].copy_from_slice(&self.0);
+    }
+
+    /// Wrapping horizontal sum of all lanes (order-independent in
+    /// `Z_{2^64}`, so reductions stay bit-identical to any scalar
+    /// accumulation order).
+    #[inline(always)]
+    pub fn hsum(self) -> u64 {
+        self.0.iter().fold(0u64, |acc, &v| acc.wrapping_add(v))
+    }
+}
+
+impl<const N: usize> Add for U64xN<N> {
+    type Output = Self;
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for (o, r) in out.iter_mut().zip(&rhs.0) {
+            *o = o.wrapping_add(*r);
+        }
+        U64xN(out)
+    }
+}
+
+impl<const N: usize> Sub for U64xN<N> {
+    type Output = Self;
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for (o, r) in out.iter_mut().zip(&rhs.0) {
+            *o = o.wrapping_sub(*r);
+        }
+        U64xN(out)
+    }
+}
+
+impl<const N: usize> Mul for U64xN<N> {
+    type Output = Self;
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for (o, r) in out.iter_mut().zip(&rhs.0) {
+            *o = o.wrapping_mul(*r);
+        }
+        U64xN(out)
+    }
+}
+
+impl<const N: usize> BitXor for U64xN<N> {
+    type Output = Self;
+    #[inline(always)]
+    fn bitxor(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for (o, r) in out.iter_mut().zip(&rhs.0) {
+            *o ^= *r;
+        }
+        U64xN(out)
+    }
+}
+
+impl<const N: usize> Shr<u32> for U64xN<N> {
+    type Output = Self;
+    #[inline(always)]
+    fn shr(self, rhs: u32) -> Self {
+        let mut out = self.0;
+        for o in out.iter_mut() {
+            *o >>= rhs;
+        }
+        U64xN(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_arithmetic_wraps_like_the_ring() {
+        let a = U64x8::splat(u64::MAX);
+        let b = U64x8::splat(2);
+        assert_eq!((a + b).0, [1; 8]);
+        assert_eq!((b - a).0, [3; 8]);
+        assert_eq!((a * b).0, [u64::MAX.wrapping_mul(2); 8]);
+    }
+
+    #[test]
+    fn gather_follows_the_stride() {
+        let src: Vec<u64> = (0..40).collect();
+        let v = U64x4::gather::<10>(&src, 3);
+        assert_eq!(v.0, [3, 13, 23, 33]);
+    }
+
+    #[test]
+    fn load_store_round_trip() {
+        let src = [5u64, 6, 7, 8, 9, 10, 11, 12, 99];
+        let v = U64x8::load(&src);
+        let mut dst = [0u64; 9];
+        v.store(&mut dst);
+        assert_eq!(&dst[..8], &src[..8]);
+        assert_eq!(dst[8], 0, "store writes exactly N lanes");
+    }
+
+    #[test]
+    fn hsum_is_wrapping_and_order_independent() {
+        let v = U64x4::load(&[u64::MAX, 1, u64::MAX, 3]);
+        let want = u64::MAX
+            .wrapping_add(1)
+            .wrapping_add(u64::MAX)
+            .wrapping_add(3);
+        assert_eq!(v.hsum(), want);
+        // Reversed lanes, same sum.
+        let r = U64x4::load(&[3, u64::MAX, 1, u64::MAX]);
+        assert_eq!(r.hsum(), want);
+    }
+
+    #[test]
+    fn splat_fills_all_lanes() {
+        assert_eq!(U64x4::splat(7).0, [7; 4]);
+        assert_eq!(U64x8::ZERO.0, [0; 8]);
+    }
+
+    #[test]
+    fn xor_and_shift_are_lane_wise() {
+        let a = U64x4::load(&[0b1100, 0b1010, u64::MAX, 1]);
+        let b = U64x4::splat(0b1001);
+        assert_eq!((a ^ b).0, [0b0101, 0b0011, u64::MAX ^ 0b1001, 0b1000]);
+        assert_eq!((a >> 2).0, [0b11, 0b10, u64::MAX >> 2, 0]);
+    }
+}

@@ -19,7 +19,11 @@
 //! `w + xyg + xzf + yze + xfg + yeg + zef + efg = (x+e)(y+f)(z+g) = abc`.
 
 use crate::channel::NetStats;
+use crate::dealer::MG_WORDS;
+use crate::prg::{SplitMix64, SM_GAMMA, SM_M1, SM_M2};
 use crate::ring::Ring64;
+use crate::simd::{U64x8, LANES};
+use crate::ServerId;
 
 /// One server's share of a Multiplication Group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,6 +107,373 @@ pub fn mul3(
     (d1, d2)
 }
 
+/// Batched, fused form of [`mul3`] over raw dealer words — the hot
+/// kernel of the fast secure count (`CountKernel::Bitsliced`).
+///
+/// Evaluates `L` consecutive Multiplication-Group protocols in
+/// structure-of-arrays passes of [`LANES`] lanes: `words` holds the
+/// `L·`[`MG_WORDS`] AoS dealer words exactly as
+/// [`crate::PairDealer::fill_words`] emits them, `a` is the
+/// reconstructed first secret (fixed across the batch — `a_ij` in the
+/// Count phase), and `b`/`c` hold the reconstructed second/third
+/// secrets per lane. Returns the wrapping partial sums
+/// `(Σ⟨d⟩₁, Σ⟨d⟩₂)` over the batch.
+///
+/// This is the *simulation-fused* kernel: like the scalar fast path it
+/// evaluates both servers' arithmetic in one loop, so the opened
+/// maskings collapse algebraically (`f = ⟨f⟩₁+⟨f⟩₂ = b − y`) and the
+/// per-share PRF terms cancel — which is precisely why it is faster,
+/// while every produced share stays **bit-identical** to the scalar
+/// transcription (wrapping sums are order-independent). The kernel
+/// equivalence suite pins this against [`mul3`] per triple.
+///
+/// # Panics
+/// Panics if the slab lengths disagree (`words.len() ≠ MG_WORDS·L`).
+pub fn mul3_batch(words: &[u64], a: u64, b: &[u64], c: &[u64]) -> (u64, u64) {
+    let l = b.len();
+    assert_eq!(words.len(), MG_WORDS * l, "AoS word slab length");
+    assert_eq!(c.len(), l, "b/c slab lengths");
+    let av = U64x8::splat(a);
+    let mut acc1 = U64x8::ZERO;
+    let mut acc2 = U64x8::ZERO;
+    let full = l / LANES;
+    for lane0 in (0..full * LANES).step_by(LANES) {
+        let base = MG_WORDS * lane0;
+        let x1 = U64x8::gather::<MG_WORDS>(words, base);
+        let x2 = U64x8::gather::<MG_WORDS>(words, base + 1);
+        let y1 = U64x8::gather::<MG_WORDS>(words, base + 2);
+        let y2 = U64x8::gather::<MG_WORDS>(words, base + 3);
+        let z1 = U64x8::gather::<MG_WORDS>(words, base + 4);
+        let z2 = U64x8::gather::<MG_WORDS>(words, base + 5);
+        let o1 = U64x8::gather::<MG_WORDS>(words, base + 6);
+        let p1 = U64x8::gather::<MG_WORDS>(words, base + 7);
+        let q1 = U64x8::gather::<MG_WORDS>(words, base + 8);
+        let w1 = U64x8::gather::<MG_WORDS>(words, base + 9);
+        let x = x1 + x2;
+        let y = y1 + y2;
+        let z = z1 + z2;
+        let o = x * y;
+        let p = x * z;
+        let q = y * z;
+        let wv = o * z;
+        let e = av - x;
+        let f = U64x8::load(&b[lane0..]) - y;
+        let g = U64x8::load(&c[lane0..]) - z;
+        let fg = f * g;
+        let eg = e * g;
+        let ef = e * f;
+        acc1 = acc1 + w1 + o1 * g + p1 * f + q1 * e + x1 * fg + y1 * eg + z1 * ef;
+        acc2 = acc2
+            + (wv - w1)
+            + (o - o1) * g
+            + (p - p1) * f
+            + (q - q1) * e
+            + x2 * fg
+            + y2 * eg
+            + z2 * ef
+            + ef * g;
+    }
+    let mut t1 = acc1.hsum();
+    let mut t2 = acc2.hsum();
+    // Scalar tail (< LANES lanes), same formulas.
+    for lane in full * LANES..l {
+        let w = &words[MG_WORDS * lane..MG_WORDS * (lane + 1)];
+        let (x1, x2, y1, y2, z1, z2, o1, p1, q1, w1) =
+            (w[0], w[1], w[2], w[3], w[4], w[5], w[6], w[7], w[8], w[9]);
+        let x = x1.wrapping_add(x2);
+        let y = y1.wrapping_add(y2);
+        let z = z1.wrapping_add(z2);
+        let o = x.wrapping_mul(y);
+        let p = x.wrapping_mul(z);
+        let q = y.wrapping_mul(z);
+        let wv = o.wrapping_mul(z);
+        let e = a.wrapping_sub(x);
+        let f = b[lane].wrapping_sub(y);
+        let g = c[lane].wrapping_sub(z);
+        let fg = f.wrapping_mul(g);
+        let eg = e.wrapping_mul(g);
+        let ef = e.wrapping_mul(f);
+        t1 = t1
+            .wrapping_add(w1)
+            .wrapping_add(o1.wrapping_mul(g))
+            .wrapping_add(p1.wrapping_mul(f))
+            .wrapping_add(q1.wrapping_mul(e))
+            .wrapping_add(x1.wrapping_mul(fg))
+            .wrapping_add(y1.wrapping_mul(eg))
+            .wrapping_add(z1.wrapping_mul(ef));
+        t2 = t2
+            .wrapping_add(wv.wrapping_sub(w1))
+            .wrapping_add(o.wrapping_sub(o1).wrapping_mul(g))
+            .wrapping_add(p.wrapping_sub(p1).wrapping_mul(f))
+            .wrapping_add(q.wrapping_sub(q1).wrapping_mul(e))
+            .wrapping_add(x2.wrapping_mul(fg))
+            .wrapping_add(y2.wrapping_mul(eg))
+            .wrapping_add(z2.wrapping_mul(ef))
+            .wrapping_add(ef.wrapping_mul(g));
+    }
+    (t1, t2)
+}
+
+/// Lane-wise SplitMix64 finaliser: `mix8(s)` equals
+/// [`SplitMix64::next_u64`]'s output for counter value `s`, per lane.
+#[inline(always)]
+fn mix8(s: U64x8) -> U64x8 {
+    let z = (s ^ (s >> 30)) * U64x8::splat(SM_M1);
+    let z = (z ^ (z >> 27)) * U64x8::splat(SM_M2);
+    z ^ (z >> 31)
+}
+
+/// Scalar SplitMix64 word at counter offset `k` from `state` — the
+/// closed form of [`SplitMix64::fill_block`]'s `k`-th output.
+#[inline(always)]
+fn sm_word(state: u64, k: u64) -> u64 {
+    let mut z = state.wrapping_add(SM_GAMMA.wrapping_mul(k + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(SM_M1);
+    z = (z ^ (z >> 27)).wrapping_mul(SM_M2);
+    z ^ (z >> 31)
+}
+
+/// The fused kernel body: expands the dealer words *inside* the SoA
+/// loop (SplitMix64 is counter-based, so every word is an independent
+/// function of `state`) and runs the MG arithmetic on them in
+/// registers — no AoS buffer, no strided re-loads. `#[inline(always)]`
+/// so each ISA-dispatch wrapper compiles its own copy with its vector
+/// features enabled.
+#[inline(always)]
+fn mul3_batch_prg_body(state: u64, a: u64, b: &[u64], c: &[u64]) -> (u64, u64) {
+    let l = b.len();
+    assert_eq!(c.len(), l, "b/c slab lengths");
+    let av = U64x8::splat(a);
+    let mut acc1 = U64x8::ZERO;
+    let mut acc2 = U64x8::ZERO;
+    let full = l / LANES;
+    // Lane `i` of a group starting at `lane0` draws its field-`f`
+    // word at stream offset `MG_WORDS·(lane0 + i) + f`.
+    let lane_off = {
+        let mut o = [0u64; LANES];
+        for (i, slot) in o.iter_mut().enumerate() {
+            *slot = SM_GAMMA.wrapping_mul((MG_WORDS * i) as u64);
+        }
+        crate::simd::U64xN(o)
+    };
+    for g in 0..full {
+        let lane0 = g * LANES;
+        let base = state.wrapping_add(SM_GAMMA.wrapping_mul((MG_WORDS * lane0) as u64));
+        let field = |f: u64| -> U64x8 {
+            mix8(U64x8::splat(base.wrapping_add(SM_GAMMA.wrapping_mul(f + 1))) + lane_off)
+        };
+        let x1 = field(0);
+        let x2 = field(1);
+        let y1 = field(2);
+        let y2 = field(3);
+        let z1 = field(4);
+        let z2 = field(5);
+        let o1 = field(6);
+        let p1 = field(7);
+        let q1 = field(8);
+        let w1 = field(9);
+        let x = x1 + x2;
+        let y = y1 + y2;
+        let z = z1 + z2;
+        let o = x * y;
+        let p = x * z;
+        let q = y * z;
+        let wv = o * z;
+        let e = av - x;
+        let f = U64x8::load(&b[lane0..]) - y;
+        let gg = U64x8::load(&c[lane0..]) - z;
+        let fg = f * gg;
+        let eg = e * gg;
+        let ef = e * f;
+        acc1 = acc1 + w1 + o1 * gg + p1 * f + q1 * e + x1 * fg + y1 * eg + z1 * ef;
+        acc2 = acc2
+            + (wv - w1)
+            + (o - o1) * gg
+            + (p - p1) * f
+            + (q - q1) * e
+            + x2 * fg
+            + y2 * eg
+            + z2 * ef
+            + ef * gg;
+    }
+    let mut t1 = acc1.hsum();
+    let mut t2 = acc2.hsum();
+    // Scalar tail (< LANES lanes), same closed-form words.
+    for lane in full * LANES..l {
+        let base_k = (MG_WORDS * lane) as u64;
+        let x1 = sm_word(state, base_k);
+        let x2 = sm_word(state, base_k + 1);
+        let y1 = sm_word(state, base_k + 2);
+        let y2 = sm_word(state, base_k + 3);
+        let z1 = sm_word(state, base_k + 4);
+        let z2 = sm_word(state, base_k + 5);
+        let o1 = sm_word(state, base_k + 6);
+        let p1 = sm_word(state, base_k + 7);
+        let q1 = sm_word(state, base_k + 8);
+        let w1 = sm_word(state, base_k + 9);
+        let x = x1.wrapping_add(x2);
+        let y = y1.wrapping_add(y2);
+        let z = z1.wrapping_add(z2);
+        let o = x.wrapping_mul(y);
+        let p = x.wrapping_mul(z);
+        let q = y.wrapping_mul(z);
+        let wv = o.wrapping_mul(z);
+        let e = a.wrapping_sub(x);
+        let f = b[lane].wrapping_sub(y);
+        let g = c[lane].wrapping_sub(z);
+        let fg = f.wrapping_mul(g);
+        let eg = e.wrapping_mul(g);
+        let ef = e.wrapping_mul(f);
+        t1 = t1
+            .wrapping_add(w1)
+            .wrapping_add(o1.wrapping_mul(g))
+            .wrapping_add(p1.wrapping_mul(f))
+            .wrapping_add(q1.wrapping_mul(e))
+            .wrapping_add(x1.wrapping_mul(fg))
+            .wrapping_add(y1.wrapping_mul(eg))
+            .wrapping_add(z1.wrapping_mul(ef));
+        t2 = t2
+            .wrapping_add(wv.wrapping_sub(w1))
+            .wrapping_add(o.wrapping_sub(o1).wrapping_mul(g))
+            .wrapping_add(p.wrapping_sub(p1).wrapping_mul(f))
+            .wrapping_add(q.wrapping_sub(q1).wrapping_mul(e))
+            .wrapping_add(x2.wrapping_mul(fg))
+            .wrapping_add(y2.wrapping_mul(eg))
+            .wrapping_add(z2.wrapping_mul(ef))
+            .wrapping_add(ef.wrapping_mul(g));
+    }
+    (t1, t2)
+}
+
+/// AVX-512 compilation of the fused body (native 8×64-bit lane
+/// multiplies via `vpmullq`); selected at runtime when the CPU
+/// supports it.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq")]
+unsafe fn mul3_batch_prg_avx512(state: u64, a: u64, b: &[u64], c: &[u64]) -> (u64, u64) {
+    mul3_batch_prg_body(state, a, b, c)
+}
+
+/// AVX2 compilation of the fused body (4-lane 64-bit multiplies via
+/// the `vpmuludq` decomposition — still well ahead of scalar `imul`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn mul3_batch_prg_avx2(state: u64, a: u64, b: &[u64], c: &[u64]) -> (u64, u64) {
+    mul3_batch_prg_body(state, a, b, c)
+}
+
+/// [`mul3_batch`] with the dealer-word expansion fused in: draws the
+/// batch's `MG_WORDS·L` words straight from `rng`'s counter stream
+/// inside the lane loop (bit-identical to
+/// [`SplitMix64::fill_block`] + [`mul3_batch`], which the proptests
+/// pin) and advances `rng` past them. This is the Count phase's hot
+/// kernel proper: the PRG mixing is ~70% of the per-triple work, and
+/// fusing it removes the AoS buffer round-trip and lets the whole
+/// body — mixing and MG arithmetic — vectorise as one loop.
+///
+/// On x86-64 the body is compiled three times and dispatched by
+/// runtime feature detection: AVX-512 (`vpmullq`), AVX2, and the
+/// portable baseline. All paths share one generic implementation, so
+/// they cannot diverge.
+pub fn mul3_batch_stream(rng: &mut SplitMix64, a: u64, b: &[u64], c: &[u64]) -> (u64, u64) {
+    assert_eq!(b.len(), c.len(), "b/c slab lengths");
+    let state = rng.state_raw();
+    rng.skip(MG_WORDS * b.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512dq") {
+            // SAFETY: the target features the callee enables were just
+            // verified present on the running CPU.
+            return unsafe { mul3_batch_prg_avx512(state, a, b, c) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: as above.
+            return unsafe { mul3_batch_prg_avx2(state, a, b, c) };
+        }
+    }
+    mul3_batch_prg_body(state, a, b, c)
+}
+
+/// One server's batched step 1 (local maskings) over `L` triples:
+/// writes its `⟨e⟩, ⟨f⟩, ⟨g⟩` shares into `out` as three contiguous
+/// slabs `[e₀..e_{L−1} | f₀.. | g₀..]` — the flat layout the sharded
+/// runtime ships as one slab-opening message per round.
+///
+/// `a_share` is this server's share of the fixed first secret;
+/// `b_shares`/`c_shares` its per-triple shares of the second/third.
+///
+/// # Panics
+/// Panics if the slab lengths disagree (`out.len() ≠ 3·L`).
+pub fn mul3_mask_batch(
+    a_share: Ring64,
+    b_shares: &[Ring64],
+    c_shares: &[Ring64],
+    groups: &[MulGroupShare],
+    out: &mut [u64],
+) {
+    let l = groups.len();
+    assert_eq!(b_shares.len(), l, "b slab length");
+    assert_eq!(c_shares.len(), l, "c slab length");
+    assert_eq!(out.len(), 3 * l, "efg slab length");
+    let (e_out, rest) = out.split_at_mut(l);
+    let (f_out, g_out) = rest.split_at_mut(l);
+    for lane in 0..l {
+        let mg = &groups[lane];
+        e_out[lane] = (a_share - mg.x).0;
+        f_out[lane] = (b_shares[lane] - mg.y).0;
+        g_out[lane] = (c_shares[lane] - mg.z).0;
+    }
+}
+
+/// Lane-wise reconstruction of a slab-opening round:
+/// `opened[i] = mine[i] + theirs[i]` (wrapping).
+///
+/// # Panics
+/// Panics if the three slabs differ in length.
+pub fn mul3_open_batch(mine: &[u64], theirs: &[u64], opened: &mut [u64]) {
+    assert_eq!(mine.len(), theirs.len(), "peer slab length");
+    assert_eq!(mine.len(), opened.len(), "output slab length");
+    for ((o, m), t) in opened.iter_mut().zip(mine).zip(theirs) {
+        *o = m.wrapping_add(*t);
+    }
+}
+
+/// One server's batched step 3 over an opened `[e|f|g]` slab: the sum
+/// of its `⟨d⟩` shares for the batch (only S₂ adds the `efg` terms).
+/// Lane-for-lane identical to [`mul3_combine`]; the slab layout
+/// matches [`mul3_mask_batch`].
+///
+/// # Panics
+/// Panics if `opened.len() ≠ 3·groups.len()`.
+pub fn mul3_combine_batch(groups: &[MulGroupShare], opened: &[u64], server: ServerId) -> Ring64 {
+    let l = groups.len();
+    assert_eq!(opened.len(), 3 * l, "opened efg slab length");
+    let (e_s, rest) = opened.split_at(l);
+    let (f_s, g_s) = rest.split_at(l);
+    let mut acc = 0u64;
+    for lane in 0..l {
+        let mg = &groups[lane];
+        let (e, f, g) = (e_s[lane], f_s[lane], g_s[lane]);
+        let fg = f.wrapping_mul(g);
+        let eg = e.wrapping_mul(g);
+        let ef = e.wrapping_mul(f);
+        let mut u = mg
+            .w
+            .0
+            .wrapping_add(mg.o.0.wrapping_mul(g))
+            .wrapping_add(mg.p.0.wrapping_mul(f))
+            .wrapping_add(mg.q.0.wrapping_mul(e))
+            .wrapping_add(mg.x.0.wrapping_mul(fg))
+            .wrapping_add(mg.y.0.wrapping_mul(eg))
+            .wrapping_add(mg.z.0.wrapping_mul(ef));
+        if server == ServerId::S2 {
+            u = u.wrapping_add(ef.wrapping_mul(g));
+        }
+        acc = acc.wrapping_add(u);
+    }
+    Ring64(acc)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,6 +538,130 @@ mod tests {
         fn theorem_1_correctness(a: u64, b: u64, c: u64, seed: u64) {
             let (d, _) = run(a, b, c, seed);
             prop_assert_eq!(d, Ring64(a) * Ring64(b) * Ring64(c));
+        }
+    }
+
+    use crate::dealer::{split_mg_words, PairDealer};
+    use crate::prg::SplitMix64;
+
+    /// Scalar reference for the batch kernels: per triple, drive the
+    /// protocol objects ([`mul3`]) on arbitrary share splits of the
+    /// same secrets over the same dealer words.
+    fn scalar_reference(words: &[u64], a: u64, b: &[u64], c: &[u64]) -> (u64, u64) {
+        let mut rng = SplitMix64::new(0xA5A5);
+        let mut t1 = Ring64::ZERO;
+        let mut t2 = Ring64::ZERO;
+        for (lane, w) in words.chunks(MG_WORDS).enumerate() {
+            let mut split = |v: u64| {
+                let r = rng.next_u64();
+                (Ring64(r), Ring64(v.wrapping_sub(r)))
+            };
+            let mut net = NetStats::new();
+            let (d1, d2) = mul3(
+                split(a),
+                split(b[lane]),
+                split(c[lane]),
+                split_mg_words(w),
+                &mut net,
+            );
+            t1 += d1;
+            t2 += d2;
+        }
+        (t1.0, t2.0)
+    }
+
+    proptest! {
+        #[test]
+        fn batch_kernel_matches_protocol_objects(seed: u64, a: u64, len in 0usize..40) {
+            // Arbitrary batch length covers the ×8 lanes AND the
+            // scalar tail; secrets are arbitrary ring values, not just
+            // bits, so the kernel is pinned on the full domain.
+            let mut dealer = PairDealer::for_pair(seed, 1, 2);
+            let mut words = vec![0u64; MG_WORDS * len];
+            dealer.fill_words(&mut words);
+            let mut rng = SplitMix64::new(seed ^ 0xBEEF);
+            let b: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
+            let c: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
+            let (t1, t2) = mul3_batch(&words, a, &b, &c);
+            let (r1, r2) = scalar_reference(&words, a, &b, &c);
+            prop_assert_eq!(t1, r1);
+            prop_assert_eq!(t2, r2);
+            // And the reconstruction telescopes to Σ a·b·c.
+            let want: u64 = (0..len).fold(0u64, |acc, l| {
+                acc.wrapping_add(a.wrapping_mul(b[l]).wrapping_mul(c[l]))
+            });
+            prop_assert_eq!(t1.wrapping_add(t2), want);
+        }
+
+        #[test]
+        fn fused_stream_kernel_matches_fill_plus_batch(seed: u64, a: u64, len in 0usize..40) {
+            // The fused PRG+arithmetic kernel must consume and mix the
+            // stream exactly like fill_words + mul3_batch — including
+            // the state it leaves behind.
+            let mut rng = SplitMix64::new(seed ^ 0xCAFE);
+            let b: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
+            let c: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
+            let mut via_fill = PairDealer::for_pair(seed, 4, 9);
+            let mut words = vec![0u64; MG_WORDS * len];
+            via_fill.fill_words(&mut words);
+            let want = mul3_batch(&words, a, &b, &c);
+            let mut via_fused = PairDealer::for_pair(seed, 4, 9);
+            let got = via_fused.count_block(a, &b, &c);
+            prop_assert_eq!(got, want);
+            // Both streams advanced identically: next draws coincide.
+            prop_assert_eq!(via_fused.next_group_pair(), via_fill.next_group_pair());
+        }
+
+        #[test]
+        fn mask_open_combine_batch_matches_mul3(seed: u64, len in 1usize..24) {
+            // The per-server slab helpers, driven like the sharded
+            // runtime drives them, must reproduce mul3 exactly.
+            let mut dealer = PairDealer::for_pair(seed, 3, 4);
+            let mut rng = SplitMix64::new(seed ^ 0xD15C);
+            let mut g1s = Vec::new();
+            let mut g2s = Vec::new();
+            for _ in 0..len {
+                let (g1, g2) = dealer.next_group_pair();
+                g1s.push(g1);
+                g2s.push(g2);
+            }
+            let a = rng.next_u64();
+            let a1 = Ring64(rng.next_u64());
+            let a2 = Ring64(a) - a1;
+            let secrets: Vec<(u64, u64)> = (0..len)
+                .map(|_| (rng.next_u64(), rng.next_u64()))
+                .collect();
+            let b1: Vec<Ring64> = (0..len).map(|_| Ring64(rng.next_u64())).collect();
+            let c1: Vec<Ring64> = (0..len).map(|_| Ring64(rng.next_u64())).collect();
+            let b2: Vec<Ring64> =
+                (0..len).map(|l| Ring64(secrets[l].0) - b1[l]).collect();
+            let c2: Vec<Ring64> =
+                (0..len).map(|l| Ring64(secrets[l].1) - c1[l]).collect();
+            let mut mine = vec![0u64; 3 * len];
+            let mut theirs = vec![0u64; 3 * len];
+            let mut opened = vec![0u64; 3 * len];
+            mul3_mask_batch(a1, &b1, &c1, &g1s, &mut mine);
+            mul3_mask_batch(a2, &b2, &c2, &g2s, &mut theirs);
+            mul3_open_batch(&mine, &theirs, &mut opened);
+            let t1 = mul3_combine_batch(&g1s, &opened, ServerId::S1);
+            let t2 = mul3_combine_batch(&g2s, &opened, ServerId::S2);
+            // Reference: one mul3 protocol object per triple.
+            let mut r1 = Ring64::ZERO;
+            let mut r2 = Ring64::ZERO;
+            let mut net = NetStats::new();
+            for l in 0..len {
+                let (d1, d2) = mul3(
+                    (a1, a2),
+                    (b1[l], b2[l]),
+                    (c1[l], c2[l]),
+                    (g1s[l], g2s[l]),
+                    &mut net,
+                );
+                r1 += d1;
+                r2 += d2;
+            }
+            prop_assert_eq!(t1, r1);
+            prop_assert_eq!(t2, r2);
         }
     }
 }
