@@ -9,7 +9,8 @@
 //! {
 //!   "bench": "secure_count",
 //!   "rows": [
-//!     {"n": 200, "threads": 1, "batch": 64, "triples": 1313400,
+//!     {"n": 200, "threads": 1, "batch": 64, "kernel": "bitsliced",
+//!      "transport": "memory", "triples": 1313400,
 //!      "ns_per_triple": 55.1, "bytes_per_triple": 48.0}
 //!   ]
 //! }
@@ -35,6 +36,11 @@ pub struct BenchRow {
     /// count sweeps, or the measured operation for `bench_micro`.
     /// `"-"` when a report predates the column (parser default).
     pub kernel: String,
+    /// Wire the measured run's openings travelled over: `"memory"`
+    /// (in-process; also what legacy reports without the column parse
+    /// as — their rows were all in-process) or `"tcp"` (the sharded
+    /// runtime over loopback sockets, `BENCH_transport.json`).
+    pub transport: String,
     /// Triples evaluated (`C(n, 3)`).
     pub triples: u64,
     /// Median wall-clock nanoseconds per triple.
@@ -45,10 +51,16 @@ pub struct BenchRow {
 }
 
 impl BenchRow {
-    /// The `(n, threads, batch, kernel)` identity used to match rows
-    /// across reports.
-    pub fn key(&self) -> (usize, usize, usize, &str) {
-        (self.n, self.threads, self.batch, &self.kernel)
+    /// The `(n, threads, batch, kernel, transport)` identity used to
+    /// match rows across reports.
+    pub fn key(&self) -> (usize, usize, usize, &str, &str) {
+        (
+            self.n,
+            self.threads,
+            self.batch,
+            &self.kernel,
+            &self.transport,
+        )
     }
 }
 
@@ -62,17 +74,18 @@ pub struct BenchReport {
 }
 
 impl BenchReport {
-    /// Finds the row for `(n, threads, batch, kernel)`.
+    /// Finds the row for `(n, threads, batch, kernel, transport)`.
     pub fn find(
         &self,
         n: usize,
         threads: usize,
         batch: usize,
         kernel: &str,
+        transport: &str,
     ) -> Option<&BenchRow> {
         self.rows
             .iter()
-            .find(|r| r.key() == (n, threads, batch, kernel))
+            .find(|r| r.key() == (n, threads, batch, kernel, transport))
     }
 
     /// Serialises to the canonical JSON layout (one row per line).
@@ -85,9 +98,9 @@ impl BenchReport {
             let comma = if idx + 1 < self.rows.len() { "," } else { "" };
             out.push_str(&format!(
                 "    {{\"n\": {}, \"threads\": {}, \"batch\": {}, \"kernel\": \"{}\", \
-                 \"triples\": {}, \"ns_per_triple\": {:.3}, \"bytes_per_triple\": {:.3}}}\
-                 {comma}\n",
-                r.n, r.threads, r.batch, r.kernel, r.triples, r.ns_per_triple,
+                 \"transport\": \"{}\", \"triples\": {}, \"ns_per_triple\": {:.3}, \
+                 \"bytes_per_triple\": {:.3}}}{comma}\n",
+                r.n, r.threads, r.batch, r.kernel, r.transport, r.triples, r.ns_per_triple,
                 r.bytes_per_triple
             ));
         }
@@ -123,6 +136,8 @@ impl BenchReport {
                 threads: extract_number(obj, "threads")? as usize,
                 batch: extract_number(obj, "batch")? as usize,
                 kernel: extract_string(obj, "kernel").unwrap_or_else(|_| "-".to_string()),
+                transport: extract_string(obj, "transport")
+                    .unwrap_or_else(|_| "memory".to_string()),
                 triples: extract_number(obj, "triples")? as u64,
                 ns_per_triple: extract_number(obj, "ns_per_triple")?,
                 bytes_per_triple: extract_number(obj, "bytes_per_triple")?,
@@ -192,6 +207,7 @@ mod tests {
                     threads: 1,
                     batch: 64,
                     kernel: "bitsliced".into(),
+                    transport: "memory".into(),
                     triples: 1_313_400,
                     ns_per_triple: 55.125,
                     bytes_per_triple: 48.0,
@@ -201,6 +217,7 @@ mod tests {
                     threads: 4,
                     batch: 64,
                     kernel: "scalar".into(),
+                    transport: "tcp".into(),
                     triples: 35_820_200,
                     ns_per_triple: 12.5,
                     bytes_per_triple: 48.0,
@@ -219,20 +236,32 @@ mod tests {
     #[test]
     fn find_matches_on_the_full_key() {
         let r = sample();
-        assert!(r.find(600, 4, 64, "scalar").is_some());
-        assert!(r.find(600, 2, 64, "scalar").is_none());
-        assert!(r.find(600, 4, 64, "bitsliced").is_none(), "kernel is keyed");
-        assert_eq!(r.find(200, 1, 64, "bitsliced").unwrap().triples, 1_313_400);
+        assert!(r.find(600, 4, 64, "scalar", "tcp").is_some());
+        assert!(r.find(600, 2, 64, "scalar", "tcp").is_none());
+        assert!(
+            r.find(600, 4, 64, "bitsliced", "tcp").is_none(),
+            "kernel is keyed"
+        );
+        assert!(
+            r.find(600, 4, 64, "scalar", "memory").is_none(),
+            "transport is keyed"
+        );
+        assert_eq!(
+            r.find(200, 1, 64, "bitsliced", "memory").unwrap().triples,
+            1_313_400
+        );
     }
 
     #[test]
-    fn kernel_column_defaults_when_absent() {
-        // Reports written before the kernel column must still parse.
+    fn kernel_and_transport_columns_default_when_absent() {
+        // Reports written before either column must still parse; every
+        // legacy row was an in-process run, so transport = "memory".
         let legacy = "{\n  \"bench\": \"x\",\n  \"rows\": [\n    \
             {\"n\": 10, \"threads\": 1, \"batch\": 2, \"triples\": 5, \
             \"ns_per_triple\": 1.0, \"bytes_per_triple\": 48.0}\n  ]\n}\n";
         let r = BenchReport::from_json(legacy).unwrap();
         assert_eq!(r.rows[0].kernel, "-");
+        assert_eq!(r.rows[0].transport, "memory");
     }
 
     #[test]

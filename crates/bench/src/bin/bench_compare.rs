@@ -75,14 +75,15 @@ fn main() {
     let mut failures = 0usize;
     let mut compared = 0usize;
     println!(
-        "| n | threads | batch | kernel | base ns/T | cur ns/T | delta | bytes/T | verdict |\n\
-         |---|---------|-------|--------|-----------|----------|-------|---------|---------|"
+        "| n | threads | batch | kernel | transport | base ns/T | cur ns/T | delta | bytes/T | verdict |\n\
+         |---|---------|-------|--------|-----------|-----------|----------|-------|---------|---------|"
     );
     for cur in &current.rows {
-        let Some(base) = baseline.find(cur.n, cur.threads, cur.batch, &cur.kernel) else {
+        let Some(base) = baseline.find(cur.n, cur.threads, cur.batch, &cur.kernel, &cur.transport)
+        else {
             println!(
-                "| {} | {} | {} | {} | — | {:.2} | — | {:.1} | NEW (not gated) |",
-                cur.n, cur.threads, cur.batch, cur.kernel, cur.ns_per_triple,
+                "| {} | {} | {} | {} | {} | — | {:.2} | — | {:.1} | NEW (not gated) |",
+                cur.n, cur.threads, cur.batch, cur.kernel, cur.transport, cur.ns_per_triple,
                 cur.bytes_per_triple
             );
             continue;
@@ -101,11 +102,12 @@ fn main() {
             failures += 1;
         }
         println!(
-            "| {} | {} | {} | {} | {:.2} | {:.2} | {:+.1}% | {:.1} | {verdict} |",
+            "| {} | {} | {} | {} | {} | {:.2} | {:.2} | {:+.1}% | {:.1} | {verdict} |",
             cur.n,
             cur.threads,
             cur.batch,
             cur.kernel,
+            cur.transport,
             base.ns_per_triple,
             cur.ns_per_triple,
             delta * 100.0,
@@ -114,12 +116,13 @@ fn main() {
     }
     for base in &baseline.rows {
         if current
-            .find(base.n, base.threads, base.batch, &base.kernel)
+            .find(base.n, base.threads, base.batch, &base.kernel, &base.transport)
             .is_none()
         {
             println!(
-                "| {} | {} | {} | {} | {:.2} | — | — | — | MISSING (not gated) |",
-                base.n, base.threads, base.batch, base.kernel, base.ns_per_triple
+                "| {} | {} | {} | {} | {} | {:.2} | — | — | — | MISSING (not gated) |",
+                base.n, base.threads, base.batch, base.kernel, base.transport,
+                base.ns_per_triple
             );
         }
     }

@@ -144,6 +144,7 @@ fn main() {
                     threads: 1,
                     batch,
                     kernel: kernel.to_string(),
+                    transport: "memory".into(),
                     triples: probe_scalar.triples,
                     ns_per_triple: median_ns / triples as f64,
                     bytes_per_triple: probe_scalar.net.bytes as f64 / triples as f64,

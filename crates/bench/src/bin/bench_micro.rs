@@ -86,6 +86,7 @@ fn main() {
             threads: 1,
             batch: 1,
             kernel: kernel.into(),
+            transport: "memory".into(),
             triples: ops,
             ns_per_triple: median_ns / ops as f64,
             bytes_per_triple: bytes_per_op,

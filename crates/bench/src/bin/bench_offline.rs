@@ -122,6 +122,7 @@ fn main() {
                 threads: 1,
                 batch,
                 kernel: CountKernel::default().to_string(),
+                transport: "memory".into(),
                 triples: probe.triples,
                 ns_per_triple: median_ns / triples as f64,
                 bytes_per_triple: probe.net.offline.bytes as f64 / triples as f64,

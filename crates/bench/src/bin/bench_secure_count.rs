@@ -10,12 +10,24 @@
 //!
 //! ```text
 //! usage: bench_secure_count [--n 200,400,600] [--threads 1,2,4]
-//!                           [--batch 1,64] [--out BENCH_secure_count.json]
+//!                           [--batch 1,64] [--transport memory|tcp]
+//!                           [--out BENCH_secure_count.json]
 //!                           [--measure-ms 700] [--quick]
 //! ```
+//!
+//! `--transport memory` (the default — and what every legacy report's
+//! rows were) measures the in-process kernel; `--transport tcp`
+//! measures the sharded message-passing runtime over **real loopback
+//! sockets**, the sweep behind the committed `BENCH_transport.json`
+//! baseline. Before timing a TCP point the harness asserts its shares
+//! and online ledger equal the in-process run's, so the baseline
+//! doubles as a transport-equivalence gate in release mode.
 
 use cargo_bench::baseline::{BenchReport, BenchRow};
-use cargo_core::{secure_triangle_count_batched, CountKernel};
+use cargo_core::{
+    secure_triangle_count_batched, threaded_secure_count_tcp, CountKernel, OfflineMode,
+    SecureCountResult, TransportKind,
+};
 use cargo_graph::generators::presets::SnapDataset;
 use criterion::{black_box, measure_median_ns};
 use std::path::PathBuf;
@@ -25,13 +37,15 @@ struct Args {
     ns: Vec<usize>,
     threads: Vec<usize>,
     batches: Vec<usize>,
+    transport: TransportKind,
     out: PathBuf,
     measure_ms: u64,
 }
 
 fn usage() -> String {
     "usage: bench_secure_count [--n 200,400,600] [--threads 1,2,4] [--batch 1,64]\n\
-     \x20      [--out BENCH_secure_count.json] [--measure-ms 700] [--quick]"
+     \x20      [--transport memory|tcp] [--out BENCH_secure_count.json]\n\
+     \x20      [--measure-ms 700] [--quick]"
         .to_string()
 }
 
@@ -46,6 +60,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         ns: vec![200, 400, 600],
         threads: vec![1, 2, 4],
         batches: vec![1, 64],
+        transport: TransportKind::Memory,
         out: PathBuf::from("BENCH_secure_count.json"),
         measure_ms: 700,
     };
@@ -61,6 +76,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--n" => args.ns = parse_list(&take(&mut i)?, "--n")?,
             "--threads" => args.threads = parse_list(&take(&mut i)?, "--threads")?,
             "--batch" => args.batches = parse_list(&take(&mut i)?, "--batch")?,
+            "--transport" => {
+                args.transport = take(&mut i)?
+                    .parse()
+                    .map_err(|e: String| format!("--transport: {e}"))?
+            }
             "--out" => args.out = PathBuf::from(take(&mut i)?),
             "--measure-ms" => {
                 args.measure_ms = take(&mut i)?
@@ -103,29 +123,47 @@ fn main() {
         bench: "secure_count".into(),
         rows: Vec::new(),
     };
+    let transport = args.transport.to_string();
     for &n in &args.ns {
         let m = full.induced_prefix(n).to_bit_matrix();
         for &threads in &args.threads {
             for &batch in &args.batches {
-                // One untimed run pins the deterministic cost model.
-                let probe = secure_triangle_count_batched(&m, 1, threads, batch);
+                // One untimed run pins the deterministic cost model —
+                // and, for TCP, gates the transport equivalence before
+                // any timing is trusted.
+                let run: &dyn Fn() -> SecureCountResult = match args.transport {
+                    TransportKind::Memory => {
+                        &|| secure_triangle_count_batched(&m, 1, threads, batch)
+                    }
+                    TransportKind::Tcp => &|| {
+                        threaded_secure_count_tcp(&m, 1, threads, batch, OfflineMode::TrustedDealer)
+                    },
+                };
+                let probe = run();
+                if args.transport == TransportKind::Tcp {
+                    let reference = secure_triangle_count_batched(&m, 1, threads, batch);
+                    assert_eq!(probe.share1, reference.share1, "TCP shares diverged");
+                    assert_eq!(probe.share2, reference.share2, "TCP shares diverged");
+                    assert_eq!(probe.net, reference.net, "TCP wire != modeled ledger");
+                }
                 let triples = probe.triples.max(1);
                 let median_ns = measure_median_ns(
                     10,
                     Duration::from_millis(args.measure_ms),
-                    || black_box(secure_triangle_count_batched(&m, 1, threads, batch)),
+                    || black_box(run()),
                 );
                 let row = BenchRow {
                     n,
                     threads,
                     batch,
                     kernel: CountKernel::default().to_string(),
+                    transport: transport.clone(),
                     triples: probe.triples,
                     ns_per_triple: median_ns / triples as f64,
                     bytes_per_triple: probe.net.bytes as f64 / triples as f64,
                 };
                 println!(
-                    "n={n:<5} threads={threads:<2} batch={batch:<4} \
+                    "n={n:<5} threads={threads:<2} batch={batch:<4} transport={transport:<6} \
                      {:>8.2} ns/triple  {:>5.1} B/triple",
                     row.ns_per_triple, row.bytes_per_triple
                 );
@@ -136,10 +174,10 @@ fn main() {
         if let Some(&b) = args.batches.iter().max() {
             let kernel = CountKernel::default().to_string();
             if let (Some(one), Some(best)) = (
-                report.find(n, 1, b, &kernel),
+                report.find(n, 1, b, &kernel, &transport),
                 args.threads
                     .iter()
-                    .filter_map(|&t| report.find(n, t, b, &kernel))
+                    .filter_map(|&t| report.find(n, t, b, &kernel, &transport))
                     .min_by(|a, c| a.ns_per_triple.total_cmp(&c.ns_per_triple)),
             ) {
                 println!(

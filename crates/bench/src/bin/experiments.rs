@@ -13,7 +13,8 @@ fn usage() -> String {
          \x20      --out-dir <dir=results> --data-dir <snap-dir>\n\
          \x20      --threads <w=0 (all cores)> --batch <b=0 (default 64)>\n\
          \x20      --offline-mode <dealer|ot (default dealer)>\n\
-         \x20      --kernel <scalar|bitsliced (default bitsliced)> --quick",
+         \x20      --kernel <scalar|bitsliced (default bitsliced)>\n\
+         \x20      --transport <memory|tcp (default memory)> --quick",
         experiments::ALL.join(" | ")
     )
 }

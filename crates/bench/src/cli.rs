@@ -1,7 +1,7 @@
 //! Hand-rolled flag parsing for the `experiments` binary (no external
 //! CLI dependency in the approved set).
 
-use cargo_core::CountKernel;
+use cargo_core::{CountKernel, TransportKind};
 use cargo_mpc::OfflineMode;
 use std::path::PathBuf;
 
@@ -27,6 +27,10 @@ pub struct Options {
     pub offline: OfflineMode,
     /// Count kernel (`--kernel scalar|bitsliced`).
     pub kernel: CountKernel,
+    /// Count wire (`--transport memory|tcp`): in-process memory
+    /// (default) or the message-passing runtime over real loopback
+    /// sockets. Results are bit-identical; TCP measures the ledger.
+    pub transport: TransportKind,
     /// Quick mode: shrink n and trials for smoke runs.
     pub quick: bool,
     /// `--help`/`-h` was given: print usage and exit successfully.
@@ -45,6 +49,7 @@ impl Default for Options {
             batch: 0,
             offline: OfflineMode::TrustedDealer,
             kernel: CountKernel::Bitsliced,
+            transport: TransportKind::Memory,
             quick: false,
             help: false,
         }
@@ -101,6 +106,11 @@ impl Options {
                     opts.kernel = take_value(&mut i)?
                         .parse()
                         .map_err(|e: String| format!("--kernel: {e}"))?
+                }
+                "--transport" => {
+                    opts.transport = take_value(&mut i)?
+                        .parse()
+                        .map_err(|e: String| format!("--transport: {e}"))?
                 }
                 "--out-dir" => opts.out_dir = PathBuf::from(take_value(&mut i)?),
                 "--data-dir" => opts.data_dir = Some(PathBuf::from(take_value(&mut i)?)),
@@ -175,6 +185,15 @@ mod tests {
         let (o, _) = parse(&["table2"]).unwrap();
         assert_eq!(o.kernel, CountKernel::Bitsliced, "bitsliced is default");
         assert!(parse(&["--kernel", "wat"]).is_err());
+    }
+
+    #[test]
+    fn transport_parses() {
+        let (o, _) = parse(&["--transport", "tcp", "table2"]).unwrap();
+        assert_eq!(o.transport, TransportKind::Tcp);
+        let (o, _) = parse(&["table2"]).unwrap();
+        assert_eq!(o.transport, TransportKind::Memory, "memory is default");
+        assert!(parse(&["--transport", "udp"]).is_err());
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub fn fig11_or_12(opts: &Options, which: RuntimeGraph) -> Vec<Table> {
             opts.batch,
             opts.offline,
             opts.kernel,
+            opts.transport,
         );
         let share = if cargo.time.as_secs_f64() > 0.0 {
             cargo.count_time.as_secs_f64() / cargo.time.as_secs_f64()

@@ -4,7 +4,9 @@
 use cargo_baselines::{
     central_lap_triangles, local2rounds_triangles, Local2RoundsConfig,
 };
-use cargo_core::{l2_loss, relative_error, CargoConfig, CargoSystem, CountKernel, OfflineMode};
+use cargo_core::{
+    l2_loss, relative_error, CargoConfig, CargoSystem, CountKernel, OfflineMode, TransportKind,
+};
 use cargo_graph::Graph;
 use cargo_mpc::NetStats;
 use rand::rngs::StdRng;
@@ -84,14 +86,16 @@ pub fn run_cargo(g: &Graph, epsilon: f64, trials: usize, seed: u64) -> UtilityPo
         0,
         OfflineMode::TrustedDealer,
         CountKernel::default(),
+        TransportKind::Memory,
     )
 }
 
 /// [`run_cargo`] with explicit Count knobs: `threads` workers
 /// (0 = all cores), `batch` triples per round (0 = default), the
-/// offline-phase mode, and the Count kernel — the CLI's
-/// `--threads`/`--batch`/`--offline-mode`/`--kernel` land here so the
-/// knobs govern every Count entry the experiments exercise.
+/// offline-phase mode, the Count kernel, and the Count wire — the
+/// CLI's `--threads`/`--batch`/`--offline-mode`/`--kernel`/
+/// `--transport` land here so the knobs govern every Count entry the
+/// experiments exercise.
 #[allow(clippy::too_many_arguments)]
 pub fn run_cargo_with(
     g: &Graph,
@@ -102,6 +106,7 @@ pub fn run_cargo_with(
     batch: usize,
     offline: OfflineMode,
     kernel: CountKernel,
+    transport: TransportKind,
 ) -> UtilityPoint {
     let t_true = cargo_graph::count_triangles(g) as f64;
     let mut estimates = Vec::with_capacity(trials);
@@ -114,7 +119,8 @@ pub fn run_cargo_with(
             .with_threads(threads)
             .with_batch(batch)
             .with_offline(offline)
-            .with_kernel(kernel);
+            .with_kernel(kernel)
+            .with_transport(transport);
         let start = Instant::now();
         let out = CargoSystem::new(cfg).run(g);
         times.push(start.elapsed());
@@ -169,8 +175,9 @@ mod tests {
         let small = barabasi_albert(30, 3, 1);
         for point in [
             run_cargo(&g, 2.0, 2, 1),
-            run_cargo_with(&g, 2.0, 2, 1, 2, 16, OfflineMode::TrustedDealer, CountKernel::Bitsliced),
-            run_cargo_with(&small, 2.0, 1, 1, 1, 0, OfflineMode::OtExtension, CountKernel::Scalar),
+            run_cargo_with(&g, 2.0, 2, 1, 2, 16, OfflineMode::TrustedDealer, CountKernel::Bitsliced, TransportKind::Memory),
+            run_cargo_with(&small, 2.0, 1, 1, 1, 0, OfflineMode::OtExtension, CountKernel::Scalar, TransportKind::Memory),
+            run_cargo_with(&small, 2.0, 1, 1, 1, 0, OfflineMode::TrustedDealer, CountKernel::default(), TransportKind::Tcp),
             run_central(&g, 2.0, 2, 1),
             run_local2rounds(&g, 2.0, 2, 1),
         ] {
@@ -182,8 +189,8 @@ mod tests {
     #[test]
     fn ot_mode_surfaces_an_offline_ledger_through_the_runner() {
         let g = barabasi_albert(30, 3, 2);
-        let dealer = run_cargo_with(&g, 2.0, 1, 1, 1, 0, OfflineMode::TrustedDealer, CountKernel::default());
-        let ot = run_cargo_with(&g, 2.0, 1, 1, 1, 0, OfflineMode::OtExtension, CountKernel::default());
+        let dealer = run_cargo_with(&g, 2.0, 1, 1, 1, 0, OfflineMode::TrustedDealer, CountKernel::default(), TransportKind::Memory);
+        let ot = run_cargo_with(&g, 2.0, 1, 1, 1, 0, OfflineMode::OtExtension, CountKernel::default(), TransportKind::Memory);
         assert!(dealer.net.offline.is_empty());
         assert!(ot.net.offline.bytes > 0);
         assert_eq!(ot.net.online(), dealer.net.online());

@@ -53,6 +53,59 @@ impl std::fmt::Display for CountKernel {
     }
 }
 
+/// Selects the wire the Count phase's openings travel over.
+///
+/// Results are **bit-identical** across transports (pinned by
+/// `crates/core/tests/transport_equivalence.rs`); only where the bytes
+/// physically live changes — and with [`TransportKind::Tcp`] the
+/// modeled byte ledger is *measured* against real sockets
+/// ([`cargo_mpc::NetStats::wire_bytes`]).
+///
+/// ```
+/// use cargo_core::TransportKind;
+/// assert_eq!("memory".parse::<TransportKind>(), Ok(TransportKind::Memory));
+/// assert_eq!("tcp".parse::<TransportKind>(), Ok(TransportKind::Tcp));
+/// assert_eq!(TransportKind::default(), TransportKind::Memory);
+/// assert_eq!(TransportKind::Tcp.to_string(), "tcp");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TransportKind {
+    /// The default in-process path: the fast kernel's openings stay in
+    /// memory and the wire is the modeled ledger (the message-passing
+    /// runtime over the in-memory *byte* transport is exercised by the
+    /// test suites and `party --role local`).
+    #[default]
+    Memory,
+    /// The Count phase runs on the sharded message-passing runtime
+    /// over **real loopback TCP sockets** — every opening crosses the
+    /// kernel network stack as an encoded frame and is byte-counted.
+    /// The two-OS-process deployment shape is the `party` binary.
+    Tcp,
+}
+
+impl std::str::FromStr for TransportKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "memory" | "mem" => Ok(TransportKind::Memory),
+            "tcp" => Ok(TransportKind::Tcp),
+            other => Err(format!(
+                "unknown transport {other:?} (expected \"memory\" or \"tcp\")"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            TransportKind::Memory => "memory",
+            TransportKind::Tcp => "tcp",
+        })
+    }
+}
+
 /// Tunable parameters of the CARGO pipeline (defaults follow the
 /// paper's experimental setting, Section V-A).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -89,6 +142,11 @@ pub struct CargoConfig {
     /// (default) or the scalar per-triple transcription, retained for
     /// A/B benching. Shares are bit-identical either way.
     pub kernel: CountKernel,
+    /// Wire the Count openings travel over: in-process memory
+    /// (default) or real loopback TCP sockets. Results are
+    /// bit-identical either way; TCP additionally *measures* the byte
+    /// ledger on a real wire.
+    pub transport: TransportKind,
 }
 
 impl CargoConfig {
@@ -104,6 +162,7 @@ impl CargoConfig {
             projection: true,
             offline: OfflineMode::TrustedDealer,
             kernel: CountKernel::Bitsliced,
+            transport: TransportKind::Memory,
         }
     }
 
@@ -159,6 +218,18 @@ impl CargoConfig {
     /// ```
     pub fn with_kernel(mut self, kernel: CountKernel) -> Self {
         self.kernel = kernel;
+        self
+    }
+
+    /// Selects the Count wire.
+    ///
+    /// ```
+    /// use cargo_core::{CargoConfig, TransportKind};
+    /// let cfg = CargoConfig::new(2.0).with_transport(TransportKind::Tcp);
+    /// assert_eq!(cfg.transport, TransportKind::Tcp);
+    /// ```
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
         self
     }
 
@@ -249,6 +320,20 @@ mod tests {
             crate::count_sched::DEFAULT_COUNT_BATCH
         );
         assert_eq!(CargoConfig::new(1.0).with_batch(7).effective_batch(), 7);
+    }
+
+    #[test]
+    fn transport_defaults_to_memory_and_parses() {
+        assert_eq!(CargoConfig::new(1.0).transport, TransportKind::Memory);
+        assert_eq!(
+            CargoConfig::new(1.0)
+                .with_transport(TransportKind::Tcp)
+                .transport,
+            TransportKind::Tcp
+        );
+        assert_eq!("mem".parse::<TransportKind>(), Ok(TransportKind::Memory));
+        assert!("carrier-pigeon".parse::<TransportKind>().is_err());
+        assert_eq!(TransportKind::Memory.to_string(), "memory");
     }
 
     #[test]

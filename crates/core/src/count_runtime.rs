@@ -4,104 +4,103 @@
 //! evaluates both servers' arithmetic in one loop. This module runs the
 //! same protocol the way a deployment would be shaped:
 //!
-//! * **separate OS threads** — a worker pool per server S₁/S₂ plus the
-//!   offline dealer (playing the OT preprocessing);
-//! * **message passing only** — servers exchange masked openings over
-//!   channels; neither thread can read the other's state, and neither
-//!   ever holds a plaintext adjacency bit (each receives only its own
-//!   share matrix, as uploaded by the users);
+//! * **separate OS threads (or processes)** — a worker pool per server
+//!   S₁/S₂ plus the offline dealer (playing the OT preprocessing), or —
+//!   via [`run_party_count`] and the `party` binary — two genuinely
+//!   separate OS processes;
+//! * **real bytes on a real wire** — servers exchange masked openings
+//!   as encoded [`cargo_mpc::wire`] frames over a pluggable
+//!   [`Transport`]: the in-memory byte transport by default, loopback
+//!   (or cross-machine) TCP via [`threaded_secure_count_tcp`]. Neither
+//!   party can read the other's state, and neither ever holds a
+//!   plaintext adjacency bit (each receives only its own share matrix,
+//!   as uploaded by the users);
 //! * **sharded, batched rounds** — the shared [`CountScheduler`]
 //!   partitions the `(i, j)` pair space into chunks; each server
 //!   worker owns the chunks congruent to its index, every `k`-batch of
-//!   a pair travels as **one flat `[e|f|g]` slab message** (computed
-//!   and consumed by the batched kernel helpers
-//!   [`mul3_mask_batch`]/[`mul3_combine_batch`], never one message per
-//!   MG), and all workers of a server share one multiplexed link
-//!   ([`cargo_mpc::tagged_channel`]) whose messages carry the chunk
-//!   id, so rounds from different shards interleave safely on the
-//!   same wire. In OT mode each chunk is preceded by its amortised
-//!   offline session on a dedicated link pair.
+//!   a pair travels as **one flat `[e|f|g]` slab frame**
+//!   ([`cargo_mpc::OpeningMsg`], computed and consumed by the batched
+//!   kernel helpers [`mul3_mask_batch`]/[`mul3_combine_batch`]), and
+//!   all workers of a server share one multiplexed link whose frames
+//!   carry the chunk id, so rounds from different shards interleave
+//!   safely on the same wire. In OT mode each chunk is preceded by its
+//!   amortised offline session on the same link
+//!   ([`cargo_mpc::mg_offline_over_wire`]).
+//!
+//! Every frame is byte-counted by the transport, and the runtime
+//! **overwrites** [`NetStats::wire_bytes`] with the measured online
+//! payload — the modeled paths keep `wire_bytes == bytes` by
+//! construction, so every test that compares whole `NetStats` structs
+//! across paths pins measured == modeled exactly (DESIGN.md §8).
 //!
 //! The test suite pins this runtime's output to the fast path, which
 //! is the strongest fidelity evidence the repo offers: an optimised
 //! single-loop kernel and a strict two-party message-passing execution
-//! compute identical share pairs — for every worker count and batch
-//! size, because both key their randomness per `(i, j)` pair.
+//! compute identical share pairs — for every worker count, batch
+//! size, and transport backend, because both key their randomness per
+//! `(i, j)` pair.
 
 use crate::count::SecureCountResult;
 use crate::count_sched::{share_prf, CountScheduler, PairChunk};
 use cargo_graph::BitMatrix;
 use cargo_mpc::{
-    mg_flight_ledger, mul3_combine_batch, mul3_mask_batch, mul3_open_batch, ot_setup_ledger,
-    plan_flights, plan_offsets, tagged_channel, MgOfflineS1, MgOfflineS2, MulGroupShare,
-    NetStats, OfflineMode, PairDealer, Ring64, ServerId, TaggedDemux, TaggedSender,
+    mg_offline_over_wire, mul3_combine_batch, mul3_mask_batch, mul3_open_batch, ot_setup_ledger,
+    recv_msg, send_msg, split_mg_words, DealerMsg, InMemoryTransport, MulGroupShare, NetStats,
+    OfflineMode, OpeningMsg, PairDealer, Ring64, ServerId, TcpConfig, TcpTransport, Transport,
+    DEFAULT_RECV_TIMEOUT, MG_WORDS,
 };
 use std::sync::Arc;
 
-/// One round's message between servers: this side's `⟨e⟩, ⟨f⟩, ⟨g⟩`
-/// maskings for one `k`-batch of an `(i, j)` pair, as one flat slab
-/// `[e.. | f.. | g..]` ([`mul3_mask_batch`]'s layout) — a single
-/// contiguous buffer per round instead of one tuple per MG.
-struct OpeningMsg {
-    /// Which pair-space shard this round belongs to — the tag the
-    /// multiplexed link routes by.
-    chunk: u32,
-    /// Outer pair identifier, for lockstep sanity checking.
-    pair: (u32, u32),
-    /// First `k` of the batch (lockstep sanity checking).
-    k0: u32,
-    /// The `3·block` slab of this server's maskings.
-    efg: Vec<u64>,
+/// Where a server worker's Multiplication-Group shares come from in
+/// trusted-dealer mode (OT-extension mode always runs the peer
+/// dialogue instead).
+enum DealerSource<D: Transport> {
+    /// A dealer process/thread streams [`DealerMsg`] frames over its
+    /// own link — the three-party shape of the in-process runtime.
+    Link(Arc<D>),
+    /// The worker expands its *own* share column of the seeded pair
+    /// streams locally — the two-process `party` shape, equivalent to
+    /// the dealer having predistributed the material before the run
+    /// (dealer traffic is a simulation device either way and is not
+    /// part of the modeled server↔server ledger).
+    Local,
 }
 
-/// The dealer's preprocessing message: this server's Multiplication-
-/// Group shares for one `k`-batch of an `(i, j)` pair.
-struct DealerMsg {
-    chunk: u32,
-    pair: (u32, u32),
-    k0: u32,
-    groups: Vec<MulGroupShare>,
-}
-
-/// One message of the OT-extension offline phase (OfflineMode::
-/// OtExtension replaces the dealer thread with a server↔server
-/// preprocessing dialogue, one amortised session per chunk): extension
-/// columns, correction words, or derandomisation offsets, with
-/// lockstep metadata. `step` numbers the message within a flight's
-/// flow *per direction* (S₁ sends steps 1..4: columns, A-corrections,
-/// c_opq, c_w; S₂ sends 1..3: columns, B₁..B₃ corrections, B₄
-/// corrections).
-struct OfflineMsg {
-    chunk: u32,
-    /// Flight index within the chunk session (lockstep checking).
-    flight: u32,
-    step: u8,
-    words: Vec<u64>,
+impl<D: Transport> Clone for DealerSource<D> {
+    fn clone(&self) -> Self {
+        match self {
+            DealerSource::Link(link) => DealerSource::Link(Arc::clone(link)),
+            DealerSource::Local => DealerSource::Local,
+        }
+    }
 }
 
 /// The state one server worker runs with. A server is a *pool* of
 /// these: worker `w` owns the chunks with `id ≡ w (mod workers)` and
-/// shares the dealer/peer links with its siblings.
-struct ServerWorker {
+/// shares the peer/dealer links with its siblings.
+struct ServerWorker<T: Transport, D: Transport> {
     id: ServerId,
     worker: usize,
     workers: usize,
     mode: OfflineMode,
     seed: u64,
+    /// Record the modeled [`NetStats`]. The in-process runtime sets
+    /// this on S₁ only (its merged stats then count each bidirectional
+    /// exchange once); a standalone party process sets it on its own
+    /// side, so its ledger is the full bidirectional model.
+    tally: bool,
     sched: Arc<CountScheduler>,
     /// This server's input shares (`shares[i][j] = ⟨a_ij⟩`).
     shares: Arc<Vec<Vec<Ring64>>>,
-    dealer_rx: Arc<TaggedDemux<DealerMsg>>,
-    peer_tx: TaggedSender<OpeningMsg>,
-    peer_rx: Arc<TaggedDemux<OpeningMsg>>,
-    /// OT-mode preprocessing links (unused under the trusted dealer).
-    off_tx: TaggedSender<OfflineMsg>,
-    off_rx: Arc<TaggedDemux<OfflineMsg>>,
+    /// The server↔server wire (openings + offline dialogue).
+    peer: Arc<T>,
+    /// MG share source in trusted-dealer mode.
+    dealer: DealerSource<D>,
 }
 
-impl ServerWorker {
-    /// Runs this worker's share of the online phase, returning its
-    /// partial `⟨T⟩` and traffic tally.
+impl<T: Transport, D: Transport> ServerWorker<T, D> {
+    /// Runs this worker's share of the protocol, returning its partial
+    /// `⟨T⟩` and traffic tally.
     fn run(self) -> (Ring64, NetStats) {
         let mut t_share = Ring64::ZERO;
         let mut net = NetStats::new();
@@ -118,97 +117,43 @@ impl ServerWorker {
         (t_share, net)
     }
 
-    /// Sends one offline-phase message under the chunk's tag.
-    fn send_off(&self, chunk: u32, flight: u32, step: u8, words: Vec<u64>) {
-        self.off_tx
-            .send(
-                chunk,
-                OfflineMsg {
-                    chunk,
-                    flight,
-                    step,
-                    words,
-                },
-            )
-            .expect("peer hung up (offline)");
-    }
-
-    /// Receives the peer's next offline message for the chunk,
-    /// asserting protocol lockstep.
-    fn recv_off(&self, chunk: u32, flight: u32, step: u8) -> Vec<u64> {
-        let m = self.off_rx.recv(chunk).expect("peer hung up (offline)");
-        assert_eq!(m.chunk, chunk, "demux routed a foreign chunk");
-        assert_eq!(m.flight, flight, "offline flight out of lockstep");
-        assert_eq!(m.step, step, "offline step out of lockstep");
-        m.words
-    }
-
-    /// Runs the chunk-amortised OT-extension offline session against
-    /// the peer — one five-message dialogue per flight (the flow
-    /// documented in `cargo_mpc::offline`) covering every pair of the
-    /// chunk — and returns this server's Multiplication-Group shares
-    /// in plan order plus the per-pair prefix offsets. S₁ tallies the
-    /// bidirectional offline traffic, mirroring the online convention.
-    fn offline_chunk(
-        &self,
-        chunk: &PairChunk,
-        net: &mut NetStats,
-    ) -> (Vec<MulGroupShare>, Vec<usize>) {
-        let plan = self.sched.chunk_plan(chunk);
-        let offsets = plan_offsets(&plan);
-        let mut groups = Vec::with_capacity(*offsets.last().expect("non-empty"));
-        match self.id {
-            ServerId::S1 => {
-                let mut s1 = MgOfflineS1::for_chunk(self.seed, chunk.id as u64);
-                for (f, range) in plan_flights(&plan).into_iter().enumerate() {
-                    let flight = &plan[range];
-                    let weight: u64 = flight.iter().map(|d| d.groups as u64).sum();
-                    let f = f as u32;
-                    self.send_off(chunk.id, f, 1, s1.ucols(flight));
-                    let u2 = self.recv_off(chunk.id, f, 1);
-                    self.send_off(chunk.id, f, 2, s1.corrections(&u2));
-                    let d_b = self.recv_off(chunk.id, f, 2);
-                    self.send_off(chunk.id, f, 3, s1.derand_opq(&d_b));
-                    let d_b4 = self.recv_off(chunk.id, f, 3);
-                    self.send_off(chunk.id, f, 4, s1.derand_w(&d_b4));
-                    net.offline.merge(&mg_flight_ledger(weight));
-                    groups.extend(s1.groups());
-                }
-            }
-            ServerId::S2 => {
-                let mut s2 = MgOfflineS2::for_chunk(self.seed, chunk.id as u64);
-                for (f, range) in plan_flights(&plan).into_iter().enumerate() {
-                    let flight = &plan[range];
-                    let f = f as u32;
-                    self.send_off(chunk.id, f, 1, s2.ucols(flight));
-                    let u1 = self.recv_off(chunk.id, f, 1);
-                    self.send_off(chunk.id, f, 2, s2.corrections(&u1));
-                    let d_a = self.recv_off(chunk.id, f, 2);
-                    s2.absorb_corrections(&d_a);
-                    let c_opq = self.recv_off(chunk.id, f, 3);
-                    self.send_off(chunk.id, f, 3, s2.corrections_w(&c_opq));
-                    let c_w = self.recv_off(chunk.id, f, 4);
-                    groups.extend(s2.groups(&c_w));
-                }
-            }
-        }
-        (groups, offsets)
-    }
-
     fn run_chunk(&self, chunk: &PairChunk, net: &mut NetStats) -> Ring64 {
         let n = self.sched.n();
         let batch = self.sched.batch();
         let mut t_share = Ring64::ZERO;
         // OT mode preprocesses the whole chunk up front in one
-        // amortised session; the dealer streams per-block below.
+        // amortised session over the peer link; the dealer (link or
+        // local stream) provides material per block below.
         let material = match self.mode {
             OfflineMode::TrustedDealer => None,
-            OfflineMode::OtExtension => Some(self.offline_chunk(chunk, net)),
+            OfflineMode::OtExtension => {
+                let plan = self.sched.chunk_plan(chunk);
+                let offsets = cargo_mpc::plan_offsets(&plan);
+                let groups = mg_offline_over_wire(
+                    &*self.peer,
+                    self.id,
+                    self.seed,
+                    chunk.id,
+                    &plan,
+                    self.tally,
+                    &mut net.offline,
+                );
+                Some((groups, offsets))
+            }
         };
         let mut mine = vec![0u64; 3 * batch];
         let mut opened = vec![0u64; 3 * batch];
+        let mut words = vec![0u64; MG_WORDS * batch];
+        let mut local_groups: Vec<MulGroupShare> = Vec::with_capacity(batch);
         for (pair_idx, (i, j)) in self.sched.pair_iter(chunk).enumerate() {
             let aij = self.shares[i][j];
+            // The local dealer stream of this pair (party shape only).
+            let mut stream = match (&material, &self.dealer) {
+                (None, DealerSource::Local) => {
+                    Some(PairDealer::for_pair(self.seed, i as u32, j as u32))
+                }
+                _ => None,
+            };
             let mut k = j + 1;
             let mut off = 0usize;
             while k < n {
@@ -220,27 +165,37 @@ impl ServerWorker {
                         let base = offsets[pair_idx] + off;
                         &groups[base..base + block]
                     }
-                    None => {
-                        let DealerMsg {
-                            chunk: d_chunk,
-                            pair: d_pair,
-                            k0,
-                            groups,
-                        } = self
-                            .dealer_rx
-                            .recv(chunk.id)
-                            .expect("dealer hung up early");
-                        assert_eq!(d_chunk, chunk.id, "demux routed a foreign chunk");
-                        assert_eq!(d_pair, pair, "dealer out of lockstep");
-                        assert_eq!(k0 as usize, k, "dealer batch out of lockstep");
-                        dealer_groups = groups;
-                        &dealer_groups
-                    }
+                    None => match &self.dealer {
+                        DealerSource::Link(link) => {
+                            let msg: DealerMsg =
+                                recv_msg(&**link, chunk.id, Some(DEFAULT_RECV_TIMEOUT))
+                                    .unwrap_or_else(|e| panic!("dealer lost: {e}"));
+                            assert_eq!(msg.chunk, chunk.id, "demux routed a foreign chunk");
+                            assert_eq!(msg.pair, pair, "dealer out of lockstep");
+                            assert_eq!(msg.k0 as usize, k, "dealer batch out of lockstep");
+                            dealer_groups = msg.groups;
+                            &dealer_groups
+                        }
+                        DealerSource::Local => {
+                            let stream = stream.as_mut().expect("local stream set per pair");
+                            stream.fill_words(&mut words[..MG_WORDS * block]);
+                            local_groups.clear();
+                            local_groups.extend((0..block).map(|g| {
+                                let w = &words[MG_WORDS * g..MG_WORDS * (g + 1)];
+                                let (s1, s2) = split_mg_words(w);
+                                match self.id {
+                                    ServerId::S1 => s1,
+                                    ServerId::S2 => s2,
+                                }
+                            }));
+                            &local_groups
+                        }
+                    },
                 };
                 assert_eq!(groups.len(), block, "offline batch size mismatch");
                 // Step 1: local maskings for the whole k batch, as one
                 // [e|f|g] slab (the batch kernel's layout — and the
-                // wire format of the opening message).
+                // payload of the opening frame).
                 let slab = 3 * block;
                 mul3_mask_batch(
                     aij,
@@ -250,23 +205,21 @@ impl ServerWorker {
                     &mut mine[..slab],
                 );
                 // Step 2: one round — send mine, receive the peer's.
-                // S₁ tallies the full bidirectional exchange so the
-                // merged stats equal one exchange per batch.
-                if self.id == ServerId::S1 {
+                if self.tally {
                     net.exchange(3 * block as u64);
                 }
-                self.peer_tx
-                    .send(
-                        chunk.id,
-                        OpeningMsg {
-                            chunk: chunk.id,
-                            pair,
-                            k0: k as u32,
-                            efg: mine[..slab].to_vec(),
-                        },
-                    )
-                    .expect("peer hung up");
-                let theirs = self.peer_rx.recv(chunk.id).expect("peer hung up");
+                send_msg(
+                    &*self.peer,
+                    &OpeningMsg {
+                        chunk: chunk.id,
+                        pair,
+                        k0: k as u32,
+                        efg: mine[..slab].to_vec(),
+                    },
+                )
+                .expect("peer hung up");
+                let theirs: OpeningMsg = recv_msg(&*self.peer, chunk.id, Some(DEFAULT_RECV_TIMEOUT))
+                    .unwrap_or_else(|e| panic!("peer lost during online round: {e}"));
                 assert_eq!(theirs.chunk, chunk.id, "demux routed a foreign chunk");
                 assert_eq!(theirs.pair, pair, "peer out of lockstep");
                 assert_eq!(theirs.k0 as usize, k, "peer batch out of lockstep");
@@ -285,15 +238,10 @@ impl ServerWorker {
 /// The dealer thread body: streams MG share batches to both servers,
 /// chunk by chunk, drawing each `(i, j)` pair's groups from the same
 /// [`PairDealer`] stream the fast kernel block-expands — so both
-/// runtimes produce identical shares. Messages are tagged with the
-/// chunk id; the servers' demuxes deliver each to whichever worker
+/// runtimes produce identical shares. Frames are tagged with the
+/// chunk id; the servers' transports deliver each to whichever worker
 /// owns that shard.
-fn dealer_thread(
-    sched: &CountScheduler,
-    seed: u64,
-    tx1: TaggedSender<DealerMsg>,
-    tx2: TaggedSender<DealerMsg>,
-) {
+fn dealer_thread<D: Transport>(sched: &CountScheduler, seed: u64, tx1: &D, tx2: &D) {
     let n = sched.n();
     let batch = sched.batch();
     for chunk in sched.chunks() {
@@ -315,10 +263,10 @@ fn dealer_thread(
                     k0: k as u32,
                     groups,
                 };
-                if tx1.send(chunk.id, msg(g1)).is_err() {
+                if send_msg(tx1, &msg(g1)).is_err() {
                     return;
                 }
-                if tx2.send(chunk.id, msg(g2)).is_err() {
+                if send_msg(tx2, &msg(g2)).is_err() {
                     return;
                 }
                 k += block;
@@ -327,9 +275,100 @@ fn dealer_thread(
     }
 }
 
+/// Expands the input share matrix one party holds: S₁'s shares come
+/// from the users' PRF (`share_prf`), S₂'s are `bit − ⟨·⟩₁`. Each
+/// server receives ONLY its own matrix — what the users uploaded to
+/// it — which is why a `party` process needs the graph solely to play
+/// its own users.
+pub fn party_input_shares(matrix: &BitMatrix, seed: u64, id: ServerId) -> Vec<Vec<Ring64>> {
+    let n = matrix.n();
+    let mut shares = vec![vec![Ring64::ZERO; n]; n];
+    for (i, row) in shares.iter_mut().enumerate() {
+        for (j, slot) in row.iter_mut().enumerate() {
+            let s1 = Ring64(share_prf(seed, i as u32, j as u32));
+            *slot = match id {
+                ServerId::S1 => s1,
+                ServerId::S2 => Ring64::from_bit(matrix.get(i, j)) - s1,
+            };
+        }
+    }
+    shares
+}
+
+/// Runs ONE server's worker pool of the sharded Count against a live
+/// peer on the other end of `link` — the entry point of the `party`
+/// binaries (via [`crate::party`]).
+///
+/// The party tallies the full bidirectional modeled ledger itself
+/// (both processes report identical `NetStats`), expands dealer
+/// material locally in trusted-dealer mode, runs the OT dialogue over
+/// `link` in OT mode, and finally overwrites
+/// [`NetStats::wire_bytes`] with the online payload bytes the
+/// transport measured — which the equivalence suites pin equal to the
+/// modeled `bytes`.
+pub fn run_party_count<T: Transport>(
+    matrix: &BitMatrix,
+    seed: u64,
+    threads: usize,
+    batch: usize,
+    mode: OfflineMode,
+    id: ServerId,
+    link: &Arc<T>,
+) -> SecureCountResult {
+    let n = matrix.n();
+    let sched = Arc::new(CountScheduler::new(n, threads.max(1), batch));
+    let shares = Arc::new(party_input_shares(matrix, seed, id));
+    let workers = sched.workers().min(sched.chunks().len()).max(1);
+    let (share, mut net) = std::thread::scope(|scope| {
+        let pool: Vec<_> = (0..workers)
+            .map(|w| {
+                let worker = ServerWorker::<T, InMemoryTransport> {
+                    id,
+                    worker: w,
+                    workers,
+                    mode,
+                    seed,
+                    tally: true,
+                    sched: Arc::clone(&sched),
+                    shares: Arc::clone(&shares),
+                    peer: Arc::clone(link),
+                    dealer: DealerSource::Local,
+                };
+                scope.spawn(move || worker.run())
+            })
+            .collect();
+        let mut t = Ring64::ZERO;
+        let mut net = NetStats::new();
+        for h in pool {
+            let (share, stats) = h.join().expect("party worker panicked");
+            t += share;
+            net.merge(&stats);
+        }
+        (t, net)
+    });
+    if mode == OfflineMode::OtExtension && !sched.chunks().is_empty() {
+        net.offline.merge(&ot_setup_ledger());
+    }
+    net.wire_bytes = link.stats().online_payload_both();
+    // The other share lives in the peer process; this result carries
+    // ours in the slot matching our role and zero in the other.
+    let (share1, share2) = match id {
+        ServerId::S1 => (share, Ring64::ZERO),
+        ServerId::S2 => (Ring64::ZERO, share),
+    };
+    SecureCountResult {
+        share1,
+        share2,
+        net,
+        upload_elements: 2 * (n as u64) * (n as u64),
+        triples: sched.total_triples(),
+    }
+}
+
 /// Runs Algorithm 4 on the sharded message-passing runtime with one
 /// worker per server (plus the dealer) and the default batch size —
-/// the paper-faithful three-thread deployment shape.
+/// the paper-faithful three-thread deployment shape — over the
+/// in-memory byte transport.
 ///
 /// Produces byte-identical shares to
 /// [`crate::count::secure_triangle_count`] with the same seed (both
@@ -352,11 +391,12 @@ pub fn threaded_secure_count_sharded(
     threaded_secure_count_offline(matrix, seed, threads, batch, OfflineMode::TrustedDealer)
 }
 
-/// [`threaded_secure_count_sharded`] with an explicit offline mode.
+/// [`threaded_secure_count_sharded`] with an explicit offline mode,
+/// over the default in-memory byte transport.
 ///
 /// Under [`OfflineMode::OtExtension`] there is **no dealer thread**:
 /// the two server pools run the IKNP/Gilboa preprocessing dialogue
-/// against each other over dedicated multiplexed links — one
+/// against each other over the same server↔server link — one
 /// chunk-amortised extension session (flights of five messages) per
 /// pair-space chunk, before that chunk's online rounds — which is the
 /// paper-faithful deployment shape of the offline phase. Shares,
@@ -369,57 +409,74 @@ pub fn threaded_secure_count_offline(
     batch: usize,
     mode: OfflineMode,
 ) -> SecureCountResult {
+    let (end1, end2) = cargo_mpc::memory_pair();
+    threaded_secure_count_over(matrix, seed, threads, batch, mode, Arc::new(end1), Arc::new(end2))
+}
+
+/// [`threaded_secure_count_offline`] over **real loopback TCP
+/// sockets**: the two server pools still live in one process, but
+/// every opening (and, in OT mode, every offline flight) crosses the
+/// kernel's network stack as encoded frames. Results and `NetStats`
+/// are bit-identical to the in-memory and fast paths; only the
+/// transport changes. (The two-OS-process shape is the `party`
+/// binary.)
+pub fn threaded_secure_count_tcp(
+    matrix: &BitMatrix,
+    seed: u64,
+    threads: usize,
+    batch: usize,
+    mode: OfflineMode,
+) -> SecureCountResult {
+    let (end1, end2, _) = TcpTransport::loopback_pair(&TcpConfig::default())
+        .expect("loopback socket pair");
+    threaded_secure_count_over(matrix, seed, threads, batch, mode, Arc::new(end1), Arc::new(end2))
+}
+
+/// The transport-generic core of the in-process runtime: both server
+/// pools over the two ends of one [`Transport`] link, plus (in
+/// trusted-dealer mode) a dealer thread streaming [`DealerMsg`] frames
+/// over dedicated in-memory links.
+fn threaded_secure_count_over<T: Transport>(
+    matrix: &BitMatrix,
+    seed: u64,
+    threads: usize,
+    batch: usize,
+    mode: OfflineMode,
+    end1: Arc<T>,
+    end2: Arc<T>,
+) -> SecureCountResult {
     let n = matrix.n();
     let sched = Arc::new(CountScheduler::new(n, threads.max(1), batch));
-    // Users upload input shares: S1's expand from the PRF, S2's are
-    // bit − share1. Each server receives ONLY its own matrix.
-    let mut shares1 = vec![vec![Ring64::ZERO; n]; n];
-    let mut shares2 = vec![vec![Ring64::ZERO; n]; n];
-    for i in 0..n {
-        for j in 0..n {
-            let s1 = Ring64(share_prf(seed, i as u32, j as u32));
-            shares1[i][j] = s1;
-            shares2[i][j] = Ring64::from_bit(matrix.get(i, j)) - s1;
-        }
-    }
-    let shares1 = Arc::new(shares1);
-    let shares2 = Arc::new(shares2);
+    // Users upload input shares: each server receives ONLY its own
+    // matrix.
+    let shares1 = Arc::new(party_input_shares(matrix, seed, ServerId::S1));
+    let shares2 = Arc::new(party_input_shares(matrix, seed, ServerId::S2));
     // Workers per server: no more than there are chunks to own.
     let workers = sched.workers().min(sched.chunks().len()).max(1);
 
-    let (dtx1, drx1) = tagged_channel();
-    let (dtx2, drx2) = tagged_channel();
-    let (p1tx, p1rx) = tagged_channel(); // S1 -> S2 (online openings)
-    let (p2tx, p2rx) = tagged_channel(); // S2 -> S1
-    let (o1tx, o1rx) = tagged_channel(); // S1 -> S2 (offline phase)
-    let (o2tx, o2rx) = tagged_channel(); // S2 -> S1
-    let drx1 = Arc::new(drx1);
-    let drx2 = Arc::new(drx2);
-    let p1rx = Arc::new(p1rx);
-    let p2rx = Arc::new(p2rx);
-    let o1rx = Arc::new(o1rx);
-    let o2rx = Arc::new(o2rx);
+    // Dealer links (trusted-dealer mode only): the dealer keeps its
+    // own in-memory byte links to each server — its frames are encoded
+    // and counted too, but never share the server↔server wire.
+    let (d1tx, d1rx) = cargo_mpc::memory_pair();
+    let (d2tx, d2rx) = cargo_mpc::memory_pair();
+    let (d1rx, d2rx) = (Arc::new(d1rx), Arc::new(d2rx));
 
     let (share1, share2, mut net) = std::thread::scope(|scope| {
-        // The dealer thread exists only in trusted-dealer mode; under
-        // OT extension the servers preprocess against each other.
         let dealer = match mode {
             OfflineMode::TrustedDealer => Some({
                 let sched = Arc::clone(&sched);
-                scope.spawn(move || dealer_thread(&sched, seed, dtx1, dtx2))
+                scope.spawn(move || dealer_thread(&sched, seed, &d1tx, &d2tx))
             }),
             OfflineMode::OtExtension => {
-                drop((dtx1, dtx2));
+                drop((d1tx, d2tx));
                 None
             }
         };
         let spawn_pool = |id: ServerId,
                           shares: &Arc<Vec<Vec<Ring64>>>,
-                          dealer_rx: &Arc<TaggedDemux<DealerMsg>>,
-                          peer_tx: &TaggedSender<OpeningMsg>,
-                          peer_rx: &Arc<TaggedDemux<OpeningMsg>>,
-                          off_tx: &TaggedSender<OfflineMsg>,
-                          off_rx: &Arc<TaggedDemux<OfflineMsg>>| {
+                          peer: &Arc<T>,
+                          dealer_rx: &Arc<InMemoryTransport>,
+                          tally: bool| {
             (0..workers)
                 .map(|w| {
                     let worker = ServerWorker {
@@ -428,23 +485,25 @@ pub fn threaded_secure_count_offline(
                         workers,
                         mode,
                         seed,
+                        tally,
                         sched: Arc::clone(&sched),
                         shares: Arc::clone(shares),
-                        dealer_rx: Arc::clone(dealer_rx),
-                        peer_tx: peer_tx.clone(),
-                        peer_rx: Arc::clone(peer_rx),
-                        off_tx: off_tx.clone(),
-                        off_rx: Arc::clone(off_rx),
+                        peer: Arc::clone(peer),
+                        dealer: match mode {
+                            OfflineMode::TrustedDealer => {
+                                DealerSource::Link(Arc::clone(dealer_rx))
+                            }
+                            OfflineMode::OtExtension => DealerSource::Local,
+                        },
                     };
                     scope.spawn(move || worker.run())
                 })
                 .collect::<Vec<_>>()
         };
-        let pool1 = spawn_pool(ServerId::S1, &shares1, &drx1, &p1tx, &p2rx, &o1tx, &o2rx);
-        let pool2 = spawn_pool(ServerId::S2, &shares2, &drx2, &p2tx, &p1rx, &o2tx, &o1rx);
-        // Drop the main thread's sender handles so the demuxes observe
-        // hang-up once the pools finish.
-        drop((p1tx, p2tx, o1tx, o2tx));
+        // S₁ tallies the full bidirectional exchanges so the merged
+        // stats equal one exchange per batch.
+        let pool1 = spawn_pool(ServerId::S1, &shares1, &end1, &d1rx, true);
+        let pool2 = spawn_pool(ServerId::S2, &shares2, &end2, &d2rx, false);
         if let Some(dealer) = dealer {
             dealer.join().expect("dealer panicked");
         }
@@ -454,7 +513,7 @@ pub fn threaded_secure_count_offline(
         for h in pool1 {
             let (t, stats) = h.join().expect("S1 worker panicked");
             t1 += t;
-            net.merge(&stats); // S2 workers tally nothing; S1 records full exchanges
+            net.merge(&stats);
         }
         for h in pool2 {
             let (t, stats) = h.join().expect("S2 worker panicked");
@@ -464,9 +523,18 @@ pub fn threaded_secure_count_offline(
         (t1, t2, net)
     });
 
+    // Measured-vs-modeled: the offline payload that actually crossed
+    // the wire must equal the modeled flight ledger (the base-OT setup
+    // is a per-run constant that never crosses this link).
+    debug_assert_eq!(end1.stats().offline_payload_both(), net.offline.bytes);
     if mode == OfflineMode::OtExtension && !sched.chunks().is_empty() {
         net.offline.merge(&ot_setup_ledger());
     }
+    // The headline measurement: replace the modeled wire_bytes with
+    // what the transport actually carried for the online openings.
+    // Every `net == fast.net` equality downstream now pins
+    // measured == modeled exactly.
+    net.wire_bytes = end1.stats().online_payload_both();
     SecureCountResult {
         share1,
         share2,
@@ -502,7 +570,9 @@ mod tests {
     fn threaded_runtime_matches_fast_path_share_for_share() {
         // The strongest equivalence: identical SHARES, not just the
         // reconstructed value — both runtimes expand the same PRF
-        // streams through genuinely different executions.
+        // streams through genuinely different executions. NetStats
+        // equality here includes wire_bytes: the runtime's measured
+        // online payload vs the fast path's modeled bytes.
         let g = barabasi_albert(60, 4, 7);
         let m = g.to_bit_matrix();
         let fast = secure_triangle_count(&m, 99, 1);
@@ -512,6 +582,11 @@ mod tests {
         assert_eq!(fast.triples, threaded.triples);
         assert_eq!(fast.upload_elements, threaded.upload_elements);
         assert_eq!(fast.net, threaded.net, "identical round accounting");
+        assert_eq!(
+            threaded.net.wire_bytes,
+            threaded.net.online().bytes,
+            "measured == modeled"
+        );
     }
 
     #[test]
@@ -550,6 +625,80 @@ mod tests {
             assert_eq!(sharded.share1, fast.share1, "batch {batch}");
             assert_eq!(sharded.share2, fast.share2, "batch {batch}");
             assert_eq!(sharded.net, fast.net, "batch {batch}");
+        }
+    }
+
+    #[test]
+    fn tcp_runtime_matches_fast_path_bit_for_bit() {
+        // Real loopback sockets, same shares, same full NetStats —
+        // the measured wire now pins the cost model over a kernel
+        // network stack.
+        let g = erdos_renyi(36, 0.3, 6);
+        let m = g.to_bit_matrix();
+        for (workers, batch) in [(1usize, 0usize), (2, 7)] {
+            let fast = secure_triangle_count_batched(&m, 13, 1, batch);
+            let tcp = threaded_secure_count_tcp(
+                &m,
+                13,
+                workers,
+                batch,
+                OfflineMode::TrustedDealer,
+            );
+            assert_eq!(tcp.share1, fast.share1, "w={workers} b={batch}");
+            assert_eq!(tcp.share2, fast.share2, "w={workers} b={batch}");
+            assert_eq!(tcp.net, fast.net, "w={workers} b={batch}");
+            assert_eq!(tcp.net.wire_bytes, tcp.net.online().bytes);
+        }
+    }
+
+    #[test]
+    fn tcp_runtime_runs_the_ot_offline_dialogue_over_sockets() {
+        use crate::count::secure_triangle_count_with;
+        let g = erdos_renyi(24, 0.3, 3);
+        let m = g.to_bit_matrix();
+        let fast = secure_triangle_count_with(&m, 8, 1, 16, OfflineMode::OtExtension);
+        let tcp = threaded_secure_count_tcp(&m, 8, 2, 16, OfflineMode::OtExtension);
+        assert_eq!(tcp.share1, fast.share1);
+        assert_eq!(tcp.share2, fast.share2);
+        assert_eq!(tcp.net, fast.net, "full NetStats incl. offline ledger");
+    }
+
+    #[test]
+    fn party_pools_over_an_explicit_pair_match_the_runtime() {
+        // The two-process shape, in miniature: each party builds ONLY
+        // its own share matrix and runs run_party_count over one end
+        // of a link; shares and ledgers reassemble to the fast path.
+        let g = erdos_renyi(40, 0.3, 21);
+        let m = g.to_bit_matrix();
+        for mode in [OfflineMode::TrustedDealer, OfflineMode::OtExtension] {
+            let fast =
+                crate::count::secure_triangle_count_with(&m, 17, 1, 16, mode);
+            let (end1, end2) = cargo_mpc::memory_pair();
+            let (end1, end2) = (Arc::new(end1), Arc::new(end2));
+            let (r1, r2) = std::thread::scope(|scope| {
+                let m1 = &m;
+                let e1 = &end1;
+                let h1 = scope
+                    .spawn(move || run_party_count(m1, 17, 2, 16, mode, ServerId::S1, e1));
+                let m2 = &m;
+                let e2 = &end2;
+                let h2 = scope
+                    .spawn(move || run_party_count(m2, 17, 2, 16, mode, ServerId::S2, e2));
+                (h1.join().unwrap(), h2.join().unwrap())
+            });
+            assert_eq!(r1.share1, fast.share1, "{mode:?}");
+            assert_eq!(r2.share2, fast.share2, "{mode:?}");
+            assert_eq!(r1.share2, Ring64::ZERO, "a party holds only its share");
+            assert_eq!(
+                r1.share1 + r2.share2,
+                Ring64(count_triangles_matrix(&m)),
+                "{mode:?}"
+            );
+            // Each party independently tallies the full bidirectional
+            // model and measures the full bidirectional wire.
+            assert_eq!(r1.net, r2.net, "{mode:?}: identical party ledgers");
+            assert_eq!(r1.net, fast.net, "{mode:?}: party ledger == fast path");
+            assert_eq!(r1.net.wire_bytes, r1.net.online().bytes, "{mode:?}");
         }
     }
 

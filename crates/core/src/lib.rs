@@ -16,6 +16,7 @@
 //! | Algorithm 4 `Count` | [`count`] | ASS-based secure exact count |
 //! | Algorithm 5 `Perturb` | [`mod@perturb`] | Distributed Laplace perturbation |
 //! | Offline phase \[42, 43\] | [`cargo_mpc::offline`] via [`OfflineMode`] | Dealer or OT-extension MG precomputation |
+//! | Deployment shape | [`party`] + [`count_runtime`] | One server per process over a real [`cargo_mpc::transport::Transport`] |
 //! | Section III-B ext. | [`node_dp`] | Node-DP variant (sensitivity updates) |
 //! | Table II | [`theory`] | Closed-form utility/cost bounds |
 //! | Section II-A3 | [`metrics`] | l2 loss and relative error |
@@ -48,6 +49,7 @@ pub mod count_sched;
 pub mod max_degree;
 pub mod metrics;
 pub mod node_dp;
+pub mod party;
 pub mod perturb;
 pub mod projection;
 pub mod sensitivity;
@@ -55,14 +57,16 @@ pub mod protocol;
 pub mod theory;
 
 pub use cargo_mpc::OfflineMode;
-pub use config::{CargoConfig, CountKernel};
+pub use config::{CargoConfig, CountKernel, TransportKind};
 pub use count::{
     secure_triangle_count, secure_triangle_count_batched, secure_triangle_count_kernel,
     secure_triangle_count_with, SecureCountResult,
 };
 pub use count_runtime::{
-    threaded_secure_count, threaded_secure_count_offline, threaded_secure_count_sharded,
+    party_input_shares, run_party_count, threaded_secure_count, threaded_secure_count_offline,
+    threaded_secure_count_sharded, threaded_secure_count_tcp,
 };
+pub use party::{run_party, run_party_local, PartyReport};
 pub use count_sampled::{
     secure_triangle_count_sampled, secure_triangle_count_sampled_batched,
     secure_triangle_count_sampled_kernel, secure_triangle_count_sampled_with,
@@ -71,7 +75,7 @@ pub use count_sampled::{
 pub use count_sched::{CountScheduler, PairChunk, DEFAULT_COUNT_BATCH};
 pub use max_degree::{estimate_max_degree, MaxDegreeEstimate};
 pub use metrics::{l2_loss, relative_error};
-pub use perturb::{perturb, PerturbResult};
+pub use perturb::{aggregate_noise_shares, perturb, PerturbResult};
 pub use projection::{project_matrix, project_user_row, ProjectionResult};
 pub use sensitivity::{local_sensitivity, smooth_sensitivity, smooth_sensitivity_mechanism};
 pub use protocol::{CargoOutput, CargoSystem, StepTimings};

@@ -55,6 +55,37 @@ pub struct PerturbInputs<'a, R: Rng + ?Sized> {
     pub share_seed: u64,
 }
 
+/// Lines 1–8 of Algorithm 5 from the servers' viewpoint: every user
+/// samples her partial noise `γᵢ`, encodes it, splits it, and uploads
+/// one share to each server; the servers aggregate as shares arrive.
+/// Returns the two aggregated noise shares `(Σ⟨γ⟩₁, Σ⟨γ⟩₂)`.
+///
+/// Exposed (beyond [`perturb`]) for the party pipeline
+/// ([`crate::party`]): the uploads are deterministic in the seeds, so
+/// each standalone party process replays them and keeps only its own
+/// aggregate — exactly what its users would have sent it.
+pub fn aggregate_noise_shares<R: Rng + ?Sized>(
+    n_users: usize,
+    sensitivity: f64,
+    epsilon2: f64,
+    codec: FixedPointCodec,
+    noise_rng: &mut R,
+    share_seed: u64,
+) -> (Ring64, Ring64) {
+    let dist = DistributedLaplace::new(n_users, sensitivity, epsilon2);
+    let mut share_rng = SplitMix64::new(share_seed);
+    let mut gamma1 = Ring64::ZERO;
+    let mut gamma2 = Ring64::ZERO;
+    for _ in 0..n_users {
+        let gamma = dist.sample_partial(noise_rng);
+        let encoded = codec.encode(gamma);
+        let pair = share_with(encoded, &mut share_rng);
+        gamma1 += pair.s1;
+        gamma2 += pair.s2;
+    }
+    (gamma1, gamma2)
+}
+
 /// Runs the distributed perturbation. See [`PerturbInputs`] for the
 /// parameters.
 pub fn perturb<R: Rng + ?Sized>(inputs: PerturbInputs<'_, R>) -> PerturbResult {
@@ -68,19 +99,10 @@ pub fn perturb<R: Rng + ?Sized>(inputs: PerturbInputs<'_, R>) -> PerturbResult {
         noise_rng,
         share_seed,
     } = inputs;
-    let dist = DistributedLaplace::new(n_users, sensitivity, epsilon2);
-    let mut share_rng = SplitMix64::new(share_seed);
-    // Users: sample γᵢ, encode, split, upload (lines 1–6).
-    let mut gamma1 = Ring64::ZERO;
-    let mut gamma2 = Ring64::ZERO;
-    for _ in 0..n_users {
-        let gamma = dist.sample_partial(noise_rng);
-        let encoded = codec.encode(gamma);
-        let pair = share_with(encoded, &mut share_rng);
-        // Servers aggregate as the shares arrive (lines 7–8).
-        gamma1 += pair.s1;
-        gamma2 += pair.s2;
-    }
+    // Users: sample γᵢ, encode, split, upload; servers aggregate
+    // (lines 1–8).
+    let (gamma1, gamma2) =
+        aggregate_noise_shares(n_users, sensitivity, epsilon2, codec, noise_rng, share_seed);
     // Servers: align the count shares to the fixed-point denominator
     // and add the aggregated noise shares (lines 9–10).
     let t1 = codec.lift_integer(share1) + gamma1;

@@ -14,17 +14,85 @@
 //! because this is a reproduction and the experiments must decompose
 //! the error into projection loss vs perturbation error (Theorems 5/6).
 
-use crate::config::CargoConfig;
+use crate::config::{CargoConfig, CountKernel, TransportKind};
 use crate::count::secure_triangle_count_kernel;
-use crate::max_degree::estimate_max_degree;
+use crate::count_runtime::threaded_secure_count_tcp;
+use crate::max_degree::{estimate_max_degree, MaxDegreeEstimate};
 use crate::perturb::{perturb, PerturbInputs};
 use crate::projection::project_matrix;
 use cargo_dp::{FixedPointCodec, PrivacyAccountant, PrivacyBudget};
-use cargo_graph::{count_triangles_matrix, Graph};
+use cargo_graph::{count_triangles_matrix, BitMatrix, Graph};
 use cargo_mpc::NetStats;
 use rand::rngs::StdRng;
+use rand::Rng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
+
+/// Tweak XORed into the root seed to derive the Count phase's seed —
+/// one definition shared by the monolithic system and the party
+/// pipeline so the two deployment shapes can never desynchronise.
+pub(crate) const COUNT_SEED_TWEAK: u64 = 0xC0DE;
+
+/// Tweak XORed into the root seed to derive the users'
+/// noise-share-splitting seed (Algorithm 5).
+pub(crate) const NOISE_SEED_TWEAK: u64 = 0xD00F;
+
+/// Step 1 of Algorithm 1 (`Max` then `Project`), shared verbatim by
+/// [`CargoSystem::run`] and [`crate::party::run_party`]: both shapes
+/// must derive the identical projected matrix from the public seed.
+#[derive(Debug, Clone)]
+pub(crate) struct ProjectedInput {
+    /// The (possibly projected) adjacency matrix the Count runs on.
+    pub matrix: BitMatrix,
+    /// The noisy max-degree estimate (projection parameter Δ source).
+    pub max_est: MaxDegreeEstimate,
+    /// Users whose rows projection truncated.
+    pub truncated_users: usize,
+    /// Wall-clock of the `Max` round.
+    pub t_max: Duration,
+    /// Wall-clock of the `Project` round.
+    pub t_project: Duration,
+}
+
+/// Runs `Max` (ε₁) then `Project` on `graph` — see [`ProjectedInput`].
+pub(crate) fn max_and_project<R: Rng + ?Sized>(
+    graph: &Graph,
+    cfg: &CargoConfig,
+    rng: &mut R,
+) -> ProjectedInput {
+    let split = cfg.epsilon_split();
+    let t0 = Instant::now();
+    let degrees = graph.degrees();
+    let max_est = estimate_max_degree(&degrees, split.epsilon1, rng);
+    let t_max = t0.elapsed();
+    let t0 = Instant::now();
+    let matrix = graph.to_bit_matrix();
+    let theta = max_est.as_parameter();
+    let (matrix, truncated_users) = if cfg.projection {
+        let res = project_matrix(&matrix, &degrees, &max_est.noisy_degrees, theta);
+        (res.matrix, res.truncated_users)
+    } else {
+        (matrix, 0)
+    };
+    ProjectedInput {
+        matrix,
+        max_est,
+        truncated_users,
+        t_max,
+        t_project: t0.elapsed(),
+    }
+}
+
+/// The perturbation sensitivity Δ both deployment shapes use: one edge
+/// change affects at most `d'_max` triangles after projection (the
+/// paper's Δ; without projection it is `n`).
+pub(crate) fn count_sensitivity(cfg: &CargoConfig, max_est: &MaxDegreeEstimate, n: usize) -> f64 {
+    if cfg.projection {
+        max_est.as_sensitivity()
+    } else {
+        n as f64
+    }
+}
 
 /// Wall-clock timing of each pipeline step.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -114,49 +182,63 @@ impl CargoSystem {
         assert!(n > 0, "graph must have at least one user");
 
         // ---- Step 1: similarity-based projection ----
-        let t0 = Instant::now();
-        let degrees = graph.degrees();
-        let max_est = estimate_max_degree(&degrees, split.epsilon1, &mut rng);
+        let input = max_and_project(graph, cfg, &mut rng);
         accountant
             .spend("Max (Algorithm 2)", split.epsilon1)
             .expect("budget split cannot exceed the cap");
-        let t_max = t0.elapsed();
-
-        let t0 = Instant::now();
-        let matrix = graph.to_bit_matrix();
-        let theta = max_est.as_parameter();
-        let (projected, truncated_users) = if cfg.projection {
-            let res = project_matrix(&matrix, &degrees, &max_est.noisy_degrees, theta);
-            (res.matrix, res.truncated_users)
-        } else {
-            (matrix, 0)
-        };
-        let t_project = t0.elapsed();
+        let ProjectedInput {
+            matrix: projected,
+            max_est,
+            truncated_users,
+            t_max,
+            t_project,
+        } = input;
 
         // ---- Step 2: ASS-based triangle counting ----
         // (Preceded by the offline phase: trusted dealer or OT
         // extension per cfg.offline — shares are identical either way,
-        // the offline ledger in `net.offline` differs.)
+        // the offline ledger in `net.offline` differs. cfg.transport
+        // selects the wire: the in-process fast kernel, or the sharded
+        // message-passing runtime over real loopback TCP sockets —
+        // shares and ledgers are bit-identical across transports, but
+        // TCP *measures* the byte ledger.)
         let t0 = Instant::now();
-        let count = secure_triangle_count_kernel(
-            &projected,
-            cfg.seed ^ 0xC0DE,
-            cfg.effective_threads(),
-            cfg.effective_batch(),
-            cfg.offline,
-            cfg.kernel,
-        );
+        let count = match cfg.transport {
+            TransportKind::Memory => secure_triangle_count_kernel(
+                &projected,
+                cfg.seed ^ COUNT_SEED_TWEAK,
+                cfg.effective_threads(),
+                cfg.effective_batch(),
+                cfg.offline,
+                cfg.kernel,
+            ),
+            TransportKind::Tcp => {
+                // The TCP runtime's slab rounds ARE the batched
+                // kernel; there is no scalar variant of the wire
+                // protocol. Say so instead of silently ignoring the
+                // A/B knob (results are bit-identical either way).
+                if cfg.kernel != CountKernel::default() {
+                    eprintln!(
+                        "warning: --transport tcp always runs the batched runtime; \
+                         --kernel {} has no effect there (shares are bit-identical \
+                         across kernels)",
+                        cfg.kernel
+                    );
+                }
+                threaded_secure_count_tcp(
+                    &projected,
+                    cfg.seed ^ COUNT_SEED_TWEAK,
+                    cfg.effective_threads(),
+                    cfg.effective_batch(),
+                    cfg.offline,
+                )
+            }
+        };
         let t_count = t0.elapsed();
 
         // ---- Step 3: distributed perturbation ----
         let t0 = Instant::now();
-        // Sensitivity after projection: one edge change affects at most
-        // d'_max triangles (the paper's Δ; without projection it is n).
-        let sensitivity = if cfg.projection {
-            max_est.as_sensitivity()
-        } else {
-            n as f64
-        };
+        let sensitivity = count_sensitivity(cfg, &max_est, n);
         let perturbed = perturb(PerturbInputs {
             share1: count.share1,
             share2: count.share2,
@@ -165,7 +247,7 @@ impl CargoSystem {
             epsilon2: split.epsilon2,
             codec: FixedPointCodec::new(cfg.frac_bits),
             noise_rng: &mut rng,
-            share_seed: cfg.seed ^ 0xD00F,
+            share_seed: cfg.seed ^ NOISE_SEED_TWEAK,
         });
         accountant
             .spend("Perturb (Algorithm 5)", split.epsilon2)
@@ -277,6 +359,19 @@ mod tests {
         assert!(ot.net.offline.bytes > 0, "offline phase is costed");
         assert!(ot.net.offline.rounds > 0);
         assert_eq!(ot.net.offline.base_ots, 256);
+    }
+
+    #[test]
+    fn tcp_transport_changes_nothing_but_measures_the_wire() {
+        use crate::TransportKind;
+        let g = erdos_renyi(50, 0.25, 6);
+        let base = CargoConfig::new(2.0).with_seed(3).with_threads(2);
+        let mem = CargoSystem::new(base).run(&g);
+        let tcp = CargoSystem::new(base.with_transport(TransportKind::Tcp)).run(&g);
+        assert_eq!(tcp.noisy_count, mem.noisy_count, "bit-identical output");
+        assert_eq!(tcp.projected_count, mem.projected_count);
+        assert_eq!(tcp.net, mem.net, "measured wire == modeled ledger");
+        assert_eq!(tcp.net.wire_bytes, tcp.net.online().bytes);
     }
 
     #[test]

@@ -17,8 +17,38 @@
 //! messages arriving first.
 
 use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
 use std::sync::mpsc;
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why a blocking receive came back without a message.
+///
+/// Both the legacy typed [`tagged_channel`] and the byte-level
+/// [`crate::transport::Transport`] backends surface the same two
+/// failure modes, so a dropped peer fails the protocol *loudly*
+/// (workers `expect` on this) instead of deadlocking a worker on a
+/// channel that will never deliver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// Every sending handle is gone and the queue for the requested
+    /// key is drained: the peer hung up.
+    Disconnected,
+    /// The deadline passed with no message for the requested key (the
+    /// peer may be alive but wedged — the caller decides).
+    Timeout,
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RecvError::Disconnected => "peer disconnected",
+            RecvError::Timeout => "receive timed out",
+        })
+    }
+}
+
+impl std::error::Error for RecvError {}
 
 /// Tally of the *offline* (preprocessing) phase: the OT-extension
 /// traffic that replaces the trusted dealer when
@@ -79,6 +109,16 @@ pub struct NetStats {
     /// Largest single batch (elements each way) seen so far — the peak
     /// per-message buffer a deployment would need.
     pub peak_batch: u64,
+    /// Bytes a byte transport carries for the online openings, both
+    /// directions. On purely modeled paths (the fast kernel, the
+    /// sampled estimator) this tracks `bytes` in lockstep by
+    /// construction; transport-backed runtimes **overwrite** it with
+    /// the counter measured by [`crate::transport::Transport`] while
+    /// serialising every frame. Measured == modeled is therefore an
+    /// *invariant*, not a tolerance: every cross-path equality test
+    /// that compares whole `NetStats` structs pins the transport's
+    /// real byte count to the cost model exactly (DESIGN.md §8).
+    pub wire_bytes: u64,
     /// Preprocessing traffic (OT-extension offline phase); zero under
     /// the trusted dealer. The fields above count the online phase
     /// only, so `offline` never mixes into per-triple online costs.
@@ -97,6 +137,7 @@ impl NetStats {
     pub fn exchange(&mut self, elements_each_way: u64) {
         self.elements += 2 * elements_each_way;
         self.bytes += 2 * elements_each_way * 8;
+        self.wire_bytes += 2 * elements_each_way * 8;
         self.rounds += 1;
         self.batches += 1;
         self.peak_batch = self.peak_batch.max(elements_each_way);
@@ -115,6 +156,7 @@ impl NetStats {
         }
         self.elements += 2 * elements_each_way * rounds;
         self.bytes += 2 * elements_each_way * 8 * rounds;
+        self.wire_bytes += 2 * elements_each_way * 8 * rounds;
         self.rounds += rounds;
         self.batches += rounds;
         self.peak_batch = self.peak_batch.max(elements_each_way);
@@ -126,6 +168,7 @@ impl NetStats {
     pub fn batched_elements(&mut self, elements_each_way: u64) {
         self.elements += 2 * elements_each_way;
         self.bytes += 2 * elements_each_way * 8;
+        self.wire_bytes += 2 * elements_each_way * 8;
         self.batches += 1;
         self.peak_batch = self.peak_batch.max(elements_each_way);
     }
@@ -147,6 +190,7 @@ impl NetStats {
     pub fn merge(&mut self, other: &NetStats) {
         self.elements += other.elements;
         self.bytes += other.bytes;
+        self.wire_bytes += other.wire_bytes;
         self.rounds += other.rounds;
         self.batches += other.batches;
         self.peak_batch = self.peak_batch.max(other.peak_batch);
@@ -191,12 +235,7 @@ pub fn tagged_channel<T>() -> (TaggedSender<T>, TaggedDemux<T>) {
         TaggedSender { tx },
         TaggedDemux {
             rx: Mutex::new(rx),
-            state: Mutex::new(DemuxState {
-                queues: HashMap::new(),
-                pumping: false,
-                closed: false,
-            }),
-            cv: Condvar::new(),
+            demux: KeyedDemux::new(),
         },
     )
 }
@@ -223,60 +262,153 @@ impl<T> TaggedSender<T> {
     }
 }
 
-struct DemuxState<T> {
-    queues: HashMap<u32, VecDeque<T>>,
-    /// Whether some worker currently owns the underlying receiver.
+struct DemuxState<K, T> {
+    queues: HashMap<K, VecDeque<T>>,
+    /// Whether some worker currently owns the underlying source.
     pumping: bool,
     closed: bool,
 }
 
-/// Receiving half of a [`tagged_channel`]: shared by all of one
-/// server's workers (via `Arc`), each blocking on its own tag.
+/// The cooperative demultiplexer shared by every multiplexed link in
+/// the crate: the legacy typed [`TaggedDemux`] and both byte
+/// transports ([`crate::transport::InMemoryTransport`],
+/// [`crate::transport::TcpTransport`]) route through this one state
+/// machine, differing only in the `pull` closure that drains their
+/// underlying source (an `mpsc` receiver or a TCP socket).
 ///
-/// Demultiplexing is cooperative: whichever worker finds its tag's
-/// queue empty becomes the *pump*, blocks on the underlying channel,
-/// routes whatever arrives into the per-tag queues, and wakes everyone
-/// — so no dedicated router thread is needed and messages for a slow
-/// worker never block a fast one.
-pub struct TaggedDemux<T> {
-    rx: Mutex<mpsc::Receiver<(u32, T)>>,
-    state: Mutex<DemuxState<T>>,
+/// Whichever worker finds its key's queue empty becomes the *pump*:
+/// it blocks on the source via `pull`, routes whatever arrives into
+/// the per-key queues, and wakes everyone — no dedicated router
+/// thread, and messages for a slow worker never block a fast one.
+pub(crate) struct KeyedDemux<K, T> {
+    state: Mutex<DemuxState<K, T>>,
     cv: Condvar,
 }
 
-impl<T> TaggedDemux<T> {
-    /// Blocks until a message tagged `tag` is available and returns it;
-    /// `None` once the channel is closed and drained of that tag.
-    pub fn recv(&self, tag: u32) -> Option<T> {
+impl<K: Eq + Hash + Copy, T> KeyedDemux<K, T> {
+    pub(crate) fn new() -> Self {
+        KeyedDemux {
+            state: Mutex::new(DemuxState {
+                queues: HashMap::new(),
+                pumping: false,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a message routed to `key` is available.
+    ///
+    /// `pull` is invoked by whichever waiter becomes the pump. It must
+    /// block on the underlying source and return the next routed
+    /// message, `Err(Timeout)` if its own poll slice elapsed with
+    /// nothing (no progress — the demux re-checks deadlines and pumps
+    /// again), or `Err(Disconnected)` once the source is closed for
+    /// good. With `deadline = None` the call blocks until a message or
+    /// disconnection.
+    pub(crate) fn recv_with<F>(
+        &self,
+        key: K,
+        deadline: Option<Instant>,
+        pull: F,
+    ) -> Result<T, RecvError>
+    where
+        F: Fn() -> Result<(K, T), RecvError>,
+    {
         loop {
             let mut st = self.state.lock().expect("demux poisoned");
             loop {
-                if let Some(m) = st.queues.get_mut(&tag).and_then(VecDeque::pop_front) {
-                    return Some(m);
+                if let Some(m) = st.queues.get_mut(&key).and_then(VecDeque::pop_front) {
+                    return Ok(m);
                 }
                 if st.closed {
-                    return None;
+                    return Err(RecvError::Disconnected);
+                }
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return Err(RecvError::Timeout);
+                    }
                 }
                 if !st.pumping {
                     st.pumping = true;
                     break;
                 }
-                st = self.cv.wait(st).expect("demux poisoned");
+                st = match deadline {
+                    None => self.cv.wait(st).expect("demux poisoned"),
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return Err(RecvError::Timeout);
+                        }
+                        self.cv
+                            .wait_timeout(st, d - now)
+                            .expect("demux poisoned")
+                            .0
+                    }
+                };
             }
             drop(st);
-            // This worker is now the unique pump: block on the wire.
-            let received = self.rx.lock().expect("demux poisoned").recv();
+            // This worker is now the unique pump: block on the source.
+            let received = pull();
             let mut st = self.state.lock().expect("demux poisoned");
             st.pumping = false;
             match received {
-                Ok((t, m)) => st.queues.entry(t).or_default().push_back(m),
-                Err(mpsc::RecvError) => st.closed = true,
+                Ok((k, m)) => st.queues.entry(k).or_default().push_back(m),
+                Err(RecvError::Disconnected) => st.closed = true,
+                // The pump's poll slice elapsed: no progress, no state
+                // change — loop around, re-check the deadline, re-pump.
+                Err(RecvError::Timeout) => {}
             }
             self.cv.notify_all();
             drop(st);
         }
     }
 }
+
+/// Receiving half of a [`tagged_channel`]: shared by all of one
+/// server's workers (via `Arc`), each blocking on its own tag.
+///
+/// Demultiplexing is cooperative — see the crate-private `KeyedDemux`
+/// this wraps (shared with both byte transports).
+pub struct TaggedDemux<T> {
+    rx: Mutex<mpsc::Receiver<(u32, T)>>,
+    demux: KeyedDemux<u32, T>,
+}
+
+impl<T> TaggedDemux<T> {
+    /// Blocks until a message tagged `tag` is available and returns
+    /// it; [`RecvError::Disconnected`] once the channel is closed and
+    /// drained of that tag.
+    pub fn recv(&self, tag: u32) -> Result<T, RecvError> {
+        self.demux.recv_with(tag, None, || self.pull(None))
+    }
+
+    /// [`Self::recv`] with a deadline: [`RecvError::Timeout`] if no
+    /// message for `tag` arrives within `timeout` — so a wedged (but
+    /// not yet disconnected) peer fails the protocol loudly instead of
+    /// deadlocking the worker.
+    pub fn recv_timeout(&self, tag: u32, timeout: Duration) -> Result<T, RecvError> {
+        let deadline = Instant::now() + timeout;
+        self.demux
+            .recv_with(tag, Some(deadline), || self.pull(Some(DEMUX_POLL)))
+    }
+
+    fn pull(&self, slice: Option<Duration>) -> Result<(u32, T), RecvError> {
+        let rx = self.rx.lock().expect("demux poisoned");
+        match slice {
+            None => rx.recv().map_err(|_| RecvError::Disconnected),
+            Some(d) => rx.recv_timeout(d).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvError::Disconnected,
+            }),
+        }
+    }
+}
+
+/// Poll slice a pump blocks for when some waiter carries a deadline:
+/// long enough to cost nothing, short enough that deadlines are
+/// honoured promptly.
+pub(crate) const DEMUX_POLL: Duration = Duration::from_millis(200);
 
 #[cfg(test)]
 mod tests {
@@ -289,9 +421,23 @@ mod tests {
         s.exchange(3);
         assert_eq!(s.elements, 6);
         assert_eq!(s.bytes, 48);
+        assert_eq!(s.wire_bytes, 48, "modeled paths keep wire_bytes == bytes");
         assert_eq!(s.rounds, 1);
         assert_eq!(s.batches, 1);
         assert_eq!(s.peak_batch, 3);
+    }
+
+    #[test]
+    fn wire_bytes_track_bytes_on_every_modeled_update() {
+        let mut s = NetStats::new();
+        s.exchange(3);
+        s.exchange_rounds(4, 192);
+        s.batched_elements(10);
+        assert_eq!(s.wire_bytes, s.bytes);
+        let mut other = NetStats::new();
+        other.exchange(1);
+        s.merge(&other);
+        assert_eq!(s.wire_bytes, s.bytes, "merge sums wire_bytes too");
     }
 
     #[test]
@@ -382,11 +528,35 @@ mod tests {
         tx.send(1, 10).unwrap();
         tx.send(2, 21).unwrap();
         // Tag 1's message is reachable although tag 2's arrived first.
-        assert_eq!(demux.recv(1), Some(10));
-        assert_eq!(demux.recv(2), Some(20));
-        assert_eq!(demux.recv(2), Some(21));
+        assert_eq!(demux.recv(1), Ok(10));
+        assert_eq!(demux.recv(2), Ok(20));
+        assert_eq!(demux.recv(2), Ok(21));
         drop(tx);
-        assert_eq!(demux.recv(1), None, "closed and drained");
+        assert_eq!(
+            demux.recv(1),
+            Err(RecvError::Disconnected),
+            "closed and drained"
+        );
+    }
+
+    #[test]
+    fn recv_timeout_fails_loudly_instead_of_deadlocking() {
+        let (tx, demux) = tagged_channel::<u32>();
+        tx.send(5, 50).unwrap();
+        // A message for another tag must not satisfy tag 9's wait …
+        assert_eq!(
+            demux.recv_timeout(9, Duration::from_millis(50)),
+            Err(RecvError::Timeout)
+        );
+        // … and the sender being alive keeps this Timeout, not
+        // Disconnected (the deadlock the runtime used to risk).
+        assert_eq!(demux.recv_timeout(5, Duration::from_millis(50)), Ok(50));
+        drop(tx);
+        assert_eq!(
+            demux.recv_timeout(5, Duration::from_secs(5)),
+            Err(RecvError::Disconnected),
+            "hang-up beats the deadline"
+        );
     }
 
     #[test]
@@ -402,7 +572,7 @@ mod tests {
                 let demux = Arc::clone(&demux);
                 scope.spawn(move || {
                     for expect in 0..PER_TAG {
-                        assert_eq!(demux.recv(tag), Some(expect), "tag {tag}");
+                        assert_eq!(demux.recv(tag), Ok(expect), "tag {tag}");
                     }
                 });
             }
@@ -422,7 +592,7 @@ mod tests {
         let tx2 = tx.clone();
         tx.send(7, "a").unwrap();
         tx2.send(7, "b").unwrap();
-        assert_eq!(demux.recv(7), Some("a"));
-        assert_eq!(demux.recv(7), Some("b"));
+        assert_eq!(demux.recv(7), Ok("a"));
+        assert_eq!(demux.recv(7), Ok("b"));
     }
 }

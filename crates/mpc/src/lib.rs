@@ -31,7 +31,16 @@
 //! * [`channel`] — communication accounting: every reconstruction in
 //!   the online phase is tallied in a [`NetStats`] so experiments can
 //!   report message/byte/round counts; the [`OfflineLedger`] inside it
-//!   carries the preprocessing cost.
+//!   carries the preprocessing cost, and [`NetStats::wire_bytes`]
+//!   carries the bytes a real transport measured.
+//! * [`wire`] — the wire codec: a versioned, length-prefixed frame
+//!   format with explicit little-endian serialization for every
+//!   protocol message ([`OpeningMsg`], [`DealerMsg`], the offline
+//!   flight dialogue, the final noisy-count opening).
+//! * [`transport`] — pluggable byte transports carrying those frames:
+//!   the [`Transport`] trait with in-memory ([`InMemoryTransport`])
+//!   and TCP ([`TcpTransport`]) backends, both byte-counting every
+//!   frame, so the modeled ledger is *measured*, not asserted.
 //! * [`view`] — the semi-honest security story (Definition 6): helpers
 //!   that record exactly what each server observes, plus a simulator
 //!   that produces the same view from public information only; tests
@@ -48,19 +57,29 @@ pub mod prg;
 pub mod ring;
 pub mod share;
 pub mod simd;
+pub mod transport;
 pub mod triple_mul;
 pub mod view;
+pub mod wire;
 
 pub use beaver::{beaver_mul, BeaverShare};
-pub use channel::{tagged_channel, NetStats, OfflineLedger, TaggedDemux, TaggedSender};
+pub use channel::{tagged_channel, NetStats, OfflineLedger, RecvError, TaggedDemux, TaggedSender};
 pub use dealer::{
     split_beaver_words, split_mg_words, Dealer, PairDealer, BEAVER_WORDS, MG_WORDS,
 };
 pub use offline::{
-    chunk_offline_ledger, mg_flight_ledger, ot_setup_ledger, plan_flights, plan_offsets,
-    MgChunkMaterial,
+    chunk_offline_ledger, mg_flight_ledger, mg_offline_over_wire, ot_setup_ledger, plan_flights,
+    plan_offsets, MgChunkMaterial,
     MgDraw, MgOfflineS1, MgOfflineS2, OfflineMode, OtBeaverEngine, OtMgEngine,
     MAX_FLIGHT_GROUPS,
+};
+pub use transport::{
+    memory_pair, recv_msg, send_msg, InMemoryTransport, TcpConfig, TcpTransport, Transport,
+    WireStats, DEFAULT_RECV_TIMEOUT,
+};
+pub use wire::{
+    DealerMsg, FinalOpeningMsg, Frame, OfflineMsg, OpeningMsg, WireError, WireMessage,
+    FRAME_HEADER_BYTES, WIRE_VERSION,
 };
 pub use prg::SplitMix64;
 pub use ring::Ring64;

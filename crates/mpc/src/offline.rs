@@ -82,7 +82,10 @@ use crate::ot::{
     BASE_OT_BYTES, BASE_OT_ROUNDS, OT_KAPPA,
 };
 use crate::prg::SplitMix64;
+use crate::transport::{recv_msg, send_msg, Transport, DEFAULT_RECV_TIMEOUT};
 use crate::triple_mul::MulGroupShare;
+use crate::wire::OfflineMsg;
+use crate::ServerId;
 
 /// Selects how the offline phase produces correlated randomness.
 ///
@@ -702,6 +705,97 @@ impl MgOfflineS2 {
     }
 }
 
+/// Sends one offline-phase message under the chunk's tag.
+fn send_off<T: Transport>(link: &T, chunk: u32, flight: u32, step: u8, words: Vec<u64>) {
+    send_msg(
+        link,
+        &OfflineMsg {
+            chunk,
+            flight,
+            step,
+            words,
+        },
+    )
+    .expect("peer hung up (offline)");
+}
+
+/// Receives the peer's next offline message for the chunk, asserting
+/// protocol lockstep.
+fn recv_off<T: Transport>(link: &T, chunk: u32, flight: u32, step: u8) -> Vec<u64> {
+    let m: OfflineMsg = recv_msg(link, chunk, Some(DEFAULT_RECV_TIMEOUT))
+        .unwrap_or_else(|e| panic!("peer lost during offline dialogue: {e}"));
+    assert_eq!(m.chunk, chunk, "demux routed a foreign chunk");
+    assert_eq!(m.flight, flight, "offline flight out of lockstep");
+    assert_eq!(m.step, step, "offline step out of lockstep");
+    m.words
+}
+
+/// Drives one server's half of the chunk-amortised MG offline session
+/// against the peer over `link` — the five-message dialogue per
+/// flight ([`plan_flights`]) documented at the top of this module —
+/// and returns this server's Multiplication-Group shares in plan
+/// order.
+///
+/// When `tally` is set, the per-flight [`mg_flight_ledger`] is merged
+/// into `ledger`. The in-process runtime tallies on S₁ only (its
+/// merged stats then cover both directions, mirroring the online
+/// convention); a standalone party process tallies on both sides, so
+/// each process's ledger is the full bidirectional cost.
+pub fn mg_offline_over_wire<T: Transport>(
+    link: &T,
+    id: ServerId,
+    root: u64,
+    chunk: u32,
+    plan: &[MgDraw],
+    tally: bool,
+    ledger: &mut OfflineLedger,
+) -> Vec<MulGroupShare> {
+    let total: usize = plan.iter().map(|d| d.groups as usize).sum();
+    let mut groups = Vec::with_capacity(total);
+    match id {
+        ServerId::S1 => {
+            let mut s1 = MgOfflineS1::for_chunk(root, chunk as u64);
+            for (f, range) in plan_flights(plan).into_iter().enumerate() {
+                let flight = &plan[range];
+                let weight: u64 = flight.iter().map(|d| d.groups as u64).sum();
+                let f = f as u32;
+                send_off(link, chunk, f, 1, s1.ucols(flight));
+                let u2 = recv_off(link, chunk, f, 1);
+                send_off(link, chunk, f, 2, s1.corrections(&u2));
+                let d_b = recv_off(link, chunk, f, 2);
+                send_off(link, chunk, f, 3, s1.derand_opq(&d_b));
+                let d_b4 = recv_off(link, chunk, f, 3);
+                send_off(link, chunk, f, 4, s1.derand_w(&d_b4));
+                if tally {
+                    ledger.merge(&mg_flight_ledger(weight));
+                }
+                groups.extend(s1.groups());
+            }
+        }
+        ServerId::S2 => {
+            let mut s2 = MgOfflineS2::for_chunk(root, chunk as u64);
+            for (f, range) in plan_flights(plan).into_iter().enumerate() {
+                let flight = &plan[range];
+                let weight: u64 = flight.iter().map(|d| d.groups as u64).sum();
+                let f = f as u32;
+                send_off(link, chunk, f, 1, s2.ucols(flight));
+                let u1 = recv_off(link, chunk, f, 1);
+                send_off(link, chunk, f, 2, s2.corrections(&u1));
+                let d_a = recv_off(link, chunk, f, 2);
+                s2.absorb_corrections(&d_a);
+                let c_opq = recv_off(link, chunk, f, 3);
+                send_off(link, chunk, f, 3, s2.corrections_w(&c_opq));
+                let c_w = recv_off(link, chunk, f, 4);
+                if tally {
+                    ledger.merge(&mg_flight_ledger(weight));
+                }
+                groups.extend(s2.groups(&c_w));
+            }
+        }
+    }
+    groups
+}
+
 /// The preprocessed Multiplication-Group material of one chunk: both
 /// servers' share vectors in plan order, sliceable per pair.
 #[derive(Debug, Clone)]
@@ -1070,6 +1164,54 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn offline_dialogue_over_a_real_transport_matches_the_dealer() {
+        // The transport-generic driver must reproduce the in-process
+        // engine exactly: same groups, same per-flight ledger, and the
+        // measured offline payload bytes equal the modeled ledger.
+        use crate::transport::{memory_pair, Transport};
+        let plan = [
+            MgDraw { i: 0, j: 1, groups: 3 },
+            MgDraw { i: 4, j: 7, groups: 5 },
+        ];
+        let (end1, end2) = memory_pair();
+        let (g1, g2, l1) = std::thread::scope(|scope| {
+            let h1 = scope.spawn(|| {
+                let mut ledger = OfflineLedger::new();
+                let g = mg_offline_over_wire(
+                    &end1,
+                    ServerId::S1,
+                    11,
+                    5,
+                    &plan,
+                    true,
+                    &mut ledger,
+                );
+                (g, ledger)
+            });
+            let h2 = scope.spawn(|| {
+                let mut ledger = OfflineLedger::new();
+                mg_offline_over_wire(&end2, ServerId::S2, 11, 5, &plan, false, &mut ledger)
+            });
+            let (g1, l1) = h1.join().unwrap();
+            (g1, h2.join().unwrap(), l1)
+        });
+        let mut engine = OtMgEngine::for_chunk(11, 5);
+        let material = engine.preprocess(&plan);
+        for (idx, d) in plan.iter().enumerate() {
+            let (e1, e2) = material.pair(idx);
+            let base = plan_offsets(&plan)[idx];
+            assert_eq!(&g1[base..base + d.groups as usize], e1);
+            assert_eq!(&g2[base..base + d.groups as usize], e2);
+        }
+        assert_eq!(l1, engine.ledger(), "wire dialogue tallies the same ledger");
+        assert_eq!(
+            end1.stats().offline_payload_both(),
+            l1.bytes,
+            "measured offline payload == modeled ledger"
+        );
     }
 
     #[test]

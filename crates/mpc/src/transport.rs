@@ -1,0 +1,625 @@
+//! Pluggable byte transports: the real wire under the protocol.
+//!
+//! A [`Transport`] is one endpoint of a bidirectional, multiplexed
+//! link between two parties. It carries [`crate::wire`] frames —
+//! nothing else — and demultiplexes received frames by
+//! `(msg_type, tag)`, so many workers can share one link and rounds
+//! belonging to different pair-space chunks interleave safely, exactly
+//! as the legacy typed [`crate::tagged_channel`] allowed, but with
+//! every message serialised to explicit bytes and **byte-counted**.
+//!
+//! Two backends:
+//!
+//! * [`InMemoryTransport`] — an unbounded in-process queue of encoded
+//!   frames; the default wire of the message-passing runtime. Frames
+//!   are genuinely encoded on send and decoded on receive, so the
+//!   codec round-trips under the full protocol load of every runtime
+//!   test.
+//! * [`TcpTransport`] — `std::net` sockets (no new dependencies):
+//!   length-prefixed frames over one TCP connection, with configurable
+//!   `TCP_NODELAY` and buffer sizes ([`TcpConfig`]). A dedicated
+//!   writer thread drains an unbounded queue so that two parties
+//!   simultaneously sending multi-megabyte offline flights can never
+//!   deadlock on full kernel socket buffers.
+//!
+//! Both endpoints keep [`WireStats`] counters. Payload bytes are
+//! bucketed by protocol phase ([`crate::wire::is_online_msg`]): the
+//! online bucket is exactly what the modeled [`crate::NetStats`]
+//! ledger counts, which is what makes the measured-equals-modeled
+//! invariant checkable (DESIGN.md §8).
+//!
+//! Disconnects surface as [`RecvError::Disconnected`] (never a hang);
+//! a wedged peer is caught by `recv` deadlines ([`RecvError::
+//! Timeout`], default [`DEFAULT_RECV_TIMEOUT`] in the runtime).
+
+use crate::channel::{KeyedDemux, RecvError, DEMUX_POLL};
+use crate::wire::{is_offline_msg, is_online_msg, Frame, WireMessage, FRAME_HEADER_BYTES};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long the protocol runtimes wait for a peer's next frame before
+/// declaring it wedged. Generous — inter-message gaps are bounded by
+/// one flight's local compute (milliseconds at any tested size) — so a
+/// trip means a dead or deadlocked peer, and the run fails loudly
+/// instead of hanging a worker forever.
+pub const DEFAULT_RECV_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Snapshot of one endpoint's byte counters.
+///
+/// `sent + recv` of any bucket covers **both directions** of the link,
+/// which matches the bidirectional convention of the modeled
+/// [`crate::NetStats`] (one `exchange` counts both ways) — so a single
+/// party process can check measured == modeled without seeing the
+/// peer's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Frames this endpoint sent.
+    pub frames_sent: u64,
+    /// Frames this endpoint received.
+    pub frames_recv: u64,
+    /// Total bytes sent, headers included.
+    pub bytes_sent: u64,
+    /// Total bytes received, headers included.
+    pub bytes_recv: u64,
+    /// Payload bytes of online-phase frames sent (openings + final
+    /// opening) — the modeled quantity.
+    pub online_payload_sent: u64,
+    /// Payload bytes of online-phase frames received.
+    pub online_payload_recv: u64,
+    /// Payload bytes of offline-phase frames sent.
+    pub offline_payload_sent: u64,
+    /// Payload bytes of offline-phase frames received.
+    pub offline_payload_recv: u64,
+}
+
+impl WireStats {
+    /// Online payload bytes, both directions — the number the
+    /// equivalence suites pin to `NetStats::online().bytes` exactly.
+    pub fn online_payload_both(&self) -> u64 {
+        self.online_payload_sent + self.online_payload_recv
+    }
+
+    /// Offline payload bytes, both directions (equals the modeled
+    /// flight ledger; the base-OT setup never crosses this wire).
+    pub fn offline_payload_both(&self) -> u64 {
+        self.offline_payload_sent + self.offline_payload_recv
+    }
+
+    /// All bytes this endpoint moved, headers included — the *real*
+    /// wire footprint (reported alongside, never conflated with, the
+    /// modeled payload numbers).
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent + self.bytes_recv
+    }
+}
+
+/// Shared atomic counters behind [`WireStats`].
+#[derive(Debug, Default)]
+struct Counters {
+    frames_sent: AtomicU64,
+    frames_recv: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_recv: AtomicU64,
+    online_payload_sent: AtomicU64,
+    online_payload_recv: AtomicU64,
+    offline_payload_sent: AtomicU64,
+    offline_payload_recv: AtomicU64,
+}
+
+impl Counters {
+    fn record(&self, msg_type: u8, wire_len: usize, payload_len: usize, sent: bool) {
+        let (frames, bytes, online, offline) = if sent {
+            (
+                &self.frames_sent,
+                &self.bytes_sent,
+                &self.online_payload_sent,
+                &self.offline_payload_sent,
+            )
+        } else {
+            (
+                &self.frames_recv,
+                &self.bytes_recv,
+                &self.online_payload_recv,
+                &self.offline_payload_recv,
+            )
+        };
+        frames.fetch_add(1, Ordering::Relaxed);
+        bytes.fetch_add(wire_len as u64, Ordering::Relaxed);
+        if is_online_msg(msg_type) {
+            online.fetch_add(payload_len as u64, Ordering::Relaxed);
+        } else if is_offline_msg(msg_type) {
+            offline.fetch_add(payload_len as u64, Ordering::Relaxed);
+        }
+    }
+
+    fn snapshot(&self) -> WireStats {
+        WireStats {
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            frames_recv: self.frames_recv.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_recv: self.bytes_recv.load(Ordering::Relaxed),
+            online_payload_sent: self.online_payload_sent.load(Ordering::Relaxed),
+            online_payload_recv: self.online_payload_recv.load(Ordering::Relaxed),
+            offline_payload_sent: self.offline_payload_sent.load(Ordering::Relaxed),
+            offline_payload_recv: self.offline_payload_recv.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One endpoint of a framed, multiplexed, byte-counted party↔party
+/// link. Implementations are shared by all of a server's workers via
+/// `Arc`; `send` never blocks on the peer, `recv` demultiplexes by
+/// `(msg_type, tag)` and fails loudly on disconnect or deadline.
+pub trait Transport: Send + Sync {
+    /// Serialises and sends one frame. `Err(Disconnected)` once the
+    /// peer endpoint is gone.
+    fn send(&self, frame: &Frame) -> Result<(), RecvError>;
+
+    /// Blocks until the next frame of `msg_type` under `tag` arrives
+    /// (at most `timeout`; `None` blocks until disconnect).
+    fn recv(&self, msg_type: u8, tag: u32, timeout: Option<Duration>) -> Result<Frame, RecvError>;
+
+    /// Snapshot of this endpoint's byte counters.
+    fn stats(&self) -> WireStats;
+}
+
+/// Sends a typed message over `link` (via its wire frame).
+pub fn send_msg<T: Transport + ?Sized, M: WireMessage>(link: &T, msg: &M) -> Result<(), RecvError> {
+    link.send(&msg.to_frame())
+}
+
+/// Receives and decodes the next `M` under `tag`. A frame that fails
+/// to decode is a protocol bug between honest parties, so it panics
+/// (loudly) rather than masquerading as a network error.
+pub fn recv_msg<T: Transport + ?Sized, M: WireMessage>(
+    link: &T,
+    tag: u32,
+    timeout: Option<Duration>,
+) -> Result<M, RecvError> {
+    let frame = link.recv(M::MSG_TYPE, tag, timeout)?;
+    Ok(M::from_frame(&frame).unwrap_or_else(|e| panic!("wire decode failed: {e}")))
+}
+
+// ---------------------------------------------------------------------------
+// In-memory backend
+// ---------------------------------------------------------------------------
+
+/// The in-process byte transport: an unbounded queue of **encoded**
+/// frames between the two endpoints of [`memory_pair`]. Every frame is
+/// serialised on send and parsed on receive — the codec is on the hot
+/// path, not beside it — and byte-counted exactly like the TCP
+/// backend, so in-memory runs measure the same wire the deployment
+/// would.
+pub struct InMemoryTransport {
+    tx: Mutex<mpsc::Sender<Vec<u8>>>,
+    rx: Mutex<mpsc::Receiver<Vec<u8>>>,
+    demux: KeyedDemux<(u8, u32), Frame>,
+    counters: Counters,
+}
+
+/// Creates the two connected endpoints of an in-memory link.
+pub fn memory_pair() -> (InMemoryTransport, InMemoryTransport) {
+    let (tx_ab, rx_ab) = mpsc::channel();
+    let (tx_ba, rx_ba) = mpsc::channel();
+    let end = |tx, rx| InMemoryTransport {
+        tx: Mutex::new(tx),
+        rx: Mutex::new(rx),
+        demux: KeyedDemux::new(),
+        counters: Counters::default(),
+    };
+    (end(tx_ab, rx_ba), end(tx_ba, rx_ab))
+}
+
+impl InMemoryTransport {
+    fn pull(&self, slice: Option<Duration>) -> Result<((u8, u32), Frame), RecvError> {
+        let rx = self.rx.lock().expect("transport poisoned");
+        let bytes = match slice {
+            None => rx.recv().map_err(|_| RecvError::Disconnected)?,
+            Some(d) => rx.recv_timeout(d).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvError::Disconnected,
+            })?,
+        };
+        drop(rx);
+        let wire_len = bytes.len();
+        let frame = Frame::decode(&bytes)
+            .unwrap_or_else(|e| panic!("in-memory link delivered a corrupt frame: {e}"));
+        self.counters
+            .record(frame.msg_type, wire_len, frame.payload.len(), false);
+        Ok(((frame.msg_type, frame.tag), frame))
+    }
+}
+
+impl Transport for InMemoryTransport {
+    fn send(&self, frame: &Frame) -> Result<(), RecvError> {
+        let bytes = frame.encode();
+        self.counters
+            .record(frame.msg_type, bytes.len(), frame.payload.len(), true);
+        self.tx
+            .lock()
+            .expect("transport poisoned")
+            .send(bytes)
+            .map_err(|_| RecvError::Disconnected)
+    }
+
+    fn recv(&self, msg_type: u8, tag: u32, timeout: Option<Duration>) -> Result<Frame, RecvError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        let poll = deadline.map(|_| DEMUX_POLL);
+        self.demux
+            .recv_with((msg_type, tag), deadline, || self.pull(poll))
+    }
+
+    fn stats(&self) -> WireStats {
+        self.counters.snapshot()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP backend
+// ---------------------------------------------------------------------------
+
+/// Socket knobs of the [`TcpTransport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpConfig {
+    /// Disable Nagle's algorithm (`TCP_NODELAY`). On by default: the
+    /// protocol's rounds are latency-bound request/response slabs, the
+    /// classic case Nagle hurts.
+    pub nodelay: bool,
+    /// Userspace read/write buffer capacity in bytes.
+    pub buffer: usize,
+    /// How long [`TcpTransport::connect`] keeps retrying before giving
+    /// up (the peer's listener may come up a moment later).
+    pub connect_timeout: Duration,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            nodelay: true,
+            buffer: 256 * 1024,
+            connect_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// A [`Transport`] over one `std::net` TCP connection.
+///
+/// Writes go through a dedicated writer thread draining an unbounded
+/// queue: `send` enqueues the encoded frame and returns, so two
+/// parties pushing large offline flights at each other can never
+/// deadlock on full kernel socket buffers (each side keeps reading
+/// while its writer drains). Dropping the endpoint joins the writer,
+/// which guarantees every queued frame is flushed before the process
+/// exits.
+pub struct TcpTransport {
+    writer_tx: Mutex<Option<mpsc::Sender<Vec<u8>>>>,
+    writer: Mutex<Option<std::thread::JoinHandle<()>>>,
+    reader: Mutex<BufReader<TcpStream>>,
+    demux: KeyedDemux<(u8, u32), Frame>,
+    counters: Counters,
+}
+
+impl TcpTransport {
+    fn from_stream(stream: TcpStream, cfg: &TcpConfig) -> std::io::Result<Self> {
+        stream.set_nodelay(cfg.nodelay)?;
+        // The read half always polls in DEMUX_POLL slices; frame reads
+        // keep their own progress across poll expiries (read_full), so
+        // the timeout can never tear a frame — it only lets waiters
+        // notice deadlines and lets a mid-frame stall trip the
+        // DEFAULT_RECV_TIMEOUT bound instead of hanging forever.
+        stream.set_read_timeout(Some(DEMUX_POLL))?;
+        let read_half = stream.try_clone()?;
+        let mut writer = BufWriter::with_capacity(cfg.buffer, stream);
+        let (writer_tx, writer_rx) = mpsc::channel::<Vec<u8>>();
+        let writer = std::thread::spawn(move || {
+            // Drain until every sender handle is gone; a write error
+            // means the peer vanished — stop, the reader side will
+            // surface Disconnected.
+            while let Ok(bytes) = writer_rx.recv() {
+                if writer.write_all(&bytes).and_then(|()| writer.flush()).is_err() {
+                    return;
+                }
+            }
+        });
+        Ok(TcpTransport {
+            writer_tx: Mutex::new(Some(writer_tx)),
+            writer: Mutex::new(Some(writer)),
+            reader: Mutex::new(BufReader::with_capacity(cfg.buffer, read_half)),
+            demux: KeyedDemux::new(),
+            counters: Counters::default(),
+        })
+    }
+
+    /// Accepts one connection on `listener` and wraps it.
+    pub fn accept_on(listener: &TcpListener, cfg: &TcpConfig) -> std::io::Result<Self> {
+        let (stream, _) = listener.accept()?;
+        Self::from_stream(stream, cfg)
+    }
+
+    /// Connects to a listening peer, retrying (the peer may not be up
+    /// yet) until `cfg.connect_timeout` elapses.
+    pub fn connect<A: ToSocketAddrs + Clone>(addr: A, cfg: &TcpConfig) -> std::io::Result<Self> {
+        let deadline = Instant::now() + cfg.connect_timeout;
+        loop {
+            match TcpStream::connect(addr.clone()) {
+                Ok(stream) => return Self::from_stream(stream, cfg),
+                Err(_) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Creates a connected loopback pair on an ephemeral `127.0.0.1`
+    /// port — real sockets, one process (the `--transport tcp`
+    /// in-process shape; the two-process shape is the `party` binary).
+    pub fn loopback_pair(cfg: &TcpConfig) -> std::io::Result<(Self, Self, SocketAddr)> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        // The kernel's accept backlog holds the connection, so a
+        // single thread can connect and then accept.
+        let client = TcpStream::connect(addr)?;
+        let server = Self::accept_on(&listener, cfg)?;
+        Ok((server, Self::from_stream(client, cfg)?, addr))
+    }
+
+    /// Fills `buf` completely, retaining progress across poll-timeout
+    /// expiries (the socket's read timeout is [`DEMUX_POLL`]; `std`'s
+    /// `read_exact` would lose already-copied bytes on the first
+    /// `WouldBlock`). A stall longer than [`DEFAULT_RECV_TIMEOUT`]
+    /// mid-frame means a dead or wedged peer on a desyncable stream —
+    /// fatal, reported as `Disconnected`.
+    fn read_full(
+        reader: &mut BufReader<TcpStream>,
+        buf: &mut [u8],
+        started: Instant,
+    ) -> Result<(), RecvError> {
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            match reader.read(&mut buf[filled..]) {
+                Ok(0) => return Err(RecvError::Disconnected),
+                Ok(n) => filled += n,
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if started.elapsed() > DEFAULT_RECV_TIMEOUT {
+                        return Err(RecvError::Disconnected);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return Err(RecvError::Disconnected),
+            }
+        }
+        Ok(())
+    }
+
+    fn pull(&self, slice: Option<Duration>) -> Result<((u8, u32), Frame), RecvError> {
+        let mut reader = self.reader.lock().expect("transport poisoned");
+        // Honour the poll slice without ever tearing a frame: wait for
+        // the first header byte via peek (which consumes nothing, and
+        // times out after the socket's DEMUX_POLL read timeout), then
+        // read the frame with progress-retaining reads.
+        if slice.is_some() && reader.buffer().is_empty() {
+            let mut probe = [0u8; 1];
+            match reader.get_ref().peek(&mut probe) {
+                Ok(0) => return Err(RecvError::Disconnected),
+                Ok(_) => {}
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Err(RecvError::Timeout)
+                }
+                Err(_) => return Err(RecvError::Disconnected),
+            }
+        }
+        let started = Instant::now();
+        let mut header = [0u8; FRAME_HEADER_BYTES];
+        Self::read_full(&mut reader, &mut header, started)?;
+        let payload_len =
+            u32::from_le_bytes([header[20], header[21], header[22], header[23]]) as usize;
+        // Validate the untrusted length BEFORE allocating: a desynced
+        // or hostile stream must fail loudly, not drive a multi-GB
+        // zero-fill.
+        assert!(
+            payload_len <= crate::wire::MAX_FRAME_PAYLOAD_BYTES,
+            "TCP peer announced an oversized frame ({payload_len} bytes) — stream corrupt"
+        );
+        let mut bytes = Vec::with_capacity(FRAME_HEADER_BYTES + payload_len);
+        bytes.extend_from_slice(&header);
+        bytes.resize(FRAME_HEADER_BYTES + payload_len, 0);
+        Self::read_full(&mut reader, &mut bytes[FRAME_HEADER_BYTES..], started)?;
+        let frame = Frame::decode(&bytes)
+            .unwrap_or_else(|e| panic!("TCP peer sent a corrupt frame: {e}"));
+        self.counters
+            .record(frame.msg_type, bytes.len(), frame.payload.len(), false);
+        Ok(((frame.msg_type, frame.tag), frame))
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&self, frame: &Frame) -> Result<(), RecvError> {
+        let bytes = frame.encode();
+        self.counters
+            .record(frame.msg_type, bytes.len(), frame.payload.len(), true);
+        match &*self.writer_tx.lock().expect("transport poisoned") {
+            Some(tx) => tx.send(bytes).map_err(|_| RecvError::Disconnected),
+            None => Err(RecvError::Disconnected),
+        }
+    }
+
+    fn recv(&self, msg_type: u8, tag: u32, timeout: Option<Duration>) -> Result<Frame, RecvError> {
+        let deadline = timeout.map(|t| Instant::now() + t);
+        // Always poll in slices so the pump can notice deadlines; with
+        // no deadline the slices just repeat forever.
+        self.demux
+            .recv_with((msg_type, tag), deadline, || self.pull(Some(DEMUX_POLL)))
+    }
+
+    fn stats(&self) -> WireStats {
+        self.counters.snapshot()
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        // Close the queue, then join the writer so every queued frame
+        // reaches the socket before this endpoint disappears (a party
+        // may exit right after receiving the peer's final opening —
+        // its own final opening must still flush).
+        *self.writer_tx.lock().expect("transport poisoned") = None;
+        if let Some(handle) = self.writer.lock().expect("transport poisoned").take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{FinalOpeningMsg, OfflineMsg, OpeningMsg};
+    use crate::Ring64;
+    use std::sync::Arc;
+
+    fn opening(chunk: u32, k0: u32, efg: Vec<u64>) -> OpeningMsg {
+        OpeningMsg {
+            chunk,
+            pair: (1, 2),
+            k0,
+            efg,
+        }
+    }
+
+    fn exercise_pair<T: Transport>(a: &T, b: &T) {
+        // Frames for different (type, tag) keys interleave arbitrarily
+        // and are routed to the right waiters, like tagged_channel.
+        send_msg(a, &opening(2, 0, vec![20, 21, 22])).unwrap();
+        send_msg(
+            a,
+            &OfflineMsg {
+                chunk: 2,
+                flight: 0,
+                step: 1,
+                words: vec![5; 4],
+            },
+        )
+        .unwrap();
+        send_msg(a, &opening(1, 0, vec![10, 11, 12])).unwrap();
+        let m: OpeningMsg = recv_msg(b, 1, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(m.efg, vec![10, 11, 12]);
+        let m: OpeningMsg = recv_msg(b, 2, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(m.efg, vec![20, 21, 22]);
+        let m: OfflineMsg = recv_msg(b, 2, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(m.words, vec![5; 4]);
+        // And the reverse direction works on the same link.
+        send_msg(b, &FinalOpeningMsg { share: Ring64(9) }).unwrap();
+        let m: FinalOpeningMsg = recv_msg(a, 0, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(m.share, Ring64(9));
+    }
+
+    #[test]
+    fn memory_pair_routes_and_counts() {
+        let (a, b) = memory_pair();
+        exercise_pair(&a, &b);
+        let (sa, sb) = (a.stats(), b.stats());
+        assert_eq!(sa.frames_sent, 3);
+        assert_eq!(sb.frames_recv, 3);
+        assert_eq!(sa.online_payload_sent, 8 * 6, "two openings of 3 words");
+        assert_eq!(sa.offline_payload_sent, 8 * 4);
+        assert_eq!(sa.online_payload_recv, 8, "the final opening");
+        assert_eq!(sb.online_payload_both(), 8 * 6 + 8);
+        assert_eq!(
+            sa.bytes_sent,
+            sb.bytes_recv,
+            "headers counted identically on both ends"
+        );
+        assert_eq!(sa.bytes_sent, 3 * 24 + 8 * 10);
+    }
+
+    #[test]
+    fn tcp_loopback_pair_routes_and_counts() {
+        let (a, b, _addr) = TcpTransport::loopback_pair(&TcpConfig::default()).unwrap();
+        exercise_pair(&a, &b);
+        assert_eq!(a.stats().bytes_sent, b.stats().bytes_recv);
+        assert_eq!(a.stats().online_payload_sent, 48);
+    }
+
+    #[test]
+    fn memory_disconnect_is_loud() {
+        let (a, b) = memory_pair();
+        send_msg(&a, &FinalOpeningMsg { share: Ring64(1) }).unwrap();
+        drop(a);
+        let m: FinalOpeningMsg = recv_msg(&b, 0, None).unwrap();
+        assert_eq!(m.share, Ring64(1));
+        assert_eq!(
+            b.recv(FinalOpeningMsg::MSG_TYPE, 0, None).unwrap_err(),
+            RecvError::Disconnected
+        );
+    }
+
+    #[test]
+    fn tcp_disconnect_is_loud() {
+        let (a, b, _) = TcpTransport::loopback_pair(&TcpConfig::default()).unwrap();
+        send_msg(&a, &FinalOpeningMsg { share: Ring64(7) }).unwrap();
+        drop(a); // joins the writer: the queued frame still arrives
+        let m: FinalOpeningMsg = recv_msg(&b, 0, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(m.share, Ring64(7));
+        assert_eq!(
+            b.recv(FinalOpeningMsg::MSG_TYPE, 0, Some(Duration::from_secs(5)))
+                .unwrap_err(),
+            RecvError::Disconnected
+        );
+    }
+
+    #[test]
+    fn recv_times_out_instead_of_hanging() {
+        let (a, b) = memory_pair();
+        let _keep_alive = &a;
+        assert_eq!(
+            b.recv(OpeningMsg::MSG_TYPE, 3, Some(Duration::from_millis(50)))
+                .unwrap_err(),
+            RecvError::Timeout
+        );
+        let (ta, tb, _) = TcpTransport::loopback_pair(&TcpConfig::default()).unwrap();
+        let _keep_alive = &ta;
+        assert_eq!(
+            tb.recv(OpeningMsg::MSG_TYPE, 3, Some(Duration::from_millis(50)))
+                .unwrap_err(),
+            RecvError::Timeout
+        );
+    }
+
+    #[test]
+    fn concurrent_workers_share_one_tcp_link() {
+        // Two workers per side, each owning one tag, worst-case
+        // interleaved sends — the cooperative pump must route
+        // everything with no loss, duplication, or deadlock.
+        const PER_TAG: u32 = 100;
+        let (a, b, _) = TcpTransport::loopback_pair(&TcpConfig::default()).unwrap();
+        let (a, b) = (Arc::new(a), Arc::new(b));
+        std::thread::scope(|scope| {
+            for tag in [0u32, 1] {
+                let b = Arc::clone(&b);
+                scope.spawn(move || {
+                    for expect in 0..PER_TAG {
+                        let m: OpeningMsg =
+                            recv_msg(&*b, tag, Some(Duration::from_secs(10))).unwrap();
+                        assert_eq!(m.efg, vec![expect as u64; 3], "tag {tag}");
+                        assert_eq!(m.k0, expect);
+                    }
+                });
+            }
+            scope.spawn(move || {
+                for v in 0..PER_TAG {
+                    send_msg(&*a, &opening(1, v, vec![v as u64; 3])).unwrap();
+                    send_msg(&*a, &opening(0, v, vec![v as u64; 3])).unwrap();
+                }
+            });
+        });
+    }
+}

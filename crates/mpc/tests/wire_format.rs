@@ -1,0 +1,190 @@
+//! Wire-codec suite: the frame format cannot drift silently.
+//!
+//! Property tests: every [`WireMessage`] encode/decode round-trips for
+//! arbitrary field values, truncating an encoded frame at *any* byte
+//! boundary is rejected as [`WireError::Truncated`], and a foreign
+//! version byte is rejected as [`WireError::BadVersion`]. Fixture
+//! tests: the exact wire bytes of a small [`OpeningMsg`] (and the
+//! header of every other message type) are pinned byte for byte — any
+//! layout change must bump [`WIRE_VERSION`] and update the fixture
+//! consciously, never by accident.
+
+use cargo_mpc::wire::MAX_FRAME_PAYLOAD_BYTES;
+use cargo_mpc::{
+    DealerMsg, FinalOpeningMsg, Frame, MulGroupShare, OfflineMsg, OpeningMsg, Ring64, WireError,
+    WireMessage, FRAME_HEADER_BYTES, WIRE_VERSION,
+};
+use proptest::prelude::*;
+
+fn arb_words(max_len: usize) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(any::<u64>(), 0..max_len)
+}
+
+proptest! {
+    #[test]
+    fn opening_round_trips(
+        chunk in any::<u32>(),
+        i in any::<u32>(),
+        j in any::<u32>(),
+        k0 in any::<u32>(),
+        blocks in 0usize..40,
+        seed in any::<u64>(),
+    ) {
+        let efg: Vec<u64> = (0..3 * blocks as u64)
+            .map(|x| x.wrapping_mul(seed | 1))
+            .collect();
+        let msg = OpeningMsg { chunk, pair: (i, j), k0, efg };
+        let bytes = msg.encode();
+        prop_assert_eq!(bytes.len(), FRAME_HEADER_BYTES + 8 * 3 * blocks);
+        prop_assert_eq!(OpeningMsg::decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn dealer_round_trips(
+        chunk in any::<u32>(),
+        k0 in any::<u32>(),
+        words in arb_words(7 * 12),
+    ) {
+        let groups: Vec<MulGroupShare> = words
+            .chunks_exact(7)
+            .map(|w| MulGroupShare {
+                x: Ring64(w[0]),
+                y: Ring64(w[1]),
+                z: Ring64(w[2]),
+                w: Ring64(w[3]),
+                o: Ring64(w[4]),
+                p: Ring64(w[5]),
+                q: Ring64(w[6]),
+            })
+            .collect();
+        let msg = DealerMsg { chunk, pair: (chunk ^ 1, chunk ^ 2), k0, groups };
+        prop_assert_eq!(DealerMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn offline_round_trips(
+        chunk in any::<u32>(),
+        flight in any::<u32>(),
+        step in any::<u8>(),
+        words in arb_words(200),
+    ) {
+        let msg = OfflineMsg { chunk, flight, step, words };
+        prop_assert_eq!(OfflineMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn final_opening_round_trips(share in any::<u64>()) {
+        let msg = FinalOpeningMsg { share: Ring64(share) };
+        prop_assert_eq!(FinalOpeningMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected_at_every_cut(
+        words in arb_words(20),
+        chunk in any::<u32>(),
+    ) {
+        let bytes = OfflineMsg { chunk, flight: 1, step: 2, words }.encode();
+        for cut in 0..bytes.len() {
+            prop_assert!(matches!(
+                Frame::decode(&bytes[..cut]),
+                Err(WireError::Truncated { .. })
+            ), "cut at {}", cut);
+        }
+        prop_assert!(Frame::decode(&bytes).is_ok());
+    }
+
+    #[test]
+    fn foreign_versions_are_rejected(version in any::<u8>(), share in any::<u64>()) {
+        prop_assume!(version != WIRE_VERSION);
+        let mut bytes = FinalOpeningMsg { share: Ring64(share) }.encode();
+        bytes[0] = version;
+        prop_assert_eq!(Frame::decode(&bytes), Err(WireError::BadVersion(version)));
+    }
+
+    #[test]
+    fn type_confusion_is_rejected(chunk in any::<u32>(), words in arb_words(9)) {
+        // A frame of one type never decodes as another.
+        let bytes = OfflineMsg { chunk, flight: 0, step: 1, words }.encode();
+        prop_assert_eq!(
+            OpeningMsg::decode(&bytes),
+            Err(WireError::BadMsgType(OfflineMsg::MSG_TYPE))
+        );
+    }
+}
+
+/// The format anchor: the exact frame bytes of a one-block
+/// [`OpeningMsg`]. If this test fails, the wire format changed — bump
+/// [`WIRE_VERSION`] and update the fixture deliberately.
+#[test]
+fn opening_frame_bytes_are_pinned() {
+    let msg = OpeningMsg {
+        chunk: 7,
+        pair: (2, 5),
+        k0: 6,
+        efg: vec![0x1111, 0x2222, 0x0123_4567_89AB_CDEF],
+    };
+    let bytes = msg.encode();
+    #[rustfmt::skip]
+    let want: Vec<u8> = vec![
+        // version, msg_type, step (u16 LE)
+        0x01, 0x01, 0x00, 0x00,
+        // tag = chunk = 7
+        0x07, 0x00, 0x00, 0x00,
+        // a = pair.i = 2
+        0x02, 0x00, 0x00, 0x00,
+        // b = pair.j = 5
+        0x05, 0x00, 0x00, 0x00,
+        // c = k0 = 6
+        0x06, 0x00, 0x00, 0x00,
+        // payload_len = 24
+        0x18, 0x00, 0x00, 0x00,
+        // payload: e, f, g as u64 LE
+        0x11, 0x11, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+        0x22, 0x22, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+        0xEF, 0xCD, 0xAB, 0x89, 0x67, 0x45, 0x23, 0x01,
+    ];
+    assert_eq!(bytes, want, "the wire format drifted — bump WIRE_VERSION");
+    assert_eq!(WIRE_VERSION, 1, "fixture matches version 1 only");
+}
+
+/// An announced payload length past the cap is rejected before any
+/// allocation could happen — a desynced or hostile stream fails
+/// loudly, it never drives a multi-gigabyte zero-fill.
+#[test]
+fn oversized_announced_payloads_are_rejected() {
+    let mut bytes = FinalOpeningMsg { share: Ring64(1) }.encode();
+    let huge = (MAX_FRAME_PAYLOAD_BYTES as u32) + 8;
+    bytes[20..24].copy_from_slice(&huge.to_le_bytes());
+    assert!(matches!(
+        Frame::decode(&bytes),
+        Err(WireError::BadLength {
+            what: "payload exceeds MAX_FRAME_PAYLOAD_BYTES",
+            ..
+        })
+    ));
+}
+
+/// The other message types' headers, pinned at the byte level.
+#[test]
+fn header_bytes_of_every_type_are_pinned() {
+    let dealer = DealerMsg {
+        chunk: 1,
+        pair: (0, 3),
+        k0: 4,
+        groups: vec![],
+    }
+    .encode();
+    assert_eq!(&dealer[..2], &[0x01, 0x02], "version, DealerMsg type");
+    let offline = OfflineMsg {
+        chunk: 9,
+        flight: 2,
+        step: 4,
+        words: vec![],
+    }
+    .encode();
+    assert_eq!(&offline[..4], &[0x01, 0x03, 0x04, 0x00], "step rides the header");
+    assert_eq!(&offline[8..12], &[0x02, 0x00, 0x00, 0x00], "flight in a");
+    let fin = FinalOpeningMsg { share: Ring64(1) }.encode();
+    assert_eq!(&fin[..2], &[0x01, 0x04]);
+    assert_eq!(fin.len(), FRAME_HEADER_BYTES + 8, "one ring element");
+}

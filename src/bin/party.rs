@@ -1,0 +1,263 @@
+//! `party` — one CARGO server as a real OS process.
+//!
+//! Runs the full pipeline (max-degree → projection → secure count →
+//! perturb) as server S₁ or S₂ over a TCP connection to the peer
+//! process, or — with `--role local` — as both parties in one process
+//! over the in-memory byte transport, printing the *same* transcript
+//! format so the two deployments can be diffed line by line (the CI
+//! `tcp-smoke` job does exactly that).
+//!
+//! ```text
+//! # terminal 1                                # terminal 2
+//! party --role s1 --listen 127.0.0.1:7000 \   party --role s2 --connect 127.0.0.1:7000 \
+//!       --n 200 --epsilon 2 --seed 7                --n 200 --epsilon 2 --seed 7
+//! ```
+//!
+//! Both processes must agree on the graph flags (`--dataset`, `--n`,
+//! `--seed`, `--data-dir`) and protocol knobs — each party derives its
+//! own input shares from them, playing its users. `RESULT` lines are
+//! role-independent (the noisy count, the modeled ledger, and the
+//! measured `wire_bytes` are identical on both sides by construction);
+//! everything else goes to stderr.
+
+use cargo_core::{run_party, run_party_local, CargoConfig, PartyReport};
+use cargo_graph::generators::presets::SnapDataset;
+use cargo_mpc::{ServerId, TcpConfig, TcpTransport};
+use cargo_repro as _;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    S1,
+    S2,
+    Local,
+}
+
+struct Args {
+    role: Role,
+    listen: Option<String>,
+    connect: Option<String>,
+    dataset: SnapDataset,
+    n: usize,
+    epsilon: f64,
+    seed: u64,
+    threads: usize,
+    batch: usize,
+    offline: cargo_mpc::OfflineMode,
+    data_dir: Option<PathBuf>,
+    no_projection: bool,
+}
+
+fn usage() -> String {
+    "usage: party --role s1|s2|local [--listen ADDR | --connect ADDR]\n\
+     \x20      [--dataset facebook|wiki|hepph|enron (default facebook)]\n\
+     \x20      [--n <users=200>] [--epsilon <e=2.0>] [--seed <s=0>]\n\
+     \x20      [--threads <w=1>] [--batch <b=0 (default 64)>]\n\
+     \x20      [--offline-mode dealer|ot] [--data-dir <snap-dir>] [--no-projection]\n\
+     \n\
+     s1 listens, s2 connects (either may take --listen or --connect);\n\
+     local runs both parties in-process over the in-memory transport\n\
+     and prints the identical RESULT transcript."
+        .to_string()
+}
+
+fn parse_dataset(s: &str) -> Result<SnapDataset, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "facebook" => Ok(SnapDataset::Facebook),
+        "wiki" => Ok(SnapDataset::Wiki),
+        "hepph" => Ok(SnapDataset::HepPh),
+        "enron" => Ok(SnapDataset::Enron),
+        other => Err(format!(
+            "unknown dataset {other:?} (expected facebook|wiki|hepph|enron)"
+        )),
+    }
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        role: Role::Local,
+        listen: None,
+        connect: None,
+        dataset: SnapDataset::Facebook,
+        n: 200,
+        epsilon: 2.0,
+        seed: 0,
+        threads: 1,
+        batch: 0,
+        offline: cargo_mpc::OfflineMode::TrustedDealer,
+        data_dir: None,
+        no_projection: false,
+    };
+    let mut role_given = false;
+    let mut i = 0;
+    while i < argv.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            argv.get(*i)
+                .cloned()
+                .ok_or_else(|| "flag needs a value".to_string())
+        };
+        match argv[i].as_str() {
+            "--role" => {
+                role_given = true;
+                args.role = match take(&mut i)?.as_str() {
+                    "s1" => Role::S1,
+                    "s2" => Role::S2,
+                    "local" => Role::Local,
+                    other => return Err(format!("unknown role {other:?}")),
+                };
+            }
+            "--listen" => args.listen = Some(take(&mut i)?),
+            "--connect" => args.connect = Some(take(&mut i)?),
+            "--dataset" => args.dataset = parse_dataset(&take(&mut i)?)?,
+            "--n" => args.n = take(&mut i)?.parse().map_err(|e| format!("--n: {e}"))?,
+            "--epsilon" => {
+                args.epsilon = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--epsilon: {e}"))?
+            }
+            "--seed" => args.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--threads" => {
+                args.threads = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--batch" => args.batch = take(&mut i)?.parse().map_err(|e| format!("--batch: {e}"))?,
+            "--offline-mode" => {
+                args.offline = take(&mut i)?
+                    .parse()
+                    .map_err(|e: String| format!("--offline-mode: {e}"))?
+            }
+            "--data-dir" => args.data_dir = Some(PathBuf::from(take(&mut i)?)),
+            "--no-projection" => args.no_projection = true,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+        i += 1;
+    }
+    if !role_given {
+        return Err(format!("--role is required\n{}", usage()));
+    }
+    match args.role {
+        Role::S1 | Role::S2 => {
+            if args.listen.is_none() && args.connect.is_none() {
+                return Err(format!(
+                    "role {:?} needs --listen or --connect\n{}",
+                    args.role,
+                    usage()
+                ));
+            }
+        }
+        Role::Local => {
+            if args.listen.is_some() || args.connect.is_some() {
+                return Err("--role local takes neither --listen nor --connect".into());
+            }
+        }
+    }
+    Ok(args)
+}
+
+/// Prints the role-independent transcript both parties must agree on.
+/// `{}` on f64 prints the shortest round-tripping decimal, so two
+/// bit-identical noisy counts print identically.
+fn print_result(report: &PartyReport) {
+    println!("RESULT noisy_count={}", report.noisy_count);
+    println!(
+        "RESULT d_max_noisy={} truncated_users={} projected_count={} triples={}",
+        report.d_max_noisy, report.truncated_users, report.projected_count, report.triples
+    );
+    let net = &report.net;
+    println!(
+        "RESULT online_elements={} online_bytes={} online_rounds={} wire_bytes={}",
+        net.elements, net.bytes, net.rounds, net.wire_bytes
+    );
+    println!(
+        "RESULT offline_bytes={} offline_rounds={} offline_ext_ots={} offline_base_ots={}",
+        net.offline.bytes, net.offline.rounds, net.offline.extended_ots, net.offline.base_ots
+    );
+    assert_eq!(
+        net.wire_bytes,
+        net.online().bytes,
+        "measured wire bytes diverged from the modeled ledger"
+    );
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let (full, origin) = args
+        .dataset
+        .load_or_synthesize(args.data_dir.as_deref(), args.seed);
+    let graph = full.induced_prefix(args.n);
+    eprintln!(
+        "[party] dataset={:?} ({origin:?}) n={} edges={} seed={} threads={} batch={} offline={}",
+        args.dataset,
+        graph.n(),
+        graph.edge_count(),
+        args.seed,
+        args.threads,
+        args.batch,
+        args.offline,
+    );
+    let mut cfg = CargoConfig::new(args.epsilon)
+        .with_seed(args.seed)
+        .with_threads(args.threads)
+        .with_batch(args.batch)
+        .with_offline(args.offline);
+    if args.no_projection {
+        cfg = cfg.without_projection();
+    }
+
+    match args.role {
+        Role::Local => {
+            let (r1, _r2) = run_party_local(&graph, &cfg);
+            eprintln!("[party local] both in-process parties agree");
+            print_result(&r1);
+        }
+        role @ (Role::S1 | Role::S2) => {
+            let id = match role {
+                Role::S1 => ServerId::S1,
+                _ => ServerId::S2,
+            };
+            let tcp_cfg = TcpConfig::default();
+            let link = if let Some(addr) = &args.listen {
+                let listener = TcpListener::bind(addr).unwrap_or_else(|e| {
+                    eprintln!("error: cannot listen on {addr}: {e}");
+                    std::process::exit(1);
+                });
+                eprintln!("[party {id:?}] listening on {addr}");
+                TcpTransport::accept_on(&listener, &tcp_cfg).unwrap_or_else(|e| {
+                    eprintln!("error: accept failed: {e}");
+                    std::process::exit(1);
+                })
+            } else {
+                let addr = args.connect.as_deref().expect("checked in parse_args");
+                eprintln!("[party {id:?}] connecting to {addr}");
+                TcpTransport::connect(addr, &tcp_cfg).unwrap_or_else(|e| {
+                    eprintln!("error: cannot connect to {addr}: {e}");
+                    std::process::exit(1);
+                })
+            };
+            eprintln!("[party {id:?}] connected; running the pipeline");
+            let link = Arc::new(link);
+            let report = run_party(&graph, &cfg, id, &link);
+            let stats = cargo_mpc::Transport::stats(&*link);
+            eprintln!(
+                "[party {id:?}] done: T' = {} ({} online payload bytes measured, \
+                 {} total on the socket incl. headers)",
+                report.noisy_count,
+                report.net.wire_bytes,
+                stats.total_bytes(),
+            );
+            print_result(&report);
+        }
+    }
+}
