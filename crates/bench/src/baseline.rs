@@ -10,8 +10,8 @@
 //!   "bench": "secure_count",
 //!   "rows": [
 //!     {"n": 200, "threads": 1, "batch": 64, "kernel": "bitsliced",
-//!      "transport": "memory", "triples": 1313400,
-//!      "ns_per_triple": 55.1, "bytes_per_triple": 48.0}
+//!      "transport": "memory", "pool": "inline", "triples": 1313400,
+//!      "ns_per_triple": 55.1, "bytes_per_triple": 48.0, "iqr_ns": 1.2}
 //!   ]
 //! }
 //! ```
@@ -41,6 +41,11 @@ pub struct BenchRow {
     /// as — their rows were all in-process) or `"tcp"` (the sharded
     /// runtime over loopback sockets, `BENCH_transport.json`).
     pub transport: String,
+    /// Where the offline phase ran: `"inline"` (on the query path —
+    /// also what legacy reports without the column parse as) or a
+    /// `"pool/t{threads}d{depth}"` triple-factory grid point
+    /// (`bench_offline`).
+    pub pool: String,
     /// Triples evaluated (`C(n, 3)`).
     pub triples: u64,
     /// Median wall-clock nanoseconds per triple.
@@ -48,18 +53,24 @@ pub struct BenchRow {
     /// Online server↔server bytes per triple (deterministic — exactly
     /// 48 for the exact count: 6 ring elements of 8 bytes).
     pub bytes_per_triple: f64,
+    /// Interquartile range of the per-triple nanoseconds across the
+    /// measured repeats — the noise bar a reader (and the compare
+    /// gate's tolerance choice) should judge the median against.
+    /// `0.0` on legacy reports that predate the column.
+    pub iqr_ns: f64,
 }
 
 impl BenchRow {
-    /// The `(n, threads, batch, kernel, transport)` identity used to
-    /// match rows across reports.
-    pub fn key(&self) -> (usize, usize, usize, &str, &str) {
+    /// The `(n, threads, batch, kernel, transport, pool)` identity
+    /// used to match rows across reports.
+    pub fn key(&self) -> (usize, usize, usize, &str, &str, &str) {
         (
             self.n,
             self.threads,
             self.batch,
             &self.kernel,
             &self.transport,
+            &self.pool,
         )
     }
 }
@@ -74,7 +85,7 @@ pub struct BenchReport {
 }
 
 impl BenchReport {
-    /// Finds the row for `(n, threads, batch, kernel, transport)`.
+    /// Finds the row for `(n, threads, batch, kernel, transport, pool)`.
     pub fn find(
         &self,
         n: usize,
@@ -82,10 +93,11 @@ impl BenchReport {
         batch: usize,
         kernel: &str,
         transport: &str,
+        pool: &str,
     ) -> Option<&BenchRow> {
         self.rows
             .iter()
-            .find(|r| r.key() == (n, threads, batch, kernel, transport))
+            .find(|r| r.key() == (n, threads, batch, kernel, transport, pool))
     }
 
     /// Serialises to the canonical JSON layout (one row per line).
@@ -98,18 +110,20 @@ impl BenchReport {
             let comma = if idx + 1 < self.rows.len() { "," } else { "" };
             out.push_str(&format!(
                 "    {{\"n\": {}, \"threads\": {}, \"batch\": {}, \"kernel\": \"{}\", \
-                 \"transport\": \"{}\", \"triples\": {}, \"ns_per_triple\": {:.3}, \
-                 \"bytes_per_triple\": {:.3}}}{comma}\n",
-                r.n, r.threads, r.batch, r.kernel, r.transport, r.triples, r.ns_per_triple,
-                r.bytes_per_triple
+                 \"transport\": \"{}\", \"pool\": \"{}\", \"triples\": {}, \
+                 \"ns_per_triple\": {:.3}, \"bytes_per_triple\": {:.3}, \
+                 \"iqr_ns\": {:.3}}}{comma}\n",
+                r.n, r.threads, r.batch, r.kernel, r.transport, r.pool, r.triples,
+                r.ns_per_triple, r.bytes_per_triple, r.iqr_ns
             ));
         }
         out.push_str("  ]\n}\n");
         out
     }
 
-    /// Parses the canonical layout back. Tolerant of whitespace, strict
-    /// about fields: every row must carry all six keys.
+    /// Parses the canonical layout back. Tolerant of whitespace and of
+    /// missing newer columns (`kernel`, `transport`, `pool`, `iqr_ns`
+    /// default); the numeric core keys are mandatory.
     pub fn from_json(text: &str) -> Result<BenchReport, String> {
         let bench = extract_string(text, "bench")?;
         let rows_start = text
@@ -138,9 +152,11 @@ impl BenchReport {
                 kernel: extract_string(obj, "kernel").unwrap_or_else(|_| "-".to_string()),
                 transport: extract_string(obj, "transport")
                     .unwrap_or_else(|_| "memory".to_string()),
+                pool: extract_string(obj, "pool").unwrap_or_else(|_| "inline".to_string()),
                 triples: extract_number(obj, "triples")? as u64,
                 ns_per_triple: extract_number(obj, "ns_per_triple")?,
                 bytes_per_triple: extract_number(obj, "bytes_per_triple")?,
+                iqr_ns: extract_number(obj, "iqr_ns").unwrap_or(0.0),
             });
             rest = &rest[obj_end + 1..];
         }
@@ -208,9 +224,11 @@ mod tests {
                     batch: 64,
                     kernel: "bitsliced".into(),
                     transport: "memory".into(),
+                    pool: "inline".into(),
                     triples: 1_313_400,
                     ns_per_triple: 55.125,
                     bytes_per_triple: 48.0,
+                    iqr_ns: 1.25,
                 },
                 BenchRow {
                     n: 600,
@@ -218,9 +236,11 @@ mod tests {
                     batch: 64,
                     kernel: "scalar".into(),
                     transport: "tcp".into(),
+                    pool: "pool/t2d4".into(),
                     triples: 35_820_200,
                     ns_per_triple: 12.5,
                     bytes_per_triple: 48.0,
+                    iqr_ns: 0.0,
                 },
             ],
         }
@@ -236,32 +256,42 @@ mod tests {
     #[test]
     fn find_matches_on_the_full_key() {
         let r = sample();
-        assert!(r.find(600, 4, 64, "scalar", "tcp").is_some());
-        assert!(r.find(600, 2, 64, "scalar", "tcp").is_none());
+        assert!(r.find(600, 4, 64, "scalar", "tcp", "pool/t2d4").is_some());
+        assert!(r.find(600, 2, 64, "scalar", "tcp", "pool/t2d4").is_none());
         assert!(
-            r.find(600, 4, 64, "bitsliced", "tcp").is_none(),
+            r.find(600, 4, 64, "bitsliced", "tcp", "pool/t2d4").is_none(),
             "kernel is keyed"
         );
         assert!(
-            r.find(600, 4, 64, "scalar", "memory").is_none(),
+            r.find(600, 4, 64, "scalar", "memory", "pool/t2d4").is_none(),
             "transport is keyed"
         );
+        assert!(
+            r.find(600, 4, 64, "scalar", "tcp", "inline").is_none(),
+            "pool is keyed"
+        );
         assert_eq!(
-            r.find(200, 1, 64, "bitsliced", "memory").unwrap().triples,
+            r.find(200, 1, 64, "bitsliced", "memory", "inline")
+                .unwrap()
+                .triples,
             1_313_400
         );
     }
 
     #[test]
     fn kernel_and_transport_columns_default_when_absent() {
-        // Reports written before either column must still parse; every
-        // legacy row was an in-process run, so transport = "memory".
+        // Reports written before the newer columns must still parse:
+        // every legacy row was an in-process run (transport "memory")
+        // with preprocessing on the query path (pool "inline") and a
+        // single-shot timing (iqr 0).
         let legacy = "{\n  \"bench\": \"x\",\n  \"rows\": [\n    \
             {\"n\": 10, \"threads\": 1, \"batch\": 2, \"triples\": 5, \
             \"ns_per_triple\": 1.0, \"bytes_per_triple\": 48.0}\n  ]\n}\n";
         let r = BenchReport::from_json(legacy).unwrap();
         assert_eq!(r.rows[0].kernel, "-");
         assert_eq!(r.rows[0].transport, "memory");
+        assert_eq!(r.rows[0].pool, "inline");
+        assert_eq!(r.rows[0].iqr_ns, 0.0);
     }
 
     #[test]

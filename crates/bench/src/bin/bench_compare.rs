@@ -1,13 +1,17 @@
 //! Perf-regression gate: diffs a fresh `BENCH_secure_count.json`
 //! against the committed baseline.
 //!
-//! For every `(n, threads, batch)` row present in **both** reports:
+//! For every `(n, threads, batch, kernel, transport, pool)` row
+//! present in **both** reports:
 //!
 //! * `bytes_per_triple` must match exactly — the protocol's
 //!   communication cost is deterministic, so any drift is a protocol
 //!   change, not noise;
 //! * `ns_per_triple` must be within `±tolerance` (relative; default
-//!   20%) of the baseline — wall-clock regression gate.
+//!   20%) of the baseline — wall-clock regression gate. Both sides'
+//!   `ns_per_triple` are **medians** (of the `--repeat` samples
+//!   `bench_offline` takes); the persisted IQR column is displayed as
+//!   the noise bar the verdict should be read against.
 //!
 //! Rows present on only one side are reported but do not fail the
 //! gate (sweeps may grow or shrink). Exit code 1 on any violation.
@@ -75,20 +79,29 @@ fn main() {
     let mut failures = 0usize;
     let mut compared = 0usize;
     println!(
-        "| n | threads | batch | kernel | transport | base ns/T | cur ns/T | delta | bytes/T | verdict |\n\
-         |---|---------|-------|--------|-----------|-----------|----------|-------|---------|---------|"
+        "| n | threads | batch | kernel | transport | pool | base ns/T | cur ns/T | cur IQR | delta | bytes/T | verdict |\n\
+         |---|---------|-------|--------|-----------|------|-----------|----------|---------|-------|---------|---------|"
     );
     for cur in &current.rows {
-        let Some(base) = baseline.find(cur.n, cur.threads, cur.batch, &cur.kernel, &cur.transport)
-        else {
+        let Some(base) = baseline.find(
+            cur.n,
+            cur.threads,
+            cur.batch,
+            &cur.kernel,
+            &cur.transport,
+            &cur.pool,
+        ) else {
             println!(
-                "| {} | {} | {} | {} | {} | — | {:.2} | — | {:.1} | NEW (not gated) |",
-                cur.n, cur.threads, cur.batch, cur.kernel, cur.transport, cur.ns_per_triple,
-                cur.bytes_per_triple
+                "| {} | {} | {} | {} | {} | {} | — | {:.2} | {:.2} | — | {:.1} | NEW (not gated) |",
+                cur.n, cur.threads, cur.batch, cur.kernel, cur.transport, cur.pool,
+                cur.ns_per_triple, cur.iqr_ns, cur.bytes_per_triple
             );
             continue;
         };
         compared += 1;
+        // Median vs median: the persisted ns/T is already the median
+        // of the sweep's repeats, so a single outlier run cannot trip
+        // (or mask) the gate.
         let delta = (cur.ns_per_triple - base.ns_per_triple) / base.ns_per_triple;
         let bytes_ok = (cur.bytes_per_triple - base.bytes_per_triple).abs() < 1e-9
             && cur.triples == base.triples;
@@ -102,26 +115,35 @@ fn main() {
             failures += 1;
         }
         println!(
-            "| {} | {} | {} | {} | {} | {:.2} | {:.2} | {:+.1}% | {:.1} | {verdict} |",
+            "| {} | {} | {} | {} | {} | {} | {:.2} | {:.2} | {:.2} | {:+.1}% | {:.1} | {verdict} |",
             cur.n,
             cur.threads,
             cur.batch,
             cur.kernel,
             cur.transport,
+            cur.pool,
             base.ns_per_triple,
             cur.ns_per_triple,
+            cur.iqr_ns,
             delta * 100.0,
             cur.bytes_per_triple
         );
     }
     for base in &baseline.rows {
         if current
-            .find(base.n, base.threads, base.batch, &base.kernel, &base.transport)
+            .find(
+                base.n,
+                base.threads,
+                base.batch,
+                &base.kernel,
+                &base.transport,
+                &base.pool,
+            )
             .is_none()
         {
             println!(
-                "| {} | {} | {} | {} | {} | {:.2} | — | — | — | MISSING (not gated) |",
-                base.n, base.threads, base.batch, base.kernel, base.transport,
+                "| {} | {} | {} | {} | {} | {} | {:.2} | — | — | — | — | MISSING (not gated) |",
+                base.n, base.threads, base.batch, base.kernel, base.transport, base.pool,
                 base.ns_per_triple
             );
         }

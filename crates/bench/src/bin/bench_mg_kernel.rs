@@ -23,7 +23,7 @@
 use cargo_bench::baseline::{BenchReport, BenchRow};
 use cargo_core::{secure_triangle_count_kernel, CountKernel, OfflineMode};
 use cargo_graph::generators::presets::SnapDataset;
-use criterion::{black_box, measure_median_ns};
+use criterion::{black_box, measure_median_iqr_ns};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -128,8 +128,8 @@ fn main() {
                 .into_iter()
                 .enumerate()
             {
-                let median_ns =
-                    measure_median_ns(8, Duration::from_millis(args.measure_ms), || {
+                let (median_ns, iqr_ns) =
+                    measure_median_iqr_ns(8, Duration::from_millis(args.measure_ms), || {
                         black_box(secure_triangle_count_kernel(
                             &m,
                             1,
@@ -145,9 +145,11 @@ fn main() {
                     batch,
                     kernel: kernel.to_string(),
                     transport: "memory".into(),
+                    pool: "inline".into(),
                     triples: probe_scalar.triples,
                     ns_per_triple: median_ns / triples as f64,
                     bytes_per_triple: probe_scalar.net.bytes as f64 / triples as f64,
+                    iqr_ns: iqr_ns / triples as f64,
                 };
                 per_kernel[slot] = row.ns_per_triple;
                 println!(

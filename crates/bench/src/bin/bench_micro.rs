@@ -21,8 +21,12 @@ use cargo_bench::baseline::{BenchReport, BenchRow};
 use cargo_core::{estimate_max_degree, project_matrix};
 use cargo_dp::DistributedLaplace;
 use cargo_graph::generators::presets::SnapDataset;
-use cargo_mpc::{beaver_mul, mul3, Dealer, NetStats, Ring64};
-use criterion::{black_box, measure_median_ns};
+use cargo_mpc::ot::OT_KAPPA;
+use cargo_mpc::{
+    beaver_mul, cols_to_rows_scalar, cols_to_rows_simd, cols_to_rows_simd_into, cr_hash_batch, cr_hash_scalar, mul3,
+    Dealer, NetStats, Ring64, SimdTier,
+};
+use criterion::{black_box, measure_median_iqr_ns};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
@@ -80,19 +84,22 @@ fn main() {
         bench: "micro".into(),
         rows: Vec::new(),
     };
-    let mut push = |kernel: &str, n: usize, ops: u64, median_ns: f64, bytes_per_op: f64| {
+    let mut push = |kernel: &str, n: usize, ops: u64, timing: (f64, f64), bytes_per_op: f64| {
+        let (median_ns, iqr_ns) = timing;
         let row = BenchRow {
             n,
             threads: 1,
             batch: 1,
             kernel: kernel.into(),
             transport: "memory".into(),
+            pool: "inline".into(),
             triples: ops,
             ns_per_triple: median_ns / ops as f64,
             bytes_per_triple: bytes_per_op,
+            iqr_ns: iqr_ns / ops as f64,
         };
         println!(
-            "{kernel:<14} n={n:<5} {:>10.2} ns/op  {:>5.1} B/op",
+            "{kernel:<18} n={n:<5} {:>10.2} ns/op  {:>5.1} B/op",
             row.ns_per_triple, row.bytes_per_triple
         );
         report.rows.push(row);
@@ -114,7 +121,7 @@ fn main() {
             dealer.mul_group(),
             &mut probe_net,
         );
-        let ns = measure_median_ns(12, budget, || {
+        let ns = measure_median_iqr_ns(12, budget, || {
             let mg = dealer.mul_group();
             let mut net = NetStats::new();
             black_box(mul3(
@@ -135,7 +142,7 @@ fn main() {
         let sb = dealer.share(Ring64::ONE);
         let mut probe_net = NetStats::new();
         beaver_mul((sa.s1, sa.s2), (sb.s1, sb.s2), dealer.beaver(), &mut probe_net);
-        let ns = measure_median_ns(12, budget, || {
+        let ns = measure_median_iqr_ns(12, budget, || {
             let t = dealer.beaver();
             let mut net = NetStats::new();
             black_box(beaver_mul((sa.s1, sa.s2), (sb.s1, sb.s2), t, &mut net))
@@ -153,7 +160,7 @@ fn main() {
         let degrees = g.degrees();
         let mut rng = StdRng::seed_from_u64(1);
         let noisy = estimate_max_degree(&degrees, 0.2, &mut rng).noisy_degrees;
-        let ns = measure_median_ns(6, budget, || {
+        let ns = measure_median_iqr_ns(6, budget, || {
             black_box(project_matrix(&matrix, &degrees, &noisy, 100))
         });
         push("projection", n, n as u64, ns, 0.0);
@@ -166,7 +173,7 @@ fn main() {
         let n = 2000usize;
         let dist = DistributedLaplace::new(n, 1000.0, 1.8);
         let mut rng = StdRng::seed_from_u64(5);
-        let ns = measure_median_ns(6, budget, || black_box(dist.sample_all(&mut rng)));
+        let ns = measure_median_iqr_ns(6, budget, || black_box(dist.sample_all(&mut rng)));
         push("perturb_noise", n, n as u64, ns, 0.0);
     }
 
@@ -175,10 +182,56 @@ fn main() {
         let n = 2000usize;
         let degrees: Vec<usize> = (0..n).map(|i| i % 97).collect();
         let mut rng = StdRng::seed_from_u64(7);
-        let ns = measure_median_ns(6, budget, || {
+        let ns = measure_median_iqr_ns(6, budget, || {
             black_box(estimate_max_degree(&degrees, 0.2, &mut rng))
         });
         push("max_degree", n, n as u64, ns, 0.0);
+    }
+
+    // ot_transpose / ot_hash: the two OT-extension inner loops, scalar
+    // reference vs the runtime-dispatched SIMD kernels, over one
+    // extension slab (64 words = 4096 rows — exactly what
+    // `OtMgEngine` transposes and hashes per batch). The `_simd` rows
+    // are the microbench evidence for the vectorisation speedup;
+    // bit-equality across tiers is pinned by the
+    // `ot_simd_equivalence` proptest suite.
+    {
+        let words = 64usize;
+        let rows = 64 * words;
+        let tier = SimdTier::detect();
+        let mut seed = 0x9E3779B97F4A7C15u64;
+        let cols: Vec<u64> = (0..OT_KAPPA * words)
+            .map(|_| {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                seed
+            })
+            .collect();
+
+        let ns = measure_median_iqr_ns(12, budget, || black_box(cols_to_rows_scalar(&cols, words)));
+        push("ot_transpose", rows, rows as u64, ns, 0.0);
+        // The engine runs the into-form, reusing one buffer pair per
+        // chunk — time that, not the allocating wrapper.
+        let (mut lo, mut hi) = (vec![0u64; rows], vec![0u64; rows]);
+        let ns = measure_median_iqr_ns(12, budget, || {
+            cols_to_rows_simd_into(tier, &cols, words, &mut lo, &mut hi);
+            black_box(lo[rows - 1])
+        });
+        push(&format!("ot_transpose_simd/{tier}"), rows, rows as u64, ns, 0.0);
+
+        let (lo, hi) = cols_to_rows_simd(tier, &cols, words);
+        let mut out = vec![0u64; rows];
+        let ns = measure_median_iqr_ns(12, budget, || {
+            for j in 0..rows {
+                out[j] = cr_hash_scalar(j as u64, [lo[j], hi[j]]);
+            }
+            black_box(out[rows - 1])
+        });
+        push("ot_hash", rows, rows as u64, ns, 0.0);
+        let ns = measure_median_iqr_ns(12, budget, || {
+            cr_hash_batch(tier, 0, &lo, &hi, [0, 0], &mut out);
+            black_box(out[rows - 1])
+        });
+        push(&format!("ot_hash_simd/{tier}"), rows, rows as u64, ns, 0.0);
     }
 
     if let Err(e) = report.write(&args.out) {

@@ -29,7 +29,7 @@ use cargo_core::{
     SecureCountResult, TransportKind,
 };
 use cargo_graph::generators::presets::SnapDataset;
-use criterion::{black_box, measure_median_ns};
+use criterion::{black_box, measure_median_iqr_ns};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -147,7 +147,7 @@ fn main() {
                     assert_eq!(probe.net, reference.net, "TCP wire != modeled ledger");
                 }
                 let triples = probe.triples.max(1);
-                let median_ns = measure_median_ns(
+                let (median_ns, iqr_ns) = measure_median_iqr_ns(
                     10,
                     Duration::from_millis(args.measure_ms),
                     || black_box(run()),
@@ -158,9 +158,11 @@ fn main() {
                     batch,
                     kernel: CountKernel::default().to_string(),
                     transport: transport.clone(),
+                    pool: "inline".into(),
                     triples: probe.triples,
                     ns_per_triple: median_ns / triples as f64,
                     bytes_per_triple: probe.net.bytes as f64 / triples as f64,
+                    iqr_ns: iqr_ns / triples as f64,
                 };
                 println!(
                     "n={n:<5} threads={threads:<2} batch={batch:<4} transport={transport:<6} \
@@ -174,10 +176,10 @@ fn main() {
         if let Some(&b) = args.batches.iter().max() {
             let kernel = CountKernel::default().to_string();
             if let (Some(one), Some(best)) = (
-                report.find(n, 1, b, &kernel, &transport),
+                report.find(n, 1, b, &kernel, &transport, "inline"),
                 args.threads
                     .iter()
-                    .filter_map(|&t| report.find(n, t, b, &kernel, &transport))
+                    .filter_map(|&t| report.find(n, t, b, &kernel, &transport, "inline"))
                     .min_by(|a, c| a.ns_per_triple.total_cmp(&c.ns_per_triple)),
             ) {
                 println!(

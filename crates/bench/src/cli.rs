@@ -2,7 +2,7 @@
 //! CLI dependency in the approved set).
 
 use cargo_core::{CountKernel, TransportKind};
-use cargo_mpc::OfflineMode;
+use cargo_mpc::{Backpressure, OfflineMode, PoolPolicy, DEFAULT_POOL_DEPTH};
 use std::path::PathBuf;
 
 /// Parsed command-line options with the paper's defaults.
@@ -31,6 +31,14 @@ pub struct Options {
     /// (default) or the message-passing runtime over real loopback
     /// sockets. Results are bit-identical; TCP measures the ledger.
     pub transport: TransportKind,
+    /// Background triple-factory threads (`--factory-threads`;
+    /// 0 = preprocessing stays inline on the query path). Only takes
+    /// effect together with `--offline-mode ot`.
+    pub factory_threads: usize,
+    /// Triple-pool depth in chunks (`--pool-depth`; 0 = default).
+    pub pool_depth: usize,
+    /// Pool backpressure (`--pool-backpressure block|fail-fast`).
+    pub pool_backpressure: Backpressure,
     /// Quick mode: shrink n and trials for smoke runs.
     pub quick: bool,
     /// `--help`/`-h` was given: print usage and exit successfully.
@@ -50,8 +58,28 @@ impl Default for Options {
             offline: OfflineMode::TrustedDealer,
             kernel: CountKernel::Bitsliced,
             transport: TransportKind::Memory,
+            factory_threads: 0,
+            pool_depth: 0,
+            pool_backpressure: Backpressure::Block,
             quick: false,
             help: false,
+        }
+    }
+}
+
+impl Options {
+    /// The triple-pool policy the CLI knobs describe (`--pool-depth 0`
+    /// resolves to [`DEFAULT_POOL_DEPTH`], mirroring
+    /// `CargoConfig::pool_policy`).
+    pub fn pool_policy(&self) -> PoolPolicy {
+        PoolPolicy {
+            factory_threads: self.factory_threads,
+            depth: if self.pool_depth == 0 {
+                DEFAULT_POOL_DEPTH
+            } else {
+                self.pool_depth
+            },
+            backpressure: self.pool_backpressure,
         }
     }
 }
@@ -111,6 +139,21 @@ impl Options {
                     opts.transport = take_value(&mut i)?
                         .parse()
                         .map_err(|e: String| format!("--transport: {e}"))?
+                }
+                "--factory-threads" => {
+                    opts.factory_threads = take_value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--factory-threads: {e}"))?
+                }
+                "--pool-depth" => {
+                    opts.pool_depth = take_value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--pool-depth: {e}"))?
+                }
+                "--pool-backpressure" => {
+                    opts.pool_backpressure = take_value(&mut i)?
+                        .parse()
+                        .map_err(|e: String| format!("--pool-backpressure: {e}"))?
                 }
                 "--out-dir" => opts.out_dir = PathBuf::from(take_value(&mut i)?),
                 "--data-dir" => opts.data_dir = Some(PathBuf::from(take_value(&mut i)?)),
@@ -194,6 +237,29 @@ mod tests {
         let (o, _) = parse(&["table2"]).unwrap();
         assert_eq!(o.transport, TransportKind::Memory, "memory is default");
         assert!(parse(&["--transport", "udp"]).is_err());
+    }
+
+    #[test]
+    fn pool_knobs_parse() {
+        let (o, _) = parse(&[
+            "--factory-threads",
+            "2",
+            "--pool-depth",
+            "8",
+            "--pool-backpressure",
+            "fail-fast",
+            "table2",
+        ])
+        .unwrap();
+        assert_eq!(o.factory_threads, 2);
+        assert_eq!(o.pool_depth, 8);
+        assert_eq!(o.pool_backpressure, Backpressure::FailFast);
+        assert_eq!(o.pool_policy().depth, 8);
+        let (o, _) = parse(&["table2"]).unwrap();
+        assert_eq!(o.factory_threads, 0, "inline by default");
+        assert!(!o.pool_policy().enabled());
+        assert_eq!(o.pool_policy().depth, DEFAULT_POOL_DEPTH, "0 = default");
+        assert!(parse(&["--pool-backpressure", "wat"]).is_err());
     }
 
     #[test]

@@ -58,7 +58,10 @@ pub fn ext_sensitivity(opts: &Options) -> Vec<Table> {
                 CargoConfig::new(eps)
                 .with_seed(trial_seed(opts.seed, trial, eps, g.n()))
                 .with_offline(opts.offline)
-                .with_kernel(opts.kernel),
+                .with_kernel(opts.kernel)
+                .with_factory_threads(opts.factory_threads)
+                .with_pool_depth(opts.pool_depth)
+                .with_pool_backpressure(opts.pool_backpressure),
             )
             .run(&g);
             cargo_err.push((out.noisy_count - t_true).abs());
@@ -110,7 +113,10 @@ pub fn ext_node_dp(opts: &Options) -> Vec<Table> {
             let cfg = CargoConfig::new(eps)
                 .with_seed(trial_seed(opts.seed, trial, eps, g.n()))
                 .with_offline(opts.offline)
-                .with_kernel(opts.kernel);
+                .with_kernel(opts.kernel)
+                .with_factory_threads(opts.factory_threads)
+                .with_pool_depth(opts.pool_depth)
+                .with_pool_backpressure(opts.pool_backpressure);
             let e = CargoSystem::new(cfg).run(&g);
             let n_out = run_node_dp(&cfg, &g);
             edge_l2 += (e.noisy_count - t_true).powi(2);
@@ -198,7 +204,10 @@ pub fn ext_projection_ablation(opts: &Options) -> Vec<Table> {
             let cfg = CargoConfig::new(eps)
                 .with_seed(trial_seed(opts.seed, trial, eps, g.n()))
                 .with_offline(opts.offline)
-                .with_kernel(opts.kernel);
+                .with_kernel(opts.kernel)
+                .with_factory_threads(opts.factory_threads)
+                .with_pool_depth(opts.pool_depth)
+                .with_pool_backpressure(opts.pool_backpressure);
             let a = CargoSystem::new(cfg).run(&g);
             let b = CargoSystem::new(cfg.without_projection()).run(&g);
             with.0 += (a.noisy_count - t_true).abs() / t_true;

@@ -63,6 +63,7 @@ pub fn fig11_or_12(opts: &Options, which: RuntimeGraph) -> Vec<Table> {
             opts.offline,
             opts.kernel,
             opts.transport,
+            opts.pool_policy(),
         );
         let share = if cargo.time.as_secs_f64() > 0.0 {
             cargo.count_time.as_secs_f64() / cargo.time.as_secs_f64()

@@ -8,7 +8,7 @@ use cargo_core::{
     l2_loss, relative_error, CargoConfig, CargoSystem, CountKernel, OfflineMode, TransportKind,
 };
 use cargo_graph::Graph;
-use cargo_mpc::NetStats;
+use cargo_mpc::{NetStats, PoolPolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
@@ -87,15 +87,17 @@ pub fn run_cargo(g: &Graph, epsilon: f64, trials: usize, seed: u64) -> UtilityPo
         OfflineMode::TrustedDealer,
         CountKernel::default(),
         TransportKind::Memory,
+        PoolPolicy::INLINE,
     )
 }
 
 /// [`run_cargo`] with explicit Count knobs: `threads` workers
 /// (0 = all cores), `batch` triples per round (0 = default), the
-/// offline-phase mode, the Count kernel, and the Count wire — the
-/// CLI's `--threads`/`--batch`/`--offline-mode`/`--kernel`/
-/// `--transport` land here so the knobs govern every Count entry the
-/// experiments exercise.
+/// offline-phase mode, the Count kernel, the Count wire, and the
+/// triple-factory policy — the CLI's `--threads`/`--batch`/
+/// `--offline-mode`/`--kernel`/`--transport`/`--factory-threads`/
+/// `--pool-depth`/`--pool-backpressure` land here so the knobs govern
+/// every Count entry the experiments exercise.
 #[allow(clippy::too_many_arguments)]
 pub fn run_cargo_with(
     g: &Graph,
@@ -107,6 +109,7 @@ pub fn run_cargo_with(
     offline: OfflineMode,
     kernel: CountKernel,
     transport: TransportKind,
+    pool: PoolPolicy,
 ) -> UtilityPoint {
     let t_true = cargo_graph::count_triangles(g) as f64;
     let mut estimates = Vec::with_capacity(trials);
@@ -120,7 +123,10 @@ pub fn run_cargo_with(
             .with_batch(batch)
             .with_offline(offline)
             .with_kernel(kernel)
-            .with_transport(transport);
+            .with_transport(transport)
+            .with_factory_threads(pool.factory_threads)
+            .with_pool_depth(pool.depth)
+            .with_pool_backpressure(pool.backpressure);
         let start = Instant::now();
         let out = CargoSystem::new(cfg).run(g);
         times.push(start.elapsed());
@@ -175,9 +181,9 @@ mod tests {
         let small = barabasi_albert(30, 3, 1);
         for point in [
             run_cargo(&g, 2.0, 2, 1),
-            run_cargo_with(&g, 2.0, 2, 1, 2, 16, OfflineMode::TrustedDealer, CountKernel::Bitsliced, TransportKind::Memory),
-            run_cargo_with(&small, 2.0, 1, 1, 1, 0, OfflineMode::OtExtension, CountKernel::Scalar, TransportKind::Memory),
-            run_cargo_with(&small, 2.0, 1, 1, 1, 0, OfflineMode::TrustedDealer, CountKernel::default(), TransportKind::Tcp),
+            run_cargo_with(&g, 2.0, 2, 1, 2, 16, OfflineMode::TrustedDealer, CountKernel::Bitsliced, TransportKind::Memory, PoolPolicy::INLINE),
+            run_cargo_with(&small, 2.0, 1, 1, 1, 0, OfflineMode::OtExtension, CountKernel::Scalar, TransportKind::Memory, PoolPolicy::INLINE),
+            run_cargo_with(&small, 2.0, 1, 1, 1, 0, OfflineMode::TrustedDealer, CountKernel::default(), TransportKind::Tcp, PoolPolicy::INLINE),
             run_central(&g, 2.0, 2, 1),
             run_local2rounds(&g, 2.0, 2, 1),
         ] {
@@ -189,8 +195,8 @@ mod tests {
     #[test]
     fn ot_mode_surfaces_an_offline_ledger_through_the_runner() {
         let g = barabasi_albert(30, 3, 2);
-        let dealer = run_cargo_with(&g, 2.0, 1, 1, 1, 0, OfflineMode::TrustedDealer, CountKernel::default(), TransportKind::Memory);
-        let ot = run_cargo_with(&g, 2.0, 1, 1, 1, 0, OfflineMode::OtExtension, CountKernel::default(), TransportKind::Memory);
+        let dealer = run_cargo_with(&g, 2.0, 1, 1, 1, 0, OfflineMode::TrustedDealer, CountKernel::default(), TransportKind::Memory, PoolPolicy::INLINE);
+        let ot = run_cargo_with(&g, 2.0, 1, 1, 1, 0, OfflineMode::OtExtension, CountKernel::default(), TransportKind::Memory, PoolPolicy::INLINE);
         assert!(dealer.net.offline.is_empty());
         assert!(ot.net.offline.bytes > 0);
         assert_eq!(ot.net.online(), dealer.net.online());

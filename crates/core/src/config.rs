@@ -1,7 +1,7 @@
 //! Configuration of a CARGO run.
 
 use cargo_dp::{EpsilonSplit, PrivacyBudget};
-use cargo_mpc::OfflineMode;
+use cargo_mpc::{Backpressure, OfflineMode, PoolPolicy};
 
 /// Selects the inner evaluation kernel of the Count phase.
 ///
@@ -147,6 +147,18 @@ pub struct CargoConfig {
     /// bit-identical either way; TCP additionally *measures* the byte
     /// ledger on a real wire.
     pub transport: TransportKind,
+    /// Background offline triple-factory threads (OT mode only):
+    /// `0` (the default) preprocesses inline on the query path; `>= 1`
+    /// decouples generation onto a [`cargo_mpc::TriplePool`]. Shares
+    /// are bit-identical at every setting.
+    pub factory_threads: usize,
+    /// Bounded triple-pool depth in chunks
+    /// (0 = [`cargo_mpc::DEFAULT_POOL_DEPTH`]). Ignored when
+    /// `factory_threads == 0`.
+    pub pool_depth: usize,
+    /// What a drained pool does to the query path: block until the
+    /// chunk is ready (default) or fail fast with a loud error.
+    pub pool_backpressure: Backpressure,
 }
 
 impl CargoConfig {
@@ -163,6 +175,9 @@ impl CargoConfig {
             offline: OfflineMode::TrustedDealer,
             kernel: CountKernel::Bitsliced,
             transport: TransportKind::Memory,
+            factory_threads: 0,
+            pool_depth: 0,
+            pool_backpressure: Backpressure::Block,
         }
     }
 
@@ -231,6 +246,61 @@ impl CargoConfig {
     pub fn with_transport(mut self, transport: TransportKind) -> Self {
         self.transport = transport;
         self
+    }
+
+    /// Sets the background triple-factory thread count (0 = inline
+    /// preprocessing, the default).
+    ///
+    /// ```
+    /// use cargo_core::CargoConfig;
+    /// let cfg = CargoConfig::new(2.0).with_factory_threads(2);
+    /// assert_eq!(cfg.factory_threads, 2);
+    /// assert!(cfg.pool_policy().enabled());
+    /// ```
+    pub fn with_factory_threads(mut self, factory_threads: usize) -> Self {
+        self.factory_threads = factory_threads;
+        self
+    }
+
+    /// Sets the bounded triple-pool depth (0 = default).
+    ///
+    /// ```
+    /// use cargo_core::CargoConfig;
+    /// let cfg = CargoConfig::new(2.0).with_factory_threads(1).with_pool_depth(8);
+    /// assert_eq!(cfg.pool_policy().depth, 8);
+    /// ```
+    pub fn with_pool_depth(mut self, pool_depth: usize) -> Self {
+        self.pool_depth = pool_depth;
+        self
+    }
+
+    /// Selects the drained-pool backpressure discipline.
+    ///
+    /// ```
+    /// use cargo_core::CargoConfig;
+    /// use cargo_mpc::Backpressure;
+    /// let cfg = CargoConfig::new(2.0).with_pool_backpressure(Backpressure::FailFast);
+    /// assert_eq!(cfg.pool_backpressure, Backpressure::FailFast);
+    /// ```
+    pub fn with_pool_backpressure(mut self, backpressure: Backpressure) -> Self {
+        self.pool_backpressure = backpressure;
+        self
+    }
+
+    /// The resolved [`PoolPolicy`] of this config: disabled (inline)
+    /// when `factory_threads == 0`, otherwise the configured factory
+    /// width, depth (0 ⇒ [`cargo_mpc::DEFAULT_POOL_DEPTH`]) and
+    /// backpressure.
+    pub fn pool_policy(&self) -> PoolPolicy {
+        PoolPolicy {
+            factory_threads: self.factory_threads,
+            depth: if self.pool_depth == 0 {
+                cargo_mpc::DEFAULT_POOL_DEPTH
+            } else {
+                self.pool_depth
+            },
+            backpressure: self.pool_backpressure,
+        }
     }
 
     /// The validated budget split `(ε₁, ε₂)`.

@@ -45,9 +45,9 @@ use crate::count_sched::{share_prf, CountScheduler, PairChunk};
 use cargo_graph::BitMatrix;
 use cargo_mpc::{
     mg_offline_over_wire, mul3_combine_batch, mul3_mask_batch, mul3_open_batch, ot_setup_ledger,
-    recv_msg, send_msg, split_mg_words, DealerMsg, InMemoryTransport, MulGroupShare, NetStats,
-    OfflineMode, OpeningMsg, PairDealer, Ring64, ServerId, TcpConfig, TcpTransport, Transport,
-    DEFAULT_RECV_TIMEOUT, MG_WORDS,
+    plan_offsets, recv_msg, send_msg, split_mg_words, DealerMsg, InMemoryTransport, MulGroupShare,
+    NetStats, OfflineMode, OpeningMsg, PairDealer, PoolPolicy, Ring64, ServerId, TcpConfig,
+    TcpTransport, Transport, TriplePool, DEFAULT_RECV_TIMEOUT, MG_WORDS,
 };
 use std::sync::Arc;
 
@@ -96,6 +96,12 @@ struct ServerWorker<T: Transport, D: Transport> {
     peer: Arc<T>,
     /// MG share source in trusted-dealer mode.
     dealer: DealerSource<D>,
+    /// Background triple factory (OT mode only): when set, chunk
+    /// material is *drawn* from this server's pool keyed by the chunk
+    /// id instead of being preprocessed inline on the peer link — the
+    /// predistribution stance of [`DealerSource::Local`], but with the
+    /// generation cost still modeled via the pooled per-chunk ledger.
+    pool: Option<Arc<TriplePool>>,
 }
 
 impl<T: Transport, D: Transport> ServerWorker<T, D> {
@@ -121,14 +127,34 @@ impl<T: Transport, D: Transport> ServerWorker<T, D> {
         let n = self.sched.n();
         let batch = self.sched.batch();
         let mut t_share = Ring64::ZERO;
-        // OT mode preprocesses the whole chunk up front in one
-        // amortised session over the peer link; the dealer (link or
+        // OT mode preprocesses the whole chunk up front — inline in
+        // one amortised session over the peer link, or by drawing the
+        // chunk's entry from the background pool; the dealer (link or
         // local stream) provides material per block below.
-        let material = match self.mode {
-            OfflineMode::TrustedDealer => None,
-            OfflineMode::OtExtension => {
+        let material = match (&self.pool, self.mode) {
+            (Some(pool), _) => {
                 let plan = self.sched.chunk_plan(chunk);
-                let offsets = cargo_mpc::plan_offsets(&plan);
+                let offsets = plan_offsets(&plan);
+                let (mat, ledger) = pool.take(chunk.id).unwrap_or_else(|e| {
+                    panic!("offline triple pool failed on chunk {}: {e}", chunk.id)
+                });
+                if self.tally {
+                    net.offline.merge(&ledger);
+                }
+                let mut groups = Vec::with_capacity(mat.len());
+                for idx in 0..plan.len() {
+                    let (g1, g2) = mat.pair(idx);
+                    groups.extend_from_slice(match self.id {
+                        ServerId::S1 => g1,
+                        ServerId::S2 => g2,
+                    });
+                }
+                Some((groups, offsets))
+            }
+            (None, OfflineMode::TrustedDealer) => None,
+            (None, OfflineMode::OtExtension) => {
+                let plan = self.sched.chunk_plan(chunk);
+                let offsets = plan_offsets(&plan);
                 let groups = mg_offline_over_wire(
                     &*self.peer,
                     self.id,
@@ -315,10 +341,35 @@ pub fn run_party_count<T: Transport>(
     id: ServerId,
     link: &Arc<T>,
 ) -> SecureCountResult {
+    run_party_count_pooled(matrix, seed, threads, batch, mode, id, link, PoolPolicy::INLINE)
+}
+
+/// [`run_party_count`] with an explicit [`PoolPolicy`]: when the
+/// policy is enabled **and** `mode` is OT extension, this party's
+/// workers draw chunk material from a local background [`TriplePool`]
+/// instead of running the preprocessing dialogue over `link` — the
+/// predistribution stance of trusted-dealer mode, with the generation
+/// cost still tallied from the pooled per-chunk ledgers (so the
+/// modeled [`NetStats`] equals the inline OT party's). The pool knob
+/// is ignored in trusted-dealer mode, which has no offline phase to
+/// pool. Pool fill/drain counters are surfaced on
+/// [`SecureCountResult::pool`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_party_count_pooled<T: Transport>(
+    matrix: &BitMatrix,
+    seed: u64,
+    threads: usize,
+    batch: usize,
+    mode: OfflineMode,
+    id: ServerId,
+    link: &Arc<T>,
+    policy: PoolPolicy,
+) -> SecureCountResult {
     let n = matrix.n();
     let sched = Arc::new(CountScheduler::new(n, threads.max(1), batch));
     let shares = Arc::new(party_input_shares(matrix, seed, id));
     let workers = sched.workers().min(sched.chunks().len()).max(1);
+    let triple_pool = spawn_triple_pool(&sched, seed, mode, policy);
     let (share, mut net) = std::thread::scope(|scope| {
         let pool: Vec<_> = (0..workers)
             .map(|w| {
@@ -333,6 +384,7 @@ pub fn run_party_count<T: Transport>(
                     shares: Arc::clone(&shares),
                     peer: Arc::clone(link),
                     dealer: DealerSource::Local,
+                    pool: triple_pool.clone(),
                 };
                 scope.spawn(move || worker.run())
             })
@@ -350,6 +402,7 @@ pub fn run_party_count<T: Transport>(
         net.offline.merge(&ot_setup_ledger());
     }
     net.wire_bytes = link.stats().online_payload_both();
+    let pool = triple_pool.map(|p| p.stats()).unwrap_or_default();
     // The other share lives in the peer process; this result carries
     // ours in the slot matching our role and zero in the other.
     let (share1, share2) = match id {
@@ -362,7 +415,26 @@ pub fn run_party_count<T: Transport>(
         net,
         upload_elements: 2 * (n as u64) * (n as u64),
         triples: sched.total_triples(),
+        pool,
     }
+}
+
+/// Starts one server's background triple factory when the policy asks
+/// for one and the run is in OT mode (the only mode with an offline
+/// phase to pool). Each server owns a private pool — like
+/// [`DealerSource::Local`], the factory derives both share columns of
+/// each chunk locally and the worker keeps only its own side.
+fn spawn_triple_pool(
+    sched: &CountScheduler,
+    seed: u64,
+    mode: OfflineMode,
+    policy: PoolPolicy,
+) -> Option<Arc<TriplePool>> {
+    if !policy.enabled() || mode != OfflineMode::OtExtension || sched.chunks().is_empty() {
+        return None;
+    }
+    let plans: Vec<_> = sched.chunks().iter().map(|c| sched.chunk_plan(c)).collect();
+    Some(Arc::new(TriplePool::new(seed, plans, policy)))
 }
 
 /// Runs Algorithm 4 on the sharded message-passing runtime with one
@@ -410,7 +482,44 @@ pub fn threaded_secure_count_offline(
     mode: OfflineMode,
 ) -> SecureCountResult {
     let (end1, end2) = cargo_mpc::memory_pair();
-    threaded_secure_count_over(matrix, seed, threads, batch, mode, Arc::new(end1), Arc::new(end2))
+    threaded_secure_count_over(
+        matrix,
+        seed,
+        threads,
+        batch,
+        mode,
+        Arc::new(end1),
+        Arc::new(end2),
+        PoolPolicy::INLINE,
+    )
+}
+
+/// [`threaded_secure_count_offline`] in OT mode with each server
+/// drawing its chunk material from a private background
+/// [`TriplePool`] (`policy` must be enabled): the offline triple
+/// factory runs ahead of — and concurrently with — the online rounds,
+/// while shares, online `NetStats` and the modeled offline ledger stay
+/// bit-identical to the inline OT runtime at every
+/// `factory_threads × pool_depth`.
+pub fn threaded_secure_count_pooled(
+    matrix: &BitMatrix,
+    seed: u64,
+    threads: usize,
+    batch: usize,
+    policy: PoolPolicy,
+) -> SecureCountResult {
+    assert!(policy.enabled(), "pooled runtime requires factory_threads >= 1");
+    let (end1, end2) = cargo_mpc::memory_pair();
+    threaded_secure_count_over(
+        matrix,
+        seed,
+        threads,
+        batch,
+        OfflineMode::OtExtension,
+        Arc::new(end1),
+        Arc::new(end2),
+        policy,
+    )
 }
 
 /// [`threaded_secure_count_offline`] over **real loopback TCP
@@ -429,13 +538,49 @@ pub fn threaded_secure_count_tcp(
 ) -> SecureCountResult {
     let (end1, end2, _) = TcpTransport::loopback_pair(&TcpConfig::default())
         .expect("loopback socket pair");
-    threaded_secure_count_over(matrix, seed, threads, batch, mode, Arc::new(end1), Arc::new(end2))
+    threaded_secure_count_over(
+        matrix,
+        seed,
+        threads,
+        batch,
+        mode,
+        Arc::new(end1),
+        Arc::new(end2),
+        PoolPolicy::INLINE,
+    )
+}
+
+/// [`threaded_secure_count_tcp`] in OT mode with per-server background
+/// triple pools (see [`threaded_secure_count_pooled`]): the factories
+/// preprocess locally while only the online openings cross the
+/// sockets.
+pub fn threaded_secure_count_tcp_pooled(
+    matrix: &BitMatrix,
+    seed: u64,
+    threads: usize,
+    batch: usize,
+    policy: PoolPolicy,
+) -> SecureCountResult {
+    assert!(policy.enabled(), "pooled runtime requires factory_threads >= 1");
+    let (end1, end2, _) = TcpTransport::loopback_pair(&TcpConfig::default())
+        .expect("loopback socket pair");
+    threaded_secure_count_over(
+        matrix,
+        seed,
+        threads,
+        batch,
+        OfflineMode::OtExtension,
+        Arc::new(end1),
+        Arc::new(end2),
+        policy,
+    )
 }
 
 /// The transport-generic core of the in-process runtime: both server
 /// pools over the two ends of one [`Transport`] link, plus (in
 /// trusted-dealer mode) a dealer thread streaming [`DealerMsg`] frames
 /// over dedicated in-memory links.
+#[allow(clippy::too_many_arguments)]
 fn threaded_secure_count_over<T: Transport>(
     matrix: &BitMatrix,
     seed: u64,
@@ -444,9 +589,16 @@ fn threaded_secure_count_over<T: Transport>(
     mode: OfflineMode,
     end1: Arc<T>,
     end2: Arc<T>,
+    policy: PoolPolicy,
 ) -> SecureCountResult {
     let n = matrix.n();
     let sched = Arc::new(CountScheduler::new(n, threads.max(1), batch));
+    // Pooled OT mode: each server owns a private triple factory, the
+    // way each party process expands dealer material locally — no
+    // offline bytes cross the server↔server link, but the modeled
+    // ledger (pooled per-chunk entries) is unchanged.
+    let pool1 = spawn_triple_pool(&sched, seed, mode, policy);
+    let pool2 = spawn_triple_pool(&sched, seed, mode, policy);
     // Users upload input shares: each server receives ONLY its own
     // matrix.
     let shares1 = Arc::new(party_input_shares(matrix, seed, ServerId::S1));
@@ -476,6 +628,7 @@ fn threaded_secure_count_over<T: Transport>(
                           shares: &Arc<Vec<Vec<Ring64>>>,
                           peer: &Arc<T>,
                           dealer_rx: &Arc<InMemoryTransport>,
+                          triple_pool: &Option<Arc<TriplePool>>,
                           tally: bool| {
             (0..workers)
                 .map(|w| {
@@ -495,6 +648,7 @@ fn threaded_secure_count_over<T: Transport>(
                             }
                             OfflineMode::OtExtension => DealerSource::Local,
                         },
+                        pool: triple_pool.clone(),
                     };
                     scope.spawn(move || worker.run())
                 })
@@ -502,8 +656,8 @@ fn threaded_secure_count_over<T: Transport>(
         };
         // S₁ tallies the full bidirectional exchanges so the merged
         // stats equal one exchange per batch.
-        let pool1 = spawn_pool(ServerId::S1, &shares1, &end1, &d1rx, true);
-        let pool2 = spawn_pool(ServerId::S2, &shares2, &end2, &d2rx, false);
+        let pool1 = spawn_pool(ServerId::S1, &shares1, &end1, &d1rx, &pool1, true);
+        let pool2 = spawn_pool(ServerId::S2, &shares2, &end2, &d2rx, &pool2, false);
         if let Some(dealer) = dealer {
             dealer.join().expect("dealer panicked");
         }
@@ -525,8 +679,15 @@ fn threaded_secure_count_over<T: Transport>(
 
     // Measured-vs-modeled: the offline payload that actually crossed
     // the wire must equal the modeled flight ledger (the base-OT setup
-    // is a per-run constant that never crosses this link).
-    debug_assert_eq!(end1.stats().offline_payload_both(), net.offline.bytes);
+    // is a per-run constant that never crosses this link). In pooled
+    // mode the material is predistributed locally: zero offline bytes
+    // cross the link while the modeled ledger still carries the
+    // generation cost, so the pin only applies inline.
+    if pool1.is_none() {
+        debug_assert_eq!(end1.stats().offline_payload_both(), net.offline.bytes);
+    } else {
+        debug_assert_eq!(end1.stats().offline_payload_both(), 0);
+    }
     if mode == OfflineMode::OtExtension && !sched.chunks().is_empty() {
         net.offline.merge(&ot_setup_ledger());
     }
@@ -535,12 +696,16 @@ fn threaded_secure_count_over<T: Transport>(
     // Every `net == fast.net` equality downstream now pins
     // measured == modeled exactly.
     net.wire_bytes = end1.stats().online_payload_both();
+    // Report S₁'s factory counters (the tallying side); S₂'s pool saw
+    // the same fills and drains by construction.
+    let pool = pool1.map(|p| p.stats()).unwrap_or_default();
     SecureCountResult {
         share1,
         share2,
         net,
         upload_elements: 2 * (n as u64) * (n as u64),
         triples: sched.total_triples(),
+        pool,
     }
 }
 

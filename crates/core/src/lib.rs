@@ -56,15 +56,16 @@ pub mod sensitivity;
 pub mod protocol;
 pub mod theory;
 
-pub use cargo_mpc::OfflineMode;
+pub use cargo_mpc::{Backpressure, OfflineMode, PoolPolicy, PoolStats};
 pub use config::{CargoConfig, CountKernel, TransportKind};
 pub use count::{
     secure_triangle_count, secure_triangle_count_batched, secure_triangle_count_kernel,
-    secure_triangle_count_with, SecureCountResult,
+    secure_triangle_count_pooled, secure_triangle_count_with, SecureCountResult,
 };
 pub use count_runtime::{
-    party_input_shares, run_party_count, threaded_secure_count, threaded_secure_count_offline,
-    threaded_secure_count_sharded, threaded_secure_count_tcp,
+    party_input_shares, run_party_count, run_party_count_pooled, threaded_secure_count,
+    threaded_secure_count_offline, threaded_secure_count_pooled, threaded_secure_count_sharded,
+    threaded_secure_count_tcp, threaded_secure_count_tcp_pooled,
 };
 pub use party::{run_party, run_party_local, PartyReport};
 pub use count_sampled::{

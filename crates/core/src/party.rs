@@ -35,7 +35,7 @@
 //! reference run ([`run_party_local`]) line by line.
 
 use crate::config::CargoConfig;
-use crate::count_runtime::run_party_count;
+use crate::count_runtime::run_party_count_pooled;
 use crate::perturb::aggregate_noise_shares;
 use crate::protocol::{count_sensitivity, max_and_project, COUNT_SEED_TWEAK, NOISE_SEED_TWEAK};
 use cargo_dp::FixedPointCodec;
@@ -76,6 +76,9 @@ pub struct PartyReport {
     pub net: NetStats,
     /// Triples the count evaluated.
     pub triples: u64,
+    /// Offline triple-factory counters (zero when preprocessing ran
+    /// inline); both parties' pools fill and drain identically.
+    pub pool: cargo_mpc::PoolStats,
 }
 
 /// Runs the full pipeline as server `role` against a live peer over
@@ -98,8 +101,10 @@ pub fn run_party<T: Transport>(
     let (projected, max_est, truncated_users) =
         (input.matrix, input.max_est, input.truncated_users);
 
-    // ---- Step 2: ASS-based triangle counting (over the wire) ----
-    let count = run_party_count(
+    // ---- Step 2: ASS-based triangle counting (over the wire; with
+    // --factory-threads in OT mode, preprocessing runs on this
+    // party's local background triple pool instead) ----
+    let count = run_party_count_pooled(
         &projected,
         cfg.seed ^ COUNT_SEED_TWEAK,
         cfg.effective_threads(),
@@ -107,6 +112,7 @@ pub fn run_party<T: Transport>(
         cfg.offline,
         role,
         link,
+        cfg.pool_policy(),
     );
     let count_share = match role {
         ServerId::S1 => count.share1,
@@ -149,6 +155,7 @@ pub fn run_party<T: Transport>(
         projected_count: count_triangles_matrix(&projected),
         net,
         triples: count.triples,
+        pool: count.pool,
     }
 }
 
@@ -228,6 +235,25 @@ mod tests {
         assert_eq!(r1.net, mono.net, "offline ledger included");
         assert_eq!(r2.net, mono.net);
         assert!(!r1.net.offline.is_empty());
+    }
+
+    #[test]
+    fn pooled_party_pipeline_matches_the_inline_ot_run() {
+        use cargo_mpc::OfflineMode;
+        let g = erdos_renyi(30, 0.3, 5);
+        let base = CargoConfig::new(2.0)
+            .with_seed(4)
+            .with_threads(2)
+            .with_offline(OfflineMode::OtExtension);
+        let (i1, _) = run_party_local(&g, &base);
+        let pooled_cfg = base.with_factory_threads(2).with_pool_depth(1);
+        let (p1, p2) = run_party_local(&g, &pooled_cfg);
+        assert_eq!(p1.noisy_count, i1.noisy_count);
+        assert_eq!(p1.count_share, i1.count_share, "bit-identical shares");
+        assert_eq!(p1.net, i1.net, "modeled ledger unchanged by pooling");
+        assert!(p1.pool.fills > 0, "the factory actually ran");
+        assert_eq!(p1.pool, p2.pool, "both parties' pools fill identically");
+        assert_eq!(i1.pool, cargo_mpc::PoolStats::default());
     }
 
     #[test]

@@ -15,8 +15,9 @@
 //! the error into projection loss vs perturbation error (Theorems 5/6).
 
 use crate::config::{CargoConfig, CountKernel, TransportKind};
-use crate::count::secure_triangle_count_kernel;
-use crate::count_runtime::threaded_secure_count_tcp;
+use crate::count::{secure_triangle_count_kernel, secure_triangle_count_pooled};
+use crate::count_runtime::{threaded_secure_count_tcp, threaded_secure_count_tcp_pooled};
+use cargo_mpc::OfflineMode;
 use crate::max_degree::{estimate_max_degree, MaxDegreeEstimate};
 use crate::perturb::{perturb, PerturbInputs};
 use crate::projection::project_matrix;
@@ -203,15 +204,35 @@ impl CargoSystem {
         // shares and ledgers are bit-identical across transports, but
         // TCP *measures* the byte ledger.)
         let t0 = Instant::now();
+        let pool_policy = cfg.pool_policy();
+        if pool_policy.enabled() && cfg.offline != OfflineMode::OtExtension {
+            eprintln!(
+                "warning: --factory-threads only applies to --offline-mode ot \
+                 (the trusted dealer has no offline phase to pool); running inline"
+            );
+        }
         let count = match cfg.transport {
-            TransportKind::Memory => secure_triangle_count_kernel(
-                &projected,
-                cfg.seed ^ COUNT_SEED_TWEAK,
-                cfg.effective_threads(),
-                cfg.effective_batch(),
-                cfg.offline,
-                cfg.kernel,
-            ),
+            TransportKind::Memory => {
+                if pool_policy.enabled() && cfg.offline == OfflineMode::OtExtension {
+                    secure_triangle_count_pooled(
+                        &projected,
+                        cfg.seed ^ COUNT_SEED_TWEAK,
+                        cfg.effective_threads(),
+                        cfg.effective_batch(),
+                        cfg.kernel,
+                        pool_policy,
+                    )
+                } else {
+                    secure_triangle_count_kernel(
+                        &projected,
+                        cfg.seed ^ COUNT_SEED_TWEAK,
+                        cfg.effective_threads(),
+                        cfg.effective_batch(),
+                        cfg.offline,
+                        cfg.kernel,
+                    )
+                }
+            }
             TransportKind::Tcp => {
                 // The TCP runtime's slab rounds ARE the batched
                 // kernel; there is no scalar variant of the wire
@@ -225,13 +246,23 @@ impl CargoSystem {
                         cfg.kernel
                     );
                 }
-                threaded_secure_count_tcp(
-                    &projected,
-                    cfg.seed ^ COUNT_SEED_TWEAK,
-                    cfg.effective_threads(),
-                    cfg.effective_batch(),
-                    cfg.offline,
-                )
+                if pool_policy.enabled() && cfg.offline == OfflineMode::OtExtension {
+                    threaded_secure_count_tcp_pooled(
+                        &projected,
+                        cfg.seed ^ COUNT_SEED_TWEAK,
+                        cfg.effective_threads(),
+                        cfg.effective_batch(),
+                        pool_policy,
+                    )
+                } else {
+                    threaded_secure_count_tcp(
+                        &projected,
+                        cfg.seed ^ COUNT_SEED_TWEAK,
+                        cfg.effective_threads(),
+                        cfg.effective_batch(),
+                        cfg.offline,
+                    )
+                }
             }
         };
         let t_count = t0.elapsed();
@@ -359,6 +390,22 @@ mod tests {
         assert!(ot.net.offline.bytes > 0, "offline phase is costed");
         assert!(ot.net.offline.rounds > 0);
         assert_eq!(ot.net.offline.base_ots, 256);
+    }
+
+    #[test]
+    fn pooled_factory_changes_nothing_but_the_counters() {
+        use cargo_mpc::OfflineMode;
+        let g = erdos_renyi(40, 0.2, 7);
+        let base = CargoConfig::new(2.0)
+            .with_seed(13)
+            .with_offline(OfflineMode::OtExtension);
+        let inline = CargoSystem::new(base).run(&g);
+        let pooled = CargoSystem::new(base.with_factory_threads(2).with_pool_depth(2)).run(&g);
+        // Same output, same full ledger (offline included) — the pool
+        // only moves *where* preprocessing runs.
+        assert_eq!(pooled.noisy_count, inline.noisy_count);
+        assert_eq!(pooled.projected_count, inline.projected_count);
+        assert_eq!(pooled.net, inline.net, "modeled ledger unchanged");
     }
 
     #[test]

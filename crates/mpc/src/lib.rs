@@ -28,6 +28,11 @@
 //!   the trusted dealer or the OT-extension engines that generate the
 //!   same MG/Beaver material bit for bit while paying (and recording)
 //!   the real preprocessing cost.
+//! * [`pool`] — the offline *triple factory*: a bounded, background
+//!   [`TriplePool`] whose factory threads run [`OtMgEngine`] chunk
+//!   sessions ahead of the online phase, decoupling preprocessing from
+//!   the query path while keeping shares bit-identical to inline
+//!   generation.
 //! * [`channel`] — communication accounting: every reconstruction in
 //!   the online phase is tallied in a [`NetStats`] so experiments can
 //!   report message/byte/round counts; the [`OfflineLedger`] inside it
@@ -53,6 +58,7 @@ pub mod channel;
 pub mod dealer;
 pub mod offline;
 pub mod ot;
+pub mod pool;
 pub mod prg;
 pub mod ring;
 pub mod share;
@@ -81,10 +87,15 @@ pub use wire::{
     DealerMsg, FinalOpeningMsg, Frame, OfflineMsg, OpeningMsg, WireError, WireMessage,
     FRAME_HEADER_BYTES, WIRE_VERSION,
 };
+pub use ot::{
+    cols_to_rows_scalar, cols_to_rows_simd, cols_to_rows_simd_into, cr_hash_batch, cr_hash_scalar,
+    transpose64,
+};
+pub use pool::{Backpressure, PoolError, PoolPolicy, PoolStats, TriplePool, DEFAULT_POOL_DEPTH};
 pub use prg::SplitMix64;
 pub use ring::Ring64;
 pub use share::{reconstruct, reconstruct_vec, share_with, share_vec_with, SharePair};
-pub use simd::{U64x4, U64x8, U64xN, LANES};
+pub use simd::{SimdTier, U64x4, U64x8, U64xN, LANES};
 pub use triple_mul::{
     mul3, mul3_batch, mul3_combine, mul3_combine_batch, mul3_mask_batch, mul3_open_batch,
     Mul3Opening, MulGroupShare,

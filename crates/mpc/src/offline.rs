@@ -798,7 +798,7 @@ pub fn mg_offline_over_wire<T: Transport>(
 
 /// The preprocessed Multiplication-Group material of one chunk: both
 /// servers' share vectors in plan order, sliceable per pair.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MgChunkMaterial {
     g1: Vec<MulGroupShare>,
     g2: Vec<MulGroupShare>,

@@ -40,12 +40,29 @@
 //!    check, *not* the malicious-security consistency check of
 //!    KOS15 — the threat model stays semi-honest, Definition 6.)
 //!
-//! Like [`crate::prg`], the hash here (`cr_hash`) is a statistical
-//! stand-in, NOT cryptographic — the simulation models costs and share
-//! distributions, and every derived share is pinned bit-for-bit by the
-//! equivalence suites.
+//! Like [`crate::prg`], the hash here ([`cr_hash_scalar`]) is a
+//! statistical stand-in, NOT cryptographic — the simulation models
+//! costs and share distributions, and every derived share is pinned
+//! bit-for-bit by the equivalence suites.
+//!
+//! # Vectorisation
+//!
+//! The two inner loops that dominate extension — the 64×64 bit
+//! transpose and the correlation-robust hash — are routed through
+//! [`crate::simd`] `U64xN` lanes with the same runtime
+//! AVX-512/AVX2/portable dispatch as [`crate::triple_mul`]
+//! ([`SimdTier`]). The transpose is batched *across* [`LANES`]
+//! independent 64×64 blocks (one block per lane: column loads are
+//! contiguous because consecutive blocks of one column are adjacent in
+//! the column-major wire layout), and the hash runs lane-parallel over
+//! the transposed rows kept in structure-of-arrays form. The scalar
+//! kernels ([`transpose64`], [`cols_to_rows_scalar`],
+//! [`cr_hash_scalar`]) are retained as A/B references; the
+//! `ot_simd_equivalence` proptest suite pins every dispatch tier
+//! bit-exactly against them.
 
 use crate::prg::SplitMix64;
+use crate::simd::{SimdTier, U64xN, LANES};
 
 /// OT-extension security parameter: base-OT count = column count.
 pub const OT_KAPPA: usize = 128;
@@ -66,17 +83,134 @@ pub const EXT_COLUMN_BYTES_PER_OT: u64 = (OT_KAPPA as u64) / 8;
 /// correction word.
 pub const EXT_CORRECTION_BYTES_PER_OT: u64 = 8;
 
+/// Multiplier mixed into the hash tweak (the SplitMix64 γ constant).
+const CRH_GAMMA: u64 = 0x9E3779B97F4A7C15;
+/// First avalanche multiplier of the modeled hash.
+const CRH_M1: u64 = 0xBF58476D1CE4E5B9;
+/// Second avalanche multiplier of the modeled hash.
+const CRH_M2: u64 = 0x94D049BB133111EB;
+
 /// The modeled correlation-robust hash `H(tweak, row)`: a SplitMix64-
 /// style avalanche over the 128-bit row and the per-OT tweak.
 #[inline(always)]
 fn cr_hash(tweak: u64, row: [u64; 2]) -> u64 {
-    let mut z = tweak
-        .wrapping_mul(0x9E3779B97F4A7C15)
-        ^ row[0].wrapping_mul(0xBF58476D1CE4E5B9)
-        ^ row[1].rotate_left(32).wrapping_mul(0x94D049BB133111EB);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    let mut z = tweak.wrapping_mul(CRH_GAMMA)
+        ^ row[0].wrapping_mul(CRH_M1)
+        ^ row[1].rotate_left(32).wrapping_mul(CRH_M2);
+    z = (z ^ (z >> 30)).wrapping_mul(CRH_M1);
+    z = (z ^ (z >> 27)).wrapping_mul(CRH_M2);
     z ^ (z >> 31)
+}
+
+/// Scalar reference of the modeled correlation-robust hash — the A/B
+/// baseline the vectorised [`cr_hash_batch`] must match bit-for-bit
+/// (and what the microbenches compare against).
+#[inline]
+pub fn cr_hash_scalar(tweak: u64, row: [u64; 2]) -> u64 {
+    cr_hash(tweak, row)
+}
+
+/// One lane-parallel round of the modeled hash over `N` rows held in
+/// structure-of-arrays form: lane `l` computes
+/// `H(tweak0 + l, [lo_l ⊕ delta[0], hi_l ⊕ delta[1]])`. The optional
+/// xor-delta folds the sender's `q_j ⊕ s` branch into the same kernel
+/// (`delta = [0, 0]` for the plain rows).
+#[inline(always)]
+fn cr_hash_lanes<const N: usize>(
+    tweak0: u64,
+    lane_off: U64xN<N>,
+    lo: U64xN<N>,
+    hi: U64xN<N>,
+    delta: [u64; 2],
+) -> U64xN<N> {
+    let r0 = lo ^ U64xN::splat(delta[0]);
+    let r1 = (hi ^ U64xN::splat(delta[1])).rotate_left(32);
+    let tw = U64xN::splat(tweak0) + lane_off;
+    let mut z = (tw * U64xN::splat(CRH_GAMMA))
+        ^ (r0 * U64xN::splat(CRH_M1))
+        ^ (r1 * U64xN::splat(CRH_M2));
+    z = (z ^ (z >> 30)) * U64xN::splat(CRH_M1);
+    z = (z ^ (z >> 27)) * U64xN::splat(CRH_M2);
+    z ^ (z >> 31)
+}
+
+/// Generic body of the batch hash: vector main loop plus a scalar tail
+/// (`out.len() % N` rows). Compiled once per dispatch tier.
+#[inline(always)]
+fn cr_hash_batch_body<const N: usize>(
+    tweak0: u64,
+    lo: &[u64],
+    hi: &[u64],
+    delta: [u64; 2],
+    out: &mut [u64],
+) {
+    let n = out.len();
+    debug_assert_eq!(lo.len(), n);
+    debug_assert_eq!(hi.len(), n);
+    let mut off = [0u64; N];
+    for (l, v) in off.iter_mut().enumerate() {
+        *v = l as u64;
+    }
+    let lane_off = U64xN(off);
+    let full = n - n % N;
+    let mut j = 0;
+    while j < full {
+        let z = cr_hash_lanes::<N>(
+            tweak0.wrapping_add(j as u64),
+            lane_off,
+            U64xN::load(&lo[j..]),
+            U64xN::load(&hi[j..]),
+            delta,
+        );
+        z.store(&mut out[j..]);
+        j += N;
+    }
+    for j in full..n {
+        out[j] = cr_hash(
+            tweak0.wrapping_add(j as u64),
+            [lo[j] ^ delta[0], hi[j] ^ delta[1]],
+        );
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq")]
+unsafe fn cr_hash_batch_avx512(tweak0: u64, lo: &[u64], hi: &[u64], delta: [u64; 2], out: &mut [u64]) {
+    cr_hash_batch_body::<LANES>(tweak0, lo, hi, delta, out)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn cr_hash_batch_avx2(tweak0: u64, lo: &[u64], hi: &[u64], delta: [u64; 2], out: &mut [u64]) {
+    cr_hash_batch_body::<LANES>(tweak0, lo, hi, delta, out)
+}
+
+/// Hashes a batch of 128-bit rows in structure-of-arrays form:
+/// `out[j] = H(tweak0 + j, [lo[j] ⊕ delta[0], hi[j] ⊕ delta[1]])`,
+/// dispatched to the requested [`SimdTier`]. Bit-identical to
+/// [`cr_hash_scalar`] row by row at every tier.
+///
+/// # Panics
+/// Panics if the tier is unsupported on this CPU or the slices differ
+/// in length.
+pub fn cr_hash_batch(
+    tier: SimdTier,
+    tweak0: u64,
+    lo: &[u64],
+    hi: &[u64],
+    delta: [u64; 2],
+    out: &mut [u64],
+) {
+    assert!(tier.supported(), "SIMD tier {tier} not supported on this CPU");
+    assert_eq!(lo.len(), out.len(), "one lo word per row");
+    assert_eq!(hi.len(), out.len(), "one hi word per row");
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx512 => unsafe { cr_hash_batch_avx512(tweak0, lo, hi, delta, out) },
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { cr_hash_batch_avx2(tweak0, lo, hi, delta, out) },
+        _ => cr_hash_batch_body::<LANES>(tweak0, lo, hi, delta, out),
+    }
 }
 
 /// Digest of one protocol message (a word slice) for the transcript-
@@ -110,9 +244,11 @@ pub fn transpose64(m: &mut [u64; 64]) {
     }
 }
 
-/// Transposes `OT_KAPPA` columns of `words` u64s each (column-major,
-/// as sent on the wire) into `64·words` rows of 128 bits.
-fn cols_to_rows(cols: &[u64], words: usize) -> Vec<[u64; 2]> {
+/// Scalar reference transpose: `OT_KAPPA` columns of `words` u64s each
+/// (column-major, as sent on the wire) into `64·words` rows of
+/// 128 bits. Retained as the A/B baseline for the vectorised
+/// [`cols_to_rows_simd`] (and the microbenches).
+pub fn cols_to_rows_scalar(cols: &[u64], words: usize) -> Vec<[u64; 2]> {
     debug_assert_eq!(cols.len(), OT_KAPPA * words);
     let m = 64 * words;
     let mut rows = vec![[0u64; 2]; m];
@@ -130,6 +266,137 @@ fn cols_to_rows(cols: &[u64], words: usize) -> Vec<[u64; 2]> {
         }
     }
     rows
+}
+
+/// The Hacker's-Delight butterfly of [`transpose64`] run lane-wise over
+/// `N` *independent* 64×64 blocks at once: `m[k]` holds word `k` of
+/// all `N` blocks, one block per lane. Identical op sequence per lane,
+/// so each lane is bit-identical to the scalar kernel.
+#[inline(always)]
+fn transpose64_lanes<const N: usize>(m: &mut [U64xN<N>; 64]) {
+    let mut j = 32usize;
+    let mut mask: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let keep = U64xN::<N>::splat(!mask);
+        let sh = j as u32;
+        let mut k = 0;
+        while k < 64 {
+            let t = (m[k] ^ (m[k + j] << sh)) & keep;
+            m[k] = m[k] ^ t;
+            m[k + j] = m[k + j] ^ (t >> sh);
+            k = (k + j + 1) & !j;
+        }
+        j >>= 1;
+        mask ^= mask << j;
+    }
+}
+
+/// Body of the batched transpose, writing the rows in
+/// structure-of-arrays form (`lo[j]`/`hi[j]` = row `j`'s two words).
+///
+/// The vector main loop handles [`LANES`] consecutive 64×64 blocks
+/// per butterfly pass: word `c` of blocks `b..b+8` is the contiguous
+/// slice `cols[(half·64 + c)·words + b ..][..8]`, so every load is a
+/// plain `U64xN::load`. The `words % 8` tail falls back to the scalar
+/// [`transpose64`].
+///
+/// The de-interleave writing the "one block per lane" result back out
+/// stays a plain element loop on purpose: a shuffle-based 8×8 lane
+/// transpose (three blend+permute passes per eight registers) measured
+/// *slower* than these 64 scalar moves on both the AVX-512 and AVX2
+/// tiers — the stores dominate either way, and the scalar form costs
+/// no cross-lane permute uops.
+#[inline(always)]
+fn cols_to_rows_body(cols: &[u64], words: usize, lo: &mut [u64], hi: &mut [u64]) {
+    const N: usize = LANES;
+    debug_assert_eq!(cols.len(), OT_KAPPA * words);
+    debug_assert_eq!(lo.len(), 64 * words);
+    debug_assert_eq!(hi.len(), 64 * words);
+    let full = words - words % N;
+    for half in 0..2 {
+        let out: &mut [u64] = if half == 0 { &mut *lo } else { &mut *hi };
+        let mut b = 0;
+        while b < full {
+            let mut blk = [U64xN::<N>::ZERO; 64];
+            for (c, slot) in blk.iter_mut().enumerate() {
+                *slot = U64xN::load(&cols[(half * 64 + c) * words + b..]);
+            }
+            transpose64_lanes(&mut blk);
+            for l in 0..N {
+                let dst = &mut out[(b + l) * 64..(b + l + 1) * 64];
+                for (j, d) in dst.iter_mut().enumerate() {
+                    *d = blk[j].0[l];
+                }
+            }
+            b += N;
+        }
+        let mut block = [0u64; 64];
+        for b in full..words {
+            for (c, slot) in block.iter_mut().enumerate() {
+                *slot = cols[(half * 64 + c) * words + b];
+            }
+            transpose64(&mut block);
+            out[b * 64..(b + 1) * 64].copy_from_slice(&block);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq")]
+unsafe fn cols_to_rows_avx512(cols: &[u64], words: usize, lo: &mut [u64], hi: &mut [u64]) {
+    cols_to_rows_body(cols, words, lo, hi)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn cols_to_rows_avx2(cols: &[u64], words: usize, lo: &mut [u64], hi: &mut [u64]) {
+    cols_to_rows_body(cols, words, lo, hi)
+}
+
+/// Vectorised transpose of `OT_KAPPA` column-major columns into
+/// `64·words` rows written to caller-owned structure-of-arrays buffers
+/// (`lo[j]`/`hi[j]` = row `j`'s two words) — bit-identical to
+/// [`cols_to_rows_scalar`] at every [`SimdTier`]. This is the
+/// allocation-free form the extension engine runs per slab, reusing
+/// one pair of buffers across the whole chunk; [`cols_to_rows_simd`]
+/// is the allocating convenience wrapper.
+///
+/// # Panics
+/// Panics if the tier is unsupported on this CPU, `cols` is not
+/// `OT_KAPPA · words` long, or `lo`/`hi` are not `64 · words` long.
+pub fn cols_to_rows_simd_into(
+    tier: SimdTier,
+    cols: &[u64],
+    words: usize,
+    lo: &mut [u64],
+    hi: &mut [u64],
+) {
+    assert!(tier.supported(), "SIMD tier {tier} not supported on this CPU");
+    assert_eq!(cols.len(), OT_KAPPA * words, "κ columns of `words` u64s");
+    assert_eq!(lo.len(), 64 * words, "one lo word per row");
+    assert_eq!(hi.len(), 64 * words, "one hi word per row");
+    match tier {
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx512 => unsafe { cols_to_rows_avx512(cols, words, lo, hi) },
+        #[cfg(target_arch = "x86_64")]
+        SimdTier::Avx2 => unsafe { cols_to_rows_avx2(cols, words, lo, hi) },
+        _ => cols_to_rows_body(cols, words, lo, hi),
+    }
+}
+
+/// Vectorised transpose of `OT_KAPPA` column-major columns into
+/// `64·words` rows, returned in structure-of-arrays form
+/// `(lo, hi)` — bit-identical to [`cols_to_rows_scalar`] at every
+/// [`SimdTier`].
+///
+/// # Panics
+/// Panics if the tier is unsupported on this CPU or `cols` is not
+/// `OT_KAPPA · words` long.
+pub fn cols_to_rows_simd(tier: SimdTier, cols: &[u64], words: usize) -> (Vec<u64>, Vec<u64>) {
+    let mut lo = vec![0u64; 64 * words];
+    let mut hi = vec![0u64; 64 * words];
+    cols_to_rows_simd_into(tier, cols, words, &mut lo, &mut hi);
+    (lo, hi)
 }
 
 /// The extension sender's long-lived state: the secret choice vector
@@ -254,10 +521,13 @@ impl CotReceiver {
     /// state and the column message `u` to send (column-major,
     /// `OT_KAPPA · choice.len()` words).
     pub fn extend(&mut self, choice: &[u64]) -> (RecvBatch, Vec<u64>) {
+        let tier = SimdTier::detect();
         let words = choice.len();
         let mut u_cols = vec![0u64; OT_KAPPA * words];
         let mut hashed = vec![0u64; 64 * words];
         let mut t_slab = vec![0u64; OT_KAPPA * EXT_SLAB_WORDS];
+        let mut lo = vec![0u64; 64 * EXT_SLAB_WORDS];
+        let mut hi = vec![0u64; 64 * EXT_SLAB_WORDS];
         let mut g1 = vec![0u64; EXT_SLAB_WORDS];
         let base = self.tweak;
         self.tweak += (64 * words) as u64;
@@ -272,11 +542,15 @@ impl CotReceiver {
                     u_cols[i * words + off + b] = t[b] ^ g1[b] ^ chunk[b];
                 }
             }
-            let rows = cols_to_rows(&t_slab[..OT_KAPPA * w], w);
-            for (j, &r) in rows.iter().enumerate() {
-                let global = (64 * off + j) as u64;
-                hashed[64 * off + j] = cr_hash(base + global, r);
-            }
+            cols_to_rows_simd_into(tier, &t_slab[..OT_KAPPA * w], w, &mut lo[..64 * w], &mut hi[..64 * w]);
+            cr_hash_batch(
+                tier,
+                base + (64 * off) as u64,
+                &lo[..64 * w],
+                &hi[..64 * w],
+                [0, 0],
+                &mut hashed[64 * off..64 * (off + w)],
+            );
         }
         (
             RecvBatch {
@@ -333,10 +607,13 @@ impl CotSender {
     /// Panics if `u_cols` is not `OT_KAPPA` whole columns.
     pub fn absorb(&mut self, u_cols: &[u64]) -> SendBatch {
         assert_eq!(u_cols.len() % OT_KAPPA, 0, "u message must be κ columns");
+        let tier = SimdTier::detect();
         let words = u_cols.len() / OT_KAPPA;
         let mut m0 = vec![0u64; 64 * words];
         let mut pad1 = vec![0u64; 64 * words];
         let mut q_slab = vec![0u64; OT_KAPPA * EXT_SLAB_WORDS];
+        let mut lo = vec![0u64; 64 * EXT_SLAB_WORDS];
+        let mut hi = vec![0u64; 64 * EXT_SLAB_WORDS];
         let base = self.tweak;
         self.tweak += (64 * words) as u64;
         let mut off = 0usize;
@@ -351,13 +628,17 @@ impl CotSender {
                     }
                 }
             }
-            let rows = cols_to_rows(&q_slab[..OT_KAPPA * w], w);
-            for (j, &q_j) in rows.iter().enumerate() {
-                let global = 64 * off + j;
-                let t = base + global as u64;
-                m0[global] = cr_hash(t, q_j);
-                pad1[global] = cr_hash(t, [q_j[0] ^ self.delta[0], q_j[1] ^ self.delta[1]]);
-            }
+            cols_to_rows_simd_into(tier, &q_slab[..OT_KAPPA * w], w, &mut lo[..64 * w], &mut hi[..64 * w]);
+            let t0 = base + (64 * off) as u64;
+            cr_hash_batch(tier, t0, &lo[..64 * w], &hi[..64 * w], [0, 0], &mut m0[64 * off..64 * (off + w)]);
+            cr_hash_batch(
+                tier,
+                t0,
+                &lo[..64 * w],
+                &hi[..64 * w],
+                self.delta,
+                &mut pad1[64 * off..64 * (off + w)],
+            );
             off += w;
         }
         SendBatch { m0, pad1 }
@@ -405,7 +686,41 @@ mod tests {
         let mut g = SplitMix64::new(2);
         for words in [1usize, 3, 4] {
             let cols: Vec<u64> = (0..OT_KAPPA * words).map(|_| g.next_u64()).collect();
-            assert_eq!(cols_to_rows(&cols, words), naive_rows(&cols, words));
+            assert_eq!(cols_to_rows_scalar(&cols, words), naive_rows(&cols, words));
+        }
+    }
+
+    #[test]
+    fn simd_transpose_matches_scalar_at_every_tier() {
+        let mut g = SplitMix64::new(11);
+        // Cover: pure tail (< LANES), exact vector width, vector + tail.
+        for words in [1usize, 7, 8, 19] {
+            let cols: Vec<u64> = (0..OT_KAPPA * words).map(|_| g.next_u64()).collect();
+            let reference = cols_to_rows_scalar(&cols, words);
+            for tier in SimdTier::available() {
+                let (lo, hi) = cols_to_rows_simd(tier, &cols, words);
+                for (j, r) in reference.iter().enumerate() {
+                    assert_eq!([lo[j], hi[j]], *r, "tier {tier}, words {words}, row {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_hash_matches_scalar_at_every_tier() {
+        let mut g = SplitMix64::new(12);
+        let n = 100; // not a lane multiple: exercises the scalar tail
+        let lo: Vec<u64> = (0..n).map(|_| g.next_u64()).collect();
+        let hi: Vec<u64> = (0..n).map(|_| g.next_u64()).collect();
+        for delta in [[0u64, 0u64], [g.next_u64(), g.next_u64()]] {
+            for tier in SimdTier::available() {
+                let mut out = vec![0u64; n];
+                cr_hash_batch(tier, 777, &lo, &hi, delta, &mut out);
+                for j in 0..n {
+                    let want = cr_hash_scalar(777 + j as u64, [lo[j] ^ delta[0], hi[j] ^ delta[1]]);
+                    assert_eq!(out[j], want, "tier {tier}, row {j}");
+                }
+            }
         }
     }
 

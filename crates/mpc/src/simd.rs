@@ -15,12 +15,86 @@
 //! [`crate::Ring64`]; the operator impls exist so kernel code reads
 //! like the scalar protocol arithmetic it must stay bit-identical to.
 
-use std::ops::{Add, BitXor, Mul, Shr, Sub};
+use std::ops::{Add, BitAnd, BitXor, Mul, Shl, Shr, Sub};
 
 /// Lane width of the default batch kernel (`u64x8`: one AVX-512
 /// register, two AVX2 registers, or eight scalar registers — all of
 /// which the unrolled loop body schedules well on).
 pub const LANES: usize = 8;
+
+/// Runtime ISA tier for the dispatched lane kernels.
+///
+/// The batch kernels ([`crate::triple_mul`], the OT-extension
+/// transpose/hash in [`crate::ot`]) compile one generic lane body
+/// several times under different `#[target_feature]` attributes and
+/// pick a tier at runtime. Every tier computes **bit-identical**
+/// results — the tier only changes codegen, never semantics — which is
+/// what lets the equivalence suites pin the vector paths against the
+/// scalar references on whatever machine runs them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdTier {
+    /// AVX-512 (`avx512f` + `avx512dq`: 8×64-bit lanes per register).
+    Avx512,
+    /// AVX2 (4×64-bit lanes per register; the ×8 body splits in two).
+    Avx2,
+    /// The plain generic body — no `target_feature`, any CPU.
+    Portable,
+}
+
+impl SimdTier {
+    /// The best tier this CPU supports (what the hot paths dispatch to).
+    pub fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512dq")
+            {
+                return SimdTier::Avx512;
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return SimdTier::Avx2;
+            }
+        }
+        SimdTier::Portable
+    }
+
+    /// Whether this CPU can run the tier at all (forcing an unsupported
+    /// tier would execute illegal instructions, so the dispatchers
+    /// refuse it).
+    pub fn supported(self) -> bool {
+        match self {
+            SimdTier::Portable => true,
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx512 => {
+                std::arch::is_x86_feature_detected!("avx512f")
+                    && std::arch::is_x86_feature_detected!("avx512dq")
+            }
+            #[cfg(target_arch = "x86_64")]
+            SimdTier::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+
+    /// Every tier this CPU supports, best first ([`SimdTier::Portable`]
+    /// always included) — the set the equivalence tests sweep.
+    pub fn available() -> Vec<Self> {
+        [SimdTier::Avx512, SimdTier::Avx2, SimdTier::Portable]
+            .into_iter()
+            .filter(|t| t.supported())
+            .collect()
+    }
+}
+
+impl std::fmt::Display for SimdTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SimdTier::Avx512 => "avx512",
+            SimdTier::Avx2 => "avx2",
+            SimdTier::Portable => "portable",
+        })
+    }
+}
 
 /// A fixed-width vector of `N` ring elements with wrapping lane-wise
 /// arithmetic.
@@ -92,6 +166,19 @@ impl<const N: usize> U64xN<N> {
     pub fn hsum(self) -> u64 {
         self.0.iter().fold(0u64, |acc, &v| acc.wrapping_add(v))
     }
+
+    /// Lane-wise `u64::rotate_left` — the OT correlation-robust hash
+    /// rotates the second row word before mixing, and the rotation must
+    /// stay bit-identical to the scalar reference.
+    #[inline(always)]
+    pub fn rotate_left(self, r: u32) -> Self {
+        let mut out = self.0;
+        for o in out.iter_mut() {
+            *o = o.rotate_left(r);
+        }
+        U64xN(out)
+    }
+
 }
 
 impl<const N: usize> Add for U64xN<N> {
@@ -142,6 +229,18 @@ impl<const N: usize> BitXor for U64xN<N> {
     }
 }
 
+impl<const N: usize> BitAnd for U64xN<N> {
+    type Output = Self;
+    #[inline(always)]
+    fn bitand(self, rhs: Self) -> Self {
+        let mut out = self.0;
+        for (o, r) in out.iter_mut().zip(&rhs.0) {
+            *o &= *r;
+        }
+        U64xN(out)
+    }
+}
+
 impl<const N: usize> Shr<u32> for U64xN<N> {
     type Output = Self;
     #[inline(always)]
@@ -149,6 +248,18 @@ impl<const N: usize> Shr<u32> for U64xN<N> {
         let mut out = self.0;
         for o in out.iter_mut() {
             *o >>= rhs;
+        }
+        U64xN(out)
+    }
+}
+
+impl<const N: usize> Shl<u32> for U64xN<N> {
+    type Output = Self;
+    #[inline(always)]
+    fn shl(self, rhs: u32) -> Self {
+        let mut out = self.0;
+        for o in out.iter_mut() {
+            *o <<= rhs;
         }
         U64xN(out)
     }
@@ -209,5 +320,32 @@ mod tests {
         let b = U64x4::splat(0b1001);
         assert_eq!((a ^ b).0, [0b0101, 0b0011, u64::MAX ^ 0b1001, 0b1000]);
         assert_eq!((a >> 2).0, [0b11, 0b10, u64::MAX >> 2, 0]);
+        assert_eq!((a << 2).0, [0b110000, 0b101000, u64::MAX << 2, 4]);
+    }
+
+    #[test]
+    fn tier_detection_is_consistent() {
+        let best = SimdTier::detect();
+        assert!(best.supported(), "detected tier must be runnable");
+        let avail = SimdTier::available();
+        assert_eq!(avail.first(), Some(&best), "detect() is the best available tier");
+        assert_eq!(avail.last(), Some(&SimdTier::Portable), "portable always available");
+        assert_eq!(SimdTier::Portable.to_string(), "portable");
+    }
+
+    #[test]
+    fn and_and_rotate_are_lane_wise() {
+        let a = U64x4::load(&[0b1100, 0b1010, u64::MAX, 1 << 63]);
+        let m = U64x4::splat(0b1010);
+        assert_eq!((a & m).0, [0b1000, 0b1010, 0b1010, 0]);
+        assert_eq!(
+            a.rotate_left(32).0,
+            [
+                0b1100u64.rotate_left(32),
+                0b1010u64.rotate_left(32),
+                u64::MAX,
+                (1u64 << 63).rotate_left(32),
+            ]
+        );
     }
 }

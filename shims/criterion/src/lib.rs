@@ -255,6 +255,19 @@ pub fn measure_median_ns<O, F: FnMut() -> O>(
     measurement_time: Duration,
     routine: F,
 ) -> f64 {
+    measure_median_iqr_ns(sample_size, measurement_time, routine).0
+}
+
+/// Shim-only extension: like [`measure_median_ns`] but also returns
+/// the interquartile range (`Q3 − Q1`) of the per-iteration samples —
+/// the noise bar regression gates need to distinguish a real slowdown
+/// from scheduler jitter. With fewer than four samples the IQR
+/// degrades gracefully towards the full min–max spread.
+pub fn measure_median_iqr_ns<O, F: FnMut() -> O>(
+    sample_size: usize,
+    measurement_time: Duration,
+    routine: F,
+) -> (f64, f64) {
     let mut b = Bencher {
         settings: Settings {
             sample_size: sample_size.max(1),
@@ -265,7 +278,10 @@ pub fn measure_median_ns<O, F: FnMut() -> O>(
     };
     b.iter(routine);
     b.samples.sort_unstable_by(|a, b| a.total_cmp(b));
-    b.samples[b.samples.len() / 2]
+    let len = b.samples.len();
+    let median = b.samples[len / 2];
+    let iqr = b.samples[(3 * len) / 4] - b.samples[len / 4];
+    (median, iqr)
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(label: &str, settings: Settings, mut f: F) {
@@ -349,6 +365,15 @@ mod tests {
             black_box((0..100u64).sum::<u64>())
         });
         assert!(ns > 0.0 && ns.is_finite());
+    }
+
+    #[test]
+    fn measure_median_iqr_ns_reports_a_sane_spread() {
+        let (median, iqr) = measure_median_iqr_ns(9, Duration::from_millis(20), || {
+            black_box((0..100u64).sum::<u64>())
+        });
+        assert!(median > 0.0 && median.is_finite());
+        assert!(iqr >= 0.0 && iqr.is_finite(), "Q3 ≥ Q1 on sorted samples");
     }
 
     #[test]

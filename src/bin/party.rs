@@ -46,6 +46,9 @@ struct Args {
     threads: usize,
     batch: usize,
     offline: cargo_mpc::OfflineMode,
+    factory_threads: usize,
+    pool_depth: usize,
+    pool_backpressure: cargo_mpc::Backpressure,
     data_dir: Option<PathBuf>,
     no_projection: bool,
 }
@@ -56,6 +59,8 @@ fn usage() -> String {
      \x20      [--n <users=200>] [--epsilon <e=2.0>] [--seed <s=0>]\n\
      \x20      [--threads <w=1>] [--batch <b=0 (default 64)>]\n\
      \x20      [--offline-mode dealer|ot] [--data-dir <snap-dir>] [--no-projection]\n\
+     \x20      [--factory-threads <f=0 (inline)>] [--pool-depth <d=0 (default 4)>]\n\
+     \x20      [--pool-backpressure block|fail-fast]\n\
      \n\
      s1 listens, s2 connects (either may take --listen or --connect);\n\
      local runs both parties in-process over the in-memory transport\n\
@@ -87,6 +92,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         threads: 1,
         batch: 0,
         offline: cargo_mpc::OfflineMode::TrustedDealer,
+        factory_threads: 0,
+        pool_depth: 0,
+        pool_backpressure: cargo_mpc::Backpressure::Block,
         data_dir: None,
         no_projection: false,
     };
@@ -129,6 +137,21 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.offline = take(&mut i)?
                     .parse()
                     .map_err(|e: String| format!("--offline-mode: {e}"))?
+            }
+            "--factory-threads" => {
+                args.factory_threads = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--factory-threads: {e}"))?
+            }
+            "--pool-depth" => {
+                args.pool_depth = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--pool-depth: {e}"))?
+            }
+            "--pool-backpressure" => {
+                args.pool_backpressure = take(&mut i)?
+                    .parse()
+                    .map_err(|e: String| format!("--pool-backpressure: {e}"))?
             }
             "--data-dir" => args.data_dir = Some(PathBuf::from(take(&mut i)?)),
             "--no-projection" => args.no_projection = true,
@@ -184,6 +207,18 @@ fn print_result(report: &PartyReport) {
     );
 }
 
+/// Reports the offline triple factory's counters (stderr: peak depth
+/// is timing-dependent, so it must stay out of the diffable RESULT
+/// transcript).
+fn print_pool(report: &PartyReport) {
+    if report.pool.fills > 0 {
+        eprintln!(
+            "[party] triple pool: fills={} drains={} peak_depth={}",
+            report.pool.fills, report.pool.drains, report.pool.peak_depth
+        );
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -198,7 +233,8 @@ fn main() {
         .load_or_synthesize(args.data_dir.as_deref(), args.seed);
     let graph = full.induced_prefix(args.n);
     eprintln!(
-        "[party] dataset={:?} ({origin:?}) n={} edges={} seed={} threads={} batch={} offline={}",
+        "[party] dataset={:?} ({origin:?}) n={} edges={} seed={} threads={} batch={} offline={} \
+         factory_threads={} pool_depth={} pool_backpressure={}",
         args.dataset,
         graph.n(),
         graph.edge_count(),
@@ -206,12 +242,18 @@ fn main() {
         args.threads,
         args.batch,
         args.offline,
+        args.factory_threads,
+        args.pool_depth,
+        args.pool_backpressure,
     );
     let mut cfg = CargoConfig::new(args.epsilon)
         .with_seed(args.seed)
         .with_threads(args.threads)
         .with_batch(args.batch)
-        .with_offline(args.offline);
+        .with_offline(args.offline)
+        .with_factory_threads(args.factory_threads)
+        .with_pool_depth(args.pool_depth)
+        .with_pool_backpressure(args.pool_backpressure);
     if args.no_projection {
         cfg = cfg.without_projection();
     }
@@ -220,6 +262,7 @@ fn main() {
         Role::Local => {
             let (r1, _r2) = run_party_local(&graph, &cfg);
             eprintln!("[party local] both in-process parties agree");
+            print_pool(&r1);
             print_result(&r1);
         }
         role @ (Role::S1 | Role::S2) => {
@@ -257,6 +300,7 @@ fn main() {
                 report.net.wire_bytes,
                 stats.total_bytes(),
             );
+            print_pool(&report);
             print_result(&report);
         }
     }
