@@ -10,7 +10,8 @@
 //!   "bench": "secure_count",
 //!   "rows": [
 //!     {"n": 200, "threads": 1, "batch": 64, "kernel": "bitsliced",
-//!      "transport": "memory", "pool": "inline", "triples": 1313400,
+//!      "transport": "memory", "pool": "inline", "schedule": "dense",
+//!      "triples": 1313400,
 //!      "ns_per_triple": 55.1, "bytes_per_triple": 48.0, "iqr_ns": 1.2}
 //!   ]
 //! }
@@ -46,6 +47,11 @@ pub struct BenchRow {
     /// `"pool/t{threads}d{depth}"` triple-factory grid point
     /// (`bench_offline`).
     pub pool: String,
+    /// Count schedule the row measured: `"dense"` (the fully-oblivious
+    /// cube — also what legacy reports without the column parse as;
+    /// every pre-column row was a dense run) or `"sparse"` (the
+    /// candidate-driven walk, `BENCH_sparse.json`).
+    pub schedule: String,
     /// Triples evaluated (`C(n, 3)`).
     pub triples: u64,
     /// Median wall-clock nanoseconds per triple.
@@ -61,9 +67,9 @@ pub struct BenchRow {
 }
 
 impl BenchRow {
-    /// The `(n, threads, batch, kernel, transport, pool)` identity
-    /// used to match rows across reports.
-    pub fn key(&self) -> (usize, usize, usize, &str, &str, &str) {
+    /// The `(n, threads, batch, kernel, transport, pool, schedule)`
+    /// identity used to match rows across reports.
+    pub fn key(&self) -> (usize, usize, usize, &str, &str, &str, &str) {
         (
             self.n,
             self.threads,
@@ -71,6 +77,7 @@ impl BenchRow {
             &self.kernel,
             &self.transport,
             &self.pool,
+            &self.schedule,
         )
     }
 }
@@ -85,7 +92,9 @@ pub struct BenchReport {
 }
 
 impl BenchReport {
-    /// Finds the row for `(n, threads, batch, kernel, transport, pool)`.
+    /// Finds the row for
+    /// `(n, threads, batch, kernel, transport, pool, schedule)`.
+    #[allow(clippy::too_many_arguments)]
     pub fn find(
         &self,
         n: usize,
@@ -94,10 +103,11 @@ impl BenchReport {
         kernel: &str,
         transport: &str,
         pool: &str,
+        schedule: &str,
     ) -> Option<&BenchRow> {
         self.rows
             .iter()
-            .find(|r| r.key() == (n, threads, batch, kernel, transport, pool))
+            .find(|r| r.key() == (n, threads, batch, kernel, transport, pool, schedule))
     }
 
     /// Serialises to the canonical JSON layout (one row per line).
@@ -110,10 +120,11 @@ impl BenchReport {
             let comma = if idx + 1 < self.rows.len() { "," } else { "" };
             out.push_str(&format!(
                 "    {{\"n\": {}, \"threads\": {}, \"batch\": {}, \"kernel\": \"{}\", \
-                 \"transport\": \"{}\", \"pool\": \"{}\", \"triples\": {}, \
+                 \"transport\": \"{}\", \"pool\": \"{}\", \"schedule\": \"{}\", \
+                 \"triples\": {}, \
                  \"ns_per_triple\": {:.3}, \"bytes_per_triple\": {:.3}, \
                  \"iqr_ns\": {:.3}}}{comma}\n",
-                r.n, r.threads, r.batch, r.kernel, r.transport, r.pool, r.triples,
+                r.n, r.threads, r.batch, r.kernel, r.transport, r.pool, r.schedule, r.triples,
                 r.ns_per_triple, r.bytes_per_triple, r.iqr_ns
             ));
         }
@@ -153,6 +164,8 @@ impl BenchReport {
                 transport: extract_string(obj, "transport")
                     .unwrap_or_else(|_| "memory".to_string()),
                 pool: extract_string(obj, "pool").unwrap_or_else(|_| "inline".to_string()),
+                schedule: extract_string(obj, "schedule")
+                    .unwrap_or_else(|_| "dense".to_string()),
                 triples: extract_number(obj, "triples")? as u64,
                 ns_per_triple: extract_number(obj, "ns_per_triple")?,
                 bytes_per_triple: extract_number(obj, "bytes_per_triple")?,
@@ -225,6 +238,7 @@ mod tests {
                     kernel: "bitsliced".into(),
                     transport: "memory".into(),
                     pool: "inline".into(),
+                    schedule: "dense".into(),
                     triples: 1_313_400,
                     ns_per_triple: 55.125,
                     bytes_per_triple: 48.0,
@@ -237,6 +251,7 @@ mod tests {
                     kernel: "scalar".into(),
                     transport: "tcp".into(),
                     pool: "pool/t2d4".into(),
+                    schedule: "sparse".into(),
                     triples: 35_820_200,
                     ns_per_triple: 12.5,
                     bytes_per_triple: 48.0,
@@ -256,22 +271,34 @@ mod tests {
     #[test]
     fn find_matches_on_the_full_key() {
         let r = sample();
-        assert!(r.find(600, 4, 64, "scalar", "tcp", "pool/t2d4").is_some());
-        assert!(r.find(600, 2, 64, "scalar", "tcp", "pool/t2d4").is_none());
+        assert!(r
+            .find(600, 4, 64, "scalar", "tcp", "pool/t2d4", "sparse")
+            .is_some());
+        assert!(r
+            .find(600, 2, 64, "scalar", "tcp", "pool/t2d4", "sparse")
+            .is_none());
         assert!(
-            r.find(600, 4, 64, "bitsliced", "tcp", "pool/t2d4").is_none(),
+            r.find(600, 4, 64, "bitsliced", "tcp", "pool/t2d4", "sparse")
+                .is_none(),
             "kernel is keyed"
         );
         assert!(
-            r.find(600, 4, 64, "scalar", "memory", "pool/t2d4").is_none(),
+            r.find(600, 4, 64, "scalar", "memory", "pool/t2d4", "sparse")
+                .is_none(),
             "transport is keyed"
         );
         assert!(
-            r.find(600, 4, 64, "scalar", "tcp", "inline").is_none(),
+            r.find(600, 4, 64, "scalar", "tcp", "inline", "sparse")
+                .is_none(),
             "pool is keyed"
         );
+        assert!(
+            r.find(600, 4, 64, "scalar", "tcp", "pool/t2d4", "dense")
+                .is_none(),
+            "schedule is keyed"
+        );
         assert_eq!(
-            r.find(200, 1, 64, "bitsliced", "memory", "inline")
+            r.find(200, 1, 64, "bitsliced", "memory", "inline", "dense")
                 .unwrap()
                 .triples,
             1_313_400
@@ -291,6 +318,7 @@ mod tests {
         assert_eq!(r.rows[0].kernel, "-");
         assert_eq!(r.rows[0].transport, "memory");
         assert_eq!(r.rows[0].pool, "inline");
+        assert_eq!(r.rows[0].schedule, "dense", "legacy rows were all dense");
         assert_eq!(r.rows[0].iqr_ns, 0.0);
     }
 

@@ -1,8 +1,8 @@
 //! Perf-regression gate: diffs a fresh `BENCH_secure_count.json`
 //! against the committed baseline.
 //!
-//! For every `(n, threads, batch, kernel, transport, pool)` row
-//! present in **both** reports:
+//! For every `(n, threads, batch, kernel, transport, pool, schedule)`
+//! row present in **both** reports:
 //!
 //! * `bytes_per_triple` must match exactly — the protocol's
 //!   communication cost is deterministic, so any drift is a protocol
@@ -79,8 +79,8 @@ fn main() {
     let mut failures = 0usize;
     let mut compared = 0usize;
     println!(
-        "| n | threads | batch | kernel | transport | pool | base ns/T | cur ns/T | cur IQR | delta | bytes/T | verdict |\n\
-         |---|---------|-------|--------|-----------|------|-----------|----------|---------|-------|---------|---------|"
+        "| n | threads | batch | kernel | transport | pool | schedule | base ns/T | cur ns/T | cur IQR | delta | bytes/T | verdict |\n\
+         |---|---------|-------|--------|-----------|------|----------|-----------|----------|---------|-------|---------|---------|"
     );
     for cur in &current.rows {
         let Some(base) = baseline.find(
@@ -90,10 +90,11 @@ fn main() {
             &cur.kernel,
             &cur.transport,
             &cur.pool,
+            &cur.schedule,
         ) else {
             println!(
-                "| {} | {} | {} | {} | {} | {} | — | {:.2} | {:.2} | — | {:.1} | NEW (not gated) |",
-                cur.n, cur.threads, cur.batch, cur.kernel, cur.transport, cur.pool,
+                "| {} | {} | {} | {} | {} | {} | {} | — | {:.2} | {:.2} | — | {:.1} | NEW (not gated) |",
+                cur.n, cur.threads, cur.batch, cur.kernel, cur.transport, cur.pool, cur.schedule,
                 cur.ns_per_triple, cur.iqr_ns, cur.bytes_per_triple
             );
             continue;
@@ -115,13 +116,14 @@ fn main() {
             failures += 1;
         }
         println!(
-            "| {} | {} | {} | {} | {} | {} | {:.2} | {:.2} | {:.2} | {:+.1}% | {:.1} | {verdict} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {:.2} | {:.2} | {:.2} | {:+.1}% | {:.1} | {verdict} |",
             cur.n,
             cur.threads,
             cur.batch,
             cur.kernel,
             cur.transport,
             cur.pool,
+            cur.schedule,
             base.ns_per_triple,
             cur.ns_per_triple,
             cur.iqr_ns,
@@ -138,13 +140,14 @@ fn main() {
                 &base.kernel,
                 &base.transport,
                 &base.pool,
+                &base.schedule,
             )
             .is_none()
         {
             println!(
-                "| {} | {} | {} | {} | {} | {} | {:.2} | — | — | — | — | MISSING (not gated) |",
+                "| {} | {} | {} | {} | {} | {} | {} | {:.2} | — | — | — | — | MISSING (not gated) |",
                 base.n, base.threads, base.batch, base.kernel, base.transport, base.pool,
-                base.ns_per_triple
+                base.schedule, base.ns_per_triple
             );
         }
     }

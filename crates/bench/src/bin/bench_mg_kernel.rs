@@ -146,6 +146,7 @@ fn main() {
                     kernel: kernel.to_string(),
                     transport: "memory".into(),
                     pool: "inline".into(),
+                    schedule: "dense".into(),
                     triples: probe_scalar.triples,
                     ns_per_triple: median_ns / triples as f64,
                     bytes_per_triple: probe_scalar.net.bytes as f64 / triples as f64,

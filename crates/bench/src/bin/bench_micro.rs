@@ -93,6 +93,7 @@ fn main() {
             kernel: kernel.into(),
             transport: "memory".into(),
             pool: "inline".into(),
+            schedule: "dense".into(),
             triples: ops,
             ns_per_triple: median_ns / ops as f64,
             bytes_per_triple: bytes_per_op,

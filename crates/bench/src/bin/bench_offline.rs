@@ -188,6 +188,7 @@ fn main() {
                         kernel: CountKernel::default().to_string(),
                         transport: "memory".into(),
                         pool: pool_label(f, d),
+                        schedule: "dense".into(),
                         triples: probe.triples,
                         ns_per_triple: median_ns / triples as f64,
                         // Pooling never changes the modeled ledger —

@@ -25,12 +25,14 @@
 
 use cargo_bench::baseline::{BenchReport, BenchRow};
 use cargo_core::{
-    secure_triangle_count_batched, threaded_secure_count_tcp, CountKernel, OfflineMode,
-    SecureCountResult, TransportKind,
+    secure_triangle_count_planned, threaded_secure_count_tcp_planned, CandidateSet, CountKernel,
+    OfflineMode, ScheduleKind, SchedulePlan, SecureCountResult, TransportKind,
 };
 use cargo_graph::generators::presets::SnapDataset;
+use cargo_mpc::PoolPolicy;
 use criterion::{black_box, measure_median_iqr_ns};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 struct Args {
@@ -38,14 +40,15 @@ struct Args {
     threads: Vec<usize>,
     batches: Vec<usize>,
     transport: TransportKind,
+    schedule: ScheduleKind,
     out: PathBuf,
     measure_ms: u64,
 }
 
 fn usage() -> String {
     "usage: bench_secure_count [--n 200,400,600] [--threads 1,2,4] [--batch 1,64]\n\
-     \x20      [--transport memory|tcp] [--out BENCH_secure_count.json]\n\
-     \x20      [--measure-ms 700] [--quick]"
+     \x20      [--transport memory|tcp] [--schedule dense|sparse]\n\
+     \x20      [--out BENCH_secure_count.json] [--measure-ms 700] [--quick]"
         .to_string()
 }
 
@@ -61,6 +64,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         threads: vec![1, 2, 4],
         batches: vec![1, 64],
         transport: TransportKind::Memory,
+        schedule: ScheduleKind::Dense,
         out: PathBuf::from("BENCH_secure_count.json"),
         measure_ms: 700,
     };
@@ -80,6 +84,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.transport = take(&mut i)?
                     .parse()
                     .map_err(|e: String| format!("--transport: {e}"))?
+            }
+            "--schedule" => {
+                args.schedule = take(&mut i)?
+                    .parse()
+                    .map_err(|e: String| format!("--schedule: {e}"))?
             }
             "--out" => args.out = PathBuf::from(take(&mut i)?),
             "--measure-ms" => {
@@ -124,24 +133,52 @@ fn main() {
         rows: Vec::new(),
     };
     let transport = args.transport.to_string();
+    let schedule = args.schedule.to_string();
     for &n in &args.ns {
         let m = full.induced_prefix(n).to_bit_matrix();
+        // Both parties derive the same plan from the public matrix; the
+        // sweep builds it once per n, outside the timed loop (real
+        // deployments amortise it the same way).
+        let plan = match args.schedule {
+            ScheduleKind::Dense => SchedulePlan::DenseCube,
+            ScheduleKind::Sparse => {
+                SchedulePlan::CandidatePairs(Arc::new(CandidateSet::from_support(&m)))
+            }
+        };
         for &threads in &args.threads {
             for &batch in &args.batches {
                 // One untimed run pins the deterministic cost model —
                 // and, for TCP, gates the transport equivalence before
                 // any timing is trusted.
+                let memory_run = || {
+                    secure_triangle_count_planned(
+                        &m,
+                        1,
+                        threads,
+                        batch,
+                        OfflineMode::TrustedDealer,
+                        CountKernel::default(),
+                        plan.clone(),
+                    )
+                };
+                let tcp_run = || {
+                    threaded_secure_count_tcp_planned(
+                        &m,
+                        1,
+                        threads,
+                        batch,
+                        OfflineMode::TrustedDealer,
+                        PoolPolicy::INLINE,
+                        plan.clone(),
+                    )
+                };
                 let run: &dyn Fn() -> SecureCountResult = match args.transport {
-                    TransportKind::Memory => {
-                        &|| secure_triangle_count_batched(&m, 1, threads, batch)
-                    }
-                    TransportKind::Tcp => &|| {
-                        threaded_secure_count_tcp(&m, 1, threads, batch, OfflineMode::TrustedDealer)
-                    },
+                    TransportKind::Memory => &memory_run,
+                    TransportKind::Tcp => &tcp_run,
                 };
                 let probe = run();
                 if args.transport == TransportKind::Tcp {
-                    let reference = secure_triangle_count_batched(&m, 1, threads, batch);
+                    let reference = memory_run();
                     assert_eq!(probe.share1, reference.share1, "TCP shares diverged");
                     assert_eq!(probe.share2, reference.share2, "TCP shares diverged");
                     assert_eq!(probe.net, reference.net, "TCP wire != modeled ledger");
@@ -159,6 +196,7 @@ fn main() {
                     kernel: CountKernel::default().to_string(),
                     transport: transport.clone(),
                     pool: "inline".into(),
+                    schedule: schedule.clone(),
                     triples: probe.triples,
                     ns_per_triple: median_ns / triples as f64,
                     bytes_per_triple: probe.net.bytes as f64 / triples as f64,
@@ -166,7 +204,7 @@ fn main() {
                 };
                 println!(
                     "n={n:<5} threads={threads:<2} batch={batch:<4} transport={transport:<6} \
-                     {:>8.2} ns/triple  {:>5.1} B/triple",
+                     schedule={schedule:<6} {:>8.2} ns/triple  {:>5.1} B/triple",
                     row.ns_per_triple, row.bytes_per_triple
                 );
                 report.rows.push(row);
@@ -176,10 +214,10 @@ fn main() {
         if let Some(&b) = args.batches.iter().max() {
             let kernel = CountKernel::default().to_string();
             if let (Some(one), Some(best)) = (
-                report.find(n, 1, b, &kernel, &transport, "inline"),
+                report.find(n, 1, b, &kernel, &transport, "inline", &schedule),
                 args.threads
                     .iter()
-                    .filter_map(|&t| report.find(n, t, b, &kernel, &transport, "inline"))
+                    .filter_map(|&t| report.find(n, t, b, &kernel, &transport, "inline", &schedule))
                     .min_by(|a, c| a.ns_per_triple.total_cmp(&c.ns_per_triple)),
             ) {
                 println!(

@@ -8,7 +8,7 @@ use cargo_bench::Options;
 fn usage() -> String {
     format!(
         "usage: experiments [flags] <cmd> [<cmd> ...]\n\
-         commands: {} | all\n\
+         commands: {} | all | sparse\n\
          flags: --n <users=2000> --trials <t=5> --seed <s=0>\n\
          \x20      --out-dir <dir=results> --data-dir <snap-dir>\n\
          \x20      --threads <w=0 (all cores)> --batch <b=0 (default 64)>\n\
@@ -16,7 +16,8 @@ fn usage() -> String {
          \x20      --kernel <scalar|bitsliced (default bitsliced)>\n\
          \x20      --transport <memory|tcp (default memory)>\n\
          \x20      --factory-threads <f=0 (inline)> --pool-depth <d=0 (default 4)>\n\
-         \x20      --pool-backpressure <block|fail-fast (default block)> --quick",
+         \x20      --pool-backpressure <block|fail-fast (default block)>\n\
+         \x20      --schedule <dense|sparse (default dense)> --quick",
         experiments::ALL.join(" | ")
     )
 }

@@ -1,7 +1,7 @@
 //! Hand-rolled flag parsing for the `experiments` binary (no external
 //! CLI dependency in the approved set).
 
-use cargo_core::{CountKernel, TransportKind};
+use cargo_core::{CountKernel, ScheduleKind, TransportKind};
 use cargo_mpc::{Backpressure, OfflineMode, PoolPolicy, DEFAULT_POOL_DEPTH};
 use std::path::PathBuf;
 
@@ -39,6 +39,10 @@ pub struct Options {
     pub pool_depth: usize,
     /// Pool backpressure (`--pool-backpressure block|fail-fast`).
     pub pool_backpressure: Backpressure,
+    /// Count schedule (`--schedule dense|sparse`): the fully-oblivious
+    /// cube (default) or the candidate-driven sparse walk that makes
+    /// large power-law graphs tractable.
+    pub schedule: ScheduleKind,
     /// Quick mode: shrink n and trials for smoke runs.
     pub quick: bool,
     /// `--help`/`-h` was given: print usage and exit successfully.
@@ -61,6 +65,7 @@ impl Default for Options {
             factory_threads: 0,
             pool_depth: 0,
             pool_backpressure: Backpressure::Block,
+            schedule: ScheduleKind::Dense,
             quick: false,
             help: false,
         }
@@ -154,6 +159,11 @@ impl Options {
                     opts.pool_backpressure = take_value(&mut i)?
                         .parse()
                         .map_err(|e: String| format!("--pool-backpressure: {e}"))?
+                }
+                "--schedule" => {
+                    opts.schedule = take_value(&mut i)?
+                        .parse()
+                        .map_err(|e: String| format!("--schedule: {e}"))?
                 }
                 "--out-dir" => opts.out_dir = PathBuf::from(take_value(&mut i)?),
                 "--data-dir" => opts.data_dir = Some(PathBuf::from(take_value(&mut i)?)),
@@ -260,6 +270,15 @@ mod tests {
         assert!(!o.pool_policy().enabled());
         assert_eq!(o.pool_policy().depth, DEFAULT_POOL_DEPTH, "0 = default");
         assert!(parse(&["--pool-backpressure", "wat"]).is_err());
+    }
+
+    #[test]
+    fn schedule_parses() {
+        let (o, _) = parse(&["--schedule", "sparse", "table2"]).unwrap();
+        assert_eq!(o.schedule, ScheduleKind::Sparse);
+        let (o, _) = parse(&["table2"]).unwrap();
+        assert_eq!(o.schedule, ScheduleKind::Dense, "dense is default");
+        assert!(parse(&["--schedule", "wat"]).is_err());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 pub mod extensions;
 pub mod projection;
 pub mod runtime;
+pub mod sparse;
 pub mod tables;
 pub mod utility;
 
@@ -29,6 +30,9 @@ pub fn run(cmd: &str, opts: &Options) -> Result<Vec<Table>, String> {
         "fig9" | "fig10" | "fig9-10" => projection::fig9_and_10(opts),
         "fig11" => runtime::fig11_or_12(opts, runtime::RuntimeGraph::Facebook),
         "fig12" => runtime::fig11_or_12(opts, runtime::RuntimeGraph::Wiki),
+        // Not in ALL: the target-size row scales with --n, so `all`
+        // smoke runs would pay for a large-graph secure count.
+        "sparse" => sparse::sparse_large(opts),
         "ext-sensitivity" => extensions::ext_sensitivity(opts),
         "ext-nodedp" => extensions::ext_node_dp(opts),
         "ext-homogeneity" => extensions::ext_homogeneity(opts),

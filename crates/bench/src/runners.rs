@@ -5,7 +5,8 @@ use cargo_baselines::{
     central_lap_triangles, local2rounds_triangles, Local2RoundsConfig,
 };
 use cargo_core::{
-    l2_loss, relative_error, CargoConfig, CargoSystem, CountKernel, OfflineMode, TransportKind,
+    l2_loss, relative_error, CargoConfig, CargoSystem, CountKernel, OfflineMode, ScheduleKind,
+    TransportKind,
 };
 use cargo_graph::Graph;
 use cargo_mpc::{NetStats, PoolPolicy};
@@ -88,16 +89,18 @@ pub fn run_cargo(g: &Graph, epsilon: f64, trials: usize, seed: u64) -> UtilityPo
         CountKernel::default(),
         TransportKind::Memory,
         PoolPolicy::INLINE,
+        ScheduleKind::Dense,
     )
 }
 
 /// [`run_cargo`] with explicit Count knobs: `threads` workers
 /// (0 = all cores), `batch` triples per round (0 = default), the
-/// offline-phase mode, the Count kernel, the Count wire, and the
-/// triple-factory policy — the CLI's `--threads`/`--batch`/
-/// `--offline-mode`/`--kernel`/`--transport`/`--factory-threads`/
-/// `--pool-depth`/`--pool-backpressure` land here so the knobs govern
-/// every Count entry the experiments exercise.
+/// offline-phase mode, the Count kernel, the Count wire, the
+/// triple-factory policy, and the Count schedule — the CLI's
+/// `--threads`/`--batch`/`--offline-mode`/`--kernel`/`--transport`/
+/// `--factory-threads`/`--pool-depth`/`--pool-backpressure`/
+/// `--schedule` land here so the knobs govern every Count entry the
+/// experiments exercise.
 #[allow(clippy::too_many_arguments)]
 pub fn run_cargo_with(
     g: &Graph,
@@ -110,6 +113,7 @@ pub fn run_cargo_with(
     kernel: CountKernel,
     transport: TransportKind,
     pool: PoolPolicy,
+    schedule: ScheduleKind,
 ) -> UtilityPoint {
     let t_true = cargo_graph::count_triangles(g) as f64;
     let mut estimates = Vec::with_capacity(trials);
@@ -126,7 +130,8 @@ pub fn run_cargo_with(
             .with_transport(transport)
             .with_factory_threads(pool.factory_threads)
             .with_pool_depth(pool.depth)
-            .with_pool_backpressure(pool.backpressure);
+            .with_pool_backpressure(pool.backpressure)
+            .with_schedule(schedule);
         let start = Instant::now();
         let out = CargoSystem::new(cfg).run(g);
         times.push(start.elapsed());
@@ -181,9 +186,10 @@ mod tests {
         let small = barabasi_albert(30, 3, 1);
         for point in [
             run_cargo(&g, 2.0, 2, 1),
-            run_cargo_with(&g, 2.0, 2, 1, 2, 16, OfflineMode::TrustedDealer, CountKernel::Bitsliced, TransportKind::Memory, PoolPolicy::INLINE),
-            run_cargo_with(&small, 2.0, 1, 1, 1, 0, OfflineMode::OtExtension, CountKernel::Scalar, TransportKind::Memory, PoolPolicy::INLINE),
-            run_cargo_with(&small, 2.0, 1, 1, 1, 0, OfflineMode::TrustedDealer, CountKernel::default(), TransportKind::Tcp, PoolPolicy::INLINE),
+            run_cargo_with(&g, 2.0, 2, 1, 2, 16, OfflineMode::TrustedDealer, CountKernel::Bitsliced, TransportKind::Memory, PoolPolicy::INLINE, ScheduleKind::Dense),
+            run_cargo_with(&small, 2.0, 1, 1, 1, 0, OfflineMode::OtExtension, CountKernel::Scalar, TransportKind::Memory, PoolPolicy::INLINE, ScheduleKind::Dense),
+            run_cargo_with(&small, 2.0, 1, 1, 1, 0, OfflineMode::TrustedDealer, CountKernel::default(), TransportKind::Tcp, PoolPolicy::INLINE, ScheduleKind::Dense),
+            run_cargo_with(&g, 2.0, 2, 1, 2, 16, OfflineMode::TrustedDealer, CountKernel::Bitsliced, TransportKind::Memory, PoolPolicy::INLINE, ScheduleKind::Sparse),
             run_central(&g, 2.0, 2, 1),
             run_local2rounds(&g, 2.0, 2, 1),
         ] {
@@ -195,8 +201,8 @@ mod tests {
     #[test]
     fn ot_mode_surfaces_an_offline_ledger_through_the_runner() {
         let g = barabasi_albert(30, 3, 2);
-        let dealer = run_cargo_with(&g, 2.0, 1, 1, 1, 0, OfflineMode::TrustedDealer, CountKernel::default(), TransportKind::Memory, PoolPolicy::INLINE);
-        let ot = run_cargo_with(&g, 2.0, 1, 1, 1, 0, OfflineMode::OtExtension, CountKernel::default(), TransportKind::Memory, PoolPolicy::INLINE);
+        let dealer = run_cargo_with(&g, 2.0, 1, 1, 1, 0, OfflineMode::TrustedDealer, CountKernel::default(), TransportKind::Memory, PoolPolicy::INLINE, ScheduleKind::Dense);
+        let ot = run_cargo_with(&g, 2.0, 1, 1, 1, 0, OfflineMode::OtExtension, CountKernel::default(), TransportKind::Memory, PoolPolicy::INLINE, ScheduleKind::Dense);
         assert!(dealer.net.offline.is_empty());
         assert!(ot.net.offline.bytes > 0);
         assert_eq!(ot.net.online(), dealer.net.online());

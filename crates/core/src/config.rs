@@ -106,6 +106,62 @@ impl std::fmt::Display for TransportKind {
     }
 }
 
+/// Selects which triples the Count phase schedules.
+///
+/// The dense cube is the paper's fully-oblivious `O(n³)` walk; the
+/// sparse schedule evaluates only the triples a **public** candidate
+/// structure (the degree-ordered wedge closure of the projected
+/// support) admits. Shares of every surviving triple are
+/// **bit-identical** across the two schedules (pinned by
+/// `crates/core/tests/sparse_equivalence.rs`): MG material and input
+/// shares are keyed per `(i, j, k)` triple, so the schedule changes
+/// only *which* triples are touched, never their values. See
+/// PROTOCOL.md § "Sparse Count schedule" for the leakage analysis.
+///
+/// ```
+/// use cargo_core::ScheduleKind;
+/// assert_eq!("dense".parse::<ScheduleKind>(), Ok(ScheduleKind::Dense));
+/// assert_eq!("sparse".parse::<ScheduleKind>(), Ok(ScheduleKind::Sparse));
+/// assert_eq!(ScheduleKind::default(), ScheduleKind::Dense);
+/// assert_eq!(ScheduleKind::Sparse.to_string(), "sparse");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ScheduleKind {
+    /// The default: every ordered triple `i < j < k` of the full cube —
+    /// fully oblivious, cost independent of the input graph.
+    #[default]
+    Dense,
+    /// Candidate-driven: only the `(i, j, k)` triples admitted by the
+    /// public candidate structure built from the projected support.
+    /// Reveals the candidate set's shape (already public in the
+    /// local-projection deployment), in exchange for triple counts
+    /// proportional to the graph's wedge mass instead of `n³`.
+    Sparse,
+}
+
+impl std::str::FromStr for ScheduleKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "dense" | "cube" => Ok(ScheduleKind::Dense),
+            "sparse" => Ok(ScheduleKind::Sparse),
+            other => Err(format!(
+                "unknown schedule {other:?} (expected \"dense\" or \"sparse\")"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for ScheduleKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ScheduleKind::Dense => "dense",
+            ScheduleKind::Sparse => "sparse",
+        })
+    }
+}
+
 /// Tunable parameters of the CARGO pipeline (defaults follow the
 /// paper's experimental setting, Section V-A).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -159,6 +215,11 @@ pub struct CargoConfig {
     /// What a drained pool does to the query path: block until the
     /// chunk is ready (default) or fail fast with a loud error.
     pub pool_backpressure: Backpressure,
+    /// Which triples the Count phase schedules: the fully-oblivious
+    /// dense cube (default) or the candidate-driven sparse walk over
+    /// the public support. Shares of surviving triples are
+    /// bit-identical either way.
+    pub schedule: ScheduleKind,
 }
 
 impl CargoConfig {
@@ -178,6 +239,7 @@ impl CargoConfig {
             factory_threads: 0,
             pool_depth: 0,
             pool_backpressure: Backpressure::Block,
+            schedule: ScheduleKind::Dense,
         }
     }
 
@@ -287,6 +349,18 @@ impl CargoConfig {
         self
     }
 
+    /// Selects the Count schedule.
+    ///
+    /// ```
+    /// use cargo_core::{CargoConfig, ScheduleKind};
+    /// let cfg = CargoConfig::new(2.0).with_schedule(ScheduleKind::Sparse);
+    /// assert_eq!(cfg.schedule, ScheduleKind::Sparse);
+    /// ```
+    pub fn with_schedule(mut self, schedule: ScheduleKind) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
     /// The resolved [`PoolPolicy`] of this config: disabled (inline)
     /// when `factory_threads == 0`, otherwise the configured factory
     /// width, depth (0 ⇒ [`cargo_mpc::DEFAULT_POOL_DEPTH`]) and
@@ -390,6 +464,20 @@ mod tests {
             crate::count_sched::DEFAULT_COUNT_BATCH
         );
         assert_eq!(CargoConfig::new(1.0).with_batch(7).effective_batch(), 7);
+    }
+
+    #[test]
+    fn schedule_defaults_to_dense_and_parses() {
+        assert_eq!(CargoConfig::new(1.0).schedule, ScheduleKind::Dense);
+        assert_eq!(
+            CargoConfig::new(1.0)
+                .with_schedule(ScheduleKind::Sparse)
+                .schedule,
+            ScheduleKind::Sparse
+        );
+        assert_eq!("cube".parse::<ScheduleKind>(), Ok(ScheduleKind::Dense));
+        assert!("hexagonal".parse::<ScheduleKind>().is_err());
+        assert_eq!(ScheduleKind::Dense.to_string(), "dense");
     }
 
     #[test]

@@ -41,7 +41,7 @@
 //! `(i, j)` pair.
 
 use crate::count::SecureCountResult;
-use crate::count_sched::{share_prf, CountScheduler, PairChunk};
+use crate::count_sched::{share_prf, CountScheduler, PairChunk, SchedulePlan};
 use cargo_graph::BitMatrix;
 use cargo_mpc::{
     mg_offline_over_wire, mul3_combine_batch, mul3_mask_batch, mul3_open_batch, ot_setup_ledger,
@@ -75,6 +75,37 @@ impl<D: Transport> Clone for DealerSource<D> {
     }
 }
 
+/// One server's input share matrix, expanded **lazily** from the
+/// users' PRF: `⟨a_ij⟩₁ = PRF(seed, i, j)` and `⟨a_ij⟩₂ = a_ij − ⟨a_ij⟩₁`,
+/// recomputed on demand instead of materialised up front. An n×n
+/// `Ring64` table is ~3.2 GB at n = 20 000 — the scale the sparse
+/// schedule exists to reach — while the packed [`BitMatrix`] it
+/// expands from is n²/8 bytes (50 MB).
+#[derive(Clone)]
+struct ShareView {
+    matrix: Arc<BitMatrix>,
+    seed: u64,
+    id: ServerId,
+}
+
+impl ShareView {
+    /// This server's share of the single bit `a_ij`.
+    fn at(&self, i: usize, j: usize) -> Ring64 {
+        let s1 = Ring64(share_prf(self.seed, i as u32, j as u32));
+        match self.id {
+            ServerId::S1 => s1,
+            ServerId::S2 => Ring64::from_bit(self.matrix.get(i, j)) - s1,
+        }
+    }
+
+    /// Expands the row-`i` shares `⟨a_i,k0⟩ .. ⟨a_i,k0+len⟩` into `out`.
+    fn fill_row(&self, i: usize, k0: usize, out: &mut [Ring64]) {
+        for (o, slot) in out.iter_mut().enumerate() {
+            *slot = self.at(i, k0 + o);
+        }
+    }
+}
+
 /// The state one server worker runs with. A server is a *pool* of
 /// these: worker `w` owns the chunks with `id ≡ w (mod workers)` and
 /// shares the peer/dealer links with its siblings.
@@ -90,8 +121,8 @@ struct ServerWorker<T: Transport, D: Transport> {
     /// side, so its ledger is the full bidirectional model.
     tally: bool,
     sched: Arc<CountScheduler>,
-    /// This server's input shares (`shares[i][j] = ⟨a_ij⟩`).
-    shares: Arc<Vec<Vec<Ring64>>>,
+    /// This server's input shares, expanded lazily per block.
+    shares: ShareView,
     /// The server↔server wire (openings + offline dialogue).
     peer: Arc<T>,
     /// MG share source in trusted-dealer mode.
@@ -124,16 +155,20 @@ impl<T: Transport, D: Transport> ServerWorker<T, D> {
     }
 
     fn run_chunk(&self, chunk: &PairChunk, net: &mut NetStats) -> Ring64 {
-        let n = self.sched.n();
         let batch = self.sched.batch();
         let mut t_share = Ring64::ZERO;
+        // The chunk's draw plan — a pure function of the chunk id and
+        // the public schedule: one full-range draw per pair on the
+        // dense cube, one draw per surviving k-run on a sparse
+        // candidate schedule. Both servers, the dealer and every
+        // offline source walk this same list in the same order.
+        let plan = self.sched.chunk_plan(chunk);
         // OT mode preprocesses the whole chunk up front — inline in
         // one amortised session over the peer link, or by drawing the
         // chunk's entry from the background pool; the dealer (link or
         // local stream) provides material per block below.
         let material = match (&self.pool, self.mode) {
             (Some(pool), _) => {
-                let plan = self.sched.chunk_plan(chunk);
                 let offsets = plan_offsets(&plan);
                 let (mat, ledger) = pool.take(chunk.id).unwrap_or_else(|e| {
                     panic!("offline triple pool failed on chunk {}: {e}", chunk.id)
@@ -153,7 +188,6 @@ impl<T: Transport, D: Transport> ServerWorker<T, D> {
             }
             (None, OfflineMode::TrustedDealer) => None,
             (None, OfflineMode::OtExtension) => {
-                let plan = self.sched.chunk_plan(chunk);
                 let offsets = plan_offsets(&plan);
                 let groups = mg_offline_over_wire(
                     &*self.peer,
@@ -171,24 +205,31 @@ impl<T: Transport, D: Transport> ServerWorker<T, D> {
         let mut opened = vec![0u64; 3 * batch];
         let mut words = vec![0u64; MG_WORDS * batch];
         let mut local_groups: Vec<MulGroupShare> = Vec::with_capacity(batch);
-        for (pair_idx, (i, j)) in self.sched.pair_iter(chunk).enumerate() {
-            let aij = self.shares[i][j];
-            // The local dealer stream of this pair (party shape only).
+        let mut b_blk = vec![Ring64::ZERO; batch];
+        let mut c_blk = vec![Ring64::ZERO; batch];
+        for (draw_idx, d) in plan.iter().enumerate() {
+            let (i, j) = (d.i as usize, d.j as usize);
+            let aij = self.shares.at(i, j);
+            // The local dealer stream of this draw (party shape only),
+            // sought to the draw's canonical offset in the pair stream.
             let mut stream = match (&material, &self.dealer) {
                 (None, DealerSource::Local) => {
-                    Some(PairDealer::for_pair(self.seed, i as u32, j as u32))
+                    let mut s = PairDealer::for_pair(self.seed, d.i, d.j);
+                    s.skip_groups(d.start as usize);
+                    Some(s)
                 }
                 _ => None,
             };
-            let mut k = j + 1;
+            let mut k = j + 1 + d.start as usize;
+            let end = k + d.groups as usize;
             let mut off = 0usize;
-            while k < n {
-                let block = (n - k).min(batch);
-                let pair = (i as u32, j as u32);
+            while k < end {
+                let block = (end - k).min(batch);
+                let pair = (d.i, d.j);
                 let dealer_groups;
                 let groups: &[MulGroupShare] = match &material {
                     Some((groups, offsets)) => {
-                        let base = offsets[pair_idx] + off;
+                        let base = offsets[draw_idx] + off;
                         &groups[base..base + block]
                     }
                     None => match &self.dealer {
@@ -203,7 +244,7 @@ impl<T: Transport, D: Transport> ServerWorker<T, D> {
                             &dealer_groups
                         }
                         DealerSource::Local => {
-                            let stream = stream.as_mut().expect("local stream set per pair");
+                            let stream = stream.as_mut().expect("local stream set per draw");
                             stream.fill_words(&mut words[..MG_WORDS * block]);
                             local_groups.clear();
                             local_groups.extend((0..block).map(|g| {
@@ -223,13 +264,9 @@ impl<T: Transport, D: Transport> ServerWorker<T, D> {
                 // [e|f|g] slab (the batch kernel's layout — and the
                 // payload of the opening frame).
                 let slab = 3 * block;
-                mul3_mask_batch(
-                    aij,
-                    &self.shares[i][k..k + block],
-                    &self.shares[j][k..k + block],
-                    groups,
-                    &mut mine[..slab],
-                );
+                self.shares.fill_row(i, k, &mut b_blk[..block]);
+                self.shares.fill_row(j, k, &mut c_blk[..block]);
+                mul3_mask_batch(aij, &b_blk[..block], &c_blk[..block], groups, &mut mine[..slab]);
                 // Step 2: one round — send mine, receive the peer's.
                 if self.tally {
                     net.exchange(3 * block as u64);
@@ -268,14 +305,18 @@ impl<T: Transport, D: Transport> ServerWorker<T, D> {
 /// chunk id; the servers' transports deliver each to whichever worker
 /// owns that shard.
 fn dealer_thread<D: Transport>(sched: &CountScheduler, seed: u64, tx1: &D, tx2: &D) {
-    let n = sched.n();
     let batch = sched.batch();
     for chunk in sched.chunks() {
-        for (i, j) in sched.pair_iter(chunk) {
-            let mut stream = PairDealer::for_pair(seed, i as u32, j as u32);
-            let mut k = j + 1;
-            while k < n {
-                let block = (n - k).min(batch);
+        for d in sched.chunk_plan(chunk) {
+            // Seek the pair stream to this draw's canonical offset —
+            // the same position every other MG source uses for the
+            // same `(i, j, k)` triple, on any schedule.
+            let mut stream = PairDealer::for_pair(seed, d.i, d.j);
+            stream.skip_groups(d.start as usize);
+            let mut k = d.j as usize + 1 + d.start as usize;
+            let end = k + d.groups as usize;
+            while k < end {
+                let block = (end - k).min(batch);
                 let mut g1 = Vec::with_capacity(block);
                 let mut g2 = Vec::with_capacity(block);
                 for _ in 0..block {
@@ -285,7 +326,7 @@ fn dealer_thread<D: Transport>(sched: &CountScheduler, seed: u64, tx1: &D, tx2: 
                 }
                 let msg = |groups| DealerMsg {
                     chunk: chunk.id,
-                    pair: (i as u32, j as u32),
+                    pair: (d.i, d.j),
                     k0: k as u32,
                     groups,
                 };
@@ -365,9 +406,40 @@ pub fn run_party_count_pooled<T: Transport>(
     link: &Arc<T>,
     policy: PoolPolicy,
 ) -> SecureCountResult {
+    run_party_count_planned(
+        matrix,
+        seed,
+        threads,
+        batch,
+        mode,
+        id,
+        link,
+        policy,
+        SchedulePlan::DenseCube,
+    )
+}
+
+/// [`run_party_count_pooled`] with an explicit [`SchedulePlan`]: on
+/// [`SchedulePlan::CandidatePairs`] this party's workers walk only the
+/// sparse candidate draw list (both parties must be handed the same
+/// public plan, or the lockstep asserts fire). Shares of every
+/// surviving triple are bit-identical to the dense schedule's because
+/// all MG material is drawn at its canonical pair-stream offset.
+#[allow(clippy::too_many_arguments)]
+pub fn run_party_count_planned<T: Transport>(
+    matrix: &BitMatrix,
+    seed: u64,
+    threads: usize,
+    batch: usize,
+    mode: OfflineMode,
+    id: ServerId,
+    link: &Arc<T>,
+    policy: PoolPolicy,
+    plan: SchedulePlan,
+) -> SecureCountResult {
     let n = matrix.n();
-    let sched = Arc::new(CountScheduler::new(n, threads.max(1), batch));
-    let shares = Arc::new(party_input_shares(matrix, seed, id));
+    let sched = Arc::new(CountScheduler::with_plan(n, threads.max(1), batch, plan));
+    let shares = ShareView { matrix: Arc::new(matrix.clone()), seed, id };
     let workers = sched.workers().min(sched.chunks().len()).max(1);
     let triple_pool = spawn_triple_pool(&sched, seed, mode, policy);
     let (share, mut net) = std::thread::scope(|scope| {
@@ -381,7 +453,7 @@ pub fn run_party_count_pooled<T: Transport>(
                     seed,
                     tally: true,
                     sched: Arc::clone(&sched),
-                    shares: Arc::clone(&shares),
+                    shares: shares.clone(),
                     peer: Arc::clone(link),
                     dealer: DealerSource::Local,
                     pool: triple_pool.clone(),
@@ -481,6 +553,34 @@ pub fn threaded_secure_count_offline(
     batch: usize,
     mode: OfflineMode,
 ) -> SecureCountResult {
+    threaded_secure_count_planned(
+        matrix,
+        seed,
+        threads,
+        batch,
+        mode,
+        PoolPolicy::INLINE,
+        SchedulePlan::DenseCube,
+    )
+}
+
+/// [`threaded_secure_count_offline`] with an explicit [`PoolPolicy`]
+/// and [`SchedulePlan`], over the in-memory byte transport — the fully
+/// general in-process entry point. On
+/// [`SchedulePlan::CandidatePairs`] both server pools (and the dealer,
+/// in trusted-dealer mode) walk only the public candidate draw list;
+/// shares of every surviving triple are bit-identical to the dense
+/// cube's because MG material always sits at its canonical pair-stream
+/// offset.
+pub fn threaded_secure_count_planned(
+    matrix: &BitMatrix,
+    seed: u64,
+    threads: usize,
+    batch: usize,
+    mode: OfflineMode,
+    policy: PoolPolicy,
+    plan: SchedulePlan,
+) -> SecureCountResult {
     let (end1, end2) = cargo_mpc::memory_pair();
     threaded_secure_count_over(
         matrix,
@@ -490,7 +590,8 @@ pub fn threaded_secure_count_offline(
         mode,
         Arc::new(end1),
         Arc::new(end2),
-        PoolPolicy::INLINE,
+        policy,
+        plan,
     )
 }
 
@@ -509,16 +610,14 @@ pub fn threaded_secure_count_pooled(
     policy: PoolPolicy,
 ) -> SecureCountResult {
     assert!(policy.enabled(), "pooled runtime requires factory_threads >= 1");
-    let (end1, end2) = cargo_mpc::memory_pair();
-    threaded_secure_count_over(
+    threaded_secure_count_planned(
         matrix,
         seed,
         threads,
         batch,
         OfflineMode::OtExtension,
-        Arc::new(end1),
-        Arc::new(end2),
         policy,
+        SchedulePlan::DenseCube,
     )
 }
 
@@ -536,6 +635,29 @@ pub fn threaded_secure_count_tcp(
     batch: usize,
     mode: OfflineMode,
 ) -> SecureCountResult {
+    threaded_secure_count_tcp_planned(
+        matrix,
+        seed,
+        threads,
+        batch,
+        mode,
+        PoolPolicy::INLINE,
+        SchedulePlan::DenseCube,
+    )
+}
+
+/// [`threaded_secure_count_tcp`] with an explicit [`PoolPolicy`] and
+/// [`SchedulePlan`] — the loopback-socket twin of
+/// [`threaded_secure_count_planned`].
+pub fn threaded_secure_count_tcp_planned(
+    matrix: &BitMatrix,
+    seed: u64,
+    threads: usize,
+    batch: usize,
+    mode: OfflineMode,
+    policy: PoolPolicy,
+    plan: SchedulePlan,
+) -> SecureCountResult {
     let (end1, end2, _) = TcpTransport::loopback_pair(&TcpConfig::default())
         .expect("loopback socket pair");
     threaded_secure_count_over(
@@ -546,7 +668,8 @@ pub fn threaded_secure_count_tcp(
         mode,
         Arc::new(end1),
         Arc::new(end2),
-        PoolPolicy::INLINE,
+        policy,
+        plan,
     )
 }
 
@@ -562,17 +685,14 @@ pub fn threaded_secure_count_tcp_pooled(
     policy: PoolPolicy,
 ) -> SecureCountResult {
     assert!(policy.enabled(), "pooled runtime requires factory_threads >= 1");
-    let (end1, end2, _) = TcpTransport::loopback_pair(&TcpConfig::default())
-        .expect("loopback socket pair");
-    threaded_secure_count_over(
+    threaded_secure_count_tcp_planned(
         matrix,
         seed,
         threads,
         batch,
         OfflineMode::OtExtension,
-        Arc::new(end1),
-        Arc::new(end2),
         policy,
+        SchedulePlan::DenseCube,
     )
 }
 
@@ -590,9 +710,10 @@ fn threaded_secure_count_over<T: Transport>(
     end1: Arc<T>,
     end2: Arc<T>,
     policy: PoolPolicy,
+    plan: SchedulePlan,
 ) -> SecureCountResult {
     let n = matrix.n();
-    let sched = Arc::new(CountScheduler::new(n, threads.max(1), batch));
+    let sched = Arc::new(CountScheduler::with_plan(n, threads.max(1), batch, plan));
     // Pooled OT mode: each server owns a private triple factory, the
     // way each party process expands dealer material locally — no
     // offline bytes cross the server↔server link, but the modeled
@@ -600,9 +721,10 @@ fn threaded_secure_count_over<T: Transport>(
     let pool1 = spawn_triple_pool(&sched, seed, mode, policy);
     let pool2 = spawn_triple_pool(&sched, seed, mode, policy);
     // Users upload input shares: each server receives ONLY its own
-    // matrix.
-    let shares1 = Arc::new(party_input_shares(matrix, seed, ServerId::S1));
-    let shares2 = Arc::new(party_input_shares(matrix, seed, ServerId::S2));
+    // (lazily expanded) matrix.
+    let matrix = Arc::new(matrix.clone());
+    let shares1 = ShareView { matrix: Arc::clone(&matrix), seed, id: ServerId::S1 };
+    let shares2 = ShareView { matrix: Arc::clone(&matrix), seed, id: ServerId::S2 };
     // Workers per server: no more than there are chunks to own.
     let workers = sched.workers().min(sched.chunks().len()).max(1);
 
@@ -625,7 +747,7 @@ fn threaded_secure_count_over<T: Transport>(
             }
         };
         let spawn_pool = |id: ServerId,
-                          shares: &Arc<Vec<Vec<Ring64>>>,
+                          shares: &ShareView,
                           peer: &Arc<T>,
                           dealer_rx: &Arc<InMemoryTransport>,
                           triple_pool: &Option<Arc<TriplePool>>,
@@ -640,7 +762,7 @@ fn threaded_secure_count_over<T: Transport>(
                         seed,
                         tally,
                         sched: Arc::clone(&sched),
-                        shares: Arc::clone(shares),
+                        shares: shares.clone(),
                         peer: Arc::clone(peer),
                         dealer: match mode {
                             OfflineMode::TrustedDealer => {

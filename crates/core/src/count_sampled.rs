@@ -28,12 +28,12 @@
 //! extension benchmarks sweep.
 
 use crate::config::CountKernel;
-use crate::count_sched::{share_prf, CountScheduler, PairChunk};
+use crate::count_sched::{push_runs, share_prf, CountScheduler, PairChunk, SchedulePlan};
 use cargo_graph::BitMatrix;
 use cargo_mpc::{
-    mul3_combine, mul3_combine_batch, mul3_mask_batch, mul3_open_batch, ot_setup_ledger, MgDraw,
-    Mul3Opening, NetStats, OfflineMode, OtMgEngine, PairDealer, Ring64, ServerId, SplitMix64,
-    MG_WORDS,
+    mul3_combine, mul3_combine_batch, mul3_mask_batch, mul3_open_batch, ot_setup_ledger,
+    split_mg_words, MgDraw, Mul3Opening, MulGroupShare, NetStats, OfflineMode, OtMgEngine,
+    PairDealer, Ring64, ServerId, SplitMix64, MG_WORDS,
 };
 
 /// Result of the sampled secure count.
@@ -158,10 +158,41 @@ pub fn secure_triangle_count_sampled_kernel(
     mode: OfflineMode,
     kernel: CountKernel,
 ) -> SampledCountResult {
+    secure_triangle_count_sampled_planned(
+        matrix,
+        seed,
+        rate,
+        threads,
+        batch,
+        mode,
+        kernel,
+        SchedulePlan::DenseCube,
+    )
+}
+
+/// [`secure_triangle_count_sampled_kernel`] with an explicit
+/// [`SchedulePlan`]: sampling composes with the sparse candidate
+/// schedule by intersecting each pair's sampled `k` set with its
+/// public candidate `k`-list. The per-`(i, j, k)` coin is drawn at the
+/// same stream position under either schedule, and every evaluated
+/// triple's Multiplication Group comes from its canonical dealer
+/// offset, so a triple surviving both filters contributes the same
+/// share pair it would under dense sampling.
+#[allow(clippy::too_many_arguments)]
+pub fn secure_triangle_count_sampled_planned(
+    matrix: &BitMatrix,
+    seed: u64,
+    rate: f64,
+    threads: usize,
+    batch: usize,
+    mode: OfflineMode,
+    kernel: CountKernel,
+    plan: SchedulePlan,
+) -> SampledCountResult {
     assert!((0.0..=1.0).contains(&rate) && rate > 0.0, "rate in (0,1]");
     let n = matrix.n();
     let threads = if n < 64 { 1 } else { threads };
-    let sched = CountScheduler::new(n, threads, batch);
+    let sched = CountScheduler::with_plan(n, threads, batch, plan);
     let results = sched.run_chunks(|chunk| match (mode, kernel) {
         (OfflineMode::TrustedDealer, CountKernel::Scalar) => {
             sampled_chunk(matrix, seed, rate, &sched, chunk)
@@ -197,6 +228,19 @@ pub fn secure_triangle_count_sampled_kernel(
     }
 }
 
+/// Iterates `chunk`'s pairs together with their public candidate
+/// `k`-lists (`None` for every pair on the dense cube).
+fn pair_cands<'a>(
+    sched: &'a CountScheduler,
+    chunk: &PairChunk,
+) -> impl Iterator<Item = ((usize, usize), Option<&'a [u32]>)> + 'a {
+    let cands = sched.candidates();
+    sched
+        .chunk_pair_range(chunk)
+        .zip(sched.pair_iter(chunk))
+        .map(move |(ord, ij)| (ij, cands.map(|cs| cs.ks(ord))))
+}
+
 fn sampled_chunk(
     matrix: &BitMatrix,
     seed: u64,
@@ -213,26 +257,33 @@ fn sampled_chunk(
     // Public sampling threshold on the PRG's u64 output.
     let threshold = (rate * u64::MAX as f64) as u64;
     let mut words = [0u64; MG_WORDS];
-    for (i, j) in sched.pair_iter(chunk) {
+    let mut ks: Vec<u32> = Vec::new();
+    for ((i, j), cand) in pair_cands(sched, chunk) {
         let row_i = matrix.row(i);
         let row_j = matrix.row(j);
         let aij = row_i.get(j) as u64;
         let aij1 = share_prf(seed, i as u32, j as u32);
         let aij2 = aij.wrapping_sub(aij1);
+        sampled_ks(seed, i as u32, j as u32, n, threshold, cand, &mut ks);
+        if ks.is_empty() {
+            continue;
+        }
+        evaluated += ks.len() as u64;
+        net.exchange_rounds((ks.len() / batch) as u64, 3 * batch as u64);
+        if !ks.len().is_multiple_of(batch) {
+            net.exchange(3 * (ks.len() % batch) as u64);
+        }
         let mut dealer = PairDealer::for_pair(seed, i as u32, j as u32);
-        let mut coin = pair_coin(seed, i as u32, j as u32);
-        // Sampled triples of the current round; flushed every `batch`.
-        let mut in_round = 0u64;
-        for k in (j + 1)..n {
-            if coin.next_u64() > threshold {
-                continue; // triple not sampled (public coin)
-            }
-            if in_round == batch as u64 {
-                net.exchange(3 * in_round);
-                in_round = 0;
-            }
-            in_round += 1;
-            evaluated += 1;
+        // Canonical stream consumption: each sampled triple's group is
+        // drawn at offset k − j − 1, skipping the unsampled gaps in
+        // O(1) — so the same (i, j, k) yields the same group under
+        // every sampling rate and schedule.
+        let mut pos = 0usize;
+        for &kk in &ks {
+            let k = kk as usize;
+            let off = k - j - 1;
+            dealer.skip_groups(off - pos);
+            pos = off + 1;
             dealer.fill_words(&mut words);
             let [x1, x2, y1, y2, z1, z2, o1, p1, q1, w1] = words;
             let x = x1.wrapping_add(x2);
@@ -272,30 +323,57 @@ fn sampled_chunk(
                 .wrapping_add(z2.wrapping_mul(ef))
                 .wrapping_add(ef.wrapping_mul(g));
         }
-        if in_round > 0 {
-            net.exchange(3 * in_round);
-        }
     }
     (Ring64(t1), Ring64(t2), net, evaluated)
 }
 
 /// Draws pair `(i, j)`'s public sampling coins and collects the
 /// sampled `k` indices — shared by every sampled path so the sample
-/// set is identical across kernels and offline modes.
-fn sampled_ks(seed: u64, i: u32, j: u32, n: usize, threshold: u64, ks: &mut Vec<u32>) {
+/// set is identical across kernels and offline modes. When a public
+/// candidate `k`-list is supplied (sparse schedule), the result is the
+/// intersection *sampled ∩ candidate*: every coin is still drawn at
+/// its dense stream position, so the per-triple decision is
+/// schedule-invariant.
+fn sampled_ks(
+    seed: u64,
+    i: u32,
+    j: u32,
+    n: usize,
+    threshold: u64,
+    cand: Option<&[u32]>,
+    ks: &mut Vec<u32>,
+) {
     ks.clear();
     let mut coin = pair_coin(seed, i, j);
-    for k in (j as usize + 1)..n {
-        if coin.next_u64() <= threshold {
-            ks.push(k as u32);
+    match cand {
+        None => {
+            for k in (j as usize + 1)..n {
+                if coin.next_u64() <= threshold {
+                    ks.push(k as u32);
+                }
+            }
+        }
+        Some(cks) => {
+            let mut c = 0usize;
+            for k in (j as usize + 1)..n {
+                let sampled = coin.next_u64() <= threshold;
+                if c < cks.len() && cks[c] as usize == k {
+                    if sampled {
+                        ks.push(k as u32);
+                    }
+                    c += 1;
+                }
+            }
         }
     }
 }
 
 /// [`CountKernel::Bitsliced`] sampled variant: the sampled `k` set of
-/// each pair is collected first (the coin is public and cheap), then
-/// evaluated in structure-of-arrays blocks through [`mul3_batch`] —
-/// identical stream consumption, rounds, and shares to
+/// each pair is collected first (the coin is public and cheap), each
+/// block's Multiplication Groups are *gathered* from their canonical
+/// dealer offsets, and the block is evaluated through the
+/// structure-of-arrays [`mul3_mask_batch`]/[`mul3_combine_batch`]
+/// kernels — identical stream positions, rounds, and shares to
 /// [`sampled_chunk`].
 fn sampled_chunk_batch(
     matrix: &BitMatrix,
@@ -306,19 +384,29 @@ fn sampled_chunk_batch(
 ) -> (Ring64, Ring64, NetStats, u64) {
     let n = sched.n();
     let batch = sched.batch();
-    let mut t1 = 0u64;
-    let mut t2 = 0u64;
+    let mut t1 = Ring64::ZERO;
+    let mut t2 = Ring64::ZERO;
     let mut net = NetStats::new();
     let mut evaluated = 0u64;
     let threshold = (rate * u64::MAX as f64) as u64;
-    let mut b_bits = vec![0u64; batch];
-    let mut c_bits = vec![0u64; batch];
     let mut ks: Vec<u32> = Vec::new();
-    for (i, j) in sched.pair_iter(chunk) {
+    let mut words = [0u64; MG_WORDS];
+    let mut g1v: Vec<MulGroupShare> = Vec::with_capacity(batch);
+    let mut g2v: Vec<MulGroupShare> = Vec::with_capacity(batch);
+    let mut b1 = vec![Ring64::ZERO; batch];
+    let mut b2 = vec![Ring64::ZERO; batch];
+    let mut c1 = vec![Ring64::ZERO; batch];
+    let mut c2 = vec![Ring64::ZERO; batch];
+    let mut mine = vec![0u64; 3 * batch];
+    let mut theirs = vec![0u64; 3 * batch];
+    let mut opened = vec![0u64; 3 * batch];
+    for ((i, j), cand) in pair_cands(sched, chunk) {
         let row_i = matrix.row(i);
         let row_j = matrix.row(j);
-        let aij = row_i.get(j) as u64;
-        sampled_ks(seed, i as u32, j as u32, n, threshold, &mut ks);
+        let aij = Ring64::from_bit(row_i.get(j));
+        let aij1 = Ring64(share_prf(seed, i as u32, j as u32));
+        let aij2 = aij - aij1;
+        sampled_ks(seed, i as u32, j as u32, n, threshold, cand, &mut ks);
         if ks.is_empty() {
             continue;
         }
@@ -328,21 +416,41 @@ fn sampled_chunk_batch(
         if !ks.len().is_multiple_of(batch) {
             net.exchange(3 * (ks.len() % batch) as u64);
         }
+        let mut pos = 0usize;
         for blk in ks.chunks(batch) {
             let block = blk.len();
-            for (l, &kk) in blk.iter().enumerate() {
-                b_bits[l] = row_i.get(kk as usize) as u64;
-                c_bits[l] = row_j.get(kk as usize) as u64;
+            // Gather the block's groups from their canonical offsets
+            // (skipping unsampled gaps for free).
+            g1v.clear();
+            g2v.clear();
+            for &kk in blk {
+                let off = kk as usize - j - 1;
+                dealer.skip_groups(off - pos);
+                pos = off + 1;
+                dealer.fill_words(&mut words);
+                let (g1, g2) = split_mg_words(&words);
+                g1v.push(g1);
+                g2v.push(g2);
             }
-            // Fused PRG + SoA arithmetic; the pair stream advances
-            // only for sampled triples — exactly as the scalar path
-            // consumes it.
-            let (u1, u2) = dealer.count_block(aij, &b_bits[..block], &c_bits[..block]);
-            t1 = t1.wrapping_add(u1);
-            t2 = t2.wrapping_add(u2);
+            for (l, &kk) in blk.iter().enumerate() {
+                let aik = Ring64::from_bit(row_i.get(kk as usize));
+                let aik1 = Ring64(share_prf(seed, i as u32, kk));
+                b1[l] = aik1;
+                b2[l] = aik - aik1;
+                let ajk = Ring64::from_bit(row_j.get(kk as usize));
+                let ajk1 = Ring64(share_prf(seed, j as u32, kk));
+                c1[l] = ajk1;
+                c2[l] = ajk - ajk1;
+            }
+            let slab = 3 * block;
+            mul3_mask_batch(aij1, &b1[..block], &c1[..block], &g1v, &mut mine[..slab]);
+            mul3_mask_batch(aij2, &b2[..block], &c2[..block], &g2v, &mut theirs[..slab]);
+            mul3_open_batch(&mine[..slab], &theirs[..slab], &mut opened[..slab]);
+            t1 += mul3_combine_batch(&g1v, &opened[..slab], ServerId::S1);
+            t2 += mul3_combine_batch(&g2v, &opened[..slab], ServerId::S2);
         }
     }
-    (Ring64(t1), Ring64(t2), net, evaluated)
+    (t1, t2, net, evaluated)
 }
 
 /// The OT-extension variant: identical sampling decisions and online
@@ -369,18 +477,18 @@ fn sampled_chunk_ot(
 
     // Offline: derive the sampled plan from the public coins — keeping
     // each pair's sampled `k` set, so the coins are drawn once — and
-    // preprocess the whole chunk in one amortised session.
+    // preprocess the whole chunk in one amortised session. The plan
+    // lists one draw per maximal contiguous sampled run, at its
+    // canonical stream offset, so the engine derandomises onto exactly
+    // the groups the dealer paths consume.
     let mut plan: Vec<MgDraw> = Vec::new();
-    let mut pair_ks: Vec<Vec<u32>> = Vec::new();
-    for (i, j) in sched.pair_iter(chunk) {
-        sampled_ks(seed, i as u32, j as u32, n, threshold, &mut ks);
+    let mut entries: Vec<(u32, u32, Vec<u32>, std::ops::Range<usize>)> = Vec::new();
+    for ((i, j), cand) in pair_cands(sched, chunk) {
+        sampled_ks(seed, i as u32, j as u32, n, threshold, cand, &mut ks);
         if !ks.is_empty() {
-            plan.push(MgDraw {
-                i: i as u32,
-                j: j as u32,
-                groups: ks.len() as u32,
-            });
-            pair_ks.push(ks.clone());
+            let d0 = plan.len();
+            push_runs(&mut plan, i as u32, j as u32, &ks);
+            entries.push((i as u32, j as u32, ks.clone(), d0..plan.len()));
         }
     }
     if plan.is_empty() {
@@ -398,15 +506,17 @@ fn sampled_chunk_ot(
     let mut theirs = vec![0u64; 3 * batch];
     let mut opened = vec![0u64; 3 * batch];
 
-    for (plan_idx, (draw, ks)) in plan.iter().zip(&pair_ks).enumerate() {
-        let (i, j) = (draw.i as usize, draw.j as usize);
+    for (iu, ju, ks, drange) in &entries {
+        let (i, j) = (*iu as usize, *ju as usize);
         let row_i = matrix.row(i);
         let row_j = matrix.row(j);
         evaluated += ks.len() as u64;
         let aij = Ring64::from_bit(row_i.get(j));
         let aij1 = Ring64(share_prf(seed, i as u32, j as u32));
         let aij2 = aij - aij1;
-        let (g1s, g2s) = material.pair(plan_idx);
+        // One pair's runs are consecutive plan entries, so its groups
+        // are one contiguous material slice.
+        let (g1s, g2s) = material.draws(drange.clone());
         net.exchange_rounds((ks.len() / batch) as u64, 3 * batch as u64);
         if !ks.len().is_multiple_of(batch) {
             net.exchange(3 * (ks.len() % batch) as u64);

@@ -8,14 +8,22 @@
 //! over the `(i, j)` pairs with a non-empty `k` range, an inner batched
 //! `k` loop per pair. This module owns that shape once:
 //!
-//! * **Pair-space partitioning.** The lexicographic `(i, j)` pair list
-//!   is cut into contiguous [`PairChunk`]s of roughly equal *triple*
-//!   weight (pair `(i, j)` costs `n − j − 1` triples, so pair counts
-//!   alone would load-balance badly). The partition depends on `n`
-//!   **only** — never on worker count or machine — because chunk ids
-//!   key the amortised OT offline sessions and the offline ledger must
-//!   stay schedule-invariant. Workers pull chunks from an atomic
-//!   queue.
+//! * **Two schedules, one triple space.** [`SchedulePlan::DenseCube`]
+//!   walks every pair — the fully oblivious default. A
+//!   [`SchedulePlan::CandidatePairs`] schedule walks only the pairs
+//!   and `k`-lists of a *public* [`CandidateSet`]; the secret stays
+//!   what it always was (edge existence between candidate pairs), and
+//!   every surviving triple's Multiplication Group is drawn at its
+//!   **canonical** stream position (`k − j − 1` into pair `(i, j)`'s
+//!   dealer stream), so its share pair is bit-identical under either
+//!   schedule.
+//! * **Pair-space partitioning.** The pair list is cut into contiguous
+//!   [`PairChunk`]s of roughly equal *triple* weight. The partition
+//!   depends on the schedule's public inputs **only** — `n` for the
+//!   dense cube, the candidate list for the sparse schedule — never on
+//!   worker count or machine, because chunk ids key the amortised OT
+//!   offline sessions and the offline ledger must stay
+//!   schedule-invariant. Workers pull chunks from an atomic queue.
 //! * **Batched rounds.** The `k` loop advances in blocks of
 //!   [`CountScheduler::batch`] triples; each block is one
 //!   communication round (`3·block` elements each way) and one block
@@ -27,9 +35,10 @@
 //!   *who* consumes a stream. The scheduler-invariance property suite
 //!   (`crates/core/tests/scheduler_invariance.rs`) pins this.
 
+use cargo_graph::{BitMatrix, CsrGraph, Graph, GraphBuilder};
 use cargo_mpc::MgDraw;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Default `k`-loop batch: 64 triples per round, the sweet spot the
 /// secure-count bench sweep settled on (large enough to amortise the
@@ -39,11 +48,12 @@ pub const DEFAULT_COUNT_BATCH: usize = 64;
 
 /// Target number of chunks the pair walk is cut into. Fixed —
 /// deliberately **not** scaled by the worker count — so the chunk list
-/// is a function of `n` alone: the chunk-amortised OT offline sessions
-/// are keyed by chunk id, and a machine-dependent partition would make
-/// the offline ledger depend on core count. 64 parts oversubscribes
-/// any worker pool this side of a rack while keeping per-chunk state
-/// (one OT session, one batch scratch) coarse.
+/// is a function of the schedule's public inputs alone: the
+/// chunk-amortised OT offline sessions are keyed by chunk id, and a
+/// machine-dependent partition would make the offline ledger depend on
+/// core count. 64 parts oversubscribes any worker pool this side of a
+/// rack while keeping per-chunk state (one OT session, one batch
+/// scratch) coarse.
 const CHUNK_PARTS: u64 = 64;
 
 /// Floor on a chunk's triple weight: below this, splitting buys no
@@ -67,7 +77,156 @@ pub(crate) fn share_prf(seed: u64, i: u32, j: u32) -> u64 {
     z ^ (z >> 31)
 }
 
-/// A contiguous run of `(i, j)` pairs in lexicographic order.
+/// A **public** candidate structure for the sparse Count schedule: the
+/// `(i, j)` pairs that may host an edge, with, per pair, the sorted
+/// list of `k > j` for which both `(i, k)` and `(j, k)` are also
+/// candidate pairs — i.e. exactly the triples the candidate structure
+/// admits as triangles.
+///
+/// Only pairs with a **non-empty** `k`-list are stored (a pair without
+/// closing candidates contributes no triple and would produce a
+/// zero-group offline draw). The schedule — chunk partition, offline
+/// plans, chunk ids — is a pure function of this list, which is why a
+/// sparse run's OT sessions and [`cargo_mpc::OfflineLedger`] are
+/// reproducible from public information alone.
+///
+/// Privacy: using a candidate set *reveals* it (that is the point —
+/// see `PROTOCOL.md`'s leakage analysis). The canonical instantiation
+/// is public structural knowledge such as the symmetrised edge
+/// *support* of the dataset; the protocol's secrets remain the actual
+/// edge bits between candidate pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CandidateSet {
+    n: usize,
+    /// Candidate pairs `(i, j)`, `i < j`, lexicographic, non-empty
+    /// `k`-lists only.
+    pairs: Vec<(u32, u32)>,
+    /// `k`-list extents: pair `p`'s list is
+    /// `ks[k_offsets[p]..k_offsets[p + 1]]`.
+    k_offsets: Vec<usize>,
+    /// Concatenated ascending `k`-lists.
+    ks: Vec<u32>,
+}
+
+impl CandidateSet {
+    /// Builds the candidate structure from a public graph: candidate
+    /// pairs are `g`'s (symmetrised) edges, and pair `(i, j)`'s
+    /// `k`-list is the sorted common neighborhood above `j` — the
+    /// triples this structure admits are exactly `g`'s triangles.
+    ///
+    /// Because the Project phase only *deletes* edges, any θ-truncated
+    /// version of `g` is still covered by this candidate set, so a
+    /// sparse secure count over it equals the dense cube's count.
+    pub fn from_graph(g: &Graph) -> Self {
+        let csr = CsrGraph::from_graph(g);
+        let n = g.n();
+        let mut pairs = Vec::new();
+        let mut k_offsets = vec![0usize];
+        let mut ks = Vec::new();
+        for i in 0..n {
+            for &j in csr.neighbors(i).iter().filter(|&&j| (j as usize) > i) {
+                let before = ks.len();
+                csr.common_neighbors_above(i, j as usize, j as usize, &mut ks);
+                if ks.len() > before {
+                    pairs.push((i as u32, j));
+                    k_offsets.push(ks.len());
+                }
+            }
+        }
+        CandidateSet {
+            n,
+            pairs,
+            k_offsets,
+            ks,
+        }
+    }
+
+    /// Builds the candidate structure from a (possibly asymmetric,
+    /// e.g. θ-projected) matrix's **upper-triangle support**: the
+    /// secure product of triple `i < j < k` multiplies exactly the
+    /// upper entries `(i,j)`, `(i,k)`, `(j,k)`, so the triples this
+    /// set admits are precisely those the dense cube could count as 1.
+    pub fn from_support(m: &BitMatrix) -> Self {
+        let n = m.n();
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n {
+            for j in m.row(i).iter_ones().filter(|&j| j > i) {
+                b.add_edge(i, j).expect("in range");
+            }
+        }
+        Self::from_graph(&b.build())
+    }
+
+    /// The complete candidate structure on `n` vertices: every pair,
+    /// every `k` — the sparse schedule degenerates to the dense cube.
+    /// Mainly for equivalence tests; it costs `C(n, 3)` entries.
+    pub fn complete(n: usize) -> Self {
+        let mut pairs = Vec::new();
+        let mut k_offsets = vec![0usize];
+        let mut ks = Vec::new();
+        if n >= 3 {
+            for i in 0..(n as u32) {
+                for j in (i + 1)..(n as u32 - 1) {
+                    pairs.push((i, j));
+                    ks.extend((j + 1)..(n as u32));
+                    k_offsets.push(ks.len());
+                }
+            }
+        }
+        CandidateSet {
+            n,
+            pairs,
+            k_offsets,
+            ks,
+        }
+    }
+
+    /// Vertex-space dimension the candidate pairs live in.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of candidate pairs with a non-empty `k`-list.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the structure admits no triple at all.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The `idx`-th candidate pair (lexicographic order).
+    pub fn pair(&self, idx: usize) -> (u32, u32) {
+        self.pairs[idx]
+    }
+
+    /// The `idx`-th pair's ascending `k`-list (never empty).
+    pub fn ks(&self, idx: usize) -> &[u32] {
+        &self.ks[self.k_offsets[idx]..self.k_offsets[idx + 1]]
+    }
+
+    /// Total triples the structure admits — the sparse schedule's
+    /// whole workload.
+    pub fn total_triples(&self) -> u64 {
+        self.ks.len() as u64
+    }
+}
+
+/// Which region of the `i < j < k` cube a [`CountScheduler`] covers.
+#[derive(Debug, Clone, Default)]
+pub enum SchedulePlan {
+    /// Every triple — the fully oblivious default: the execution's
+    /// shape reveals nothing but `n`.
+    #[default]
+    DenseCube,
+    /// Only the triples a public [`CandidateSet`] admits. Reveals the
+    /// candidate structure (and nothing else); turns the `O(n³)` cube
+    /// into work linear in the candidate triple count.
+    CandidatePairs(Arc<CandidateSet>),
+}
+
+/// A contiguous run of `(i, j)` pairs in schedule order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PairChunk {
     /// Chunk index — the tag its messages travel under in the sharded
@@ -75,39 +234,71 @@ pub struct PairChunk {
     pub id: u32,
     /// First pair of the run.
     start: (u32, u32),
+    /// Ordinal of the first pair within the schedule's pair list
+    /// (index into [`CandidateSet`] for sparse plans).
+    first: u32,
     /// Number of pairs in the run.
     pub pairs: u32,
     /// Total triples across the run (the chunk's work weight).
     pub triples: u64,
 }
 
-/// Iterator over one chunk's pairs in lexicographic `(i, j)` order.
+/// Iterator over one chunk's pairs in schedule order.
 #[derive(Debug, Clone)]
 pub struct PairIter {
-    n: usize,
-    i: usize,
-    j: usize,
-    remaining: u32,
+    inner: PairIterInner,
+}
+
+#[derive(Debug, Clone)]
+enum PairIterInner {
+    Dense {
+        n: usize,
+        i: usize,
+        j: usize,
+        remaining: u32,
+    },
+    Sparse {
+        cs: Arc<CandidateSet>,
+        at: usize,
+        end: usize,
+    },
 }
 
 impl Iterator for PairIter {
     type Item = (usize, usize);
 
     fn next(&mut self) -> Option<(usize, usize)> {
-        if self.remaining == 0 {
-            return None;
+        match &mut self.inner {
+            PairIterInner::Dense {
+                n,
+                i,
+                j,
+                remaining,
+            } => {
+                if *remaining == 0 {
+                    return None;
+                }
+                *remaining -= 1;
+                let out = (*i, *j);
+                // Advance to the next pair with a non-empty k range
+                // (j ≤ n − 2 so that k = j + 1 exists).
+                if *j < *n - 2 {
+                    *j += 1;
+                } else {
+                    *i += 1;
+                    *j = *i + 1;
+                }
+                Some(out)
+            }
+            PairIterInner::Sparse { cs, at, end } => {
+                if at >= end {
+                    return None;
+                }
+                let (i, j) = cs.pair(*at);
+                *at += 1;
+                Some((i as usize, j as usize))
+            }
         }
-        self.remaining -= 1;
-        let out = (self.i, self.j);
-        // Advance to the next pair with a non-empty k range
-        // (j ≤ n − 2 so that k = j + 1 exists).
-        if self.j < self.n - 2 {
-            self.j += 1;
-        } else {
-            self.i += 1;
-            self.j = self.i + 1;
-        }
-        Some(out)
     }
 }
 
@@ -117,12 +308,13 @@ pub struct CountScheduler {
     n: usize,
     workers: usize,
     batch: usize,
+    plan: SchedulePlan,
     chunks: Vec<PairChunk>,
     total_triples: u64,
 }
 
 impl CountScheduler {
-    /// Builds the schedule for an `n × n` matrix.
+    /// Builds the dense-cube schedule for an `n × n` matrix.
     ///
     /// * `threads` — worker threads; `0` means all cores.
     /// * `batch` — triples per round/block; `0` means
@@ -132,6 +324,17 @@ impl CountScheduler {
     /// every `(threads, batch)` choice; only wall-clock and round
     /// granularity change.
     pub fn new(n: usize, threads: usize, batch: usize) -> Self {
+        Self::with_plan(n, threads, batch, SchedulePlan::DenseCube)
+    }
+
+    /// Builds the schedule for an explicit [`SchedulePlan`].
+    ///
+    /// For [`SchedulePlan::CandidatePairs`] the candidate set's `n`
+    /// must match (it indexes the same share matrix).
+    pub fn with_plan(n: usize, threads: usize, batch: usize, plan: SchedulePlan) -> Self {
+        if let SchedulePlan::CandidatePairs(cs) = &plan {
+            assert_eq!(cs.n(), n, "candidate set dimension must match the matrix");
+        }
         let workers = if threads == 0 {
             std::thread::available_parallelism()
                 .map(|p| p.get())
@@ -140,21 +343,31 @@ impl CountScheduler {
             threads
         }
         .max(1);
-        // Clamp to the longest possible k range: blocks are already
-        // `min(n - k, batch)`, so larger values change nothing except
-        // the size of the per-chunk word buffer — and an unchecked
-        // `--batch` must not drive a multi-gigabyte allocation.
-        let batch = if batch == 0 { DEFAULT_COUNT_BATCH } else { batch }.min(n.max(1));
-        let total_triples = if n < 3 {
-            0
-        } else {
-            (n as u64) * (n as u64 - 1) * (n as u64 - 2) / 6
+        // Clamp to the longest possible k range (n − 2 triples, for
+        // pair (0, 1)): blocks are already `min(range, batch)`, so
+        // larger values change nothing except the size of the
+        // per-chunk word buffer — and an unchecked `--batch` must not
+        // drive a multi-gigabyte allocation.
+        let batch =
+            if batch == 0 { DEFAULT_COUNT_BATCH } else { batch }.min(n.saturating_sub(2).max(1));
+        let (total_triples, chunks) = match &plan {
+            SchedulePlan::DenseCube => {
+                let total = if n < 3 {
+                    0
+                } else {
+                    (n as u64) * (n as u64 - 1) * (n as u64 - 2) / 6
+                };
+                (total, build_chunks(n, total))
+            }
+            SchedulePlan::CandidatePairs(cs) => {
+                (cs.total_triples(), build_sparse_chunks(cs))
+            }
         };
-        let chunks = build_chunks(n, total_triples);
         CountScheduler {
             n,
             workers,
             batch,
+            plan,
             chunks,
             total_triples,
         }
@@ -175,39 +388,80 @@ impl CountScheduler {
         self.batch
     }
 
-    /// The chunk list (empty when `n < 3`).
+    /// The chunk list (empty when the schedule admits no triple).
     pub fn chunks(&self) -> &[PairChunk] {
         &self.chunks
     }
 
-    /// `C(n, 3)` — every triple the schedule covers exactly once.
+    /// Every triple the schedule covers exactly once — `C(n, 3)` for
+    /// the dense cube, the candidate structure's admitted-triple count
+    /// for a sparse plan.
     pub fn total_triples(&self) -> u64 {
         self.total_triples
     }
 
-    /// The chunk's offline preprocessing plan for the *exact* count:
-    /// one [`MgDraw`] per pair, drawing the pair's full `k`-range.
+    /// The schedule's plan.
+    pub fn plan(&self) -> &SchedulePlan {
+        &self.plan
+    }
+
+    /// The candidate structure, when this is a sparse schedule.
+    pub fn candidates(&self) -> Option<&Arc<CandidateSet>> {
+        match &self.plan {
+            SchedulePlan::DenseCube => None,
+            SchedulePlan::CandidatePairs(cs) => Some(cs),
+        }
+    }
+
+    /// The chunk's offline preprocessing plan: one [`MgDraw`] per pair
+    /// and maximal contiguous `k`-run, **at the run's canonical stream
+    /// offset** (`k₀ − j − 1`). For the dense cube every pair is one
+    /// full-range draw starting at offset 0; a sparse plan draws each
+    /// surviving run exactly where the dense cube would have, skipping
+    /// (for free — the dealer PRG seeks in `O(1)`) everything between.
     /// Single source of truth for every consumer of the chunk-keyed OT
     /// sessions (fast kernel, sharded runtime, ledger fixtures) — the
     /// sampled estimator builds its sparser plan from the public coins
     /// instead.
     pub fn chunk_plan(&self, chunk: &PairChunk) -> Vec<MgDraw> {
-        self.pair_iter(chunk)
-            .map(|(i, j)| MgDraw {
-                i: i as u32,
-                j: j as u32,
-                groups: (self.n - j - 1) as u32,
-            })
-            .collect()
+        match &self.plan {
+            SchedulePlan::DenseCube => self
+                .pair_iter(chunk)
+                .map(|(i, j)| MgDraw::dense(i as u32, j as u32, (self.n - j - 1) as u32))
+                .collect(),
+            SchedulePlan::CandidatePairs(cs) => {
+                let mut draws = Vec::new();
+                for idx in self.chunk_pair_range(chunk) {
+                    let (i, j) = cs.pair(idx);
+                    push_runs(&mut draws, i, j, cs.ks(idx));
+                }
+                draws
+            }
+        }
     }
 
-    /// Iterates `chunk`'s pairs in lexicographic order.
+    /// Ordinals of `chunk`'s pairs within the schedule's pair list
+    /// (indices into the [`CandidateSet`] for sparse plans).
+    pub fn chunk_pair_range(&self, chunk: &PairChunk) -> std::ops::Range<usize> {
+        chunk.first as usize..chunk.first as usize + chunk.pairs as usize
+    }
+
+    /// Iterates `chunk`'s pairs in schedule order.
     pub fn pair_iter(&self, chunk: &PairChunk) -> PairIter {
         PairIter {
-            n: self.n,
-            i: chunk.start.0 as usize,
-            j: chunk.start.1 as usize,
-            remaining: chunk.pairs,
+            inner: match &self.plan {
+                SchedulePlan::DenseCube => PairIterInner::Dense {
+                    n: self.n,
+                    i: chunk.start.0 as usize,
+                    j: chunk.start.1 as usize,
+                    remaining: chunk.pairs,
+                },
+                SchedulePlan::CandidatePairs(cs) => PairIterInner::Sparse {
+                    cs: Arc::clone(cs),
+                    at: chunk.first as usize,
+                    end: chunk.first as usize + chunk.pairs as usize,
+                },
+            },
         }
     }
 
@@ -253,6 +507,25 @@ impl CountScheduler {
     }
 }
 
+/// Appends one [`MgDraw`] per maximal contiguous run of `ks` for pair
+/// `(i, j)`, each at its canonical stream offset `k₀ − j − 1`.
+pub(crate) fn push_runs(draws: &mut Vec<MgDraw>, i: u32, j: u32, ks: &[u32]) {
+    let mut r = 0;
+    while r < ks.len() {
+        let mut end = r + 1;
+        while end < ks.len() && ks[end] == ks[end - 1] + 1 {
+            end += 1;
+        }
+        draws.push(MgDraw {
+            i,
+            j,
+            start: ks[r] - j - 1,
+            groups: (end - r) as u32,
+        });
+        r = end;
+    }
+}
+
 /// Cuts the lexicographic pair walk into chunks of roughly
 /// `total / CHUNK_PARTS` triples each (floored at
 /// [`MIN_CHUNK_TRIPLES`]). Depends only on `n` — see [`CHUNK_PARTS`]
@@ -264,19 +537,24 @@ fn build_chunks(n: usize, total_triples: u64) -> Vec<PairChunk> {
     let target = (total_triples / CHUNK_PARTS).max(MIN_CHUNK_TRIPLES);
     let mut chunks = Vec::new();
     let mut start: Option<(u32, u32)> = None;
+    let mut first = 0u32;
+    let mut ordinal = 0u32;
     let mut pairs = 0u32;
     let mut triples = 0u64;
     for i in 0..=(n - 3) {
         for j in (i + 1)..=(n - 2) {
             if start.is_none() {
                 start = Some((i as u32, j as u32));
+                first = ordinal;
             }
+            ordinal += 1;
             pairs += 1;
             triples += (n - j - 1) as u64;
             if triples >= target {
                 chunks.push(PairChunk {
                     id: chunks.len() as u32,
                     start: start.take().expect("chunk start set"),
+                    first,
                     pairs,
                     triples,
                 });
@@ -289,6 +567,52 @@ fn build_chunks(n: usize, total_triples: u64) -> Vec<PairChunk> {
         chunks.push(PairChunk {
             id: chunks.len() as u32,
             start,
+            first,
+            pairs,
+            triples,
+        });
+    }
+    chunks
+}
+
+/// The sparse analogue of [`build_chunks`]: packs candidate pairs, in
+/// order, into chunks of roughly `total / CHUNK_PARTS` triples
+/// (floored at [`MIN_CHUNK_TRIPLES`]). A pure function of the
+/// candidate list, for the same reason the dense partition is a pure
+/// function of `n`.
+fn build_sparse_chunks(cs: &CandidateSet) -> Vec<PairChunk> {
+    if cs.is_empty() {
+        return Vec::new();
+    }
+    let target = (cs.total_triples() / CHUNK_PARTS).max(MIN_CHUNK_TRIPLES);
+    let mut chunks = Vec::new();
+    let mut first: Option<usize> = None;
+    let mut pairs = 0u32;
+    let mut triples = 0u64;
+    for idx in 0..cs.len() {
+        if first.is_none() {
+            first = Some(idx);
+        }
+        pairs += 1;
+        triples += cs.ks(idx).len() as u64;
+        if triples >= target {
+            let f = first.take().expect("chunk start set");
+            chunks.push(PairChunk {
+                id: chunks.len() as u32,
+                start: cs.pair(f),
+                first: f as u32,
+                pairs,
+                triples,
+            });
+            pairs = 0;
+            triples = 0;
+        }
+    }
+    if let Some(f) = first {
+        chunks.push(PairChunk {
+            id: chunks.len() as u32,
+            start: cs.pair(f),
+            first: f as u32,
             pairs,
             triples,
         });
@@ -299,6 +623,7 @@ fn build_chunks(n: usize, total_triples: u64) -> Vec<PairChunk> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cargo_graph::generators;
 
     /// Every pair exactly once, in order, with the right weights.
     fn check_cover(n: usize, workers: usize) {
@@ -372,13 +697,18 @@ mod tests {
     }
 
     #[test]
-    fn oversized_batch_is_clamped_to_n() {
-        // No k range exceeds n − 2, so a larger batch only inflates
-        // the word buffer; usize::MAX must not drive the allocation.
+    fn oversized_batch_is_clamped_to_the_longest_k_range() {
+        // The longest k range belongs to pair (0, 1): n − 2 triples.
+        // Blocks are min(range, batch), so anything larger only
+        // inflates the word buffer; usize::MAX must not drive the
+        // allocation. (This clamp used to be n, two blocks too wide —
+        // pinned here so it stays the documented n − 2.)
         let sched = CountScheduler::new(10, 1, usize::MAX);
-        assert_eq!(sched.batch(), 10);
+        assert_eq!(sched.batch(), 8);
+        assert_eq!(CountScheduler::new(10, 1, usize::MAX).batch(), 8);
         assert_eq!(CountScheduler::new(10, 1, 4).batch(), 4);
         assert_eq!(CountScheduler::new(0, 1, 0).batch(), 1);
+        assert_eq!(CountScheduler::new(2, 1, 64).batch(), 1);
     }
 
     #[test]
@@ -396,5 +726,131 @@ mod tests {
         let ids = sched.run_chunks(|c| c.id);
         let want: Vec<u32> = (0..sched.chunks().len() as u32).collect();
         assert_eq!(ids, want);
+    }
+
+    // ------------------------------------------------------ sparse --
+
+    #[test]
+    fn candidate_set_from_graph_lists_exactly_the_triangles_of_the_support() {
+        // Diamond: triangles (0,1,2) and (1,2,3).
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]).unwrap();
+        let cs = CandidateSet::from_graph(&g);
+        assert_eq!(cs.n(), 4);
+        assert_eq!(cs.total_triples(), 2);
+        let listed: Vec<_> = (0..cs.len())
+            .flat_map(|p| {
+                let (i, j) = cs.pair(p);
+                cs.ks(p).iter().map(move |&k| (i, j, k)).collect::<Vec<_>>()
+            })
+            .collect();
+        assert_eq!(listed, vec![(0, 1, 2), (1, 2, 3)]);
+        // Pairs without a closing candidate are dropped entirely.
+        assert!((0..cs.len()).all(|p| !cs.ks(p).is_empty()));
+    }
+
+    #[test]
+    fn complete_candidate_set_degenerates_to_the_dense_cube() {
+        for n in [0usize, 1, 2, 3, 4, 5, 12] {
+            let cs = CandidateSet::complete(n);
+            let dense = CountScheduler::new(n, 1, 0);
+            let sparse =
+                CountScheduler::with_plan(n, 1, 0, SchedulePlan::CandidatePairs(Arc::new(cs)));
+            assert_eq!(sparse.total_triples(), dense.total_triples(), "n={n}");
+            let dense_pairs: Vec<_> = dense
+                .chunks()
+                .iter()
+                .flat_map(|c| dense.pair_iter(c))
+                .collect();
+            let sparse_pairs: Vec<_> = sparse
+                .chunks()
+                .iter()
+                .flat_map(|c| sparse.pair_iter(c))
+                .collect();
+            assert_eq!(sparse_pairs, dense_pairs, "n={n}");
+            // Same plans per chunk too: one full-range draw per pair.
+            let dense_plan: Vec<_> = dense
+                .chunks()
+                .iter()
+                .flat_map(|c| dense.chunk_plan(c))
+                .collect();
+            let sparse_plan: Vec<_> = sparse
+                .chunks()
+                .iter()
+                .flat_map(|c| sparse.chunk_plan(c))
+                .collect();
+            assert_eq!(sparse_plan, dense_plan, "n={n}");
+        }
+    }
+
+    #[test]
+    fn sparse_plans_draw_runs_at_canonical_offsets() {
+        let mut draws = Vec::new();
+        // Pair (2, 5) with ks = [6, 7, 9, 12, 13]: runs [6,7], [9], [12,13].
+        push_runs(&mut draws, 2, 5, &[6, 7, 9, 12, 13]);
+        assert_eq!(
+            draws,
+            vec![
+                MgDraw { i: 2, j: 5, start: 0, groups: 2 },
+                MgDraw { i: 2, j: 5, start: 3, groups: 1 },
+                MgDraw { i: 2, j: 5, start: 6, groups: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn sparse_chunks_cover_the_candidate_list_exactly_once() {
+        let g = generators::erdos_renyi(80, 0.15, 11);
+        let cs = Arc::new(CandidateSet::from_graph(&g));
+        let sched =
+            CountScheduler::with_plan(80, 3, 0, SchedulePlan::CandidatePairs(Arc::clone(&cs)));
+        let mut seen = Vec::new();
+        let mut triples = 0u64;
+        for c in sched.chunks() {
+            let got: Vec<_> = sched.pair_iter(c).collect();
+            assert_eq!(got.len(), c.pairs as usize);
+            assert_eq!(
+                got.first().copied(),
+                Some((cs.pair(c.first as usize).0 as usize, cs.pair(c.first as usize).1 as usize))
+            );
+            triples += c.triples;
+            seen.extend(got);
+        }
+        let want: Vec<_> = (0..cs.len())
+            .map(|p| (cs.pair(p).0 as usize, cs.pair(p).1 as usize))
+            .collect();
+        assert_eq!(seen, want);
+        assert_eq!(triples, cs.total_triples());
+        // Plans cover each admitted triple exactly once, in order.
+        let mut plan_triples = 0u64;
+        for c in sched.chunks() {
+            for d in sched.chunk_plan(c) {
+                plan_triples += d.groups as u64;
+            }
+        }
+        assert_eq!(plan_triples, cs.total_triples());
+    }
+
+    #[test]
+    fn sparse_chunking_is_independent_of_workers_and_batch() {
+        let g = generators::erdos_renyi(60, 0.2, 3);
+        let cs = Arc::new(CandidateSet::from_graph(&g));
+        let base =
+            CountScheduler::with_plan(60, 1, 0, SchedulePlan::CandidatePairs(Arc::clone(&cs)));
+        for (workers, batch) in [(2usize, 1usize), (4, 7), (0, 0)] {
+            let other = CountScheduler::with_plan(
+                60,
+                workers,
+                batch,
+                SchedulePlan::CandidatePairs(Arc::clone(&cs)),
+            );
+            assert_eq!(other.chunks(), base.chunks());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate set dimension")]
+    fn mismatched_candidate_dimension_panics() {
+        let cs = Arc::new(CandidateSet::complete(5));
+        CountScheduler::with_plan(6, 1, 0, SchedulePlan::CandidatePairs(cs));
     }
 }

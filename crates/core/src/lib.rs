@@ -57,23 +57,27 @@ pub mod protocol;
 pub mod theory;
 
 pub use cargo_mpc::{Backpressure, OfflineMode, PoolPolicy, PoolStats};
-pub use config::{CargoConfig, CountKernel, TransportKind};
+pub use config::{CargoConfig, CountKernel, ScheduleKind, TransportKind};
 pub use count::{
     secure_triangle_count, secure_triangle_count_batched, secure_triangle_count_kernel,
-    secure_triangle_count_pooled, secure_triangle_count_with, SecureCountResult,
+    secure_triangle_count_planned, secure_triangle_count_pooled,
+    secure_triangle_count_pooled_planned, secure_triangle_count_with, SecureCountResult,
 };
 pub use count_runtime::{
-    party_input_shares, run_party_count, run_party_count_pooled, threaded_secure_count,
-    threaded_secure_count_offline, threaded_secure_count_pooled, threaded_secure_count_sharded,
-    threaded_secure_count_tcp, threaded_secure_count_tcp_pooled,
+    party_input_shares, run_party_count, run_party_count_planned, run_party_count_pooled,
+    threaded_secure_count, threaded_secure_count_offline, threaded_secure_count_planned,
+    threaded_secure_count_pooled, threaded_secure_count_sharded, threaded_secure_count_tcp,
+    threaded_secure_count_tcp_planned, threaded_secure_count_tcp_pooled,
 };
 pub use party::{run_party, run_party_local, PartyReport};
 pub use count_sampled::{
     secure_triangle_count_sampled, secure_triangle_count_sampled_batched,
-    secure_triangle_count_sampled_kernel, secure_triangle_count_sampled_with,
-    SampledCountResult,
+    secure_triangle_count_sampled_kernel, secure_triangle_count_sampled_planned,
+    secure_triangle_count_sampled_with, SampledCountResult,
 };
-pub use count_sched::{CountScheduler, PairChunk, DEFAULT_COUNT_BATCH};
+pub use count_sched::{
+    CandidateSet, CountScheduler, PairChunk, SchedulePlan, DEFAULT_COUNT_BATCH,
+};
 pub use max_degree::{estimate_max_degree, MaxDegreeEstimate};
 pub use metrics::{l2_loss, relative_error};
 pub use perturb::{aggregate_noise_shares, perturb, PerturbResult};

@@ -34,8 +34,9 @@
 //! diffs the two processes' transcripts against an in-memory
 //! reference run ([`run_party_local`]) line by line.
 
-use crate::config::CargoConfig;
-use crate::count_runtime::run_party_count_pooled;
+use crate::config::{CargoConfig, ScheduleKind};
+use crate::count_runtime::run_party_count_planned;
+use crate::count_sched::{CandidateSet, SchedulePlan};
 use crate::perturb::aggregate_noise_shares;
 use crate::protocol::{count_sensitivity, max_and_project, COUNT_SEED_TWEAK, NOISE_SEED_TWEAK};
 use cargo_dp::FixedPointCodec;
@@ -103,8 +104,17 @@ pub fn run_party<T: Transport>(
 
     // ---- Step 2: ASS-based triangle counting (over the wire; with
     // --factory-threads in OT mode, preprocessing runs on this
-    // party's local background triple pool instead) ----
-    let count = run_party_count_pooled(
+    // party's local background triple pool instead). Both parties
+    // derive the projected matrix from the same public seed, so each
+    // builds the identical sparse candidate plan locally — the plan is
+    // a pure function of shared public state, never a message. ----
+    let plan = match cfg.schedule {
+        ScheduleKind::Dense => SchedulePlan::DenseCube,
+        ScheduleKind::Sparse => {
+            SchedulePlan::CandidatePairs(Arc::new(CandidateSet::from_support(&projected)))
+        }
+    };
+    let count = run_party_count_planned(
         &projected,
         cfg.seed ^ COUNT_SEED_TWEAK,
         cfg.effective_threads(),
@@ -113,6 +123,7 @@ pub fn run_party<T: Transport>(
         role,
         link,
         cfg.pool_policy(),
+        plan,
     );
     let count_share = match role {
         ServerId::S1 => count.share1,
@@ -254,6 +265,24 @@ mod tests {
         assert!(p1.pool.fills > 0, "the factory actually ran");
         assert_eq!(p1.pool, p2.pool, "both parties' pools fill identically");
         assert_eq!(i1.pool, cargo_mpc::PoolStats::default());
+    }
+
+    #[test]
+    fn sparse_party_pipeline_opens_the_dense_noisy_count() {
+        let g = barabasi_albert(70, 4, 13);
+        let base = CargoConfig::new(2.0).with_seed(6).with_threads(2);
+        let (d1, _) = run_party_local(&g, &base);
+        let sparse_cfg = base.with_schedule(crate::ScheduleKind::Sparse);
+        let mono = CargoSystem::new(sparse_cfg).run(&g);
+        let (s1, s2) = run_party_local(&g, &sparse_cfg);
+        // Same release as the dense schedule, same ledger as the
+        // sparse monolithic run, far fewer evaluated triples.
+        assert_eq!(s1.noisy_count, d1.noisy_count, "schedule-invariant release");
+        assert_eq!(s1.noisy_count, mono.noisy_count);
+        assert_eq!(s1.net, mono.net, "party ledger == sparse monolithic ledger");
+        assert_eq!(s2.net, mono.net);
+        assert_eq!(s1.net.wire_bytes, s1.net.online().bytes, "measured == modeled");
+        assert!(s1.triples < d1.triples / 10, "{} vs {}", s1.triples, d1.triples);
     }
 
     #[test]

@@ -14,10 +14,12 @@
 //! because this is a reproduction and the experiments must decompose
 //! the error into projection loss vs perturbation error (Theorems 5/6).
 
-use crate::config::{CargoConfig, CountKernel, TransportKind};
-use crate::count::{secure_triangle_count_kernel, secure_triangle_count_pooled};
-use crate::count_runtime::{threaded_secure_count_tcp, threaded_secure_count_tcp_pooled};
+use crate::config::{CargoConfig, CountKernel, ScheduleKind, TransportKind};
+use crate::count::{secure_triangle_count_planned, secure_triangle_count_pooled_planned};
+use crate::count_runtime::threaded_secure_count_tcp_planned;
+use crate::count_sched::{CandidateSet, SchedulePlan};
 use cargo_mpc::OfflineMode;
+use std::sync::Arc;
 use crate::max_degree::{estimate_max_degree, MaxDegreeEstimate};
 use crate::perturb::{perturb, PerturbInputs};
 use crate::projection::project_matrix;
@@ -211,25 +213,40 @@ impl CargoSystem {
                  (the trusted dealer has no offline phase to pool); running inline"
             );
         }
+        // The Count schedule: the fully-oblivious dense cube, or the
+        // candidate-driven sparse walk over the projected support
+        // (modeling a deployment where the candidate structure is
+        // public — see PROTOCOL.md § "Sparse Count schedule" for the
+        // leakage analysis). Surviving-triple shares are bit-identical
+        // either way, so the reconstructed count — and hence the noisy
+        // release — does not depend on this choice.
+        let plan = match cfg.schedule {
+            ScheduleKind::Dense => SchedulePlan::DenseCube,
+            ScheduleKind::Sparse => {
+                SchedulePlan::CandidatePairs(Arc::new(CandidateSet::from_support(&projected)))
+            }
+        };
         let count = match cfg.transport {
             TransportKind::Memory => {
                 if pool_policy.enabled() && cfg.offline == OfflineMode::OtExtension {
-                    secure_triangle_count_pooled(
+                    secure_triangle_count_pooled_planned(
                         &projected,
                         cfg.seed ^ COUNT_SEED_TWEAK,
                         cfg.effective_threads(),
                         cfg.effective_batch(),
                         cfg.kernel,
                         pool_policy,
+                        plan,
                     )
                 } else {
-                    secure_triangle_count_kernel(
+                    secure_triangle_count_planned(
                         &projected,
                         cfg.seed ^ COUNT_SEED_TWEAK,
                         cfg.effective_threads(),
                         cfg.effective_batch(),
                         cfg.offline,
                         cfg.kernel,
+                        plan,
                     )
                 }
             }
@@ -246,23 +263,17 @@ impl CargoSystem {
                         cfg.kernel
                     );
                 }
-                if pool_policy.enabled() && cfg.offline == OfflineMode::OtExtension {
-                    threaded_secure_count_tcp_pooled(
-                        &projected,
-                        cfg.seed ^ COUNT_SEED_TWEAK,
-                        cfg.effective_threads(),
-                        cfg.effective_batch(),
-                        pool_policy,
-                    )
-                } else {
-                    threaded_secure_count_tcp(
-                        &projected,
-                        cfg.seed ^ COUNT_SEED_TWEAK,
-                        cfg.effective_threads(),
-                        cfg.effective_batch(),
-                        cfg.offline,
-                    )
-                }
+                // The runtime ignores the pool knob outside OT mode,
+                // matching the warning above.
+                threaded_secure_count_tcp_planned(
+                    &projected,
+                    cfg.seed ^ COUNT_SEED_TWEAK,
+                    cfg.effective_threads(),
+                    cfg.effective_batch(),
+                    cfg.offline,
+                    pool_policy,
+                    plan,
+                )
             }
         };
         let t_count = t0.elapsed();
@@ -419,6 +430,27 @@ mod tests {
         assert_eq!(tcp.projected_count, mem.projected_count);
         assert_eq!(tcp.net, mem.net, "measured wire == modeled ledger");
         assert_eq!(tcp.net.wire_bytes, tcp.net.online().bytes);
+    }
+
+    #[test]
+    fn sparse_schedule_releases_the_same_noisy_count_for_far_fewer_triples() {
+        use crate::ScheduleKind;
+        let g = barabasi_albert(120, 4, 17);
+        let base = CargoConfig::new(2.0).with_seed(8).with_threads(2);
+        let dense = CargoSystem::new(base).run(&g);
+        let sparse = CargoSystem::new(base.with_schedule(ScheduleKind::Sparse)).run(&g);
+        // The non-candidate triples contribute exactly zero to the
+        // reconstruction, so skipping them changes the release not at
+        // all — while the evaluated triple count collapses from C(n,3)
+        // to the candidate mass.
+        assert_eq!(sparse.noisy_count, dense.noisy_count, "bit-identical release");
+        assert_eq!(sparse.projected_count, dense.projected_count);
+        assert!(
+            sparse.net.elements < dense.net.elements / 10,
+            "sparse {} vs dense {} online elements",
+            sparse.net.elements,
+            dense.net.elements
+        );
     }
 
     #[test]

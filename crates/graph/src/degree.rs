@@ -5,6 +5,7 @@
 //! algorithms, whose behaviour is governed entirely by node degrees.
 
 use crate::graph::Graph;
+use crate::triangles::sorted_intersection_count;
 
 /// Returns the degree sequence of `g` in node order.
 pub fn degree_sequence(g: &Graph) -> Vec<usize> {
@@ -102,9 +103,7 @@ pub fn triangle_homogeneity(g: &Graph) -> Option<(f64, f64)> {
         let ds = (du - dv).abs() / du;
         all_sum += ds;
         all_cnt += 1;
-        let common = g
-            .adjacency_row(u)
-            .intersection_count(&g.adjacency_row(v));
+        let common = sorted_intersection_count(g.neighbors(u), g.neighbors(v));
         if common > 0 {
             tri_sum += ds;
             tri_cnt += 1;

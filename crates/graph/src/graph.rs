@@ -200,6 +200,39 @@ impl GraphBuilder {
         }
     }
 
+    /// New builder whose node count grows with the edges streamed into
+    /// it (`n` = one past the largest endpoint seen) — lets readers
+    /// stream an edge file straight into a single adjacency structure
+    /// without a pre-scan (or an intermediate copy) to learn `n`.
+    pub fn new_growable() -> Self {
+        GraphBuilder {
+            n: 0,
+            adj: Vec::new(),
+        }
+    }
+
+    /// Extends the node count to at least `n` (no-op when already
+    /// large enough). Used after streaming to cover nodes that were
+    /// observed but contributed no edge (e.g. only self-loops).
+    pub fn grow_to(&mut self, n: usize) {
+        if n > self.n {
+            self.n = n;
+            self.adj.resize_with(n, Vec::new);
+        }
+    }
+
+    /// Adds undirected edge `{u, v}`, growing the node count to cover
+    /// both endpoints. Self-loops are still rejected.
+    pub fn add_edge_growing(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        self.grow_to(u.max(v) + 1);
+        self.adj[u].push(v as u32);
+        self.adj[v].push(u as u32);
+        Ok(())
+    }
+
     /// Adds undirected edge `{u, v}`. Duplicates are ignored silently
     /// (they are collapsed at `build` time).
     pub fn add_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError> {

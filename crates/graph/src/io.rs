@@ -26,7 +26,10 @@ pub fn read_edge_list(path: &Path) -> Result<Graph, GraphError> {
 /// Reads a SNAP-format edge list from any buffered reader.
 pub fn read_edge_list_from<R: BufRead>(reader: R) -> Result<Graph, GraphError> {
     let mut ids: HashMap<u64, usize> = HashMap::new();
-    let mut edges: Vec<(usize, usize)> = Vec::new();
+    // Stream edges straight into the builder: peak memory is one
+    // adjacency structure (plus the relabelling map), not a raw edge
+    // Vec *and* the adjacency it is replayed into.
+    let mut b = GraphBuilder::new_growable();
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
         let trimmed = line.trim();
@@ -51,14 +54,11 @@ pub fn read_edge_list_from<R: BufRead>(reader: R) -> Result<Graph, GraphError> {
         let next_id = ids.len();
         let vi = *ids.entry(v).or_insert(next_id);
         if ui != vi {
-            edges.push((ui, vi));
+            b.add_edge_growing(ui, vi)?;
         }
     }
-    let n = ids.len();
-    let mut b = GraphBuilder::new(n);
-    for (u, v) in edges {
-        b.add_edge(u, v)?;
-    }
+    // Nodes that only ever appeared in self-loop lines still count.
+    b.grow_to(ids.len());
     Ok(b.build())
 }
 

@@ -9,6 +9,10 @@
 //! * [`BitMatrix`] / [`BitVec`] — packed adjacency bit vectors: the paper
 //!   models each user `v_i` as owning an *adjacent bit vector*
 //!   `A_i = {a_i1, ..., a_in}`; the secure protocols operate on these.
+//! * [`CsrGraph`] — a compressed-sparse-row view with a degree-ordered
+//!   orientation and wedge enumeration: the substrate of the *sparse*
+//!   Count schedule, which touches only the triples a public candidate
+//!   structure admits instead of the full `n³` cube.
 //! * [`generators`] — synthetic graph models (Erdős–Rényi,
 //!   Barabási–Albert, Chung–Lu, Watts–Strogatz) and SNAP-calibrated
 //!   presets standing in for the paper's datasets when the real edge
@@ -24,6 +28,7 @@
 
 pub mod bitvec;
 pub mod components;
+pub mod csr;
 pub mod degree;
 pub mod error;
 pub mod generators;
@@ -33,6 +38,7 @@ pub mod triangles;
 
 pub use bitvec::{BitMatrix, BitVec};
 pub use components::{connected_components, largest_component, random_induced_subgraph};
+pub use csr::CsrGraph;
 pub use degree::{degree_sequence, DegreeStats};
 pub use error::GraphError;
 pub use graph::{Graph, GraphBuilder};

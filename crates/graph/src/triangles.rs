@@ -34,9 +34,31 @@ pub fn count_triangles(g: &Graph) -> u64 {
 }
 
 /// Number of common elements `> floor` of two sorted slices.
-fn sorted_intersection_above(a: &[u32], b: &[u32], floor: u32) -> u64 {
+pub(crate) fn sorted_intersection_above(a: &[u32], b: &[u32], floor: u32) -> u64 {
     let mut i = a.partition_point(|&x| x <= floor);
     let mut j = b.partition_point(|&x| x <= floor);
+    let mut count = 0u64;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Number of common elements of two sorted slices
+/// (`|N(u) ∩ N(v)|` for neighbour lists — the triangles edge `(u,v)`
+/// closes). The merge walk costs `O(d_u + d_v)` and allocates nothing,
+/// unlike materialising two n-bit adjacency rows per edge.
+pub(crate) fn sorted_intersection_count(a: &[u32], b: &[u32]) -> u64 {
+    let mut i = 0usize;
+    let mut j = 0usize;
     let mut count = 0u64;
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -131,7 +153,7 @@ pub fn local_triangle_counts(g: &Graph) -> Vec<u64> {
 pub fn edge_triangle_counts(g: &Graph) -> Vec<((usize, usize), u64)> {
     g.edges()
         .map(|(u, v)| {
-            let c = g.adjacency_row(u).intersection_count(&g.adjacency_row(v)) as u64;
+            let c = sorted_intersection_count(g.neighbors(u), g.neighbors(v));
             ((u, v), c)
         })
         .collect()

@@ -172,6 +172,19 @@ impl PairDealer {
         self.rng.fill_block(out);
     }
 
+    /// Advances the stream past `groups` Multiplication Groups without
+    /// computing them — O(1) in `groups`, because SplitMix64 is a
+    /// counter PRG. This is what lets a *sparse* Count schedule draw a
+    /// pair's group for triple `(i, j, k)` at its **canonical** stream
+    /// position `k − j − 1` (the offset the dense cube would use)
+    /// while paying nothing for the skipped, non-candidate `k`s — so a
+    /// surviving triple's material is bit-identical under every
+    /// schedule.
+    #[inline]
+    pub fn skip_groups(&mut self, groups: usize) {
+        self.rng.skip(MG_WORDS * groups);
+    }
+
     /// The fused hot kernel of the batched Count: evaluates one
     /// `k`-block of Multiplication-Group protocols directly against
     /// this stream ([`crate::triple_mul::mul3_batch_stream`]), drawing

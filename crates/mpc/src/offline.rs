@@ -211,16 +211,39 @@ pub fn beaver_block_ledger(block: u64) -> OfflineLedger {
 
 /// One pair's contribution to a chunk's preprocessing plan: draw
 /// `groups` Multiplication Groups from pair `(i, j)`'s canonical
-/// [`PairDealer`] stream (the full `k`-range for the exact count, the
-/// sampled count for the sampled estimator).
+/// [`PairDealer`] stream, starting `start` groups into it.
+///
+/// The dense cube and the full `k`-range of the exact count use
+/// `start = 0`; a sparse or sampled schedule emits one draw per
+/// *contiguous run* of surviving `k`s, with `start = k₀ − j − 1` —
+/// the canonical position the dense cube would have used — so the
+/// material of a surviving triple is bit-identical under every
+/// schedule (the stream seek is O(1), see
+/// [`PairDealer::skip_groups`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MgDraw {
     /// Outer pair index `i`.
     pub i: u32,
     /// Outer pair index `j`.
     pub j: u32,
+    /// Canonical group offset into the pair's stream at which this
+    /// draw begins (`0` for the dense cube).
+    pub start: u32,
     /// Multiplication Groups to draw from this pair's stream.
     pub groups: u32,
+}
+
+impl MgDraw {
+    /// A draw of a pair's first `groups` canonical groups — the dense
+    /// full-`k`-range shape.
+    pub fn dense(i: u32, j: u32, groups: u32) -> Self {
+        MgDraw {
+            i,
+            j,
+            start: 0,
+            groups,
+        }
+    }
 }
 
 /// Splits a chunk plan into flights of at most [`MAX_FLIGHT_GROUPS`]
@@ -326,10 +349,10 @@ fn advance(stage: &mut Stage, want: Stage, next: Stage) {
 }
 
 /// Draws the canonical dealer words for one flight into `words`:
-/// each [`MgDraw`]'s groups from its own pair stream, concatenated in
-/// plan order. Both party machines call this with the same plan, so
-/// both hold the same canonical buffer (each uses only its own share
-/// columns of it).
+/// each [`MgDraw`]'s groups from its own pair stream — seeked to the
+/// draw's canonical `start` offset — concatenated in plan order. Both
+/// party machines call this with the same plan, so both hold the same
+/// canonical buffer (each uses only its own share columns of it).
 fn draw_flight_words(root: u64, flight: &[MgDraw], words: &mut Vec<u64>) -> usize {
     let total: usize = flight.iter().map(|d| d.groups as usize).sum();
     assert!(total > 0, "empty offline flight");
@@ -337,7 +360,9 @@ fn draw_flight_words(root: u64, flight: &[MgDraw], words: &mut Vec<u64>) -> usiz
     let mut off = 0usize;
     for d in flight {
         let span = MG_WORDS * d.groups as usize;
-        PairDealer::for_pair(root, d.i, d.j).fill_words(&mut words[off..off + span]);
+        let mut dealer = PairDealer::for_pair(root, d.i, d.j);
+        dealer.skip_groups(d.start as usize);
+        dealer.fill_words(&mut words[off..off + span]);
         off += span;
     }
     total
@@ -822,6 +847,15 @@ impl MgChunkMaterial {
         let range = self.offsets[idx]..self.offsets[idx + 1];
         (&self.g1[range.clone()], &self.g2[range])
     }
+
+    /// Both servers' group slices spanning the plan entries `range` —
+    /// contiguous because material is laid out in plan order. Sparse
+    /// schedules use this to view all of one pair's `k`-runs (which
+    /// are consecutive plan entries) as a single slice.
+    pub fn draws(&self, range: std::ops::Range<usize>) -> (&[MulGroupShare], &[MulGroupShare]) {
+        let span = self.offsets[range.start]..self.offsets[range.end];
+        (&self.g1[span.clone()], &self.g2[span])
+    }
 }
 
 /// In-process driver of the chunk-amortised MG offline session: runs
@@ -994,9 +1028,9 @@ mod tests {
         // correct (S₂'s shares are built from OT outputs, not from the
         // stream).
         let plan = [
-            MgDraw { i: 0, j: 1, groups: 3 },
-            MgDraw { i: 3, j: 7, groups: 1 },
-            MgDraw { i: 100, j: 2, groups: 8 },
+            MgDraw::dense(0, 1, 3),
+            MgDraw::dense(3, 7, 1),
+            MgDraw::dense(100, 2, 8),
         ];
         let mut engine = OtMgEngine::for_chunk(42, 9);
         let material = engine.preprocess(&plan);
@@ -1014,12 +1048,48 @@ mod tests {
     }
 
     #[test]
+    fn start_offset_draws_land_on_the_canonical_stream_positions() {
+        // A sparse schedule draws a pair's groups at their *canonical*
+        // offsets (k − j − 1), not packed from zero. A draw with
+        // `start: s` must therefore equal the dealer stream skipped
+        // past s groups — byte-for-byte, on both shares — and mixing
+        // offset draws with dense ones in one flight must not disturb
+        // either.
+        let plan = [
+            MgDraw { i: 4, j: 9, start: 17, groups: 3 },
+            MgDraw::dense(4, 9, 2),
+            MgDraw { i: 8, j: 1, start: 1, groups: 5 },
+        ];
+        let mut engine = OtMgEngine::for_chunk(99, 3);
+        let material = engine.preprocess(&plan);
+        for (idx, d) in plan.iter().enumerate() {
+            let mut dealer = PairDealer::for_pair(99, d.i, d.j);
+            dealer.skip_groups(d.start as usize);
+            let (g1s, g2s) = material.pair(idx);
+            assert_eq!(g1s.len(), d.groups as usize);
+            for (k, (g1, g2)) in g1s.iter().zip(g2s).enumerate() {
+                let (d1, d2) = dealer.next_group_pair();
+                assert_eq!(*g1, d1, "S1 pair ({},{}) offset {}", d.i, d.j, d.start as usize + k);
+                assert_eq!(*g2, d2, "S2 pair ({},{}) offset {}", d.i, d.j, d.start as usize + k);
+            }
+        }
+        // skip_groups(s) then draw == draw s+g then discard the prefix.
+        let mut skipped = PairDealer::for_pair(99, 4, 9);
+        skipped.skip_groups(17);
+        let mut walked = PairDealer::for_pair(99, 4, 9);
+        for _ in 0..17 {
+            walked.next_group_pair();
+        }
+        assert_eq!(skipped.next_group_pair(), walked.next_group_pair());
+    }
+
+    #[test]
     fn session_keying_does_not_leak_into_the_shares() {
         // Different session ids (as different chunk partitions would
         // produce) must still derandomise onto the same canonical
         // streams — the reason the offline ledger can amortise by
         // chunk while the shares stay schedule-invariant.
-        let plan = [MgDraw { i: 2, j: 5, groups: 4 }];
+        let plan = [MgDraw::dense(2, 5, 4)];
         let a = OtMgEngine::for_chunk(7, 0).preprocess(&plan);
         let b = OtMgEngine::for_chunk(7, 31).preprocess(&plan);
         assert_eq!(a.pair(0), b.pair(0));
@@ -1027,7 +1097,7 @@ mod tests {
 
     #[test]
     fn ot_groups_satisfy_all_product_relations() {
-        let plan = [MgDraw { i: 1, j: 2, groups: 16 }];
+        let plan = [MgDraw::dense(1, 2, 16)];
         let mut engine = OtMgEngine::for_chunk(7, 0);
         let material = engine.preprocess(&plan);
         let (g1s, g2s) = material.pair(0);
@@ -1048,8 +1118,8 @@ mod tests {
         // five-round dialogue — the amortisation the per-pair engine
         // could not offer.
         let plan = [
-            MgDraw { i: 0, j: 1, groups: 4 },
-            MgDraw { i: 0, j: 2, groups: 1 },
+            MgDraw::dense(0, 1, 4),
+            MgDraw::dense(0, 2, 1),
         ];
         let mut engine = OtMgEngine::for_chunk(1, 0);
         engine.preprocess(&plan);
@@ -1067,10 +1137,10 @@ mod tests {
     #[test]
     fn oversized_plans_split_into_flights_at_pair_boundaries() {
         let plan = [
-            MgDraw { i: 0, j: 1, groups: 300 },
-            MgDraw { i: 0, j: 2, groups: 200 },
-            MgDraw { i: 0, j: 3, groups: 600 }, // alone over the cap
-            MgDraw { i: 0, j: 4, groups: 5 },
+            MgDraw::dense(0, 1, 300),
+            MgDraw::dense(0, 2, 200),
+            MgDraw::dense(0, 3, 600), // alone over the cap
+            MgDraw::dense(0, 4, 5),
         ];
         let flights = plan_flights(&plan);
         assert_eq!(flights, vec![0..2, 2..3, 3..4]);
@@ -1088,8 +1158,8 @@ mod tests {
         // A plan big enough to split must yield the same shares as the
         // same draws in separate small sessions.
         let big = [
-            MgDraw { i: 1, j: 2, groups: 1500 },
-            MgDraw { i: 1, j: 3, groups: 1500 },
+            MgDraw::dense(1, 2, 1500),
+            MgDraw::dense(1, 3, 1500),
         ];
         let mut engine = OtMgEngine::for_chunk(5, 2);
         let material = engine.preprocess(&big);
@@ -1136,10 +1206,10 @@ mod tests {
         let mut s1 = MgOfflineS1::for_chunk(root, 3);
         let mut s2 = MgOfflineS2::for_chunk(root, 3);
         let flights = [
-            vec![MgDraw { i: 2, j: 9, groups: 2 }],
+            vec![MgDraw::dense(2, 9, 2)],
             vec![
-                MgDraw { i: 2, j: 10, groups: 3 },
-                MgDraw { i: 2, j: 11, groups: 2 },
+                MgDraw::dense(2, 10, 3),
+                MgDraw::dense(2, 11, 2),
             ],
         ];
         for flight in &flights {
@@ -1173,8 +1243,8 @@ mod tests {
         // measured offline payload bytes equal the modeled ledger.
         use crate::transport::{memory_pair, Transport};
         let plan = [
-            MgDraw { i: 0, j: 1, groups: 3 },
-            MgDraw { i: 4, j: 7, groups: 5 },
+            MgDraw::dense(0, 1, 3),
+            MgDraw::dense(4, 7, 5),
         ];
         let (end1, end2) = memory_pair();
         let (g1, g2, l1) = std::thread::scope(|scope| {
@@ -1224,7 +1294,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "consistency hash")]
     fn tampered_transcript_is_detected() {
-        let flight = [MgDraw { i: 0, j: 1, groups: 1 }];
+        let flight = [MgDraw::dense(0, 1, 1)];
         let mut s1 = MgOfflineS1::for_chunk(3, 0);
         let mut s2 = MgOfflineS2::for_chunk(3, 0);
         let u1 = s1.ucols(&flight);
@@ -1239,7 +1309,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "empty draw")]
     fn zero_group_draws_are_rejected() {
-        plan_flights(&[MgDraw { i: 0, j: 1, groups: 0 }]);
+        plan_flights(&[MgDraw::dense(0, 1, 0)]);
     }
 
     #[test]

@@ -416,16 +416,8 @@ mod tests {
         (0..6u32)
             .map(|c| {
                 vec![
-                    MgDraw {
-                        i: 0,
-                        j: 1 + c,
-                        groups: 3,
-                    },
-                    MgDraw {
-                        i: 1,
-                        j: 2 + c,
-                        groups: 2,
-                    },
+                    MgDraw::dense(0, 1 + c, 3),
+                    MgDraw::dense(1, 2 + c, 2),
                 ]
             })
             .collect()

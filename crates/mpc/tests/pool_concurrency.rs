@@ -28,11 +28,7 @@ fn chunk_plans(chunks: usize, pairs: u32, groups: u32) -> Vec<Vec<MgDraw>> {
     (0..chunks as u32)
         .map(|c| {
             (0..pairs)
-                .map(|p| MgDraw {
-                    i: c,
-                    j: c + p + 1,
-                    groups: 1 + (groups + p) % 5,
-                })
+                .map(|p| MgDraw::dense(c, c + p + 1, 1 + (groups + p) % 5))
                 .collect()
         })
         .collect()

@@ -20,8 +20,10 @@
 //! measured `wire_bytes` are identical on both sides by construction);
 //! everything else goes to stderr.
 
-use cargo_core::{run_party, run_party_local, CargoConfig, PartyReport};
+use cargo_core::{run_party, run_party_local, CargoConfig, PartyReport, ScheduleKind};
+use cargo_graph::generators::chung_lu;
 use cargo_graph::generators::presets::SnapDataset;
+use cargo_graph::Graph;
 use cargo_mpc::{ServerId, TcpConfig, TcpTransport};
 use cargo_repro as _;
 use std::net::TcpListener;
@@ -35,11 +37,40 @@ enum Role {
     Local,
 }
 
+/// Where the input graph comes from. SNAP presets top out around 12k
+/// nodes; `powerlaw` synthesizes a heavy-tailed Chung–Lu graph at any
+/// `--n`, which is the large-graph entry point for `--schedule sparse`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GraphSource {
+    Snap(SnapDataset),
+    PowerLaw,
+}
+
+impl GraphSource {
+    /// Builds the n-node input graph. Both parties run this from the
+    /// same public flags, so they derive identical inputs.
+    fn build(self, n: usize, seed: u64, data_dir: Option<&std::path::Path>) -> (Graph, String) {
+        match self {
+            GraphSource::Snap(ds) => {
+                let (full, origin) = ds.load_or_synthesize(data_dir, seed);
+                (full.induced_prefix(n), format!("{ds:?} ({origin:?})"))
+            }
+            GraphSource::PowerLaw => {
+                let d_max = ((n as f64).sqrt() * 2.0) as usize;
+                (
+                    chung_lu(n, 4 * n, d_max.max(8), 2.5, seed),
+                    "PowerLaw (Synthetic)".to_string(),
+                )
+            }
+        }
+    }
+}
+
 struct Args {
     role: Role,
     listen: Option<String>,
     connect: Option<String>,
-    dataset: SnapDataset,
+    dataset: GraphSource,
     n: usize,
     epsilon: f64,
     seed: u64,
@@ -49,18 +80,20 @@ struct Args {
     factory_threads: usize,
     pool_depth: usize,
     pool_backpressure: cargo_mpc::Backpressure,
+    schedule: ScheduleKind,
     data_dir: Option<PathBuf>,
     no_projection: bool,
 }
 
 fn usage() -> String {
     "usage: party --role s1|s2|local [--listen ADDR | --connect ADDR]\n\
-     \x20      [--dataset facebook|wiki|hepph|enron (default facebook)]\n\
+     \x20      [--dataset facebook|wiki|hepph|enron|powerlaw (default facebook)]\n\
      \x20      [--n <users=200>] [--epsilon <e=2.0>] [--seed <s=0>]\n\
      \x20      [--threads <w=1>] [--batch <b=0 (default 64)>]\n\
      \x20      [--offline-mode dealer|ot] [--data-dir <snap-dir>] [--no-projection]\n\
      \x20      [--factory-threads <f=0 (inline)>] [--pool-depth <d=0 (default 4)>]\n\
      \x20      [--pool-backpressure block|fail-fast]\n\
+     \x20      [--schedule dense|sparse (default dense)]\n\
      \n\
      s1 listens, s2 connects (either may take --listen or --connect);\n\
      local runs both parties in-process over the in-memory transport\n\
@@ -68,14 +101,15 @@ fn usage() -> String {
         .to_string()
 }
 
-fn parse_dataset(s: &str) -> Result<SnapDataset, String> {
+fn parse_dataset(s: &str) -> Result<GraphSource, String> {
     match s.to_ascii_lowercase().as_str() {
-        "facebook" => Ok(SnapDataset::Facebook),
-        "wiki" => Ok(SnapDataset::Wiki),
-        "hepph" => Ok(SnapDataset::HepPh),
-        "enron" => Ok(SnapDataset::Enron),
+        "facebook" => Ok(GraphSource::Snap(SnapDataset::Facebook)),
+        "wiki" => Ok(GraphSource::Snap(SnapDataset::Wiki)),
+        "hepph" => Ok(GraphSource::Snap(SnapDataset::HepPh)),
+        "enron" => Ok(GraphSource::Snap(SnapDataset::Enron)),
+        "powerlaw" => Ok(GraphSource::PowerLaw),
         other => Err(format!(
-            "unknown dataset {other:?} (expected facebook|wiki|hepph|enron)"
+            "unknown dataset {other:?} (expected facebook|wiki|hepph|enron|powerlaw)"
         )),
     }
 }
@@ -85,7 +119,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         role: Role::Local,
         listen: None,
         connect: None,
-        dataset: SnapDataset::Facebook,
+        dataset: GraphSource::Snap(SnapDataset::Facebook),
         n: 200,
         epsilon: 2.0,
         seed: 0,
@@ -95,6 +129,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         factory_threads: 0,
         pool_depth: 0,
         pool_backpressure: cargo_mpc::Backpressure::Block,
+        schedule: ScheduleKind::Dense,
         data_dir: None,
         no_projection: false,
     };
@@ -152,6 +187,11 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.pool_backpressure = take(&mut i)?
                     .parse()
                     .map_err(|e: String| format!("--pool-backpressure: {e}"))?
+            }
+            "--schedule" => {
+                args.schedule = take(&mut i)?
+                    .parse()
+                    .map_err(|e: String| format!("--schedule: {e}"))?
             }
             "--data-dir" => args.data_dir = Some(PathBuf::from(take(&mut i)?)),
             "--no-projection" => args.no_projection = true,
@@ -228,14 +268,12 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let (full, origin) = args
+    let (graph, dataset_label) = args
         .dataset
-        .load_or_synthesize(args.data_dir.as_deref(), args.seed);
-    let graph = full.induced_prefix(args.n);
+        .build(args.n, args.seed, args.data_dir.as_deref());
     eprintln!(
-        "[party] dataset={:?} ({origin:?}) n={} edges={} seed={} threads={} batch={} offline={} \
-         factory_threads={} pool_depth={} pool_backpressure={}",
-        args.dataset,
+        "[party] dataset={dataset_label} n={} edges={} seed={} threads={} batch={} offline={} \
+         factory_threads={} pool_depth={} pool_backpressure={} schedule={}",
         graph.n(),
         graph.edge_count(),
         args.seed,
@@ -245,6 +283,7 @@ fn main() {
         args.factory_threads,
         args.pool_depth,
         args.pool_backpressure,
+        args.schedule,
     );
     let mut cfg = CargoConfig::new(args.epsilon)
         .with_seed(args.seed)
@@ -253,7 +292,8 @@ fn main() {
         .with_offline(args.offline)
         .with_factory_threads(args.factory_threads)
         .with_pool_depth(args.pool_depth)
-        .with_pool_backpressure(args.pool_backpressure);
+        .with_pool_backpressure(args.pool_backpressure)
+        .with_schedule(args.schedule);
     if args.no_projection {
         cfg = cfg.without_projection();
     }
