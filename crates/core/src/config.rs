@@ -1,6 +1,6 @@
 //! Configuration of a CARGO run.
 
-use cargo_dp::{EpsilonSplit, PrivacyBudget};
+use cargo_dp::{Composition, EpsilonSplit, PrivacyBudget};
 use cargo_mpc::{Backpressure, OfflineMode, PoolPolicy};
 
 /// Selects the inner evaluation kernel of the Count phase.
@@ -220,6 +220,13 @@ pub struct CargoConfig {
     /// the public support. Shares of surviving triples are
     /// bit-identical either way.
     pub schedule: ScheduleKind,
+    /// Continuous-release horizon: how many delta epochs `--mode
+    /// serve` budgets for. Ignored by the one-shot pipeline.
+    pub horizon: u64,
+    /// How per-epoch releases compose against ε in serve mode: an even
+    /// fixed split or the binary-tree mechanism. Ignored by the
+    /// one-shot pipeline.
+    pub composition: Composition,
 }
 
 impl CargoConfig {
@@ -240,7 +247,33 @@ impl CargoConfig {
             pool_depth: 0,
             pool_backpressure: Backpressure::Block,
             schedule: ScheduleKind::Dense,
+            horizon: 16,
+            composition: Composition::Fixed,
         }
+    }
+
+    /// Sets the continuous-release horizon (serve mode).
+    ///
+    /// ```
+    /// use cargo_core::CargoConfig;
+    /// assert_eq!(CargoConfig::new(2.0).with_horizon(8).horizon, 8);
+    /// ```
+    pub fn with_horizon(mut self, horizon: u64) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Selects the per-epoch composition scheme (serve mode).
+    ///
+    /// ```
+    /// use cargo_core::CargoConfig;
+    /// use cargo_dp::Composition;
+    /// let cfg = CargoConfig::new(2.0).with_composition(Composition::BinaryTree);
+    /// assert_eq!(cfg.composition, Composition::BinaryTree);
+    /// ```
+    pub fn with_composition(mut self, composition: Composition) -> Self {
+        self.composition = composition;
+        self
     }
 
     /// Sets the RNG seed.

@@ -181,6 +181,49 @@ impl CandidateSet {
         }
     }
 
+    /// Builds the candidate structure from an explicit triple list —
+    /// `(i, j, k)` with `i < j < k < n`, **sorted lexicographically
+    /// and unique**. The structure admits exactly the listed triples,
+    /// each at its canonical dealer-stream offset (`k − j − 1` within
+    /// pair `(i, j)`'s stream), so a planned count over it draws the
+    /// very same MG words a full sparse run would for those triples.
+    /// This is the incremental engine's entry point: the created- and
+    /// destroyed-triangle sets of a delta batch become plans here.
+    ///
+    /// Panics on unsorted, duplicate, degenerate, or out-of-range
+    /// input — the delta layer produces canonical lists by
+    /// construction, so a violation is a caller bug.
+    pub fn from_triples(n: usize, triples: &[(u32, u32, u32)]) -> Self {
+        let mut pairs: Vec<(u32, u32)> = Vec::new();
+        let mut k_offsets = vec![0usize];
+        let mut ks: Vec<u32> = Vec::new();
+        for &(i, j, k) in triples {
+            assert!(
+                i < j && j < k && (k as usize) < n,
+                "triple ({i},{j},{k}) is not i<j<k within n={n}"
+            );
+            if pairs.last() == Some(&(i, j)) {
+                let prev = *ks.last().expect("pair exists, so its list is non-empty");
+                assert!(prev < k, "triples must be sorted and unique");
+                ks.push(k);
+                *k_offsets.last_mut().expect("seeded with 0") = ks.len();
+            } else {
+                if let Some(&prev) = pairs.last() {
+                    assert!(prev < (i, j), "triples must be sorted by (i, j)");
+                }
+                pairs.push((i, j));
+                ks.push(k);
+                k_offsets.push(ks.len());
+            }
+        }
+        CandidateSet {
+            n,
+            pairs,
+            k_offsets,
+            ks,
+        }
+    }
+
     /// Vertex-space dimension the candidate pairs live in.
     pub fn n(&self) -> usize {
         self.n
@@ -852,5 +895,29 @@ mod tests {
     fn mismatched_candidate_dimension_panics() {
         let cs = Arc::new(CandidateSet::complete(5));
         CountScheduler::with_plan(6, 1, 0, SchedulePlan::CandidatePairs(cs));
+    }
+
+    #[test]
+    fn from_triples_reproduces_from_graph() {
+        // Enumerating a graph's triangles and handing them to
+        // `from_triples` must rebuild the exact structure `from_graph`
+        // derives — same pairs, same k-lists, same stream offsets.
+        let g = generators::erdos_renyi(40, 0.25, 11);
+        let cs = CandidateSet::from_graph(&g);
+        let mut triples = Vec::new();
+        for idx in 0..cs.len() {
+            let (i, j) = cs.pair(idx);
+            for &k in cs.ks(idx) {
+                triples.push((i, j, k));
+            }
+        }
+        assert_eq!(CandidateSet::from_triples(40, &triples), cs);
+        assert!(CandidateSet::from_triples(40, &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and unique")]
+    fn from_triples_rejects_duplicates() {
+        CandidateSet::from_triples(5, &[(0, 1, 2), (0, 1, 2)]);
     }
 }

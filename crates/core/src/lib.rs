@@ -17,6 +17,7 @@
 //! | Algorithm 5 `Perturb` | [`mod@perturb`] | Distributed Laplace perturbation |
 //! | Offline phase \[42, 43\] | [`cargo_mpc::offline`] via [`OfflineMode`] | Dealer or OT-extension MG precomputation |
 //! | Deployment shape | [`party`] + [`count_runtime`] | One server per process over a real [`cargo_mpc::transport::Transport`] |
+//! | Continuous release | [`delta`] + [`session`] | Edge-delta epochs, incremental Count, per-epoch DP budgeting |
 //! | Section III-B ext. | [`node_dp`] | Node-DP variant (sensitivity updates) |
 //! | Table II | [`theory`] | Closed-form utility/cost bounds |
 //! | Section II-A3 | [`metrics`] | l2 loss and relative error |
@@ -46,6 +47,7 @@ pub mod count;
 pub mod count_runtime;
 pub mod count_sampled;
 pub mod count_sched;
+pub mod delta;
 pub mod max_degree;
 pub mod metrics;
 pub mod node_dp;
@@ -53,6 +55,7 @@ pub mod party;
 pub mod perturb;
 pub mod projection;
 pub mod sensitivity;
+pub mod session;
 pub mod protocol;
 pub mod theory;
 
@@ -69,7 +72,12 @@ pub use count_runtime::{
     threaded_secure_count_pooled, threaded_secure_count_sharded, threaded_secure_count_tcp,
     threaded_secure_count_tcp_planned, threaded_secure_count_tcp_pooled,
 };
+pub use delta::{inline_evaluator, DeltaPlan, EdgeDelta, EpochCount, IncrementalCounter};
 pub use party::{run_party, run_party_local, PartyReport};
+pub use session::{
+    classify_delta_line, parse_delta_script, DeltaLine, EpochOutcome, PartySession, Session,
+    SessionError,
+};
 pub use count_sampled::{
     secure_triangle_count_sampled, secure_triangle_count_sampled_batched,
     secure_triangle_count_sampled_kernel, secure_triangle_count_sampled_planned,

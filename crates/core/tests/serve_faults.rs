@@ -1,0 +1,136 @@
+//! Fault-path pins for the wire serve loop: a peer dying mid-stream
+//! must surface as a clean [`SessionError::Peer`] — never a hang,
+//! never a partial release — and a budget refusal must cost zero wire
+//! traffic on both sides.
+
+use cargo_core::{CargoConfig, EdgeDelta, PartySession, Session, SessionError};
+use cargo_graph::generators;
+use cargo_mpc::{memory_pair, InMemoryTransport, ServerId, Transport};
+use std::sync::{Arc, Barrier};
+
+fn serve_cfg() -> CargoConfig {
+    CargoConfig::new(2.0).with_seed(42).with_horizon(4)
+}
+
+/// A batch that touches real wedges so the epoch does online traffic.
+fn busy_batch() -> Vec<EdgeDelta> {
+    vec![
+        EdgeDelta::Add(0, 1),
+        EdgeDelta::Add(1, 2),
+        EdgeDelta::Add(0, 2),
+    ]
+}
+
+/// The peer finishes the baseline and one epoch, then vanishes. The
+/// survivor's next epoch trips the `RecvError::Disconnected` path:
+/// a [`SessionError::Peer`] value, a poisoned session, and no
+/// [`cargo_core::EpochOutcome`] for the incomplete epoch.
+#[test]
+fn peer_death_mid_stream_poisons_without_a_partial_release() {
+    let g = generators::erdos_renyi(20, 0.3, 9);
+    let cfg = serve_cfg();
+    let (e1, e2) = memory_pair();
+    let (e1, e2) = (Arc::new(e1), Arc::new(e2));
+    // Both sides must finish epoch 1 before the peer is allowed to
+    // die, otherwise the survivor's *first* epoch races the drop.
+    let rendezvous = Arc::new(Barrier::new(2));
+
+    let (survivor_result, peer_epoch1) = std::thread::scope(|scope| {
+        let peer = {
+            let link = Arc::clone(&e2);
+            let g = g.clone();
+            let barrier = Arc::clone(&rendezvous);
+            scope.spawn(move || {
+                let mut s = PartySession::new(g, &cfg, ServerId::S2, link).unwrap();
+                let out = s.step(&busy_batch()).unwrap();
+                barrier.wait();
+                out // returning drops the session and its link end
+            })
+        };
+        // The peer thread must hold the *last* handle to its endpoint,
+        // or its death would never close the channel.
+        drop(e2);
+        let mut s = PartySession::new(g.clone(), &cfg, ServerId::S1, Arc::clone(&e1)).unwrap();
+        let first = s.step(&busy_batch()).unwrap();
+        rendezvous.wait();
+        let dead = peer.join().unwrap();
+
+        // Epoch 2 against a dead peer: a Peer error, not a panic.
+        let err = s.step(&[EdgeDelta::Remove(0, 1)]).unwrap_err();
+        assert!(matches!(err, SessionError::Peer(_)), "got: {err}");
+        // The aborted epoch consumed its grant (conservative: budget
+        // charged, nothing released) and poisoned the session.
+        assert_eq!(s.schedule().released(), 2);
+        let spent_after_abort = s.schedule().accountant().spent();
+
+        // Poisoned sessions refuse further work up front — no wire
+        // traffic, no additional ledger movement.
+        let payload_before = e1.stats().online_payload_both();
+        let err = s.step(&[]).unwrap_err();
+        assert!(matches!(err, SessionError::Peer(_)), "got: {err}");
+        assert_eq!(s.schedule().released(), 2);
+        assert_eq!(s.schedule().accountant().spent(), spent_after_abort);
+        assert_eq!(e1.stats().online_payload_both(), payload_before);
+
+        ((first, s.schedule().released()), dead)
+    });
+
+    // The one completed epoch is a full, agreed release on both sides.
+    let (first, _) = survivor_result;
+    assert_eq!(first, peer_epoch1, "completed epoch transcripts agree");
+    assert_eq!(first.epoch, 1);
+}
+
+/// A peer that never shows up fails the baseline count itself:
+/// [`PartySession::new`] returns a [`SessionError::Peer`] value.
+#[test]
+fn peer_death_during_the_baseline_fails_construction() {
+    let g = generators::erdos_renyi(16, 0.4, 5);
+    let (e1, e2) = memory_pair();
+    drop(e2);
+    match PartySession::<InMemoryTransport>::new(g, &serve_cfg(), ServerId::S1, Arc::new(e1)) {
+        Err(SessionError::Peer(_)) => {}
+        Err(e) => panic!("wrong error: {e}"),
+        Ok(_) => panic!("baseline succeeded against a dead peer"),
+    }
+}
+
+/// A budget refusal is not a fault: both parties refuse locally, in
+/// agreement, with zero bytes on the wire and the session still
+/// healthy enough to report it again.
+#[test]
+fn refusal_over_the_wire_costs_no_traffic_and_does_not_poison() {
+    let g = generators::erdos_renyi(20, 0.3, 9);
+    let cfg = serve_cfg().with_horizon(1);
+    let mut local = Session::new(g.clone(), &cfg);
+    let local_out = local.step(&busy_batch()).unwrap();
+
+    let (e1, e2) = memory_pair();
+    let (e1, e2) = (Arc::new(e1), Arc::new(e2));
+    let (out1, out2) = std::thread::scope(|scope| {
+        let run = |role, link: Arc<InMemoryTransport>| {
+            let g = g.clone();
+            scope.spawn(move || {
+                let mut s = PartySession::new(g, &cfg, role, Arc::clone(&link)).unwrap();
+                let out = s.step(&busy_batch()).unwrap();
+                let payload_before = link.stats().online_payload_both();
+                for _ in 0..2 {
+                    let err = s.step(&[]).unwrap_err();
+                    assert!(matches!(err, SessionError::Refused(_)), "got: {err}");
+                }
+                assert_eq!(
+                    link.stats().online_payload_both(),
+                    payload_before,
+                    "refusals are wire-silent"
+                );
+                assert_eq!(s.schedule().released(), 1);
+                out
+            })
+        };
+        let h1 = run(ServerId::S1, Arc::clone(&e1));
+        let h2 = run(ServerId::S2, Arc::clone(&e2));
+        (h1.join().unwrap(), h2.join().unwrap())
+    });
+    assert_eq!(out1, out2);
+    assert_eq!(out1, local_out, "the served epoch matches the local reference");
+}

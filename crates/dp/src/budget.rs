@@ -6,6 +6,13 @@
 //! composes them sequentially. The experiments fix the split at
 //! `ε₁ = 0.1ε, ε₂ = 0.9ε` ("triangle counting needs more privacy budget
 //! than the other information", Section V-A).
+//!
+//! The continuous-release service stretches the `Perturb` budget over
+//! many epochs: a [`ReleaseSchedule`] meters ε₂ across the epoch
+//! stream — either an even per-epoch split over a fixed horizon
+//! ([`Composition::Fixed`]) or the binary-tree mechanism
+//! ([`Composition::BinaryTree`]) — and **refuses** (an error, never a
+//! panic or a silent overspend) once the budget is exhausted.
 
 /// A total privacy budget with validation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -139,6 +146,296 @@ impl std::fmt::Display for BudgetExceeded {
 }
 
 impl std::error::Error for BudgetExceeded {}
+
+/// How per-epoch releases of a continuous-release session compose
+/// against the budget.
+///
+/// ```
+/// use cargo_dp::Composition;
+/// assert_eq!("fixed".parse::<Composition>(), Ok(Composition::Fixed));
+/// assert_eq!("tree".parse::<Composition>(), Ok(Composition::BinaryTree));
+/// assert_eq!(Composition::default(), Composition::Fixed);
+/// assert_eq!(Composition::BinaryTree.to_string(), "binary-tree");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Composition {
+    /// Sequential composition with an even split: each of the `k`
+    /// scheduled epochs spends `ε/k` on fresh noise; the accountant
+    /// refuses the `(k+1)`-th release.
+    #[default]
+    Fixed,
+    /// The binary-tree mechanism: noise attaches to the nodes of a
+    /// dyadic interval tree over the epochs. Each release sums the
+    /// `≤ L` node noises covering `[1, t]`, each node carries `ε/L`
+    /// where `L = ⌊log₂ T⌋ + 1`, and levels compose in parallel — so
+    /// per-release noise grows like `L²/ε` instead of `T/ε`.
+    BinaryTree,
+}
+
+impl std::str::FromStr for Composition {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "fixed" => Ok(Composition::Fixed),
+            "tree" | "binary-tree" | "binary_tree" => Ok(Composition::BinaryTree),
+            other => Err(format!(
+                "unknown composition {other:?} (expected \"fixed\" or \"tree\")"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for Composition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Composition::Fixed => "fixed",
+            Composition::BinaryTree => "binary-tree",
+        })
+    }
+}
+
+/// One dyadic node of the release tree: level `l`, index `i` covers
+/// epochs `[i·2ˡ + 1, (i+1)·2ˡ]` (epochs are 1-indexed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TreeNode {
+    /// Height in the dyadic tree (leaves are level 0).
+    pub level: u32,
+    /// Position within the level.
+    pub index: u64,
+}
+
+impl TreeNode {
+    /// A stable 64-bit identity, usable as a seed tweak for the node's
+    /// deterministic noise shares.
+    pub fn id(&self) -> u64 {
+        ((self.level as u64) << 48) | self.index
+    }
+
+    /// Number of epochs the node covers.
+    pub fn span(&self) -> u64 {
+        1u64 << self.level
+    }
+
+    /// First and last epoch covered, inclusive (1-indexed).
+    pub fn range(&self) -> (u64, u64) {
+        let first = self.index * self.span() + 1;
+        (first, first + self.span() - 1)
+    }
+
+    /// The canonical dyadic cover of `[1, t]`: one node per set bit of
+    /// `t`, highest level first — the noises a binary-tree release at
+    /// epoch `t` sums.
+    pub fn cover(t: u64) -> Vec<TreeNode> {
+        let mut nodes = Vec::with_capacity(t.count_ones() as usize);
+        let mut base = 0u64;
+        for level in (0..64).rev() {
+            if t & (1 << level) != 0 {
+                nodes.push(TreeNode {
+                    level,
+                    index: base >> level,
+                });
+                base += 1 << level;
+            }
+        }
+        nodes
+    }
+}
+
+/// What a granted release carries: which epoch it is, the per-node
+/// noise budget, and the nodes whose (deterministically derived) noise
+/// shares the release must sum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReleaseGrant {
+    /// The epoch this grant releases (1-indexed).
+    pub epoch: u64,
+    /// The ε parameter of **each** node's noise: `ε/k` under
+    /// [`Composition::Fixed`], `ε/L` under [`Composition::BinaryTree`].
+    pub node_epsilon: f64,
+    /// The noise nodes the release sums. Fixed composition uses one
+    /// fresh leaf per epoch; the binary tree uses the dyadic cover of
+    /// `[1, epoch]`.
+    pub nodes: Vec<TreeNode>,
+    /// ε newly charged to the accountant by this grant (0 when every
+    /// touched tree level was already paid for).
+    pub charged: f64,
+}
+
+/// Why a release was refused. Refusal is always an error value: the
+/// schedule never panics and never lets `spent` exceed the cap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReleaseRefused {
+    /// The accountant has no budget left for the epoch's charge.
+    Budget(BudgetExceeded),
+    /// The binary tree's horizon is exhausted: the dyadic tree was
+    /// sized for `horizon` epochs and cannot cover `epoch`.
+    HorizonExhausted {
+        /// The epoch that was requested.
+        epoch: u64,
+        /// The horizon the schedule was built for.
+        horizon: u64,
+    },
+}
+
+impl std::fmt::Display for ReleaseRefused {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReleaseRefused::Budget(e) => write!(f, "release refused: {e}"),
+            ReleaseRefused::HorizonExhausted { epoch, horizon } => write!(
+                f,
+                "release refused: epoch {epoch} is past the schedule horizon {horizon}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReleaseRefused {}
+
+impl From<BudgetExceeded> for ReleaseRefused {
+    fn from(e: BudgetExceeded) -> Self {
+        ReleaseRefused::Budget(e)
+    }
+}
+
+/// Meters a per-epoch budget `ε` over a stream of releases, on top of
+/// a [`PrivacyAccountant`] capped at `ε`.
+///
+/// * [`Composition::Fixed`] charges `ε/horizon` per epoch; after
+///   `horizon` grants the accountant itself refuses the next one.
+/// * [`Composition::BinaryTree`] charges `ε/L` the first time each of
+///   the `L = ⌊log₂ horizon⌋ + 1` tree levels is touched (i.e. at the
+///   power-of-two epochs) — levels compose in parallel, so the `L`
+///   charges sum to exactly `ε` — and refuses any epoch past the
+///   horizon.
+///
+/// ```
+/// use cargo_dp::{Composition, ReleaseSchedule};
+/// let mut s = ReleaseSchedule::new(Composition::Fixed, 1.0, 2);
+/// assert!(s.next_release().is_ok());
+/// assert!(s.next_release().is_ok());
+/// assert!(s.next_release().is_err()); // ε exhausted: refused, not overspent
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReleaseSchedule {
+    composition: Composition,
+    epsilon: f64,
+    horizon: u64,
+    accountant: PrivacyAccountant,
+    released: u64,
+}
+
+impl ReleaseSchedule {
+    /// Creates a schedule metering `epsilon` over `horizon` epochs.
+    ///
+    /// # Panics
+    /// Panics unless `epsilon` is positive and finite and
+    /// `horizon >= 1`.
+    pub fn new(composition: Composition, epsilon: f64, horizon: u64) -> Self {
+        let budget = PrivacyBudget::new(epsilon);
+        assert!(horizon >= 1, "release horizon must be at least 1 epoch");
+        ReleaseSchedule {
+            composition,
+            epsilon,
+            horizon,
+            accountant: PrivacyAccountant::new(budget),
+            released: 0,
+        }
+    }
+
+    /// [`Composition::Fixed`] over `horizon` epochs.
+    pub fn fixed(epsilon: f64, horizon: u64) -> Self {
+        Self::new(Composition::Fixed, epsilon, horizon)
+    }
+
+    /// [`Composition::BinaryTree`] over `horizon` epochs.
+    pub fn binary_tree(epsilon: f64, horizon: u64) -> Self {
+        Self::new(Composition::BinaryTree, epsilon, horizon)
+    }
+
+    /// The composition rule.
+    pub fn composition(&self) -> Composition {
+        self.composition
+    }
+
+    /// The horizon the schedule was built for.
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// Epochs granted so far.
+    pub fn released(&self) -> u64 {
+        self.released
+    }
+
+    /// The underlying accountant (spent/remaining/ledger inspection).
+    pub fn accountant(&self) -> &PrivacyAccountant {
+        &self.accountant
+    }
+
+    /// Tree depth `L = ⌊log₂ horizon⌋ + 1` (the binary tree's level
+    /// count; 1 for the degenerate one-epoch tree).
+    pub fn levels(&self) -> u32 {
+        self.horizon.ilog2() + 1
+    }
+
+    /// The ε each noise node carries: `ε/horizon` (fixed) or `ε/L`
+    /// (binary tree).
+    pub fn node_epsilon(&self) -> f64 {
+        match self.composition {
+            Composition::Fixed => self.epsilon / self.horizon as f64,
+            Composition::BinaryTree => self.epsilon / self.levels() as f64,
+        }
+    }
+
+    /// Grants (and accounts for) the next epoch's release, or refuses
+    /// it. A refused release changes nothing: `released` and the
+    /// accountant stay as they were, so the error is observable and
+    /// the caller can shut the stream down cleanly.
+    pub fn next_release(&mut self) -> Result<ReleaseGrant, ReleaseRefused> {
+        let t = self.released + 1;
+        let node_epsilon = self.node_epsilon();
+        let grant = match self.composition {
+            Composition::Fixed => {
+                self.accountant.spend(&format!("epoch-{t}"), node_epsilon)?;
+                ReleaseGrant {
+                    epoch: t,
+                    node_epsilon,
+                    nodes: vec![TreeNode {
+                        level: 0,
+                        index: t - 1,
+                    }],
+                    charged: node_epsilon,
+                }
+            }
+            Composition::BinaryTree => {
+                if t > self.horizon {
+                    return Err(ReleaseRefused::HorizonExhausted {
+                        epoch: t,
+                        horizon: self.horizon,
+                    });
+                }
+                // Level ⌊log₂ t⌋ enters the covers at epoch t = 2ˡ and
+                // is charged once; within a level the node intervals
+                // are disjoint, so the level composes in parallel.
+                let charged = if t.is_power_of_two() {
+                    self.accountant
+                        .spend(&format!("level-{}", t.ilog2()), node_epsilon)?;
+                    node_epsilon
+                } else {
+                    0.0
+                };
+                ReleaseGrant {
+                    epoch: t,
+                    node_epsilon,
+                    nodes: TreeNode::cover(t),
+                    charged,
+                }
+            }
+        };
+        self.released = t;
+        Ok(grant)
+    }
+}
 
 #[cfg(test)]
 mod tests {

@@ -29,7 +29,10 @@ pub mod fixed_point;
 pub mod gamma;
 pub mod laplace;
 
-pub use budget::{EpsilonSplit, PrivacyAccountant, PrivacyBudget};
+pub use budget::{
+    BudgetExceeded, Composition, EpsilonSplit, PrivacyAccountant, PrivacyBudget, ReleaseGrant,
+    ReleaseRefused, ReleaseSchedule, TreeNode,
+};
 pub use cauchy::{sample_cauchy, sample_std_cauchy};
 pub use discrete::{discrete_laplace_variance, sample_discrete_laplace};
 pub use distributed::{partial_noise, DistributedLaplace};

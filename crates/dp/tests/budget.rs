@@ -1,0 +1,216 @@
+//! Accountant-composition suite for the continuous-release schedules.
+//!
+//! Four contracts:
+//!
+//! 1. **Fixed composition** — `k` epochs spend exactly the configured
+//!    ε (one `ε/k` ledger entry each), and the accountant — not a
+//!    panic — refuses the `(k+1)`-th release.
+//! 2. **Binary-tree composition** — the dyadic covers match the closed
+//!    forms: `popcount(t)` nodes covering `[1, t]` contiguously,
+//!    `2T − popcount(T)` distinct nodes over a full horizon,
+//!    `L = ⌊log₂ T⌋ + 1` level charges summing to ε.
+//! 3. **Refusal is pure** — a refused release leaves `released`, the
+//!    spent total, and the ledger untouched.
+//! 4. **`EpsilonSplit` invariants** — both parts positive, parts sum
+//!    to the total, paper split is 10/90.
+
+use cargo_dp::{
+    Composition, PrivacyBudget, ReleaseRefused, ReleaseSchedule, TreeNode,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+#[test]
+fn fixed_spends_sum_to_epsilon_and_refuse_the_k_plus_first() {
+    for k in [1u64, 2, 3, 7, 16, 100] {
+        let eps = 1.8;
+        let mut s = ReleaseSchedule::fixed(eps, k);
+        for t in 1..=k {
+            let g = s.next_release().unwrap_or_else(|e| panic!("epoch {t}: {e}"));
+            assert_eq!(g.epoch, t);
+            assert_eq!(g.nodes.len(), 1, "fixed composition uses one fresh leaf");
+            assert_eq!(g.nodes[0], TreeNode { level: 0, index: t - 1 });
+            assert!((g.node_epsilon - eps / k as f64).abs() < 1e-12);
+            assert_eq!(g.charged, g.node_epsilon);
+        }
+        assert!((s.accountant().spent() - eps).abs() < 1e-9, "k={k}");
+        assert_eq!(s.accountant().ledger().len(), k as usize);
+        // The acceptance criterion: the (k+1)-th release is refused by
+        // the accountant itself — an error value, not a panic, and not
+        // an overspend.
+        let err = s.next_release().unwrap_err();
+        assert!(matches!(err, ReleaseRefused::Budget(_)), "k={k}: {err}");
+        assert!(err.to_string().contains("refused"));
+        assert!(s.accountant().spent() <= eps * (1.0 + 1e-9));
+        assert_eq!(s.released(), k, "refusal must not advance the epoch");
+    }
+}
+
+#[test]
+fn tree_covers_match_the_binary_decomposition() {
+    for t in 1u64..=512 {
+        let cover = TreeNode::cover(t);
+        assert_eq!(cover.len(), t.count_ones() as usize, "t={t}");
+        // Contiguous, disjoint, highest level first, covering [1, t].
+        let mut next = 1u64;
+        for node in &cover {
+            let (lo, hi) = node.range();
+            assert_eq!(lo, next, "t={t}");
+            assert_eq!(hi - lo + 1, node.span());
+            next = hi + 1;
+        }
+        assert_eq!(next, t + 1, "cover of [1,{t}] ends at {t}");
+    }
+}
+
+#[test]
+fn tree_node_ids_are_injective_over_a_horizon() {
+    let mut seen = HashSet::new();
+    for t in 1u64..=1024 {
+        for node in TreeNode::cover(t) {
+            let prev = seen.insert(node.id());
+            // Re-inserting the same node is fine; two *different*
+            // nodes must never collide on id.
+            if prev {
+                assert_eq!(
+                    TreeNode { level: node.level, index: node.index }.id(),
+                    node.id()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tree_distinct_nodes_follow_the_closed_form() {
+    // Every t ≤ T factors uniquely as odd·2ˡ, and epoch t's cover
+    // introduces exactly one node not seen before — the level-l node
+    // ending at t. So T epochs touch exactly T distinct noise nodes.
+    for horizon in [1u64, 2, 3, 4, 7, 8, 33, 100, 256] {
+        let mut nodes = HashSet::new();
+        for t in 1..=horizon {
+            let before = nodes.len();
+            nodes.extend(TreeNode::cover(t).into_iter().map(|n| n.id()));
+            let fresh = TreeNode {
+                level: t.trailing_zeros(),
+                index: (t >> t.trailing_zeros()) - 1,
+            };
+            assert_eq!(nodes.len(), before + 1, "t={t}");
+            assert!(nodes.contains(&fresh.id()), "t={t}");
+            assert_eq!(fresh.range().1, t, "the fresh node ends at t");
+        }
+        assert_eq!(nodes.len() as u64, horizon, "horizon={horizon}");
+    }
+}
+
+#[test]
+fn tree_level_charges_sum_to_epsilon_and_horizon_is_enforced() {
+    for horizon in [1u64, 2, 5, 8, 100] {
+        let eps = 2.0;
+        let mut s = ReleaseSchedule::binary_tree(eps, horizon);
+        let levels = s.levels() as u64;
+        assert_eq!(levels, horizon.ilog2() as u64 + 1);
+        let mut charged = 0.0;
+        let mut charges = 0u64;
+        for t in 1..=horizon {
+            let g = s.next_release().unwrap_or_else(|e| panic!("epoch {t}: {e}"));
+            assert_eq!(g.nodes, TreeNode::cover(t));
+            assert!((g.node_epsilon - eps / levels as f64).abs() < 1e-12);
+            if g.charged > 0.0 {
+                charges += 1;
+            }
+            charged += g.charged;
+        }
+        // One charge per level, at the power-of-two epochs; together
+        // they consume the whole ε regardless of the horizon's shape.
+        assert_eq!(charges, levels, "horizon={horizon}");
+        assert!((charged - eps).abs() < 1e-9, "horizon={horizon}");
+        assert!((s.accountant().spent() - eps).abs() < 1e-9);
+        // Past the horizon the tree has no nodes left: refused.
+        let err = s.next_release().unwrap_err();
+        assert!(
+            matches!(err, ReleaseRefused::HorizonExhausted { .. }),
+            "horizon={horizon}: {err}"
+        );
+        assert_eq!(s.released(), horizon);
+    }
+}
+
+#[test]
+fn refusal_changes_nothing_observable() {
+    let mut s = ReleaseSchedule::fixed(1.0, 3);
+    for _ in 0..3 {
+        s.next_release().unwrap();
+    }
+    let spent = s.accountant().spent();
+    let ledger = s.accountant().ledger().to_vec();
+    for _ in 0..5 {
+        assert!(s.next_release().is_err());
+    }
+    assert_eq!(s.released(), 3);
+    assert_eq!(s.accountant().spent(), spent);
+    assert_eq!(s.accountant().ledger(), &ledger[..]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn epsilon_split_invariants(
+        eps in 1e-6f64..1e6,
+        // Open interval (0, 1) in thousandths — the shim has no
+        // float-range strategy.
+        fraction in (1u32..1000).prop_map(|x| x as f64 / 1000.0),
+    ) {
+        let split = PrivacyBudget::new(eps).split(fraction);
+        prop_assert!(split.epsilon1 > 0.0);
+        prop_assert!(split.epsilon2 > 0.0);
+        prop_assert!((split.total() - eps).abs() <= eps * 1e-9);
+        prop_assert!((split.epsilon1 - eps * fraction).abs() <= eps * 1e-9);
+        let paper = PrivacyBudget::new(eps).paper_split();
+        prop_assert!((paper.epsilon1 - 0.1 * eps).abs() <= eps * 1e-9);
+    }
+
+    #[test]
+    fn fixed_schedule_never_overspends(
+        eps in 0.1f64..10.0,
+        horizon in 1u64..40,
+        extra in 0u64..10,
+    ) {
+        let mut s = ReleaseSchedule::fixed(eps, horizon);
+        let mut grants = 0u64;
+        for _ in 0..(horizon + extra) {
+            if s.next_release().is_ok() {
+                grants += 1;
+            }
+        }
+        prop_assert_eq!(grants, horizon);
+        prop_assert!(s.accountant().spent() <= eps * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn tree_schedule_never_overspends_and_covers_every_epoch(
+        eps in 0.1f64..10.0,
+        horizon in 1u64..200,
+    ) {
+        let mut s = ReleaseSchedule::binary_tree(eps, horizon);
+        for t in 1..=horizon {
+            let g = s.next_release().unwrap();
+            // The cover's spans sum to t: the release really does see
+            // noise over every epoch so far, exactly once.
+            prop_assert_eq!(g.nodes.iter().map(|n| n.span()).sum::<u64>(), t);
+            // No node outlives the horizon's tree depth.
+            for node in &g.nodes {
+                prop_assert!(node.level < s.levels());
+            }
+        }
+        prop_assert!(s.accountant().spent() <= eps * (1.0 + 1e-9));
+        prop_assert!(s.next_release().is_err());
+    }
+
+    #[test]
+    fn composition_roundtrips_through_strings(tree in any::<bool>()) {
+        let c = if tree { Composition::BinaryTree } else { Composition::Fixed };
+        prop_assert_eq!(c.to_string().parse::<Composition>(), Ok(c));
+    }
+}

@@ -154,6 +154,62 @@ impl Graph {
         b.build()
     }
 
+    /// Inserts the undirected edge `{u, v}` in place, keeping both
+    /// neighbour lists sorted. Returns `Ok(true)` if the edge was new,
+    /// `Ok(false)` if it already existed (the graph is unchanged).
+    ///
+    /// This is the delta-maintenance primitive of the continuous-
+    /// release service: an `+u v` update is one sorted insert per
+    /// endpoint, `O(log d + d)` per edge.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> Result<bool, GraphError> {
+        self.check_endpoints(u, v)?;
+        match self.adj[u].binary_search(&(v as u32)) {
+            Ok(_) => Ok(false),
+            Err(pos_u) => {
+                self.adj[u].insert(pos_u, v as u32);
+                let pos_v = self.adj[v]
+                    .binary_search(&(u as u32))
+                    .expect_err("adjacency lists diverged: {u,v} present one-way");
+                self.adj[v].insert(pos_v, u as u32);
+                self.m += 1;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Removes the undirected edge `{u, v}` in place. Returns
+    /// `Ok(true)` if the edge existed, `Ok(false)` if it did not (the
+    /// graph is unchanged).
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> Result<bool, GraphError> {
+        self.check_endpoints(u, v)?;
+        match self.adj[u].binary_search(&(v as u32)) {
+            Err(_) => Ok(false),
+            Ok(pos_u) => {
+                self.adj[u].remove(pos_u);
+                let pos_v = self.adj[v]
+                    .binary_search(&(u as u32))
+                    .expect("adjacency lists diverged: {u,v} present one-way");
+                self.adj[v].remove(pos_v);
+                self.m -= 1;
+                Ok(true)
+            }
+        }
+    }
+
+    fn check_endpoints(&self, u: usize, v: usize) -> Result<(), GraphError> {
+        let n = self.n();
+        if u >= n {
+            return Err(GraphError::NodeOutOfRange { node: u, n });
+        }
+        if v >= n {
+            return Err(GraphError::NodeOutOfRange { node: v, n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        Ok(())
+    }
+
     /// Reconstructs a graph from a *symmetric* bit matrix.
     ///
     /// # Panics
@@ -365,5 +421,51 @@ mod tests {
     fn degrees_vector() {
         let g = triangle_plus_pendant();
         assert_eq!(g.degrees(), vec![3, 2, 2, 1]);
+    }
+
+    #[test]
+    fn add_and_remove_edges_in_place() {
+        let mut g = triangle_plus_pendant();
+        // Adding an existing edge is a no-op.
+        assert!(!g.add_edge(0, 1).unwrap());
+        assert_eq!(g.edge_count(), 4);
+        // New edge keeps both lists sorted (order of endpoints free).
+        assert!(g.add_edge(3, 1).unwrap());
+        assert_eq!(g.edge_count(), 5);
+        assert!(g.has_edge(1, 3));
+        assert_eq!(g.neighbors(1), &[0, 2, 3]);
+        assert_eq!(g.neighbors(3), &[0, 1]);
+        // Removal mirrors insertion.
+        assert!(g.remove_edge(1, 3).unwrap());
+        assert!(!g.remove_edge(1, 3).unwrap());
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g, triangle_plus_pendant());
+    }
+
+    #[test]
+    fn in_place_mutation_validates_endpoints() {
+        let mut g = triangle_plus_pendant();
+        assert!(matches!(g.add_edge(2, 2), Err(GraphError::SelfLoop { node: 2 })));
+        assert!(matches!(
+            g.add_edge(0, 9),
+            Err(GraphError::NodeOutOfRange { node: 9, n: 4 })
+        ));
+        assert!(matches!(
+            g.remove_edge(9, 0),
+            Err(GraphError::NodeOutOfRange { node: 9, n: 4 })
+        ));
+        assert!(matches!(g.remove_edge(1, 1), Err(GraphError::SelfLoop { node: 1 })));
+        assert_eq!(g, triangle_plus_pendant());
+    }
+
+    #[test]
+    fn remove_then_re_add_restores_the_graph() {
+        let mut g = triangle_plus_pendant();
+        let original = g.clone();
+        for (u, v) in [(0usize, 1usize), (1, 2), (0, 3)] {
+            assert!(g.remove_edge(u, v).unwrap());
+            assert!(g.add_edge(v, u).unwrap());
+        }
+        assert_eq!(g, original);
     }
 }

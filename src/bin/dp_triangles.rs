@@ -14,16 +14,23 @@
 //!   --seed <s=0>         RNG seed (fixed seed = reproducible run)
 //!   --threads <t=0>      secure-count workers (0 = all cores)
 //!   --lcc                restrict to the largest connected component
+//!   --deltas <path>      delta script for --protocol replay
+//!   --horizon <k=16>     release horizon for --protocol replay
+//!   --composition <c>    fixed | tree  (replay budget composition)
 //! ```
 //!
 //! `exact` prints the non-private count (for offline validation only —
-//! it obviously provides no privacy).
+//! it obviously provides no privacy). `replay` replays a delta script
+//! (`+u v` / `-u v` / `commit` lines) as continuous-release epochs and
+//! reports utility over time: released value vs. the exact count after
+//! each epoch, plus the ε the accountant has spent.
 
 use cargo_repro::baselines::{
     central_lap_triangles, local2rounds_triangles, local_rr_triangles, Local2RoundsConfig,
 };
-use cargo_repro::core::{CargoConfig, CargoSystem};
-use cargo_repro::graph::{io::read_edge_list, largest_component, Graph};
+use cargo_repro::core::{parse_delta_script, CargoConfig, CargoSystem, Session, SessionError};
+use cargo_repro::dp::Composition;
+use cargo_repro::graph::{count_triangles, io::read_edge_list, largest_component, Graph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
@@ -38,7 +45,10 @@ flags:
   --n <k>              subsample to the first k users
   --seed <s=0>         RNG seed (fixed seed = reproducible run)
   --threads <t=0>      secure-count workers (0 = all cores)
-  --lcc                restrict to the largest connected component";
+  --lcc                restrict to the largest connected component
+  --deltas <path>      delta script for --protocol replay
+  --horizon <k=16>     release horizon for --protocol replay
+  --composition <c>    fixed | tree  (replay budget composition)";
 
 #[derive(Debug, Clone, PartialEq)]
 struct Args {
@@ -49,6 +59,9 @@ struct Args {
     seed: u64,
     threads: usize,
     lcc: bool,
+    deltas: Option<PathBuf>,
+    horizon: u64,
+    composition: Composition,
 }
 
 /// `Ok(None)` means `--help` was requested: print [`USAGE`], exit 0.
@@ -67,6 +80,9 @@ fn parse_args_inner(argv: &[String]) -> Result<Args, String> {
     let mut seed = 0u64;
     let mut threads = 0usize;
     let mut lcc = false;
+    let mut deltas = None;
+    let mut horizon = 16u64;
+    let mut composition = Composition::Fixed;
     let mut i = 0;
     while i < argv.len() {
         let value = |i: &mut usize| -> Result<String, String> {
@@ -83,6 +99,11 @@ fn parse_args_inner(argv: &[String]) -> Result<Args, String> {
             "--seed" => seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--threads" => threads = value(&mut i)?.parse().map_err(|e| format!("--threads: {e}"))?,
             "--lcc" => lcc = true,
+            "--deltas" => deltas = Some(PathBuf::from(value(&mut i)?)),
+            "--horizon" => horizon = value(&mut i)?.parse().map_err(|e| format!("--horizon: {e}"))?,
+            "--composition" => {
+                composition = value(&mut i)?.parse().map_err(|e| format!("--composition: {e}"))?
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
         i += 1;
@@ -91,9 +112,18 @@ fn parse_args_inner(argv: &[String]) -> Result<Args, String> {
     if epsilon <= 0.0 {
         return Err("--epsilon must be positive".into());
     }
-    let known = ["cargo", "central", "local2rounds", "localrr", "exact"];
+    let known = ["cargo", "central", "local2rounds", "localrr", "exact", "replay"];
     if !known.contains(&protocol.as_str()) {
         return Err(format!("--protocol must be one of {known:?}"));
+    }
+    if protocol == "replay" && deltas.is_none() {
+        return Err("--protocol replay needs --deltas <file>".into());
+    }
+    if deltas.is_some() && protocol != "replay" {
+        return Err("--deltas only applies to --protocol replay".into());
+    }
+    if horizon == 0 {
+        return Err("--horizon must be at least 1".into());
     }
     Ok(Args {
         input,
@@ -103,6 +133,9 @@ fn parse_args_inner(argv: &[String]) -> Result<Args, String> {
         seed,
         threads,
         lcc,
+        deltas,
+        horizon,
+        composition,
     })
 }
 
@@ -160,7 +193,47 @@ fn run(args: &Args) -> Result<(), String> {
         }
         "exact" => {
             eprintln!("WARNING: exact count, no privacy");
-            println!("{}", cargo_repro::graph::count_triangles(&graph));
+            println!("{}", count_triangles(&graph));
+        }
+        "replay" => {
+            let path = args.deltas.as_ref().expect("validated in parse_args");
+            let file = std::fs::File::open(path).map_err(|e| format!("opening {path:?}: {e}"))?;
+            let epochs = parse_delta_script(std::io::BufReader::new(file))
+                .map_err(|e| format!("parsing {path:?}: {e}"))?;
+            let cfg = CargoConfig::new(args.epsilon)
+                .with_seed(args.seed)
+                .with_threads(args.threads)
+                .with_horizon(args.horizon)
+                .with_composition(args.composition);
+            let mut session = Session::new(graph, &cfg);
+            eprintln!(
+                "replay: {} epoch(s), horizon {}, {} composition",
+                epochs.len(),
+                args.horizon,
+                args.composition,
+            );
+            for (t, batch) in epochs.iter().enumerate() {
+                match session.step(batch) {
+                    Ok(out) => {
+                        let exact = count_triangles(session.counter().graph()) as f64;
+                        eprintln!(
+                            "epoch {}: exact = {}, released = {:.2}, |error| = {:.2}, \
+                             ε spent = {:.3}",
+                            out.epoch,
+                            exact,
+                            out.noisy_count,
+                            (out.noisy_count - exact).abs(),
+                            out.spent,
+                        );
+                        println!("{:.2}", out.noisy_count);
+                    }
+                    Err(SessionError::Refused(r)) => {
+                        eprintln!("epoch {}: {r}", t + 1);
+                        break;
+                    }
+                    Err(e) => return Err(format!("epoch {}: {e}", t + 1)),
+                }
+            }
         }
         _ => unreachable!("validated in parse_args"),
     }
@@ -239,6 +312,23 @@ mod tests {
     }
 
     #[test]
+    fn replay_flag_validation() {
+        let a = parse(&[
+            "--input", "g.txt", "--protocol", "replay", "--deltas", "d.txt", "--horizon", "8",
+            "--composition", "tree",
+        ])
+        .unwrap();
+        assert_eq!(a.protocol, "replay");
+        assert_eq!(a.deltas, Some(PathBuf::from("d.txt")));
+        assert_eq!(a.horizon, 8);
+        assert_eq!(a.composition, Composition::BinaryTree);
+        // replay needs a script; --deltas is replay-only; horizon >= 1.
+        assert!(parse(&["--input", "g", "--protocol", "replay"]).is_err());
+        assert!(parse(&["--input", "g", "--deltas", "d.txt"]).is_err());
+        assert!(parse(&["--input", "g", "--protocol", "replay", "--deltas", "d", "--horizon", "0"]).is_err());
+    }
+
+    #[test]
     fn end_to_end_on_temp_file() {
         // Write a small graph, run every protocol through the CLI core.
         let dir = std::env::temp_dir().join("dp_triangles_cli_test");
@@ -255,9 +345,39 @@ mod tests {
                 seed: 1,
                 threads: 2,
                 lcc: true,
+                deltas: None,
+                horizon: 16,
+                composition: Composition::Fixed,
             };
             run(&args).unwrap_or_else(|e| panic!("{proto}: {e}"));
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replay_end_to_end_on_temp_files() {
+        let dir = std::env::temp_dir().join("dp_triangles_replay_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("toy.txt");
+        let deltas_path = dir.join("deltas.txt");
+        let g = cargo_repro::graph::generators::barabasi_albert(40, 3, 1);
+        cargo_repro::graph::io::write_edge_list(&g, &graph_path).unwrap();
+        // Two epochs, then a horizon-2 schedule refuses the third.
+        std::fs::write(&deltas_path, "+0 1\n+1 2\n+0 2\ncommit\n-0 1\ncommit\ncommit\n").unwrap();
+        let args = Args {
+            input: graph_path.clone(),
+            epsilon: 2.0,
+            protocol: "replay".into(),
+            n: None,
+            seed: 1,
+            threads: 1,
+            lcc: false,
+            deltas: Some(deltas_path.clone()),
+            horizon: 2,
+            composition: Composition::BinaryTree,
+        };
+        run(&args).unwrap();
+        std::fs::remove_file(&graph_path).ok();
+        std::fs::remove_file(&deltas_path).ok();
     }
 }

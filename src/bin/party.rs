@@ -20,12 +20,18 @@
 //! measured `wire_bytes` are identical on both sides by construction);
 //! everything else goes to stderr.
 
-use cargo_core::{run_party, run_party_local, CargoConfig, PartyReport, ScheduleKind};
+use cargo_core::session::{classify_delta_line, DeltaLine};
+use cargo_core::{
+    run_party, run_party_local, CargoConfig, EdgeDelta, EpochOutcome, IncrementalCounter,
+    PartyReport, PartySession, ScheduleKind, Session, SessionError,
+};
+use cargo_dp::Composition;
 use cargo_graph::generators::chung_lu;
 use cargo_graph::generators::presets::SnapDataset;
 use cargo_graph::Graph;
 use cargo_mpc::{ServerId, TcpConfig, TcpTransport};
 use cargo_repro as _;
+use std::io::BufRead;
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -35,6 +41,14 @@ enum Role {
     S1,
     S2,
     Local,
+}
+
+/// One-shot pipeline (the default) or the continuous-release epoch
+/// loop over an edge-delta stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Pipeline,
+    Serve,
 }
 
 /// Where the input graph comes from. SNAP presets top out around 12k
@@ -83,6 +97,10 @@ struct Args {
     schedule: ScheduleKind,
     data_dir: Option<PathBuf>,
     no_projection: bool,
+    mode: Mode,
+    deltas: Option<PathBuf>,
+    horizon: u64,
+    composition: Composition,
 }
 
 fn usage() -> String {
@@ -94,10 +112,17 @@ fn usage() -> String {
      \x20      [--factory-threads <f=0 (inline)>] [--pool-depth <d=0 (default 4)>]\n\
      \x20      [--pool-backpressure block|fail-fast]\n\
      \x20      [--schedule dense|sparse (default dense)]\n\
+     \x20      [--mode pipeline|serve (default pipeline)]\n\
+     \x20      [--deltas FILE|- (serve: edge-delta script; default stdin)]\n\
+     \x20      [--horizon <epochs=16>] [--composition fixed|tree]\n\
      \n\
      s1 listens, s2 connects (either may take --listen or --connect);\n\
      local runs both parties in-process over the in-memory transport\n\
-     and prints the identical RESULT transcript."
+     and prints the identical RESULT transcript.\n\
+     \n\
+     serve mode reads `+u v` / `-u v` lines, `commit` ends an epoch\n\
+     (incremental secure recount + one DP release); the schedule\n\
+     refuses releases once epsilon or the horizon is exhausted."
         .to_string()
 }
 
@@ -132,6 +157,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         schedule: ScheduleKind::Dense,
         data_dir: None,
         no_projection: false,
+        mode: Mode::Pipeline,
+        deltas: None,
+        horizon: 16,
+        composition: Composition::Fixed,
     };
     let mut role_given = false;
     let mut i = 0;
@@ -195,6 +224,24 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--data-dir" => args.data_dir = Some(PathBuf::from(take(&mut i)?)),
             "--no-projection" => args.no_projection = true,
+            "--mode" => {
+                args.mode = match take(&mut i)?.as_str() {
+                    "pipeline" => Mode::Pipeline,
+                    "serve" => Mode::Serve,
+                    other => return Err(format!("unknown mode {other:?}")),
+                }
+            }
+            "--deltas" => args.deltas = Some(PathBuf::from(take(&mut i)?)),
+            "--horizon" => {
+                args.horizon = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--horizon: {e}"))?
+            }
+            "--composition" => {
+                args.composition = take(&mut i)?
+                    .parse()
+                    .map_err(|e: String| format!("--composition: {e}"))?
+            }
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -202,6 +249,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if !role_given {
         return Err(format!("--role is required\n{}", usage()));
+    }
+    if args.mode == Mode::Pipeline && args.deltas.is_some() {
+        return Err("--deltas only makes sense with --mode serve".into());
+    }
+    if args.mode == Mode::Serve && args.horizon == 0 {
+        return Err("--horizon must be >= 1".into());
     }
     match args.role {
         Role::S1 | Role::S2 => {
@@ -259,6 +312,176 @@ fn print_pool(report: &PartyReport) {
     }
 }
 
+/// Serve-mode transcript: the baseline count of the starting graph
+/// (share state only — nothing is released for it).
+fn print_baseline(counter: &IncrementalCounter) {
+    let net = counter.net();
+    println!(
+        "RESULT baseline triples={} online_elements={} online_bytes={} online_rounds={} wire_bytes={}",
+        counter.triples(),
+        net.elements,
+        net.bytes,
+        net.rounds,
+        net.wire_bytes
+    );
+}
+
+/// Serve-mode transcript: one released epoch. Role-independent, like
+/// the pipeline's RESULT block.
+fn print_epoch(out: &EpochOutcome) {
+    println!("RESULT epoch={} noisy_count={}", out.epoch, out.noisy_count);
+    println!(
+        "RESULT epoch={} applied={} redundant={} created={} destroyed={} triples={} \
+         charged={} node_epsilon={} spent={}",
+        out.epoch,
+        out.applied,
+        out.redundant,
+        out.created,
+        out.destroyed,
+        out.triples,
+        out.charged,
+        out.node_epsilon,
+        out.spent
+    );
+    println!(
+        "RESULT epoch={} online_elements={} online_bytes={} online_rounds={} wire_bytes={}",
+        out.epoch, out.net.elements, out.net.bytes, out.net.rounds, out.net.wire_bytes
+    );
+    assert_eq!(
+        out.net.wire_bytes,
+        out.net.online().bytes,
+        "measured epoch wire bytes diverged from the modeled ledger"
+    );
+}
+
+/// Streams delta lines, stepping one epoch per `commit` (EOF flushes a
+/// trailing non-empty batch). Returns the process exit code: a refused
+/// release is the clean end of the schedule (0); a peer loss, bad
+/// delta, or parse error aborts without emitting a release (1).
+fn serve_loop(
+    reader: impl BufRead,
+    mut step: impl FnMut(&[EdgeDelta]) -> Result<EpochOutcome, SessionError>,
+) -> i32 {
+    let mut batch: Vec<EdgeDelta> = Vec::new();
+    let mut run_epoch = |batch: &mut Vec<EdgeDelta>| -> Option<i32> {
+        match step(batch) {
+            Ok(out) => {
+                print_epoch(&out);
+                batch.clear();
+                None
+            }
+            Err(SessionError::Refused(r)) => {
+                println!("RESULT refused reason=\"{r}\"");
+                eprintln!("[party serve] schedule exhausted; stopping cleanly");
+                Some(0)
+            }
+            Err(e) => {
+                eprintln!("[party serve] epoch failed, no release emitted: {e}");
+                Some(1)
+            }
+        }
+    };
+    for (idx, line) in reader.lines().enumerate() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("[party serve] delta stream line {}: {e}", idx + 1);
+                return 1;
+            }
+        };
+        match classify_delta_line(&line) {
+            Ok(DeltaLine::Blank) => {}
+            Ok(DeltaLine::Delta(d)) => batch.push(d),
+            Ok(DeltaLine::Commit) => {
+                if let Some(code) = run_epoch(&mut batch) {
+                    return code;
+                }
+            }
+            Err(msg) => {
+                eprintln!("[party serve] delta stream line {}: {msg}", idx + 1);
+                return 1;
+            }
+        }
+    }
+    if !batch.is_empty() {
+        if let Some(code) = run_epoch(&mut batch) {
+            return code;
+        }
+    }
+    0
+}
+
+/// Opens the party link per the `--listen`/`--connect` flags.
+fn open_tcp_link(args: &Args, id: ServerId) -> TcpTransport {
+    let tcp_cfg = TcpConfig::default();
+    if let Some(addr) = &args.listen {
+        let listener = TcpListener::bind(addr).unwrap_or_else(|e| {
+            eprintln!("error: cannot listen on {addr}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[party {id:?}] listening on {addr}");
+        TcpTransport::accept_on(&listener, &tcp_cfg).unwrap_or_else(|e| {
+            eprintln!("error: accept failed: {e}");
+            std::process::exit(1);
+        })
+    } else {
+        let addr = args.connect.as_deref().expect("checked in parse_args");
+        eprintln!("[party {id:?}] connecting to {addr}");
+        TcpTransport::connect(addr, &tcp_cfg).unwrap_or_else(|e| {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        })
+    }
+}
+
+/// Runs `--mode serve` for whichever role, returning the exit code.
+fn run_serve(args: &Args, graph: Graph, cfg: &CargoConfig) -> i32 {
+    eprintln!(
+        "[party serve] horizon={} composition={} sensitivity=n={} \
+         (serve runs without projection; the whole epsilon is metered per epoch)",
+        cfg.horizon,
+        cfg.composition,
+        graph.n()
+    );
+    let reader: Box<dyn BufRead> = match args.deltas.as_deref() {
+        None => Box::new(std::io::stdin().lock()),
+        Some(p) if p.as_os_str() == "-" => Box::new(std::io::stdin().lock()),
+        Some(p) => match std::fs::File::open(p) {
+            Ok(f) => Box::new(std::io::BufReader::new(f)),
+            Err(e) => {
+                eprintln!("error: cannot open {}: {e}", p.display());
+                return 1;
+            }
+        },
+    };
+    match args.role {
+        Role::Local => {
+            let session = Session::new(graph, cfg);
+            print_baseline(session.counter());
+            let mut session = session;
+            serve_loop(reader, move |batch| session.step(batch))
+        }
+        role @ (Role::S1 | Role::S2) => {
+            let id = match role {
+                Role::S1 => ServerId::S1,
+                _ => ServerId::S2,
+            };
+            let link = Arc::new(open_tcp_link(args, id));
+            eprintln!("[party {id:?}] connected; serving");
+            let session = match PartySession::new(graph, cfg, id, link) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("[party serve] baseline count failed: {e}");
+                    return 1;
+                }
+            };
+            print_baseline(session.counter());
+            let mut session = session;
+            serve_loop(reader, move |batch| session.step(batch))
+        }
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -293,9 +516,15 @@ fn main() {
         .with_factory_threads(args.factory_threads)
         .with_pool_depth(args.pool_depth)
         .with_pool_backpressure(args.pool_backpressure)
-        .with_schedule(args.schedule);
+        .with_schedule(args.schedule)
+        .with_horizon(args.horizon)
+        .with_composition(args.composition);
     if args.no_projection {
         cfg = cfg.without_projection();
+    }
+
+    if args.mode == Mode::Serve {
+        std::process::exit(run_serve(&args, graph, &cfg));
     }
 
     match args.role {
@@ -310,25 +539,7 @@ fn main() {
                 Role::S1 => ServerId::S1,
                 _ => ServerId::S2,
             };
-            let tcp_cfg = TcpConfig::default();
-            let link = if let Some(addr) = &args.listen {
-                let listener = TcpListener::bind(addr).unwrap_or_else(|e| {
-                    eprintln!("error: cannot listen on {addr}: {e}");
-                    std::process::exit(1);
-                });
-                eprintln!("[party {id:?}] listening on {addr}");
-                TcpTransport::accept_on(&listener, &tcp_cfg).unwrap_or_else(|e| {
-                    eprintln!("error: accept failed: {e}");
-                    std::process::exit(1);
-                })
-            } else {
-                let addr = args.connect.as_deref().expect("checked in parse_args");
-                eprintln!("[party {id:?}] connecting to {addr}");
-                TcpTransport::connect(addr, &tcp_cfg).unwrap_or_else(|e| {
-                    eprintln!("error: cannot connect to {addr}: {e}");
-                    std::process::exit(1);
-                })
-            };
+            let link = open_tcp_link(&args, id);
             eprintln!("[party {id:?}] connected; running the pipeline");
             let link = Arc::new(link);
             let report = run_party(&graph, &cfg, id, &link);
