@@ -2,8 +2,9 @@
 //! CLI dependency in the approved set).
 
 use cargo_core::{CountKernel, ScheduleKind, TransportKind};
-use cargo_mpc::{Backpressure, OfflineMode, PoolPolicy, DEFAULT_POOL_DEPTH};
+use cargo_mpc::{Backpressure, OfflineMode, PoolPolicy, DEFAULT_POOL_DEPTH, DEFAULT_RECV_TIMEOUT};
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Parsed command-line options with the paper's defaults.
 #[derive(Debug, Clone, PartialEq)]
@@ -43,6 +44,10 @@ pub struct Options {
     /// cube (default) or the candidate-driven sparse walk that makes
     /// large power-law graphs tractable.
     pub schedule: ScheduleKind,
+    /// Wire recv timeout in seconds (`--recv-timeout`): how long a
+    /// TCP count waits on a silent peer before failing typed instead
+    /// of hanging. Only meaningful with `--transport tcp`.
+    pub recv_timeout: Duration,
     /// Quick mode: shrink n and trials for smoke runs.
     pub quick: bool,
     /// `--help`/`-h` was given: print usage and exit successfully.
@@ -66,6 +71,7 @@ impl Default for Options {
             pool_depth: 0,
             pool_backpressure: Backpressure::Block,
             schedule: ScheduleKind::Dense,
+            recv_timeout: DEFAULT_RECV_TIMEOUT,
             quick: false,
             help: false,
         }
@@ -164,6 +170,15 @@ impl Options {
                     opts.schedule = take_value(&mut i)?
                         .parse()
                         .map_err(|e: String| format!("--schedule: {e}"))?
+                }
+                "--recv-timeout" => {
+                    let secs: f64 = take_value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--recv-timeout: {e}"))?;
+                    if !(secs > 0.0 && secs.is_finite()) {
+                        return Err("--recv-timeout: must be a positive number of seconds".into());
+                    }
+                    opts.recv_timeout = Duration::from_secs_f64(secs);
                 }
                 "--out-dir" => opts.out_dir = PathBuf::from(take_value(&mut i)?),
                 "--data-dir" => opts.data_dir = Some(PathBuf::from(take_value(&mut i)?)),
@@ -279,6 +294,16 @@ mod tests {
         let (o, _) = parse(&["table2"]).unwrap();
         assert_eq!(o.schedule, ScheduleKind::Dense, "dense is default");
         assert!(parse(&["--schedule", "wat"]).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_parses() {
+        let (o, _) = parse(&["--recv-timeout", "2.5", "table2"]).unwrap();
+        assert_eq!(o.recv_timeout, Duration::from_millis(2500));
+        let (o, _) = parse(&["table2"]).unwrap();
+        assert_eq!(o.recv_timeout, DEFAULT_RECV_TIMEOUT, "120 s default");
+        assert!(parse(&["--recv-timeout", "0"]).is_err());
+        assert!(parse(&["--recv-timeout", "wat"]).is_err());
     }
 
     #[test]

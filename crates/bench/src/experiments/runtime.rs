@@ -65,6 +65,7 @@ pub fn fig11_or_12(opts: &Options, which: RuntimeGraph) -> Vec<Table> {
             opts.transport,
             opts.pool_policy(),
             opts.schedule,
+            opts.recv_timeout,
         );
         let share = if cargo.time.as_secs_f64() > 0.0 {
             cargo.count_time.as_secs_f64() / cargo.time.as_secs_f64()

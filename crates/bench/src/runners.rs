@@ -90,6 +90,7 @@ pub fn run_cargo(g: &Graph, epsilon: f64, trials: usize, seed: u64) -> UtilityPo
         TransportKind::Memory,
         PoolPolicy::INLINE,
         ScheduleKind::Dense,
+        cargo_mpc::DEFAULT_RECV_TIMEOUT,
     )
 }
 
@@ -99,8 +100,8 @@ pub fn run_cargo(g: &Graph, epsilon: f64, trials: usize, seed: u64) -> UtilityPo
 /// triple-factory policy, and the Count schedule — the CLI's
 /// `--threads`/`--batch`/`--offline-mode`/`--kernel`/`--transport`/
 /// `--factory-threads`/`--pool-depth`/`--pool-backpressure`/
-/// `--schedule` land here so the knobs govern every Count entry the
-/// experiments exercise.
+/// `--schedule`/`--recv-timeout` land here so the knobs govern every
+/// Count entry the experiments exercise.
 #[allow(clippy::too_many_arguments)]
 pub fn run_cargo_with(
     g: &Graph,
@@ -114,6 +115,7 @@ pub fn run_cargo_with(
     transport: TransportKind,
     pool: PoolPolicy,
     schedule: ScheduleKind,
+    recv_timeout: Duration,
 ) -> UtilityPoint {
     let t_true = cargo_graph::count_triangles(g) as f64;
     let mut estimates = Vec::with_capacity(trials);
@@ -131,7 +133,8 @@ pub fn run_cargo_with(
             .with_factory_threads(pool.factory_threads)
             .with_pool_depth(pool.depth)
             .with_pool_backpressure(pool.backpressure)
-            .with_schedule(schedule);
+            .with_schedule(schedule)
+            .with_recv_timeout(recv_timeout);
         let start = Instant::now();
         let out = CargoSystem::new(cfg).run(g);
         times.push(start.elapsed());
@@ -186,10 +189,10 @@ mod tests {
         let small = barabasi_albert(30, 3, 1);
         for point in [
             run_cargo(&g, 2.0, 2, 1),
-            run_cargo_with(&g, 2.0, 2, 1, 2, 16, OfflineMode::TrustedDealer, CountKernel::Bitsliced, TransportKind::Memory, PoolPolicy::INLINE, ScheduleKind::Dense),
-            run_cargo_with(&small, 2.0, 1, 1, 1, 0, OfflineMode::OtExtension, CountKernel::Scalar, TransportKind::Memory, PoolPolicy::INLINE, ScheduleKind::Dense),
-            run_cargo_with(&small, 2.0, 1, 1, 1, 0, OfflineMode::TrustedDealer, CountKernel::default(), TransportKind::Tcp, PoolPolicy::INLINE, ScheduleKind::Dense),
-            run_cargo_with(&g, 2.0, 2, 1, 2, 16, OfflineMode::TrustedDealer, CountKernel::Bitsliced, TransportKind::Memory, PoolPolicy::INLINE, ScheduleKind::Sparse),
+            run_cargo_with(&g, 2.0, 2, 1, 2, 16, OfflineMode::TrustedDealer, CountKernel::Bitsliced, TransportKind::Memory, PoolPolicy::INLINE, ScheduleKind::Dense, cargo_mpc::DEFAULT_RECV_TIMEOUT),
+            run_cargo_with(&small, 2.0, 1, 1, 1, 0, OfflineMode::OtExtension, CountKernel::Scalar, TransportKind::Memory, PoolPolicy::INLINE, ScheduleKind::Dense, cargo_mpc::DEFAULT_RECV_TIMEOUT),
+            run_cargo_with(&small, 2.0, 1, 1, 1, 0, OfflineMode::TrustedDealer, CountKernel::default(), TransportKind::Tcp, PoolPolicy::INLINE, ScheduleKind::Dense, cargo_mpc::DEFAULT_RECV_TIMEOUT),
+            run_cargo_with(&g, 2.0, 2, 1, 2, 16, OfflineMode::TrustedDealer, CountKernel::Bitsliced, TransportKind::Memory, PoolPolicy::INLINE, ScheduleKind::Sparse, cargo_mpc::DEFAULT_RECV_TIMEOUT),
             run_central(&g, 2.0, 2, 1),
             run_local2rounds(&g, 2.0, 2, 1),
         ] {
@@ -201,8 +204,8 @@ mod tests {
     #[test]
     fn ot_mode_surfaces_an_offline_ledger_through_the_runner() {
         let g = barabasi_albert(30, 3, 2);
-        let dealer = run_cargo_with(&g, 2.0, 1, 1, 1, 0, OfflineMode::TrustedDealer, CountKernel::default(), TransportKind::Memory, PoolPolicy::INLINE, ScheduleKind::Dense);
-        let ot = run_cargo_with(&g, 2.0, 1, 1, 1, 0, OfflineMode::OtExtension, CountKernel::default(), TransportKind::Memory, PoolPolicy::INLINE, ScheduleKind::Dense);
+        let dealer = run_cargo_with(&g, 2.0, 1, 1, 1, 0, OfflineMode::TrustedDealer, CountKernel::default(), TransportKind::Memory, PoolPolicy::INLINE, ScheduleKind::Dense, cargo_mpc::DEFAULT_RECV_TIMEOUT);
+        let ot = run_cargo_with(&g, 2.0, 1, 1, 1, 0, OfflineMode::OtExtension, CountKernel::default(), TransportKind::Memory, PoolPolicy::INLINE, ScheduleKind::Dense, cargo_mpc::DEFAULT_RECV_TIMEOUT);
         assert!(dealer.net.offline.is_empty());
         assert!(ot.net.offline.bytes > 0);
         assert_eq!(ot.net.online(), dealer.net.online());

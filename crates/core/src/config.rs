@@ -227,6 +227,11 @@ pub struct CargoConfig {
     /// fixed split or the binary-tree mechanism. Ignored by the
     /// one-shot pipeline.
     pub composition: Composition,
+    /// How long a wire recv blocks on a silent peer before the epoch
+    /// fails typed ([`cargo_mpc::RecvError::Timeout`]). Defaults to
+    /// [`cargo_mpc::DEFAULT_RECV_TIMEOUT`]; threaded into every
+    /// runtime recv path through [`cargo_mpc::Transport::recv_timeout`].
+    pub recv_timeout: std::time::Duration,
 }
 
 impl CargoConfig {
@@ -249,7 +254,23 @@ impl CargoConfig {
             schedule: ScheduleKind::Dense,
             horizon: 16,
             composition: Composition::Fixed,
+            recv_timeout: cargo_mpc::DEFAULT_RECV_TIMEOUT,
         }
+    }
+
+    /// Sets the wire recv timeout (how long a party waits on a silent
+    /// peer before failing the epoch typed).
+    ///
+    /// ```
+    /// use cargo_core::CargoConfig;
+    /// use std::time::Duration;
+    /// let cfg = CargoConfig::new(2.0).with_recv_timeout(Duration::from_secs(5));
+    /// assert_eq!(cfg.recv_timeout, Duration::from_secs(5));
+    /// assert_eq!(CargoConfig::new(2.0).recv_timeout, cargo_mpc::DEFAULT_RECV_TIMEOUT);
+    /// ```
+    pub fn with_recv_timeout(mut self, recv_timeout: std::time::Duration) -> Self {
+        self.recv_timeout = recv_timeout;
+        self
     }
 
     /// Sets the continuous-release horizon (serve mode).

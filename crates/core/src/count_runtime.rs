@@ -47,7 +47,7 @@ use cargo_mpc::{
     mg_offline_over_wire, mul3_combine_batch, mul3_mask_batch, mul3_open_batch, ot_setup_ledger,
     plan_offsets, recv_msg, send_msg, split_mg_words, DealerMsg, InMemoryTransport, MulGroupShare,
     NetStats, OfflineMode, OpeningMsg, PairDealer, PoolPolicy, Ring64, ServerId, TcpConfig,
-    TcpTransport, Transport, TriplePool, DEFAULT_RECV_TIMEOUT, MG_WORDS,
+    TcpTransport, Transport, TriplePool, MG_WORDS,
 };
 use std::sync::Arc;
 
@@ -235,7 +235,7 @@ impl<T: Transport, D: Transport> ServerWorker<T, D> {
                     None => match &self.dealer {
                         DealerSource::Link(link) => {
                             let msg: DealerMsg =
-                                recv_msg(&**link, chunk.id, Some(DEFAULT_RECV_TIMEOUT))
+                                recv_msg(&**link, chunk.id, Some(link.recv_timeout()))
                                     .unwrap_or_else(|e| panic!("dealer lost: {e}"));
                             assert_eq!(msg.chunk, chunk.id, "demux routed a foreign chunk");
                             assert_eq!(msg.pair, pair, "dealer out of lockstep");
@@ -281,7 +281,7 @@ impl<T: Transport, D: Transport> ServerWorker<T, D> {
                     },
                 )
                 .expect("peer hung up");
-                let theirs: OpeningMsg = recv_msg(&*self.peer, chunk.id, Some(DEFAULT_RECV_TIMEOUT))
+                let theirs: OpeningMsg = recv_msg(&*self.peer, chunk.id, Some(self.peer.recv_timeout()))
                     .unwrap_or_else(|e| panic!("peer lost during online round: {e}"));
                 assert_eq!(theirs.chunk, chunk.id, "demux routed a foreign chunk");
                 assert_eq!(theirs.pair, pair, "peer out of lockstep");
@@ -693,6 +693,41 @@ pub fn threaded_secure_count_tcp_pooled(
         OfflineMode::OtExtension,
         policy,
         SchedulePlan::DenseCube,
+    )
+}
+
+/// [`threaded_secure_count_tcp_planned`] with an explicit wire recv
+/// timeout (threaded from [`crate::CargoConfig::recv_timeout`] by the
+/// pipeline and the experiments CLI): how long either loopback end
+/// waits on a silent peer before the run fails typed instead of
+/// hanging.
+#[allow(clippy::too_many_arguments)]
+pub fn threaded_secure_count_tcp_timed(
+    matrix: &BitMatrix,
+    seed: u64,
+    threads: usize,
+    batch: usize,
+    mode: OfflineMode,
+    policy: PoolPolicy,
+    plan: SchedulePlan,
+    recv_timeout: std::time::Duration,
+) -> SecureCountResult {
+    let tcp_cfg = TcpConfig {
+        recv_timeout,
+        ..TcpConfig::default()
+    };
+    let (end1, end2, _) = TcpTransport::loopback_pair(&tcp_cfg)
+        .expect("loopback socket pair");
+    threaded_secure_count_over(
+        matrix,
+        seed,
+        threads,
+        batch,
+        mode,
+        Arc::new(end1),
+        Arc::new(end2),
+        policy,
+        plan,
     )
 }
 

@@ -18,6 +18,7 @@
 //! | Offline phase \[42, 43\] | [`cargo_mpc::offline`] via [`OfflineMode`] | Dealer or OT-extension MG precomputation |
 //! | Deployment shape | [`party`] + [`count_runtime`] | One server per process over a real [`cargo_mpc::transport::Transport`] |
 //! | Continuous release | [`delta`] + [`session`] | Edge-delta epochs, incremental Count, per-epoch DP budgeting |
+//! | Crash recovery | [`recovery`] | Committed-epoch journal, deterministic replay, resumable serve |
 //! | Section III-B ext. | [`node_dp`] | Node-DP variant (sensitivity updates) |
 //! | Table II | [`theory`] | Closed-form utility/cost bounds |
 //! | Section II-A3 | [`metrics`] | l2 loss and relative error |
@@ -54,6 +55,7 @@ pub mod node_dp;
 pub mod party;
 pub mod perturb;
 pub mod projection;
+pub mod recovery;
 pub mod sensitivity;
 pub mod session;
 pub mod protocol;
@@ -71,6 +73,7 @@ pub use count_runtime::{
     threaded_secure_count, threaded_secure_count_offline, threaded_secure_count_planned,
     threaded_secure_count_pooled, threaded_secure_count_sharded, threaded_secure_count_tcp,
     threaded_secure_count_tcp_planned, threaded_secure_count_tcp_pooled,
+    threaded_secure_count_tcp_timed,
 };
 pub use delta::{inline_evaluator, DeltaPlan, EdgeDelta, EpochCount, IncrementalCounter};
 pub use party::{run_party, run_party_local, PartyReport};
@@ -90,5 +93,8 @@ pub use max_degree::{estimate_max_degree, MaxDegreeEstimate};
 pub use metrics::{l2_loss, relative_error};
 pub use perturb::{aggregate_noise_shares, perturb, PerturbResult};
 pub use projection::{project_matrix, project_user_row, ProjectionResult};
+pub use recovery::{
+    replay_committed, replay_committed_on, state_digest, EpochJournal, EpochRecord, RecoveryError,
+};
 pub use sensitivity::{local_sensitivity, smooth_sensitivity, smooth_sensitivity_mechanism};
 pub use protocol::{CargoOutput, CargoSystem, StepTimings};

@@ -43,7 +43,6 @@ use cargo_dp::FixedPointCodec;
 use cargo_graph::{count_triangles_matrix, Graph};
 use cargo_mpc::{
     memory_pair, recv_msg, send_msg, FinalOpeningMsg, NetStats, Ring64, ServerId, Transport,
-    DEFAULT_RECV_TIMEOUT,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -83,8 +82,8 @@ pub struct PartyReport {
 }
 
 /// Runs the full pipeline as server `role` against a live peer over
-/// `link`. Panics (loudly) if the peer disconnects or wedges past
-/// [`DEFAULT_RECV_TIMEOUT`].
+/// `link`. Panics (loudly) if the peer disconnects or wedges past the
+/// link's [`Transport::recv_timeout`].
 pub fn run_party<T: Transport>(
     graph: &Graph,
     cfg: &CargoConfig,
@@ -149,7 +148,7 @@ pub fn run_party<T: Transport>(
     let my_final = codec.lift_integer(count_share) + my_gamma;
     send_msg(&**link, &FinalOpeningMsg { share: my_final })
         .expect("peer hung up before the final opening");
-    let theirs: FinalOpeningMsg = recv_msg(&**link, 0, Some(DEFAULT_RECV_TIMEOUT))
+    let theirs: FinalOpeningMsg = recv_msg(&**link, 0, Some(link.recv_timeout()))
         .unwrap_or_else(|e| panic!("peer lost at the final opening: {e}"));
     net.exchange(1);
     let noisy_count = codec.decode(my_final + theirs.share);

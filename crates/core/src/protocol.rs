@@ -16,7 +16,7 @@
 
 use crate::config::{CargoConfig, CountKernel, ScheduleKind, TransportKind};
 use crate::count::{secure_triangle_count_planned, secure_triangle_count_pooled_planned};
-use crate::count_runtime::threaded_secure_count_tcp_planned;
+use crate::count_runtime::threaded_secure_count_tcp_timed;
 use crate::count_sched::{CandidateSet, SchedulePlan};
 use cargo_mpc::OfflineMode;
 use std::sync::Arc;
@@ -265,7 +265,7 @@ impl CargoSystem {
                 }
                 // The runtime ignores the pool knob outside OT mode,
                 // matching the warning above.
-                threaded_secure_count_tcp_planned(
+                threaded_secure_count_tcp_timed(
                     &projected,
                     cfg.seed ^ COUNT_SEED_TWEAK,
                     cfg.effective_threads(),
@@ -273,6 +273,7 @@ impl CargoSystem {
                     cfg.offline,
                     pool_policy,
                     plan,
+                    cfg.recv_timeout,
                 )
             }
         };

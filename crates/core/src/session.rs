@@ -38,11 +38,11 @@ use crate::count_runtime::run_party_count_planned;
 use crate::delta::{inline_evaluator, EdgeDelta, EpochCount, IncrementalCounter};
 use crate::protocol::{COUNT_SEED_TWEAK, NOISE_SEED_TWEAK};
 use crate::perturb::aggregate_noise_shares;
+use crate::recovery::state_digest;
 use cargo_dp::{Composition, FixedPointCodec, ReleaseGrant, ReleaseRefused, ReleaseSchedule, TreeNode};
 use cargo_graph::{Graph, GraphError};
 use cargo_mpc::{
-    recv_msg, send_msg, FinalOpeningMsg, NetStats, Ring64, ServerId, Transport,
-    DEFAULT_RECV_TIMEOUT,
+    recv_msg, send_msg, CommitMsg, FinalOpeningMsg, NetStats, Ring64, ServerId, Transport,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -103,6 +103,18 @@ pub enum SessionError {
         /// What failed to parse.
         message: String,
     },
+    /// The epoch-commit handshake found the two parties in different
+    /// states — different committed epoch or different state digest.
+    /// Proceeding would fork the release transcript, so the session
+    /// stops before opening anything.
+    Desync {
+        /// Which handshake field disagreed.
+        what: &'static str,
+        /// Our side's value.
+        ours: u64,
+        /// The peer's value.
+        theirs: u64,
+    },
 }
 
 impl fmt::Display for SessionError {
@@ -113,6 +125,12 @@ impl fmt::Display for SessionError {
             SessionError::Peer(msg) => write!(f, "peer failure mid-epoch: {msg}"),
             SessionError::Script { line, message } => {
                 write!(f, "delta script line {line}: {message}")
+            }
+            SessionError::Desync { what, ours, theirs } => {
+                write!(
+                    f,
+                    "parties desynced on {what}: ours {ours:#x}, theirs {theirs:#x}"
+                )
             }
         }
     }
@@ -284,8 +302,11 @@ impl Session {
 ///
 /// A peer failure mid-epoch surfaces as [`SessionError::Peer`] (the
 /// worker `RecvError` path — disconnect immediately, timeout after
-/// [`DEFAULT_RECV_TIMEOUT`]), emits **no** release for the incomplete
-/// epoch, and poisons the session.
+/// the link's [`Transport::recv_timeout`]), emits **no** release for
+/// the incomplete epoch, and poisons the session. Before the final
+/// opening, the parties run an idempotent epoch-commit handshake
+/// (exchange of [`CommitMsg`]) so a divergent pair stops with
+/// [`SessionError::Desync`] instead of publishing forked releases.
 pub struct PartySession<T: Transport> {
     cfg: CargoConfig,
     role: ServerId,
@@ -354,6 +375,33 @@ impl<T: Transport> PartySession<T> {
         let stepped = catch_unwind(AssertUnwindSafe(
             || -> Result<(EpochCount, f64), SessionError> {
                 let ec = counter.apply_with(batch, party_evaluator(&cfg, role, link))?;
+                // Idempotent epoch-commit handshake: agree on the
+                // epoch id and post-apply state digest *before* any
+                // noise share crosses the wire. A desynced pair (one
+                // party replayed a different script, resumed from a
+                // stale journal, …) stops typed here instead of
+                // publishing forked releases. CommitMsg payload rides
+                // outside both cost classes, so the measured online
+                // payload still equals the modeled ledger.
+                let digest = state_digest(counter.epochs(), counter.graph());
+                send_msg(&**link, &CommitMsg { epoch: grant.epoch, digest })
+                    .map_err(|e| SessionError::Peer(format!("epoch commit send: {e}")))?;
+                let peer: CommitMsg = recv_msg(&**link, 0, Some(link.recv_timeout()))
+                    .map_err(|e| SessionError::Peer(format!("epoch commit recv: {e}")))?;
+                if peer.epoch != grant.epoch {
+                    return Err(SessionError::Desync {
+                        what: "committed epoch",
+                        ours: grant.epoch,
+                        theirs: peer.epoch,
+                    });
+                }
+                if peer.digest != digest {
+                    return Err(SessionError::Desync {
+                        what: "state digest",
+                        ours: digest,
+                        theirs: peer.digest,
+                    });
+                }
                 let (g1, g2) = release.gammas(&grant);
                 let my_gamma = match role {
                     ServerId::S1 => g1,
@@ -366,7 +414,7 @@ impl<T: Transport> PartySession<T> {
                 let my_final = release.codec.lift_integer(my_share) + my_gamma;
                 send_msg(&**link, &FinalOpeningMsg { share: my_final })
                     .map_err(|e| SessionError::Peer(format!("final opening send: {e}")))?;
-                let theirs: FinalOpeningMsg = recv_msg(&**link, 0, Some(DEFAULT_RECV_TIMEOUT))
+                let theirs: FinalOpeningMsg = recv_msg(&**link, 0, Some(link.recv_timeout()))
                     .map_err(|e| SessionError::Peer(format!("final opening recv: {e}")))?;
                 Ok((ec, release.codec.decode(my_final + theirs.share)))
             },
@@ -393,6 +441,109 @@ impl<T: Transport> PartySession<T> {
         let spent = self.release.schedule.accountant().spent();
         Ok(outcome(&grant, &ec, noisy, spent, net))
     }
+
+    /// Reconnects a crashed party to its peer and synchronises the
+    /// two committed frontiers.
+    ///
+    /// `replayed` is the locally recomputed pre-crash session (from
+    /// [`crate::recovery::replay_committed`]); `pending` are the delta
+    /// batches *after* its committed frontier, in epoch order. The
+    /// handshake is symmetric and message-balanced:
+    ///
+    /// * each party announces `(next epoch, state digest)` once;
+    /// * the party that is *behind* replays the missing epochs from
+    ///   `pending` **locally** (canonical dealer offsets make the
+    ///   recomputation bit-identical to the lost live epochs — zero
+    ///   counting traffic) and re-announces after each;
+    /// * the party that is *ahead* keeps receiving announcements until
+    ///   the frontiers meet;
+    /// * at the meeting point the digests must agree, else the pair
+    ///   stops with [`SessionError::Desync`].
+    ///
+    /// Since the replayed schedule only re-granted *committed* epochs,
+    /// the grant consumed by a crashed in-flight epoch is never
+    /// double-spent: total ε after resume equals an uninterrupted run.
+    ///
+    /// Returns the live session plus the outcomes of the epochs caught
+    /// up during the handshake (bit-identical to what an uninterrupted
+    /// run would have published), each paired with its post-epoch
+    /// [`state_digest`] so the caller can journal them before
+    /// publishing; the caller continues stepping from
+    /// `pending[caught_up.len()..]`.
+    pub fn resume(
+        replayed: Session,
+        role: ServerId,
+        link: Arc<T>,
+        pending: &[Vec<EdgeDelta>],
+    ) -> Result<(Self, Vec<(EpochOutcome, u64)>), SessionError> {
+        let mut session = replayed;
+        let digest_of =
+            |s: &Session| state_digest(s.counter.epochs(), s.counter.graph());
+        let mut my_next = s_released(&session) + 1;
+        let mut catchup = Vec::new();
+        send_msg(
+            &*link,
+            &CommitMsg { epoch: my_next, digest: digest_of(&session) },
+        )
+        .map_err(|e| SessionError::Peer(format!("resume handshake send: {e}")))?;
+        let mut theirs: CommitMsg = recv_msg(&*link, 0, Some(link.recv_timeout()))
+            .map_err(|e| SessionError::Peer(format!("resume handshake recv: {e}")))?;
+        loop {
+            if theirs.epoch > my_next {
+                // The peer committed epochs we crashed out of: replay
+                // them locally and announce each catch-up step.
+                let batch = pending.get(catchup.len()).ok_or_else(|| {
+                    SessionError::Peer(format!(
+                        "peer committed epoch {} past our delta script",
+                        theirs.epoch.saturating_sub(1)
+                    ))
+                })?;
+                let out = session.step(batch)?;
+                let digest = digest_of(&session);
+                catchup.push((out, digest));
+                my_next += 1;
+                send_msg(
+                    &*link,
+                    &CommitMsg { epoch: my_next, digest: digest_of(&session) },
+                )
+                .map_err(|e| SessionError::Peer(format!("resume handshake send: {e}")))?;
+            } else if theirs.epoch < my_next {
+                // The peer is catching up; wait for its announcements.
+                theirs = recv_msg(&*link, 0, Some(link.recv_timeout()))
+                    .map_err(|e| SessionError::Peer(format!("resume handshake recv: {e}")))?;
+            } else {
+                let ours = digest_of(&session);
+                if theirs.digest != ours {
+                    return Err(SessionError::Desync {
+                        what: "resume state digest",
+                        ours,
+                        theirs: theirs.digest,
+                    });
+                }
+                break;
+            }
+        }
+        let Session { cfg, counter, release } = session;
+        let wire_mark = link.stats().online_payload_both();
+        Ok((
+            PartySession {
+                cfg,
+                role,
+                link,
+                counter,
+                release,
+                wire_mark,
+                poisoned: false,
+            },
+            catchup,
+        ))
+    }
+}
+
+/// The session's committed-release frontier (how many epochs its
+/// schedule has granted).
+fn s_released(s: &Session) -> u64 {
+    s.release.schedule.released()
 }
 
 /// The wire evaluator: planned party counts whose `wire_bytes` are

@@ -6,7 +6,7 @@
 use cargo_core::{CargoConfig, EdgeDelta, PartySession, Session, SessionError};
 use cargo_graph::generators;
 use cargo_mpc::{memory_pair, InMemoryTransport, ServerId, Transport};
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
 
 fn serve_cfg() -> CargoConfig {
     CargoConfig::new(2.0).with_seed(42).with_horizon(4)
@@ -31,28 +31,20 @@ fn peer_death_mid_stream_poisons_without_a_partial_release() {
     let cfg = serve_cfg();
     let (e1, e2) = memory_pair();
     let (e1, e2) = (Arc::new(e1), Arc::new(e2));
-    // Both sides must finish epoch 1 before the peer is allowed to
-    // die, otherwise the survivor's *first* epoch races the drop.
-    let rendezvous = Arc::new(Barrier::new(2));
 
     let (survivor_result, peer_epoch1) = std::thread::scope(|scope| {
         let peer = {
             let link = Arc::clone(&e2);
             let g = g.clone();
-            let barrier = Arc::clone(&rendezvous);
             scope.spawn(move || {
-                let mut s = PartySession::new(g, &cfg, ServerId::S2, link).unwrap();
+                let mut s = PartySession::new(g, &cfg, ServerId::S2, Arc::clone(&link)).unwrap();
                 let out = s.step(&busy_batch()).unwrap();
-                barrier.wait();
-                out // returning drops the session and its link end
+                link.close(); // the peer "dies": hangs up explicitly
+                out
             })
         };
-        // The peer thread must hold the *last* handle to its endpoint,
-        // or its death would never close the channel.
-        drop(e2);
         let mut s = PartySession::new(g.clone(), &cfg, ServerId::S1, Arc::clone(&e1)).unwrap();
         let first = s.step(&busy_batch()).unwrap();
-        rendezvous.wait();
         let dead = peer.join().unwrap();
 
         // Epoch 2 against a dead peer: a Peer error, not a panic.

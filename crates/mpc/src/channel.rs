@@ -25,10 +25,10 @@ use std::time::{Duration, Instant};
 /// Why a blocking receive came back without a message.
 ///
 /// Both the legacy typed [`tagged_channel`] and the byte-level
-/// [`crate::transport::Transport`] backends surface the same two
-/// failure modes, so a dropped peer fails the protocol *loudly*
-/// (workers `expect` on this) instead of deadlocking a worker on a
-/// channel that will never deliver.
+/// [`crate::transport::Transport`] backends surface the same failure
+/// modes, so a dropped peer fails the protocol *loudly* (workers
+/// `expect` on this) instead of deadlocking a worker on a channel that
+/// will never deliver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RecvError {
     /// Every sending handle is gone and the queue for the requested
@@ -37,14 +37,20 @@ pub enum RecvError {
     /// The deadline passed with no message for the requested key (the
     /// peer may be alive but wedged — the caller decides).
     Timeout,
+    /// The link delivered bytes that do not decode to a valid frame:
+    /// a bit-flip, truncation, or desync caught by the wire codec
+    /// (version 2's checksum makes this detection exhaustive). The
+    /// link is poisoned — subsequent receives return the same error.
+    Corrupt(crate::wire::WireError),
 }
 
 impl std::fmt::Display for RecvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            RecvError::Disconnected => "peer disconnected",
-            RecvError::Timeout => "receive timed out",
-        })
+        match self {
+            RecvError::Disconnected => f.write_str("peer disconnected"),
+            RecvError::Timeout => f.write_str("receive timed out"),
+            RecvError::Corrupt(e) => write!(f, "corrupt frame on the link: {e}"),
+        }
     }
 }
 
@@ -266,7 +272,10 @@ struct DemuxState<K, T> {
     queues: HashMap<K, VecDeque<T>>,
     /// Whether some worker currently owns the underlying source.
     pumping: bool,
-    closed: bool,
+    /// Set once the source fails for good ([`RecvError::Disconnected`]
+    /// or [`RecvError::Corrupt`]) — the terminal error every drained
+    /// waiter then returns.
+    closed: Option<RecvError>,
 }
 
 /// The cooperative demultiplexer shared by every multiplexed link in
@@ -291,7 +300,7 @@ impl<K: Eq + Hash + Copy, T> KeyedDemux<K, T> {
             state: Mutex::new(DemuxState {
                 queues: HashMap::new(),
                 pumping: false,
-                closed: false,
+                closed: None,
             }),
             cv: Condvar::new(),
         }
@@ -321,8 +330,8 @@ impl<K: Eq + Hash + Copy, T> KeyedDemux<K, T> {
                 if let Some(m) = st.queues.get_mut(&key).and_then(VecDeque::pop_front) {
                     return Ok(m);
                 }
-                if st.closed {
-                    return Err(RecvError::Disconnected);
+                if let Some(err) = st.closed {
+                    return Err(err);
                 }
                 if let Some(d) = deadline {
                     if Instant::now() >= d {
@@ -354,7 +363,12 @@ impl<K: Eq + Hash + Copy, T> KeyedDemux<K, T> {
             st.pumping = false;
             match received {
                 Ok((k, m)) => st.queues.entry(k).or_default().push_back(m),
-                Err(RecvError::Disconnected) => st.closed = true,
+                // Disconnection and corruption both end the link for
+                // good: record which, so every waiter (now and later)
+                // fails with the pump's typed error.
+                Err(e @ (RecvError::Disconnected | RecvError::Corrupt(_))) => {
+                    st.closed = Some(e);
+                }
                 // The pump's poll slice elapsed: no progress, no state
                 // change — loop around, re-check the deadline, re-pump.
                 Err(RecvError::Timeout) => {}

@@ -80,11 +80,12 @@ pub use offline::{
     MAX_FLIGHT_GROUPS,
 };
 pub use transport::{
-    memory_pair, recv_msg, send_msg, InMemoryTransport, TcpConfig, TcpTransport, Transport,
-    WireStats, DEFAULT_RECV_TIMEOUT,
+    memory_pair, memory_pair_with_timeout, recv_msg, send_msg, FaultKind, FaultPlan,
+    FaultyTransport, InMemoryTransport, TcpConfig, TcpTransport, Transport, WireStats,
+    DEFAULT_RECV_TIMEOUT,
 };
 pub use wire::{
-    DealerMsg, FinalOpeningMsg, Frame, OfflineMsg, OpeningMsg, WireError, WireMessage,
+    CommitMsg, DealerMsg, FinalOpeningMsg, Frame, OfflineMsg, OpeningMsg, WireError, WireMessage,
     FRAME_HEADER_BYTES, WIRE_VERSION,
 };
 pub use ot::{

@@ -82,7 +82,7 @@ use crate::ot::{
     BASE_OT_BYTES, BASE_OT_ROUNDS, OT_KAPPA,
 };
 use crate::prg::SplitMix64;
-use crate::transport::{recv_msg, send_msg, Transport, DEFAULT_RECV_TIMEOUT};
+use crate::transport::{recv_msg, send_msg, Transport};
 use crate::triple_mul::MulGroupShare;
 use crate::wire::OfflineMsg;
 use crate::ServerId;
@@ -747,7 +747,7 @@ fn send_off<T: Transport>(link: &T, chunk: u32, flight: u32, step: u8, words: Ve
 /// Receives the peer's next offline message for the chunk, asserting
 /// protocol lockstep.
 fn recv_off<T: Transport>(link: &T, chunk: u32, flight: u32, step: u8) -> Vec<u64> {
-    let m: OfflineMsg = recv_msg(link, chunk, Some(DEFAULT_RECV_TIMEOUT))
+    let m: OfflineMsg = recv_msg(link, chunk, Some(link.recv_timeout()))
         .unwrap_or_else(|e| panic!("peer lost during offline dialogue: {e}"));
     assert_eq!(m.chunk, chunk, "demux routed a foreign chunk");
     assert_eq!(m.flight, flight, "offline flight out of lockstep");

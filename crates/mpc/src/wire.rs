@@ -15,23 +15,33 @@
 //! offset size field
 //! 0      1    version        (= WIRE_VERSION)
 //! 1      1    msg_type       (OpeningMsg = 1, DealerMsg = 2,
-//!                             OfflineMsg = 3, FinalOpeningMsg = 4)
+//!                             OfflineMsg = 3, FinalOpeningMsg = 4,
+//!                             CommitMsg = 5)
 //! 2      2    step           (OfflineMsg step; 0 otherwise)
 //! 4      4    tag            (chunk id — the demux key)
 //! 8      4    a              (pair.i | flight | 0)
 //! 12     4    b              (pair.j | 0)
 //! 16     4    c              (k0 | 0)
 //! 20     4    payload_len    (bytes; always a multiple of 8)
-//! 24     …    payload        (payload_len bytes of u64 LE words)
+//! 24     8    checksum       (FNV-1a 64 over bytes 0..24 ‖ payload)
+//! 32     …    payload        (payload_len bytes of u64 LE words)
 //! ```
 //!
 //! The header carries **all** metadata; the payload is exactly the
 //! ring-element words of the message. That split is load-bearing for
 //! the cost accounting: the modeled ledgers count 8 bytes per ring
 //! element, so "payload bytes" measured by a transport equals the
-//! modeled byte count *exactly* — header overhead is reported
-//! separately ([`crate::transport::WireStats`]) and never muddies the
-//! measured-vs-modeled equivalence (DESIGN.md §8).
+//! modeled byte count *exactly* — header overhead (checksum included)
+//! is reported separately ([`crate::transport::WireStats`]) and never
+//! muddies the measured-vs-modeled equivalence (DESIGN.md §8).
+//!
+//! The checksum (version 2) makes link corruption *loud*: every FNV-1a
+//! step xors a byte into the state and multiplies by an odd prime —
+//! both invertible maps — so any single flipped bit anywhere in the
+//! covered bytes propagates to a different final hash and the frame
+//! decodes to [`WireError::BadChecksum`] instead of garbage ring words.
+//! Truncation is caught by the explicit length checks before the
+//! checksum is even consulted.
 //!
 //! The format is pinned by a byte-level fixture in
 //! `crates/mpc/tests/wire_format.rs`, so it cannot drift silently;
@@ -41,11 +51,15 @@ use crate::ring::Ring64;
 use crate::triple_mul::MulGroupShare;
 
 /// Version byte every frame starts with; receivers reject anything
-/// else ([`WireError::BadVersion`]).
-pub const WIRE_VERSION: u8 = 1;
+/// else ([`WireError::BadVersion`]). Version 2 added the header
+/// checksum field.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Fixed frame header size in bytes (see the module-level layout).
-pub const FRAME_HEADER_BYTES: usize = 24;
+pub const FRAME_HEADER_BYTES: usize = 32;
+
+/// Byte offset of the checksum field inside the header.
+const CHECKSUM_OFFSET: usize = 24;
 
 /// Upper bound on a frame's payload (64 MiB). The largest legitimate
 /// frame is an offline flight's extension-column message (~4 MB at
@@ -55,9 +69,9 @@ pub const FRAME_HEADER_BYTES: usize = 24;
 /// zero-fill.
 pub const MAX_FRAME_PAYLOAD_BYTES: usize = 64 << 20;
 
-/// Decoding failure: the frame is malformed, truncated, or from an
-/// incompatible peer.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Decoding failure: the frame is malformed, truncated, corrupted, or
+/// from an incompatible peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WireError {
     /// Fewer bytes than the header (or the announced payload) needs.
     Truncated {
@@ -78,6 +92,14 @@ pub enum WireError {
         /// The offending length in bytes.
         len: usize,
     },
+    /// The header checksum does not match the frame contents: at least
+    /// one bit changed between the sender's encoder and here.
+    BadChecksum {
+        /// The checksum the frame announced.
+        announced: u64,
+        /// The checksum recomputed over the received bytes.
+        computed: u64,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -89,6 +111,13 @@ impl std::fmt::Display for WireError {
             WireError::BadVersion(v) => write!(f, "bad wire version {v} (want {WIRE_VERSION})"),
             WireError::BadMsgType(t) => write!(f, "bad message type {t}"),
             WireError::BadLength { what, len } => write!(f, "bad length: {what} ({len} bytes)"),
+            WireError::BadChecksum {
+                announced,
+                computed,
+            } => write!(
+                f,
+                "checksum mismatch: frame announced {announced:#018x}, bytes hash to {computed:#018x}"
+            ),
         }
     }
 }
@@ -116,6 +145,22 @@ pub struct Frame {
     pub payload: Vec<u8>,
 }
 
+/// FNV-1a 64-bit over the checksummed portion of a frame: the header
+/// bytes *before* the checksum field, then the payload. Every step is
+/// an invertible state update (xor, multiply by an odd prime), so two
+/// inputs differing in any bit hash differently with probability
+/// 1 for single-bit flips and ~1 − 2⁻⁶⁴ in general.
+fn frame_checksum(header_prefix: &[u8], payload: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = FNV_OFFSET;
+    for &b in header_prefix.iter().chain(payload) {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
 impl Frame {
     /// Serialises the frame (header + payload) into wire bytes.
     pub fn encode(&self) -> Vec<u8> {
@@ -128,14 +173,17 @@ impl Frame {
         out.extend_from_slice(&self.b.to_le_bytes());
         out.extend_from_slice(&self.c.to_le_bytes());
         out.extend_from_slice(&(self.payload.len() as u32).to_le_bytes());
+        let sum = frame_checksum(&out[..CHECKSUM_OFFSET], &self.payload);
+        out.extend_from_slice(&sum.to_le_bytes());
         out.extend_from_slice(&self.payload);
         out
     }
 
     /// Parses a complete frame from `bytes`. Strict: the slice must
     /// hold exactly one frame (header + announced payload, nothing
-    /// more), the version must match, and the payload length must be a
-    /// multiple of 8 — any drift is an error, never a guess.
+    /// more), the version must match, the payload length must be a
+    /// multiple of 8, and the checksum must verify — any drift is an
+    /// error, never a guess.
     pub fn decode(bytes: &[u8]) -> Result<Frame, WireError> {
         if bytes.len() < FRAME_HEADER_BYTES {
             return Err(WireError::Truncated {
@@ -174,6 +222,17 @@ impl Frame {
             return Err(WireError::BadLength {
                 what: "trailing bytes after the announced payload",
                 len: bytes.len(),
+            });
+        }
+        let u64le = |at: usize| {
+            u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8-byte slice"))
+        };
+        let announced = u64le(CHECKSUM_OFFSET);
+        let computed = frame_checksum(&bytes[..CHECKSUM_OFFSET], &bytes[FRAME_HEADER_BYTES..total]);
+        if announced != computed {
+            return Err(WireError::BadChecksum {
+                announced,
+                computed,
             });
         }
         Ok(Frame {
@@ -466,6 +525,54 @@ impl WireMessage for FinalOpeningMsg {
     }
 }
 
+/// The continuous-release epoch-commit acknowledgement: before a
+/// serve-mode epoch's final opening is exchanged, each party announces
+/// the epoch id it is about to release and a digest of its (public)
+/// post-batch state. Carrying *control-plane* data only, it belongs to
+/// neither the online nor the offline cost class — its payload never
+/// mixes into the modeled ring-element ledgers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitMsg {
+    /// The 1-based epoch id this party is about to commit.
+    pub epoch: u64,
+    /// Digest of the party's post-batch public state (epoch count +
+    /// live edge set); both parties must agree before a release opens.
+    pub digest: u64,
+}
+
+impl WireMessage for CommitMsg {
+    const MSG_TYPE: u8 = 5;
+
+    fn tag(&self) -> u32 {
+        0
+    }
+
+    fn to_frame(&self) -> Frame {
+        let mut payload = Vec::with_capacity(16);
+        push_words(&mut payload, &[self.epoch, self.digest]);
+        Frame {
+            msg_type: Self::MSG_TYPE,
+            step: 0,
+            tag: 0,
+            a: 0,
+            b: 0,
+            c: 0,
+            payload,
+        }
+    }
+
+    fn from_frame(frame: &Frame) -> Result<Self, WireError> {
+        let words = frame.payload_words();
+        let [epoch, digest] = words[..] else {
+            return Err(WireError::BadLength {
+                what: "commit must be exactly two words",
+                len: frame.payload.len(),
+            });
+        };
+        Ok(CommitMsg { epoch, digest })
+    }
+}
+
 /// True when `msg_type` belongs to the *online* phase of the cost
 /// model (the `e, f, g` openings and the final noisy-count opening) —
 /// the classification [`crate::transport::WireStats`] buckets payload
@@ -536,6 +643,16 @@ mod tests {
     }
 
     #[test]
+    fn commit_round_trips() {
+        let m = CommitMsg {
+            epoch: 42,
+            digest: 0xFACE_FEED_0123_4567,
+        };
+        assert_eq!(CommitMsg::decode(&m.encode()).unwrap(), m);
+        assert_eq!(m.tag(), 0);
+    }
+
+    #[test]
     fn bad_version_is_rejected() {
         let mut bytes = OpeningMsg {
             chunk: 0,
@@ -544,8 +661,32 @@ mod tests {
             efg: vec![1, 2, 3],
         }
         .encode();
-        bytes[0] = 2;
-        assert_eq!(Frame::decode(&bytes), Err(WireError::BadVersion(2)));
+        bytes[0] = WIRE_VERSION + 1;
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(WireError::BadVersion(WIRE_VERSION + 1))
+        );
+    }
+
+    #[test]
+    fn every_bit_flip_is_caught() {
+        let bytes = OpeningMsg {
+            chunk: 3,
+            pair: (1, 4),
+            k0: 0,
+            efg: vec![5, 6, 7],
+        }
+        .encode();
+        for pos in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut mutated = bytes.clone();
+                mutated[pos] ^= 1 << bit;
+                assert!(
+                    Frame::decode(&mutated).is_err(),
+                    "flip at byte {pos} bit {bit} went undetected"
+                );
+            }
+        }
     }
 
     #[test]
@@ -588,5 +729,9 @@ mod tests {
         assert!(is_offline_msg(OfflineMsg::MSG_TYPE));
         assert!(!is_online_msg(DealerMsg::MSG_TYPE));
         assert!(!is_offline_msg(DealerMsg::MSG_TYPE));
+        // Control-plane commits are in *neither* cost class: they must
+        // never perturb the measured-vs-modeled ledger equivalence.
+        assert!(!is_online_msg(CommitMsg::MSG_TYPE));
+        assert!(!is_offline_msg(CommitMsg::MSG_TYPE));
     }
 }

@@ -11,8 +11,8 @@
 
 use cargo_mpc::wire::MAX_FRAME_PAYLOAD_BYTES;
 use cargo_mpc::{
-    DealerMsg, FinalOpeningMsg, Frame, MulGroupShare, OfflineMsg, OpeningMsg, Ring64, WireError,
-    WireMessage, FRAME_HEADER_BYTES, WIRE_VERSION,
+    CommitMsg, DealerMsg, FinalOpeningMsg, Frame, MulGroupShare, OfflineMsg, OpeningMsg, Ring64,
+    WireError, WireMessage, FRAME_HEADER_BYTES, WIRE_VERSION,
 };
 use proptest::prelude::*;
 
@@ -79,6 +79,12 @@ proptest! {
     }
 
     #[test]
+    fn commit_round_trips(epoch in any::<u64>(), digest in any::<u64>()) {
+        let msg = CommitMsg { epoch, digest };
+        prop_assert_eq!(CommitMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
     fn truncated_frames_are_rejected_at_every_cut(
         words in arb_words(20),
         chunk in any::<u32>(),
@@ -127,7 +133,7 @@ fn opening_frame_bytes_are_pinned() {
     #[rustfmt::skip]
     let want: Vec<u8> = vec![
         // version, msg_type, step (u16 LE)
-        0x01, 0x01, 0x00, 0x00,
+        0x02, 0x01, 0x00, 0x00,
         // tag = chunk = 7
         0x07, 0x00, 0x00, 0x00,
         // a = pair.i = 2
@@ -138,13 +144,15 @@ fn opening_frame_bytes_are_pinned() {
         0x06, 0x00, 0x00, 0x00,
         // payload_len = 24
         0x18, 0x00, 0x00, 0x00,
+        // checksum: FNV-1a 64 over header[..24] ‖ payload, u64 LE
+        0x44, 0x1D, 0xB0, 0x66, 0x70, 0xEB, 0x64, 0xB7,
         // payload: e, f, g as u64 LE
         0x11, 0x11, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
         0x22, 0x22, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
         0xEF, 0xCD, 0xAB, 0x89, 0x67, 0x45, 0x23, 0x01,
     ];
     assert_eq!(bytes, want, "the wire format drifted — bump WIRE_VERSION");
-    assert_eq!(WIRE_VERSION, 1, "fixture matches version 1 only");
+    assert_eq!(WIRE_VERSION, 2, "fixture matches version 2 only");
 }
 
 /// An announced payload length past the cap is rejected before any
@@ -174,7 +182,7 @@ fn header_bytes_of_every_type_are_pinned() {
         groups: vec![],
     }
     .encode();
-    assert_eq!(&dealer[..2], &[0x01, 0x02], "version, DealerMsg type");
+    assert_eq!(&dealer[..2], &[0x02, 0x02], "version, DealerMsg type");
     let offline = OfflineMsg {
         chunk: 9,
         flight: 2,
@@ -182,9 +190,12 @@ fn header_bytes_of_every_type_are_pinned() {
         words: vec![],
     }
     .encode();
-    assert_eq!(&offline[..4], &[0x01, 0x03, 0x04, 0x00], "step rides the header");
+    assert_eq!(&offline[..4], &[0x02, 0x03, 0x04, 0x00], "step rides the header");
     assert_eq!(&offline[8..12], &[0x02, 0x00, 0x00, 0x00], "flight in a");
     let fin = FinalOpeningMsg { share: Ring64(1) }.encode();
-    assert_eq!(&fin[..2], &[0x01, 0x04]);
+    assert_eq!(&fin[..2], &[0x02, 0x04]);
     assert_eq!(fin.len(), FRAME_HEADER_BYTES + 8, "one ring element");
+    let commit = CommitMsg { epoch: 1, digest: 2 }.encode();
+    assert_eq!(&commit[..2], &[0x02, 0x05], "version, CommitMsg type");
+    assert_eq!(commit.len(), FRAME_HEADER_BYTES + 16, "two words");
 }

@@ -20,21 +20,26 @@
 //! measured `wire_bytes` are identical on both sides by construction);
 //! everything else goes to stderr.
 
-use cargo_core::session::{classify_delta_line, DeltaLine};
+use cargo_core::session::{classify_delta_line, parse_delta_script, DeltaLine};
 use cargo_core::{
-    run_party, run_party_local, CargoConfig, EdgeDelta, EpochOutcome, IncrementalCounter,
-    PartyReport, PartySession, ScheduleKind, Session, SessionError,
+    replay_committed_on, run_party, run_party_local, state_digest, CargoConfig, EdgeDelta,
+    EpochJournal, EpochOutcome, EpochRecord, IncrementalCounter, PartyReport, PartySession,
+    ScheduleKind, Session, SessionError,
 };
 use cargo_dp::Composition;
 use cargo_graph::generators::chung_lu;
 use cargo_graph::generators::presets::SnapDataset;
 use cargo_graph::Graph;
-use cargo_mpc::{ServerId, TcpConfig, TcpTransport};
+use cargo_mpc::{
+    FaultPlan, FaultyTransport, ServerId, TcpConfig, TcpTransport, Transport,
+    DEFAULT_RECV_TIMEOUT,
+};
 use cargo_repro as _;
 use std::io::BufRead;
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Role {
@@ -101,6 +106,10 @@ struct Args {
     deltas: Option<PathBuf>,
     horizon: u64,
     composition: Composition,
+    recv_timeout: Duration,
+    fault_plan: Option<FaultPlan>,
+    journal: Option<PathBuf>,
+    resume: bool,
 }
 
 fn usage() -> String {
@@ -115,6 +124,10 @@ fn usage() -> String {
      \x20      [--mode pipeline|serve (default pipeline)]\n\
      \x20      [--deltas FILE|- (serve: edge-delta script; default stdin)]\n\
      \x20      [--horizon <epochs=16>] [--composition fixed|tree]\n\
+     \x20      [--recv-timeout <seconds=120>]\n\
+     \x20      [--journal FILE (serve: committed-epoch journal)]\n\
+     \x20      [--resume (serve: replay the journal, reconnect, continue)]\n\
+     \x20      [--fault-plan seed=N,disconnect@F,delay@F:MS,corrupt@F,truncate@F]\n\
      \n\
      s1 listens, s2 connects (either may take --listen or --connect);\n\
      local runs both parties in-process over the in-memory transport\n\
@@ -122,7 +135,15 @@ fn usage() -> String {
      \n\
      serve mode reads `+u v` / `-u v` lines, `commit` ends an epoch\n\
      (incremental secure recount + one DP release); the schedule\n\
-     refuses releases once epsilon or the horizon is exhausted."
+     refuses releases once epsilon or the horizon is exhausted.\n\
+     \n\
+     --journal appends each committed epoch (id, epsilon spent, state\n\
+     digest) durably BEFORE its RESULT lines print; after a crash,\n\
+     --resume (requires --deltas FILE) replays the script to the last\n\
+     committed epoch bit-identically, re-prints its transcript,\n\
+     reconnects with backoff, and continues without double-spending\n\
+     epsilon. --fault-plan injects deterministic link faults at frame\n\
+     indices (testing; wire roles only)."
         .to_string()
 }
 
@@ -161,6 +182,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         deltas: None,
         horizon: 16,
         composition: Composition::Fixed,
+        recv_timeout: DEFAULT_RECV_TIMEOUT,
+        fault_plan: None,
+        journal: None,
+        resume: false,
     };
     let mut role_given = false;
     let mut i = 0;
@@ -242,6 +267,24 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|e: String| format!("--composition: {e}"))?
             }
+            "--recv-timeout" => {
+                let secs: f64 = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--recv-timeout: {e}"))?;
+                if !(secs > 0.0 && secs.is_finite()) {
+                    return Err("--recv-timeout: must be a positive number of seconds".into());
+                }
+                args.recv_timeout = Duration::from_secs_f64(secs);
+            }
+            "--fault-plan" => {
+                args.fault_plan = Some(
+                    take(&mut i)?
+                        .parse()
+                        .map_err(|e: String| format!("--fault-plan: {e}"))?,
+                )
+            }
+            "--journal" => args.journal = Some(PathBuf::from(take(&mut i)?)),
+            "--resume" => args.resume = true,
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other}\n{}", usage())),
         }
@@ -255,6 +298,26 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if args.mode == Mode::Serve && args.horizon == 0 {
         return Err("--horizon must be >= 1".into());
+    }
+    if args.mode == Mode::Pipeline && (args.journal.is_some() || args.resume) {
+        return Err("--journal/--resume only make sense with --mode serve".into());
+    }
+    if args.resume {
+        if args.journal.is_none() {
+            return Err("--resume requires --journal".into());
+        }
+        match args.deltas.as_deref() {
+            Some(p) if p.as_os_str() != "-" => {}
+            _ => {
+                return Err(
+                    "--resume requires --deltas FILE (the script is replayed from the start)"
+                        .into(),
+                )
+            }
+        }
+    }
+    if args.fault_plan.is_some() && args.role == Role::Local {
+        return Err("--fault-plan wraps the TCP link; it requires --role s1|s2".into());
     }
     match args.role {
         Role::S1 | Role::S2 => {
@@ -412,13 +475,36 @@ fn serve_loop(
 }
 
 /// Opens the party link per the `--listen`/`--connect` flags.
+/// `TcpTransport::connect` already retries with exponential backoff
+/// until its connect timeout; the listen side additionally retries the
+/// bind, because a restarted (`--resume`) party may race the kernel's
+/// `TIME_WAIT` hold on its old port.
 fn open_tcp_link(args: &Args, id: ServerId) -> TcpTransport {
-    let tcp_cfg = TcpConfig::default();
+    let tcp_cfg = TcpConfig {
+        recv_timeout: args.recv_timeout,
+        ..TcpConfig::default()
+    };
     if let Some(addr) = &args.listen {
-        let listener = TcpListener::bind(addr).unwrap_or_else(|e| {
-            eprintln!("error: cannot listen on {addr}: {e}");
-            std::process::exit(1);
-        });
+        let listener = {
+            let mut attempt = 0u32;
+            loop {
+                match TcpListener::bind(addr) {
+                    Ok(l) => break l,
+                    Err(e) if attempt < 6 => {
+                        let backoff = Duration::from_millis(250u64 << attempt.min(3));
+                        eprintln!(
+                            "[party {id:?}] bind {addr} failed ({e}); retrying in {backoff:?}"
+                        );
+                        std::thread::sleep(backoff);
+                        attempt += 1;
+                    }
+                    Err(e) => {
+                        eprintln!("error: cannot listen on {addr}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        };
         eprintln!("[party {id:?}] listening on {addr}");
         TcpTransport::accept_on(&listener, &tcp_cfg).unwrap_or_else(|e| {
             eprintln!("error: accept failed: {e}");
@@ -434,6 +520,213 @@ fn open_tcp_link(args: &Args, id: ServerId) -> TcpTransport {
     }
 }
 
+/// Commit-then-publish: appends the epoch to the journal (flushed and
+/// fsynced) *before* its RESULT lines print. A journal write failure
+/// is fatal — continuing would publish releases the journal cannot
+/// vouch for after a crash.
+fn journal_commit(
+    journal: Option<&mut EpochJournal>,
+    out: &EpochOutcome,
+    counter: &IncrementalCounter,
+) {
+    if let Some(j) = journal {
+        let digest = state_digest(counter.epochs(), counter.graph());
+        let record = EpochRecord {
+            epoch: out.epoch,
+            spent: out.spent,
+            digest,
+        };
+        if let Err(e) = j.append(record) {
+            eprintln!("[party serve] journal append failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Steps the already-parsed remaining epoch batches — the resume
+/// path's twin of [`serve_loop`], with identical refusal/error exit
+/// semantics.
+fn serve_batches(
+    batches: &[Vec<EdgeDelta>],
+    mut step: impl FnMut(&[EdgeDelta]) -> Result<EpochOutcome, SessionError>,
+) -> i32 {
+    for batch in batches {
+        match step(batch) {
+            Ok(out) => print_epoch(&out),
+            Err(SessionError::Refused(r)) => {
+                println!("RESULT refused reason=\"{r}\"");
+                eprintln!("[party serve] schedule exhausted; stopping cleanly");
+                return 0;
+            }
+            Err(e) => {
+                eprintln!("[party serve] epoch failed, no release emitted: {e}");
+                return 1;
+            }
+        }
+    }
+    0
+}
+
+/// The fresh (non-resume) wire serve, generic over the link so the
+/// `--fault-plan` wrapper and the bare TCP transport share one body.
+fn serve_wire_fresh<T: Transport>(
+    args: &Args,
+    graph: Graph,
+    cfg: &CargoConfig,
+    id: ServerId,
+    link: Arc<T>,
+    reader: Box<dyn BufRead>,
+) -> i32 {
+    eprintln!("[party {id:?}] connected; serving");
+    let session = match PartySession::new(graph, cfg, id, link) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("[party serve] baseline count failed: {e}");
+            return 1;
+        }
+    };
+    print_baseline(session.counter());
+    let mut journal = match &args.journal {
+        Some(path) => match EpochJournal::create(path, cfg, session.counter().graph().n()) {
+            Ok(j) => Some(j),
+            Err(e) => {
+                eprintln!("error: cannot create journal {}: {e}", path.display());
+                return 1;
+            }
+        },
+        None => None,
+    };
+    let mut session = session;
+    serve_loop(reader, move |batch| {
+        let out = session.step(batch)?;
+        journal_commit(journal.as_mut(), &out, session.counter());
+        Ok(out)
+    })
+}
+
+/// The wire half of `--resume`: reconnect, run the resume handshake
+/// (catching up any epochs the peer committed past our journal), then
+/// continue stepping the rest of the script with journaling.
+fn serve_wire_resume<T: Transport>(
+    id: ServerId,
+    link: Arc<T>,
+    replayed: Session,
+    mut journal: EpochJournal,
+    pending: &[Vec<EdgeDelta>],
+) -> i32 {
+    eprintln!("[party {id:?}] reconnected; running the resume handshake");
+    let (mut session, catchup) = match PartySession::resume(replayed, id, link, pending) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("[party serve] resume handshake failed: {e}");
+            return 1;
+        }
+    };
+    if !catchup.is_empty() {
+        eprintln!(
+            "[party serve] caught up {} epoch(s) the peer had already committed",
+            catchup.len()
+        );
+    }
+    for (out, digest) in &catchup {
+        let record = EpochRecord {
+            epoch: out.epoch,
+            spent: out.spent,
+            digest: *digest,
+        };
+        if let Err(e) = journal.append(record) {
+            eprintln!("[party serve] journal append failed: {e}");
+            return 1;
+        }
+        print_epoch(out);
+    }
+    let remaining = &pending[catchup.len()..];
+    let mut journal = Some(journal);
+    serve_batches(remaining, move |batch| {
+        let out = session.step(batch)?;
+        journal_commit(journal.as_mut(), &out, session.counter());
+        Ok(out)
+    })
+}
+
+/// Runs `--mode serve --resume`: validate the journal against this
+/// run's config, replay the script's committed prefix locally (bit
+/// identically, zero wire traffic), re-print its transcript, then —
+/// for wire roles — reconnect and continue live.
+fn run_serve_resume(args: &Args, graph: Graph, cfg: &CargoConfig) -> i32 {
+    let journal_path = args.journal.as_deref().expect("checked in parse_args");
+    let deltas_path = args.deltas.as_deref().expect("checked in parse_args");
+    let script = match std::fs::File::open(deltas_path) {
+        Ok(f) => match parse_delta_script(std::io::BufReader::new(f)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        },
+        Err(e) => {
+            eprintln!("error: cannot open {}: {e}", deltas_path.display());
+            return 1;
+        }
+    };
+    let journal = match EpochJournal::resume(journal_path, cfg, graph.n()) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("error: cannot resume journal {}: {e}", journal_path.display());
+            return 1;
+        }
+    };
+    let committed = journal.committed() as usize;
+    eprintln!(
+        "[party serve] resuming: journal {} holds {committed} committed epoch(s); replaying",
+        journal_path.display()
+    );
+    let mut session = Session::new(graph, cfg);
+    // Re-print the committed prefix (baseline first, from the pristine
+    // pre-replay state): a resumed transcript alone diffs clean against
+    // an uninterrupted reference run.
+    print_baseline(session.counter());
+    let replayed = match replay_committed_on(&mut session, &script, &journal) {
+        Ok(outs) => outs,
+        Err(e) => {
+            eprintln!("error: replay disagrees with the journal: {e}");
+            return 1;
+        }
+    };
+    for out in &replayed {
+        print_epoch(out);
+    }
+    let pending = &script[committed..];
+    match args.role {
+        Role::Local => {
+            let mut session = session;
+            let mut journal = Some(journal);
+            serve_batches(pending, move |batch| {
+                let out = session.step(batch)?;
+                journal_commit(journal.as_mut(), &out, session.counter());
+                Ok(out)
+            })
+        }
+        role @ (Role::S1 | Role::S2) => {
+            let id = match role {
+                Role::S1 => ServerId::S1,
+                _ => ServerId::S2,
+            };
+            let tcp = open_tcp_link(args, id);
+            match &args.fault_plan {
+                Some(plan) => serve_wire_resume(
+                    id,
+                    Arc::new(FaultyTransport::new(tcp, plan)),
+                    session,
+                    journal,
+                    pending,
+                ),
+                None => serve_wire_resume(id, Arc::new(tcp), session, journal, pending),
+            }
+        }
+    }
+}
+
 /// Runs `--mode serve` for whichever role, returning the exit code.
 fn run_serve(args: &Args, graph: Graph, cfg: &CargoConfig) -> i32 {
     eprintln!(
@@ -443,6 +736,9 @@ fn run_serve(args: &Args, graph: Graph, cfg: &CargoConfig) -> i32 {
         cfg.composition,
         graph.n()
     );
+    if args.resume {
+        return run_serve_resume(args, graph, cfg);
+    }
     let reader: Box<dyn BufRead> = match args.deltas.as_deref() {
         None => Box::new(std::io::stdin().lock()),
         Some(p) if p.as_os_str() == "-" => Box::new(std::io::stdin().lock()),
@@ -458,26 +754,42 @@ fn run_serve(args: &Args, graph: Graph, cfg: &CargoConfig) -> i32 {
         Role::Local => {
             let session = Session::new(graph, cfg);
             print_baseline(session.counter());
+            let mut journal = match &args.journal {
+                Some(path) => {
+                    match EpochJournal::create(path, cfg, session.counter().graph().n()) {
+                        Ok(j) => Some(j),
+                        Err(e) => {
+                            eprintln!("error: cannot create journal {}: {e}", path.display());
+                            return 1;
+                        }
+                    }
+                }
+                None => None,
+            };
             let mut session = session;
-            serve_loop(reader, move |batch| session.step(batch))
+            serve_loop(reader, move |batch| {
+                let out = session.step(batch)?;
+                journal_commit(journal.as_mut(), &out, session.counter());
+                Ok(out)
+            })
         }
         role @ (Role::S1 | Role::S2) => {
             let id = match role {
                 Role::S1 => ServerId::S1,
                 _ => ServerId::S2,
             };
-            let link = Arc::new(open_tcp_link(args, id));
-            eprintln!("[party {id:?}] connected; serving");
-            let session = match PartySession::new(graph, cfg, id, link) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("[party serve] baseline count failed: {e}");
-                    return 1;
-                }
-            };
-            print_baseline(session.counter());
-            let mut session = session;
-            serve_loop(reader, move |batch| session.step(batch))
+            let tcp = open_tcp_link(args, id);
+            match &args.fault_plan {
+                Some(plan) => serve_wire_fresh(
+                    args,
+                    graph,
+                    cfg,
+                    id,
+                    Arc::new(FaultyTransport::new(tcp, plan)),
+                    reader,
+                ),
+                None => serve_wire_fresh(args, graph, cfg, id, Arc::new(tcp), reader),
+            }
         }
     }
 }
@@ -518,7 +830,8 @@ fn main() {
         .with_pool_backpressure(args.pool_backpressure)
         .with_schedule(args.schedule)
         .with_horizon(args.horizon)
-        .with_composition(args.composition);
+        .with_composition(args.composition)
+        .with_recv_timeout(args.recv_timeout);
     if args.no_projection {
         cfg = cfg.without_projection();
     }
