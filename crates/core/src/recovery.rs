@@ -77,6 +77,14 @@ pub struct EpochRecord {
 pub enum RecoveryError {
     /// Filesystem trouble reading or writing the journal.
     Io(String),
+    /// [`EpochJournal::create`] found a journal already at the path.
+    /// Overwriting would destroy the durable ε-spend record and
+    /// double-spend the budget, so starting fresh over an existing
+    /// journal must be an explicit operator action.
+    Exists {
+        /// The journal that already exists.
+        path: PathBuf,
+    },
     /// The journal's header line is missing, malformed, or pins a
     /// different config fingerprint than this run's.
     Header(String),
@@ -109,6 +117,13 @@ impl fmt::Display for RecoveryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RecoveryError::Io(e) => write!(f, "journal io: {e}"),
+            RecoveryError::Exists { path } => write!(
+                f,
+                "journal {} already exists; pass --resume to continue it, \
+                 or delete it explicitly to start fresh (overwriting would \
+                 destroy the durable \u{3b5}-spend record)",
+                path.display()
+            ),
             RecoveryError::Header(e) => write!(f, "journal header: {e}"),
             RecoveryError::Record { line, message } => {
                 write!(f, "journal line {line}: {message}")
@@ -154,10 +169,21 @@ fn header_line(cfg: &CargoConfig, n: usize) -> String {
 }
 
 impl EpochJournal {
-    /// Starts a fresh journal at `path` (truncating any previous one)
-    /// with the config fingerprint in the header.
+    /// Starts a fresh journal at `path` with the config fingerprint in
+    /// the header. Refuses ([`RecoveryError::Exists`]) if a journal is
+    /// already there — a restarted operator who forgot `--resume` must
+    /// not silently wipe the durable commit record and re-spend ε
+    /// against epochs the destroyed journal already published.
     pub fn create(path: &Path, cfg: &CargoConfig, n: usize) -> Result<Self, RecoveryError> {
-        let mut file = File::create(path)?;
+        let mut file = match OpenOptions::new().write(true).create_new(true).open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                return Err(RecoveryError::Exists {
+                    path: path.to_path_buf(),
+                })
+            }
+            Err(e) => return Err(e.into()),
+        };
         file.write_all(header_line(cfg, n).as_bytes())?;
         file.sync_all()?;
         Ok(EpochJournal {
@@ -168,9 +194,9 @@ impl EpochJournal {
     }
 
     /// Opens an existing journal for resumption: validates the header
-    /// against this run's config, parses the committed records, drops
-    /// a torn trailing line (crash mid-append), and reopens in append
-    /// mode.
+    /// against this run's config, parses the committed records,
+    /// truncates a torn trailing line (crash mid-append), and reopens
+    /// in append mode.
     pub fn resume(path: &Path, cfg: &CargoConfig, n: usize) -> Result<Self, RecoveryError> {
         let mut content = String::new();
         File::open(path)?.read_to_string(&mut content)?;
@@ -179,7 +205,7 @@ impl EpochJournal {
         // `split` leaves one trailing element: empty when the content
         // ends with a newline, otherwise the torn unterminated record
         // — either way it was never acknowledged, so it is dropped.
-        lines.pop();
+        let torn = lines.pop().unwrap_or_default();
         let mut records = Vec::new();
         for (idx, line) in lines.iter().enumerate() {
             if idx == 0 {
@@ -208,6 +234,18 @@ impl EpochJournal {
             return Err(RecoveryError::Header("journal file is empty".into()));
         }
         let file = OpenOptions::new().append(true).open(path)?;
+        if !torn.is_empty() {
+            // The torn bytes must not stay on disk: the next append
+            // would concatenate onto the unterminated partial line,
+            // leaving that committed epoch's record unparseable and
+            // every later resume failing. Cut the file back to the
+            // validated header + complete-records prefix (append-mode
+            // writes land at the *current* EOF, so later appends start
+            // exactly here).
+            let parsed_len = (content.len() - torn.len()) as u64;
+            file.set_len(parsed_len)?;
+            file.sync_all()?;
+        }
         Ok(EpochJournal {
             path: path.to_path_buf(),
             file,
@@ -410,12 +448,37 @@ mod tests {
         let next_resumed = resumed.step(&script()[2]).unwrap();
         assert_eq!(next_ref, next_resumed, "no ε double-spend, same release");
 
-        // A torn trailing line (crash mid-append) is ignored.
-        let mut content = std::fs::read_to_string(&path).unwrap();
+        // A torn trailing line (crash mid-append) is ignored — and
+        // truncated from the file, so a post-resume append starts on a
+        // fresh line instead of concatenating onto the partial record.
+        let clean = std::fs::read_to_string(&path).unwrap();
+        let mut content = clean.clone();
         content.push_str("epoch=3 spent=0x40000000");
         std::fs::write(&path, &content).unwrap();
-        let torn = EpochJournal::resume(&path, &cfg, g.n()).unwrap();
+        let mut torn = EpochJournal::resume(&path, &cfg, g.n()).unwrap();
         assert_eq!(torn.committed(), 2, "unterminated record never committed");
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            clean,
+            "torn bytes truncated on resume"
+        );
+        torn.append(EpochRecord {
+            epoch: next_resumed.epoch,
+            spent: next_resumed.spent,
+            digest: state_digest(resumed.counter().epochs(), resumed.counter().graph()),
+        })
+        .unwrap();
+        drop(torn);
+        let again = EpochJournal::resume(&path, &cfg, g.n()).unwrap();
+        assert_eq!(again.committed(), 3, "append after torn resume parses back");
+        drop(again);
+
+        // Creating over an existing journal is refused: a forgotten
+        // --resume must not wipe the durable ε-spend record.
+        assert!(matches!(
+            EpochJournal::create(&path, &cfg, g.n()),
+            Err(RecoveryError::Exists { .. })
+        ));
 
         // A different config fingerprint is refused.
         let other = cfg.with_seed(99);

@@ -45,7 +45,7 @@ use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// How long the protocol runtimes wait for a peer's next frame before
@@ -224,6 +224,11 @@ pub struct InMemoryTransport {
     /// disconnect, with no reliance on the whole endpoint `Arc` dying.
     tx: Mutex<Option<mpsc::Sender<Vec<u8>>>>,
     rx: Mutex<mpsc::Receiver<Vec<u8>>>,
+    /// Shared by both endpoints of the pair and set by either's
+    /// [`Transport::close`]: the *link* is down, not one direction —
+    /// the peer's sends fail too, matching `TcpTransport::close`'s
+    /// `Shutdown::Both` (frames already queued still drain).
+    closed: Arc<AtomicBool>,
     demux: KeyedDemux<(u8, u32), Frame>,
     counters: Counters,
     recv_timeout: Duration,
@@ -241,9 +246,11 @@ pub fn memory_pair_with_timeout(
 ) -> (InMemoryTransport, InMemoryTransport) {
     let (tx_ab, rx_ab) = mpsc::channel();
     let (tx_ba, rx_ba) = mpsc::channel();
+    let closed = Arc::new(AtomicBool::new(false));
     let end = |tx, rx| InMemoryTransport {
         tx: Mutex::new(Some(tx)),
         rx: Mutex::new(rx),
+        closed: Arc::clone(&closed),
         demux: KeyedDemux::new(),
         counters: Counters::default(),
         recv_timeout,
@@ -272,6 +279,9 @@ impl InMemoryTransport {
 
 impl Transport for InMemoryTransport {
     fn send(&self, frame: &Frame) -> Result<(), RecvError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(RecvError::Disconnected);
+        }
         let bytes = frame.encode();
         match &*self.tx.lock().expect("transport poisoned") {
             Some(tx) => {
@@ -295,8 +305,11 @@ impl Transport for InMemoryTransport {
     }
 
     fn close(&self) {
-        // Dropping the sender closes the queue: the peer's pending
-        // frames still drain, then its receives see Disconnected.
+        // Mark the whole link down first (the peer's sends must fail,
+        // like a TCP Shutdown::Both), then drop the sender: the peer's
+        // pending frames still drain, then its receives see
+        // Disconnected.
+        self.closed.store(true, Ordering::Release);
         *self.tx.lock().expect("transport poisoned") = None;
     }
 
@@ -669,6 +682,11 @@ impl std::str::FromStr for FaultPlan {
                 )),
                 _ => return Err(format!("bad fault {part:?}")),
             };
+            if plan.faults.iter().any(|&(f, _)| f == frame) {
+                // One event, one fault: keeping only the last entry
+                // would silently run a different plan than written.
+                return Err(format!("two faults scheduled at frame {frame}"));
+            }
             plan.faults.push((frame, kind));
         }
         Ok(plan)
@@ -713,11 +731,25 @@ pub struct FaultyTransport<T> {
 
 impl<T: Transport> FaultyTransport<T> {
     /// Wraps `inner` under `plan`.
+    ///
+    /// # Panics
+    ///
+    /// If `plan` schedules two faults at the same frame index — the
+    /// map would keep only one, silently running a different plan
+    /// than written. (`FaultPlan::from_str` already rejects this, so
+    /// only hand-built plans can trip it.)
     pub fn new(inner: T, plan: &FaultPlan) -> Self {
+        let mut faults = HashMap::with_capacity(plan.faults.len());
+        for &(frame, kind) in &plan.faults {
+            assert!(
+                faults.insert(frame, kind).is_none(),
+                "fault plan schedules two faults at frame {frame}"
+            );
+        }
         FaultyTransport {
             inner,
             seed: plan.seed,
-            faults: plan.faults.iter().copied().collect(),
+            faults,
             events: AtomicU64::new(0),
             dead: AtomicBool::new(false),
         }
@@ -958,6 +990,12 @@ mod tests {
             send_msg(&*b, &FinalOpeningMsg { share: Ring64(4) }).unwrap_err(),
             RecvError::Disconnected
         );
+        // And neither can the peer: close downs the *link*, both
+        // directions, matching TcpTransport's Shutdown::Both.
+        assert_eq!(
+            send_msg(&*a, &FinalOpeningMsg { share: Ring64(5) }).unwrap_err(),
+            RecvError::Disconnected
+        );
     }
 
     #[test]
@@ -1008,6 +1046,10 @@ mod tests {
         assert!("nonsense@x".parse::<FaultPlan>().is_err());
         assert!("delay@3".parse::<FaultPlan>().is_err(), "delay needs ms");
         assert!("corrupt@1:2".parse::<FaultPlan>().is_err());
+        assert!(
+            "delay@5:50,corrupt@5".parse::<FaultPlan>().is_err(),
+            "two faults at one frame index must not silently collapse"
+        );
     }
 
     #[test]
