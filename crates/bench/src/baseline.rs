@@ -64,6 +64,14 @@ pub struct BenchRow {
     /// gate's tolerance choice) should judge the median against.
     /// `0.0` on legacy reports that predate the column.
     pub iqr_ns: f64,
+    /// Peak resident set size (VmHWM) of the bench process in MB at
+    /// the end of this row's sweep point — the memory evidence behind
+    /// the streamed sparse schedule's O(chunk) claim. A process-wide
+    /// high-water mark, so only its *final* value per process is a
+    /// bound; monotone across rows by construction. `0.0` on legacy
+    /// reports that predate the column and on platforms without
+    /// `/proc/self/status`.
+    pub peak_rss_mb: f64,
 }
 
 impl BenchRow {
@@ -123,9 +131,9 @@ impl BenchReport {
                  \"transport\": \"{}\", \"pool\": \"{}\", \"schedule\": \"{}\", \
                  \"triples\": {}, \
                  \"ns_per_triple\": {:.3}, \"bytes_per_triple\": {:.3}, \
-                 \"iqr_ns\": {:.3}}}{comma}\n",
+                 \"iqr_ns\": {:.3}, \"peak_rss_mb\": {:.3}}}{comma}\n",
                 r.n, r.threads, r.batch, r.kernel, r.transport, r.pool, r.schedule, r.triples,
-                r.ns_per_triple, r.bytes_per_triple, r.iqr_ns
+                r.ns_per_triple, r.bytes_per_triple, r.iqr_ns, r.peak_rss_mb
             ));
         }
         out.push_str("  ]\n}\n");
@@ -170,6 +178,7 @@ impl BenchReport {
                 ns_per_triple: extract_number(obj, "ns_per_triple")?,
                 bytes_per_triple: extract_number(obj, "bytes_per_triple")?,
                 iqr_ns: extract_number(obj, "iqr_ns").unwrap_or(0.0),
+                peak_rss_mb: extract_number(obj, "peak_rss_mb").unwrap_or(0.0),
             });
             rest = &rest[obj_end + 1..];
         }
@@ -243,6 +252,7 @@ mod tests {
                     ns_per_triple: 55.125,
                     bytes_per_triple: 48.0,
                     iqr_ns: 1.25,
+                    peak_rss_mb: 123.5,
                 },
                 BenchRow {
                     n: 600,
@@ -256,6 +266,7 @@ mod tests {
                     ns_per_triple: 12.5,
                     bytes_per_triple: 48.0,
                     iqr_ns: 0.0,
+                    peak_rss_mb: 0.0,
                 },
             ],
         }
@@ -320,6 +331,7 @@ mod tests {
         assert_eq!(r.rows[0].pool, "inline");
         assert_eq!(r.rows[0].schedule, "dense", "legacy rows were all dense");
         assert_eq!(r.rows[0].iqr_ns, 0.0);
+        assert_eq!(r.rows[0].peak_rss_mb, 0.0, "legacy rows have no RSS probe");
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!
 //! Rows present on only one side are reported but do not fail the
 //! gate (sweeps may grow or shrink). Exit code 1 on any violation.
+//! The current report's `peak_rss_mb` column is displayed for the
+//! reader (the large-graph smoke bounds it with `ulimit -v` instead of
+//! a tolerance — high-water marks vary with allocator and thread
+//! count, wall-clock-style gating would flake).
 //!
 //! ```text
 //! usage: bench_compare <baseline.json> <current.json> [--tolerance 0.20]
@@ -79,8 +83,8 @@ fn main() {
     let mut failures = 0usize;
     let mut compared = 0usize;
     println!(
-        "| n | threads | batch | kernel | transport | pool | schedule | base ns/T | cur ns/T | cur IQR | delta | bytes/T | verdict |\n\
-         |---|---------|-------|--------|-----------|------|----------|-----------|----------|---------|-------|---------|---------|"
+        "| n | threads | batch | kernel | transport | pool | schedule | base ns/T | cur ns/T | cur IQR | delta | bytes/T | peak MB | verdict |\n\
+         |---|---------|-------|--------|-----------|------|----------|-----------|----------|---------|-------|---------|---------|---------|"
     );
     for cur in &current.rows {
         let Some(base) = baseline.find(
@@ -93,9 +97,9 @@ fn main() {
             &cur.schedule,
         ) else {
             println!(
-                "| {} | {} | {} | {} | {} | {} | {} | — | {:.2} | {:.2} | — | {:.1} | NEW (not gated) |",
+                "| {} | {} | {} | {} | {} | {} | {} | — | {:.2} | {:.2} | — | {:.1} | {:.1} | NEW (not gated) |",
                 cur.n, cur.threads, cur.batch, cur.kernel, cur.transport, cur.pool, cur.schedule,
-                cur.ns_per_triple, cur.iqr_ns, cur.bytes_per_triple
+                cur.ns_per_triple, cur.iqr_ns, cur.bytes_per_triple, cur.peak_rss_mb
             );
             continue;
         };
@@ -116,7 +120,7 @@ fn main() {
             failures += 1;
         }
         println!(
-            "| {} | {} | {} | {} | {} | {} | {} | {:.2} | {:.2} | {:.2} | {:+.1}% | {:.1} | {verdict} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {:.2} | {:.2} | {:.2} | {:+.1}% | {:.1} | {:.1} | {verdict} |",
             cur.n,
             cur.threads,
             cur.batch,
@@ -128,7 +132,8 @@ fn main() {
             cur.ns_per_triple,
             cur.iqr_ns,
             delta * 100.0,
-            cur.bytes_per_triple
+            cur.bytes_per_triple,
+            cur.peak_rss_mb
         );
     }
     for base in &baseline.rows {
@@ -145,7 +150,7 @@ fn main() {
             .is_none()
         {
             println!(
-                "| {} | {} | {} | {} | {} | {} | {} | {:.2} | — | — | — | — | MISSING (not gated) |",
+                "| {} | {} | {} | {} | {} | {} | {} | {:.2} | — | — | — | — | — | MISSING (not gated) |",
                 base.n, base.threads, base.batch, base.kernel, base.transport, base.pool,
                 base.schedule, base.ns_per_triple
             );

@@ -151,6 +151,7 @@ fn main() {
                     ns_per_triple: median_ns / triples as f64,
                     bytes_per_triple: probe_scalar.net.bytes as f64 / triples as f64,
                     iqr_ns: iqr_ns / triples as f64,
+                    peak_rss_mb: 0.0,
                 };
                 per_kernel[slot] = row.ns_per_triple;
                 println!(

@@ -98,6 +98,7 @@ fn main() {
             ns_per_triple: median_ns / ops as f64,
             bytes_per_triple: bytes_per_op,
             iqr_ns: iqr_ns / ops as f64,
+            peak_rss_mb: 0.0,
         };
         println!(
             "{kernel:<18} n={n:<5} {:>10.2} ns/op  {:>5.1} B/op",

@@ -196,6 +196,7 @@ fn main() {
                         // probe's cost model covers every grid point.
                         bytes_per_triple: probe.net.offline.bytes as f64 / triples as f64,
                         iqr_ns: iqr_ns / triples as f64,
+                        peak_rss_mb: 0.0,
                     };
                     println!(
                         "n={n:<4} batch={batch:<4} pool={:<10} {:>10.1} ns/MG  \

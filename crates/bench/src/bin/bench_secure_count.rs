@@ -24,11 +24,14 @@
 //! doubles as a transport-equivalence gate in release mode.
 
 use cargo_bench::baseline::{BenchReport, BenchRow};
+use cargo_bench::experiments::sparse::power_law;
 use cargo_core::{
-    secure_triangle_count_planned, threaded_secure_count_tcp_planned, CandidateSet, CountKernel,
-    OfflineMode, ScheduleKind, SchedulePlan, SecureCountResult, TransportKind,
+    peak_rss_bytes, secure_triangle_count_planned, secure_triangle_count_streamed,
+    threaded_secure_count_tcp_planned, CandidateSet, CountKernel, OfflineMode, ScheduleKind,
+    SchedulePlan, SecureCountResult, TransportKind, DEFAULT_TILE_THRESHOLD,
 };
 use cargo_graph::generators::presets::SnapDataset;
+use cargo_graph::CsrGraph;
 use cargo_mpc::PoolPolicy;
 use criterion::{black_box, measure_median_iqr_ns};
 use std::path::PathBuf;
@@ -41,14 +44,22 @@ struct Args {
     batches: Vec<usize>,
     transport: TransportKind,
     schedule: ScheduleKind,
+    powerlaw: bool,
+    tile_threshold: u32,
     out: PathBuf,
     measure_ms: u64,
 }
 
 fn usage() -> String {
     "usage: bench_secure_count [--n 200,400,600] [--threads 1,2,4] [--batch 1,64]\n\
-     \x20      [--transport memory|tcp] [--schedule dense|sparse]\n\
-     \x20      [--out BENCH_secure_count.json] [--measure-ms 700] [--quick]"
+     \x20      [--transport memory|tcp] [--schedule dense|sparse|sparse-stream]\n\
+     \x20      [--powerlaw] [--tile-threshold 8]\n\
+     \x20      [--out BENCH_secure_count.json] [--measure-ms 700] [--quick]\n\
+     \n\
+     --powerlaw sizes a synthetic heavy-tailed Chung-Lu graph per n instead\n\
+     of slicing the Facebook preset — the only shape that scales to n = 10^6.\n\
+     --schedule sparse-stream runs the CSR-native streamed count (memory\n\
+     transport only, no n x n matrix anywhere) and reports peak RSS per row."
         .to_string()
 }
 
@@ -65,6 +76,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         batches: vec![1, 64],
         transport: TransportKind::Memory,
         schedule: ScheduleKind::Dense,
+        powerlaw: false,
+        tile_threshold: DEFAULT_TILE_THRESHOLD,
         out: PathBuf::from("BENCH_secure_count.json"),
         measure_ms: 700,
     };
@@ -89,6 +102,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.schedule = take(&mut i)?
                     .parse()
                     .map_err(|e: String| format!("--schedule: {e}"))?
+            }
+            "--powerlaw" => args.powerlaw = true,
+            "--tile-threshold" => {
+                args.tile_threshold = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--tile-threshold: {e}"))?
             }
             "--out" => args.out = PathBuf::from(take(&mut i)?),
             "--measure-ms" => {
@@ -127,7 +146,21 @@ fn main() {
              thread-scaling rows will be flat here and only meaningful on multi-core hardware"
         );
     }
-    let (full, _) = SnapDataset::Facebook.load_or_synthesize(None, 0);
+    if args.schedule == ScheduleKind::SparseStream && args.transport == TransportKind::Tcp {
+        eprintln!(
+            "--schedule sparse-stream is the CSR-native in-process sweep; \
+             --transport tcp is not supported there (the TCP runtime accepts \
+             CsrStream plans through the library API)"
+        );
+        std::process::exit(2);
+    }
+    // The Facebook preset only matters for the matrix-shaped sweeps;
+    // --powerlaw sizes a synthetic graph per n instead.
+    let full = if args.powerlaw {
+        None
+    } else {
+        Some(SnapDataset::Facebook.load_or_synthesize(None, 0).0)
+    };
     let mut report = BenchReport {
         bench: "secure_count".into(),
         rows: Vec::new(),
@@ -135,7 +168,61 @@ fn main() {
     let transport = args.transport.to_string();
     let schedule = args.schedule.to_string();
     for &n in &args.ns {
-        let m = full.induced_prefix(n).to_bit_matrix();
+        let g = match &full {
+            Some(full) => full.induced_prefix(n),
+            None => power_law(n, 0),
+        };
+        if args.schedule == ScheduleKind::SparseStream {
+            // CSR-native streamed path: no n × n matrix is ever built —
+            // at n = 10⁶ the BitMatrix alone would be 125 GB. The CSR
+            // arrays plus O(chunk) worker scratch are the whole
+            // footprint, and the per-row peak-RSS column is the proof.
+            let csr = Arc::new(CsrGraph::from_graph(&g));
+            drop(g);
+            for &threads in &args.threads {
+                for &batch in &args.batches {
+                    let run = || {
+                        secure_triangle_count_streamed(&csr, 1, threads, batch, args.tile_threshold)
+                    };
+                    let t0 = std::time::Instant::now();
+                    let probe = run();
+                    let probe_ns = t0.elapsed().as_nanos() as f64;
+                    let triples = probe.triples.max(1);
+                    // --measure-ms 0: trust the probe's single timing —
+                    // the large-graph smoke can't afford repeat runs.
+                    let (median_ns, iqr_ns) = if args.measure_ms == 0 {
+                        (probe_ns, 0.0)
+                    } else {
+                        measure_median_iqr_ns(10, Duration::from_millis(args.measure_ms), || {
+                            black_box(run())
+                        })
+                    };
+                    let row = BenchRow {
+                        n,
+                        threads,
+                        batch,
+                        kernel: CountKernel::default().to_string(),
+                        transport: transport.clone(),
+                        pool: "inline".into(),
+                        schedule: schedule.clone(),
+                        triples: probe.triples,
+                        ns_per_triple: median_ns / triples as f64,
+                        bytes_per_triple: probe.net.bytes as f64 / triples as f64,
+                        iqr_ns: iqr_ns / triples as f64,
+                        peak_rss_mb: peak_rss_bytes().map_or(0.0, |b| b as f64 / 1e6),
+                    };
+                    println!(
+                        "n={n:<7} threads={threads:<2} batch={batch:<4} transport={transport:<6} \
+                         schedule={schedule:<13} {:>8.2} ns/triple  {:>5.1} B/triple  \
+                         peak {:>7.1} MB",
+                        row.ns_per_triple, row.bytes_per_triple, row.peak_rss_mb
+                    );
+                    report.rows.push(row);
+                }
+            }
+            continue;
+        }
+        let m = g.to_bit_matrix();
         // Both parties derive the same plan from the public matrix; the
         // sweep builds it once per n, outside the timed loop (real
         // deployments amortise it the same way).
@@ -144,6 +231,7 @@ fn main() {
             ScheduleKind::Sparse => {
                 SchedulePlan::CandidatePairs(Arc::new(CandidateSet::from_support(&m)))
             }
+            ScheduleKind::SparseStream => unreachable!("handled by the CSR-native branch"),
         };
         for &threads in &args.threads {
             for &batch in &args.batches {
@@ -201,6 +289,7 @@ fn main() {
                     ns_per_triple: median_ns / triples as f64,
                     bytes_per_triple: probe.net.bytes as f64 / triples as f64,
                     iqr_ns: iqr_ns / triples as f64,
+                    peak_rss_mb: peak_rss_bytes().map_or(0.0, |b| b as f64 / 1e6),
                 };
                 println!(
                     "n={n:<5} threads={threads:<2} batch={batch:<4} transport={transport:<6} \

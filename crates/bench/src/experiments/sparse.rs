@@ -38,7 +38,10 @@ fn dense_cube(n: u64) -> u128 {
 
 /// A power-law test graph in the shape the paper's datasets share:
 /// heavy-tailed Chung–Lu with ~4 edges per node and a `√n`-scale hub.
-fn power_law(n: usize, seed: u64) -> Graph {
+/// Public because the large-graph secure-count sweep
+/// (`bench_secure_count --powerlaw`) scales the same shape to
+/// million-node sizes.
+pub fn power_law(n: usize, seed: u64) -> Graph {
     let d_max = ((n as f64).sqrt() * 2.0) as usize;
     chung_lu(n, 4 * n, d_max.max(8), 2.5, seed)
 }
@@ -90,9 +93,14 @@ pub fn sparse_large(opts: &Options) -> Vec<Table> {
     let seed = trial_seed(opts.seed, 0, 2.0, small_n);
     let dense = row(ScheduleKind::Dense, &small, seed);
     let sparse = row(ScheduleKind::Sparse, &small, seed);
+    let stream = row(ScheduleKind::SparseStream, &small, seed);
     assert_eq!(
         dense.noisy_count, sparse.noisy_count,
         "dense and sparse schedules must release the identical noisy count"
+    );
+    assert_eq!(
+        sparse.noisy_count, stream.noisy_count,
+        "eager and streamed sparse schedules must release the identical noisy count"
     );
     // Target size: sparse only — the dense cube cannot attempt it.
     if opts.n > small_n {
@@ -122,8 +130,9 @@ mod tests {
         };
         let tables = sparse_large(&opts);
         assert_eq!(tables.len(), 1);
-        // dense + sparse cross-check rows, plus the sparse target row.
-        assert_eq!(tables[0].len(), 3);
+        // dense + sparse + sparse-stream cross-check rows, plus the
+        // sparse target row.
+        assert_eq!(tables[0].len(), 4);
     }
 
     #[test]

@@ -122,8 +122,13 @@ impl std::fmt::Display for TransportKind {
 /// use cargo_core::ScheduleKind;
 /// assert_eq!("dense".parse::<ScheduleKind>(), Ok(ScheduleKind::Dense));
 /// assert_eq!("sparse".parse::<ScheduleKind>(), Ok(ScheduleKind::Sparse));
+/// assert_eq!(
+///     "sparse-stream".parse::<ScheduleKind>(),
+///     Ok(ScheduleKind::SparseStream)
+/// );
 /// assert_eq!(ScheduleKind::default(), ScheduleKind::Dense);
 /// assert_eq!(ScheduleKind::Sparse.to_string(), "sparse");
+/// assert_eq!(ScheduleKind::SparseStream.to_string(), "sparse-stream");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ScheduleKind {
@@ -137,6 +142,14 @@ pub enum ScheduleKind {
     /// local-projection deployment), in exchange for triple counts
     /// proportional to the graph's wedge mass instead of `n³`.
     Sparse,
+    /// The same triples as [`ScheduleKind::Sparse`] — same chunks, same
+    /// shares, bit for bit — but streamed from CSR prefix sums instead
+    /// of materialising every candidate pair and `k`-list up front:
+    /// peak memory O(chunk) instead of O(#candidates), which is what
+    /// makes million-node graphs fit. Evaluated by the hybrid
+    /// dense-block tile kernel (see
+    /// [`crate::count::DEFAULT_TILE_THRESHOLD`]).
+    SparseStream,
 }
 
 impl std::str::FromStr for ScheduleKind {
@@ -146,8 +159,9 @@ impl std::str::FromStr for ScheduleKind {
         match s {
             "dense" | "cube" => Ok(ScheduleKind::Dense),
             "sparse" => Ok(ScheduleKind::Sparse),
+            "sparse-stream" | "stream" => Ok(ScheduleKind::SparseStream),
             other => Err(format!(
-                "unknown schedule {other:?} (expected \"dense\" or \"sparse\")"
+                "unknown schedule {other:?} (expected \"dense\", \"sparse\", or \"sparse-stream\")"
             )),
         }
     }
@@ -158,6 +172,7 @@ impl std::fmt::Display for ScheduleKind {
         f.write_str(match self {
             ScheduleKind::Dense => "dense",
             ScheduleKind::Sparse => "sparse",
+            ScheduleKind::SparseStream => "sparse-stream",
         })
     }
 }
@@ -220,6 +235,16 @@ pub struct CargoConfig {
     /// the public support. Shares of surviving triples are
     /// bit-identical either way.
     pub schedule: ScheduleKind,
+    /// Density threshold θ of the hybrid tile kernel on the
+    /// [`ScheduleKind::SparseStream`] schedule: candidate runs of at
+    /// least θ triples stream through the fused kernel, shorter runs
+    /// are gathered across pairs into full-width SIMD tiles. Public,
+    /// and **never** changes shares, triples, or the wire ledger —
+    /// only kernel evaluation order (`0` streams everything,
+    /// `u32::MAX` gathers everything). Defaults to
+    /// [`crate::count::DEFAULT_TILE_THRESHOLD`]. Ignored by the other
+    /// schedules.
+    pub tile_threshold: u32,
     /// Continuous-release horizon: how many delta epochs `--mode
     /// serve` budgets for. Ignored by the one-shot pipeline.
     pub horizon: u64,
@@ -252,6 +277,7 @@ impl CargoConfig {
             pool_depth: 0,
             pool_backpressure: Backpressure::Block,
             schedule: ScheduleKind::Dense,
+            tile_threshold: crate::count::DEFAULT_TILE_THRESHOLD,
             horizon: 16,
             composition: Composition::Fixed,
             recv_timeout: cargo_mpc::DEFAULT_RECV_TIMEOUT,
@@ -415,6 +441,22 @@ impl CargoConfig {
         self
     }
 
+    /// Sets the hybrid tile kernel's density threshold θ
+    /// ([`ScheduleKind::SparseStream`] only; `0` is meaningful — it
+    /// streams every run — so there is no zero-means-default sentinel
+    /// here).
+    ///
+    /// ```
+    /// use cargo_core::{CargoConfig, DEFAULT_TILE_THRESHOLD};
+    /// let cfg = CargoConfig::new(2.0).with_tile_threshold(32);
+    /// assert_eq!(cfg.tile_threshold, 32);
+    /// assert_eq!(CargoConfig::new(2.0).tile_threshold, DEFAULT_TILE_THRESHOLD);
+    /// ```
+    pub fn with_tile_threshold(mut self, tile_threshold: u32) -> Self {
+        self.tile_threshold = tile_threshold;
+        self
+    }
+
     /// The resolved [`PoolPolicy`] of this config: disabled (inline)
     /// when `factory_threads == 0`, otherwise the configured factory
     /// width, depth (0 ⇒ [`cargo_mpc::DEFAULT_POOL_DEPTH`]) and
@@ -530,8 +572,27 @@ mod tests {
             ScheduleKind::Sparse
         );
         assert_eq!("cube".parse::<ScheduleKind>(), Ok(ScheduleKind::Dense));
+        assert_eq!(
+            "stream".parse::<ScheduleKind>(),
+            Ok(ScheduleKind::SparseStream)
+        );
         assert!("hexagonal".parse::<ScheduleKind>().is_err());
         assert_eq!(ScheduleKind::Dense.to_string(), "dense");
+    }
+
+    #[test]
+    fn tile_threshold_defaults_and_overrides() {
+        assert_eq!(
+            CargoConfig::new(1.0).tile_threshold,
+            crate::count::DEFAULT_TILE_THRESHOLD
+        );
+        assert_eq!(CargoConfig::new(1.0).with_tile_threshold(0).tile_threshold, 0);
+        assert_eq!(
+            CargoConfig::new(1.0)
+                .with_tile_threshold(u32::MAX)
+                .tile_threshold,
+            u32::MAX
+        );
     }
 
     #[test]

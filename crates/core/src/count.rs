@@ -36,12 +36,23 @@
 
 use crate::config::CountKernel;
 use crate::count_sched::{share_prf, CountScheduler, PairChunk, SchedulePlan};
-use cargo_graph::BitMatrix;
+use cargo_graph::{BitMatrix, CsrGraph};
 use cargo_mpc::{
-    mul3, mul3_combine, mul3_combine_batch, mul3_mask_batch, mul3_open_batch, ot_setup_ledger,
-    Dealer, MgChunkMaterial, MgDraw, Mul3Opening, NetStats, OfflineMode, OtMgEngine, PairDealer,
-    PoolPolicy, PoolStats, Ring64, ServerId, TriplePool, MG_WORDS,
+    mul3, mul3_combine, mul3_combine_batch, mul3_mask_batch, mul3_open_batch, mul3_tile_batch,
+    ot_setup_ledger, Dealer, MgChunkMaterial, MgDraw, Mul3Opening, NetStats, OfflineMode,
+    OtMgEngine, PairDealer, PoolPolicy, PoolStats, Ring64, ServerId, TriplePool, LANES, MG_WORDS,
 };
+use std::sync::Arc;
+
+/// Default density threshold of the hybrid tile kernel: runs of at
+/// least one full SIMD register ([`cargo_mpc::LANES`] triples) stream
+/// through the fused kernel; shorter straggler runs are gathered
+/// across pairs into full-width tiles. A **public** parameter — it
+/// regroups kernel evaluation order, never which triples are evaluated
+/// or what travels on the wire — so any value yields bit-identical
+/// shares (`0` streams everything, `u32::MAX` gathers everything; the
+/// tile equivalence tests pin both degenerate ends).
+pub const DEFAULT_TILE_THRESHOLD: u32 = LANES as u32;
 
 /// Result of the secure count: the two servers' shares of the exact
 /// triangle count plus cost accounting.
@@ -174,9 +185,15 @@ pub fn secure_triangle_count_planned(
         (OfflineMode::TrustedDealer, CountKernel::Scalar) => {
             count_chunk(matrix, seed, &sched, chunk)
         }
-        (OfflineMode::TrustedDealer, CountKernel::Bitsliced) => {
-            count_chunk_batch(matrix, seed, &sched, chunk)
-        }
+        (OfflineMode::TrustedDealer, CountKernel::Bitsliced) => match sched.plan() {
+            // Streamed sparse plans are where ragged pair lists starve
+            // the SoA kernel, so they route through the hybrid tile
+            // path (bit-identical; see `count_chunk_tiled`).
+            SchedulePlan::CsrStream(_) => {
+                count_chunk_tiled(&MatrixBits(matrix), seed, &sched, chunk, DEFAULT_TILE_THRESHOLD)
+            }
+            _ => count_chunk_batch(matrix, seed, &sched, chunk),
+        },
         (OfflineMode::OtExtension, _) => count_chunk_ot(matrix, seed, &sched, chunk, kernel),
     });
 
@@ -194,6 +211,81 @@ pub fn secure_triangle_count_planned(
         // One base-OT setup per protocol execution (per-chunk
         // extension sessions are derived locally from it).
         net.offline.merge(&ot_setup_ledger());
+    }
+    SecureCountResult {
+        share1,
+        share2,
+        net,
+        upload_elements: 2 * (n as u64) * (n as u64),
+        triples,
+        pool: PoolStats::default(),
+    }
+}
+
+/// The trusted-dealer batched count with an explicit [`SchedulePlan`]
+/// **and tile threshold** — the hybrid-kernel entry point the tile
+/// equivalence suite sweeps. Every threshold produces the same shares,
+/// triples, and [`NetStats`] as [`secure_triangle_count_planned`] with
+/// the same plan (tiling regroups kernel evaluation order only); the
+/// threshold trades fused-stream width against gather width.
+pub fn secure_triangle_count_tiled(
+    matrix: &BitMatrix,
+    seed: u64,
+    threads: usize,
+    batch: usize,
+    plan: SchedulePlan,
+    tile_threshold: u32,
+) -> SecureCountResult {
+    let n = matrix.n();
+    let threads = if n < 64 { 1 } else { threads };
+    let sched = CountScheduler::with_plan(n, threads, batch, plan);
+    let results = sched
+        .run_chunks(|chunk| count_chunk_tiled(&MatrixBits(matrix), seed, &sched, chunk, tile_threshold));
+    collect_tiled(results, n)
+}
+
+/// The million-node entry point: a secure count over a [`CsrGraph`]
+/// **with no `n × n` bit matrix anywhere** — the adjacency bits the
+/// kernel consumes are read straight from the CSR neighbor slices, and
+/// the schedule is the lazy [`SchedulePlan::CsrStream`] plan. At
+/// n = 10⁶ a [`BitMatrix`] would be 125 GB; here peak memory is the
+/// CSR arrays plus O(chunk) scratch per worker.
+///
+/// Semantics: the graph is both the candidate structure and the data —
+/// the support-projection stance of the sparse schedule, in which all
+/// evaluated adjacency bits are 1 by construction but the MPC
+/// evaluation (uniform shares, openings, dealer streams) runs
+/// unchanged. Shares are **bit-identical** to
+/// [`secure_triangle_count_planned`] over `g.to_bit_matrix()` with the
+/// eager sparse plan of the same graph, at every `threads × batch`
+/// (pinned by the stream equivalence suite on overlapping sizes).
+pub fn secure_triangle_count_streamed(
+    csr: &Arc<CsrGraph>,
+    seed: u64,
+    threads: usize,
+    batch: usize,
+    tile_threshold: u32,
+) -> SecureCountResult {
+    let n = csr.n();
+    let threads = if n < 64 { 1 } else { threads };
+    let sched =
+        CountScheduler::with_plan(n, threads, batch, SchedulePlan::CsrStream(Arc::clone(csr)));
+    let results = sched
+        .run_chunks(|chunk| count_chunk_tiled(&CsrBits(csr), seed, &sched, chunk, tile_threshold));
+    collect_tiled(results, n)
+}
+
+/// Shared result assembly of the dealer-mode tiled entry points.
+fn collect_tiled(results: Vec<(Ring64, Ring64, NetStats, u64)>, n: usize) -> SecureCountResult {
+    let mut share1 = Ring64::ZERO;
+    let mut share2 = Ring64::ZERO;
+    let mut net = NetStats::new();
+    let mut triples = 0u64;
+    for (s1, s2, stats, t) in results {
+        share1 += s1;
+        share2 += s2;
+        net.merge(&stats);
+        triples += t;
     }
     SecureCountResult {
         share1,
@@ -461,6 +553,159 @@ fn count_chunk_batch(
             triples += block as u64;
             k += block;
         }
+    }
+    (Ring64(t1), Ring64(t2), net, triples)
+}
+
+/// Adjacency-bit source for the tiled kernel: the one interface that
+/// lets the same worker read a dense [`BitMatrix`] or a [`CsrGraph`]
+/// with no `n × n` storage. Both report `{0, 1}` as `u64` words, the
+/// shape [`mul3_tile_batch`] and [`PairDealer::count_block`] consume.
+trait AdjacencyBits: Sync {
+    /// The adjacency bit `A[u][v]`.
+    fn bit(&self, u: usize, v: usize) -> u64;
+    /// Fills `out[t] = A[u][k0 + t]` for every `t`.
+    fn fill_bits(&self, u: usize, k0: usize, out: &mut [u64]);
+}
+
+/// [`AdjacencyBits`] over the dense bit matrix.
+struct MatrixBits<'a>(&'a BitMatrix);
+
+impl AdjacencyBits for MatrixBits<'_> {
+    #[inline]
+    fn bit(&self, u: usize, v: usize) -> u64 {
+        self.0.row(u).get(v) as u64
+    }
+
+    #[inline]
+    fn fill_bits(&self, u: usize, k0: usize, out: &mut [u64]) {
+        self.0.row(u).fill_bits_u64(k0, out);
+    }
+}
+
+/// [`AdjacencyBits`] over CSR neighbor slices — the million-node
+/// source. `fill_bits` scatters the (sorted) neighbors that land in
+/// `[k0, k0 + out.len())` into an all-zero window; on sparse-schedule
+/// candidate runs every bit is 1 by construction, so this agrees with
+/// the dense matrix wherever the schedule actually looks.
+struct CsrBits<'a>(&'a CsrGraph);
+
+impl AdjacencyBits for CsrBits<'_> {
+    #[inline]
+    fn bit(&self, u: usize, v: usize) -> u64 {
+        self.0.has_edge(u, v) as u64
+    }
+
+    #[inline]
+    fn fill_bits(&self, u: usize, k0: usize, out: &mut [u64]) {
+        out.fill(0);
+        let nei = self.0.neighbors(u);
+        let lo = k0 as u32;
+        let mut at = nei.partition_point(|&x| x < lo);
+        while at < nei.len() {
+            let rel = (nei[at] as usize) - k0;
+            if rel >= out.len() {
+                break;
+            }
+            out[rel] = 1;
+            at += 1;
+        }
+    }
+}
+
+/// The hybrid dense-block/tile worker behind the streamed sparse
+/// schedule. Each candidate run (one [`MgDraw`]) is routed by its
+/// length against the public `tile_threshold` θ:
+///
+/// * `groups ≥ θ` — **streamed**: the run is long enough to fill SIMD
+///   lanes on its own, so it goes through the fused
+///   [`PairDealer::count_block`] path exactly like
+///   [`count_chunk_batch`].
+/// * `groups < θ` — **gathered**: short straggler runs are packed
+///   across pairs into a pair-block × k-range tile (an AoS word slab
+///   plus per-lane `a/b/c` bits) and flushed through
+///   [`mul3_tile_batch`] whenever `batch` lanes fill, so locally dense
+///   regions of many short runs still run full-width lanes instead of
+///   degenerating to scalar tails.
+///
+/// θ = 0 streams everything; θ = `u32::MAX` gathers everything. Every
+/// θ produces bit-identical shares: each lane's MG words come from the
+/// same canonical dealer offset either way, and the wrapping share
+/// sums are order-independent. The [`NetStats`] ledger stays exactly
+/// [`count_chunk_batch`]'s per-draw form — tiling regroups *kernel
+/// evaluation*, not wire rounds.
+///
+/// [`MgDraw`]: cargo_mpc::MgDraw
+fn count_chunk_tiled<B: AdjacencyBits>(
+    bits: &B,
+    seed: u64,
+    sched: &CountScheduler,
+    chunk: &PairChunk,
+    tile_threshold: u32,
+) -> (Ring64, Ring64, NetStats, u64) {
+    let batch = sched.batch();
+    let mut t1 = 0u64;
+    let mut t2 = 0u64;
+    let mut net = NetStats::new();
+    let mut triples = 0u64;
+    let mut b_bits = vec![0u64; batch];
+    let mut c_bits = vec![0u64; batch];
+    // Gather tile: AoS MG words plus per-lane a/b/c bit arrays.
+    let mut slab = vec![0u64; MG_WORDS * batch];
+    let mut ga = vec![0u64; batch];
+    let mut gb = vec![0u64; batch];
+    let mut gc = vec![0u64; batch];
+    let mut lanes = 0usize;
+
+    for d in sched.chunk_plan(chunk) {
+        let (i, j) = (d.i as usize, d.j as usize);
+        let aij = bits.bit(i, j);
+        let len = d.groups as usize;
+        // Identical ledger to `count_chunk_batch`: ⌊len/batch⌋ full
+        // rounds + tail, regardless of how the kernel tiles the run.
+        net.exchange_rounds((len / batch) as u64, 3 * batch as u64);
+        if !len.is_multiple_of(batch) {
+            net.exchange(3 * (len % batch) as u64);
+        }
+        triples += len as u64;
+        let mut dealer = PairDealer::for_draw(seed, &d);
+        let mut k = j + 1 + d.start as usize;
+        if d.groups >= tile_threshold {
+            let end = k + len;
+            while k < end {
+                let block = (end - k).min(batch);
+                bits.fill_bits(i, k, &mut b_bits[..block]);
+                bits.fill_bits(j, k, &mut c_bits[..block]);
+                let (u1, u2) = dealer.count_block(aij, &b_bits[..block], &c_bits[..block]);
+                t1 = t1.wrapping_add(u1);
+                t2 = t2.wrapping_add(u2);
+                k += block;
+            }
+        } else {
+            let mut left = len;
+            while left > 0 {
+                let take = left.min(batch - lanes);
+                dealer.fill_words(&mut slab[MG_WORDS * lanes..MG_WORDS * (lanes + take)]);
+                ga[lanes..lanes + take].fill(aij);
+                bits.fill_bits(i, k, &mut gb[lanes..lanes + take]);
+                bits.fill_bits(j, k, &mut gc[lanes..lanes + take]);
+                lanes += take;
+                k += take;
+                left -= take;
+                if lanes == batch {
+                    let (u1, u2) = mul3_tile_batch(&slab, &ga, &gb, &gc);
+                    t1 = t1.wrapping_add(u1);
+                    t2 = t2.wrapping_add(u2);
+                    lanes = 0;
+                }
+            }
+        }
+    }
+    if lanes > 0 {
+        let (u1, u2) =
+            mul3_tile_batch(&slab[..MG_WORDS * lanes], &ga[..lanes], &gb[..lanes], &gc[..lanes]);
+        t1 = t1.wrapping_add(u1);
+        t2 = t2.wrapping_add(u2);
     }
     (Ring64(t1), Ring64(t2), net, triples)
 }

@@ -228,17 +228,54 @@ pub fn secure_triangle_count_sampled_planned(
     }
 }
 
+/// A pair's public candidate `k`-list in whichever form the schedule
+/// holds it: absent (dense cube), borrowed from the eager
+/// [`crate::count_sched::CandidateSet`], or recomputed on the fly from
+/// the streamed CSR plan (same intersection, never materialised
+/// whole-graph).
+enum PairKs<'a> {
+    /// Dense cube — every `k > j` is a candidate.
+    All,
+    /// Eager sparse schedule — the precomputed list.
+    Listed(&'a [u32]),
+    /// Streamed schedule — the list recomputed for this pair only.
+    Streamed(Vec<u32>),
+}
+
+impl PairKs<'_> {
+    /// The `Option<&[u32]>` shape [`sampled_ks`] consumes.
+    fn as_opt(&self) -> Option<&[u32]> {
+        match self {
+            PairKs::All => None,
+            PairKs::Listed(ks) => Some(ks),
+            PairKs::Streamed(ks) => Some(ks),
+        }
+    }
+}
+
 /// Iterates `chunk`'s pairs together with their public candidate
-/// `k`-lists (`None` for every pair on the dense cube).
+/// `k`-lists ([`PairKs::All`] for every pair on the dense cube).
 fn pair_cands<'a>(
     sched: &'a CountScheduler,
     chunk: &PairChunk,
-) -> impl Iterator<Item = ((usize, usize), Option<&'a [u32]>)> + 'a {
+) -> impl Iterator<Item = ((usize, usize), PairKs<'a>)> + 'a {
     let cands = sched.candidates();
+    let stream = sched.stream_graph();
     sched
         .chunk_pair_range(chunk)
         .zip(sched.pair_iter(chunk))
-        .map(move |(ord, ij)| (ij, cands.map(|cs| cs.ks(ord))))
+        .map(move |(ord, ij)| {
+            let ks = if let Some(cs) = cands {
+                PairKs::Listed(cs.ks(ord))
+            } else if let Some(csr) = stream {
+                let mut v = Vec::new();
+                csr.common_neighbors_above(ij.0, ij.1, ij.1, &mut v);
+                PairKs::Streamed(v)
+            } else {
+                PairKs::All
+            };
+            (ij, ks)
+        })
 }
 
 fn sampled_chunk(
@@ -264,7 +301,7 @@ fn sampled_chunk(
         let aij = row_i.get(j) as u64;
         let aij1 = share_prf(seed, i as u32, j as u32);
         let aij2 = aij.wrapping_sub(aij1);
-        sampled_ks(seed, i as u32, j as u32, n, threshold, cand, &mut ks);
+        sampled_ks(seed, i as u32, j as u32, n, threshold, cand.as_opt(), &mut ks);
         if ks.is_empty() {
             continue;
         }
@@ -406,7 +443,7 @@ fn sampled_chunk_batch(
         let aij = Ring64::from_bit(row_i.get(j));
         let aij1 = Ring64(share_prf(seed, i as u32, j as u32));
         let aij2 = aij - aij1;
-        sampled_ks(seed, i as u32, j as u32, n, threshold, cand, &mut ks);
+        sampled_ks(seed, i as u32, j as u32, n, threshold, cand.as_opt(), &mut ks);
         if ks.is_empty() {
             continue;
         }
@@ -484,7 +521,7 @@ fn sampled_chunk_ot(
     let mut plan: Vec<MgDraw> = Vec::new();
     let mut entries: Vec<(u32, u32, Vec<u32>, std::ops::Range<usize>)> = Vec::new();
     for ((i, j), cand) in pair_cands(sched, chunk) {
-        sampled_ks(seed, i as u32, j as u32, n, threshold, cand, &mut ks);
+        sampled_ks(seed, i as u32, j as u32, n, threshold, cand.as_opt(), &mut ks);
         if !ks.is_empty() {
             let d0 = plan.len();
             push_runs(&mut plan, i as u32, j as u32, &ks);

@@ -267,6 +267,23 @@ pub enum SchedulePlan {
     /// candidate structure (and nothing else); turns the `O(n³)` cube
     /// into work linear in the candidate triple count.
     CandidatePairs(Arc<CandidateSet>),
+    /// The same candidate triples as
+    /// `CandidatePairs(CandidateSet::from_graph(g))` — same pairs, same
+    /// `k`-lists, same chunk partition, bit-identical shares — but
+    /// generated **lazily from the CSR prefix sums** instead of being
+    /// materialised up front. [`CountScheduler::chunk_plan`] walks the
+    /// chunk's pairs through [`CsrGraph::common_neighbors_above`] into
+    /// a reusable scratch on demand, so a planned run's peak memory is
+    /// O(chunk), never O(#candidate pairs) — the difference between a
+    /// flat `Vec<(u32,u32)>` + concatenated `k`-lists and nothing at
+    /// all when n ≈ 10⁶.
+    ///
+    /// The price is CPU, not memory: candidate generation (the sorted
+    /// intersections) runs once per chunk-plan request instead of once
+    /// total, plus twice at construction for the chunk partition. The
+    /// stream-equivalence suite pins this plan's chunks, pair walk,
+    /// and draws equal to the eager plan's.
+    CsrStream(Arc<CsrGraph>),
 }
 
 /// A contiguous run of `(i, j)` pairs in schedule order.
@@ -305,6 +322,16 @@ enum PairIterInner {
         at: usize,
         end: usize,
     },
+    /// Lazy candidate-pair walk over the CSR adjacency: resumes at
+    /// `(i, pos)` (vertex, index into its neighbor slice) and yields
+    /// pairs whose `k`-list is non-empty, tested by the early-exit
+    /// intersection — no `k`-list is ever materialised here.
+    Csr {
+        csr: Arc<CsrGraph>,
+        i: usize,
+        pos: usize,
+        remaining: u32,
+    },
 }
 
 impl Iterator for PairIter {
@@ -341,6 +368,30 @@ impl Iterator for PairIter {
                 *at += 1;
                 Some((i as usize, j as usize))
             }
+            PairIterInner::Csr {
+                csr,
+                i,
+                pos,
+                remaining,
+            } => {
+                if *remaining == 0 {
+                    return None;
+                }
+                while *i < csr.n() {
+                    let nei = csr.neighbors(*i);
+                    while *pos < nei.len() {
+                        let j = nei[*pos] as usize;
+                        *pos += 1;
+                        if j > *i && csr.has_common_neighbor_above(*i, j, j) {
+                            *remaining -= 1;
+                            return Some((*i, j));
+                        }
+                    }
+                    *i += 1;
+                    *pos = 0;
+                }
+                None
+            }
         }
     }
 }
@@ -375,8 +426,14 @@ impl CountScheduler {
     /// For [`SchedulePlan::CandidatePairs`] the candidate set's `n`
     /// must match (it indexes the same share matrix).
     pub fn with_plan(n: usize, threads: usize, batch: usize, plan: SchedulePlan) -> Self {
-        if let SchedulePlan::CandidatePairs(cs) = &plan {
-            assert_eq!(cs.n(), n, "candidate set dimension must match the matrix");
+        match &plan {
+            SchedulePlan::DenseCube => {}
+            SchedulePlan::CandidatePairs(cs) => {
+                assert_eq!(cs.n(), n, "candidate set dimension must match the matrix");
+            }
+            SchedulePlan::CsrStream(csr) => {
+                assert_eq!(csr.n(), n, "candidate set dimension must match the matrix");
+            }
         }
         let workers = if threads == 0 {
             std::thread::available_parallelism()
@@ -405,6 +462,7 @@ impl CountScheduler {
             SchedulePlan::CandidatePairs(cs) => {
                 (cs.total_triples(), build_sparse_chunks(cs))
             }
+            SchedulePlan::CsrStream(csr) => build_csr_chunks(csr),
         };
         CountScheduler {
             n,
@@ -448,11 +506,23 @@ impl CountScheduler {
         &self.plan
     }
 
-    /// The candidate structure, when this is a sparse schedule.
+    /// The candidate structure, when this is an **eager** sparse
+    /// schedule. A [`SchedulePlan::CsrStream`] schedule is sparse too
+    /// but deliberately never materialises one — use
+    /// [`Self::stream_graph`] and compute per-pair `k`-lists on
+    /// demand.
     pub fn candidates(&self) -> Option<&Arc<CandidateSet>> {
         match &self.plan {
-            SchedulePlan::DenseCube => None,
+            SchedulePlan::DenseCube | SchedulePlan::CsrStream(_) => None,
             SchedulePlan::CandidatePairs(cs) => Some(cs),
+        }
+    }
+
+    /// The CSR adjacency backing a streamed sparse schedule.
+    pub fn stream_graph(&self) -> Option<&Arc<CsrGraph>> {
+        match &self.plan {
+            SchedulePlan::CsrStream(csr) => Some(csr),
+            _ => None,
         }
     }
 
@@ -480,6 +550,19 @@ impl CountScheduler {
                 }
                 draws
             }
+            SchedulePlan::CsrStream(csr) => {
+                // Regenerate exactly this chunk's candidates from the
+                // prefix sums: the walk resumes at `chunk.start` and
+                // the `k`-lists live only in the walker's scratch.
+                let mut draws = Vec::new();
+                let mut left = chunk.pairs;
+                walk_csr_pairs(csr, chunk.start, |i, j, ks| {
+                    push_runs(&mut draws, i, j, ks);
+                    left -= 1;
+                    left > 0
+                });
+                draws
+            }
         }
     }
 
@@ -504,6 +587,20 @@ impl CountScheduler {
                     at: chunk.first as usize,
                     end: chunk.first as usize + chunk.pairs as usize,
                 },
+                SchedulePlan::CsrStream(csr) => {
+                    let i = chunk.start.0 as usize;
+                    let pos = if i < csr.n() {
+                        csr.neighbors(i).partition_point(|&x| x < chunk.start.1)
+                    } else {
+                        0
+                    };
+                    PairIterInner::Csr {
+                        csr: Arc::clone(csr),
+                        i,
+                        pos,
+                        remaining: chunk.pairs,
+                    }
+                }
             },
         }
     }
@@ -661,6 +758,91 @@ fn build_sparse_chunks(cs: &CandidateSet) -> Vec<PairChunk> {
         });
     }
     chunks
+}
+
+/// Streams the candidate pairs of `csr` — in exactly the order
+/// [`CandidateSet::from_graph`] would list them — starting at pair
+/// `from` (inclusive), calling `f(i, j, ks)` with each pair's
+/// non-empty ascending `k`-list. The list lives in one reusable
+/// scratch buffer; `f` returning `false` stops the walk. This is the
+/// whole streaming machinery: chunk construction, chunk plans, and
+/// the sampled path's per-pair candidates all reduce to it.
+fn walk_csr_pairs(csr: &CsrGraph, from: (u32, u32), mut f: impl FnMut(u32, u32, &[u32]) -> bool) {
+    let n = csr.n();
+    let mut ks: Vec<u32> = Vec::new();
+    let (i0, j0) = (from.0 as usize, from.1);
+    for i in i0..n {
+        let nei = csr.neighbors(i);
+        // Candidate pairs need j > i; the resume point additionally
+        // clips the first vertex's neighbor slice at j₀.
+        let floor = if i == i0 { j0.max(i as u32 + 1) } else { i as u32 + 1 };
+        let at = nei.partition_point(|&x| x < floor);
+        for &j in &nei[at..] {
+            ks.clear();
+            csr.common_neighbors_above(i, j as usize, j as usize, &mut ks);
+            if !ks.is_empty() && !f(i as u32, j, &ks) {
+                return;
+            }
+        }
+    }
+}
+
+/// The streaming analogue of [`build_sparse_chunks`]: two passes over
+/// the lazy candidate walk — one to total the triples (the cut target
+/// needs it), one to cut — instead of one pass over a materialised
+/// [`CandidateSet`]. Costs a second round of sorted intersections;
+/// buys never holding the pair list. Produces the **identical** chunk
+/// list (same cut logic, same candidate order), which the
+/// stream-equivalence tests pin — chunk ids key the amortised OT
+/// offline sessions, so the two sparse plans must agree chunk for
+/// chunk.
+fn build_csr_chunks(csr: &CsrGraph) -> (u64, Vec<PairChunk>) {
+    let mut total = 0u64;
+    walk_csr_pairs(csr, (0, 0), |_, _, ks| {
+        total += ks.len() as u64;
+        true
+    });
+    if total == 0 {
+        return (0, Vec::new());
+    }
+    let target = (total / CHUNK_PARTS).max(MIN_CHUNK_TRIPLES);
+    let mut chunks = Vec::new();
+    let mut start: Option<(u32, u32)> = None;
+    let mut first = 0u32;
+    let mut ordinal = 0u32;
+    let mut pairs = 0u32;
+    let mut triples = 0u64;
+    walk_csr_pairs(csr, (0, 0), |i, j, ks| {
+        if start.is_none() {
+            start = Some((i, j));
+            first = ordinal;
+        }
+        ordinal += 1;
+        pairs += 1;
+        triples += ks.len() as u64;
+        if triples >= target {
+            chunks.push(PairChunk {
+                id: chunks.len() as u32,
+                start: start.take().expect("chunk start set"),
+                first,
+                pairs,
+                triples,
+            });
+            pairs = 0;
+            triples = 0;
+        }
+        true
+    });
+    if let Some(start) = start {
+        chunks.push(PairChunk {
+            id: chunks.len() as u32,
+            start,
+            first,
+            pairs,
+            triples,
+        });
+    }
+    (total, chunks)
 }
 
 #[cfg(test)]
@@ -888,6 +1070,63 @@ mod tests {
             );
             assert_eq!(other.chunks(), base.chunks());
         }
+    }
+
+    #[test]
+    fn csr_stream_schedule_equals_the_eager_sparse_schedule() {
+        // The streamed plan must be indistinguishable from the eager
+        // one at the scheduler level: same chunk list (ids key OT
+        // sessions), same pair walk, same draws at the same canonical
+        // offsets — lazily regenerated instead of stored.
+        for (n, p, seed) in [(3usize, 0.9, 1u64), (30, 0.05, 2), (80, 0.15, 11), (60, 0.4, 5)] {
+            let g = generators::erdos_renyi(n, p, seed);
+            let cs = Arc::new(CandidateSet::from_graph(&g));
+            let csr = Arc::new(CsrGraph::from_graph(&g));
+            let eager =
+                CountScheduler::with_plan(n, 3, 0, SchedulePlan::CandidatePairs(cs));
+            let streamed =
+                CountScheduler::with_plan(n, 3, 0, SchedulePlan::CsrStream(csr));
+            assert_eq!(streamed.chunks(), eager.chunks(), "n={n} seed={seed}");
+            assert_eq!(streamed.total_triples(), eager.total_triples());
+            for (sc, ec) in streamed.chunks().iter().zip(eager.chunks()) {
+                assert_eq!(
+                    streamed.pair_iter(sc).collect::<Vec<_>>(),
+                    eager.pair_iter(ec).collect::<Vec<_>>(),
+                    "n={n} chunk={}",
+                    sc.id
+                );
+                assert_eq!(
+                    streamed.chunk_plan(sc),
+                    eager.chunk_plan(ec),
+                    "n={n} chunk={}",
+                    sc.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn csr_stream_with_no_triangles_has_no_chunks() {
+        // A path graph has candidate pairs but no closing k anywhere:
+        // the streamed schedule must collapse to zero chunks, exactly
+        // like the eager one drops empty-k pairs.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let sched = CountScheduler::with_plan(
+            5,
+            2,
+            0,
+            SchedulePlan::CsrStream(Arc::new(CsrGraph::from_graph(&g))),
+        );
+        assert!(sched.chunks().is_empty());
+        assert_eq!(sched.total_triples(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate set dimension")]
+    fn mismatched_stream_dimension_panics() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        let csr = Arc::new(CsrGraph::from_graph(&g));
+        CountScheduler::with_plan(6, 1, 0, SchedulePlan::CsrStream(csr));
     }
 
     #[test]

@@ -66,7 +66,9 @@ pub use config::{CargoConfig, CountKernel, ScheduleKind, TransportKind};
 pub use count::{
     secure_triangle_count, secure_triangle_count_batched, secure_triangle_count_kernel,
     secure_triangle_count_planned, secure_triangle_count_pooled,
-    secure_triangle_count_pooled_planned, secure_triangle_count_with, SecureCountResult,
+    secure_triangle_count_pooled_planned, secure_triangle_count_streamed,
+    secure_triangle_count_tiled, secure_triangle_count_with, SecureCountResult,
+    DEFAULT_TILE_THRESHOLD,
 };
 pub use count_runtime::{
     party_input_shares, run_party_count, run_party_count_planned, run_party_count_pooled,
@@ -90,7 +92,7 @@ pub use count_sched::{
     CandidateSet, CountScheduler, PairChunk, SchedulePlan, DEFAULT_COUNT_BATCH,
 };
 pub use max_degree::{estimate_max_degree, MaxDegreeEstimate};
-pub use metrics::{l2_loss, relative_error};
+pub use metrics::{l2_loss, peak_rss_bytes, relative_error};
 pub use perturb::{aggregate_noise_shares, perturb, PerturbResult};
 pub use projection::{project_matrix, project_user_row, ProjectionResult};
 pub use recovery::{

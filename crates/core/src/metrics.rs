@@ -42,6 +42,32 @@ pub fn median(xs: &[f64]) -> f64 {
     }
 }
 
+/// Peak resident set size (high-water mark) of this process in bytes,
+/// read from Linux's `VmHWM` line in `/proc/self/status`. Returns
+/// `None` on platforms without that interface (or if the kernel ever
+/// drops the line) — callers report the number as *unavailable*, never
+/// as zero. This is the probe the large-graph benches use to certify
+/// that the streamed sparse schedule's peak memory stays O(chunk):
+/// VmHWM is a true high-water mark, so it catches any transient
+/// materialisation the instantaneous RSS would miss.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                return Some(kb * 1024);
+            }
+        }
+        None
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -63,6 +89,16 @@ mod tests {
     #[should_panic(expected = "undefined")]
     fn relative_error_zero_truth_panics() {
         relative_error(0.0, 1.0);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_is_present_and_plausible_on_linux() {
+        // Touch a buffer so the high-water mark is at least a few MB.
+        let buf = vec![1u8; 4 << 20];
+        assert!(buf.iter().map(|&b| b as u64).sum::<u64>() > 0);
+        let peak = peak_rss_bytes().expect("VmHWM available on Linux");
+        assert!(peak >= 4 << 20, "peak {peak} below the buffer just touched");
     }
 
     #[test]

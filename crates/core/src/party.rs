@@ -40,7 +40,7 @@ use crate::count_sched::{CandidateSet, SchedulePlan};
 use crate::perturb::aggregate_noise_shares;
 use crate::protocol::{count_sensitivity, max_and_project, COUNT_SEED_TWEAK, NOISE_SEED_TWEAK};
 use cargo_dp::FixedPointCodec;
-use cargo_graph::{count_triangles_matrix, Graph};
+use cargo_graph::{count_triangles_matrix, CsrGraph, Graph};
 use cargo_mpc::{
     memory_pair, recv_msg, send_msg, FinalOpeningMsg, NetStats, Ring64, ServerId, Transport,
 };
@@ -111,6 +111,12 @@ pub fn run_party<T: Transport>(
         ScheduleKind::Dense => SchedulePlan::DenseCube,
         ScheduleKind::Sparse => {
             SchedulePlan::CandidatePairs(Arc::new(CandidateSet::from_support(&projected)))
+        }
+        // Same chunks and shares as Sparse, streamed lazily from CSR
+        // prefix sums; the wire runtime consumes chunk plans through
+        // the same interface, so nothing else changes.
+        ScheduleKind::SparseStream => {
+            SchedulePlan::CsrStream(Arc::new(CsrGraph::from_support(&projected)))
         }
     };
     let count = run_party_count_planned(

@@ -15,7 +15,10 @@
 //! the error into projection loss vs perturbation error (Theorems 5/6).
 
 use crate::config::{CargoConfig, CountKernel, ScheduleKind, TransportKind};
-use crate::count::{secure_triangle_count_planned, secure_triangle_count_pooled_planned};
+use crate::count::{
+    secure_triangle_count_planned, secure_triangle_count_pooled_planned,
+    secure_triangle_count_tiled,
+};
 use crate::count_runtime::threaded_secure_count_tcp_timed;
 use crate::count_sched::{CandidateSet, SchedulePlan};
 use cargo_mpc::OfflineMode;
@@ -24,7 +27,7 @@ use crate::max_degree::{estimate_max_degree, MaxDegreeEstimate};
 use crate::perturb::{perturb, PerturbInputs};
 use crate::projection::project_matrix;
 use cargo_dp::{FixedPointCodec, PrivacyAccountant, PrivacyBudget};
-use cargo_graph::{count_triangles_matrix, BitMatrix, Graph};
+use cargo_graph::{count_triangles_matrix, BitMatrix, CsrGraph, Graph};
 use cargo_mpc::NetStats;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -225,10 +228,32 @@ impl CargoSystem {
             ScheduleKind::Sparse => {
                 SchedulePlan::CandidatePairs(Arc::new(CandidateSet::from_support(&projected)))
             }
+            // Same candidate triples and chunks as Sparse (pinned by
+            // the scheduler equivalence tests), generated lazily from
+            // CSR prefix sums: peak memory O(chunk), not
+            // O(#candidates).
+            ScheduleKind::SparseStream => {
+                SchedulePlan::CsrStream(Arc::new(CsrGraph::from_support(&projected)))
+            }
         };
         let count = match cfg.transport {
             TransportKind::Memory => {
-                if pool_policy.enabled() && cfg.offline == OfflineMode::OtExtension {
+                if matches!(plan, SchedulePlan::CsrStream(_))
+                    && cfg.offline == OfflineMode::TrustedDealer
+                    && !pool_policy.enabled()
+                    && cfg.kernel == CountKernel::Bitsliced
+                {
+                    // The hybrid tile kernel with the configured
+                    // density threshold (bit-identical at every θ).
+                    secure_triangle_count_tiled(
+                        &projected,
+                        cfg.seed ^ COUNT_SEED_TWEAK,
+                        cfg.effective_threads(),
+                        cfg.effective_batch(),
+                        plan,
+                        cfg.tile_threshold,
+                    )
+                } else if pool_policy.enabled() && cfg.offline == OfflineMode::OtExtension {
                     secure_triangle_count_pooled_planned(
                         &projected,
                         cfg.seed ^ COUNT_SEED_TWEAK,

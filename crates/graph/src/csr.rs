@@ -21,6 +21,7 @@
 //! sorted-intersection primitive the candidate-pair scheduler builds
 //! its public `k`-lists from.
 
+use crate::bitvec::BitMatrix;
 use crate::graph::Graph;
 
 /// Compressed-sparse-row adjacency with a degree-ordered forward
@@ -51,20 +52,80 @@ impl CsrGraph {
             targets.extend_from_slice(g.neighbors(v));
             offsets.push(targets.len());
         }
+        Self::from_adjacency(n, offsets, targets)
+    }
+
+    /// Builds the CSR view directly from a **normalized pair list**:
+    /// `(u, v)` with `u < v`, sorted lexicographically, deduplicated.
+    /// This is the streaming-ingest constructor — no intermediate
+    /// [`Graph`] adjacency (`Vec<Vec<u32>>`) is ever materialised, so
+    /// the peak footprint of loading a million-node edge list is the
+    /// pair list plus the CSR arrays themselves.
+    ///
+    /// Panics if the list is unsorted, contains duplicates, self-loops,
+    /// or ids `≥ n` — callers (the edge-list loader) normalize first.
+    pub fn from_pairs(n: usize, pairs: &[(u32, u32)]) -> Self {
+        let mut deg = vec![0usize; n];
+        let mut prev: Option<(u32, u32)> = None;
+        for &(u, v) in pairs {
+            assert!(u < v && (v as usize) < n, "pair ({u},{v}) not normalized for n={n}");
+            assert!(prev < Some((u, v)), "pair list must be sorted and unique");
+            prev = Some((u, v));
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for v in 0..n {
+            offsets.push(offsets[v] + deg[v]);
+        }
+        // Fill with a per-vertex cursor. Iterating the sorted pair list
+        // appends, for each vertex `x`, first its below-`x` neighbors
+        // `w` (from pairs `(w, x)`, ascending in `w`) and then its
+        // above-`x` neighbors `v` (from pairs `(x, v)`, ascending in
+        // `v`) — so every adjacency slice comes out ascending by id.
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        let mut targets = vec![0u32; offsets[n]];
+        for &(u, v) in pairs {
+            targets[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        Self::from_adjacency(n, offsets, targets)
+    }
+
+    /// Builds the CSR view of a (possibly asymmetric, e.g. θ-projected)
+    /// matrix's **upper-triangle support** — the same symmetrised
+    /// support graph the sparse candidate schedule is derived from.
+    pub fn from_support(m: &BitMatrix) -> Self {
+        let n = m.n();
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            for j in m.row(i).iter_ones().filter(|&j| j > i) {
+                pairs.push((i as u32, j as u32));
+            }
+        }
+        Self::from_pairs(n, &pairs)
+    }
+
+    /// Shared tail of the constructors: derives the degree-ordered
+    /// forward orientation and rank from a finished full adjacency.
+    fn from_adjacency(n: usize, offsets: Vec<usize>, targets: Vec<u32>) -> Self {
         // Total order: by degree, ties by id. `rank[v]` is v's position.
         let mut order: Vec<u32> = (0..n as u32).collect();
-        order.sort_by_key(|&v| (g.degree(v as usize), v));
+        order.sort_by_key(|&v| (offsets[v as usize + 1] - offsets[v as usize], v));
         let mut rank = vec![0u32; n];
         for (r, &v) in order.iter().enumerate() {
             rank[v as usize] = r as u32;
         }
         let mut fwd_offsets = Vec::with_capacity(n + 1);
         fwd_offsets.push(0usize);
-        let mut fwd_targets = Vec::with_capacity(g.edge_count());
+        let mut fwd_targets = Vec::with_capacity(targets.len() / 2);
         for v in 0..n {
             let from = fwd_targets.len();
             fwd_targets.extend(
-                g.neighbors(v)
+                targets[offsets[v]..offsets[v + 1]]
                     .iter()
                     .copied()
                     .filter(|&u| rank[u as usize] > rank[v]),
@@ -150,6 +211,27 @@ impl CsrGraph {
                 }
             }
         }
+    }
+
+    /// Whether `u` and `v` share at least one common neighbor
+    /// `k > floor` — [`Self::common_neighbors_above`] with an early
+    /// exit on the first hit and no output allocation. The streaming
+    /// scheduler uses this to test pair candidacy without
+    /// materialising the `k`-list.
+    pub fn has_common_neighbor_above(&self, u: usize, v: usize, floor: usize) -> bool {
+        let mut a = self.neighbors(u);
+        let mut b = self.neighbors(v);
+        let fl = floor as u32;
+        a = &a[a.partition_point(|&x| x <= fl)..];
+        b = &b[b.partition_point(|&x| x <= fl)..];
+        while let (Some(&x), Some(&y)) = (a.first(), b.first()) {
+            match x.cmp(&y) {
+                std::cmp::Ordering::Less => a = &a[1..],
+                std::cmp::Ordering::Greater => b = &b[1..],
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
     }
 
     /// Iterates the degree-ordered wedges `(v, u, w)`:
@@ -308,6 +390,65 @@ mod tests {
         out.clear();
         c.common_neighbors_above(0, 1, 2, &mut out);
         assert!(out.is_empty(), "floor excludes everything");
+    }
+
+    #[test]
+    fn has_common_neighbor_above_agrees_with_the_list() {
+        let g = generators::erdos_renyi(50, 0.15, 9);
+        let c = CsrGraph::from_graph(&g);
+        let mut out = Vec::new();
+        for u in 0..50 {
+            for v in 0..50 {
+                for floor in [0usize, u, v, 25, 49] {
+                    out.clear();
+                    c.common_neighbors_above(u, v, floor, &mut out);
+                    assert_eq!(
+                        c.has_common_neighbor_above(u, v, floor),
+                        !out.is_empty(),
+                        "u={u} v={v} floor={floor}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_pairs_matches_from_graph() {
+        for (n, p, seed) in [(1usize, 0.0, 1u64), (40, 0.2, 2), (75, 0.08, 3)] {
+            let g = generators::erdos_renyi(n, p, seed);
+            let mut pairs = Vec::new();
+            for u in 0..n {
+                for &v in g.neighbors(u).iter().filter(|&&v| (v as usize) > u) {
+                    pairs.push((u as u32, v));
+                }
+            }
+            pairs.sort_unstable();
+            assert_eq!(CsrGraph::from_pairs(n, &pairs), CsrGraph::from_graph(&g), "n={n}");
+        }
+        assert_eq!(CsrGraph::from_pairs(0, &[]), CsrGraph::from_graph(&Graph::empty(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and unique")]
+    fn from_pairs_rejects_duplicates() {
+        CsrGraph::from_pairs(3, &[(0, 1), (0, 1)]);
+    }
+
+    #[test]
+    fn from_support_reads_the_upper_triangle_only() {
+        // Asymmetric matrix: (0,1) upper set, (2,1) lower set (ignored),
+        // plus the (1,2)/(0,2) uppers closing a triangle.
+        let mut m = BitMatrix::zeros(4);
+        m.set(0, 1, true);
+        m.set(0, 2, true);
+        m.set(1, 2, true);
+        m.set(2, 1, true); // lower-triangle echo, must not add an edge
+        m.set(3, 1, true); // lower-triangle only: {1,3} is NOT support
+        let c = CsrGraph::from_support(&m);
+        assert_eq!(c.edge_count(), 3);
+        assert!(c.has_edge(0, 1) && c.has_edge(0, 2) && c.has_edge(1, 2));
+        assert!(!c.has_edge(1, 3));
+        assert_eq!(c.count_triangles(), 1);
     }
 
     #[test]

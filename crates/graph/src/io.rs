@@ -13,6 +13,7 @@
 //!   dropped ([`LoadStats`]), because a dataset that loses 30% of its
 //!   lines to cleanup is usually the wrong dataset, not a clean one.
 
+use crate::csr::CsrGraph;
 use crate::error::GraphError;
 use crate::graph::{Graph, GraphBuilder};
 use std::collections::HashMap;
@@ -122,6 +123,72 @@ pub fn read_edge_list_from_stats<R: BufRead>(
     Ok((g, stats))
 }
 
+/// Reads a SNAP-format edge list from `path` straight into a
+/// [`CsrGraph`] — see [`read_edge_list_csr_from_stats`].
+pub fn read_edge_list_csr(path: &Path) -> Result<(CsrGraph, LoadStats), GraphError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list_csr_from_stats(BufReader::new(file))
+}
+
+/// Reads a SNAP-format edge list from any buffered reader straight
+/// into a [`CsrGraph`], never materialising a [`Graph`] adjacency.
+///
+/// This is the large-graph ingestion path: [`read_edge_list_from_stats`]
+/// followed by [`CsrGraph::from_graph`] holds the `Vec<Vec<u32>>`
+/// adjacency *and* the CSR arrays simultaneously at its peak (plus
+/// per-node allocator overhead and growth slack). Here the only
+/// intermediate is a flat normalized pair list — one `(u32, u32)` per
+/// undirected edge — which is sorted, deduplicated in place, and handed
+/// to [`CsrGraph::from_pairs`]. Same accepted format, same
+/// [`LoadStats`] semantics, same first-appearance relabelling.
+pub fn read_edge_list_csr_from_stats<R: BufRead>(
+    reader: R,
+) -> Result<(CsrGraph, LoadStats), GraphError> {
+    let mut ids: HashMap<u64, usize> = HashMap::new();
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    let mut self_loops = 0usize;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse = |tok: Option<&str>, lineno: usize| -> Result<u64, GraphError> {
+            let tok = tok.ok_or_else(|| GraphError::Parse {
+                line: lineno + 1,
+                message: "expected two node ids".into(),
+            })?;
+            tok.parse::<u64>().map_err(|_| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("invalid node id {tok:?}"),
+            })
+        };
+        let u = parse(it.next(), lineno)?;
+        let v = parse(it.next(), lineno)?;
+        let next_id = ids.len();
+        let ui = *ids.entry(u).or_insert(next_id) as u32;
+        let next_id = ids.len();
+        let vi = *ids.entry(v).or_insert(next_id) as u32;
+        if ui != vi {
+            pairs.push((ui.min(vi), ui.max(vi)));
+        } else {
+            self_loops += 1;
+        }
+    }
+    let kept = pairs.len();
+    pairs.sort_unstable();
+    pairs.dedup();
+    let stats = LoadStats {
+        edges: pairs.len(),
+        self_loops,
+        duplicates: kept - pairs.len(),
+    };
+    // Nodes that only ever appeared in self-loop lines still count.
+    let csr = CsrGraph::from_pairs(ids.len(), &pairs);
+    Ok((csr, stats))
+}
+
 /// Writes `g` as a SNAP-format edge list (one `u\tv` line per edge,
 /// with a header comment).
 pub fn write_edge_list(g: &Graph, path: &Path) -> Result<(), GraphError> {
@@ -211,6 +278,24 @@ mod tests {
     fn rejects_missing_column() {
         let text = "0\n";
         assert!(read_edge_list_from(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn csr_loader_matches_graph_loader() {
+        // Same cleanup corpus as `cleanup_is_counted_not_silent`, plus
+        // sparse ids — the streaming path must agree on graph AND stats.
+        for text in ["0 1\n0 0\n1 0\n0 1\n5 5\n2 3\n", "1000000 42\n42 7\n", "", "# only\n"] {
+            let (g, gstats) = read_edge_list_from_stats(Cursor::new(text)).unwrap();
+            let (csr, cstats) = read_edge_list_csr_from_stats(Cursor::new(text)).unwrap();
+            assert_eq!(cstats, gstats, "{text:?}");
+            assert_eq!(csr, CsrGraph::from_graph(&g), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn csr_loader_rejects_garbage_like_the_graph_loader() {
+        assert!(read_edge_list_csr_from_stats(Cursor::new("0 xyz\n")).is_err());
+        assert!(read_edge_list_csr_from_stats(Cursor::new("0\n")).is_err());
     }
 
     #[test]

@@ -43,8 +43,8 @@ pub use degree::{degree_sequence, DegreeStats};
 pub use error::GraphError;
 pub use graph::{Graph, GraphBuilder};
 pub use io::{
-    read_edge_list, read_edge_list_from, read_edge_list_from_stats, read_edge_list_stats,
-    write_edge_list, LoadStats,
+    read_edge_list, read_edge_list_csr, read_edge_list_csr_from_stats, read_edge_list_from,
+    read_edge_list_from_stats, read_edge_list_stats, write_edge_list, LoadStats,
 };
 pub use triangles::{
     count_triangles, count_triangles_matrix, count_triangles_node_iterator, local_triangle_counts,

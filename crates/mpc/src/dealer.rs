@@ -164,6 +164,17 @@ impl PairDealer {
         }
     }
 
+    /// Creates the stream for `draw`'s pair, already sought to the
+    /// draw's canonical group offset — the tile entry point: a hybrid
+    /// kernel gathering straggler runs from many pairs into one batch
+    /// opens each run's stream with this and [`Self::fill_words`]s it
+    /// straight into the gather slab.
+    pub fn for_draw(root: u64, draw: &crate::MgDraw) -> Self {
+        let mut d = Self::for_pair(root, draw.i, draw.j);
+        d.skip_groups(draw.start as usize);
+        d
+    }
+
     /// Block-expands the next `out.len()` raw dealer words (see
     /// [`MG_WORDS`] for the per-group layout). Stream-equivalent to
     /// scalar draws; the hot kernel fills one batch at a time.

@@ -99,7 +99,7 @@ pub use share::{reconstruct, reconstruct_vec, share_with, share_vec_with, ShareP
 pub use simd::{SimdTier, U64x4, U64x8, U64xN, LANES};
 pub use triple_mul::{
     mul3, mul3_batch, mul3_combine, mul3_combine_batch, mul3_mask_batch, mul3_open_batch,
-    Mul3Opening, MulGroupShare,
+    mul3_tile_batch, Mul3Opening, MulGroupShare,
 };
 
 /// Identifies one of the two non-colluding servers.

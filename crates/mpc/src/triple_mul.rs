@@ -214,6 +214,145 @@ pub fn mul3_batch(words: &[u64], a: u64, b: &[u64], c: &[u64]) -> (u64, u64) {
     (t1, t2)
 }
 
+/// The gathered-tile body — [`mul3_batch`] with a **per-lane** first
+/// secret. `#[inline(always)]` so each ISA-dispatch wrapper compiles
+/// its own copy with its vector features enabled.
+#[inline(always)]
+fn mul3_tile_body(words: &[u64], a: &[u64], b: &[u64], c: &[u64]) -> (u64, u64) {
+    let l = a.len();
+    assert_eq!(words.len(), MG_WORDS * l, "AoS word slab length");
+    assert!(b.len() == l && c.len() == l, "a/b/c slab lengths");
+    let mut acc1 = U64x8::ZERO;
+    let mut acc2 = U64x8::ZERO;
+    let full = l / LANES;
+    for lane0 in (0..full * LANES).step_by(LANES) {
+        let base = MG_WORDS * lane0;
+        let x1 = U64x8::gather::<MG_WORDS>(words, base);
+        let x2 = U64x8::gather::<MG_WORDS>(words, base + 1);
+        let y1 = U64x8::gather::<MG_WORDS>(words, base + 2);
+        let y2 = U64x8::gather::<MG_WORDS>(words, base + 3);
+        let z1 = U64x8::gather::<MG_WORDS>(words, base + 4);
+        let z2 = U64x8::gather::<MG_WORDS>(words, base + 5);
+        let o1 = U64x8::gather::<MG_WORDS>(words, base + 6);
+        let p1 = U64x8::gather::<MG_WORDS>(words, base + 7);
+        let q1 = U64x8::gather::<MG_WORDS>(words, base + 8);
+        let w1 = U64x8::gather::<MG_WORDS>(words, base + 9);
+        let x = x1 + x2;
+        let y = y1 + y2;
+        let z = z1 + z2;
+        let o = x * y;
+        let p = x * z;
+        let q = y * z;
+        let wv = o * z;
+        let e = U64x8::load(&a[lane0..]) - x;
+        let f = U64x8::load(&b[lane0..]) - y;
+        let g = U64x8::load(&c[lane0..]) - z;
+        let fg = f * g;
+        let eg = e * g;
+        let ef = e * f;
+        acc1 = acc1 + w1 + o1 * g + p1 * f + q1 * e + x1 * fg + y1 * eg + z1 * ef;
+        acc2 = acc2
+            + (wv - w1)
+            + (o - o1) * g
+            + (p - p1) * f
+            + (q - q1) * e
+            + x2 * fg
+            + y2 * eg
+            + z2 * ef
+            + ef * g;
+    }
+    let mut t1 = acc1.hsum();
+    let mut t2 = acc2.hsum();
+    // Scalar tail (< LANES lanes), same formulas.
+    for lane in full * LANES..l {
+        let w = &words[MG_WORDS * lane..MG_WORDS * (lane + 1)];
+        let (x1, x2, y1, y2, z1, z2, o1, p1, q1, w1) =
+            (w[0], w[1], w[2], w[3], w[4], w[5], w[6], w[7], w[8], w[9]);
+        let x = x1.wrapping_add(x2);
+        let y = y1.wrapping_add(y2);
+        let z = z1.wrapping_add(z2);
+        let o = x.wrapping_mul(y);
+        let p = x.wrapping_mul(z);
+        let q = y.wrapping_mul(z);
+        let wv = o.wrapping_mul(z);
+        let e = a[lane].wrapping_sub(x);
+        let f = b[lane].wrapping_sub(y);
+        let g = c[lane].wrapping_sub(z);
+        let fg = f.wrapping_mul(g);
+        let eg = e.wrapping_mul(g);
+        let ef = e.wrapping_mul(f);
+        t1 = t1
+            .wrapping_add(w1)
+            .wrapping_add(o1.wrapping_mul(g))
+            .wrapping_add(p1.wrapping_mul(f))
+            .wrapping_add(q1.wrapping_mul(e))
+            .wrapping_add(x1.wrapping_mul(fg))
+            .wrapping_add(y1.wrapping_mul(eg))
+            .wrapping_add(z1.wrapping_mul(ef));
+        t2 = t2
+            .wrapping_add(wv.wrapping_sub(w1))
+            .wrapping_add(o.wrapping_sub(o1).wrapping_mul(g))
+            .wrapping_add(p.wrapping_sub(p1).wrapping_mul(f))
+            .wrapping_add(q.wrapping_sub(q1).wrapping_mul(e))
+            .wrapping_add(x2.wrapping_mul(fg))
+            .wrapping_add(y2.wrapping_mul(eg))
+            .wrapping_add(z2.wrapping_mul(ef))
+            .wrapping_add(ef.wrapping_mul(g));
+    }
+    (t1, t2)
+}
+
+/// AVX-512 compilation of the gathered-tile body; selected at runtime
+/// when the CPU supports it.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq")]
+unsafe fn mul3_tile_avx512(words: &[u64], a: &[u64], b: &[u64], c: &[u64]) -> (u64, u64) {
+    mul3_tile_body(words, a, b, c)
+}
+
+/// AVX2 compilation of the gathered-tile body.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn mul3_tile_avx2(words: &[u64], a: &[u64], b: &[u64], c: &[u64]) -> (u64, u64) {
+    mul3_tile_body(words, a, b, c)
+}
+
+/// [`mul3_batch`] with a **per-lane** first secret — the gathered-tile
+/// entry point of the hybrid sparse kernel.
+///
+/// A ragged sparse plan leaves the fused stream kernel
+/// ([`mul3_batch_stream`]) running short blocks: a pair whose
+/// surviving `k`-run is 2 triples long fills 2 of 8 lanes. The hybrid
+/// path instead *gathers* many such straggler runs — from different
+/// `(i, j)` pairs, hence different `a_ij` — into one AoS slab (each
+/// run's words drawn from its own [`crate::PairDealer`] at its
+/// canonical offset) and evaluates them here at full width, with `a`
+/// varying per lane. Bit-identity with per-run [`mul3_batch`] calls
+/// follows from the wrapping sums being order-independent; the tile
+/// equivalence proptests pin it.
+///
+/// Dispatched like the stream kernel: AVX-512, AVX2, portable — one
+/// generic body, so the paths cannot diverge.
+///
+/// # Panics
+/// Panics if the slab lengths disagree (`words.len() ≠ MG_WORDS·L` or
+/// `a/b/c` differing).
+pub fn mul3_tile_batch(words: &[u64], a: &[u64], b: &[u64], c: &[u64]) -> (u64, u64) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512dq") {
+            // SAFETY: the target features the callee enables were just
+            // verified present on the running CPU.
+            return unsafe { mul3_tile_avx512(words, a, b, c) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: as above.
+            return unsafe { mul3_tile_avx2(words, a, b, c) };
+        }
+    }
+    mul3_tile_body(words, a, b, c)
+}
+
 /// Lane-wise SplitMix64 finaliser: `mix8(s)` equals
 /// [`SplitMix64::next_u64`]'s output for counter value `s`, per lane.
 #[inline(always)]
@@ -610,6 +749,39 @@ mod tests {
             prop_assert_eq!(got, want);
             // Both streams advanced identically: next draws coincide.
             prop_assert_eq!(via_fused.next_group_pair(), via_fill.next_group_pair());
+        }
+
+        #[test]
+        fn tile_kernel_matches_per_run_batches(seed: u64, len in 0usize..40) {
+            // The gathered-tile kernel evaluates lanes whose first
+            // secrets differ (straggler runs from many pairs packed
+            // into one slab). Splitting the same slab at every point
+            // into two splatted-`a` batches with a[..] constant is not
+            // possible — instead pin against the scalar tail itself:
+            // a length-1 mul3_batch per lane, each with its own a.
+            let mut rng = SplitMix64::new(seed ^ 0x7E57);
+            let a: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
+            let b: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
+            let c: Vec<u64> = (0..len).map(|_| rng.next_u64()).collect();
+            let mut words = vec![0u64; MG_WORDS * len];
+            PairDealer::for_pair(seed, 2, 6).fill_words(&mut words);
+            let got = mul3_tile_batch(&words, &a, &b, &c);
+            let (mut r1, mut r2) = (0u64, 0u64);
+            for lane in 0..len {
+                let w = &words[MG_WORDS * lane..MG_WORDS * (lane + 1)];
+                let (u1, u2) = mul3_batch(w, a[lane], &b[lane..=lane], &c[lane..=lane]);
+                r1 = r1.wrapping_add(u1);
+                r2 = r2.wrapping_add(u2);
+            }
+            prop_assert_eq!(got, (r1, r2));
+            // Constant-a slabs degenerate to the splatted kernel.
+            if len > 0 {
+                let av = vec![a[0]; len];
+                prop_assert_eq!(
+                    mul3_tile_batch(&words, &av, &b, &c),
+                    mul3_batch(&words, a[0], &b, &c)
+                );
+            }
         }
 
         #[test]

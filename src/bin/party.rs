@@ -100,6 +100,7 @@ struct Args {
     pool_depth: usize,
     pool_backpressure: cargo_mpc::Backpressure,
     schedule: ScheduleKind,
+    tile_threshold: Option<u32>,
     data_dir: Option<PathBuf>,
     no_projection: bool,
     mode: Mode,
@@ -120,7 +121,8 @@ fn usage() -> String {
      \x20      [--offline-mode dealer|ot] [--data-dir <snap-dir>] [--no-projection]\n\
      \x20      [--factory-threads <f=0 (inline)>] [--pool-depth <d=0 (default 4)>]\n\
      \x20      [--pool-backpressure block|fail-fast]\n\
-     \x20      [--schedule dense|sparse (default dense)]\n\
+     \x20      [--schedule dense|sparse|sparse-stream (default dense)]\n\
+     \x20      [--tile-threshold <runs (sparse-stream hybrid kernel; default 8)>]\n\
      \x20      [--mode pipeline|serve (default pipeline)]\n\
      \x20      [--deltas FILE|- (serve: edge-delta script; default stdin)]\n\
      \x20      [--horizon <epochs=16>] [--composition fixed|tree]\n\
@@ -176,6 +178,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         pool_depth: 0,
         pool_backpressure: cargo_mpc::Backpressure::Block,
         schedule: ScheduleKind::Dense,
+        tile_threshold: None,
         data_dir: None,
         no_projection: false,
         mode: Mode::Pipeline,
@@ -246,6 +249,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 args.schedule = take(&mut i)?
                     .parse()
                     .map_err(|e: String| format!("--schedule: {e}"))?
+            }
+            "--tile-threshold" => {
+                args.tile_threshold = Some(
+                    take(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--tile-threshold: {e}"))?,
+                )
             }
             "--data-dir" => args.data_dir = Some(PathBuf::from(take(&mut i)?)),
             "--no-projection" => args.no_projection = true,
@@ -361,6 +371,16 @@ fn print_result(report: &PartyReport) {
         net.online().bytes,
         "measured wire bytes diverged from the modeled ledger"
     );
+}
+
+/// Reports this process's peak resident set size (stderr: VmHWM is a
+/// per-process, allocator- and timing-dependent number, so like the
+/// pool counters it must stay out of the role-diffed RESULT
+/// transcript). Prints nothing off-Linux rather than a misleading 0.
+fn print_peak_rss() {
+    if let Some(bytes) = cargo_core::peak_rss_bytes() {
+        eprintln!("[party] STAT peak_rss_mb={:.1}", bytes as f64 / 1e6);
+    }
 }
 
 /// Reports the offline triple factory's counters (stderr: peak depth
@@ -832,12 +852,17 @@ fn main() {
         .with_horizon(args.horizon)
         .with_composition(args.composition)
         .with_recv_timeout(args.recv_timeout);
+    if let Some(theta) = args.tile_threshold {
+        cfg = cfg.with_tile_threshold(theta);
+    }
     if args.no_projection {
         cfg = cfg.without_projection();
     }
 
     if args.mode == Mode::Serve {
-        std::process::exit(run_serve(&args, graph, &cfg));
+        let code = run_serve(&args, graph, &cfg);
+        print_peak_rss();
+        std::process::exit(code);
     }
 
     match args.role {
@@ -845,6 +870,7 @@ fn main() {
             let (r1, _r2) = run_party_local(&graph, &cfg);
             eprintln!("[party local] both in-process parties agree");
             print_pool(&r1);
+            print_peak_rss();
             print_result(&r1);
         }
         role @ (Role::S1 | Role::S2) => {
@@ -865,6 +891,7 @@ fn main() {
                 stats.total_bytes(),
             );
             print_pool(&report);
+            print_peak_rss();
             print_result(&report);
         }
     }
